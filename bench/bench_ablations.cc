@@ -1,0 +1,131 @@
+// Ablations for the design choices called out in DESIGN.md §4:
+//   A1  Theorem 6 fold: minimal two-bag witnesses (Corollary 4) vs plain
+//       max-flow witnesses — support growth vs per-step cost.
+//   A2  Integer-feasibility branching order: descending vs ascending
+//       values — descending saturates rows early on consistent inputs.
+//   A3  Two-bag rational feasibility: max-flow vs exact simplex vs
+//       closed-form construction — three routes to Lemma 2, very
+//       different constants.
+#include <benchmark/benchmark.h>
+
+#include "core/global.h"
+#include "core/two_bag.h"
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "solver/integer_feasibility.h"
+#include "solver/rational_witness.h"
+#include "solver/simplex.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+BagCollection PathCollection(size_t m, size_t support, uint64_t seed) {
+  Rng rng(seed);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(2, support / 4);
+  options.max_multiplicity = 1u << 12;
+  return *MakeGloballyConsistentCollection(*MakePath(m + 1), options, &rng);
+}
+
+void BM_A1_FoldMinimal(benchmark::State& state) {
+  BagCollection c = PathCollection(static_cast<size_t>(state.range(0)), 48, 11);
+  size_t support = 0;
+  for (auto _ : state) {
+    AcyclicSolveOptions options;
+    options.minimal_fold = true;
+    auto witness = *SolveGlobalConsistencyAcyclic(c, options);
+    support = witness->SupportSize();
+  }
+  state.counters["witness_support"] = static_cast<double>(support);
+}
+BENCHMARK(BM_A1_FoldMinimal)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_A1_FoldPlain(benchmark::State& state) {
+  BagCollection c = PathCollection(static_cast<size_t>(state.range(0)), 48, 11);
+  size_t support = 0;
+  for (auto _ : state) {
+    AcyclicSolveOptions options;
+    options.minimal_fold = false;
+    auto witness = *SolveGlobalConsistencyAcyclic(c, options);
+    support = witness->SupportSize();
+  }
+  state.counters["witness_support"] = static_cast<double>(support);
+}
+BENCHMARK(BM_A1_FoldPlain)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_A2_BranchOrder(benchmark::State& state) {
+  bool descend = state.range(1) == 1;
+  Rng rng(12);
+  BagGenOptions options;
+  options.support_size = static_cast<size_t>(state.range(0));
+  options.domain_size = 3;
+  options.max_multiplicity = 6;
+  BagCollection c =
+      *MakeGloballyConsistentCollection(*MakeCycle(3), options, &rng);
+  ConsistencyLp lp = *BuildConsistencyLp(c.bags());
+  double nodes = 0;
+  for (auto _ : state) {
+    SolveOptions so;
+    so.descend_values = descend;
+    SolveStats stats;
+    auto solution = *SolveIntegerFeasibility(lp, so, &stats);
+    nodes = static_cast<double>(stats.nodes);
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["search_nodes"] = nodes;
+  state.SetLabel(descend ? "descending" : "ascending");
+}
+BENCHMARK(BM_A2_BranchOrder)
+    ->ArgsProduct({{6, 9, 12}, {0, 1}});
+
+void BM_A3_TwoBagViaFlow(benchmark::State& state) {
+  Rng rng(13);
+  BagGenOptions options;
+  options.support_size = static_cast<size_t>(state.range(0));
+  options.domain_size = std::max<uint64_t>(2, options.support_size / 4);
+  auto [r, s] = *MakeConsistentPair(Schema{{0, 1}}, Schema{{1, 2}}, options, &rng);
+  for (auto _ : state) {
+    auto witness = *FindWitness(r, s);
+    benchmark::DoNotOptimize(witness);
+  }
+  state.SetLabel("max_flow");
+}
+BENCHMARK(BM_A3_TwoBagViaFlow)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_A3_TwoBagViaSimplex(benchmark::State& state) {
+  Rng rng(13);
+  BagGenOptions options;
+  options.support_size = static_cast<size_t>(state.range(0));
+  options.domain_size = std::max<uint64_t>(2, options.support_size / 4);
+  auto [r, s] = *MakeConsistentPair(Schema{{0, 1}}, Schema{{1, 2}}, options, &rng);
+  ConsistencyLp lp = *BuildConsistencyLp({r, s});
+  size_t pivots = 0;
+  for (auto _ : state) {
+    SimplexResult res = *SolveRationalFeasibility(lp);
+    pivots = res.pivots;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+  state.SetLabel("simplex");
+}
+BENCHMARK(BM_A3_TwoBagViaSimplex)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_A3_TwoBagViaClosedForm(benchmark::State& state) {
+  Rng rng(13);
+  BagGenOptions options;
+  options.support_size = static_cast<size_t>(state.range(0));
+  options.domain_size = std::max<uint64_t>(2, options.support_size / 4);
+  auto [r, s] = *MakeConsistentPair(Schema{{0, 1}}, Schema{{1, 2}}, options, &rng);
+  ConsistencyLp lp = *BuildConsistencyLp({r, s});
+  for (auto _ : state) {
+    auto sol = *BuildRationalSolution(r, s, lp);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.SetLabel("closed_form");
+}
+BENCHMARK(BM_A3_TwoBagViaClosedForm)->RangeMultiplier(2)->Range(8, 128);
+
+}  // namespace
+}  // namespace bagc

@@ -1,0 +1,80 @@
+// E5 (Theorem 4, the dichotomy): for fixed schemas, GCPB is polynomial iff
+// the schema is acyclic, NP-complete otherwise. Two matched series:
+//   - cyclic C3 (3DCT instances): the exact solver's search nodes grow
+//     exponentially with the table side n,
+//   - acyclic P4 with comparable input sizes: the Theorem 6 algorithm
+//     stays polynomial.
+// Expected shape: the "search_nodes" counter explodes on the cyclic rows
+// and the time ratio cyclic/acyclic widens with n; who wins: acyclic,
+// at every size, by a growing margin.
+#include <benchmark/benchmark.h>
+
+#include "core/global.h"
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "reductions/threedct.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+void BM_CyclicTriangle3DCT(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1000 + n);
+  ThreeDctInstance inst = MakeFeasibleInstance(n, 3, &rng);
+  BagCollection c = *ToTriangleBags(inst);
+  double nodes = 0;
+  for (auto _ : state) {
+    GlobalSolveOptions options;
+    SolveStats stats;
+    // Re-run the LP + search to count nodes.
+    ConsistencyLp lp = *BuildConsistencyLp(c.bags(), options.max_join_support);
+    auto solution = *SolveIntegerFeasibility(lp, options.search, &stats);
+    nodes = static_cast<double>(stats.nodes);
+    benchmark::DoNotOptimize(solution);
+  }
+  state.counters["search_nodes"] = nodes;
+  state.counters["input_cells"] = static_cast<double>(3 * n * n);
+}
+BENCHMARK(BM_CyclicTriangle3DCT)->DenseRange(2, 6, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_AcyclicPathMatchedSize(benchmark::State& state) {
+  // P4 with per-bag support n^2 to match the 3DCT input size.
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2000 + n);
+  BagGenOptions options;
+  options.support_size = n * n;
+  options.domain_size = n;
+  options.max_multiplicity = 3 * n;
+  BagCollection c =
+      *MakeGloballyConsistentCollection(*MakePath(4), options, &rng);
+  for (auto _ : state) {
+    auto witness = *SolveGlobalConsistencyAcyclic(c);
+    benchmark::DoNotOptimize(witness);
+  }
+  state.counters["input_cells"] = static_cast<double>(3 * n * n);
+}
+BENCHMARK(BM_AcyclicPathMatchedSize)
+    ->DenseRange(2, 6, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DispatchIsGloballyConsistent(benchmark::State& state) {
+  // The user-facing dispatcher on both sides of the dichotomy.
+  bool cyclic = state.range(0) == 1;
+  Rng rng(3000);
+  BagGenOptions options;
+  options.support_size = 9;
+  options.domain_size = 3;
+  options.max_multiplicity = 4;
+  Hypergraph h = cyclic ? *MakeCycle(3) : *MakePath(4);
+  BagCollection c = *MakeGloballyConsistentCollection(h, options, &rng);
+  for (auto _ : state) {
+    bool ok = *IsGloballyConsistent(c);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetLabel(cyclic ? "cyclic_C3" : "acyclic_P4");
+}
+BENCHMARK(BM_DispatchIsGloballyConsistent)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace bagc

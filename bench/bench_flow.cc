@@ -1,0 +1,74 @@
+// E11 (Corollary 1 substrate): Dinic max-flow on consistency networks is
+// strongly polynomial. Series: bipartite N(R,S) networks with up to 2^14
+// middle edges. Expected shape: near-linear growth in edges for these
+// unit-ish bipartite instances.
+#include <benchmark/benchmark.h>
+
+#include "flow/consistency_network.h"
+#include "flow/network.h"
+#include "generators/workloads.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+void BM_DinicBipartite(benchmark::State& state) {
+  size_t side = static_cast<size_t>(state.range(0));
+  Rng rng(300 + side);
+  FlowNetwork net(2 + 2 * side);
+  size_t s = 0, t = 1 + 2 * side;
+  for (size_t i = 0; i < side; ++i) {
+    (void)*net.AddEdge(s, 1 + i, rng.Range(1, 100));
+    (void)*net.AddEdge(1 + side + i, t, rng.Range(1, 100));
+  }
+  size_t middle = 0;
+  for (size_t i = 0; i < side; ++i) {
+    for (size_t j = 0; j < side; ++j) {
+      if (rng.Chance(4, side + 4)) {
+        (void)*net.AddEdge(1 + i, 1 + side + j, FlowNetwork::kUnbounded);
+        ++middle;
+      }
+    }
+  }
+  for (auto _ : state) {
+    uint64_t value = *net.Solve(s, t);
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["middle_edges"] = static_cast<double>(middle);
+}
+BENCHMARK(BM_DinicBipartite)->RangeMultiplier(2)->Range(16, 2048);
+
+void BM_ConsistencyNetworkBuild(benchmark::State& state) {
+  size_t support = static_cast<size_t>(state.range(0));
+  Rng rng(400);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(2, support / 8);
+  options.max_multiplicity = 1u << 16;
+  auto [r, s] = *MakeConsistentPair(Schema{{0, 1}}, Schema{{1, 2}}, options, &rng);
+  for (auto _ : state) {
+    auto net = *ConsistencyNetwork::Make(r, s);
+    benchmark::DoNotOptimize(net);
+  }
+}
+BENCHMARK(BM_ConsistencyNetworkBuild)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_SaturatedFlowDecision(benchmark::State& state) {
+  size_t support = static_cast<size_t>(state.range(0));
+  Rng rng(401);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(2, support / 8);
+  options.max_multiplicity = 1u << 16;
+  auto [r, s] = *MakeConsistentPair(Schema{{0, 1}}, Schema{{1, 2}}, options, &rng);
+  auto net = *ConsistencyNetwork::Make(r, s);
+  for (auto _ : state) {
+    bool saturated = *net.HasSaturatedFlow();
+    benchmark::DoNotOptimize(saturated);
+  }
+  state.counters["middle_edges"] = static_cast<double>(net.NumMiddleEdges());
+}
+BENCHMARK(BM_SaturatedFlowDecision)->RangeMultiplier(4)->Range(16, 4096);
+
+}  // namespace
+}  // namespace bagc

@@ -1,0 +1,126 @@
+// E9 (Theorem 1/2 (a)-(d)): the structural algorithms — GYO reduction,
+// conformal+chordal testing, join-tree construction, running-intersection
+// ordering, and the Lemma 3 obstruction search — and their scaling.
+// Series: path/cycle sizes up to 512, random acyclic hypergraphs up to
+// 1024 edges. Expected shape: all polynomial; the equivalence counters
+// agree on every row.
+#include <benchmark/benchmark.h>
+
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/chordality.h"
+#include "hypergraph/conformality.h"
+#include "hypergraph/families.h"
+#include "hypergraph/safe_deletion.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+void BM_GyoOnPath(benchmark::State& state) {
+  Hypergraph h = *MakePath(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool acyclic = IsAcyclicGyo(h);
+    benchmark::DoNotOptimize(acyclic);
+  }
+}
+BENCHMARK(BM_GyoOnPath)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_GyoOnRandomAcyclic(benchmark::State& state) {
+  Rng rng(41);
+  Hypergraph h = *MakeRandomAcyclic(static_cast<size_t>(state.range(0)), 4, &rng);
+  for (auto _ : state) {
+    bool acyclic = IsAcyclicGyo(h);
+    benchmark::DoNotOptimize(acyclic);
+  }
+}
+BENCHMARK(BM_GyoOnRandomAcyclic)->RangeMultiplier(2)->Range(8, 1024);
+
+void BM_ConformalChordalOnCycle(benchmark::State& state) {
+  Hypergraph h = *MakeCycle(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool acyclic = IsAcyclicByConformalChordal(h);
+    benchmark::DoNotOptimize(acyclic);
+  }
+}
+BENCHMARK(BM_ConformalChordalOnCycle)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_ChordalityLexBfs(benchmark::State& state) {
+  Rng rng(42);
+  Hypergraph h = *MakeRandomAcyclic(static_cast<size_t>(state.range(0)), 4, &rng);
+  Graph g = h.PrimalGraph();
+  for (auto _ : state) {
+    bool chordal = IsChordalGraph(g);
+    benchmark::DoNotOptimize(chordal);
+  }
+  state.counters["vertices"] = static_cast<double>(g.num_vertices());
+}
+BENCHMARK(BM_ChordalityLexBfs)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_JoinTreeConstruction(benchmark::State& state) {
+  Rng rng(43);
+  Hypergraph h = *MakeRandomAcyclic(static_cast<size_t>(state.range(0)), 4, &rng);
+  for (auto _ : state) {
+    auto jt = BuildJoinTree(h);
+    benchmark::DoNotOptimize(jt);
+  }
+}
+BENCHMARK(BM_JoinTreeConstruction)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_RunningIntersectionOrdering(benchmark::State& state) {
+  Rng rng(44);
+  Hypergraph h = *MakeRandomAcyclic(static_cast<size_t>(state.range(0)), 4, &rng);
+  for (auto _ : state) {
+    auto order = RunningIntersectionOrder(h);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_RunningIntersectionOrdering)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_EquivalenceSweep(benchmark::State& state) {
+  // All three acyclicity characterizations on a random mixed pool; the
+  // "disagreements" counter must read 0.
+  Rng rng(45);
+  std::vector<Hypergraph> pool;
+  for (int i = 0; i < 24; ++i) {
+    if (i % 2 == 0) {
+      pool.push_back(*MakeRandomAcyclic(4 + rng.Below(8), 3, &rng));
+    } else {
+      auto h = MakeRandomUniform(5 + rng.Below(4), 2, 4 + rng.Below(4), &rng);
+      if (h.ok()) pool.push_back(*h);
+    }
+  }
+  double disagreements = 0;
+  for (auto _ : state) {
+    for (const Hypergraph& h : pool) {
+      bool a = IsAcyclicGyo(h);
+      bool b = IsAcyclicByConformalChordal(h);
+      bool c = BuildJoinTree(h).ok();
+      bool d = RunningIntersectionOrder(h).ok();
+      if (a != b || b != c || c != d) disagreements += 1;
+    }
+  }
+  state.counters["disagreements"] = disagreements;
+}
+BENCHMARK(BM_EquivalenceSweep);
+
+void BM_ObstructionSearch(benchmark::State& state) {
+  // Lemma 3: find W and the safe-deletion sequence in a cycle padded with
+  // acyclic decoration.
+  size_t pad = static_cast<size_t>(state.range(0));
+  std::vector<Schema> edges;
+  for (size_t i = 0; i < 6; ++i) {
+    edges.push_back(Schema{{static_cast<AttrId>(i), static_cast<AttrId>((i + 1) % 6)}});
+  }
+  for (size_t i = 0; i < pad; ++i) {
+    edges.push_back(Schema{{static_cast<AttrId>(i % 6), static_cast<AttrId>(6 + i)}});
+  }
+  Hypergraph h = *Hypergraph::FromEdges(edges);
+  for (auto _ : state) {
+    auto obs = FindObstruction(h);
+    benchmark::DoNotOptimize(obs);
+  }
+}
+BENCHMARK(BM_ObstructionSearch)->RangeMultiplier(2)->Range(2, 64);
+
+}  // namespace
+}  // namespace bagc

@@ -1,0 +1,129 @@
+// E10 (Lemmas 3, 4, 6, 7): the reduction machinery is polynomial and
+// correctness-preserving. Series: iterated cycle extension C3 -> Cn, the
+// Hn extension, 3DCT conversion, and Lemma 4 lifting along growing
+// safe-deletion sequences. Expected shape: polynomial time; instance size
+// counters grow as the lemmas predict (linear for Lemma 6, exponential in
+// the chain length for Lemma 7's active-domain products).
+#include <benchmark/benchmark.h>
+
+#include "core/global.h"
+#include "core/lifting.h"
+#include "core/local_global.h"
+#include "core/pairwise.h"
+#include "core/tseitin.h"
+#include "hypergraph/families.h"
+#include "reductions/cycle_chain.h"
+#include "reductions/hn_chain.h"
+#include "reductions/threedct.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+CycleInstance BaseCycleInstance() {
+  std::vector<Bag> bags = *MakeTseitinCollection(*MakeCycle(3));
+  std::vector<Bag> ordered(3, Bag{});
+  for (Bag& b : bags) {
+    for (size_t i = 0; i < 3; ++i) {
+      Schema want{{static_cast<AttrId>(i), static_cast<AttrId>((i + 1) % 3)}};
+      if (b.schema() == want) ordered[i] = std::move(b);
+    }
+  }
+  return *MakeCycleInstance(std::move(ordered));
+}
+
+void BM_CycleChainExtension(benchmark::State& state) {
+  size_t target = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    CycleInstance cur = BaseCycleInstance();
+    while (cur.n < target) cur = *ExtendCycle(cur);
+    benchmark::DoNotOptimize(cur);
+  }
+  CycleInstance cur = BaseCycleInstance();
+  while (cur.n < target) cur = *ExtendCycle(cur);
+  size_t tuples = 0;
+  for (const Bag& b : cur.bags) tuples += b.SupportSize();
+  state.counters["instance_tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_CycleChainExtension)->DenseRange(4, 16, 2);
+
+void BM_HnChainExtension(benchmark::State& state) {
+  size_t target = static_cast<size_t>(state.range(0));
+  std::vector<Bag> base = *MakeTseitinCollection(*MakeHn(3));
+  std::vector<Bag> ordered(3, Bag{});
+  for (Bag& b : base) {
+    for (size_t i = 0; i < 3; ++i) {
+      if (!b.schema().Contains(static_cast<AttrId>(i))) {
+        ordered[i] = std::move(b);
+        break;
+      }
+    }
+  }
+  for (auto _ : state) {
+    HnInstance cur = *MakeHnInstance(ordered);
+    while (cur.n < target) cur = *ExtendHn(cur);
+    benchmark::DoNotOptimize(cur);
+  }
+  HnInstance cur = *MakeHnInstance(ordered);
+  while (cur.n < target) cur = *ExtendHn(cur);
+  size_t tuples = 0;
+  for (const Bag& b : cur.bags) tuples += b.SupportSize();
+  state.counters["instance_tuples"] = static_cast<double>(tuples);
+}
+BENCHMARK(BM_HnChainExtension)->DenseRange(3, 6, 1);
+
+void BM_ThreeDctConversion(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(600 + n);
+  ThreeDctInstance inst = MakeFeasibleInstance(n, 5, &rng);
+  for (auto _ : state) {
+    auto bags = *ToTriangleBags(inst);
+    benchmark::DoNotOptimize(bags);
+  }
+}
+BENCHMARK(BM_ThreeDctConversion)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_LemmaFourLift(benchmark::State& state) {
+  // Lift the C4 Tseitin counterexample through `pad` vertex deletions.
+  size_t pad = static_cast<size_t>(state.range(0));
+  std::vector<Schema> edges = {Schema{{0, 1}}, Schema{{1, 2}}, Schema{{2, 3}},
+                               Schema{{3, 0}}};
+  for (size_t i = 0; i < pad; ++i) {
+    edges.push_back(Schema{{static_cast<AttrId>(i % 4), static_cast<AttrId>(4 + i)}});
+  }
+  LiftPlan plan = *PlanLiftToInduced(edges, Schema{{0, 1, 2, 3}});
+  std::vector<Bag> tseitin = *MakeTseitinCollection(*MakeCycle(4));
+  std::vector<Bag> d0;
+  for (const Schema& e : plan.final_edges) {
+    for (const Bag& b : tseitin) {
+      if (b.schema() == e) d0.push_back(b);
+    }
+  }
+  for (auto _ : state) {
+    std::vector<Bag> lifted = *LiftCollection(plan, d0);
+    benchmark::DoNotOptimize(lifted);
+  }
+  state.counters["ops"] = static_cast<double>(plan.ops.size());
+}
+BENCHMARK(BM_LemmaFourLift)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_LiftedInstanceStaysCounterexample(benchmark::State& state) {
+  // End-to-end check folded into the timing: pairwise holds, global fails.
+  size_t pad = static_cast<size_t>(state.range(0));
+  std::vector<Schema> edges = {Schema{{0, 1}}, Schema{{1, 2}}, Schema{{2, 3}},
+                               Schema{{3, 0}}};
+  for (size_t i = 0; i < pad; ++i) {
+    edges.push_back(Schema{{static_cast<AttrId>(i % 4), static_cast<AttrId>(4 + i)}});
+  }
+  Hypergraph h = *Hypergraph::FromEdges(edges);
+  for (auto _ : state) {
+    BagCollection c = *MakeCounterexample(h);
+    bool pairwise = *ArePairwiseConsistent(c);
+    bool global = SolveGlobalConsistencyExact(c)->has_value();
+    if (!pairwise || global) state.SkipWithError("Lemma 4 lift broke!");
+  }
+}
+BENCHMARK(BM_LiftedInstanceStaysCounterexample)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace bagc

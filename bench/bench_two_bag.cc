@@ -1,0 +1,74 @@
+// E1 (Lemma 2 + Corollary 1): two-bag consistency decision and witness
+// construction scale polynomially. Series: support size 2^4 .. 2^12.
+// Expected shape: near-linear decision (marginal comparison), low-degree
+// polynomial witness construction (max-flow on N(R,S)).
+#include <benchmark/benchmark.h>
+
+#include "core/two_bag.h"
+#include "generators/workloads.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+std::pair<Bag, Bag> MakePair(size_t support, uint64_t seed, bool consistent) {
+  Rng rng(seed);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(2, support / 4);
+  options.max_multiplicity = 1u << 20;
+  Schema x{{0, 1}};
+  Schema y{{1, 2}};
+  auto pair = consistent ? *MakeConsistentPair(x, y, options, &rng)
+                         : *MakeInconsistentPair(x, y, options, &rng);
+  return pair;
+}
+
+void BM_DecideConsistent(benchmark::State& state) {
+  auto [r, s] = MakePair(static_cast<size_t>(state.range(0)), 42, true);
+  for (auto _ : state) {
+    bool ok = *AreConsistent(r, s);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["support"] = static_cast<double>(r.SupportSize() + s.SupportSize());
+}
+BENCHMARK(BM_DecideConsistent)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_DecideInconsistent(benchmark::State& state) {
+  auto [r, s] = MakePair(static_cast<size_t>(state.range(0)), 43, false);
+  for (auto _ : state) {
+    bool ok = *AreConsistent(r, s);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_DecideInconsistent)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_FindWitness(benchmark::State& state) {
+  auto [r, s] = MakePair(static_cast<size_t>(state.range(0)), 44, true);
+  size_t witness_support = 0;
+  for (auto _ : state) {
+    auto witness = *FindWitness(r, s);
+    witness_support = witness->SupportSize();
+    benchmark::DoNotOptimize(witness);
+  }
+  state.counters["witness_support"] = static_cast<double>(witness_support);
+}
+BENCHMARK(BM_FindWitness)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_FindMinimalWitness(benchmark::State& state) {
+  auto [r, s] = MakePair(static_cast<size_t>(state.range(0)), 45, true);
+  size_t witness_support = 0;
+  for (auto _ : state) {
+    auto witness = *FindMinimalWitness(r, s);
+    witness_support = witness->SupportSize();
+    benchmark::DoNotOptimize(witness);
+  }
+  // Theorem 5: support <= ||R||supp + ||S||supp.
+  state.counters["witness_support"] = static_cast<double>(witness_support);
+  state.counters["theorem5_bound"] =
+      static_cast<double>(r.SupportSize() + s.SupportSize());
+}
+BENCHMARK(BM_FindMinimalWitness)->RangeMultiplier(4)->Range(16, 256);
+
+}  // namespace
+}  // namespace bagc

@@ -1,0 +1,79 @@
+// E6 (Theorem 3 + Theorem 5): witness size bounds.
+//   (1) every witness has ||W||mu <= max ||Ri||mu,
+//   (2) every witness has ||W||supp <= Σ ||Ri||u,
+//   (3) minimal witnesses have ||W||supp <= Σ ||Ri||b (Carathéodory /
+//       Eisenbrand–Shmonin), and <= ||R||supp + ||S||supp for two bags.
+// Series: growing multiplicities (binary-size regime) for two bags, and
+// triangle collections for the general bound. Expected shape: measured /
+// bound ratios stay <= 1 while absolute supports grow.
+#include <benchmark/benchmark.h>
+
+#include "core/global.h"
+#include "core/two_bag.h"
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+void BM_TwoBagMinimalWitnessBounds(benchmark::State& state) {
+  size_t support = static_cast<size_t>(state.range(0));
+  uint64_t max_mult = static_cast<uint64_t>(state.range(1));
+  Rng rng(77);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(2, support / 4);
+  options.max_multiplicity = max_mult;
+  auto [r, s] = *MakeConsistentPair(Schema{{0, 1}}, Schema{{1, 2}}, options, &rng);
+  size_t witness_support = 0;
+  uint64_t witness_mu = 0;
+  for (auto _ : state) {
+    auto witness = *FindMinimalWitness(r, s);
+    witness_support = witness->SupportSize();
+    witness_mu = witness->MultiplicityBound();
+    benchmark::DoNotOptimize(witness);
+  }
+  double supp_bound = static_cast<double>(r.SupportSize() + s.SupportSize());
+  double mu_bound =
+      static_cast<double>(std::max(r.MultiplicityBound(), s.MultiplicityBound()));
+  state.counters["supp_ratio_thm5"] =
+      supp_bound == 0 ? 0 : static_cast<double>(witness_support) / supp_bound;
+  state.counters["mu_ratio_thm3_1"] =
+      mu_bound == 0 ? 0 : static_cast<double>(witness_mu) / mu_bound;
+}
+BENCHMARK(BM_TwoBagMinimalWitnessBounds)
+    ->ArgsProduct({{16, 64, 256}, {8, 1 << 10, 1 << 20, 1 << 30}});
+
+void BM_TriangleMinimalWitnessCaratheodory(benchmark::State& state) {
+  // Theorem 3(3) on the cyclic triangle: minimize support, compare with
+  // Σ ||Ri||_b.
+  uint64_t max_mult = static_cast<uint64_t>(state.range(0));
+  Rng rng(78);
+  BagGenOptions options;
+  options.support_size = 4;
+  options.domain_size = 2;
+  options.max_multiplicity = max_mult;
+  BagCollection c =
+      *MakeGloballyConsistentCollection(*MakeCycle(3), options, &rng);
+  size_t minimal_support = 0;
+  for (auto _ : state) {
+    auto witness = *SolveGlobalConsistencyExact(c);
+    Bag minimal = *MinimizeWitnessSupport(c, *witness);
+    minimal_support = minimal.SupportSize();
+    benchmark::DoNotOptimize(minimal);
+  }
+  uint64_t binary_bound = 0, unary_bound = 0;
+  for (const Bag& b : c.bags()) {
+    binary_bound += b.BinarySize();
+    unary_bound += *b.UnarySize();
+  }
+  state.counters["minimal_support"] = static_cast<double>(minimal_support);
+  state.counters["binary_bound_thm3_3"] = static_cast<double>(binary_bound);
+  state.counters["unary_bound_thm3_2"] = static_cast<double>(unary_bound);
+}
+BENCHMARK(BM_TriangleMinimalWitnessCaratheodory)
+    ->Arg(4)->Arg(64)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace bagc

@@ -1,0 +1,132 @@
+// bagc_cli: a command-line consistency checker over the text format of
+// bag/bag_io.h — the "downstream user" face of the library.
+//
+//   bagc_cli check <file>      decide pairwise + global consistency
+//   bagc_cli witness <file>    print a witness bag (or report none)
+//   bagc_cli analyze <file>    full diagnostic report (structure,
+//                              obstruction, local + global consistency)
+//   bagc_cli schema <file>     print the schema hypergraph + acyclicity
+//   bagc_cli demo              print a sample input document
+//
+// Exit code: 0 = globally consistent / ok, 1 = inconsistent, 2 = error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bag/bag_io.h"
+#include "core/collection.h"
+#include "core/global.h"
+#include "core/pairwise.h"
+#include "core/report.h"
+#include "hypergraph/acyclicity.h"
+
+using namespace bagc;
+
+namespace {
+
+const char* kDemo =
+    "# bagc collection document. Three bags over the path A - B - C - D.\n"
+    "bag A B\n"
+    "1 2 : 1\n"
+    "2 2 : 1\n"
+    "end\n"
+    "bag B C\n"
+    "2 1 : 1\n"
+    "2 2 : 1\n"
+    "end\n"
+    "bag C D\n"
+    "1 7 : 1\n"
+    "2 7 : 1\n"
+    "end\n";
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int RunCheck(const BagCollection& collection, const AttributeCatalog& catalog,
+             bool print_witness) {
+  std::printf("bags: %zu, schema hypergraph: %s\n", collection.size(),
+              collection.hypergraph().ToString().c_str());
+  bool acyclic = IsAcyclic(collection.hypergraph());
+  std::printf("schema is %s\n", acyclic ? "acyclic" : "cyclic");
+
+  std::pair<size_t, size_t> bad;
+  auto pairwise = ArePairwiseConsistent(collection, &bad);
+  if (!pairwise.ok()) return Fail(pairwise.status());
+  if (!*pairwise) {
+    std::printf("NOT pairwise consistent: bags %zu and %zu disagree on %s\n",
+                bad.first + 1, bad.second + 1,
+                Schema::Intersect(collection.bag(bad.first).schema(),
+                                  collection.bag(bad.second).schema())
+                    .ToString(catalog)
+                    .c_str());
+    return 1;
+  }
+  std::printf("pairwise consistent\n");
+
+  Result<std::optional<Bag>> witness =
+      acyclic ? SolveGlobalConsistencyAcyclic(collection)
+              : SolveGlobalConsistencyExact(collection);
+  if (!witness.ok()) return Fail(witness.status());
+  if (!witness->has_value()) {
+    std::printf("NOT globally consistent%s\n",
+                acyclic ? "" : " (cyclic schema: pairwise did not suffice)");
+    return 1;
+  }
+  std::printf("globally consistent (witness support %zu)\n",
+              (*witness)->SupportSize());
+  if (print_witness) {
+    std::printf("%s", WriteBag(**witness, catalog).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "demo") {
+    std::printf("%s", kDemo);
+    return 0;
+  }
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s check|witness|schema <file>\n       %s demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  std::string command = argv[1];
+  auto text = ReadFile(argv[2]);
+  if (!text.ok()) return Fail(text.status());
+  AttributeCatalog catalog;
+  auto bags = ParseCollection(*text, &catalog);
+  if (!bags.ok()) return Fail(bags.status());
+  auto collection = BagCollection::Make(*bags);
+  if (!collection.ok()) return Fail(collection.status());
+
+  if (command == "schema") {
+    std::printf("%s\n", collection->hypergraph().ToString().c_str());
+    std::printf("acyclic: %s\n",
+                IsAcyclic(collection->hypergraph()) ? "yes" : "no");
+    return 0;
+  }
+  if (command == "check") return RunCheck(*collection, catalog, false);
+  if (command == "witness") return RunCheck(*collection, catalog, true);
+  if (command == "analyze") {
+    auto report = AnalyzeCollection(*collection);
+    if (!report.ok()) return Fail(report.status());
+    std::printf("%s", report->ToString(catalog).c_str());
+    return report->global_decided && report->globally_consistent ? 0 : 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}

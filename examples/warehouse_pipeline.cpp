@@ -1,0 +1,88 @@
+// Data-integration scenario over an acyclic schema: three departments hold
+// overlapping *bag* views of the same logistics data — real systems keep
+// duplicates, so these are multisets, not sets (the Chaudhuri–Vardi gap
+// the paper starts from).
+//
+//   orders(Customer, Product)        - sales
+//   stock(Product, Warehouse)        - fulfilment
+//   sites(Warehouse, Region)         - facilities
+//
+// The schema hypergraph is the path Customer-Product-Warehouse-Region:
+// acyclic, so (Theorem 2) pairwise consistency of the three views already
+// guarantees a single universal bag explaining all of them, and (Theorem 6)
+// that universal bag is constructible in polynomial time with support at
+// most the sum of the views' supports.
+#include <cstdio>
+
+#include "core/collection.h"
+#include "core/global.h"
+#include "core/pairwise.h"
+#include "core/two_bag.h"
+#include "hypergraph/acyclicity.h"
+#include "tuple/attribute.h"
+
+using namespace bagc;
+
+int main() {
+  AttributeCatalog catalog;
+  AttrId customer = catalog.Intern("Customer");
+  AttrId product = catalog.Intern("Product");
+  AttrId warehouse = catalog.Intern("Warehouse");
+  AttrId region = catalog.Intern("Region");
+
+  // Multiplicities = how many order lines / pallets / contracts.
+  Bag orders = *MakeBag(Schema{{customer, product}}, {
+                            {{100, 1}, 3},   // customer 100 ordered product 1 x3
+                            {{100, 2}, 1},
+                            {{200, 1}, 2},
+                            {{200, 2}, 4},
+                        });
+  Bag stock = *MakeBag(Schema{{product, warehouse}}, {
+                           {{1, 10}, 2},  // product 1 served from warehouse 10
+                           {{1, 11}, 3},
+                           {{2, 10}, 5},
+                       });
+  Bag sites = *MakeBag(Schema{{warehouse, region}}, {
+                           {{10, 7}, 7},  // warehouse 10 in region 7
+                           {{11, 7}, 3},
+                       });
+
+  BagCollection views = *BagCollection::Make({orders, stock, sites});
+  std::printf("schema hypergraph: %s\n", views.hypergraph().ToString().c_str());
+  std::printf("acyclic? %s\n\n", IsAcyclic(views.hypergraph()) ? "yes" : "no");
+
+  // Department-by-department reconciliation (Lemma 2 pairwise checks).
+  std::pair<size_t, size_t> bad;
+  if (!*ArePairwiseConsistent(views, &bad)) {
+    std::printf("views %zu and %zu disagree on their shared attributes —\n"
+                "no universal bag can exist. Fix the feeds first.\n",
+                bad.first, bad.second);
+    return 1;
+  }
+  std::printf("all pairwise reconciliations passed.\n");
+
+  // Theorem 6: build the universal bag.
+  auto universal = *SolveGlobalConsistencyAcyclic(views);
+  if (!universal.has_value()) {
+    std::printf("unexpected: pairwise consistent acyclic views must be "
+                "globally consistent (Theorem 2)\n");
+    return 1;
+  }
+  std::printf("universal bag over %s:\n%s\n",
+              universal->schema().ToString(catalog).c_str(),
+              universal->ToString(catalog).c_str());
+  size_t bound = orders.SupportSize() + stock.SupportSize() + sites.SupportSize();
+  std::printf("support %zu <= %zu (Theorem 6 bound)\n\n",
+              universal->SupportSize(), bound);
+
+  // What goes wrong with an inconsistent feed: bump one pallet count.
+  Bag stock_bad = stock;
+  (void)stock_bad.Set(Tuple{{1, 10}}, 3);  // was 2
+  BagCollection broken = *BagCollection::Make({orders, stock_bad, sites});
+  if (!*ArePairwiseConsistent(broken, &bad)) {
+    std::printf("after the bad feed, views %zu and %zu disagree "
+                "(product-level totals drifted) — detected in O(n log n).\n",
+                bad.first, bad.second);
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "bag/bag.h"
+
+#include <algorithm>
+
+namespace bagc {
+
+Status Bag::Set(const Tuple& t, uint64_t mult) {
+  if (t.arity() != schema_.arity()) {
+    return Status::InvalidArgument("tuple arity does not match bag schema");
+  }
+  if (mult == 0) {
+    entries_.erase(t);
+  } else {
+    entries_[t] = mult;
+  }
+  return Status::OK();
+}
+
+Status Bag::Add(const Tuple& t, uint64_t mult) {
+  if (t.arity() != schema_.arity()) {
+    return Status::InvalidArgument("tuple arity does not match bag schema");
+  }
+  if (mult == 0) return Status::OK();
+  auto [it, inserted] = entries_.emplace(t, mult);
+  if (!inserted) {
+    BAGC_ASSIGN_OR_RETURN(it->second, CheckedAdd(it->second, mult));
+  }
+  return Status::OK();
+}
+
+uint64_t Bag::Multiplicity(const Tuple& t) const {
+  auto it = entries_.find(t);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+Result<Bag> Bag::Marginal(const Schema& z) const {
+  BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(schema_, z));
+  Bag out(z);
+  for (const auto& [t, mult] : entries_) {
+    BAGC_RETURN_NOT_OK(out.Add(t.Project(proj), mult));
+  }
+  return out;
+}
+
+Result<Bag> Bag::Join(const Bag& r, const Bag& s) {
+  BAGC_ASSIGN_OR_RETURN(TupleJoiner joiner, TupleJoiner::Make(r.schema(), s.schema()));
+  // Hash-partition the right side on the shared attributes.
+  BAGC_ASSIGN_OR_RETURN(Projector r_shared,
+                        Projector::Make(r.schema(), joiner.shared_schema()));
+  BAGC_ASSIGN_OR_RETURN(Projector s_shared,
+                        Projector::Make(s.schema(), joiner.shared_schema()));
+  std::map<Tuple, std::vector<const Tuple*>> index;
+  for (const auto& [t, mult] : s.entries()) {
+    (void)mult;
+    index[t.Project(s_shared)].push_back(&t);
+  }
+  Bag out(joiner.joined_schema());
+  for (const auto& [x, xm] : r.entries()) {
+    auto it = index.find(x.Project(r_shared));
+    if (it == index.end()) continue;
+    for (const Tuple* y : it->second) {
+      BAGC_ASSIGN_OR_RETURN(uint64_t mult, CheckedMul(xm, s.entries().at(*y)));
+      BAGC_RETURN_NOT_OK(out.Add(joiner.Join(x, *y), mult));
+    }
+  }
+  return out;
+}
+
+bool Bag::Contained(const Bag& r, const Bag& s) {
+  if (r.schema() != s.schema()) return false;
+  for (const auto& [t, mult] : r.entries_) {
+    if (mult > s.Multiplicity(t)) return false;
+  }
+  return true;
+}
+
+uint64_t Bag::MultiplicityBound() const {
+  uint64_t best = 0;
+  for (const auto& [t, mult] : entries_) {
+    (void)t;
+    best = std::max(best, mult);
+  }
+  return best;
+}
+
+uint64_t Bag::MultiplicitySize() const {
+  uint64_t best = 0;
+  for (const auto& [t, mult] : entries_) {
+    (void)t;
+    best = std::max<uint64_t>(best, BitLength(mult + 1));
+  }
+  return best;
+}
+
+Result<uint64_t> Bag::UnarySize() const {
+  uint64_t total = 0;
+  for (const auto& [t, mult] : entries_) {
+    (void)t;
+    BAGC_ASSIGN_OR_RETURN(total, CheckedAdd(total, mult));
+  }
+  return total;
+}
+
+uint64_t Bag::BinarySize() const {
+  uint64_t total = 0;
+  for (const auto& [t, mult] : entries_) {
+    (void)t;
+    total += BitLength(mult + 1);
+  }
+  return total;
+}
+
+std::string Bag::ToString(const AttributeCatalog& catalog) const {
+  std::string out = schema_.ToString(catalog) + " [\n";
+  for (const auto& [t, mult] : entries_) {
+    out += "  " + t.ToString() + " : " + std::to_string(mult) + "\n";
+  }
+  out += "]";
+  return out;
+}
+
+std::string Bag::ToString() const {
+  std::string out = schema_.ToString() + " [\n";
+  for (const auto& [t, mult] : entries_) {
+    out += "  " + t.ToString() + " : " + std::to_string(mult) + "\n";
+  }
+  out += "]";
+  return out;
+}
+
+Result<Bag> MakeBag(
+    const Schema& schema,
+    const std::vector<std::pair<std::vector<Value>, uint64_t>>& rows) {
+  Bag bag(schema);
+  for (const auto& [values, mult] : rows) {
+    if (values.size() != schema.arity()) {
+      return Status::InvalidArgument("row arity does not match schema");
+    }
+    Tuple t{values};
+    if (bag.Multiplicity(t) != 0) {
+      return Status::AlreadyExists("duplicate tuple in MakeBag rows: " + t.ToString());
+    }
+    BAGC_RETURN_NOT_OK(bag.Set(t, mult));
+  }
+  return bag;
+}
+
+}  // namespace bagc

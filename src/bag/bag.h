@@ -1,0 +1,91 @@
+// Bag (multiset relation): a finite-support function Tup(X) -> Z_{>=0}
+// (paper §2). Marginals implement Equation (2); the bag join implements
+// ⋈_b. Entries are kept in a sorted map so iteration order — and hence all
+// downstream algorithms and printouts — is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tuple/attribute.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "util/checked_math.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief A finite bag over a schema X: tuples with positive multiplicity.
+///
+/// The multiplicity of any tuple not in the support is 0. All arithmetic on
+/// multiplicities is overflow-checked; mutators return Status.
+class Bag {
+ public:
+  using Entries = std::map<Tuple, uint64_t>;
+
+  Bag() = default;
+  explicit Bag(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// Sets R(t) := mult (erasing the entry when mult == 0).
+  Status Set(const Tuple& t, uint64_t mult);
+  /// Adds mult to R(t), overflow-checked.
+  Status Add(const Tuple& t, uint64_t mult);
+
+  /// R(t); 0 when t not in the support.
+  uint64_t Multiplicity(const Tuple& t) const;
+
+  /// |Supp(R)| — the support size ||R||_supp of §5.2.
+  size_t SupportSize() const { return entries_.size(); }
+  bool IsEmpty() const { return entries_.empty(); }
+
+  /// Sorted (tuple, multiplicity) entries; all multiplicities positive.
+  const Entries& entries() const { return entries_; }
+
+  /// Marginal R[Z] per Equation (2); requires Z ⊆ X.
+  Result<Bag> Marginal(const Schema& z) const;
+
+  /// Bag join R ⋈_b S: support R' ⋈ S', multiplicity R(t[X]) * S(t[Y]).
+  static Result<Bag> Join(const Bag& r, const Bag& s);
+
+  /// Bag containment R ⊆_b S: R(t) <= S(t) for all t.
+  static bool Contained(const Bag& r, const Bag& s);
+
+  /// Equality as functions (schema and all multiplicities).
+  bool operator==(const Bag& o) const {
+    return schema_ == o.schema_ && entries_ == o.entries_;
+  }
+  bool operator!=(const Bag& o) const { return !(*this == o); }
+
+  // ---- Size measures of §5.2 ----
+
+  /// ||R||_mu: the largest multiplicity (0 for the empty bag).
+  uint64_t MultiplicityBound() const;
+  /// ||R||_mb: max over support of ceil(log2(R(r) + 1)) bits.
+  uint64_t MultiplicitySize() const;
+  /// ||R||_u = Σ R(r): total multiset cardinality, overflow-checked.
+  Result<uint64_t> UnarySize() const;
+  /// ||R||_b = Σ ceil(log2(R(r) + 1)): binary representation size.
+  uint64_t BinarySize() const;
+
+  /// The support as a set-semantics Relation is provided by
+  /// Relation::SupportOf (see relation.h) to keep layering acyclic.
+
+  /// Tabular rendering ("a b : 3" rows) with attribute names.
+  std::string ToString(const AttributeCatalog& catalog) const;
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  Entries entries_;
+};
+
+/// Convenience builder: bag over `schema` from (values..., multiplicity)
+/// rows. Fails on arity mismatch or duplicate tuples.
+Result<Bag> MakeBag(const Schema& schema,
+                    const std::vector<std::pair<std::vector<Value>, uint64_t>>& rows);
+
+}  // namespace bagc

@@ -1,0 +1,152 @@
+#include "bag/bag_io.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace bagc {
+
+namespace {
+
+std::vector<std::string> SplitWhitespace(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string token;
+  while (iss >> token) out.push_back(token);
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& input) {
+  std::vector<std::string> lines;
+  std::istringstream iss(input);
+  std::string line;
+  while (std::getline(iss, line)) lines.push_back(line);
+  return lines;
+}
+
+// Strips a trailing comment and surrounding whitespace.
+std::string StripComment(const std::string& line) {
+  size_t hash = line.find('#');
+  std::string s = hash == std::string::npos ? line : line.substr(0, hash);
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+Result<int64_t> ParseInt(const std::string& token) {
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument("not an integer: '" + token + "'");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint(const std::string& token) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument("not a non-negative integer: '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog) {
+  std::string out = "bag";
+  for (AttrId a : bag.schema().attrs()) {
+    out += " " + catalog.Name(a);
+  }
+  out += "\n";
+  for (const auto& [t, mult] : bag.entries()) {
+    for (size_t i = 0; i < t.arity(); ++i) {
+      out += std::to_string(t.at(i)) + " ";
+    }
+    out += ": " + std::to_string(mult) + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+std::string WriteCollection(const std::vector<Bag>& bags,
+                            const AttributeCatalog& catalog) {
+  std::string out;
+  for (const Bag& bag : bags) out += WriteBag(bag, catalog);
+  return out;
+}
+
+Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
+                     AttributeCatalog* catalog) {
+  // Skip blank/comment lines.
+  while (*pos < lines.size() && StripComment(lines[*pos]).empty()) ++(*pos);
+  if (*pos >= lines.size()) {
+    return Status::InvalidArgument("expected 'bag' header, found end of input");
+  }
+  std::vector<std::string> header = SplitWhitespace(StripComment(lines[*pos]));
+  if (header.empty() || header[0] != "bag") {
+    return Status::InvalidArgument("expected 'bag <attrs...>' at line " +
+                                   std::to_string(*pos + 1));
+  }
+  ++(*pos);
+  std::vector<AttrId> attrs;
+  for (size_t i = 1; i < header.size(); ++i) {
+    attrs.push_back(catalog->Intern(header[i]));
+  }
+  Schema schema{attrs};
+  if (schema.arity() != header.size() - 1) {
+    return Status::InvalidArgument("duplicate attribute in bag header");
+  }
+  // The sorted schema layout may permute the header order: remember where
+  // each header column lands.
+  std::vector<size_t> slot_of_column(attrs.size());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    BAGC_ASSIGN_OR_RETURN(slot_of_column[i], schema.IndexOf(attrs[i]));
+  }
+  Bag bag(schema);
+  while (true) {
+    if (*pos >= lines.size()) {
+      return Status::InvalidArgument("unterminated bag block (missing 'end')");
+    }
+    std::string line = StripComment(lines[*pos]);
+    ++(*pos);
+    if (line.empty()) continue;
+    if (line == "end") break;
+    std::vector<std::string> tokens = SplitWhitespace(line);
+    // Expect: v1 ... vk : mult
+    if (tokens.size() != attrs.size() + 2 || tokens[attrs.size()] != ":") {
+      return Status::InvalidArgument("bad tuple line: '" + line + "'");
+    }
+    std::vector<Value> values(attrs.size());
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      BAGC_ASSIGN_OR_RETURN(int64_t v, ParseInt(tokens[i]));
+      values[slot_of_column[i]] = v;
+    }
+    BAGC_ASSIGN_OR_RETURN(uint64_t mult, ParseUint(tokens.back()));
+    Tuple t{std::move(values)};
+    if (bag.Multiplicity(t) != 0) {
+      return Status::InvalidArgument("duplicate tuple: '" + line + "'");
+    }
+    BAGC_RETURN_NOT_OK(bag.Set(t, mult));
+  }
+  return bag;
+}
+
+Result<std::vector<Bag>> ParseCollection(const std::string& input,
+                                         AttributeCatalog* catalog) {
+  std::vector<std::string> lines = SplitLines(input);
+  std::vector<Bag> bags;
+  size_t pos = 0;
+  while (true) {
+    while (pos < lines.size() && StripComment(lines[pos]).empty()) ++pos;
+    if (pos >= lines.size()) break;
+    BAGC_ASSIGN_OR_RETURN(Bag bag, ParseBag(lines, &pos, catalog));
+    bags.push_back(std::move(bag));
+  }
+  if (bags.empty()) {
+    return Status::InvalidArgument("no bag blocks found in input");
+  }
+  return bags;
+}
+
+}  // namespace bagc

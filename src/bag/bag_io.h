@@ -1,0 +1,39 @@
+// Text serialization for bags and collections. The format is line-based
+// and human-editable — the same shape as the paper's tabular examples:
+//
+//   bag A B            # schema line: attribute names
+//   1 2 : 3            # tuple values, colon, multiplicity
+//   2 2 : 1
+//   end
+//
+// A collection file is a sequence of bag blocks. Attribute names are
+// interned into the caller's catalog, so bags sharing names share ids.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bag/bag.h"
+#include "tuple/attribute.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Serializes one bag using catalog names.
+std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog);
+
+/// Serializes a whole collection (sequence of bag blocks).
+std::string WriteCollection(const std::vector<Bag>& bags,
+                            const AttributeCatalog& catalog);
+
+/// Parses one bag block from `input` starting at line `*pos`; advances
+/// *pos past the block. Attribute names are interned into `catalog`.
+Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
+                     AttributeCatalog* catalog);
+
+/// Parses an entire collection document.
+Result<std::vector<Bag>> ParseCollection(const std::string& input,
+                                         AttributeCatalog* catalog);
+
+}  // namespace bagc

@@ -1,0 +1,155 @@
+// K-relations over positive semirings — the §6 / [AK20] generalization the
+// paper closes with. A K-relation assigns to every tuple an annotation
+// from a semiring K; marginals sum annotations (Equation (2) with + of K),
+// joins multiply them. Bags are the Z>=0 instance and relations the
+// Boolean instance; this template makes that precise and lets the test
+// suite check that the specialized Bag/Relation code paths agree with the
+// generic semantics. The consistency theory for general K under the
+// *strict* notion of this paper is open (paper §6) — the template is the
+// substrate such an investigation needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "util/checked_math.h"
+#include "util/result.h"
+
+namespace bagc {
+
+// A positive semiring for KRelation must provide:
+//   using Value;                        annotation type
+//   static Value Zero();  static Value One();
+//   static Result<Value> Plus(Value, Value);
+//   static Result<Value> Times(Value, Value);
+//   static bool IsZero(const Value&);
+// Positivity (no zero divisors, a+b=0 => a=b=0) is what makes supports
+// behave; the instances below all satisfy it.
+
+/// The Boolean semiring B: K-relations over B are exactly relations.
+struct BoolSemiring {
+  using Value = bool;
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Result<Value> Plus(Value a, Value b) { return a || b; }
+  static Result<Value> Times(Value a, Value b) { return a && b; }
+  static bool IsZero(const Value& v) { return !v; }
+};
+
+/// The bag semiring Z>=0: K-relations over it are exactly bags.
+/// Arithmetic is overflow-checked like the Bag class.
+struct CountingSemiring {
+  using Value = uint64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Result<Value> Plus(Value a, Value b) { return CheckedAdd(a, b); }
+  static Result<Value> Times(Value a, Value b) { return CheckedMul(a, b); }
+  static bool IsZero(const Value& v) { return v == 0; }
+};
+
+/// The tropical (min, +) semiring over costs with +inf as zero. Positive;
+/// annotates tuples with best-derivation costs.
+struct TropicalSemiring {
+  using Value = uint64_t;
+  static constexpr Value kInfinity = ~uint64_t{0};
+  static Value Zero() { return kInfinity; }
+  static Value One() { return 0; }
+  static Result<Value> Plus(Value a, Value b) { return a < b ? a : b; }
+  static Result<Value> Times(Value a, Value b) {
+    if (a == kInfinity || b == kInfinity) return kInfinity;
+    return CheckedAdd(a, b);
+  }
+  static bool IsZero(const Value& v) { return v == kInfinity; }
+};
+
+/// \brief A finite-support K-relation over schema X.
+template <typename K>
+class KRelation {
+ public:
+  using Annotation = typename K::Value;
+  using Entries = std::map<Tuple, Annotation>;
+
+  KRelation() = default;
+  explicit KRelation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  const Entries& entries() const { return entries_; }
+  size_t SupportSize() const { return entries_.size(); }
+
+  /// Sets R(t) := a (erasing when a is the semiring zero).
+  Status Set(const Tuple& t, Annotation a) {
+    if (t.arity() != schema_.arity()) {
+      return Status::InvalidArgument("tuple arity does not match schema");
+    }
+    if (K::IsZero(a)) {
+      entries_.erase(t);
+    } else {
+      entries_[t] = std::move(a);
+    }
+    return Status::OK();
+  }
+
+  /// R(t); the semiring zero off the support.
+  Annotation At(const Tuple& t) const {
+    auto it = entries_.find(t);
+    return it == entries_.end() ? K::Zero() : it->second;
+  }
+
+  /// Combines a into R(t) with the semiring +.
+  Status Accumulate(const Tuple& t, const Annotation& a) {
+    BAGC_ASSIGN_OR_RETURN(Annotation sum, K::Plus(At(t), a));
+    return Set(t, std::move(sum));
+  }
+
+  /// Marginal R[Z]: Equation (2) with the semiring +; requires Z ⊆ X.
+  Result<KRelation> Marginal(const Schema& z) const {
+    BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(schema_, z));
+    KRelation out(z);
+    for (const auto& [t, a] : entries_) {
+      BAGC_RETURN_NOT_OK(out.Accumulate(t.Project(proj), a));
+    }
+    return out;
+  }
+
+  /// K-join: support = join of supports, annotation = product.
+  static Result<KRelation> Join(const KRelation& r, const KRelation& s) {
+    BAGC_ASSIGN_OR_RETURN(TupleJoiner joiner,
+                          TupleJoiner::Make(r.schema(), s.schema()));
+    KRelation out(joiner.joined_schema());
+    for (const auto& [x, xa] : r.entries_) {
+      for (const auto& [y, ya] : s.entries_) {
+        if (!joiner.Joinable(x, y)) continue;
+        BAGC_ASSIGN_OR_RETURN(Annotation prod, K::Times(xa, ya));
+        BAGC_RETURN_NOT_OK(out.Accumulate(joiner.Join(x, y), prod));
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const KRelation& o) const {
+    return schema_ == o.schema_ && entries_ == o.entries_;
+  }
+  bool operator!=(const KRelation& o) const { return !(*this == o); }
+
+ private:
+  Schema schema_;
+  Entries entries_;
+};
+
+/// Two K-relations are consistent (strict notion, paper §3 generalized)
+/// when some K-relation over X ∪ Y marginalizes onto both. As in the bag
+/// case, equality of shared marginals is *necessary*; whether it is
+/// sufficient for every positive semiring is the paper's closing open
+/// problem. This helper computes the necessary test.
+template <typename K>
+Result<bool> SharedMarginalsAgree(const KRelation<K>& r, const KRelation<K>& s) {
+  Schema z = Schema::Intersect(r.schema(), s.schema());
+  BAGC_ASSIGN_OR_RETURN(KRelation<K> rz, r.Marginal(z));
+  BAGC_ASSIGN_OR_RETURN(KRelation<K> sz, s.Marginal(z));
+  return rz == sz;
+}
+
+}  // namespace bagc

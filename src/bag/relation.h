@@ -1,0 +1,67 @@
+// Relation: a finite set of tuples over a schema — the Boolean-semiring
+// specialization of a bag (paper §2). This is the substrate for the
+// set-semantics baseline (§5.1) and for supports of bags.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bag/bag.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief A finite set of tuples over schema X (set semantics).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  Status Insert(const Tuple& t);
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  size_t size() const { return tuples_.size(); }
+  bool IsEmpty() const { return tuples_.empty(); }
+
+  const std::set<Tuple>& tuples() const { return tuples_; }
+
+  /// Projection R[Z] under set semantics; requires Z ⊆ X.
+  Result<Relation> Project(const Schema& z) const;
+
+  /// Natural join R ⋈ S.
+  static Result<Relation> Join(const Relation& r, const Relation& s);
+
+  /// Join of a whole list (left fold); errors on empty input.
+  static Result<Relation> JoinAll(const std::vector<Relation>& relations);
+
+  /// Semijoin R ⋉ S: the tuples of R that join with some tuple of S.
+  static Result<Relation> Semijoin(const Relation& r, const Relation& s);
+
+  bool operator==(const Relation& o) const {
+    return schema_ == o.schema_ && tuples_ == o.tuples_;
+  }
+  bool operator!=(const Relation& o) const { return !(*this == o); }
+
+  /// Supp(R) of a bag, as a Relation.
+  static Relation SupportOf(const Bag& bag);
+
+  /// The relation viewed as a 0/1 bag.
+  Bag ToBag() const;
+
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::set<Tuple> tuples_;
+};
+
+/// Convenience builder from value rows; duplicates are collapsed (sets).
+Result<Relation> MakeRelation(const Schema& schema,
+                              const std::vector<std::vector<Value>>& rows);
+
+}  // namespace bagc

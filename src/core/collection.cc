@@ -1,0 +1,54 @@
+#include "core/collection.h"
+
+namespace bagc {
+
+Result<BagCollection> BagCollection::Make(std::vector<Bag> bags) {
+  if (bags.empty()) {
+    return Status::InvalidArgument("a bag collection must contain at least one bag");
+  }
+  BagCollection out;
+  std::vector<Schema> schemas;
+  schemas.reserve(bags.size());
+  for (const Bag& b : bags) {
+    if (b.schema().empty()) {
+      // Hyperedges are non-empty; the empty-schema bag only appears as an
+      // intermediate object inside Lemma 4 lifting, never in a collection.
+      return Status::InvalidArgument("bag over the empty schema in a collection");
+    }
+    schemas.push_back(b.schema());
+  }
+  out.union_schema_ = Schema::UnionAll(schemas);
+  BAGC_ASSIGN_OR_RETURN(out.hypergraph_, Hypergraph::FromEdges(std::move(schemas)));
+  out.bags_ = std::move(bags);
+  return out;
+}
+
+Result<bool> BagCollection::IsWitness(const Bag& t) const {
+  if (t.schema() != union_schema_) return false;
+  for (const Bag& r : bags_) {
+    BAGC_ASSIGN_OR_RETURN(Bag marginal, t.Marginal(r.schema()));
+    if (marginal != r) return false;
+  }
+  return true;
+}
+
+Result<BagCollection> BagCollection::Subcollection(
+    const std::vector<size_t>& indices) const {
+  std::vector<Bag> subset;
+  subset.reserve(indices.size());
+  for (size_t i : indices) {
+    if (i >= bags_.size()) return Status::OutOfRange("subcollection index");
+    subset.push_back(bags_[i]);
+  }
+  return Make(std::move(subset));
+}
+
+std::string BagCollection::ToString() const {
+  std::string out = "Collection over " + hypergraph_.ToString() + ":\n";
+  for (size_t i = 0; i < bags_.size(); ++i) {
+    out += "R" + std::to_string(i + 1) + " = " + bags_[i].ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace bagc

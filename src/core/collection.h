@@ -1,0 +1,52 @@
+// Collections of bags over a hypergraph (paper §4): D = R1(X1),...,Rm(Xm)
+// where the Xi are the hyperedges. Pairwise / k-wise / global consistency
+// are defined here; the decision procedures live in pairwise.h and
+// global.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bag/bag.h"
+#include "hypergraph/hypergraph.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief An ordered collection of bags; the schema hypergraph is derived.
+///
+/// Schemas may repeat (the hypergraph's edge *set* then deduplicates), and
+/// the order of bags is preserved — constructions such as the Tseitin
+/// collection distinguish the last bag.
+class BagCollection {
+ public:
+  BagCollection() = default;
+
+  /// Builds a collection; fails on empty input.
+  static Result<BagCollection> Make(std::vector<Bag> bags);
+
+  size_t size() const { return bags_.size(); }
+  const Bag& bag(size_t i) const { return bags_[i]; }
+  const std::vector<Bag>& bags() const { return bags_; }
+
+  /// The schema hypergraph (vertices = all attributes, edges = schemas).
+  const Hypergraph& hypergraph() const { return hypergraph_; }
+
+  /// X1 ∪ ... ∪ Xm.
+  const Schema& union_schema() const { return union_schema_; }
+
+  /// Polynomial-time NP-certificate check: T[Xi] == Ri for all i.
+  Result<bool> IsWitness(const Bag& t) const;
+
+  /// The sub-collection {Ri : i ∈ indices}.
+  Result<BagCollection> Subcollection(const std::vector<size_t>& indices) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Bag> bags_;
+  Hypergraph hypergraph_;
+  Schema union_schema_;
+};
+
+}  // namespace bagc

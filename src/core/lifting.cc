@@ -1,0 +1,144 @@
+#include "core/lifting.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bagc {
+
+namespace {
+
+// Applies one op to an edge list.
+std::vector<Schema> ApplyOp(const std::vector<Schema>& edges, const LiftOp& op) {
+  std::vector<Schema> out;
+  if (op.kind == LiftOp::Kind::kVertex) {
+    out.reserve(edges.size());
+    Schema v{{op.vertex}};
+    for (const Schema& e : edges) out.push_back(Schema::Difference(e, v));
+  } else {
+    out = edges;
+    out.erase(out.begin() + op.position);
+  }
+  return out;
+}
+
+// Inserts `value` into `t` (over schema `to` minus attribute `a`) at the
+// slot that attribute `a` occupies in schema `to`.
+Result<Tuple> InsertAt(const Tuple& t, const Schema& to, AttrId a, Value value) {
+  BAGC_ASSIGN_OR_RETURN(size_t idx, to.IndexOf(a));
+  std::vector<Value> values;
+  values.reserve(t.arity() + 1);
+  for (size_t i = 0; i < idx; ++i) values.push_back(t.at(i));
+  values.push_back(value);
+  for (size_t i = idx; i < t.arity(); ++i) values.push_back(t.at(i));
+  return Tuple(std::move(values));
+}
+
+}  // namespace
+
+std::vector<std::vector<Schema>> LiftPlan::ForwardLists() const {
+  std::vector<std::vector<Schema>> lists;
+  lists.push_back(initial_edges);
+  for (const LiftOp& op : ops) {
+    lists.push_back(ApplyOp(lists.back(), op));
+  }
+  return lists;
+}
+
+Result<LiftPlan> PlanLiftToInduced(const std::vector<Schema>& edges, const Schema& w) {
+  LiftPlan plan;
+  plan.initial_edges = edges;
+  std::vector<Schema> current = edges;
+  // Delete every vertex outside W (in attribute order, deterministically).
+  Schema all = Schema::UnionAll(edges);
+  Schema outside = Schema::Difference(all, w);
+  for (AttrId a : outside.attrs()) {
+    LiftOp op;
+    op.kind = LiftOp::Kind::kVertex;
+    op.vertex = a;
+    current = ApplyOp(current, op);
+    plan.ops.push_back(op);
+  }
+  // Delete covered positions (including duplicates and empties) until the
+  // list is an antichain of distinct schemas.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t l = 0; l < current.size() && !progress; ++l) {
+      for (size_t j = 0; j < current.size(); ++j) {
+        if (j == l) continue;
+        if (current[l].IsSubsetOf(current[j])) {
+          LiftOp op;
+          op.kind = LiftOp::Kind::kCoveredEdge;
+          op.position = l;
+          op.cover_position = j;
+          current = ApplyOp(current, op);
+          plan.ops.push_back(op);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  plan.final_edges = std::move(current);
+  return plan;
+}
+
+Result<std::vector<Bag>> LiftCollection(const LiftPlan& plan,
+                                        const std::vector<Bag>& d0) {
+  std::vector<std::vector<Schema>> lists = plan.ForwardLists();
+  const std::vector<Schema>& final_list = lists.back();
+  if (d0.size() != final_list.size()) {
+    return Status::InvalidArgument("collection size does not match final edge list");
+  }
+  for (size_t i = 0; i < d0.size(); ++i) {
+    if (d0[i].schema() != final_list[i]) {
+      return Status::InvalidArgument("bag " + std::to_string(i) +
+                                     " schema does not match plan final edge");
+    }
+  }
+  std::vector<Bag> current = d0;
+  // Replay the ops backwards; lists[s] is the schema list *before* op s.
+  for (size_t s = plan.ops.size(); s-- > 0;) {
+    const LiftOp& op = plan.ops[s];
+    const std::vector<Schema>& before = lists[s];
+    std::vector<Bag> lifted;
+    lifted.reserve(before.size());
+    if (op.kind == LiftOp::Kind::kCoveredEdge) {
+      // D1[i] = D0[i'] for i != position; D1[position] = D0[cover'][X].
+      for (size_t i = 0; i < before.size(); ++i) {
+        if (i == op.position) {
+          size_t cover_after =
+              op.cover_position < op.position ? op.cover_position
+                                              : op.cover_position - 1;
+          BAGC_ASSIGN_OR_RETURN(Bag marginal,
+                                current[cover_after].Marginal(before[i]));
+          lifted.push_back(std::move(marginal));
+        } else {
+          size_t after = i < op.position ? i : i - 1;
+          lifted.push_back(current[after]);
+        }
+      }
+    } else {
+      // Vertex re-insertion: concentrate the deleted attribute on u0.
+      for (size_t i = 0; i < before.size(); ++i) {
+        const Schema& x = before[i];
+        if (!x.Contains(op.vertex)) {
+          lifted.push_back(current[i]);
+          continue;
+        }
+        Bag r(x);
+        for (const auto& [t, mult] : current[i].entries()) {
+          BAGC_ASSIGN_OR_RETURN(Tuple tx,
+                                InsertAt(t, x, op.vertex, plan.default_value));
+          BAGC_RETURN_NOT_OK(r.Set(tx, mult));
+        }
+        lifted.push_back(std::move(r));
+      }
+    }
+    current = std::move(lifted);
+  }
+  return current;
+}
+
+}  // namespace bagc

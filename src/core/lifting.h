@@ -1,0 +1,60 @@
+// Lemma 4: lifting bag collections backwards along safe-deletion
+// sequences. If H0 is obtained from H1 by safe deletions, then any
+// collection D0 over H0 lifts to a collection D1 over H1 with the *same*
+// k-wise consistency profile for every k. This is the glue between the
+// minimal obstructions (Cn / Hn with their Tseitin counterexamples) and
+// arbitrary cyclic hypergraphs in Theorem 2 Step 2, and between the
+// NP-hard cores and arbitrary cyclic schemas in Theorem 4.
+//
+// Lifting works on *edge lists* (ordered, possibly with duplicates or
+// empty schemas as intermediate states), because the per-edge bag
+// alignment of Lemma 4 is positional.
+#pragma once
+
+#include <vector>
+
+#include "bag/bag.h"
+#include "hypergraph/hypergraph.h"
+#include "tuple/schema.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// One list-level deletion operation.
+struct LiftOp {
+  enum class Kind { kVertex, kCoveredEdge };
+  Kind kind;
+  /// kVertex: the vertex removed from every schema in the list.
+  AttrId vertex = 0;
+  /// kCoveredEdge: the list position removed...
+  size_t position = 0;
+  /// ...and the position (in the pre-removal list) of a schema covering it.
+  size_t cover_position = 0;
+};
+
+/// \brief A replayable plan: the op sequence from an initial edge list down
+/// to a final edge list, with the default domain value u0 used when
+/// re-inserting deleted attributes.
+struct LiftPlan {
+  std::vector<Schema> initial_edges;
+  std::vector<LiftOp> ops;
+  std::vector<Schema> final_edges;
+  Value default_value = 0;
+
+  /// Applies `ops` to `initial_edges`, returning every intermediate list
+  /// (index s = list after s ops); the last entry equals final_edges.
+  std::vector<std::vector<Schema>> ForwardLists() const;
+};
+
+/// Builds the plan that deletes all vertices outside `w` and then removes
+/// covered edges until no removal is possible. The final edge list equals
+/// the edges of R(H[W]) (in some order) when starting from the edges of H.
+Result<LiftPlan> PlanLiftToInduced(const std::vector<Schema>& edges, const Schema& w);
+
+/// Lemma 4 lifting: given bags aligned positionally with plan.final_edges,
+/// produces bags aligned with plan.initial_edges such that, for every k,
+/// the input is k-wise consistent iff the output is.
+Result<std::vector<Bag>> LiftCollection(const LiftPlan& plan,
+                                        const std::vector<Bag>& d0);
+
+}  // namespace bagc

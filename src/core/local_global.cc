@@ -1,0 +1,43 @@
+#include "core/local_global.h"
+
+#include "core/lifting.h"
+#include "core/tseitin.h"
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/safe_deletion.h"
+
+namespace bagc {
+
+bool HasLocalToGlobalConsistencyForBags(const Hypergraph& h) {
+  return IsAcyclic(h);
+}
+
+Result<BagCollection> MakeCounterexample(const Hypergraph& h) {
+  if (IsAcyclic(h)) {
+    return Status::FailedPrecondition(
+        "hypergraph is acyclic: every pairwise consistent collection is "
+        "globally consistent (Theorem 2)");
+  }
+  BAGC_ASSIGN_OR_RETURN(Obstruction obs, FindObstruction(h));
+  BAGC_ASSIGN_OR_RETURN(std::vector<Bag> tseitin,
+                        MakeTseitinCollection(obs.minimal));
+  // Plan the list-level deletion sequence and align the Tseitin bags (in
+  // the minimal hypergraph's canonical order) with the plan's final list.
+  BAGC_ASSIGN_OR_RETURN(LiftPlan plan, PlanLiftToInduced(h.edges(), obs.w));
+  const std::vector<Schema>& minimal_edges = obs.minimal.edges();
+  if (plan.final_edges.size() != minimal_edges.size()) {
+    return Status::Internal("lift plan does not terminate at R(H[W])");
+  }
+  std::vector<Bag> d0;
+  d0.reserve(plan.final_edges.size());
+  for (const Schema& e : plan.final_edges) {
+    auto it = std::find(minimal_edges.begin(), minimal_edges.end(), e);
+    if (it == minimal_edges.end()) {
+      return Status::Internal("lift plan final edge not in R(H[W])");
+    }
+    d0.push_back(tseitin[static_cast<size_t>(it - minimal_edges.begin())]);
+  }
+  BAGC_ASSIGN_OR_RETURN(std::vector<Bag> lifted, LiftCollection(plan, d0));
+  return BagCollection::Make(std::move(lifted));
+}
+
+}  // namespace bagc

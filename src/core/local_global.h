@@ -1,0 +1,24 @@
+// Theorem 2, packaged: a hypergraph has the local-to-global consistency
+// property for bags iff it is acyclic. The constructive content of the
+// cyclic direction is MakeCounterexample: for any cyclic H it produces a
+// pairwise consistent, globally inconsistent collection over H's edges by
+// combining the Lemma 3 obstruction search, the Tseitin construction on
+// the minimal obstruction, and the Lemma 4 lifting.
+#pragma once
+
+#include "core/collection.h"
+#include "hypergraph/hypergraph.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Theorem 2 (a) <=> (e): decided structurally via acyclicity.
+bool HasLocalToGlobalConsistencyForBags(const Hypergraph& h);
+
+/// For a cyclic H, builds a collection of bags over the hyperedges of H
+/// that is pairwise consistent but not globally consistent. Fails with
+/// FailedPrecondition when H is acyclic (no such collection exists, by
+/// Theorem 2).
+Result<BagCollection> MakeCounterexample(const Hypergraph& h);
+
+}  // namespace bagc

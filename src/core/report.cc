@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include "core/pairwise.h"
+#include "hypergraph/acyclicity.h"
+
+namespace bagc {
+
+Result<ConsistencyReport> AnalyzeCollection(const BagCollection& collection,
+                                            const GlobalSolveOptions& options) {
+  ConsistencyReport report;
+  const Hypergraph& h = collection.hypergraph();
+  report.acyclic = IsAcyclic(h);
+  if (!report.acyclic) {
+    BAGC_ASSIGN_OR_RETURN(Obstruction obs, FindObstruction(h));
+    report.obstruction = std::move(obs);
+  }
+
+  std::pair<size_t, size_t> bad;
+  BAGC_ASSIGN_OR_RETURN(report.pairwise_consistent,
+                        ArePairwiseConsistent(collection, &bad));
+  if (!report.pairwise_consistent) {
+    report.failing_pair = bad;
+    // Pairwise inconsistency settles global inconsistency on both sides
+    // of the dichotomy.
+    report.global_decided = true;
+    report.globally_consistent = false;
+  } else if (report.acyclic) {
+    BAGC_ASSIGN_OR_RETURN(std::optional<Bag> witness,
+                          SolveGlobalConsistencyAcyclic(collection));
+    report.global_decided = true;
+    report.globally_consistent = witness.has_value();
+    report.witness = std::move(witness);
+  } else {
+    // The NP side: a budget miss is reported, not fatal.
+    Result<std::optional<Bag>> witness =
+        SolveGlobalConsistencyExact(collection, options);
+    if (witness.ok()) {
+      report.global_decided = true;
+      report.globally_consistent = witness->has_value();
+      report.witness = std::move(*witness);
+    } else if (witness.status().code() == StatusCode::kResourceExhausted) {
+      report.global_decided = false;
+    } else {
+      return witness.status();
+    }
+  }
+
+  if (report.witness.has_value()) {
+    report.witness_support = report.witness->SupportSize();
+    report.witness_max_multiplicity = report.witness->MultiplicityBound();
+  }
+  for (const Bag& b : collection.bags()) {
+    report.support_bound += b.SupportSize();
+  }
+  return report;
+}
+
+std::string ConsistencyReport::ToString(const AttributeCatalog& catalog) const {
+  std::string out;
+  out += "schema: ";
+  out += acyclic ? "acyclic" : "CYCLIC";
+  out += "\n";
+  if (obstruction.has_value()) {
+    out += "  obstruction: R(H[W]) = ";
+    out += obstruction->is_hn ? "H_n core " : "chordless cycle ";
+    out += obstruction->minimal.ToString();
+    out += "\n";
+  }
+  out += "pairwise: ";
+  out += pairwise_consistent ? "consistent" : "INCONSISTENT";
+  out += "\n";
+  if (failing_pair.has_value()) {
+    out += "  first failing pair: bags " + std::to_string(failing_pair->first + 1) +
+           " and " + std::to_string(failing_pair->second + 1) + "\n";
+  }
+  if (!global_decided) {
+    out += "global: UNDECIDED (search budget exhausted)\n";
+  } else if (globally_consistent) {
+    out += "global: consistent, witness support " +
+           std::to_string(witness_support) + " (Σ supports = " +
+           std::to_string(support_bound) + "), max multiplicity " +
+           std::to_string(witness_max_multiplicity) + "\n";
+    if (witness.has_value()) {
+      out += "witness schema " + witness->schema().ToString(catalog) + "\n";
+    }
+  } else {
+    out += "global: INCONSISTENT";
+    out += pairwise_consistent
+               ? " (pairwise consistent — a genuinely global obstruction)\n"
+               : " (already locally inconsistent)\n";
+  }
+  return out;
+}
+
+}  // namespace bagc

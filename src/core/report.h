@@ -1,0 +1,57 @@
+// Diagnostic front-end: one call that analyzes a collection the way the
+// paper's results say it should be analyzed — structure first (acyclic or
+// not, and if not, why: the Lemma 3 obstruction), then local consistency
+// (which pair fails), then global consistency via the appropriate side of
+// the Theorem 4 dichotomy. This is the API an application (or bagc_cli)
+// uses when it wants an explanation rather than a bit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/collection.h"
+#include "core/global.h"
+#include "hypergraph/safe_deletion.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief Everything bagc can say about one collection.
+struct ConsistencyReport {
+  // ---- structure ----
+  bool acyclic = false;
+  /// For cyclic schemas: the minimal obstruction (Cn or Hn core).
+  std::optional<Obstruction> obstruction;
+
+  // ---- local consistency ----
+  bool pairwise_consistent = false;
+  /// First failing pair when not pairwise consistent.
+  std::optional<std::pair<size_t, size_t>> failing_pair;
+
+  // ---- global consistency ----
+  /// Whether the exact decision completed (the cyclic side can exhaust
+  /// its search budget; then this is false and `global_*` is unset).
+  bool global_decided = false;
+  bool globally_consistent = false;
+  std::optional<Bag> witness;
+
+  // ---- witness statistics (when a witness exists) ----
+  size_t witness_support = 0;
+  uint64_t witness_max_multiplicity = 0;
+  /// Theorem 6 bound Σ ||Ri||supp (acyclic) for context.
+  uint64_t support_bound = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString(const AttributeCatalog& catalog) const;
+};
+
+/// Analyzes `collection` end-to-end. Never fails on inconsistent input —
+/// inconsistency is a *finding*; only internal errors (overflow, budget
+/// exhaustion on the NP side) surface as non-OK Status via
+/// `global_decided == false` plus the returned report.
+Result<ConsistencyReport> AnalyzeCollection(const BagCollection& collection,
+                                            const GlobalSolveOptions& options = {});
+
+}  // namespace bagc

@@ -1,0 +1,27 @@
+// The Tseitin-style construction of Theorem 2, Step 2: for a k-uniform,
+// d-regular hypergraph H* with d >= 2 and hyperedges X1..Xm, the
+// collection C(H*) assigns to each edge the 0/1 bag whose support is the
+// set of tuples Xi -> {0..d-1} with coordinate sum ≡ 0 (mod d) — except
+// the *last* edge, which uses sum ≡ 1 (mod d). C(H*) is pairwise
+// consistent (every shared marginal is the constant d^(k-|Z|-1) bag) but
+// not globally consistent (summing the charges gives 0 ≡ 1 mod d).
+#pragma once
+
+#include <vector>
+
+#include "bag/bag.h"
+#include "hypergraph/hypergraph.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Builds C(H*); fails unless H* is k-uniform and d-regular with d >= 2
+/// and has at least 2 edges. Bags are returned in the hypergraph's
+/// canonical edge order; the last bag carries the ≡ 1 (mod d) charge.
+Result<std::vector<Bag>> MakeTseitinCollection(const Hypergraph& h);
+
+/// The common shared-marginal multiplicity d^(k - |Z| - 1) used by the
+/// pairwise-consistency argument; exposed for tests.
+uint64_t TseitinMarginalMultiplicity(size_t d, size_t k, size_t shared_arity);
+
+}  // namespace bagc

@@ -1,0 +1,35 @@
+// Consistency of two bags (paper §3). Lemma 2 gives five equivalent
+// characterizations; this module exposes:
+//   - the O(sort) decision procedure  R[X∩Y] == S[X∩Y]          (Lemma 2(2))
+//   - witness construction via saturated max-flow on N(R, S)    (Corollary 1)
+//   - *minimal* witness construction by middle-edge
+//     self-reducibility                                          (§5.3, Cor. 4)
+// A minimal witness has support size at most ||R||supp + ||S||supp
+// (Theorem 5, via Carathéodory).
+#pragma once
+
+#include <optional>
+
+#include "bag/bag.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Lemma 2(2): R and S are consistent iff their marginals on the shared
+/// attributes coincide. Runs in time O(|R'| + |S'|) map operations.
+Result<bool> AreConsistent(const Bag& r, const Bag& s);
+
+/// True iff T[X] == R and T[Y] == S (the definition of "T witnesses the
+/// consistency of R and S").
+Result<bool> IsWitness(const Bag& t, const Bag& r, const Bag& s);
+
+/// Builds a witness of consistency via an integral saturated flow of
+/// N(R, S); returns nullopt when R and S are inconsistent.
+Result<std::optional<Bag>> FindWitness(const Bag& r, const Bag& s);
+
+/// Builds a *minimal* witness (no witness has strictly smaller support) by
+/// deleting middle edges one at a time and re-solving (§5.3). Costs at most
+/// |R' ⋈ S'| max-flow computations. Returns nullopt when inconsistent.
+Result<std::optional<Bag>> FindMinimalWitness(const Bag& r, const Bag& s);
+
+}  // namespace bagc

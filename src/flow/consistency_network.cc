@@ -1,0 +1,101 @@
+#include "flow/consistency_network.h"
+
+#include <map>
+
+#include "util/checked_math.h"
+
+namespace bagc {
+
+Result<ConsistencyNetwork> ConsistencyNetwork::Make(const Bag& r, const Bag& s) {
+  ConsistencyNetwork cn;
+  BAGC_ASSIGN_OR_RETURN(TupleJoiner joiner, TupleJoiner::Make(r.schema(), s.schema()));
+  cn.joined_schema_ = joiner.joined_schema();
+
+  // Vertex numbering: 0 = source, 1..|R'| = R tuples, then S tuples, then
+  // sink last.
+  size_t nr = r.SupportSize();
+  size_t ns = s.SupportSize();
+  cn.net_ = FlowNetwork(2 + nr + ns);
+  cn.source_ = 0;
+  cn.sink_ = 1 + nr + ns;
+
+  std::map<Tuple, size_t> r_index;
+  std::map<Tuple, size_t> s_index;
+  {
+    size_t v = 1;
+    for (const auto& [t, mult] : r.entries()) {
+      r_index.emplace(t, v);
+      BAGC_RETURN_NOT_OK(cn.net_.AddEdge(cn.source_, v, mult).status());
+      BAGC_ASSIGN_OR_RETURN(cn.source_capacity_,
+                            CheckedAdd(cn.source_capacity_, mult));
+      ++v;
+    }
+    for (const auto& [t, mult] : s.entries()) {
+      s_index.emplace(t, v);
+      BAGC_RETURN_NOT_OK(cn.net_.AddEdge(v, cn.sink_, mult).status());
+      BAGC_ASSIGN_OR_RETURN(cn.sink_capacity_, CheckedAdd(cn.sink_capacity_, mult));
+      ++v;
+    }
+  }
+  if (cn.source_capacity_ > FlowNetwork::kUnbounded ||
+      cn.sink_capacity_ > FlowNetwork::kUnbounded) {
+    return Status::ResourceExhausted("bag cardinalities exceed flow capacity range");
+  }
+
+  // Middle edges: one per join tuple of the supports, grouped via a hash
+  // join on the shared attributes.
+  BAGC_ASSIGN_OR_RETURN(Projector r_shared,
+                        Projector::Make(r.schema(), joiner.shared_schema()));
+  BAGC_ASSIGN_OR_RETURN(Projector s_shared,
+                        Projector::Make(s.schema(), joiner.shared_schema()));
+  std::map<Tuple, std::vector<const Tuple*>> index;
+  for (const auto& [t, mult] : s.entries()) {
+    (void)mult;
+    index[t.Project(s_shared)].push_back(&t);
+  }
+  for (const auto& [x, mult] : r.entries()) {
+    (void)mult;
+    auto it = index.find(x.Project(r_shared));
+    if (it == index.end()) continue;
+    for (const Tuple* y : it->second) {
+      BAGC_ASSIGN_OR_RETURN(
+          FlowNetwork::EdgeId eid,
+          cn.net_.AddEdge(r_index.at(x), s_index.at(*y), FlowNetwork::kUnbounded));
+      cn.middle_.push_back({joiner.Join(x, *y), eid});
+    }
+  }
+  return cn;
+}
+
+Result<bool> ConsistencyNetwork::HasSaturatedFlow() {
+  if (source_capacity_ != sink_capacity_) {
+    // A saturated flow must move exactly both totals; different totals make
+    // saturation impossible (and indeed R[Z] != S[Z] then).
+    return false;
+  }
+  BAGC_ASSIGN_OR_RETURN(uint64_t value, net_.Solve(source_, sink_));
+  return value == source_capacity_;
+}
+
+Result<Bag> ConsistencyNetwork::ExtractWitness() const {
+  Bag witness(joined_schema_);
+  for (const MiddleEdge& me : middle_) {
+    uint64_t f = net_.FlowOn(me.edge);
+    if (f > 0) {
+      BAGC_RETURN_NOT_OK(witness.Add(me.tuple, f));
+    }
+  }
+  return witness;
+}
+
+Status ConsistencyNetwork::SuppressMiddleEdge(size_t i) {
+  if (i >= middle_.size()) return Status::InvalidArgument("middle edge out of range");
+  return net_.SetCapacity(middle_[i].edge, 0);
+}
+
+Status ConsistencyNetwork::RestoreMiddleEdge(size_t i) {
+  if (i >= middle_.size()) return Status::InvalidArgument("middle edge out of range");
+  return net_.SetCapacity(middle_[i].edge, FlowNetwork::kUnbounded);
+}
+
+}  // namespace bagc

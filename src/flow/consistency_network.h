@@ -1,0 +1,68 @@
+// The network N(R, S) of §3: source -> support tuples of R (capacity R(r))
+// -> middle edges for each join tuple t in R' ⋈ S' (unbounded capacity) ->
+// support tuples of S (capacity S(s)) -> sink. R and S are consistent iff
+// N(R, S) admits a saturated flow (Lemma 2, (1) <=> (5)); an integral
+// saturated flow *is* a witness bag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bag/bag.h"
+#include "flow/network.h"
+#include "tuple/tuple.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief N(R, S) plus the bookkeeping to map flows back to witness bags.
+class ConsistencyNetwork {
+ public:
+  /// Builds N(R, S). Fails on schema errors or overflowing capacities.
+  static Result<ConsistencyNetwork> Make(const Bag& r, const Bag& s);
+
+  /// Sum of source-side capacities (= ||R||_u); a flow saturates iff its
+  /// value equals this and also equals ||S||_u.
+  uint64_t SourceCapacity() const { return source_capacity_; }
+  uint64_t SinkCapacity() const { return sink_capacity_; }
+
+  size_t NumMiddleEdges() const { return middle_.size(); }
+
+  /// The join tuple (over schema XY) of middle edge i.
+  const Tuple& MiddleTuple(size_t i) const { return middle_[i].tuple; }
+
+  /// Runs max-flow; returns true iff a saturated flow exists.
+  Result<bool> HasSaturatedFlow();
+
+  /// After a successful HasSaturatedFlow() == true, extracts the witness
+  /// bag T(XY) with T(t) = flow on t's middle edge.
+  Result<Bag> ExtractWitness() const;
+
+  /// Suppresses middle edge i (capacity 0) / restores it. Used by the
+  /// §5.3 minimal-witness loop.
+  Status SuppressMiddleEdge(size_t i);
+  Status RestoreMiddleEdge(size_t i);
+
+  /// Flow currently on middle edge i.
+  uint64_t MiddleFlow(size_t i) const { return net_.FlowOn(middle_[i].edge); }
+
+  const Schema& joined_schema() const { return joined_schema_; }
+
+ private:
+  struct MiddleEdge {
+    Tuple tuple;  // join tuple over XY
+    FlowNetwork::EdgeId edge;
+  };
+
+  ConsistencyNetwork() : net_(0) {}
+
+  FlowNetwork net_;
+  Schema joined_schema_;
+  std::vector<MiddleEdge> middle_;
+  uint64_t source_capacity_ = 0;
+  uint64_t sink_capacity_ = 0;
+  size_t source_ = 0;
+  size_t sink_ = 0;
+};
+
+}  // namespace bagc

@@ -1,0 +1,99 @@
+#include "flow/network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace bagc {
+
+FlowNetwork::FlowNetwork(size_t num_vertices) : graph_(num_vertices) {}
+
+Result<FlowNetwork::EdgeId> FlowNetwork::AddEdge(size_t u, size_t v,
+                                                 uint64_t capacity) {
+  if (u >= graph_.size() || v >= graph_.size()) {
+    return Status::InvalidArgument("flow edge endpoint out of range");
+  }
+  if (capacity > kUnbounded) {
+    return Status::InvalidArgument("capacity exceeds kUnbounded");
+  }
+  EdgeId id = edges_.size() / 2;
+  graph_[u].push_back(edges_.size());
+  edges_.push_back({v, capacity, capacity});
+  graph_[v].push_back(edges_.size());
+  edges_.push_back({u, 0, 0});
+  return id;
+}
+
+bool FlowNetwork::Bfs(size_t s, size_t t) {
+  level_.assign(graph_.size(), -1);
+  std::vector<size_t> queue = {s};
+  level_[s] = 0;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    size_t v = queue[qi];
+    for (size_t eid : graph_[v]) {
+      const Edge& e = edges_[eid];
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push_back(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+uint64_t FlowNetwork::Dfs(size_t v, size_t t, uint64_t limit) {
+  if (v == t) return limit;
+  for (size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    size_t eid = graph_[v][i];
+    Edge& e = edges_[eid];
+    if (e.cap == 0 || level_[e.to] != level_[v] + 1) continue;
+    uint64_t pushed = Dfs(e.to, t, std::min(limit, e.cap));
+    if (pushed > 0) {
+      e.cap -= pushed;
+      edges_[eid ^ 1].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+Result<uint64_t> FlowNetwork::Solve(size_t s, size_t t) {
+  if (s >= graph_.size() || t >= graph_.size() || s == t) {
+    return Status::InvalidArgument("invalid source/sink");
+  }
+  // Reset residual capacities to originals.
+  for (Edge& e : edges_) e.cap = e.orig;
+  uint64_t total = 0;
+  while (Bfs(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    while (uint64_t pushed = Dfs(s, t, kUnbounded)) {
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+uint64_t FlowNetwork::FlowOn(EdgeId id) const {
+  BAGC_DCHECK(2 * id + 1 < edges_.size());
+  // Forward edge 2*id: flow = original capacity - residual capacity.
+  const Edge& fwd = edges_[2 * id];
+  return fwd.orig - fwd.cap;
+}
+
+uint64_t FlowNetwork::CapacityOf(EdgeId id) const {
+  BAGC_DCHECK(2 * id < edges_.size());
+  return edges_[2 * id].orig;
+}
+
+Status FlowNetwork::SetCapacity(EdgeId id, uint64_t capacity) {
+  if (2 * id >= edges_.size()) {
+    return Status::InvalidArgument("edge id out of range");
+  }
+  if (capacity > kUnbounded) {
+    return Status::InvalidArgument("capacity exceeds kUnbounded");
+  }
+  edges_[2 * id].orig = capacity;
+  return Status::OK();
+}
+
+}  // namespace bagc

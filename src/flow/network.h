@@ -1,0 +1,67 @@
+// Flow networks and Dinic's max-flow algorithm. This is the strongly
+// polynomial substrate behind Lemma 2 (two-bag consistency) and the
+// minimal-witness construction of §5.3. Capacities and flows are exact
+// 64-bit integers; the integrality theorem for max flow then yields integer
+// witnesses directly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief Directed flow network with integer capacities.
+///
+/// Edges are added in pairs (forward + residual back-edge). EdgeIds returned
+/// by AddEdge are stable and can be used to read back the flow on specific
+/// edges after Solve().
+class FlowNetwork {
+ public:
+  using EdgeId = size_t;
+
+  /// Capacity value treated as "unbounded" (paper: the middle edges of
+  /// N(R,S) have very large capacity).
+  static constexpr uint64_t kUnbounded = std::numeric_limits<uint64_t>::max() / 4;
+
+  explicit FlowNetwork(size_t num_vertices);
+
+  size_t num_vertices() const { return graph_.size(); }
+  size_t num_edges() const { return edges_.size() / 2; }
+
+  /// Adds a directed edge u -> v with the given capacity; returns its id.
+  Result<EdgeId> AddEdge(size_t u, size_t v, uint64_t capacity);
+
+  /// Computes a maximum s-t flow (Dinic, O(V^2 E)); returns its value.
+  /// Resets any previous flow.
+  Result<uint64_t> Solve(size_t s, size_t t);
+
+  /// Flow currently on edge `id` (after Solve).
+  uint64_t FlowOn(EdgeId id) const;
+
+  /// Capacity of edge `id`.
+  uint64_t CapacityOf(EdgeId id) const;
+
+  /// Temporarily sets the capacity of an edge (used by the minimal-witness
+  /// self-reducibility loop, which suppresses middle edges one at a time).
+  Status SetCapacity(EdgeId id, uint64_t capacity);
+
+ private:
+  struct Edge {
+    size_t to;
+    uint64_t cap;   // residual capacity
+    uint64_t orig;  // original capacity
+  };
+
+  bool Bfs(size_t s, size_t t);
+  uint64_t Dfs(size_t v, size_t t, uint64_t limit);
+
+  std::vector<Edge> edges_;                 // edge 2k = forward, 2k+1 = back
+  std::vector<std::vector<size_t>> graph_;  // adjacency: edge indices
+  std::vector<int> level_;
+  std::vector<size_t> iter_;
+};
+
+}  // namespace bagc

@@ -1,0 +1,72 @@
+#include "generators/workloads.h"
+
+namespace bagc {
+
+Result<Bag> MakeRandomBag(const Schema& schema, const BagGenOptions& options,
+                          Rng* rng) {
+  Bag bag(schema);
+  for (size_t i = 0; i < options.support_size; ++i) {
+    std::vector<Value> values(schema.arity());
+    for (Value& v : values) {
+      v = static_cast<Value>(rng->Below(options.domain_size));
+    }
+    BAGC_RETURN_NOT_OK(
+        bag.Add(Tuple{std::move(values)}, rng->Range(1, options.max_multiplicity)));
+  }
+  return bag;
+}
+
+Result<std::pair<Bag, Bag>> MakeConsistentPair(const Schema& x, const Schema& y,
+                                               const BagGenOptions& options,
+                                               Rng* rng) {
+  Schema xy = Schema::Union(x, y);
+  BAGC_ASSIGN_OR_RETURN(Bag hidden, MakeRandomBag(xy, options, rng));
+  BAGC_ASSIGN_OR_RETURN(Bag r, hidden.Marginal(x));
+  BAGC_ASSIGN_OR_RETURN(Bag s, hidden.Marginal(y));
+  return std::make_pair(std::move(r), std::move(s));
+}
+
+Result<std::pair<Bag, Bag>> MakeInconsistentPair(const Schema& x, const Schema& y,
+                                                 const BagGenOptions& options,
+                                                 Rng* rng) {
+  BAGC_ASSIGN_OR_RETURN(auto pair, MakeConsistentPair(x, y, options, rng));
+  Bag& r = pair.first;
+  if (r.IsEmpty()) {
+    // Degenerate sample; add a tuple to R only, breaking the empty/empty
+    // equality of the shared marginals.
+    std::vector<Value> values(x.arity(), 0);
+    BAGC_RETURN_NOT_OK(r.Set(Tuple{std::move(values)}, 1));
+    return pair;
+  }
+  // Bump one multiplicity of R. When X ∩ Y is non-empty this changes the
+  // shared marginal (S unchanged); when the intersection is empty it
+  // changes the total cardinality, which is the ∅-marginal.
+  size_t pick = static_cast<size_t>(rng->Below(r.SupportSize()));
+  auto it = r.entries().begin();
+  std::advance(it, pick);
+  Tuple t = it->first;
+  uint64_t mult = it->second;
+  BAGC_RETURN_NOT_OK(r.Set(t, mult + 1));
+  return pair;
+}
+
+Result<BagCollection> MakeGloballyConsistentCollection(const Hypergraph& h,
+                                                       const BagGenOptions& options,
+                                                       Rng* rng) {
+  Schema all = Schema::UnionAll(h.edges());
+  BAGC_ASSIGN_OR_RETURN(Bag hidden, MakeRandomBag(all, options, rng));
+  if (hidden.IsEmpty()) {
+    // Ensure a non-trivial witness exists.
+    std::vector<Value> values(all.arity(), 0);
+    BAGC_RETURN_NOT_OK(hidden.Set(Tuple{std::move(values)}, 1));
+  }
+  std::vector<Bag> bags;
+  bags.reserve(h.num_edges());
+  for (const Schema& e : h.edges()) {
+    BAGC_ASSIGN_OR_RETURN(Bag marginal, hidden.Marginal(e));
+    bags.push_back(std::move(marginal));
+  }
+  return BagCollection::Make(std::move(bags));
+}
+
+}  // namespace bagc

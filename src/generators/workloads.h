@@ -1,0 +1,51 @@
+// Workload generators for the experiment harness. Every generator is
+// deterministic given a seed; the "hidden witness" generators produce
+// collections that are globally consistent *by construction* (sample a
+// witness over the union schema, then marginalize onto each hyperedge),
+// and the perturbers break consistency in controlled ways.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bag/bag.h"
+#include "core/collection.h"
+#include "hypergraph/hypergraph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Parameters shared by the random bag generators.
+struct BagGenOptions {
+  /// Number of distinct tuples to aim for (duplicates merge).
+  size_t support_size = 16;
+  /// Values are drawn uniformly from [0, domain_size).
+  uint64_t domain_size = 4;
+  /// Multiplicities are drawn uniformly from [1, max_multiplicity].
+  uint64_t max_multiplicity = 8;
+};
+
+/// A random bag over `schema`.
+Result<Bag> MakeRandomBag(const Schema& schema, const BagGenOptions& options,
+                          Rng* rng);
+
+/// A consistent pair (R, S) over (x, y): sample a hidden witness over
+/// X ∪ Y and marginalize. Returns {R, S}.
+Result<std::pair<Bag, Bag>> MakeConsistentPair(const Schema& x, const Schema& y,
+                                               const BagGenOptions& options,
+                                               Rng* rng);
+
+/// A pair over (x, y) that is *inconsistent* (perturbs one multiplicity of
+/// a consistent pair on a shared-marginal-affecting tuple).
+Result<std::pair<Bag, Bag>> MakeInconsistentPair(const Schema& x, const Schema& y,
+                                                 const BagGenOptions& options,
+                                                 Rng* rng);
+
+/// A globally consistent collection over the hyperedges of `h`, via a
+/// hidden witness.
+Result<BagCollection> MakeGloballyConsistentCollection(const Hypergraph& h,
+                                                       const BagGenOptions& options,
+                                                       Rng* rng);
+
+}  // namespace bagc

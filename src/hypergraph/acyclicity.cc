@@ -1,0 +1,225 @@
+#include "hypergraph/acyclicity.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "hypergraph/chordality.h"
+#include "hypergraph/conformality.h"
+#include "util/logging.h"
+
+namespace bagc {
+
+bool IsAcyclicGyo(const Hypergraph& h, std::vector<GyoStep>* trace) {
+  // Work on a mutable copy of the edge list (as attribute vectors).
+  std::vector<Schema> edges = h.edges();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // (1) Remove ear vertices: vertices in exactly one edge.
+    std::map<AttrId, size_t> occurrences;
+    for (const Schema& e : edges) {
+      for (AttrId a : e.attrs()) ++occurrences[a];
+    }
+    for (size_t i = 0; i < edges.size(); ++i) {
+      std::vector<AttrId> kept;
+      for (AttrId a : edges[i].attrs()) {
+        if (occurrences[a] == 1) {
+          if (trace) {
+            trace->push_back(
+                {GyoStep::Kind::kRemoveEar, a, Schema{}, Schema{}});
+          }
+          changed = true;
+        } else {
+          kept.push_back(a);
+        }
+      }
+      if (kept.size() != edges[i].arity()) edges[i] = Schema{kept};
+    }
+    // Drop edges that became empty.
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [](const Schema& e) { return e.empty(); }),
+                edges.end());
+    // (2) Remove covered edges (including duplicates).
+    for (size_t i = 0; i < edges.size(); ++i) {
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (i == j) continue;
+        if (edges[i].IsSubsetOf(edges[j])) {
+          if (trace) {
+            trace->push_back(
+                {GyoStep::Kind::kRemoveCoveredEdge, 0, edges[i], edges[j]});
+          }
+          edges.erase(edges.begin() + i);
+          changed = true;
+          --i;
+          break;
+        }
+      }
+    }
+  }
+  return edges.size() <= 1;
+}
+
+bool IsAcyclicByConformalChordal(const Hypergraph& h) {
+  return IsConformal(h) && IsChordal(h);
+}
+
+bool JoinTree::Verify() const {
+  size_t m = nodes.size();
+  if (m == 0) return true;
+  if (tree_edges.size() + 1 != m) return false;
+  // Adjacency.
+  std::vector<std::vector<size_t>> adj(m);
+  for (const auto& [i, j] : tree_edges) {
+    if (i >= m || j >= m || i == j) return false;
+    adj[i].push_back(j);
+    adj[j].push_back(i);
+  }
+  // Spanning: connected with m-1 edges => tree.
+  std::vector<bool> seen(m, false);
+  std::vector<size_t> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    for (size_t u : adj[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  if (count != m) return false;
+  // Subtree condition per vertex: the nodes containing v induce a connected
+  // subgraph of the tree.
+  Schema all = Schema::UnionAll(nodes);
+  for (AttrId v : all.attrs()) {
+    std::vector<size_t> holders;
+    for (size_t i = 0; i < m; ++i) {
+      if (nodes[i].Contains(v)) holders.push_back(i);
+    }
+    if (holders.empty()) continue;
+    std::vector<bool> in_set(m, false);
+    for (size_t i : holders) in_set[i] = true;
+    std::vector<bool> visited(m, false);
+    std::vector<size_t> st = {holders[0]};
+    visited[holders[0]] = true;
+    size_t reached = 1;
+    while (!st.empty()) {
+      size_t x = st.back();
+      st.pop_back();
+      for (size_t u : adj[x]) {
+        if (in_set[u] && !visited[u]) {
+          visited[u] = true;
+          ++reached;
+          st.push_back(u);
+        }
+      }
+    }
+    if (reached != holders.size()) return false;
+  }
+  return true;
+}
+
+Result<JoinTree> BuildJoinTree(const Hypergraph& h) {
+  size_t m = h.num_edges();
+  JoinTree jt;
+  jt.nodes = h.edges();
+  if (m <= 1) return jt;
+  // Kruskal on the complete graph with weight |Xi ∩ Xj|, maximizing.
+  struct Cand {
+    size_t w;
+    size_t i;
+    size_t j;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(m * (m - 1) / 2);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      cands.push_back({Schema::Intersect(jt.nodes[i], jt.nodes[j]).arity(), i, j});
+    }
+  }
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& a, const Cand& b) { return a.w > b.w; });
+  // Union-find.
+  std::vector<size_t> parent(m);
+  std::iota(parent.begin(), parent.end(), size_t{0});
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Cand& c : cands) {
+    size_t a = find(c.i), b = find(c.j);
+    if (a == b) continue;
+    parent[a] = b;
+    jt.tree_edges.emplace_back(c.i, c.j);
+    if (jt.tree_edges.size() == m - 1) break;
+  }
+  if (!jt.Verify()) {
+    return Status::FailedPrecondition(
+        "hypergraph is cyclic: maximum-weight spanning tree is not a join tree");
+  }
+  return jt;
+}
+
+Result<std::vector<size_t>> RunningIntersectionOrder(const Hypergraph& h) {
+  BAGC_ASSIGN_OR_RETURN(JoinTree jt, BuildJoinTree(h));
+  size_t m = jt.nodes.size();
+  std::vector<size_t> order;
+  if (m == 0) return order;
+  std::vector<std::vector<size_t>> adj(m);
+  for (const auto& [i, j] : jt.tree_edges) {
+    adj[i].push_back(j);
+    adj[j].push_back(i);
+  }
+  // BFS from the root (node 0): parents precede children, which gives the
+  // running intersection property with j = parent.
+  std::vector<bool> seen(m, false);
+  std::vector<size_t> queue = {0};
+  seen[0] = true;
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    size_t v = queue[qi];
+    order.push_back(v);
+    for (size_t u : adj[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  BAGC_CHECK(order.size() == m);
+  return order;
+}
+
+bool VerifyRunningIntersection(const Hypergraph& h, const std::vector<size_t>& order) {
+  const std::vector<Schema>& edges = h.edges();
+  if (order.size() != edges.size()) return false;
+  std::vector<bool> used(edges.size(), false);
+  for (size_t idx : order) {
+    if (idx >= edges.size() || used[idx]) return false;
+    used[idx] = true;
+  }
+  Schema prefix_union;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) {
+      Schema shared = Schema::Intersect(edges[order[i]], prefix_union);
+      bool ok = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (shared.IsSubsetOf(edges[order[j]])) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return false;
+    }
+    prefix_union = Schema::Union(prefix_union, edges[order[i]]);
+  }
+  return true;
+}
+
+}  // namespace bagc

@@ -1,0 +1,67 @@
+// Hypergraph acyclicity (α-acyclicity) and its certificates: GYO/Graham
+// reduction, join trees via maximum-weight spanning trees, and
+// running-intersection orderings (paper §4, Theorem 1/2 statements (a),
+// (c), (d)).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// One step of the GYO (Graham) reduction.
+struct GyoStep {
+  enum class Kind { kRemoveEar, kRemoveCoveredEdge };
+  Kind kind;
+  /// kRemoveEar: the vertex removed (it appeared in exactly one edge).
+  AttrId vertex = 0;
+  /// kRemoveCoveredEdge: the edge removed and an edge covering it.
+  Schema edge;
+  Schema cover;
+};
+
+/// GYO reduction: repeatedly removes "ear" vertices (vertices occurring in
+/// exactly one hyperedge) and covered hyperedges. H is acyclic iff the
+/// reduction terminates with at most one hyperedge. The steps are appended
+/// to `trace` when non-null.
+bool IsAcyclicGyo(const Hypergraph& h, std::vector<GyoStep>* trace = nullptr);
+
+/// Acyclicity via Theorem 1(b): conformal and chordal.
+bool IsAcyclicByConformalChordal(const Hypergraph& h);
+
+/// Default acyclicity test (GYO).
+inline bool IsAcyclic(const Hypergraph& h) { return IsAcyclicGyo(h); }
+
+/// \brief A join tree for a hypergraph: a tree on its hyperedges such that
+/// for every vertex v the hyperedges containing v form a subtree.
+struct JoinTree {
+  /// The hyperedges, in the hypergraph's canonical edge order.
+  std::vector<Schema> nodes;
+  /// Undirected tree edges as (i, j) index pairs, i < j.
+  std::vector<std::pair<size_t, size_t>> tree_edges;
+
+  /// Checks the connected-subtree condition for every vertex, and that
+  /// tree_edges is a spanning tree of nodes.
+  bool Verify() const;
+};
+
+/// Builds a join tree via a maximum-weight spanning tree of the
+/// intersection graph (weights |Xi ∩ Xj|), the Bernstein–Goodman
+/// construction; fails with FailedPrecondition when H is cyclic.
+Result<JoinTree> BuildJoinTree(const Hypergraph& h);
+
+/// An ordering of edge indices witnessing the running intersection
+/// property: for every i >= 1 (0-based), there is j < i with
+/// X_order[i] ∩ (X_order[0] ∪ ... ∪ X_order[i-1]) ⊆ X_order[j].
+/// Derived from a rooted join tree; fails when H is cyclic.
+Result<std::vector<size_t>> RunningIntersectionOrder(const Hypergraph& h);
+
+/// Verifies the running intersection property of `order` (a permutation of
+/// 0..m-1) for H's edge list.
+bool VerifyRunningIntersection(const Hypergraph& h, const std::vector<size_t>& order);
+
+}  // namespace bagc

@@ -1,0 +1,79 @@
+#include "hypergraph/chordality.h"
+
+#include <algorithm>
+#include <list>
+
+namespace bagc {
+
+std::vector<size_t> LexBfsOrder(const Graph& g) {
+  // Partition-refinement Lex-BFS: maintain an ordered list of buckets of
+  // unvisited vertices; repeatedly visit the front vertex and split every
+  // bucket into (neighbors, non-neighbors), neighbors first.
+  size_t n = g.num_vertices();
+  std::vector<size_t> order;
+  order.reserve(n);
+  std::list<std::vector<size_t>> buckets;
+  if (n > 0) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    buckets.push_back(std::move(all));
+  }
+  while (!buckets.empty()) {
+    std::vector<size_t>& front = buckets.front();
+    size_t v = front.back();
+    front.pop_back();
+    if (front.empty()) buckets.pop_front();
+    order.push_back(v);
+    for (auto it = buckets.begin(); it != buckets.end();) {
+      std::vector<size_t> in, out;
+      for (size_t u : *it) {
+        (g.HasEdge(v, u) ? in : out).push_back(u);
+      }
+      if (in.empty() || out.empty()) {
+        ++it;
+        continue;
+      }
+      *it = std::move(out);
+      buckets.insert(it, std::move(in));
+      ++it;
+    }
+  }
+  return order;
+}
+
+bool IsPerfectEliminationOrder(const Graph& g, const std::vector<size_t>& order) {
+  // Reverse of a Lex-BFS order should be a PEO. Standard verification: for
+  // each vertex v (processed in elimination order = reversed visit order),
+  // let later(v) be its neighbors that come earlier in the visit order
+  // (i.e., later in elimination); the closest such neighbor u must be
+  // adjacent to all the others.
+  size_t n = g.num_vertices();
+  std::vector<size_t> pos(n);
+  for (size_t i = 0; i < n; ++i) pos[order[i]] = i;
+  for (size_t i = n; i-- > 0;) {
+    size_t v = order[i];
+    // Neighbors of v visited before v.
+    std::vector<size_t> earlier;
+    for (size_t u : g.Neighbors(v)) {
+      if (pos[u] < i) earlier.push_back(u);
+    }
+    if (earlier.empty()) continue;
+    // Parent: the earlier neighbor visited last.
+    size_t parent = earlier[0];
+    for (size_t u : earlier) {
+      if (pos[u] > pos[parent]) parent = u;
+    }
+    for (size_t u : earlier) {
+      if (u != parent && !g.HasEdge(parent, u)) return false;
+    }
+  }
+  return true;
+}
+
+bool IsChordalGraph(const Graph& g) {
+  return IsPerfectEliminationOrder(g, LexBfsOrder(g));
+}
+
+bool IsChordal(const Hypergraph& h) { return IsChordalGraph(h.PrimalGraph()); }
+
+}  // namespace bagc

@@ -1,0 +1,25 @@
+// Chordality testing (Rose–Tarjan–Lueker). A hypergraph is chordal when its
+// primal graph is chordal, i.e. every cycle of length >= 4 has a chord
+// (paper §4). We compute a Lex-BFS ordering and verify it is a perfect
+// elimination ordering; for chordal graphs Lex-BFS always produces one.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace bagc {
+
+/// Lex-BFS ordering of the graph (visit order, front first).
+std::vector<size_t> LexBfsOrder(const Graph& g);
+
+/// True iff `order` reversed is a perfect elimination ordering of g.
+bool IsPerfectEliminationOrder(const Graph& g, const std::vector<size_t>& order);
+
+/// True iff g is chordal.
+bool IsChordalGraph(const Graph& g);
+
+/// True iff the primal graph of H is chordal.
+bool IsChordal(const Hypergraph& h);
+
+}  // namespace bagc

@@ -1,0 +1,114 @@
+#include "hypergraph/conformality.h"
+
+#include <algorithm>
+
+namespace bagc {
+
+bool IsConformal(const Hypergraph& h) {
+  const std::vector<Schema>& edges = h.edges();
+  size_t m = edges.size();
+  // Gilmore: for all triples (with repetition allowed, though repeated
+  // indices are trivially satisfied), the union of pairwise intersections
+  // must be covered by an edge.
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      Schema ij = Schema::Intersect(edges[i], edges[j]);
+      for (size_t k = j + 1; k < m; ++k) {
+        Schema ik = Schema::Intersect(edges[i], edges[k]);
+        Schema jk = Schema::Intersect(edges[j], edges[k]);
+        Schema need = Schema::Union(Schema::Union(ij, ik), jk);
+        bool covered = false;
+        for (const Schema& e : edges) {
+          if (need.IsSubsetOf(e)) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void BronKerbosch(const Graph& g, std::vector<size_t>& r, std::vector<size_t> p,
+                  std::vector<size_t> x, std::vector<std::vector<size_t>>* out) {
+  if (p.empty() && x.empty()) {
+    std::vector<size_t> clique = r;
+    std::sort(clique.begin(), clique.end());
+    out->push_back(std::move(clique));
+    return;
+  }
+  // Pivot: vertex of P ∪ X with most neighbors in P.
+  size_t pivot = 0;
+  size_t best = 0;
+  bool have_pivot = false;
+  for (const auto& pool : {p, x}) {
+    for (size_t u : pool) {
+      size_t cnt = 0;
+      for (size_t v : p) {
+        if (g.HasEdge(u, v)) ++cnt;
+      }
+      if (!have_pivot || cnt > best) {
+        have_pivot = true;
+        best = cnt;
+        pivot = u;
+      }
+    }
+  }
+  std::vector<size_t> candidates;
+  for (size_t v : p) {
+    if (!have_pivot || !g.HasEdge(pivot, v)) candidates.push_back(v);
+  }
+  for (size_t v : candidates) {
+    std::vector<size_t> p2, x2;
+    for (size_t u : p) {
+      if (g.HasEdge(v, u)) p2.push_back(u);
+    }
+    for (size_t u : x) {
+      if (g.HasEdge(v, u)) x2.push_back(u);
+    }
+    r.push_back(v);
+    BronKerbosch(g, r, std::move(p2), std::move(x2), out);
+    r.pop_back();
+    p.erase(std::find(p.begin(), p.end(), v));
+    x.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> MaximalCliques(const Graph& g) {
+  std::vector<std::vector<size_t>> out;
+  std::vector<size_t> r, p, x;
+  for (size_t v = 0; v < g.num_vertices(); ++v) p.push_back(v);
+  BronKerbosch(g, r, std::move(p), std::move(x), &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool IsConformalByCliques(const Hypergraph& h) {
+  // Conformality concerns the primal graph over the covered vertices; a
+  // vertex outside every hyperedge contributes no clique.
+  Hypergraph hc = h.Induce(Schema::UnionAll(h.edges()));
+  Graph g = hc.PrimalGraph();
+  for (const auto& clique : MaximalCliques(g)) {
+    std::vector<AttrId> attrs;
+    attrs.reserve(clique.size());
+    for (size_t idx : clique) attrs.push_back(hc.vertices().at(idx));
+    Schema cs{attrs};
+    bool covered = false;
+    for (const Schema& e : hc.edges()) {
+      if (cs.IsSubsetOf(e)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace bagc

@@ -1,0 +1,27 @@
+// Conformality testing. H is conformal when every clique of its primal
+// graph lies inside some hyperedge (paper §4). Two independent algorithms:
+//  - Gilmore's polynomial criterion (Berge, Hypergraphs, p. 31): H is
+//    conformal iff for every three hyperedges e1, e2, e3 some hyperedge
+//    contains (e1∩e2) ∪ (e2∩e3) ∪ (e3∩e1).
+//  - Direct maximal-clique check via Bron–Kerbosch (exponential worst case;
+//    used for cross-validation in tests on small inputs).
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace bagc {
+
+/// Polynomial conformality test (Gilmore's criterion).
+bool IsConformal(const Hypergraph& h);
+
+/// All maximal cliques of g (Bron–Kerbosch with pivoting), as vertex-index
+/// lists sorted increasingly. Exponential in the worst case.
+std::vector<std::vector<size_t>> MaximalCliques(const Graph& g);
+
+/// Reference conformality test: every maximal clique of the primal graph is
+/// contained in a hyperedge. Exponential worst case; testing only.
+bool IsConformalByCliques(const Hypergraph& h);
+
+}  // namespace bagc

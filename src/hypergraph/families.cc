@@ -1,0 +1,113 @@
+#include "hypergraph/families.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace bagc {
+
+Result<Hypergraph> MakePath(size_t n) {
+  if (n < 2) return Status::InvalidArgument("Pn requires n >= 2");
+  std::vector<Schema> edges;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    edges.push_back(Schema{{static_cast<AttrId>(i), static_cast<AttrId>(i + 1)}});
+  }
+  return Hypergraph::FromEdges(std::move(edges));
+}
+
+Result<Hypergraph> MakeCycle(size_t n) {
+  if (n < 3) return Status::InvalidArgument("Cn requires n >= 3");
+  std::vector<Schema> edges;
+  for (size_t i = 0; i < n; ++i) {
+    edges.push_back(Schema{{static_cast<AttrId>(i), static_cast<AttrId>((i + 1) % n)}});
+  }
+  return Hypergraph::FromEdges(std::move(edges));
+}
+
+Result<Hypergraph> MakeHn(size_t n) {
+  if (n < 3) return Status::InvalidArgument("Hn requires n >= 3");
+  std::vector<AttrId> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<AttrId>(i);
+  std::vector<Schema> edges;
+  for (size_t skip = 0; skip < n; ++skip) {
+    std::vector<AttrId> edge;
+    for (size_t i = 0; i < n; ++i) {
+      if (i != skip) edge.push_back(all[i]);
+    }
+    edges.push_back(Schema{edge});
+  }
+  return Hypergraph::FromEdges(std::move(edges));
+}
+
+Result<Hypergraph> MakeStar(size_t leaves) {
+  if (leaves == 0) return Status::InvalidArgument("star requires >= 1 leaf");
+  std::vector<Schema> edges;
+  for (size_t i = 0; i < leaves; ++i) {
+    edges.push_back(Schema{{0, static_cast<AttrId>(i + 1)}});
+  }
+  return Hypergraph::FromEdges(std::move(edges));
+}
+
+Result<Hypergraph> MakeRandomAcyclic(size_t m, size_t max_arity, Rng* rng) {
+  if (m == 0 || max_arity == 0) {
+    return Status::InvalidArgument("need m >= 1 and max_arity >= 1");
+  }
+  AttrId next_attr = 0;
+  std::vector<Schema> edges;
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<AttrId> attrs;
+    size_t arity = 1 + static_cast<size_t>(rng->Below(max_arity));
+    if (i > 0) {
+      // Inherit a random non-empty subset of a random earlier edge; this
+      // makes the generation order a running-intersection listing.
+      const Schema& parent = edges[rng->Below(i)];
+      size_t take = 1 + static_cast<size_t>(rng->Below(
+                            std::min(arity, parent.arity())));
+      for (size_t idx : rng->Sample(parent.arity(), take)) {
+        attrs.push_back(parent.at(idx));
+      }
+    }
+    while (attrs.size() < arity) {
+      attrs.push_back(next_attr++);
+    }
+    edges.push_back(Schema{attrs});
+  }
+  return Hypergraph::FromEdges(std::move(edges));
+}
+
+Result<Hypergraph> MakeCirculant(size_t n, size_t k) {
+  if (k < 2 || n <= k) return Status::InvalidArgument("circulant needs n > k >= 2");
+  std::vector<Schema> edges;
+  edges.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<AttrId> attrs(k);
+    for (size_t j = 0; j < k; ++j) attrs[j] = static_cast<AttrId>((i + j) % n);
+    edges.push_back(Schema{attrs});
+  }
+  return Hypergraph::FromEdges(std::move(edges));
+}
+
+Result<Hypergraph> MakeRandomUniform(size_t n, size_t k, size_t m, Rng* rng) {
+  if (k == 0 || k > n) return Status::InvalidArgument("need 1 <= k <= n");
+  // The number of available k-subsets must be at least m; bail out early on
+  // absurd requests rather than looping forever.
+  double log_choose = 0;
+  for (size_t i = 0; i < k; ++i) {
+    log_choose += std::log2(static_cast<double>(n - i) / (i + 1));
+  }
+  if (log_choose < 60 && static_cast<double>(m) > std::exp2(log_choose)) {
+    return Status::InvalidArgument("not enough distinct k-subsets for m edges");
+  }
+  std::set<Schema> edges;
+  while (edges.size() < m) {
+    std::vector<AttrId> attrs;
+    for (size_t idx : rng->Sample(n, k)) attrs.push_back(static_cast<AttrId>(idx));
+    edges.insert(Schema{attrs});
+  }
+  std::vector<AttrId> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<AttrId>(i);
+  return Hypergraph::Make(Schema{all},
+                          std::vector<Schema>(edges.begin(), edges.end()));
+}
+
+}  // namespace bagc

@@ -1,0 +1,47 @@
+// The hypergraph families of the paper (§4, Equations (4)-(6)) and random
+// generators for the experiment harness.
+//
+//   Pn = path:  {A1A2}, {A2A3}, ..., {An-1An}          (acyclic, n >= 2)
+//   Cn = cycle: Pn plus {AnA1}                          (cyclic,  n >= 3)
+//   Hn = all (n-1)-subsets of {A1..An}                  (cyclic,  n >= 3)
+//
+// Attribute ids are 0..n-1 unless a catalog is supplied by the caller.
+#pragma once
+
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Path hypergraph Pn; requires n >= 2.
+Result<Hypergraph> MakePath(size_t n);
+
+/// Cycle hypergraph Cn; requires n >= 3.
+Result<Hypergraph> MakeCycle(size_t n);
+
+/// Hn: hyperedges are the complements of single vertices; requires n >= 3.
+Result<Hypergraph> MakeHn(size_t n);
+
+/// Star: one center attribute shared by `leaves` binary edges (acyclic).
+Result<Hypergraph> MakeStar(size_t leaves);
+
+/// Random acyclic hypergraph built join-tree-first: `m` hyperedges, each of
+/// arity at most `max_arity`, child edges inherit a random subset of a
+/// random earlier edge plus fresh attributes. Always acyclic by
+/// construction (the generation order is a running-intersection listing).
+Result<Hypergraph> MakeRandomAcyclic(size_t m, size_t max_arity, Rng* rng);
+
+/// Random k-uniform hypergraph with m distinct edges over n vertices.
+/// Usually cyclic for dense parameters; callers should test.
+Result<Hypergraph> MakeRandomUniform(size_t n, size_t k, size_t m, Rng* rng);
+
+/// Circulant hypergraph: n vertices, edges {i, i+1, ..., i+k-1} (mod n)
+/// for every i — k-uniform and k-regular, generalizing Cn (= k of 2).
+/// Cyclic for 2 <= k < n; requires n > k >= 2. These are the natural
+/// k-uniform d-regular inputs for the Tseitin construction beyond Cn/Hn.
+Result<Hypergraph> MakeCirculant(size_t n, size_t k);
+
+}  // namespace bagc

@@ -1,0 +1,133 @@
+#include "hypergraph/safe_deletion.h"
+
+#include <algorithm>
+
+#include "hypergraph/chordality.h"
+#include "hypergraph/conformality.h"
+
+namespace bagc {
+
+std::string SafeDeletion::ToString() const {
+  if (kind == Kind::kVertex) {
+    return "delete-vertex(" + std::to_string(vertex) + ")";
+  }
+  return "delete-covered-edge(" + edge.ToString() + ")";
+}
+
+Result<Hypergraph> ApplySafeDeletions(const Hypergraph& h,
+                                      const std::vector<SafeDeletion>& ops) {
+  Hypergraph cur = h;
+  for (const SafeDeletion& op : ops) {
+    if (op.kind == SafeDeletion::Kind::kVertex) {
+      if (!cur.vertices().Contains(op.vertex)) {
+        return Status::InvalidArgument("safe deletion of absent vertex " +
+                                       std::to_string(op.vertex));
+      }
+      cur = cur.DeleteVertex(op.vertex);
+    } else {
+      if (!cur.EdgeIsCovered(op.edge)) {
+        return Status::InvalidArgument("edge is not covered (unsafe deletion): " +
+                                       op.edge.ToString());
+      }
+      BAGC_ASSIGN_OR_RETURN(cur, cur.DeleteEdge(op.edge));
+    }
+  }
+  return cur;
+}
+
+namespace {
+
+// Iteratively deletes vertices as long as the induced sub-hypergraph keeps
+// the property `bad` (non-chordal / non-conformal); returns the final W.
+template <typename BadPredicate>
+Schema MinimizeVertices(const Hypergraph& h, const BadPredicate& bad) {
+  Schema w = h.vertices();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (AttrId a : w.attrs()) {
+      Schema candidate = Schema::Difference(w, Schema{{a}});
+      if (bad(h.Induce(candidate))) {
+        w = candidate;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return w;
+}
+
+// Builds the deletion sequence: vertices of V \ W first, then the covered
+// edges of H[W] until reduced.
+Result<std::vector<SafeDeletion>> BuildSequence(const Hypergraph& h, const Schema& w,
+                                                const Hypergraph& minimal) {
+  std::vector<SafeDeletion> seq;
+  Schema outside = Schema::Difference(h.vertices(), w);
+  for (AttrId a : outside.attrs()) {
+    seq.push_back(SafeDeletion::Vertex(a));
+  }
+  Hypergraph induced = h.Induce(w);
+  // Delete covered edges until reduced; note that deleting one covered edge
+  // can leave another still covered, so iterate to a fixpoint.
+  bool progress = true;
+  Hypergraph cur = induced;
+  while (progress) {
+    progress = false;
+    for (const Schema& e : cur.edges()) {
+      if (cur.EdgeIsCovered(e)) {
+        seq.push_back(SafeDeletion::CoveredEdge(e));
+        BAGC_ASSIGN_OR_RETURN(cur, cur.DeleteEdge(e));
+        progress = true;
+        break;
+      }
+    }
+  }
+  if (cur.edges() != minimal.edges()) {
+    return Status::Internal("safe-deletion sequence did not reach R(H[W])");
+  }
+  return seq;
+}
+
+}  // namespace
+
+Result<Obstruction> FindObstruction(const Hypergraph& h) {
+  if (!IsConformal(h)) {
+    Schema w = MinimizeVertices(
+        h, [](const Hypergraph& g) { return !IsConformal(g); });
+    Hypergraph minimal = h.Induce(w).Reduction();
+    auto enumeration = minimal.MatchHn();
+    if (!enumeration.has_value()) {
+      return Status::Internal(
+          "non-conformal minimization did not produce Hn (Lemma 3(2) violated)");
+    }
+    Obstruction out;
+    out.is_hn = true;
+    out.w = w;
+    out.minimal = std::move(minimal);
+    out.enumeration = std::move(*enumeration);
+    BAGC_ASSIGN_OR_RETURN(out.sequence, BuildSequence(h, w, out.minimal));
+    return out;
+  }
+  if (!IsChordal(h)) {
+    Schema w =
+        MinimizeVertices(h, [](const Hypergraph& g) { return !IsChordal(g); });
+    Hypergraph minimal = h.Induce(w).Reduction();
+    auto enumeration = minimal.MatchCycle();
+    if (!enumeration.has_value() || enumeration->size() < 4) {
+      return Status::Internal(
+          "non-chordal minimization did not produce a chordless cycle "
+          "(Lemma 3(1) violated)");
+    }
+    Obstruction out;
+    out.is_hn = false;
+    out.w = w;
+    out.minimal = std::move(minimal);
+    out.enumeration = std::move(*enumeration);
+    BAGC_ASSIGN_OR_RETURN(out.sequence, BuildSequence(h, w, out.minimal));
+    return out;
+  }
+  return Status::FailedPrecondition(
+      "hypergraph is conformal and chordal (acyclic): no obstruction exists");
+}
+
+}  // namespace bagc

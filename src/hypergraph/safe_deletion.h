@@ -1,0 +1,60 @@
+// Safe-deletion operations and the Lemma 3 obstruction search. A cyclic
+// hypergraph is non-conformal or non-chordal (Theorem 1(b)); Lemma 3 finds
+// a vertex set W such that R(H[W]) is isomorphic to a "minimal" cyclic
+// hypergraph — the cycle Cn (n >= 4) or Hn (n >= 3) — together with a
+// sequence of safe deletions transforming H into R(H[W]). Lemma 4 then
+// lifts bag collections backwards along that sequence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// One safe-deletion operation (paper §4): deleting a vertex, or deleting a
+/// hyperedge that is covered by another hyperedge.
+struct SafeDeletion {
+  enum class Kind { kVertex, kCoveredEdge };
+  Kind kind;
+  /// kVertex: the vertex deleted.
+  AttrId vertex = 0;
+  /// kCoveredEdge: the edge deleted (must be ⊆ some other edge).
+  Schema edge;
+
+  static SafeDeletion Vertex(AttrId a) {
+    return {Kind::kVertex, a, Schema{}};
+  }
+  static SafeDeletion CoveredEdge(Schema e) {
+    return {Kind::kCoveredEdge, 0, std::move(e)};
+  }
+
+  std::string ToString() const;
+};
+
+/// Applies `ops` in order, validating each (the vertex must exist; the edge
+/// must exist and be covered by a different edge at the time of deletion).
+Result<Hypergraph> ApplySafeDeletions(const Hypergraph& h,
+                                      const std::vector<SafeDeletion>& ops);
+
+/// \brief The Lemma 3 witness: W ⊆ V with R(H[W]) ≅ Cn or Hn, plus the
+/// safe-deletion sequence from H to R(H[W]).
+struct Obstruction {
+  /// True when R(H[W]) ≅ H_{|W|}; false when ≅ C_{|W|}.
+  bool is_hn;
+  Schema w;
+  /// The reduced induced hypergraph R(H[W]).
+  Hypergraph minimal;
+  /// Vertex enumeration A1..An: cyclic order for Cn, plain order for Hn.
+  std::vector<AttrId> enumeration;
+  /// Safe deletions transforming H into `minimal`.
+  std::vector<SafeDeletion> sequence;
+};
+
+/// Finds an obstruction witnessing cyclicity (Lemma 3); fails with
+/// FailedPrecondition if H is acyclic.
+Result<Obstruction> FindObstruction(const Hypergraph& h);
+
+}  // namespace bagc

@@ -1,0 +1,92 @@
+#include "reductions/coloring.h"
+
+#include <functional>
+
+namespace bagc {
+
+ColoringInstance MakeRandomGraph(size_t n, uint64_t edge_num, uint64_t edge_den,
+                                 Rng* rng) {
+  ColoringInstance g;
+  g.num_vertices = n;
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v) {
+      if (rng->Chance(edge_num, edge_den)) g.edges.emplace_back(u, v);
+    }
+  }
+  return g;
+}
+
+ColoringInstance MakeColorableGraph(size_t n, uint64_t edge_num, uint64_t edge_den,
+                                    Rng* rng) {
+  std::vector<int> color(n);
+  for (size_t v = 0; v < n; ++v) color[v] = static_cast<int>(rng->Below(3));
+  ColoringInstance g;
+  g.num_vertices = n;
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; ++v) {
+      if (color[u] != color[v] && rng->Chance(edge_num, edge_den)) {
+        g.edges.emplace_back(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Result<std::vector<Relation>> ColoringToRelations(const ColoringInstance& graph) {
+  if (graph.edges.empty()) {
+    return Status::InvalidArgument("coloring instance has no edges");
+  }
+  std::vector<Relation> out;
+  out.reserve(graph.edges.size());
+  for (const auto& [u, v] : graph.edges) {
+    if (u >= graph.num_vertices || v >= graph.num_vertices || u == v) {
+      return Status::InvalidArgument("bad edge in coloring instance");
+    }
+    Schema schema{{static_cast<AttrId>(u), static_cast<AttrId>(v)}};
+    Relation r(schema);
+    for (Value c1 = 0; c1 < 3; ++c1) {
+      for (Value c2 = 0; c2 < 3; ++c2) {
+        if (c1 != c2) {
+          BAGC_RETURN_NOT_OK(r.Insert(Tuple{{c1, c2}}));
+        }
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::optional<std::vector<int>> SolveThreeColoringBruteForce(
+    const ColoringInstance& graph) {
+  std::vector<int> color(graph.num_vertices, 0);
+  // Backtracking over vertices.
+  std::vector<std::vector<size_t>> adj(graph.num_vertices);
+  for (const auto& [u, v] : graph.edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  std::vector<int> assigned(graph.num_vertices, -1);
+  std::function<bool(size_t)> rec = [&](size_t v) -> bool {
+    if (v == graph.num_vertices) return true;
+    for (int c = 0; c < 3; ++c) {
+      bool ok = true;
+      for (size_t u : adj[v]) {
+        if (assigned[u] == c) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        assigned[v] = c;
+        if (rec(v + 1)) return true;
+        assigned[v] = -1;
+      }
+    }
+    return false;
+  };
+  if (!rec(0)) return std::nullopt;
+  for (size_t v = 0; v < graph.num_vertices; ++v) color[v] = assigned[v];
+  return color;
+}
+
+}  // namespace bagc

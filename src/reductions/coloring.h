@@ -1,0 +1,43 @@
+// The Honeyman–Ladner–Yannakakis reduction [HLY80]: 3-Colorability <=_p
+// global consistency of *relations* (the set case, §5.1). Each graph edge
+// becomes a binary relation of the six ordered pairs of distinct colors;
+// the graph is 3-colorable iff the relations are globally consistent.
+// This is the set-semantics NP-hardness baseline contrasted with the
+// fixed-schema tractability of relations in Theorem 4's discussion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bag/relation.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief An undirected graph for coloring instances.
+struct ColoringInstance {
+  size_t num_vertices = 0;
+  std::vector<std::pair<size_t, size_t>> edges;
+};
+
+/// Random G(n, p)-style instance with p = edge_num/edge_den.
+ColoringInstance MakeRandomGraph(size_t n, uint64_t edge_num, uint64_t edge_den,
+                                 Rng* rng);
+
+/// A graph that is 3-colorable by construction (random 3-partition, edges
+/// only across classes).
+ColoringInstance MakeColorableGraph(size_t n, uint64_t edge_num, uint64_t edge_den,
+                                    Rng* rng);
+
+/// The HLY80 reduction: one binary relation per edge (attribute id =
+/// vertex id), six tuples each.
+Result<std::vector<Relation>> ColoringToRelations(const ColoringInstance& graph);
+
+/// Exhaustive 3-coloring solver (exponential; for cross-validation).
+std::optional<std::vector<int>> SolveThreeColoringBruteForce(
+    const ColoringInstance& graph);
+
+}  // namespace bagc

@@ -1,0 +1,42 @@
+// The chain reduction GCPB(C_{n-1}) <=_p GCPB(C_n) of Lemma 6. An instance
+// over the cycle C_n is a list of bags R1(A1A2), ..., Rn(AnA1); the
+// reduction re-homes the closing bag onto a fresh attribute A_{n+1} and
+// adds a diagonal "equality" bag forcing A_{n+1} = A1, so witnesses map
+// back and forth in polynomial time.
+//
+// Attribute ids: A_i has id i-1.
+#pragma once
+
+#include <vector>
+
+#include "bag/bag.h"
+#include "core/collection.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief Bags over the cycle C_n: bags[i] has schema {A_{i+1}, A_{i+2}}
+/// (0-based: {i, i+1}), and the last closes the cycle with {A_n, A_1}.
+struct CycleInstance {
+  size_t n = 0;
+  std::vector<Bag> bags;
+};
+
+/// Validates schemas and wraps the bags; needs n >= 3.
+Result<CycleInstance> MakeCycleInstance(std::vector<Bag> bags);
+
+/// The Lemma 6 reduction C_n -> C_{n+1}; polynomial time and size.
+Result<CycleInstance> ExtendCycle(const CycleInstance& input);
+
+/// Maps a witness of the C_n instance to one of the extended C_{n+1}
+/// instance (duplicate A_1's value onto A_{n+1}).
+Result<Bag> ExtendCycleWitness(const CycleInstance& input, const Bag& witness);
+
+/// Maps a witness of the extended instance back to one of the original
+/// (marginalize out A_{n+1}).
+Result<Bag> RestrictCycleWitness(const CycleInstance& input, const Bag& witness);
+
+/// A BagCollection view of the instance.
+Result<BagCollection> ToCollection(const CycleInstance& input);
+
+}  // namespace bagc

@@ -1,0 +1,45 @@
+// The chain reduction GCPB(H_{n-1}) <=_p GCPB(H_n) of Lemma 7. An instance
+// over H_n assigns a bag to every (n-1)-subset of {A_1..A_n}. The
+// reduction adds a fresh attribute A_n with domain {1, 2} and pads every
+// bag with a complementary "slack" layer so that witnesses correspond
+// exactly: S(t, 1) = R(t) and S(t, 2) = M - R(t), where M is the maximum
+// input multiplicity.
+//
+// Attribute ids: A_i has id i-1. The slack value layer uses domain values
+// 1 and 2 for A_n, as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "bag/bag.h"
+#include "core/collection.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief Bags over H_n: bags[i] has schema {A_1..A_n} \ {A_{i+1}}.
+struct HnInstance {
+  size_t n = 0;
+  std::vector<Bag> bags;
+};
+
+/// Validates schemas; needs n >= 3.
+Result<HnInstance> MakeHnInstance(std::vector<Bag> bags);
+
+/// The Lemma 7 reduction H_n -> H_{n+1}. The output bags are defined over
+/// the *active-domain product* of the input (exponential in n, polynomial
+/// for fixed n). Fails when some attribute has an empty active domain.
+Result<HnInstance> ExtendHn(const HnInstance& input);
+
+/// Witness maps of Lemma 7: S(t, 1) = R(t), S(t, 2) = M - R(t) — requires
+/// every multiplicity of `witness` to be at most the input's maximum
+/// multiplicity M (true of every witness, by Theorem 3(1)).
+Result<Bag> ExtendHnWitness(const HnInstance& input, const Bag& witness);
+
+/// R(t) = S(t, 1).
+Result<Bag> RestrictHnWitness(const HnInstance& input, const Bag& witness);
+
+/// A BagCollection view of the instance.
+Result<BagCollection> ToCollection(const HnInstance& input);
+
+}  // namespace bagc

@@ -1,0 +1,52 @@
+// Three-dimensional contingency tables (Irving–Jerrum [IJ94], refined by
+// De Loera–Onn [LO04]) — the NP-hard core behind GCPB(C3) (Lemma 6).
+// An instance asks for an n×n×n non-negative integer table X(i,j,k) with
+// prescribed line sums:
+//   Σ_q X(i,q,k) = R(i,k),  Σ_q X(q,j,k) = C(j,k),  Σ_q X(i,j,q) = F(i,j).
+// The reduction maps the instance to three bags over the triangle schema
+// C3 = {A1A2}, {A2A3}, {A3A1}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bag/bag.h"
+#include "core/collection.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief A 3DCT instance: three n×n margin matrices.
+struct ThreeDctInstance {
+  size_t n = 0;
+  /// Row-major n×n matrices; R(i,k) = row_sums[i*n+k], etc.
+  std::vector<uint64_t> row_sums;     // R(i,k): sums over j
+  std::vector<uint64_t> column_sums;  // C(j,k): sums over i
+  std::vector<uint64_t> front_sums;   // F(i,j): sums over k
+
+  uint64_t R(size_t i, size_t k) const { return row_sums[i * n + k]; }
+  uint64_t C(size_t j, size_t k) const { return column_sums[j * n + k]; }
+  uint64_t F(size_t i, size_t j) const { return front_sums[i * n + j]; }
+};
+
+/// Samples a *feasible* instance by drawing a hidden table with entries in
+/// [0, max_entry] and computing its line sums.
+ThreeDctInstance MakeFeasibleInstance(size_t n, uint64_t max_entry, Rng* rng);
+
+/// Perturbs one margin entry of a feasible instance by +delta, usually
+/// making it infeasible (and at least pairwise-inconsistent as bags when
+/// the grand totals diverge).
+ThreeDctInstance PerturbInstance(const ThreeDctInstance& instance, uint64_t delta,
+                                 Rng* rng);
+
+/// Lemma 6 reduction: the bags R(A1A3), C(A2A3), F(A1A2) over the triangle
+/// hypergraph C3. The instance is feasible iff the bags are globally
+/// consistent.
+Result<BagCollection> ToTriangleBags(const ThreeDctInstance& instance);
+
+/// Direct verifier: does `table` (n×n×n row-major, X(i,j,k) at
+/// (i*n+j)*n+k) realize the instance's line sums?
+bool VerifyTable(const ThreeDctInstance& instance, const std::vector<uint64_t>& table);
+
+}  // namespace bagc

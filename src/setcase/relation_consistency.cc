@@ -1,0 +1,192 @@
+#include "setcase/relation_consistency.h"
+
+#include <algorithm>
+#include <map>
+
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/hypergraph.h"
+
+namespace bagc {
+
+Result<bool> AreConsistentRelations(const Relation& r, const Relation& s) {
+  Schema z = Schema::Intersect(r.schema(), s.schema());
+  BAGC_ASSIGN_OR_RETURN(Relation rz, r.Project(z));
+  BAGC_ASSIGN_OR_RETURN(Relation sz, s.Project(z));
+  return rz == sz;
+}
+
+Result<bool> ArePairwiseConsistentRelations(const std::vector<Relation>& relations,
+                                            std::pair<size_t, size_t>* witness_pair) {
+  for (size_t i = 0; i < relations.size(); ++i) {
+    for (size_t j = i + 1; j < relations.size(); ++j) {
+      BAGC_ASSIGN_OR_RETURN(bool ok,
+                            AreConsistentRelations(relations[i], relations[j]));
+      if (!ok) {
+        if (witness_pair != nullptr) *witness_pair = {i, j};
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::optional<Relation>> SolveGlobalConsistencyRelations(
+    const std::vector<Relation>& relations) {
+  if (relations.empty()) {
+    return Status::InvalidArgument("empty relation collection");
+  }
+  BAGC_ASSIGN_OR_RETURN(Relation join, Relation::JoinAll(relations));
+  for (const Relation& r : relations) {
+    BAGC_ASSIGN_OR_RETURN(Relation back, join.Project(r.schema()));
+    if (back != r) return std::optional<Relation>();
+  }
+  return std::optional<Relation>(std::move(join));
+}
+
+namespace {
+
+struct ReducerSetup {
+  Hypergraph hypergraph;
+  // canonical edge index -> indices of relations with that schema
+  std::vector<std::vector<size_t>> holders;
+  // Per canonical edge, the intersection of its holders' relations.
+  std::vector<Relation> merged;
+};
+
+Result<ReducerSetup> Setup(const std::vector<Relation>& relations) {
+  if (relations.empty()) {
+    return Status::InvalidArgument("empty relation collection");
+  }
+  ReducerSetup setup;
+  std::vector<Schema> schemas;
+  schemas.reserve(relations.size());
+  for (const Relation& r : relations) {
+    if (r.schema().empty()) {
+      return Status::InvalidArgument("relation over the empty schema");
+    }
+    schemas.push_back(r.schema());
+  }
+  BAGC_ASSIGN_OR_RETURN(setup.hypergraph, Hypergraph::FromEdges(schemas));
+  const std::vector<Schema>& edges = setup.hypergraph.edges();
+  setup.holders.resize(edges.size());
+  setup.merged.resize(edges.size());
+  for (size_t e = 0; e < edges.size(); ++e) {
+    Relation acc(edges[e]);
+    bool first = true;
+    for (size_t i = 0; i < relations.size(); ++i) {
+      if (relations[i].schema() != edges[e]) continue;
+      setup.holders[e].push_back(i);
+      if (first) {
+        acc = relations[i];
+        first = false;
+      } else {
+        // Same-schema semijoin is intersection.
+        BAGC_ASSIGN_OR_RETURN(acc, Relation::Semijoin(acc, relations[i]));
+      }
+    }
+    setup.merged[e] = std::move(acc);
+  }
+  return setup;
+}
+
+}  // namespace
+
+Result<std::vector<Relation>> FullReduce(const std::vector<Relation>& relations) {
+  BAGC_ASSIGN_OR_RETURN(ReducerSetup setup, Setup(relations));
+  BAGC_ASSIGN_OR_RETURN(JoinTree jt, BuildJoinTree(setup.hypergraph));
+  size_t m = jt.nodes.size();
+  std::vector<std::vector<size_t>> adj(m);
+  for (const auto& [i, j] : jt.tree_edges) {
+    adj[i].push_back(j);
+    adj[j].push_back(i);
+  }
+  // BFS order from node 0; parents precede children.
+  std::vector<size_t> order;
+  std::vector<size_t> parent(m, m);
+  {
+    std::vector<bool> seen(m, false);
+    std::vector<size_t> queue = {0};
+    seen[0] = true;
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      size_t v = queue[qi];
+      order.push_back(v);
+      for (size_t u : adj[v]) {
+        if (!seen[u]) {
+          seen[u] = true;
+          parent[u] = v;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  std::vector<Relation>& rel = setup.merged;
+  // Upward pass: leaves to root, parent ⋉= child.
+  for (size_t k = order.size(); k-- > 1;) {
+    size_t v = order[k];
+    BAGC_ASSIGN_OR_RETURN(rel[parent[v]],
+                          Relation::Semijoin(rel[parent[v]], rel[v]));
+  }
+  // Downward pass: root to leaves, child ⋉= parent.
+  for (size_t k = 1; k < order.size(); ++k) {
+    size_t v = order[k];
+    BAGC_ASSIGN_OR_RETURN(rel[v], Relation::Semijoin(rel[v], rel[parent[v]]));
+  }
+  // Scatter back to the input positions.
+  std::vector<Relation> out(relations.size());
+  for (size_t e = 0; e < m; ++e) {
+    for (size_t i : setup.holders[e]) out[i] = rel[e];
+  }
+  return out;
+}
+
+Result<bool> IsGloballyConsistentAcyclicRelations(
+    const std::vector<Relation>& relations) {
+  BAGC_ASSIGN_OR_RETURN(std::vector<Relation> reduced, FullReduce(relations));
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (reduced[i] != relations[i]) return false;
+  }
+  return true;
+}
+
+Result<Relation> JoinAcyclic(const std::vector<Relation>& relations) {
+  BAGC_ASSIGN_OR_RETURN(std::vector<Relation> reduced, FullReduce(relations));
+  // Deduplicate to the canonical edges (FullReduce already intersected
+  // same-schema relations, so one representative per schema suffices).
+  std::vector<Relation> unique;
+  for (const Relation& r : reduced) {
+    bool seen = false;
+    for (const Relation& u : unique) {
+      if (u.schema() == r.schema()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique.push_back(r);
+  }
+  std::vector<Schema> schemas;
+  schemas.reserve(unique.size());
+  for (const Relation& r : unique) schemas.push_back(r.schema());
+  BAGC_ASSIGN_OR_RETURN(Hypergraph h, Hypergraph::FromEdges(schemas));
+  BAGC_ASSIGN_OR_RETURN(std::vector<size_t> order, RunningIntersectionOrder(h));
+  // Joining in RIP order keeps every intermediate connected to the
+  // processed prefix; after full reduction no dangling tuples remain, so
+  // intermediates embed into the final join.
+  const std::vector<Schema>& edges = h.edges();
+  auto relation_for = [&](const Schema& e) -> const Relation* {
+    for (const Relation& r : unique) {
+      if (r.schema() == e) return &r;
+    }
+    return nullptr;
+  };
+  const Relation* first = relation_for(edges[order[0]]);
+  if (first == nullptr) return Status::Internal("edge without relation");
+  Relation acc = *first;
+  for (size_t i = 1; i < order.size(); ++i) {
+    const Relation* next = relation_for(edges[order[i]]);
+    if (next == nullptr) return Status::Internal("edge without relation");
+    BAGC_ASSIGN_OR_RETURN(acc, Relation::Join(acc, *next));
+  }
+  return acc;
+}
+
+}  // namespace bagc

@@ -1,0 +1,50 @@
+// The set-semantics baseline (paper §5.1): consistency of relations. For
+// relations, the join is always the largest witness, so global consistency
+// for a *fixed* schema is polynomial (compute the join, project back) —
+// the sharp contrast with bags that Theorem 4 establishes.
+// Also includes the Yannakakis semijoin full reducer for acyclic schemas.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bag/relation.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Two relations are consistent iff their projections on the shared
+/// attributes coincide (then R ⋈ S is the largest witness).
+Result<bool> AreConsistentRelations(const Relation& r, const Relation& s);
+
+/// Pairwise consistency of a relation collection.
+Result<bool> ArePairwiseConsistentRelations(
+    const std::vector<Relation>& relations,
+    std::pair<size_t, size_t>* witness_pair = nullptr);
+
+/// Global consistency via the classical criterion: J = R1 ⋈ ... ⋈ Rm and
+/// J[Xi] == Ri for all i. Returns the join witness when consistent.
+/// Polynomial for every fixed schema (the join size is |R|^m).
+Result<std::optional<Relation>> SolveGlobalConsistencyRelations(
+    const std::vector<Relation>& relations);
+
+/// Yannakakis full reducer for acyclic schemas: semijoin passes down and up
+/// a join tree until every relation contains exactly the tuples that
+/// participate in the global join. Fails when the schema is cyclic.
+Result<std::vector<Relation>> FullReduce(const std::vector<Relation>& relations);
+
+/// Acyclic-schema global consistency for relations: globally consistent
+/// iff the full reducer changes nothing (no dangling tuples). Linear
+/// number of semijoins. Fails when the schema is cyclic.
+Result<bool> IsGloballyConsistentAcyclicRelations(
+    const std::vector<Relation>& relations);
+
+/// Yannakakis' algorithm: the full join of an acyclic collection, computed
+/// by full reduction followed by joins up the join tree — after reduction
+/// every intermediate result embeds into the final join, so unlike a
+/// naive fold the intermediates never exceed the output. Fails when the
+/// schema is cyclic.
+Result<Relation> JoinAcyclic(const std::vector<Relation>& relations);
+
+}  // namespace bagc

@@ -1,0 +1,178 @@
+#include "solver/integer_feasibility.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace bagc {
+
+namespace {
+
+// Shared DFS driver. Invokes `on_solution` for every complete assignment;
+// stops the whole search when it returns true.
+class Search {
+ public:
+  Search(const ConsistencyLp& lp, const SolveOptions& options, SolveStats* stats)
+      : lp_(lp), options_(options), stats_(stats) {
+    size_t n = lp.variables.size();
+    var_rows_.resize(n);
+    residual_.reserve(lp.rows.size());
+    remaining_.reserve(lp.rows.size());
+    for (size_t ri = 0; ri < lp.rows.size(); ++ri) {
+      const LpRow& row = lp_.rows[ri];
+      residual_.push_back(row.rhs);
+      remaining_.push_back(row.vars.size());
+      for (uint32_t v : row.vars) var_rows_[v].push_back(ri);
+    }
+    assignment_.assign(n, 0);
+  }
+
+  // Rows with no variables at all must have rhs == 0.
+  bool TriviallyInfeasible() const {
+    for (const LpRow& row : lp_.rows) {
+      if (row.vars.empty() && row.rhs != 0) return true;
+    }
+    return false;
+  }
+
+  Status Run(const std::function<bool(const std::vector<uint64_t>&)>& on_solution) {
+    if (TriviallyInfeasible()) return Status::OK();
+    stop_ = false;
+    Status st = Dfs(0, on_solution);
+    return st;
+  }
+
+ private:
+  Status Dfs(size_t v, const std::function<bool(const std::vector<uint64_t>&)>& on) {
+    if (stop_) return Status::OK();
+    if (v == lp_.variables.size()) {
+      // All rows must be exactly satisfied (vars exhausted implies
+      // remaining == 0 everywhere, so residual 0 suffices).
+      for (uint64_t r : residual_) {
+        if (r != 0) return Status::OK();
+      }
+      if (on(assignment_)) stop_ = true;
+      return Status::OK();
+    }
+    // Upper bound for x_v: min residual over its rows.
+    uint64_t ub = std::numeric_limits<uint64_t>::max();
+    for (size_t ri : var_rows_[v]) ub = std::min(ub, residual_[ri]);
+    if (var_rows_[v].empty()) ub = 0;  // unconstrained vars stay 0
+    // A row whose last variable this is must be fully paid by x_v.
+    std::optional<uint64_t> forced;
+    for (size_t ri : var_rows_[v]) {
+      if (remaining_[ri] == 1) {
+        if (forced.has_value() && *forced != residual_[ri]) return Status::OK();
+        forced = residual_[ri];
+      }
+    }
+    if (forced.has_value() && *forced > ub) return Status::OK();
+
+    auto try_value = [&](uint64_t val) -> Status {
+      if (stats_ != nullptr) ++stats_->nodes;
+      if (stats_ != nullptr && stats_->nodes > options_.node_limit) {
+        return Status::ResourceExhausted("search node limit exceeded");
+      }
+      assignment_[v] = val;
+      for (size_t ri : var_rows_[v]) {
+        residual_[ri] -= val;
+        --remaining_[ri];
+      }
+      Status st = Dfs(v + 1, on);
+      for (size_t ri : var_rows_[v]) {
+        residual_[ri] += val;
+        ++remaining_[ri];
+      }
+      assignment_[v] = 0;
+      if (stats_ != nullptr && !st.ok()) ++stats_->backtracks;
+      return st;
+    };
+
+    if (forced.has_value()) {
+      return try_value(*forced);
+    }
+    if (options_.descend_values) {
+      for (uint64_t val = ub;; --val) {
+        BAGC_RETURN_NOT_OK(try_value(val));
+        if (stop_ || val == 0) break;
+      }
+    } else {
+      for (uint64_t val = 0; val <= ub; ++val) {
+        BAGC_RETURN_NOT_OK(try_value(val));
+        if (stop_) break;
+      }
+    }
+    return Status::OK();
+  }
+
+  const ConsistencyLp& lp_;
+  const SolveOptions& options_;
+  SolveStats* stats_;
+  std::vector<std::vector<size_t>> var_rows_;
+  std::vector<uint64_t> residual_;
+  std::vector<size_t> remaining_;
+  std::vector<uint64_t> assignment_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+Result<std::optional<std::vector<uint64_t>>> SolveIntegerFeasibility(
+    const ConsistencyLp& lp, const SolveOptions& options, SolveStats* stats) {
+  SolveStats local;
+  if (stats == nullptr) stats = &local;
+  Search search(lp, options, stats);
+  std::optional<std::vector<uint64_t>> found;
+  BAGC_RETURN_NOT_OK(search.Run([&](const std::vector<uint64_t>& x) {
+    found = x;
+    return true;  // stop at first solution
+  }));
+  return found;
+}
+
+Result<uint64_t> CountIntegerSolutions(const ConsistencyLp& lp, uint64_t count_limit,
+                                       const SolveOptions& options,
+                                       SolveStats* stats) {
+  SolveStats local;
+  if (stats == nullptr) stats = &local;
+  Search search(lp, options, stats);
+  uint64_t count = 0;
+  bool over_limit = false;
+  BAGC_RETURN_NOT_OK(search.Run([&](const std::vector<uint64_t>&) {
+    ++count;
+    if (count >= count_limit) {
+      over_limit = true;
+      return true;
+    }
+    return false;
+  }));
+  if (over_limit) {
+    return Status::ResourceExhausted("solution count limit reached");
+  }
+  return count;
+}
+
+Result<std::vector<std::vector<uint64_t>>> EnumerateIntegerSolutions(
+    const ConsistencyLp& lp, size_t limit, const SolveOptions& options,
+    SolveStats* stats) {
+  SolveStats local;
+  if (stats == nullptr) stats = &local;
+  Search search(lp, options, stats);
+  std::vector<std::vector<uint64_t>> out;
+  bool over_limit = false;
+  BAGC_RETURN_NOT_OK(search.Run([&](const std::vector<uint64_t>& x) {
+    out.push_back(x);
+    if (out.size() >= limit) {
+      over_limit = true;
+      return true;
+    }
+    return false;
+  }));
+  if (over_limit) {
+    return Status::ResourceExhausted("enumeration limit reached");
+  }
+  return out;
+}
+
+}  // namespace bagc

@@ -1,0 +1,98 @@
+#include "solver/lp.h"
+
+#include <algorithm>
+#include <map>
+
+#include "bag/relation.h"
+
+namespace bagc {
+
+size_t ConsistencyLp::NumNonZeros() const {
+  size_t total = 0;
+  for (const LpRow& row : rows) total += row.vars.size();
+  return total;
+}
+
+namespace {
+
+// Appends the rows for bag `i` given the chosen variable tuples.
+Status AppendRows(const std::vector<Bag>& bags, size_t i, const Schema& joined,
+                  const std::vector<Tuple>& variables, ConsistencyLp* lp) {
+  const Bag& bag = bags[i];
+  BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(joined, bag.schema()));
+  // Group variables by their projection onto Xi.
+  std::map<Tuple, std::vector<uint32_t>> groups;
+  for (uint32_t v = 0; v < variables.size(); ++v) {
+    groups[variables[v].Project(proj)].push_back(v);
+  }
+  for (const auto& [r, mult] : bag.entries()) {
+    LpRow row;
+    row.bag_index = i;
+    row.marginal_tuple = r;
+    row.rhs = mult;
+    auto it = groups.find(r);
+    if (it != groups.end()) row.vars = it->second;
+    lp->rows.push_back(std::move(row));
+  }
+  // Variables projecting onto tuples *outside* the support of Ri must be 0;
+  // emit a rhs=0 row for each such group so solvers see the restriction.
+  for (const auto& [r, vars] : groups) {
+    if (bag.Multiplicity(r) == 0) {
+      LpRow row;
+      row.bag_index = i;
+      row.marginal_tuple = r;
+      row.rhs = 0;
+      row.vars = vars;
+      lp->rows.push_back(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ConsistencyLp> BuildConsistencyLp(const std::vector<Bag>& bags,
+                                         size_t max_join_support) {
+  if (bags.empty()) return Status::InvalidArgument("empty bag collection");
+  // Join of the supports, with a size cap.
+  Relation join = Relation::SupportOf(bags[0]);
+  for (size_t i = 1; i < bags.size(); ++i) {
+    BAGC_ASSIGN_OR_RETURN(join, Relation::Join(join, Relation::SupportOf(bags[i])));
+    if (join.size() > max_join_support) {
+      return Status::ResourceExhausted(
+          "join support exceeds cap (" + std::to_string(max_join_support) + ")");
+    }
+  }
+  std::vector<Tuple> variables(join.tuples().begin(), join.tuples().end());
+  ConsistencyLp lp;
+  lp.joined_schema = join.schema();
+  lp.variables = std::move(variables);
+  for (size_t i = 0; i < bags.size(); ++i) {
+    BAGC_RETURN_NOT_OK(AppendRows(bags, i, lp.joined_schema, lp.variables, &lp));
+  }
+  return lp;
+}
+
+Result<ConsistencyLp> BuildLpWithVariables(const std::vector<Bag>& bags,
+                                           std::vector<Tuple> variables) {
+  if (bags.empty()) return Status::InvalidArgument("empty bag collection");
+  std::vector<Schema> schemas;
+  schemas.reserve(bags.size());
+  for (const Bag& b : bags) schemas.push_back(b.schema());
+  ConsistencyLp lp;
+  lp.joined_schema = Schema::UnionAll(schemas);
+  std::sort(variables.begin(), variables.end());
+  variables.erase(std::unique(variables.begin(), variables.end()), variables.end());
+  for (const Tuple& t : variables) {
+    if (t.arity() != lp.joined_schema.arity()) {
+      return Status::InvalidArgument("variable tuple arity does not match XY schema");
+    }
+  }
+  lp.variables = std::move(variables);
+  for (size_t i = 0; i < bags.size(); ++i) {
+    BAGC_RETURN_NOT_OK(AppendRows(bags, i, lp.joined_schema, lp.variables, &lp));
+  }
+  return lp;
+}
+
+}  // namespace bagc

@@ -1,0 +1,67 @@
+#include "solver/rational_witness.h"
+
+#include <limits>
+
+namespace bagc {
+
+Result<RationalSolution> BuildRationalSolution(const Bag& r, const Bag& s,
+                                               const ConsistencyLp& lp) {
+  Schema z = Schema::Intersect(r.schema(), s.schema());
+  BAGC_ASSIGN_OR_RETURN(Bag rz, r.Marginal(z));
+  BAGC_ASSIGN_OR_RETURN(Bag sz, s.Marginal(z));
+  if (rz != sz) {
+    return Status::FailedPrecondition(
+        "R[X∩Y] != S[X∩Y]: P(R,S) is infeasible (Lemma 2)");
+  }
+  BAGC_ASSIGN_OR_RETURN(Projector onto_x, Projector::Make(lp.joined_schema, r.schema()));
+  BAGC_ASSIGN_OR_RETURN(Projector onto_y, Projector::Make(lp.joined_schema, s.schema()));
+  BAGC_ASSIGN_OR_RETURN(Projector onto_z, Projector::Make(lp.joined_schema, z));
+  RationalSolution sol;
+  sol.values.reserve(lp.variables.size());
+  for (const Tuple& t : lp.variables) {
+    uint64_t rx = r.Multiplicity(t.Project(onto_x));
+    uint64_t sy = s.Multiplicity(t.Project(onto_y));
+    uint64_t rzv = rz.Multiplicity(t.Project(onto_z));
+    if (rzv == 0) {
+      // t is in the join of the supports, so rx >= 1 and the Z-marginal of
+      // R at t[Z] is at least rx — this cannot happen.
+      return Status::Internal("join tuple with zero shared marginal");
+    }
+    if (rx > static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) ||
+        sy > static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) ||
+        rzv > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      return Status::ArithmeticOverflow("multiplicity exceeds rational range");
+    }
+    BAGC_ASSIGN_OR_RETURN(
+        Rational num,
+        Rational::Mul(Rational(static_cast<int64_t>(rx)),
+                      Rational(static_cast<int64_t>(sy))));
+    BAGC_ASSIGN_OR_RETURN(Rational val,
+                          Rational::Div(num, Rational(static_cast<int64_t>(rzv))));
+    sol.values.push_back(val);
+  }
+  return sol;
+}
+
+Result<bool> VerifyRationalSolution(const ConsistencyLp& lp,
+                                    const RationalSolution& solution) {
+  if (solution.values.size() != lp.variables.size()) {
+    return Status::InvalidArgument("solution size does not match variable count");
+  }
+  for (const Rational& v : solution.values) {
+    if (v.is_negative()) return false;
+  }
+  for (const LpRow& row : lp.rows) {
+    Rational sum;
+    for (uint32_t v : row.vars) {
+      BAGC_ASSIGN_OR_RETURN(sum, Rational::Add(sum, solution.values[v]));
+    }
+    if (row.rhs > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      return Status::ArithmeticOverflow("rhs exceeds rational range");
+    }
+    if (sum != Rational(static_cast<int64_t>(row.rhs))) return false;
+  }
+  return true;
+}
+
+}  // namespace bagc

@@ -1,0 +1,34 @@
+// Rational feasibility of P(R, S) for two bags — the constructive step
+// (2) => (3) of Lemma 2: when R[Z] = S[Z] (Z = X ∩ Y), the assignment
+//    x_t = R(t[X]) * S(t[Y]) / R(t[Z])
+// is a rational solution. This module builds that solution with exact
+// Rational arithmetic and re-verifies all constraints, which both proves
+// feasibility over the rationals and exercises the Hoffman–Kruskal route
+// of §3 independently of the max-flow route.
+#pragma once
+
+#include <vector>
+
+#include "bag/bag.h"
+#include "solver/lp.h"
+#include "util/rational.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief A rational solution of P(R, S), aligned with lp.variables.
+struct RationalSolution {
+  std::vector<Rational> values;
+};
+
+/// Constructs the Lemma 2 closed-form rational solution; fails with
+/// FailedPrecondition when R[Z] != S[Z] (the program is then infeasible).
+Result<RationalSolution> BuildRationalSolution(const Bag& r, const Bag& s,
+                                               const ConsistencyLp& lp);
+
+/// Exactly checks that `solution` satisfies every row of `lp` and is
+/// non-negative.
+Result<bool> VerifyRationalSolution(const ConsistencyLp& lp,
+                                    const RationalSolution& solution);
+
+}  // namespace bagc

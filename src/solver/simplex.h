@@ -1,0 +1,37 @@
+// Exact rational LP feasibility via phase-1 primal simplex with Bland's
+// rule. This is the third, fully independent route to Lemma 2's
+// characterization (3): "P(R, S) is feasible over the rationals". The
+// other two routes in bagc are the closed-form solution (rational_witness)
+// and max-flow saturation (flow/). Having all three lets tests
+// cross-validate them, and the simplex also answers feasibility for
+// programs with more than two bags, where no closed form exists (there it
+// decides the *rational relaxation*, a necessary condition for bag
+// consistency — see the Hoffman–Kruskal discussion in §3: for m = 2 the
+// relaxation is exact, for m >= 3 it is not).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "solver/lp.h"
+#include "util/rational.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Outcome of the phase-1 solve.
+struct SimplexResult {
+  bool feasible = false;
+  /// A feasible rational point (aligned with lp.variables) when feasible.
+  std::vector<Rational> solution;
+  /// Pivot count (for the ablation benchmarks).
+  size_t pivots = 0;
+};
+
+/// Decides feasibility of { x >= 0 : Ax = b } for the given consistency
+/// LP, exactly. Runs phase-1 simplex (minimize the sum of artificial
+/// variables) with Bland's anti-cycling rule; all arithmetic is exact
+/// rational, so the answer is never subject to rounding.
+Result<SimplexResult> SolveRationalFeasibility(const ConsistencyLp& lp);
+
+}  // namespace bagc

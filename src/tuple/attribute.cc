@@ -1,0 +1,51 @@
+#include "tuple/attribute.h"
+
+namespace bagc {
+
+AttrId AttributeCatalog::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(names_.size());
+  names_.push_back(name);
+  domain_sizes_.emplace_back();
+  index_.emplace(name, id);
+  return id;
+}
+
+Result<AttrId> AttributeCatalog::Register(const std::string& name) {
+  if (index_.count(name) > 0) {
+    return Status::AlreadyExists("attribute '" + name + "' already registered");
+  }
+  return Intern(name);
+}
+
+Status AttributeCatalog::SetDomainSize(AttrId id, uint64_t size) {
+  if (id >= names_.size()) {
+    return Status::NotFound("attribute id out of range");
+  }
+  if (size == 0) {
+    return Status::InvalidArgument("domain must be non-empty");
+  }
+  domain_sizes_[id] = size;
+  return Status::OK();
+}
+
+std::optional<uint64_t> AttributeCatalog::DomainSize(AttrId id) const {
+  if (id >= domain_sizes_.size()) return std::nullopt;
+  return domain_sizes_[id];
+}
+
+std::string AttributeCatalog::Name(AttrId id) const {
+  if (id < names_.size()) return names_[id];
+  return "attr" + std::to_string(id);
+}
+
+Result<AttrId> AttributeCatalog::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("attribute '" + name + "' not registered");
+  }
+  return it->second;
+}
+
+}  // namespace bagc

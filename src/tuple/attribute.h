@@ -1,0 +1,60 @@
+// Attributes and their catalog. An attribute is a symbol with an associated
+// domain (paper §2). Internally attributes are dense integer ids; the
+// catalog maps ids to names and optional finite-domain metadata used by
+// workload generators and by constructions that need a default domain
+// element (Lemma 4 vertex deletion).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bagc {
+
+/// Dense attribute identifier.
+using AttrId = uint32_t;
+
+/// Domain element. Domains are subsets of int64; generators typically use
+/// {0, ..., d-1}.
+using Value = int64_t;
+
+/// \brief Registry of attribute names and domain metadata.
+///
+/// The catalog is append-only; ids are assigned densely in registration
+/// order. Library algorithms operate purely on ids — the catalog exists for
+/// I/O, examples, and generators.
+class AttributeCatalog {
+ public:
+  AttributeCatalog() = default;
+
+  /// Registers (or returns the existing id of) an attribute by name.
+  AttrId Intern(const std::string& name);
+
+  /// Registers `name` and errors if it already exists.
+  Result<AttrId> Register(const std::string& name);
+
+  /// Declares a finite domain {0, ..., size-1} for the attribute.
+  Status SetDomainSize(AttrId id, uint64_t size);
+
+  /// Domain size if declared.
+  std::optional<uint64_t> DomainSize(AttrId id) const;
+
+  /// Name lookup; "attr<id>" fallback for unregistered ids.
+  std::string Name(AttrId id) const;
+
+  /// Id lookup by name.
+  Result<AttrId> Lookup(const std::string& name) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::optional<uint64_t>> domain_sizes_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+}  // namespace bagc

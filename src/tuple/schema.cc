@@ -1,0 +1,98 @@
+#include "tuple/schema.h"
+
+#include <algorithm>
+
+namespace bagc {
+
+Schema::Schema(std::vector<AttrId> attrs) : attrs_(std::move(attrs)) {
+  std::sort(attrs_.begin(), attrs_.end());
+  attrs_.erase(std::unique(attrs_.begin(), attrs_.end()), attrs_.end());
+}
+
+bool Schema::Contains(AttrId a) const {
+  return std::binary_search(attrs_.begin(), attrs_.end(), a);
+}
+
+Result<size_t> Schema::IndexOf(AttrId a) const {
+  auto it = std::lower_bound(attrs_.begin(), attrs_.end(), a);
+  if (it == attrs_.end() || *it != a) {
+    return Status::NotFound("attribute not in schema");
+  }
+  return static_cast<size_t>(it - attrs_.begin());
+}
+
+bool Schema::IsSubsetOf(const Schema& other) const {
+  return std::includes(other.attrs_.begin(), other.attrs_.end(), attrs_.begin(),
+                       attrs_.end());
+}
+
+Schema Schema::Union(const Schema& x, const Schema& y) {
+  std::vector<AttrId> out;
+  out.reserve(x.arity() + y.arity());
+  std::set_union(x.attrs_.begin(), x.attrs_.end(), y.attrs_.begin(), y.attrs_.end(),
+                 std::back_inserter(out));
+  Schema s;
+  s.attrs_ = std::move(out);
+  return s;
+}
+
+Schema Schema::Intersect(const Schema& x, const Schema& y) {
+  std::vector<AttrId> out;
+  std::set_intersection(x.attrs_.begin(), x.attrs_.end(), y.attrs_.begin(),
+                        y.attrs_.end(), std::back_inserter(out));
+  Schema s;
+  s.attrs_ = std::move(out);
+  return s;
+}
+
+Schema Schema::Difference(const Schema& x, const Schema& y) {
+  std::vector<AttrId> out;
+  std::set_difference(x.attrs_.begin(), x.attrs_.end(), y.attrs_.begin(),
+                      y.attrs_.end(), std::back_inserter(out));
+  Schema s;
+  s.attrs_ = std::move(out);
+  return s;
+}
+
+Schema Schema::UnionAll(const std::vector<Schema>& schemas) {
+  Schema acc;
+  for (const Schema& s : schemas) acc = Union(acc, s);
+  return acc;
+}
+
+std::string Schema::ToString(const AttributeCatalog& catalog) const {
+  std::string out = "{";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += catalog.Name(attrs_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(attrs_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+Result<Projector> Projector::Make(const Schema& from, const Schema& onto) {
+  if (!onto.IsSubsetOf(from)) {
+    return Status::InvalidArgument("projection target is not a sub-schema");
+  }
+  Projector p;
+  p.from_ = from;
+  p.onto_ = onto;
+  p.indices_.reserve(onto.arity());
+  for (size_t i = 0; i < onto.arity(); ++i) {
+    BAGC_ASSIGN_OR_RETURN(size_t idx, from.IndexOf(onto.at(i)));
+    p.indices_.push_back(idx);
+  }
+  return p;
+}
+
+}  // namespace bagc

@@ -1,0 +1,86 @@
+// Schema: a finite set of attributes (paper §2). Stored sorted so that set
+// operations are linear merges and tuple layouts are canonical: the i-th
+// slot of a Tuple over schema X holds the value of the i-th smallest
+// attribute of X.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tuple/attribute.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief Sorted, duplicate-free set of attribute ids.
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema from any attribute list; sorts and deduplicates.
+  explicit Schema(std::vector<AttrId> attrs);
+  Schema(std::initializer_list<AttrId> attrs)
+      : Schema(std::vector<AttrId>(attrs)) {}
+
+  /// Number of attributes (the arity of tuples over this schema).
+  size_t arity() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+  AttrId at(size_t i) const { return attrs_[i]; }
+
+  bool Contains(AttrId a) const;
+  /// Position of attribute `a` within the sorted layout.
+  Result<size_t> IndexOf(AttrId a) const;
+
+  /// True iff every attribute of this schema is in `other`.
+  bool IsSubsetOf(const Schema& other) const;
+
+  /// X ∪ Y (written XY in the paper).
+  static Schema Union(const Schema& x, const Schema& y);
+  /// X ∩ Y.
+  static Schema Intersect(const Schema& x, const Schema& y);
+  /// X \ Y.
+  static Schema Difference(const Schema& x, const Schema& y);
+
+  /// Union over a whole collection.
+  static Schema UnionAll(const std::vector<Schema>& schemas);
+
+  bool operator==(const Schema& o) const { return attrs_ == o.attrs_; }
+  bool operator!=(const Schema& o) const { return !(*this == o); }
+  /// Lexicographic order — schemas are usable as map keys.
+  bool operator<(const Schema& o) const { return attrs_ < o.attrs_; }
+
+  /// "{A, B, C}" using catalog names.
+  std::string ToString(const AttributeCatalog& catalog) const;
+  /// "{0, 1, 2}" with raw ids.
+  std::string ToString() const;
+
+ private:
+  std::vector<AttrId> attrs_;
+};
+
+/// \brief Precomputed projection map from schema X onto Y ⊆ X.
+///
+/// Projecting many tuples over the same pair of schemas is the hot path of
+/// marginal computation; the Projector caches the slot indices once.
+class Projector {
+ public:
+  /// Fails unless `onto` ⊆ `from`.
+  static Result<Projector> Make(const Schema& from, const Schema& onto);
+
+  const Schema& from() const { return from_; }
+  const Schema& onto() const { return onto_; }
+
+  /// Slot in `from` layout feeding slot i of `onto` layout.
+  size_t SourceIndex(size_t i) const { return indices_[i]; }
+  size_t arity() const { return indices_.size(); }
+
+ private:
+  Schema from_;
+  Schema onto_;
+  std::vector<size_t> indices_;
+};
+
+}  // namespace bagc

@@ -1,0 +1,56 @@
+#include "tuple/tuple.h"
+
+namespace bagc {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(values_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+Result<TupleJoiner> TupleJoiner::Make(const Schema& x, const Schema& y) {
+  TupleJoiner j;
+  j.xy_ = Schema::Union(x, y);
+  j.shared_ = Schema::Intersect(x, y);
+  j.sources_.reserve(j.xy_.arity());
+  for (size_t i = 0; i < j.xy_.arity(); ++i) {
+    AttrId a = j.xy_.at(i);
+    if (x.Contains(a)) {
+      BAGC_ASSIGN_OR_RETURN(size_t idx, x.IndexOf(a));
+      j.sources_.emplace_back(true, idx);
+    } else {
+      BAGC_ASSIGN_OR_RETURN(size_t idx, y.IndexOf(a));
+      j.sources_.emplace_back(false, idx);
+    }
+  }
+  j.shared_slots_.reserve(j.shared_.arity());
+  for (size_t i = 0; i < j.shared_.arity(); ++i) {
+    AttrId a = j.shared_.at(i);
+    BAGC_ASSIGN_OR_RETURN(size_t xi, x.IndexOf(a));
+    BAGC_ASSIGN_OR_RETURN(size_t yi, y.IndexOf(a));
+    j.shared_slots_.emplace_back(xi, yi);
+  }
+  return j;
+}
+
+bool TupleJoiner::Joinable(const Tuple& x, const Tuple& y) const {
+  for (const auto& [xi, yi] : shared_slots_) {
+    if (x.at(xi) != y.at(yi)) return false;
+  }
+  return true;
+}
+
+Tuple TupleJoiner::Join(const Tuple& x, const Tuple& y) const {
+  std::vector<Value> out(sources_.size());
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    const auto& [from_left, idx] = sources_[i];
+    out[i] = from_left ? x.at(idx) : y.at(idx);
+  }
+  return Tuple(std::move(out));
+}
+
+}  // namespace bagc

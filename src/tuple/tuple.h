@@ -1,0 +1,87 @@
+// Tuples over a schema (paper §2). A Tuple is a function from attributes to
+// domain values, stored as a value vector aligned with the canonical sorted
+// layout of its schema. Tup(∅) is non-empty: it contains the empty tuple.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tuple/schema.h"
+#include "util/hash.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// \brief Value vector aligned with a Schema's sorted attribute order.
+///
+/// Tuples do not carry their schema (bags store one schema for all their
+/// tuples); operations that need the schema take it as a parameter.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t arity() const { return values_.size(); }
+  Value at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Projection t[Y] via a precomputed Projector.
+  Tuple Project(const Projector& proj) const {
+    std::vector<Value> out(proj.arity());
+    for (size_t i = 0; i < proj.arity(); ++i) out[i] = values_[proj.SourceIndex(i)];
+    return Tuple(std::move(out));
+  }
+
+  /// Value of attribute `a` under schema `x`; errors if a ∉ X.
+  Result<Value> ValueOf(const Schema& x, AttrId a) const {
+    BAGC_ASSIGN_OR_RETURN(size_t idx, x.IndexOf(a));
+    return values_[idx];
+  }
+
+  bool operator==(const Tuple& o) const { return values_ == o.values_; }
+  bool operator!=(const Tuple& o) const { return !(*this == o); }
+  bool operator<(const Tuple& o) const { return values_ < o.values_; }
+
+  uint64_t Hash() const { return HashRange(values_); }
+
+  /// "(v1, v2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return static_cast<size_t>(t.Hash()); }
+};
+
+/// \brief Joiner: combines an X-tuple and a Y-tuple agreeing on X ∩ Y into
+/// an XY-tuple (the tuple `xy` of the paper).
+///
+/// Precomputes, for every slot of the XY layout, which operand and slot it
+/// is read from, plus the shared slots that must agree for the join to be
+/// defined.
+class TupleJoiner {
+ public:
+  static Result<TupleJoiner> Make(const Schema& x, const Schema& y);
+
+  const Schema& joined_schema() const { return xy_; }
+  const Schema& shared_schema() const { return shared_; }
+
+  /// True iff x[X∩Y] == y[X∩Y], i.e. `x joins with y`.
+  bool Joinable(const Tuple& x, const Tuple& y) const;
+
+  /// The XY-tuple xy. Requires Joinable(x, y).
+  Tuple Join(const Tuple& x, const Tuple& y) const;
+
+ private:
+  Schema xy_;
+  Schema shared_;
+  // For each slot of xy_: (from_left, source slot index).
+  std::vector<std::pair<bool, size_t>> sources_;
+  // Pairs of slots (left index, right index) that must agree.
+  std::vector<std::pair<size_t, size_t>> shared_slots_;
+};
+
+}  // namespace bagc

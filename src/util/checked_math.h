@@ -1,0 +1,65 @@
+// Overflow-checked 64-bit arithmetic. Multiplicities in bags are uint64_t;
+// every arithmetic path that could overflow goes through these helpers so
+// consistency decisions are exact or fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bagc {
+
+/// a + b with overflow detection.
+inline Result<uint64_t> CheckedAdd(uint64_t a, uint64_t b) {
+  uint64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return Status::ArithmeticOverflow("uint64 addition overflow");
+  }
+  return out;
+}
+
+/// a * b with overflow detection.
+inline Result<uint64_t> CheckedMul(uint64_t a, uint64_t b) {
+  uint64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return Status::ArithmeticOverflow("uint64 multiplication overflow");
+  }
+  return out;
+}
+
+/// a - b; errors if b > a (multiplicities never go negative).
+inline Result<uint64_t> CheckedSub(uint64_t a, uint64_t b) {
+  if (b > a) {
+    return Status::ArithmeticOverflow("uint64 subtraction underflow");
+  }
+  return a - b;
+}
+
+/// Saturating add: clamps to uint64 max instead of failing.
+inline uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t out;
+  if (__builtin_add_overflow(a, b, &out)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return out;
+}
+
+/// Saturating multiply.
+inline uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  uint64_t out;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return out;
+}
+
+/// Number of bits needed to write v in binary, i.e. floor(log2(v)) + 1,
+/// with BitLength(0) == 0. Used for binary-size measures ||R||_b, where
+/// the paper counts log(R(r) + 1).
+inline unsigned BitLength(uint64_t v) {
+  return v == 0 ? 0u : static_cast<unsigned>(64 - __builtin_clzll(v));
+}
+
+}  // namespace bagc

@@ -1,0 +1,32 @@
+// Hashing helpers for composite keys (tuples, schemas).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bagc {
+
+/// 64-bit mix (splitmix64 finalizer) — decorrelates consecutive integers.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines a new value into a running hash seed.
+inline void HashCombine(uint64_t* seed, uint64_t v) {
+  *seed ^= Mix64(v) + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Order-sensitive hash of a vector of integer-like values.
+template <typename T>
+uint64_t HashRange(const std::vector<T>& values) {
+  uint64_t seed = 0x5bf03635u ^ values.size();
+  for (const T& v : values) HashCombine(&seed, static_cast<uint64_t>(v));
+  return seed;
+}
+
+}  // namespace bagc

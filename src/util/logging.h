@@ -1,0 +1,24 @@
+// Internal invariant checking. BAGC_DCHECK compiles out in release builds;
+// BAGC_CHECK always fires. These guard *programming errors* only — user
+// input errors are reported through Status, never through aborts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define BAGC_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "BAGC_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define BAGC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define BAGC_DCHECK(cond) BAGC_CHECK(cond)
+#endif

@@ -1,0 +1,64 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace bagc {
+
+namespace {
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Below(uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(Next()) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t Rng::Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+bool Rng::Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  // Selection sampling over a partial Fisher-Yates of indices.
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(Below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace bagc

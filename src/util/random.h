@@ -1,0 +1,49 @@
+// Deterministic PRNG for workload generators and property tests.
+// All generated workloads in bagc take an explicit seed so every
+// experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bagc {
+
+/// \brief xoshiro256** PRNG, seeded via splitmix64.
+///
+/// Not cryptographic; chosen for speed, quality, and full reproducibility
+/// across platforms (no reliance on std::mt19937 distribution details).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound) using Lemire's unbiased method; bound > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive; requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// Bernoulli trial with probability num/den; requires num <= den, den > 0.
+  bool Chance(uint64_t num, uint64_t den);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks k distinct indices from [0, n); requires k <= n.
+  std::vector<size_t> Sample(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace bagc

@@ -1,0 +1,104 @@
+#include "util/rational.h"
+
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+
+namespace bagc {
+
+namespace {
+
+using Int128 = __int128;
+
+// Reduces n/d (d != 0) to canonical form; errors if it does not fit int64.
+Result<Rational> Reduce(Int128 n, Int128 d) {
+  if (d == 0) return Status::InvalidArgument("rational with zero denominator");
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  Int128 a = n < 0 ? -n : n;
+  Int128 b = d;
+  while (b != 0) {
+    Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a != 0) {
+    n /= a;
+    d /= a;
+  } else {
+    d = 1;  // canonical zero
+  }
+  constexpr Int128 kMin = std::numeric_limits<int64_t>::min();
+  constexpr Int128 kMax = std::numeric_limits<int64_t>::max();
+  if (n < kMin || n > kMax || d > kMax) {
+    return Status::ArithmeticOverflow("rational does not fit in int64/int64");
+  }
+  return Rational::Make(static_cast<int64_t>(n), static_cast<int64_t>(d));
+}
+
+}  // namespace
+
+Result<Rational> Rational::Make(int64_t num, int64_t den) {
+  if (den == 0) return Status::InvalidArgument("rational with zero denominator");
+  if (den < 0) {
+    if (num == std::numeric_limits<int64_t>::min() ||
+        den == std::numeric_limits<int64_t>::min()) {
+      return Reduce(static_cast<Int128>(num), static_cast<Int128>(den));
+    }
+    num = -num;
+    den = -den;
+  }
+  int64_t g = std::gcd(num < 0 ? -static_cast<uint64_t>(num) : static_cast<uint64_t>(num),
+                       static_cast<uint64_t>(den));
+  Rational r;
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  if (num == 0) den = 1;
+  r.num_ = num;
+  r.den_ = den;
+  return r;
+}
+
+Result<Rational> Rational::Add(const Rational& a, const Rational& b) {
+  Int128 n = static_cast<Int128>(a.num_) * b.den_ + static_cast<Int128>(b.num_) * a.den_;
+  Int128 d = static_cast<Int128>(a.den_) * b.den_;
+  return Reduce(n, d);
+}
+
+Result<Rational> Rational::Sub(const Rational& a, const Rational& b) {
+  Int128 n = static_cast<Int128>(a.num_) * b.den_ - static_cast<Int128>(b.num_) * a.den_;
+  Int128 d = static_cast<Int128>(a.den_) * b.den_;
+  return Reduce(n, d);
+}
+
+Result<Rational> Rational::Mul(const Rational& a, const Rational& b) {
+  Int128 n = static_cast<Int128>(a.num_) * b.num_;
+  Int128 d = static_cast<Int128>(a.den_) * b.den_;
+  return Reduce(n, d);
+}
+
+Result<Rational> Rational::Div(const Rational& a, const Rational& b) {
+  if (b.is_zero()) return Status::InvalidArgument("division by zero rational");
+  Int128 n = static_cast<Int128>(a.num_) * b.den_;
+  Int128 d = static_cast<Int128>(a.den_) * b.num_;
+  return Reduce(n, d);
+}
+
+int Rational::Compare(const Rational& a, const Rational& b) {
+  Int128 lhs = static_cast<Int128>(a.num_) * b.den_;
+  Int128 rhs = static_cast<Int128>(b.num_) * a.den_;
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+}  // namespace bagc

@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible producers.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace bagc {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// A Result is never "empty": it holds exactly one of the two. Accessing
+/// the value of an errored Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace bagc
+
+/// Propagates the error of a Result-producing expression, else binds the
+/// value to `lhs`. Usage: BAGC_ASSIGN_OR_RETURN(auto x, MakeX());
+#define BAGC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+#define BAGC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define BAGC_ASSIGN_OR_RETURN_NAME(a, b) BAGC_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define BAGC_ASSIGN_OR_RETURN(lhs, expr) \
+  BAGC_ASSIGN_OR_RETURN_IMPL(BAGC_ASSIGN_OR_RETURN_NAME(_res_, __LINE__), lhs, expr)

@@ -1,0 +1,124 @@
+// Status: error propagation without exceptions, in the style of
+// Arrow/RocksDB. All fallible public APIs in bagc return Status or
+// Result<T> (see result.h); exceptions never cross the public API.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bagc {
+
+/// Error category for a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kArithmeticOverflow = 6,
+  kResourceExhausted = 7,
+  kInternal = 8,
+  kNotImplemented = 9,
+};
+
+/// Human-readable name of a StatusCode ("OK", "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is either OK (the default) or carries a StatusCode plus a
+/// message. Statuses are cheap to copy in the OK case (single pointer).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : rep_(nullptr) {}
+  ~Status() { delete rep_; }
+
+  Status(const Status& other) : rep_(other.rep_ ? new Rep(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete rep_;
+      rep_ = other.rep_ ? new Rep(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : rep_(other.rep_) { other.rep_ = nullptr; }
+  Status& operator=(Status&& other) noexcept {
+    if (this != &other) {
+      delete rep_;
+      rep_ = other.rep_;
+      other.rep_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Factory for an OK status.
+  static Status OK() { return Status(); }
+  /// Factory for an error status with the given code and message.
+  static Status Error(StatusCode code, std::string msg) {
+    Status s;
+    s.rep_ = new Rep{code, std::move(msg)};
+    return s;
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Error(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Error(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Error(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Error(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Error(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ArithmeticOverflow(std::string msg) {
+    return Error(StatusCode::kArithmeticOverflow, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Error(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Error(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Error(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+  /// The status code (kOk when ok()).
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// The error message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  Rep* rep_;
+};
+
+}  // namespace bagc
+
+/// Propagates a non-OK Status out of the current function.
+#define BAGC_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::bagc::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)

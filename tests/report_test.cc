@@ -1,0 +1,124 @@
+// Tests for the diagnostic report API and the Yannakakis acyclic join.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/tseitin.h"
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "setcase/relation_consistency.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+TEST(ReportTest, AcyclicConsistentCollection) {
+  Rng rng(301);
+  BagGenOptions options;
+  options.support_size = 12;
+  options.domain_size = 3;
+  BagCollection c =
+      *MakeGloballyConsistentCollection(*MakePath(4), options, &rng);
+  ConsistencyReport report = *AnalyzeCollection(c);
+  EXPECT_TRUE(report.acyclic);
+  EXPECT_FALSE(report.obstruction.has_value());
+  EXPECT_TRUE(report.pairwise_consistent);
+  EXPECT_FALSE(report.failing_pair.has_value());
+  EXPECT_TRUE(report.global_decided);
+  EXPECT_TRUE(report.globally_consistent);
+  ASSERT_TRUE(report.witness.has_value());
+  EXPECT_TRUE(*c.IsWitness(*report.witness));
+  EXPECT_LE(report.witness_support, report.support_bound);
+  AttributeCatalog catalog;
+  std::string text = report.ToString(catalog);
+  EXPECT_NE(text.find("acyclic"), std::string::npos);
+  EXPECT_NE(text.find("consistent"), std::string::npos);
+}
+
+TEST(ReportTest, PairwiseInconsistentShortCircuits) {
+  Bag r = *MakeBag(Schema{{0, 1}}, {{{0, 0}, 2}});
+  Bag s = *MakeBag(Schema{{1, 2}}, {{{0, 0}, 1}});
+  BagCollection c = *BagCollection::Make({r, s});
+  ConsistencyReport report = *AnalyzeCollection(c);
+  EXPECT_FALSE(report.pairwise_consistent);
+  ASSERT_TRUE(report.failing_pair.has_value());
+  EXPECT_EQ(*report.failing_pair, (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_TRUE(report.global_decided);
+  EXPECT_FALSE(report.globally_consistent);
+  EXPECT_FALSE(report.witness.has_value());
+}
+
+TEST(ReportTest, CyclicCollectionCarriesObstruction) {
+  BagCollection c = *BagCollection::Make(*MakeTseitinCollection(*MakeCycle(4)));
+  ConsistencyReport report = *AnalyzeCollection(c);
+  EXPECT_FALSE(report.acyclic);
+  ASSERT_TRUE(report.obstruction.has_value());
+  EXPECT_FALSE(report.obstruction->is_hn);  // C4 core is the chordless cycle
+  EXPECT_TRUE(report.pairwise_consistent);
+  EXPECT_TRUE(report.global_decided);
+  EXPECT_FALSE(report.globally_consistent);
+  AttributeCatalog catalog;
+  std::string text = report.ToString(catalog);
+  EXPECT_NE(text.find("CYCLIC"), std::string::npos);
+  EXPECT_NE(text.find("genuinely global"), std::string::npos);
+}
+
+TEST(ReportTest, BudgetExhaustionIsUndecidedNotFatal) {
+  Rng rng(302);
+  BagGenOptions options;
+  options.support_size = 16;
+  options.domain_size = 4;
+  options.max_multiplicity = 50;
+  BagCollection c =
+      *MakeGloballyConsistentCollection(*MakeCycle(3), options, &rng);
+  GlobalSolveOptions tight;
+  tight.search.node_limit = 1;
+  ConsistencyReport report = *AnalyzeCollection(c, tight);
+  EXPECT_TRUE(report.pairwise_consistent);
+  EXPECT_FALSE(report.global_decided);
+  AttributeCatalog catalog;
+  EXPECT_NE(report.ToString(catalog).find("UNDECIDED"), std::string::npos);
+}
+
+TEST(YannakakisJoinTest, AgreesWithNaiveFold) {
+  Rng rng(303);
+  BagGenOptions options;
+  options.support_size = 12;
+  options.domain_size = 3;
+  for (int trial = 0; trial < 25; ++trial) {
+    Hypergraph h = *MakeRandomAcyclic(2 + rng.Below(4), 1 + rng.Below(3), &rng);
+    std::vector<Relation> rels;
+    for (const Schema& e : h.edges()) {
+      rels.push_back(Relation::SupportOf(*MakeRandomBag(e, options, &rng)));
+    }
+    bool any_empty = false;
+    for (const Relation& r : rels) any_empty |= r.IsEmpty();
+    if (any_empty) continue;
+    Relation via_yannakakis = *JoinAcyclic(rels);
+    Relation via_fold = *Relation::JoinAll(rels);
+    EXPECT_EQ(via_yannakakis, via_fold) << h.ToString();
+  }
+}
+
+TEST(YannakakisJoinTest, RejectsCyclicSchemas) {
+  Relation r = *MakeRelation(Schema{{0, 1}}, {{0, 0}});
+  Relation s = *MakeRelation(Schema{{1, 2}}, {{0, 0}});
+  Relation t = *MakeRelation(Schema{{0, 2}}, {{0, 0}});
+  EXPECT_FALSE(JoinAcyclic({r, s, t}).ok());
+}
+
+TEST(YannakakisJoinTest, DanglingTuplesDoNotInflateIntermediates) {
+  // A relation full of dangling tuples: after full reduction the join is
+  // tiny even though the naive fold touches the dangling tuples.
+  Relation r = *MakeRelation(Schema{{0, 1}}, {{0, 0}});
+  std::vector<std::vector<Value>> many;
+  for (Value v = 0; v < 100; ++v) many.push_back({v + 1000, v});
+  many.push_back({0, 7});
+  Relation s = *MakeRelation(Schema{{1, 2}}, many);
+  Relation t = *MakeRelation(Schema{{2, 3}}, {{7, 9}});
+  Relation join = *JoinAcyclic({r, s, t});
+  EXPECT_EQ(join.size(), 1u);
+  EXPECT_TRUE(join.Contains(Tuple{{0, 0, 7, 9}}));
+}
+
+}  // namespace
+}  // namespace bagc

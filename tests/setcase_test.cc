@@ -1,0 +1,185 @@
+// Tests for the set-semantics baseline (§5.1): relation consistency, the
+// join-based global consistency criterion, the Yannakakis full reducer,
+// and the HLY80 coloring reduction.
+#include <gtest/gtest.h>
+
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "reductions/coloring.h"
+#include "setcase/relation_consistency.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+TEST(RelationConsistencyTest, SharedProjectionCriterion) {
+  Relation r = *MakeRelation(Schema{{0, 1}}, {{0, 0}, {1, 1}});
+  Relation s = *MakeRelation(Schema{{1, 2}}, {{0, 5}, {1, 6}});
+  EXPECT_TRUE(*AreConsistentRelations(r, s));
+  Relation s2 = *MakeRelation(Schema{{1, 2}}, {{0, 5}});
+  EXPECT_FALSE(*AreConsistentRelations(r, s2));
+}
+
+TEST(RelationConsistencyTest, PairwiseDetection) {
+  Relation r = *MakeRelation(Schema{{0, 1}}, {{0, 0}});
+  Relation s = *MakeRelation(Schema{{1, 2}}, {{0, 0}});
+  Relation t = *MakeRelation(Schema{{2, 3}}, {{5, 0}});  // B-value mismatch
+  std::pair<size_t, size_t> bad;
+  EXPECT_FALSE(*ArePairwiseConsistentRelations({r, s, t}, &bad));
+  EXPECT_EQ(bad, (std::pair<size_t, size_t>{1, 2}));
+}
+
+TEST(RelationGlobalTest, PaperCounterexample) {
+  // §4: pairwise consistent but not globally consistent relations.
+  Relation r = *MakeRelation(Schema{{0, 1}}, {{0, 0}, {1, 1}});
+  Relation s = *MakeRelation(Schema{{1, 2}}, {{0, 1}, {1, 0}});
+  Relation t = *MakeRelation(Schema{{0, 2}}, {{0, 0}, {1, 1}});
+  EXPECT_TRUE(*ArePairwiseConsistentRelations({r, s, t}));
+  auto witness = *SolveGlobalConsistencyRelations({r, s, t});
+  EXPECT_FALSE(witness.has_value());
+}
+
+TEST(RelationGlobalTest, JoinIsLargestWitness) {
+  Rng rng(61);
+  BagGenOptions options;
+  options.support_size = 14;
+  options.domain_size = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    Hypergraph h = *MakeRandomAcyclic(2 + rng.Below(4), 1 + rng.Below(3), &rng);
+    BagCollection bags = *MakeGloballyConsistentCollection(h, options, &rng);
+    std::vector<Relation> rels;
+    for (const Bag& b : bags.bags()) rels.push_back(Relation::SupportOf(b));
+    auto witness = *SolveGlobalConsistencyRelations(rels);
+    ASSERT_TRUE(witness.has_value());
+    for (const Relation& r : rels) {
+      EXPECT_EQ(*witness->Project(r.schema()), r);
+    }
+  }
+}
+
+TEST(FullReducerTest, RemovesDanglingTuples) {
+  // Path schema; a dangling tuple in the middle relation.
+  Relation r = *MakeRelation(Schema{{0, 1}}, {{0, 0}});
+  Relation s = *MakeRelation(Schema{{1, 2}}, {{0, 0}, {9, 9}});  // (9,9) dangles
+  Relation t = *MakeRelation(Schema{{2, 3}}, {{0, 0}});
+  std::vector<Relation> reduced = *FullReduce({r, s, t});
+  EXPECT_EQ(reduced[0].size(), 1u);
+  EXPECT_EQ(reduced[1].size(), 1u);
+  EXPECT_FALSE(reduced[1].Contains(Tuple{{9, 9}}));
+  EXPECT_EQ(reduced[2].size(), 1u);
+}
+
+TEST(FullReducerTest, AgreesWithJoinCriterionOnAcyclic) {
+  // BFMY: for acyclic schemas, "full reduction changes nothing" coincides
+  // with the join-projection criterion.
+  Rng rng(62);
+  BagGenOptions options;
+  options.support_size = 10;
+  options.domain_size = 3;
+  for (int trial = 0; trial < 30; ++trial) {
+    Hypergraph h = *MakeRandomAcyclic(2 + rng.Below(4), 1 + rng.Below(3), &rng);
+    std::vector<Relation> rels;
+    for (const Schema& e : h.edges()) {
+      Bag b = *MakeRandomBag(e, options, &rng);
+      rels.push_back(Relation::SupportOf(b));
+    }
+    bool nonempty = true;
+    for (const Relation& r : rels) nonempty &= !r.IsEmpty();
+    if (!nonempty) continue;
+    bool via_reducer = *IsGloballyConsistentAcyclicRelations(rels);
+    bool via_join = SolveGlobalConsistencyRelations(rels)->has_value();
+    EXPECT_EQ(via_reducer, via_join) << h.ToString();
+  }
+}
+
+TEST(FullReducerTest, AcyclicPairwiseEqualsGlobalForRelations) {
+  // Theorem 1 (a) => (e): marginalized (projected) collections over
+  // acyclic schemas are globally consistent.
+  Rng rng(63);
+  BagGenOptions options;
+  options.support_size = 12;
+  options.domain_size = 3;
+  for (int trial = 0; trial < 20; ++trial) {
+    Hypergraph h = *MakeRandomAcyclic(2 + rng.Below(4), 1 + rng.Below(3), &rng);
+    Schema all = Schema::UnionAll(h.edges());
+    Bag hidden = *MakeRandomBag(all, options, &rng);
+    if (hidden.IsEmpty()) continue;
+    Relation universal = Relation::SupportOf(hidden);
+    std::vector<Relation> rels;
+    for (const Schema& e : h.edges()) rels.push_back(*universal.Project(e));
+    EXPECT_TRUE(*ArePairwiseConsistentRelations(rels));
+    EXPECT_TRUE(*IsGloballyConsistentAcyclicRelations(rels));
+  }
+}
+
+TEST(FullReducerTest, RejectsCyclicSchemas) {
+  Relation r = *MakeRelation(Schema{{0, 1}}, {{0, 0}});
+  Relation s = *MakeRelation(Schema{{1, 2}}, {{0, 0}});
+  Relation t = *MakeRelation(Schema{{0, 2}}, {{0, 0}});
+  EXPECT_FALSE(FullReduce({r, s, t}).ok());
+}
+
+TEST(FullReducerTest, DuplicateSchemasIntersect) {
+  Relation r1 = *MakeRelation(Schema{{0, 1}}, {{0, 0}, {1, 1}});
+  Relation r2 = *MakeRelation(Schema{{0, 1}}, {{0, 0}, {2, 2}});
+  Relation s = *MakeRelation(Schema{{1, 2}}, {{0, 0}, {1, 0}, {2, 0}});
+  std::vector<Relation> reduced = *FullReduce({r1, r2, s});
+  // Only the common tuple (0,0) survives in both copies.
+  EXPECT_EQ(reduced[0], reduced[1]);
+  EXPECT_EQ(reduced[0].size(), 1u);
+  // r1 != reduced => not globally consistent.
+  EXPECT_FALSE(*IsGloballyConsistentAcyclicRelations({r1, r2, s}));
+}
+
+// ---- HLY80 coloring reduction ----
+
+TEST(ColoringTest, TriangleIsColorableAndConsistent) {
+  ColoringInstance g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1}, {1, 2}, {0, 2}};
+  ASSERT_TRUE(SolveThreeColoringBruteForce(g).has_value());
+  std::vector<Relation> rels = *ColoringToRelations(g);
+  EXPECT_EQ(rels.size(), 3u);
+  EXPECT_EQ(rels[0].size(), 6u);
+  auto witness = *SolveGlobalConsistencyRelations(rels);
+  EXPECT_TRUE(witness.has_value());
+}
+
+TEST(ColoringTest, K4IsColorableButK4PlusCliqueEdgesMatters) {
+  // K4 is not 3-colorable.
+  ColoringInstance k4;
+  k4.num_vertices = 4;
+  for (size_t u = 0; u < 4; ++u) {
+    for (size_t v = u + 1; v < 4; ++v) k4.edges.emplace_back(u, v);
+  }
+  EXPECT_FALSE(SolveThreeColoringBruteForce(k4).has_value());
+  std::vector<Relation> rels = *ColoringToRelations(k4);
+  auto witness = *SolveGlobalConsistencyRelations(rels);
+  EXPECT_FALSE(witness.has_value());
+}
+
+TEST(ColoringTest, ReductionAgreesWithBruteForce) {
+  Rng rng(64);
+  for (int trial = 0; trial < 25; ++trial) {
+    ColoringInstance g = MakeRandomGraph(6, 1, 2, &rng);
+    if (g.edges.empty()) continue;
+    bool colorable = SolveThreeColoringBruteForce(g).has_value();
+    std::vector<Relation> rels = *ColoringToRelations(g);
+    bool consistent = SolveGlobalConsistencyRelations(rels)->has_value();
+    EXPECT_EQ(colorable, consistent);
+  }
+}
+
+TEST(ColoringTest, PlantedColorableGraphsAreConsistent) {
+  Rng rng(65);
+  for (int trial = 0; trial < 10; ++trial) {
+    ColoringInstance g = MakeColorableGraph(7, 2, 3, &rng);
+    if (g.edges.empty()) continue;
+    EXPECT_TRUE(SolveThreeColoringBruteForce(g).has_value());
+    std::vector<Relation> rels = *ColoringToRelations(g);
+    EXPECT_TRUE(SolveGlobalConsistencyRelations(rels)->has_value());
+  }
+}
+
+}  // namespace
+}  // namespace bagc

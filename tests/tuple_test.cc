@@ -1,0 +1,174 @@
+// Unit tests for attributes, schemas, tuples, projections, and joins.
+#include <gtest/gtest.h>
+
+#include "tuple/attribute.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace bagc {
+namespace {
+
+TEST(AttributeCatalogTest, InternIsIdempotent) {
+  AttributeCatalog catalog;
+  AttrId a = catalog.Intern("A");
+  AttrId b = catalog.Intern("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(catalog.Intern("A"), a);
+  EXPECT_EQ(catalog.size(), 2u);
+}
+
+TEST(AttributeCatalogTest, RegisterRejectsDuplicates) {
+  AttributeCatalog catalog;
+  ASSERT_TRUE(catalog.Register("A").ok());
+  EXPECT_FALSE(catalog.Register("A").ok());
+  EXPECT_EQ(catalog.Register("A").status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AttributeCatalogTest, LookupAndNames) {
+  AttributeCatalog catalog;
+  AttrId a = catalog.Intern("City");
+  EXPECT_EQ(catalog.Name(a), "City");
+  EXPECT_EQ(*catalog.Lookup("City"), a);
+  EXPECT_FALSE(catalog.Lookup("Nope").ok());
+  EXPECT_EQ(catalog.Name(999), "attr999");  // fallback
+}
+
+TEST(AttributeCatalogTest, DomainSizes) {
+  AttributeCatalog catalog;
+  AttrId a = catalog.Intern("A");
+  EXPECT_FALSE(catalog.DomainSize(a).has_value());
+  ASSERT_TRUE(catalog.SetDomainSize(a, 5).ok());
+  EXPECT_EQ(*catalog.DomainSize(a), 5u);
+  EXPECT_FALSE(catalog.SetDomainSize(a, 0).ok());
+  EXPECT_FALSE(catalog.SetDomainSize(42, 3).ok());
+}
+
+TEST(SchemaTest, SortsAndDeduplicates) {
+  Schema s{{3, 1, 2, 1}};
+  EXPECT_EQ(s.arity(), 3u);
+  EXPECT_EQ(s.at(0), 1u);
+  EXPECT_EQ(s.at(1), 2u);
+  EXPECT_EQ(s.at(2), 3u);
+}
+
+TEST(SchemaTest, ContainsAndIndexOf) {
+  Schema s{{5, 9, 2}};
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(*s.IndexOf(2), 0u);
+  EXPECT_EQ(*s.IndexOf(5), 1u);
+  EXPECT_EQ(*s.IndexOf(9), 2u);
+  EXPECT_FALSE(s.IndexOf(7).ok());
+}
+
+TEST(SchemaTest, SetOperations) {
+  Schema x{{1, 2, 3}};
+  Schema y{{3, 4}};
+  EXPECT_EQ(Schema::Union(x, y), Schema({1, 2, 3, 4}));
+  EXPECT_EQ(Schema::Intersect(x, y), Schema({3}));
+  EXPECT_EQ(Schema::Difference(x, y), Schema({1, 2}));
+  EXPECT_TRUE(Schema({1, 2}).IsSubsetOf(x));
+  EXPECT_FALSE(x.IsSubsetOf(y));
+  EXPECT_TRUE(Schema{}.IsSubsetOf(y));
+}
+
+TEST(SchemaTest, UnionAll) {
+  EXPECT_EQ(Schema::UnionAll({Schema{{0, 1}}, Schema{{1, 2}}, Schema{{4}}}),
+            Schema({0, 1, 2, 4}));
+  EXPECT_EQ(Schema::UnionAll({}), Schema{});
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.arity(), 0u);
+  EXPECT_EQ(Schema::Intersect(empty, Schema{{1}}), empty);
+}
+
+TEST(ProjectorTest, RequiresSubset) {
+  Schema from{{1, 2, 3}};
+  EXPECT_TRUE(Projector::Make(from, Schema{{2}}).ok());
+  EXPECT_FALSE(Projector::Make(from, Schema{{4}}).ok());
+}
+
+TEST(ProjectorTest, MapsSlots) {
+  Schema from{{10, 20, 30}};
+  Schema onto{{30, 10}};
+  Projector p = *Projector::Make(from, onto);
+  // onto sorted = {10, 30}: 10 at from-slot 0, 30 at from-slot 2.
+  EXPECT_EQ(p.arity(), 2u);
+  EXPECT_EQ(p.SourceIndex(0), 0u);
+  EXPECT_EQ(p.SourceIndex(1), 2u);
+}
+
+TEST(TupleTest, ProjectionAndEmptyTuple) {
+  Schema x{{1, 2, 3}};
+  Tuple t{{7, 8, 9}};
+  Projector p = *Projector::Make(x, Schema{{1, 3}});
+  Tuple proj = t.Project(p);
+  EXPECT_EQ(proj, Tuple({7, 9}));
+  // Projection onto the empty schema yields the empty tuple.
+  Projector pe = *Projector::Make(x, Schema{});
+  EXPECT_EQ(t.Project(pe), Tuple{});
+  EXPECT_EQ(t.Project(pe).arity(), 0u);
+}
+
+TEST(TupleTest, ValueOf) {
+  Schema x{{4, 7}};
+  Tuple t{{100, 200}};
+  EXPECT_EQ(*t.ValueOf(x, 4), 100);
+  EXPECT_EQ(*t.ValueOf(x, 7), 200);
+  EXPECT_FALSE(t.ValueOf(x, 5).ok());
+}
+
+TEST(TupleTest, OrderingAndHash) {
+  Tuple a{{1, 2}};
+  Tuple b{{1, 3}};
+  EXPECT_LT(a, b);
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_EQ(a.Hash(), Tuple({1, 2}).Hash());
+}
+
+TEST(TupleJoinerTest, JoinWithSharedAttributes) {
+  Schema x{{1, 2}};
+  Schema y{{2, 3}};
+  TupleJoiner j = *TupleJoiner::Make(x, y);
+  EXPECT_EQ(j.joined_schema(), Schema({1, 2, 3}));
+  EXPECT_EQ(j.shared_schema(), Schema({2}));
+  Tuple a{{10, 20}};   // A1=10, A2=20
+  Tuple b{{20, 30}};   // A2=20, A3=30
+  Tuple c{{21, 30}};   // A2=21
+  EXPECT_TRUE(j.Joinable(a, b));
+  EXPECT_FALSE(j.Joinable(a, c));
+  EXPECT_EQ(j.Join(a, b), Tuple({10, 20, 30}));
+}
+
+TEST(TupleJoinerTest, DisjointSchemasAlwaysJoin) {
+  Schema x{{1}};
+  Schema y{{5}};
+  TupleJoiner j = *TupleJoiner::Make(x, y);
+  EXPECT_TRUE(j.shared_schema().empty());
+  EXPECT_TRUE(j.Joinable(Tuple{{3}}, Tuple{{4}}));
+  EXPECT_EQ(j.Join(Tuple{{3}}, Tuple{{4}}), Tuple({3, 4}));
+}
+
+TEST(TupleJoinerTest, IdenticalSchemas) {
+  Schema x{{1, 2}};
+  TupleJoiner j = *TupleJoiner::Make(x, x);
+  Tuple a{{5, 6}};
+  EXPECT_TRUE(j.Joinable(a, a));
+  EXPECT_EQ(j.Join(a, a), a);
+  EXPECT_FALSE(j.Joinable(a, Tuple({5, 7})));
+}
+
+TEST(SchemaTest, ToStringWithCatalog) {
+  AttributeCatalog catalog;
+  AttrId a = catalog.Intern("A");
+  AttrId b = catalog.Intern("B");
+  Schema s{{b, a}};
+  EXPECT_EQ(s.ToString(catalog), "{A, B}");
+  EXPECT_EQ(s.ToString(), "{0, 1}");
+}
+
+}  // namespace
+}  // namespace bagc
