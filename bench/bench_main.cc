@@ -1,0 +1,216 @@
+// Machine-readable micro-benchmark pass. Emits ops/sec for the three hot
+// paths of the reproduction — two-bag solve (Lemma 2 / Corollary 1),
+// acyclic fold (Theorem 6), and bag join — at three sizes each, as JSON.
+//
+// Usage:
+//   bench_main [--out FILE] [--baseline FILE]
+//
+// With --baseline, each benchmark entry additionally carries the baseline's
+// ops/sec for the same (name, size) pair plus the speedup ratio, so a
+// before/after comparison lives in one artifact. The baseline file is a
+// JSON file previously produced by this tool.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/global.h"
+#include "core/two_bag.h"
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+struct BenchResult {
+  std::string name;
+  size_t size;
+  double ops_per_sec;
+  size_t iterations;
+  double baseline_ops_per_sec = 0;  // 0 = no baseline
+};
+
+// Runs `op` repeatedly until it has consumed at least `min_seconds`,
+// reporting ops/sec over the timed window. One untimed warmup call.
+template <typename Op>
+BenchResult Measure(const std::string& name, size_t size, Op&& op,
+                    double min_seconds = 0.2) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warmup
+  size_t iterations = 0;
+  auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    op();
+    ++iterations;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  BenchResult r;
+  r.name = name;
+  r.size = size;
+  r.iterations = iterations;
+  r.ops_per_sec = static_cast<double>(iterations) / elapsed;
+  return r;
+}
+
+std::pair<Bag, Bag> MakeTwoBagInput(size_t support, uint64_t seed) {
+  Rng rng(seed);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(2, support / 4);
+  options.max_multiplicity = 1u << 16;
+  Schema x{{0, 1}};
+  Schema y{{1, 2}};
+  return *MakeConsistentPair(x, y, options, &rng);
+}
+
+BagCollection MakeFoldInput(size_t support, uint64_t seed) {
+  Rng rng(seed);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(2, support / 4);
+  options.max_multiplicity = 1u << 10;
+  Hypergraph h = *MakePath(4);
+  return *MakeGloballyConsistentCollection(h, options, &rng);
+}
+
+// Minimal scanner for the JSON this tool writes: pulls out the
+// (name, size, ops_per_sec) triples in order of appearance.
+std::vector<BenchResult> ParseBaseline(const std::string& text) {
+  std::vector<BenchResult> out;
+  size_t pos = 0;
+  auto find_value = [&](const char* key, size_t from, size_t* value_at) {
+    std::string needle = std::string("\"") + key + "\":";
+    size_t k = text.find(needle, from);
+    if (k == std::string::npos) return false;
+    *value_at = k + needle.size();
+    return true;
+  };
+  while (true) {
+    size_t name_at;
+    if (!find_value("name", pos, &name_at)) break;
+    size_t q1 = text.find('"', name_at);
+    size_t q2 = q1 == std::string::npos ? q1 : text.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    std::string name = text.substr(q1 + 1, q2 - q1 - 1);
+    size_t size_at, ops_at;
+    if (!find_value("size", q2, &size_at) ||
+        !find_value("ops_per_sec", q2, &ops_at)) {
+      pos = q2 + 1;
+      continue;
+    }
+    BenchResult r;
+    r.name = name;
+    r.size = std::strtoull(text.c_str() + size_at, nullptr, 10);
+    r.ops_per_sec = std::strtod(text.c_str() + ops_at, nullptr);
+    r.iterations = 0;
+    out.push_back(std::move(r));
+    pos = ops_at;
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  std::string out_path = "BENCH_bag_refactor.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out FILE] [--baseline FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<BenchResult> baseline;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    baseline = ParseBaseline(ss.str());
+  }
+
+  std::vector<BenchResult> results;
+
+  // Two-bag solve: decide + extract a witness via the flow network.
+  for (size_t support : {64, 256, 1024}) {
+    auto [r, s] = MakeTwoBagInput(support, 42 + support);
+    results.push_back(Measure("two_bag_solve", support, [&] {
+      auto witness = *FindWitness(r, s);
+      if (!witness.has_value()) std::abort();
+    }));
+  }
+
+  // Acyclic fold: Theorem 6 along a path schema (plain fold; the minimal
+  // fold is covered by bench_ablations).
+  for (size_t support : {16, 64, 256}) {
+    BagCollection c = MakeFoldInput(support, 7 + support);
+    AcyclicSolveOptions options;
+    options.minimal_fold = false;
+    results.push_back(Measure("acyclic_fold", support, [&] {
+      auto witness = *SolveGlobalConsistencyAcyclic(c, options);
+      if (!witness.has_value()) std::abort();
+    }));
+  }
+
+  // Bag join R(A,B) ⋈_b S(B,C).
+  for (size_t support : {256, 1024, 4096}) {
+    auto [r, s] = MakeTwoBagInput(support, 1042 + support);
+    results.push_back(Measure("bag_join", support, [&] {
+      Bag joined = *Bag::Join(r, s);
+      if (joined.schema().arity() != 3) std::abort();
+    }));
+  }
+
+  for (BenchResult& r : results) {
+    for (const BenchResult& b : baseline) {
+      if (b.name == r.name && b.size == r.size) {
+        r.baseline_ops_per_sec = b.ops_per_sec;
+        break;
+      }
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"suite\": \"bag_refactor\",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    json << "    {\"name\": \"" << r.name << "\", \"size\": " << r.size
+         << ", \"ops_per_sec\": " << FormatDouble(r.ops_per_sec)
+         << ", \"iterations\": " << r.iterations;
+    if (r.baseline_ops_per_sec > 0) {
+      json << ", \"baseline_ops_per_sec\": " << FormatDouble(r.baseline_ops_per_sec)
+           << ", \"speedup\": " << FormatDouble(r.ops_per_sec / r.baseline_ops_per_sec);
+    }
+    json << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json.str();
+  out.close();
+  std::fputs(json.str().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bagc
+
+int main(int argc, char** argv) { return bagc::Main(argc, argv); }

@@ -2,16 +2,37 @@
 
 #include <algorithm>
 
+#include "bag/entry_seal.h"
+#include "tuple/tuple_index.h"
+
 namespace bagc {
+
+namespace {
+
+bool EntryTupleLess(const Bag::Entry& e, const Tuple& t) { return e.first < t; }
+
+}  // namespace
+
+Bag::Entries::iterator Bag::LowerBound(const Tuple& t) {
+  return std::lower_bound(entries_.begin(), entries_.end(), t, EntryTupleLess);
+}
+
+Bag::Entries::const_iterator Bag::LowerBound(const Tuple& t) const {
+  return std::lower_bound(entries_.begin(), entries_.end(), t, EntryTupleLess);
+}
 
 Status Bag::Set(const Tuple& t, uint64_t mult) {
   if (t.arity() != schema_.arity()) {
     return Status::InvalidArgument("tuple arity does not match bag schema");
   }
+  auto it = LowerBound(t);
+  bool present = it != entries_.end() && it->first == t;
   if (mult == 0) {
-    entries_.erase(t);
+    if (present) entries_.erase(it);
+  } else if (present) {
+    it->second = mult;
   } else {
-    entries_[t] = mult;
+    entries_.insert(it, Entry{t, mult});
   }
   return Status::OK();
 }
@@ -21,25 +42,28 @@ Status Bag::Add(const Tuple& t, uint64_t mult) {
     return Status::InvalidArgument("tuple arity does not match bag schema");
   }
   if (mult == 0) return Status::OK();
-  auto [it, inserted] = entries_.emplace(t, mult);
-  if (!inserted) {
+  auto it = LowerBound(t);
+  if (it != entries_.end() && it->first == t) {
     BAGC_ASSIGN_OR_RETURN(it->second, CheckedAdd(it->second, mult));
+  } else {
+    entries_.insert(it, Entry{t, mult});
   }
   return Status::OK();
 }
 
 uint64_t Bag::Multiplicity(const Tuple& t) const {
-  auto it = entries_.find(t);
-  return it == entries_.end() ? 0 : it->second;
+  auto it = LowerBound(t);
+  return (it != entries_.end() && it->first == t) ? it->second : 0;
 }
 
 Result<Bag> Bag::Marginal(const Schema& z) const {
   BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(schema_, z));
-  Bag out(z);
+  BagBuilder builder(z);
+  builder.Reserve(entries_.size());
   for (const auto& [t, mult] : entries_) {
-    BAGC_RETURN_NOT_OK(out.Add(t.Project(proj), mult));
+    BAGC_RETURN_NOT_OK(builder.Add(t.Project(proj), mult));
   }
-  return out;
+  return builder.Build();
 }
 
 Result<Bag> Bag::Join(const Bag& r, const Bag& s) {
@@ -49,21 +73,21 @@ Result<Bag> Bag::Join(const Bag& r, const Bag& s) {
                         Projector::Make(r.schema(), joiner.shared_schema()));
   BAGC_ASSIGN_OR_RETURN(Projector s_shared,
                         Projector::Make(s.schema(), joiner.shared_schema()));
-  std::map<Tuple, std::vector<const Tuple*>> index;
-  for (const auto& [t, mult] : s.entries()) {
-    (void)mult;
-    index[t.Project(s_shared)].push_back(&t);
+  TupleIndex index(s.entries().size());
+  for (size_t j = 0; j < s.entries().size(); ++j) {
+    index.Insert(s.entries()[j].first.Project(s_shared), static_cast<uint32_t>(j));
   }
-  Bag out(joiner.joined_schema());
+  BagBuilder builder(joiner.joined_schema());
   for (const auto& [x, xm] : r.entries()) {
-    auto it = index.find(x.Project(r_shared));
-    if (it == index.end()) continue;
-    for (const Tuple* y : it->second) {
-      BAGC_ASSIGN_OR_RETURN(uint64_t mult, CheckedMul(xm, s.entries().at(*y)));
-      BAGC_RETURN_NOT_OK(out.Add(joiner.Join(x, *y), mult));
+    const std::vector<uint32_t>* matches = index.Find(x.Project(r_shared));
+    if (matches == nullptr) continue;
+    for (uint32_t j : *matches) {
+      const Entry& ys = s.entries()[j];
+      BAGC_ASSIGN_OR_RETURN(uint64_t mult, CheckedMul(xm, ys.second));
+      BAGC_RETURN_NOT_OK(builder.Add(joiner.Join(x, ys.first), mult));
     }
   }
-  return out;
+  return builder.Build();
 }
 
 bool Bag::Contained(const Bag& r, const Bag& s) {
@@ -128,21 +152,46 @@ std::string Bag::ToString() const {
   return out;
 }
 
+Status BagBuilder::Add(Tuple t, uint64_t mult) {
+  if (t.arity() != schema_.arity()) {
+    return Status::InvalidArgument("tuple arity does not match bag schema");
+  }
+  if (mult == 0) return Status::OK();
+  pending_.emplace_back(std::move(t), mult);
+  return Status::OK();
+}
+
+Result<Bag> BagBuilder::Build() {
+  BAGC_RETURN_NOT_OK(internal::SealEntries(
+      &pending_, [](uint64_t a, uint64_t b) { return CheckedAdd(a, b); },
+      [](uint64_t m) { return m == 0; }));
+  Bag bag(schema_);
+  bag.entries_ = std::move(pending_);
+  pending_ = Bag::Entries();
+  return bag;
+}
+
 Result<Bag> MakeBag(
     const Schema& schema,
     const std::vector<std::pair<std::vector<Value>, uint64_t>>& rows) {
-  Bag bag(schema);
+  BagBuilder builder(schema);
+  builder.Reserve(rows.size());
+  // Tuples already carrying a nonzero multiplicity; a repeat is an error.
+  TupleIndex seen(rows.size());
   for (const auto& [values, mult] : rows) {
     if (values.size() != schema.arity()) {
       return Status::InvalidArgument("row arity does not match schema");
     }
     Tuple t{values};
-    if (bag.Multiplicity(t) != 0) {
+    if (seen.Find(t) != nullptr) {
       return Status::AlreadyExists("duplicate tuple in MakeBag rows: " + t.ToString());
     }
-    BAGC_RETURN_NOT_OK(bag.Set(t, mult));
+    if (mult != 0) {
+      seen.Insert(t, 0);
+      BAGC_RETURN_NOT_OK(builder.Add(std::move(t), mult));
+    }
   }
-  return bag;
+  return builder.Build();
 }
 
 }  // namespace bagc

@@ -1,12 +1,15 @@
 // Bag (multiset relation): a finite-support function Tup(X) -> Z_{>=0}
 // (paper §2). Marginals implement Equation (2); the bag join implements
-// ⋈_b. Entries are kept in a sorted map so iteration order — and hence all
-// downstream algorithms and printouts — is deterministic.
+// ⋈_b. Entries are kept in a flat vector sorted by tuple so iteration
+// order — and hence all downstream algorithms and printouts — is
+// deterministic, and scans are cache-friendly. Bulk construction goes
+// through BagBuilder, which sorts and merges once on seal instead of
+// paying a per-insert search.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tuple/attribute.h"
@@ -17,13 +20,17 @@
 
 namespace bagc {
 
+class BagBuilder;
+
 /// \brief A finite bag over a schema X: tuples with positive multiplicity.
 ///
 /// The multiplicity of any tuple not in the support is 0. All arithmetic on
 /// multiplicities is overflow-checked; mutators return Status.
 class Bag {
  public:
-  using Entries = std::map<Tuple, uint64_t>;
+  using Entry = std::pair<Tuple, uint64_t>;
+  /// Flat storage, sorted ascending by tuple; multiplicities positive.
+  using Entries = std::vector<Entry>;
 
   Bag() = default;
   explicit Bag(Schema schema) : schema_(std::move(schema)) {}
@@ -43,7 +50,11 @@ class Bag {
   bool IsEmpty() const { return entries_.empty(); }
 
   /// Sorted (tuple, multiplicity) entries; all multiplicities positive.
+  /// Random access: entries()[i] is the i-th smallest support tuple.
   const Entries& entries() const { return entries_; }
+
+  /// The i-th entry in sorted order; requires i < SupportSize().
+  const Entry& entry(size_t i) const { return entries_[i]; }
 
   /// Marginal R[Z] per Equation (2); requires Z ⊆ X.
   Result<Bag> Marginal(const Schema& z) const;
@@ -79,8 +90,40 @@ class Bag {
   std::string ToString() const;
 
  private:
+  friend class BagBuilder;
+
+  // Position of the first entry with tuple >= t.
+  Entries::iterator LowerBound(const Tuple& t);
+  Entries::const_iterator LowerBound(const Tuple& t) const;
+
   Schema schema_;
   Entries entries_;
+};
+
+/// \brief Accumulates (tuple, multiplicity) rows and seals them into a Bag
+/// with one sort + merge, instead of a per-insert search.
+///
+/// Duplicate tuples merge by overflow-checked addition; zero-multiplicity
+/// rows are dropped. This is the construction path for every bulk producer
+/// (marginals, joins, witness extraction, generators).
+class BagBuilder {
+ public:
+  explicit BagBuilder(Schema schema) : schema_(std::move(schema)) {}
+
+  void Reserve(size_t n) { pending_.reserve(n); }
+
+  /// Appends a row; arity-checked, zero multiplicities ignored.
+  Status Add(Tuple t, uint64_t mult);
+
+  /// Sorts, merges duplicates (checked add), and moves the result out.
+  /// The builder is empty afterwards — including on error (an overflow
+  /// during the merge discards the pending rows) — and may be reused for
+  /// the same schema.
+  Result<Bag> Build();
+
+ private:
+  Schema schema_;
+  Bag::Entries pending_;
 };
 
 /// Convenience builder: bag over `schema` from (values..., multiplicity)

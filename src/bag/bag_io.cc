@@ -3,6 +3,8 @@
 #include <charconv>
 #include <sstream>
 
+#include "tuple/tuple_index.h"
+
 namespace bagc {
 
 namespace {
@@ -103,7 +105,9 @@ Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
   for (size_t i = 0; i < attrs.size(); ++i) {
     BAGC_ASSIGN_OR_RETURN(slot_of_column[i], schema.IndexOf(attrs[i]));
   }
-  Bag bag(schema);
+  BagBuilder builder(schema);
+  // Tuples already carrying a nonzero multiplicity; a repeat is an error.
+  TupleIndex seen;
   while (true) {
     if (*pos >= lines.size()) {
       return Status::InvalidArgument("unterminated bag block (missing 'end')");
@@ -124,12 +128,15 @@ Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
     }
     BAGC_ASSIGN_OR_RETURN(uint64_t mult, ParseUint(tokens.back()));
     Tuple t{std::move(values)};
-    if (bag.Multiplicity(t) != 0) {
+    if (seen.Find(t) != nullptr) {
       return Status::InvalidArgument("duplicate tuple: '" + line + "'");
     }
-    BAGC_RETURN_NOT_OK(bag.Set(t, mult));
+    if (mult != 0) {
+      seen.Insert(t, 0);
+      BAGC_RETURN_NOT_OK(builder.Add(std::move(t), mult));
+    }
   }
-  return bag;
+  return builder.Build();
 }
 
 Result<std::vector<Bag>> ParseCollection(const std::string& input,

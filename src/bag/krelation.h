@@ -7,12 +7,18 @@
 // generic semantics. The consistency theory for general K under the
 // *strict* notion of this paper is open (paper §6) — the template is the
 // substrate such an investigation needs.
+//
+// Entries mirror Bag's flat representation: a vector sorted by tuple,
+// merged in bulk by the internal sealer rather than per-insert.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "bag/entry_seal.h"
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
 #include "util/checked_math.h"
@@ -70,7 +76,9 @@ template <typename K>
 class KRelation {
  public:
   using Annotation = typename K::Value;
-  using Entries = std::map<Tuple, Annotation>;
+  using Entry = std::pair<Tuple, Annotation>;
+  /// Flat storage, sorted ascending by tuple; no zero annotations.
+  using Entries = std::vector<Entry>;
 
   KRelation() = default;
   explicit KRelation(Schema schema) : schema_(std::move(schema)) {}
@@ -84,18 +92,22 @@ class KRelation {
     if (t.arity() != schema_.arity()) {
       return Status::InvalidArgument("tuple arity does not match schema");
     }
+    auto it = LowerBound(t);
+    bool present = it != entries_.end() && it->first == t;
     if (K::IsZero(a)) {
-      entries_.erase(t);
+      if (present) entries_.erase(it);
+    } else if (present) {
+      it->second = std::move(a);
     } else {
-      entries_[t] = std::move(a);
+      entries_.insert(it, Entry{t, std::move(a)});
     }
     return Status::OK();
   }
 
   /// R(t); the semiring zero off the support.
   Annotation At(const Tuple& t) const {
-    auto it = entries_.find(t);
-    return it == entries_.end() ? K::Zero() : it->second;
+    auto it = LowerBound(t);
+    return (it != entries_.end() && it->first == t) ? it->second : K::Zero();
   }
 
   /// Combines a into R(t) with the semiring +.
@@ -107,26 +119,27 @@ class KRelation {
   /// Marginal R[Z]: Equation (2) with the semiring +; requires Z ⊆ X.
   Result<KRelation> Marginal(const Schema& z) const {
     BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(schema_, z));
-    KRelation out(z);
+    Entries rows;
+    rows.reserve(entries_.size());
     for (const auto& [t, a] : entries_) {
-      BAGC_RETURN_NOT_OK(out.Accumulate(t.Project(proj), a));
+      rows.emplace_back(t.Project(proj), a);
     }
-    return out;
+    return Seal(z, std::move(rows));
   }
 
   /// K-join: support = join of supports, annotation = product.
   static Result<KRelation> Join(const KRelation& r, const KRelation& s) {
     BAGC_ASSIGN_OR_RETURN(TupleJoiner joiner,
                           TupleJoiner::Make(r.schema(), s.schema()));
-    KRelation out(joiner.joined_schema());
+    Entries rows;
     for (const auto& [x, xa] : r.entries_) {
       for (const auto& [y, ya] : s.entries_) {
         if (!joiner.Joinable(x, y)) continue;
         BAGC_ASSIGN_OR_RETURN(Annotation prod, K::Times(xa, ya));
-        BAGC_RETURN_NOT_OK(out.Accumulate(joiner.Join(x, y), prod));
+        rows.emplace_back(joiner.Join(x, y), std::move(prod));
       }
     }
-    return out;
+    return Seal(joiner.joined_schema(), std::move(rows));
   }
 
   bool operator==(const KRelation& o) const {
@@ -135,6 +148,25 @@ class KRelation {
   bool operator!=(const KRelation& o) const { return !(*this == o); }
 
  private:
+  typename Entries::iterator LowerBound(const Tuple& t) {
+    return std::lower_bound(entries_.begin(), entries_.end(), t,
+                            [](const Entry& e, const Tuple& u) { return e.first < u; });
+  }
+  typename Entries::const_iterator LowerBound(const Tuple& t) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), t,
+                            [](const Entry& e, const Tuple& u) { return e.first < u; });
+  }
+
+  /// Sorts rows, merges equal tuples with the semiring +, drops zeros.
+  static Result<KRelation> Seal(Schema schema, Entries rows) {
+    BAGC_RETURN_NOT_OK(internal::SealEntries(
+        &rows, [](Annotation a, const Annotation& b) { return K::Plus(std::move(a), b); },
+        [](const Annotation& a) { return K::IsZero(a); }));
+    KRelation out(std::move(schema));
+    out.entries_ = std::move(rows);
+    return out;
+  }
+
   Schema schema_;
   Entries entries_;
 };

@@ -1,5 +1,7 @@
 #include "bag/relation.h"
 
+#include "tuple/tuple_index.h"
+
 namespace bagc {
 
 Status Relation::Insert(const Tuple& t) {
@@ -25,16 +27,19 @@ Result<Relation> Relation::Join(const Relation& r, const Relation& s) {
                         Projector::Make(r.schema(), joiner.shared_schema()));
   BAGC_ASSIGN_OR_RETURN(Projector s_shared,
                         Projector::Make(s.schema(), joiner.shared_schema()));
-  std::map<Tuple, std::vector<const Tuple*>> index;
+  std::vector<const Tuple*> s_tuples;
+  s_tuples.reserve(s.size());
+  TupleIndex index(s.size());
   for (const Tuple& t : s.tuples()) {
-    index[t.Project(s_shared)].push_back(&t);
+    index.Insert(t.Project(s_shared), static_cast<uint32_t>(s_tuples.size()));
+    s_tuples.push_back(&t);
   }
   Relation out(joiner.joined_schema());
   for (const Tuple& x : r.tuples()) {
-    auto it = index.find(x.Project(r_shared));
-    if (it == index.end()) continue;
-    for (const Tuple* y : it->second) {
-      BAGC_RETURN_NOT_OK(out.Insert(joiner.Join(x, *y)));
+    const std::vector<uint32_t>* matches = index.Find(x.Project(r_shared));
+    if (matches == nullptr) continue;
+    for (uint32_t j : *matches) {
+      BAGC_RETURN_NOT_OK(out.Insert(joiner.Join(x, *s_tuples[j])));
     }
   }
   return out;
@@ -66,20 +71,23 @@ Result<Relation> Relation::Semijoin(const Relation& r, const Relation& s) {
 
 Relation Relation::SupportOf(const Bag& bag) {
   Relation out(bag.schema());
+  // Bag entries are sorted, so the end hint makes each insert O(1).
   for (const auto& [t, mult] : bag.entries()) {
     (void)mult;
-    out.tuples_.insert(t);
+    out.tuples_.insert(out.tuples_.end(), t);
   }
   return out;
 }
 
 Bag Relation::ToBag() const {
-  Bag out(schema_);
+  BagBuilder builder(schema_);
+  builder.Reserve(tuples_.size());
   for (const Tuple& t : tuples_) {
-    Status st = out.Set(t, 1);
+    Status st = builder.Add(t, 1);
     (void)st;  // arity always matches by construction
   }
-  return out;
+  Result<Bag> out = builder.Build();
+  return std::move(out).value();  // distinct tuples never overflow on merge
 }
 
 std::string Relation::ToString() const {

@@ -67,12 +67,13 @@ Result<std::optional<Bag>> SolveGlobalConsistencyExact(
   BAGC_ASSIGN_OR_RETURN(auto solution,
                         SolveIntegerFeasibility(lp, options.search));
   if (!solution.has_value()) return std::optional<Bag>();
-  Bag witness(lp.joined_schema);
+  BagBuilder builder(lp.joined_schema);
   for (size_t i = 0; i < lp.variables.size(); ++i) {
     if ((*solution)[i] > 0) {
-      BAGC_RETURN_NOT_OK(witness.Add(lp.variables[i], (*solution)[i]));
+      BAGC_RETURN_NOT_OK(builder.Add(lp.variables[i], (*solution)[i]));
     }
   }
+  BAGC_ASSIGN_OR_RETURN(Bag witness, builder.Build());
   return std::optional<Bag>(std::move(witness));
 }
 
@@ -131,13 +132,13 @@ Result<Bag> MinimizeWitnessSupport(const BagCollection& collection,
       ++i;
     }
   }
-  Bag minimal(witness.schema());
+  BagBuilder builder(witness.schema());
   for (size_t k = 0; k < support.size(); ++k) {
     if (current[k] > 0) {
-      BAGC_RETURN_NOT_OK(minimal.Add(support[k], current[k]));
+      BAGC_RETURN_NOT_OK(builder.Add(support[k], current[k]));
     }
   }
-  return minimal;
+  return builder.Build();
 }
 
 }  // namespace bagc

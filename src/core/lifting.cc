@@ -127,12 +127,14 @@ Result<std::vector<Bag>> LiftCollection(const LiftPlan& plan,
           lifted.push_back(current[i]);
           continue;
         }
-        Bag r(x);
+        BagBuilder builder(x);
+        builder.Reserve(current[i].SupportSize());
         for (const auto& [t, mult] : current[i].entries()) {
           BAGC_ASSIGN_OR_RETURN(Tuple tx,
                                 InsertAt(t, x, op.vertex, plan.default_value));
-          BAGC_RETURN_NOT_OK(r.Set(tx, mult));
+          BAGC_RETURN_NOT_OK(builder.Add(std::move(tx), mult));
         }
+        BAGC_ASSIGN_OR_RETURN(Bag r, builder.Build());
         lifted.push_back(std::move(r));
       }
     }

@@ -1,7 +1,6 @@
 #include "flow/consistency_network.h"
 
-#include <map>
-
+#include "tuple/tuple_index.h"
 #include "util/checked_math.h"
 
 namespace bagc {
@@ -12,30 +11,24 @@ Result<ConsistencyNetwork> ConsistencyNetwork::Make(const Bag& r, const Bag& s) 
   cn.joined_schema_ = joiner.joined_schema();
 
   // Vertex numbering: 0 = source, 1..|R'| = R tuples, then S tuples, then
-  // sink last.
+  // sink last. The flat entry vectors give the mapping directly: the i-th
+  // entry of R is vertex 1 + i, the j-th entry of S is vertex 1 + |R'| + j.
   size_t nr = r.SupportSize();
   size_t ns = s.SupportSize();
   cn.net_ = FlowNetwork(2 + nr + ns);
   cn.source_ = 0;
   cn.sink_ = 1 + nr + ns;
 
-  std::map<Tuple, size_t> r_index;
-  std::map<Tuple, size_t> s_index;
-  {
-    size_t v = 1;
-    for (const auto& [t, mult] : r.entries()) {
-      r_index.emplace(t, v);
-      BAGC_RETURN_NOT_OK(cn.net_.AddEdge(cn.source_, v, mult).status());
-      BAGC_ASSIGN_OR_RETURN(cn.source_capacity_,
-                            CheckedAdd(cn.source_capacity_, mult));
-      ++v;
-    }
-    for (const auto& [t, mult] : s.entries()) {
-      s_index.emplace(t, v);
-      BAGC_RETURN_NOT_OK(cn.net_.AddEdge(v, cn.sink_, mult).status());
-      BAGC_ASSIGN_OR_RETURN(cn.sink_capacity_, CheckedAdd(cn.sink_capacity_, mult));
-      ++v;
-    }
+  for (size_t i = 0; i < nr; ++i) {
+    uint64_t mult = r.entries()[i].second;
+    BAGC_RETURN_NOT_OK(cn.net_.AddEdge(cn.source_, 1 + i, mult).status());
+    BAGC_ASSIGN_OR_RETURN(cn.source_capacity_,
+                          CheckedAdd(cn.source_capacity_, mult));
+  }
+  for (size_t j = 0; j < ns; ++j) {
+    uint64_t mult = s.entries()[j].second;
+    BAGC_RETURN_NOT_OK(cn.net_.AddEdge(1 + nr + j, cn.sink_, mult).status());
+    BAGC_ASSIGN_OR_RETURN(cn.sink_capacity_, CheckedAdd(cn.sink_capacity_, mult));
   }
   if (cn.source_capacity_ > FlowNetwork::kUnbounded ||
       cn.sink_capacity_ > FlowNetwork::kUnbounded) {
@@ -48,20 +41,20 @@ Result<ConsistencyNetwork> ConsistencyNetwork::Make(const Bag& r, const Bag& s) 
                         Projector::Make(r.schema(), joiner.shared_schema()));
   BAGC_ASSIGN_OR_RETURN(Projector s_shared,
                         Projector::Make(s.schema(), joiner.shared_schema()));
-  std::map<Tuple, std::vector<const Tuple*>> index;
-  for (const auto& [t, mult] : s.entries()) {
-    (void)mult;
-    index[t.Project(s_shared)].push_back(&t);
+  TupleIndex index(ns);
+  for (size_t j = 0; j < ns; ++j) {
+    index.Insert(s.entries()[j].first.Project(s_shared), static_cast<uint32_t>(j));
   }
-  for (const auto& [x, mult] : r.entries()) {
-    (void)mult;
-    auto it = index.find(x.Project(r_shared));
-    if (it == index.end()) continue;
-    for (const Tuple* y : it->second) {
+  for (size_t i = 0; i < nr; ++i) {
+    const Tuple& x = r.entries()[i].first;
+    const std::vector<uint32_t>* matches = index.Find(x.Project(r_shared));
+    if (matches == nullptr) continue;
+    for (uint32_t j : *matches) {
+      const Tuple& y = s.entries()[j].first;
       BAGC_ASSIGN_OR_RETURN(
           FlowNetwork::EdgeId eid,
-          cn.net_.AddEdge(r_index.at(x), s_index.at(*y), FlowNetwork::kUnbounded));
-      cn.middle_.push_back({joiner.Join(x, *y), eid});
+          cn.net_.AddEdge(1 + i, 1 + nr + j, FlowNetwork::kUnbounded));
+      cn.middle_.push_back({joiner.Join(x, y), eid});
     }
   }
   return cn;
@@ -78,14 +71,14 @@ Result<bool> ConsistencyNetwork::HasSaturatedFlow() {
 }
 
 Result<Bag> ConsistencyNetwork::ExtractWitness() const {
-  Bag witness(joined_schema_);
+  BagBuilder builder(joined_schema_);
   for (const MiddleEdge& me : middle_) {
     uint64_t f = net_.FlowOn(me.edge);
     if (f > 0) {
-      BAGC_RETURN_NOT_OK(witness.Add(me.tuple, f));
+      BAGC_RETURN_NOT_OK(builder.Add(me.tuple, f));
     }
   }
-  return witness;
+  return builder.Build();
 }
 
 Status ConsistencyNetwork::SuppressMiddleEdge(size_t i) {

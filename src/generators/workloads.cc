@@ -4,16 +4,17 @@ namespace bagc {
 
 Result<Bag> MakeRandomBag(const Schema& schema, const BagGenOptions& options,
                           Rng* rng) {
-  Bag bag(schema);
+  BagBuilder builder(schema);
+  builder.Reserve(options.support_size);
   for (size_t i = 0; i < options.support_size; ++i) {
     std::vector<Value> values(schema.arity());
     for (Value& v : values) {
       v = static_cast<Value>(rng->Below(options.domain_size));
     }
     BAGC_RETURN_NOT_OK(
-        bag.Add(Tuple{std::move(values)}, rng->Range(1, options.max_multiplicity)));
+        builder.Add(Tuple{std::move(values)}, rng->Range(1, options.max_multiplicity)));
   }
-  return bag;
+  return builder.Build();
 }
 
 Result<std::pair<Bag, Bag>> MakeConsistentPair(const Schema& x, const Schema& y,

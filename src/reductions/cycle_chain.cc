@@ -39,11 +39,13 @@ Result<CycleInstance> ExtendCycle(const CycleInstance& input) {
   const Bag& closing = input.bags[n - 1];
   // closing's schema is {0, n-1}: slot 0 = A_1, slot 1 = A_n.
   Schema rehomed_schema{{static_cast<AttrId>(n - 1), static_cast<AttrId>(n)}};
-  Bag rehomed(rehomed_schema);
+  BagBuilder rehomed_builder(rehomed_schema);
+  rehomed_builder.Reserve(closing.SupportSize());
   for (const auto& [t, mult] : closing.entries()) {
     // New layout {n-1, n}: slot 0 = A_n = t.at(1), slot 1 = A_{n+1} = t.at(0).
-    BAGC_RETURN_NOT_OK(rehomed.Set(Tuple{{t.at(1), t.at(0)}}, mult));
+    BAGC_RETURN_NOT_OK(rehomed_builder.Add(Tuple{{t.at(1), t.at(0)}}, mult));
   }
+  BAGC_ASSIGN_OR_RETURN(Bag rehomed, rehomed_builder.Build());
   out.bags.push_back(std::move(rehomed));
 
   // The equality bag R_{n+1}(A_{n+1} A_1): diagonal support with

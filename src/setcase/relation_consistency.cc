@@ -1,7 +1,6 @@
 #include "setcase/relation_consistency.h"
 
 #include <algorithm>
-#include <map>
 
 #include "hypergraph/acyclicity.h"
 #include "hypergraph/hypergraph.h"

@@ -1,9 +1,9 @@
 #include "solver/lp.h"
 
 #include <algorithm>
-#include <map>
 
 #include "bag/relation.h"
+#include "tuple/tuple_index.h"
 
 namespace bagc {
 
@@ -21,30 +21,37 @@ Status AppendRows(const std::vector<Bag>& bags, size_t i, const Schema& joined,
   const Bag& bag = bags[i];
   BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(joined, bag.schema()));
   // Group variables by their projection onto Xi.
-  std::map<Tuple, std::vector<uint32_t>> groups;
+  TupleIndex groups(variables.size());
   for (uint32_t v = 0; v < variables.size(); ++v) {
-    groups[variables[v].Project(proj)].push_back(v);
+    groups.Insert(variables[v].Project(proj), v);
   }
   for (const auto& [r, mult] : bag.entries()) {
     LpRow row;
     row.bag_index = i;
     row.marginal_tuple = r;
     row.rhs = mult;
-    auto it = groups.find(r);
-    if (it != groups.end()) row.vars = it->second;
+    const std::vector<uint32_t>* vars = groups.Find(r);
+    if (vars != nullptr) row.vars = *vars;
     lp->rows.push_back(std::move(row));
   }
   // Variables projecting onto tuples *outside* the support of Ri must be 0;
   // emit a rhs=0 row for each such group so solvers see the restriction.
-  for (const auto& [r, vars] : groups) {
-    if (bag.Multiplicity(r) == 0) {
-      LpRow row;
-      row.bag_index = i;
-      row.marginal_tuple = r;
-      row.rhs = 0;
-      row.vars = vars;
-      lp->rows.push_back(std::move(row));
-    }
+  // Sorted by group key so row order stays deterministic and matches the
+  // historical (sorted-map) layout.
+  std::vector<size_t> zero_groups;
+  for (size_t g = 0; g < groups.NumGroups(); ++g) {
+    if (bag.Multiplicity(groups.GroupKey(g)) == 0) zero_groups.push_back(g);
+  }
+  std::sort(zero_groups.begin(), zero_groups.end(), [&](size_t a, size_t b) {
+    return groups.GroupKey(a) < groups.GroupKey(b);
+  });
+  for (size_t g : zero_groups) {
+    LpRow row;
+    row.bag_index = i;
+    row.marginal_tuple = groups.GroupKey(g);
+    row.rhs = 0;
+    row.vars = groups.GroupIds(g);
+    lp->rows.push_back(std::move(row));
   }
   return Status::OK();
 }

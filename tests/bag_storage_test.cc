@@ -1,0 +1,208 @@
+// Regression tests for the flat bag storage refactor: the deterministic
+// iteration contract (flat sorted vector == old sorted-map order), the
+// Tup(∅) empty-schema corner, multiplicity-overflow rejection in the
+// mutators / join / builder seal, and the TupleIndex hash-join substrate.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+
+#include "bag/bag.h"
+#include "bag/krelation.h"
+#include "generators/workloads.h"
+#include "tuple/tuple_index.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+
+// ---- Deterministic iteration order ----------------------------------------
+
+TEST(FlatStorageTest, IterationOrderMatchesSortedMapOrder) {
+  Rng rng(2024);
+  Schema x{{0, 1, 2}};
+  BagGenOptions options;
+  options.support_size = 200;
+  options.domain_size = 5;
+  Bag bag = *MakeRandomBag(x, options, &rng);
+  ASSERT_FALSE(bag.IsEmpty());
+
+  // Reference: the exact container the pre-refactor Bag used.
+  std::map<Tuple, uint64_t> reference(bag.entries().begin(), bag.entries().end());
+  ASSERT_EQ(reference.size(), bag.SupportSize());
+  size_t i = 0;
+  for (const auto& [t, mult] : reference) {
+    EXPECT_EQ(bag.entries()[i].first, t);
+    EXPECT_EQ(bag.entries()[i].second, mult);
+    ++i;
+  }
+}
+
+TEST(FlatStorageTest, IncrementalMutationKeepsSortedInvariant) {
+  Bag bag(Schema{{0, 1}});
+  // Insert in descending order; storage must come out ascending.
+  for (int64_t v = 9; v >= 0; --v) {
+    ASSERT_TRUE(bag.Add(Tuple{{v, v + 10}}, static_cast<uint64_t>(v + 1)).ok());
+  }
+  ASSERT_EQ(bag.SupportSize(), 10u);
+  for (size_t i = 0; i + 1 < bag.entries().size(); ++i) {
+    EXPECT_TRUE(bag.entries()[i].first < bag.entries()[i + 1].first);
+  }
+  // Random-access entry(i) agrees with iteration.
+  EXPECT_EQ(bag.entry(0).first, (Tuple{{0, 10}}));
+  EXPECT_EQ(bag.entry(9).first, (Tuple{{9, 19}}));
+  // Erase via Set(t, 0) keeps order.
+  ASSERT_TRUE(bag.Set(Tuple{{5, 15}}, 0).ok());
+  EXPECT_EQ(bag.SupportSize(), 9u);
+  EXPECT_EQ(bag.Multiplicity(Tuple{{5, 15}}), 0u);
+  EXPECT_EQ(bag.Multiplicity(Tuple{{6, 16}}), 7u);
+}
+
+TEST(FlatStorageTest, BuilderAgreesWithIncrementalConstruction) {
+  Rng rng(7);
+  Schema x{{3, 5}};
+  Bag incremental(x);
+  BagBuilder builder(x);
+  for (size_t i = 0; i < 100; ++i) {
+    Tuple t{{static_cast<Value>(rng.Below(7)), static_cast<Value>(rng.Below(7))}};
+    uint64_t mult = rng.Range(1, 4);
+    ASSERT_TRUE(incremental.Add(t, mult).ok());
+    ASSERT_TRUE(builder.Add(t, mult).ok());
+  }
+  Bag sealed = *builder.Build();
+  EXPECT_EQ(sealed, incremental);
+}
+
+// ---- Tup(∅): the empty-schema bag -----------------------------------------
+
+TEST(FlatStorageTest, EmptySchemaBagHoldsTheEmptyTuple) {
+  Bag scalar(Schema{});
+  Tuple empty{};
+  EXPECT_EQ(scalar.Multiplicity(empty), 0u);
+  ASSERT_TRUE(scalar.Set(empty, 42).ok());
+  EXPECT_EQ(scalar.SupportSize(), 1u);
+  EXPECT_EQ(scalar.Multiplicity(empty), 42u);
+  ASSERT_TRUE(scalar.Add(empty, 8).ok());
+  EXPECT_EQ(scalar.Multiplicity(empty), 50u);
+  // Marginal onto ∅ is the identity here.
+  Bag again = *scalar.Marginal(Schema{});
+  EXPECT_EQ(again, scalar);
+  // And a builder over the empty schema merges everything into one entry.
+  BagBuilder builder(Schema{});
+  ASSERT_TRUE(builder.Add(empty, 1).ok());
+  ASSERT_TRUE(builder.Add(empty, 2).ok());
+  Bag merged = *builder.Build();
+  EXPECT_EQ(merged.Multiplicity(empty), 3u);
+}
+
+// ---- Overflow rejection ----------------------------------------------------
+
+TEST(FlatStorageTest, AddOverflowRejectedAndStateUnchanged) {
+  Bag bag(Schema{{0}});
+  Tuple t{{1}};
+  ASSERT_TRUE(bag.Set(t, kMax).ok());
+  EXPECT_FALSE(bag.Add(t, 1).ok());
+  EXPECT_EQ(bag.Multiplicity(t), kMax);
+  EXPECT_EQ(bag.SupportSize(), 1u);
+}
+
+TEST(FlatStorageTest, JoinOverflowRejected) {
+  Bag r(Schema{{0, 1}});
+  Bag s(Schema{{1, 2}});
+  ASSERT_TRUE(r.Set(Tuple{{1, 2}}, kMax).ok());
+  ASSERT_TRUE(s.Set(Tuple{{2, 3}}, 2).ok());
+  EXPECT_FALSE(Bag::Join(r, s).ok());
+}
+
+TEST(FlatStorageTest, BuilderSealOverflowRejected) {
+  BagBuilder builder(Schema{{0}});
+  ASSERT_TRUE(builder.Add(Tuple{{1}}, kMax).ok());
+  ASSERT_TRUE(builder.Add(Tuple{{1}}, 1).ok());
+  EXPECT_FALSE(builder.Build().ok());
+  // A failed seal discards the pending rows; the builder is reusable and
+  // must not leak partially merged state.
+  ASSERT_TRUE(builder.Add(Tuple{{7}}, 3).ok());
+  Bag bag = *builder.Build();
+  EXPECT_EQ(bag.SupportSize(), 1u);
+  EXPECT_EQ(bag.Multiplicity(Tuple{{7}}), 3u);
+}
+
+TEST(FlatStorageTest, BuilderDropsZeroRowsAndChecksArity) {
+  BagBuilder builder(Schema{{0, 1}});
+  ASSERT_TRUE(builder.Add(Tuple{{1, 2}}, 0).ok());
+  EXPECT_FALSE(builder.Add(Tuple{{1}}, 3).ok());
+  Bag bag = *builder.Build();
+  EXPECT_TRUE(bag.IsEmpty());
+}
+
+// ---- KRelation flat storage ------------------------------------------------
+
+TEST(FlatStorageTest, KRelationEntriesStaySorted) {
+  KRelation<CountingSemiring> k(Schema{{0}});
+  for (int64_t v = 5; v >= 0; --v) {
+    ASSERT_TRUE(k.Set(Tuple{{v}}, static_cast<uint64_t>(v + 1)).ok());
+  }
+  for (size_t i = 0; i + 1 < k.entries().size(); ++i) {
+    EXPECT_TRUE(k.entries()[i].first < k.entries()[i + 1].first);
+  }
+  EXPECT_EQ(k.At(Tuple{{3}}), 4u);
+  ASSERT_TRUE(k.Accumulate(Tuple{{3}}, 10).ok());
+  EXPECT_EQ(k.At(Tuple{{3}}), 14u);
+  ASSERT_TRUE(k.Set(Tuple{{3}}, 0).ok());
+  EXPECT_EQ(k.SupportSize(), 5u);
+}
+
+// ---- TupleIndex ------------------------------------------------------------
+
+TEST(TupleIndexTest, GroupsEqualKeysInInsertionOrder) {
+  TupleIndex index;
+  index.Insert(Tuple{{1, 1}}, 0);
+  index.Insert(Tuple{{2, 2}}, 1);
+  index.Insert(Tuple{{1, 1}}, 2);
+  index.Insert(Tuple{{1, 1}}, 3);
+  ASSERT_EQ(index.NumGroups(), 2u);
+  EXPECT_EQ(index.size(), 4u);
+  const std::vector<uint32_t>* ones = index.Find(Tuple{{1, 1}});
+  ASSERT_NE(ones, nullptr);
+  EXPECT_EQ(*ones, (std::vector<uint32_t>{0, 2, 3}));
+  const std::vector<uint32_t>* twos = index.Find(Tuple{{2, 2}});
+  ASSERT_NE(twos, nullptr);
+  EXPECT_EQ(*twos, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(index.Find(Tuple{{3, 3}}), nullptr);
+  // Group order is first-insertion order.
+  EXPECT_EQ(index.GroupKey(0), (Tuple{{1, 1}}));
+  EXPECT_EQ(index.GroupKey(1), (Tuple{{2, 2}}));
+}
+
+TEST(TupleIndexTest, SurvivesRehashWithManyKeys) {
+  TupleIndex index;
+  constexpr size_t kKeys = 5000;
+  for (size_t i = 0; i < kKeys; ++i) {
+    index.Insert(Tuple{{static_cast<Value>(i), static_cast<Value>(i % 13)}},
+                 static_cast<uint32_t>(i));
+  }
+  ASSERT_EQ(index.NumGroups(), kKeys);
+  for (size_t i = 0; i < kKeys; i += 97) {
+    const std::vector<uint32_t>* ids =
+        index.Find(Tuple{{static_cast<Value>(i), static_cast<Value>(i % 13)}});
+    ASSERT_NE(ids, nullptr);
+    ASSERT_EQ(ids->size(), 1u);
+    EXPECT_EQ((*ids)[0], static_cast<uint32_t>(i));
+  }
+}
+
+TEST(TupleIndexTest, EmptyIndexFindsNothing) {
+  TupleIndex index;
+  EXPECT_EQ(index.Find(Tuple{{1}}), nullptr);
+  EXPECT_EQ(index.NumGroups(), 0u);
+  // Empty-tuple keys (Tup(∅) projections) are valid keys.
+  index.Insert(Tuple{}, 7);
+  const std::vector<uint32_t>* ids = index.Find(Tuple{});
+  ASSERT_NE(ids, nullptr);
+  EXPECT_EQ(*ids, (std::vector<uint32_t>{7}));
+}
+
+}  // namespace
+}  // namespace bagc
