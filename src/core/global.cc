@@ -2,90 +2,44 @@
 
 #include <algorithm>
 
-#include "core/pairwise.h"
-#include "core/two_bag.h"
-#include "hypergraph/acyclicity.h"
+#include "engine/consistency_engine.h"
 #include "solver/lp.h"
 
 namespace bagc {
 
+// The single-shot solvers below are thin wrappers over the batch
+// ConsistencyEngine (src/engine/): each call seals a throwaway engine and
+// runs one query. Server-style callers with many queries against one
+// collection should hold a ConsistencyEngine directly and let it amortize
+// the cached marginals, the thread pool, and the flow arena.
+
 Result<std::optional<Bag>> SolveGlobalConsistencyAcyclic(
     const BagCollection& collection, const AcyclicSolveOptions& options) {
-  const Hypergraph& h = collection.hypergraph();
-  BAGC_ASSIGN_OR_RETURN(std::vector<size_t> rip_order, RunningIntersectionOrder(h));
-
-  // Pairwise-consistency prefilter (by Theorem 2, for acyclic schemas this
-  // already decides global consistency).
-  BAGC_ASSIGN_OR_RETURN(bool pairwise, ArePairwiseConsistent(collection));
-  if (!pairwise) return std::optional<Bag>();
-
-  // The hypergraph's canonical edges may merge duplicate schemas; map each
-  // edge to the bags carrying it. Pairwise-consistent bags with the same
-  // schema are *equal* (consistency on the full shared schema), so any
-  // representative works.
-  const std::vector<Schema>& edges = h.edges();
-  std::vector<const Bag*> edge_bag(edges.size(), nullptr);
-  for (const Bag& b : collection.bags()) {
-    for (size_t e = 0; e < edges.size(); ++e) {
-      if (edges[e] == b.schema()) {
-        edge_bag[e] = &b;
-        break;
-      }
-    }
-  }
-  for (const Bag* p : edge_bag) {
-    if (p == nullptr) return Status::Internal("edge without a bag");
-  }
-
-  // Theorem 6: fold minimal two-bag witnesses along the RIP listing.
-  Bag acc = *edge_bag[rip_order[0]];
-  for (size_t i = 1; i < rip_order.size(); ++i) {
-    const Bag& next = *edge_bag[rip_order[i]];
-    BAGC_ASSIGN_OR_RETURN(std::optional<Bag> ti,
-                          options.minimal_fold ? FindMinimalWitness(acc, next)
-                                               : FindWitness(acc, next));
-    if (!ti.has_value()) {
-      // Step 1 of Theorem 2 proves this cannot happen for pairwise
-      // consistent bags along a RIP listing.
-      return Status::Internal(
-          "pairwise consistent acyclic collection hit an inconsistent fold step");
-    }
-    acc = std::move(*ti);
-  }
-  return std::optional<Bag>(std::move(acc));
+  EngineOptions engine_options;
+  engine_options.lazy_seal = true;
+  BAGC_ASSIGN_OR_RETURN(ConsistencyEngine engine,
+                        ConsistencyEngine::MakeView(collection, engine_options));
+  return engine.SolveGlobalAcyclic(options);
 }
 
 Result<std::optional<Bag>> SolveGlobalConsistencyExact(
     const BagCollection& collection, const GlobalSolveOptions& options) {
-  // Pairwise consistency is necessary; it is also a cheap filter before
-  // the exponential search.
-  BAGC_ASSIGN_OR_RETURN(bool pairwise, ArePairwiseConsistent(collection));
-  if (!pairwise) return std::optional<Bag>();
-  BAGC_ASSIGN_OR_RETURN(
-      ConsistencyLp lp,
-      BuildConsistencyLp(collection.bags(), options.max_join_support));
-  BAGC_ASSIGN_OR_RETURN(auto solution,
-                        SolveIntegerFeasibility(lp, options.search));
-  if (!solution.has_value()) return std::optional<Bag>();
-  BagBuilder builder(lp.joined_schema);
-  for (size_t i = 0; i < lp.variables.size(); ++i) {
-    if ((*solution)[i] > 0) {
-      BAGC_RETURN_NOT_OK(builder.Add(lp.variables[i], (*solution)[i]));
-    }
-  }
-  BAGC_ASSIGN_OR_RETURN(Bag witness, builder.Build());
-  return std::optional<Bag>(std::move(witness));
+  EngineOptions engine_options;
+  engine_options.lazy_seal = true;
+  engine_options.global = options;
+  BAGC_ASSIGN_OR_RETURN(ConsistencyEngine engine,
+                        ConsistencyEngine::MakeView(collection, engine_options));
+  return engine.SolveGlobalExact();
 }
 
 Result<bool> IsGloballyConsistent(const BagCollection& collection,
                                   const GlobalSolveOptions& options) {
-  if (IsAcyclic(collection.hypergraph())) {
-    // Theorem 2: local-to-global holds, so pairwise consistency decides.
-    return ArePairwiseConsistent(collection);
-  }
-  BAGC_ASSIGN_OR_RETURN(std::optional<Bag> witness,
-                        SolveGlobalConsistencyExact(collection, options));
-  return witness.has_value();
+  EngineOptions engine_options;
+  engine_options.lazy_seal = true;
+  engine_options.global = options;
+  BAGC_ASSIGN_OR_RETURN(ConsistencyEngine engine,
+                        ConsistencyEngine::MakeView(collection, engine_options));
+  return engine.Global();
 }
 
 Result<Bag> MinimizeWitnessSupport(const BagCollection& collection,

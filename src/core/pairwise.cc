@@ -5,23 +5,29 @@
 #include <vector>
 
 #include "core/global.h"
-#include "core/two_bag.h"
+#include "engine/consistency_engine.h"
 
 namespace bagc {
 
 Result<bool> ArePairwiseConsistent(const BagCollection& collection,
                                    std::pair<size_t, size_t>* witness_pair) {
-  for (size_t i = 0; i < collection.size(); ++i) {
-    for (size_t j = i + 1; j < collection.size(); ++j) {
-      BAGC_ASSIGN_OR_RETURN(bool ok,
-                            AreConsistent(collection.bag(i), collection.bag(j)));
-      if (!ok) {
-        if (witness_pair != nullptr) *witness_pair = {i, j};
-        return false;
-      }
-    }
+  // Single-shot wrapper over the batch engine: borrow the collection into
+  // a throwaway lazily-sealed engine and run one inline sweep. The
+  // sequential sweep visits pairs in the same lexicographic order the
+  // historical double loop did — and under lazy_seal computes marginals
+  // pair by pair, so the reported first failing pair and the
+  // marginal-level early exit are unchanged (the engine does still pay
+  // its O(m²) schema-setup pass up front, which is cheap next to a
+  // single marginal).
+  EngineOptions options;
+  options.lazy_seal = true;
+  BAGC_ASSIGN_OR_RETURN(ConsistencyEngine engine,
+                        ConsistencyEngine::MakeView(collection, options));
+  BAGC_ASSIGN_OR_RETURN(PairwiseVerdict verdict, engine.PairwiseAll());
+  if (!verdict.consistent && witness_pair != nullptr) {
+    *witness_pair = verdict.witness_pair;
   }
-  return true;
+  return verdict.consistent;
 }
 
 namespace {

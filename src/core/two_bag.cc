@@ -1,14 +1,16 @@
 #include "core/two_bag.h"
 
-#include "flow/consistency_network.h"
+#include "engine/two_bag_solver.h"
 
 namespace bagc {
 
+// The single-shot entry points below route through engine/TwoBagSolver,
+// which owns the reusable ConsistencyNetwork arena; each call here spins
+// up a throwaway solver, while batch callers (ConsistencyEngine, the
+// Theorem 6 fold) keep one solver alive across many solves.
+
 Result<bool> AreConsistent(const Bag& r, const Bag& s) {
-  Schema z = Schema::Intersect(r.schema(), s.schema());
-  BAGC_ASSIGN_OR_RETURN(Bag rz, r.Marginal(z));
-  BAGC_ASSIGN_OR_RETURN(Bag sz, s.Marginal(z));
-  return rz == sz;
+  return TwoBagSolver::AreConsistent(r, s);
 }
 
 Result<bool> IsWitness(const Bag& t, const Bag& r, const Bag& s) {
@@ -21,43 +23,13 @@ Result<bool> IsWitness(const Bag& t, const Bag& r, const Bag& s) {
 }
 
 Result<std::optional<Bag>> FindWitness(const Bag& r, const Bag& s) {
-  // Cheap pre-check (Lemma 2(2)) before building the network.
-  BAGC_ASSIGN_OR_RETURN(bool consistent, AreConsistent(r, s));
-  if (!consistent) return std::optional<Bag>();
-  BAGC_ASSIGN_OR_RETURN(ConsistencyNetwork net, ConsistencyNetwork::Make(r, s));
-  BAGC_ASSIGN_OR_RETURN(bool saturated, net.HasSaturatedFlow());
-  if (!saturated) {
-    // Lemma 2 (2) => (5): cannot happen when the marginals agree.
-    return Status::Internal("marginals agree but N(R,S) has no saturated flow");
-  }
-  BAGC_ASSIGN_OR_RETURN(Bag witness, net.ExtractWitness());
-  return std::optional<Bag>(std::move(witness));
+  TwoBagSolver solver;
+  return solver.FindWitness(r, s);
 }
 
 Result<std::optional<Bag>> FindMinimalWitness(const Bag& r, const Bag& s) {
-  BAGC_ASSIGN_OR_RETURN(bool consistent, AreConsistent(r, s));
-  if (!consistent) return std::optional<Bag>();
-  BAGC_ASSIGN_OR_RETURN(ConsistencyNetwork net, ConsistencyNetwork::Make(r, s));
-  BAGC_ASSIGN_OR_RETURN(bool saturated, net.HasSaturatedFlow());
-  if (!saturated) {
-    return Status::Internal("marginals agree but N(R,S) has no saturated flow");
-  }
-  // §5.3 self-reducibility: for each middle edge, ask whether some
-  // saturated flow avoids it; if so, delete it permanently.
-  for (size_t i = 0; i < net.NumMiddleEdges(); ++i) {
-    BAGC_RETURN_NOT_OK(net.SuppressMiddleEdge(i));
-    BAGC_ASSIGN_OR_RETURN(bool still, net.HasSaturatedFlow());
-    if (!still) {
-      BAGC_RETURN_NOT_OK(net.RestoreMiddleEdge(i));
-    }
-  }
-  // Re-solve on the surviving edges and extract.
-  BAGC_ASSIGN_OR_RETURN(bool final_ok, net.HasSaturatedFlow());
-  if (!final_ok) {
-    return Status::Internal("minimal-witness pruning lost saturation");
-  }
-  BAGC_ASSIGN_OR_RETURN(Bag witness, net.ExtractWitness());
-  return std::optional<Bag>(std::move(witness));
+  TwoBagSolver solver;
+  return solver.FindMinimalWitness(r, s);
 }
 
 }  // namespace bagc

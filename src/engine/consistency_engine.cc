@@ -1,0 +1,339 @@
+#include "engine/consistency_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+
+#include "hypergraph/acyclicity.h"
+#include "solver/integer_feasibility.h"
+#include "solver/lp.h"
+
+namespace bagc {
+
+Result<ConsistencyEngine> ConsistencyEngine::Make(BagCollection collection,
+                                                  EngineOptions options) {
+  auto owned = std::make_shared<const BagCollection>(std::move(collection));
+  const BagCollection* view = owned.get();
+  return MakeImpl(view, std::move(owned), options);
+}
+
+Result<ConsistencyEngine> ConsistencyEngine::MakeView(
+    const BagCollection& collection, EngineOptions options) {
+  return MakeImpl(&collection, nullptr, options);
+}
+
+Result<ConsistencyEngine> ConsistencyEngine::MakeImpl(
+    const BagCollection* view, std::shared_ptr<const BagCollection> owned,
+    EngineOptions options) {
+  ConsistencyEngine engine;
+  engine.collection_ = view;
+  engine.owned_ = std::move(owned);
+  engine.options_ = options;
+  if (options.num_threads > 1) {
+    engine.pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  }
+  BAGC_RETURN_NOT_OK(engine.Seal());
+  return engine;
+}
+
+Status ConsistencyEngine::Seal() {
+  size_t m = collection_->size();
+  cache_.assign(m, {});
+
+  // Pass 1: compute each unordered pair's shared schema exactly once and
+  // collect the distinct schemas per bag (by pointer into pair_schema,
+  // which is pre-reserved so the pointers stay stable); one
+  // CachedProjection slot per (bag, shared schema), schema-sorted per bag
+  // so lookups binary-search.
+  std::vector<Schema> pair_schema;
+  pair_schema.reserve(m * (m - 1) / 2);
+  std::vector<std::vector<const Schema*>> per_bag(m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      pair_schema.push_back(Schema::Intersect(collection_->bag(i).schema(),
+                                              collection_->bag(j).schema()));
+      per_bag[i].push_back(&pair_schema.back());
+      per_bag[j].push_back(&pair_schema.back());
+    }
+  }
+  auto deref_less = [](const Schema* a, const Schema* b) { return *a < *b; };
+  auto deref_eq = [](const Schema* a, const Schema* b) { return *a == *b; };
+  for (size_t i = 0; i < m; ++i) {
+    std::vector<const Schema*>& schemas = per_bag[i];
+    std::sort(schemas.begin(), schemas.end(), deref_less);
+    schemas.erase(std::unique(schemas.begin(), schemas.end(), deref_eq),
+                  schemas.end());
+    cache_[i].resize(schemas.size());
+    for (size_t k = 0; k < schemas.size(); ++k) {
+      cache_[i][k].schema = *schemas[k];
+    }
+  }
+
+  // Pass 2: resolve the pair list against the now-stable cache storage.
+  pairs_.reserve(pair_schema.size());
+  size_t pair_index = 0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      const Schema& z = pair_schema[pair_index++];
+      CachedProjection* left = FindProjection(i, z);
+      CachedProjection* right = FindProjection(j, z);
+      if (left == nullptr || right == nullptr) {
+        return Status::Internal("sealed cache is missing a pairwise marginal");
+      }
+      pairs_.push_back({i, j, left, right});
+    }
+  }
+
+  // Pass 3: fill the slots, unless deferring to first use. Each slot is
+  // written by exactly one task, so the parallel fill shares nothing but
+  // disjoint slots.
+  if (options_.lazy_seal && pool_ == nullptr) return Status::OK();
+  std::vector<std::pair<size_t, size_t>> slots;  // (bag, cache index)
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t k = 0; k < cache_[i].size(); ++k) slots.emplace_back(i, k);
+  }
+  std::vector<Status> statuses(slots.size());
+  if (pool_ != nullptr) {
+    for (size_t t = 0; t < slots.size(); ++t) {
+      pool_->Submit([this, &statuses, &slots, t] {
+        statuses[t] =
+            EnsureFilled(&cache_[slots[t].first][slots[t].second], slots[t].first);
+      });
+    }
+    pool_->WaitIdle();
+  } else {
+    for (size_t t = 0; t < slots.size(); ++t) {
+      statuses[t] =
+          EnsureFilled(&cache_[slots[t].first][slots[t].second], slots[t].first);
+    }
+  }
+  for (const Status& st : statuses) BAGC_RETURN_NOT_OK(st);
+  return Status::OK();
+}
+
+Status ConsistencyEngine::EnsureFilled(CachedProjection* slot, size_t bag_index) {
+  if (slot->filled) return Status::OK();
+  BAGC_ASSIGN_OR_RETURN(slot->marginal,
+                        collection_->bag(bag_index).Marginal(slot->schema));
+  slot->filled = true;
+  return Status::OK();
+}
+
+ConsistencyEngine::CachedProjection* ConsistencyEngine::FindProjection(
+    size_t i, const Schema& z) {
+  return const_cast<CachedProjection*>(
+      static_cast<const ConsistencyEngine*>(this)->FindProjection(i, z));
+}
+
+const ConsistencyEngine::CachedProjection* ConsistencyEngine::FindProjection(
+    size_t i, const Schema& z) const {
+  const std::vector<CachedProjection>& row = cache_[i];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), z,
+      [](const CachedProjection& p, const Schema& key) { return p.schema < key; });
+  if (it == row.end() || it->schema != z) return nullptr;
+  return &*it;
+}
+
+Result<bool> ConsistencyEngine::TwoBag(size_t i, size_t j) {
+  size_t m = collection_->size();
+  if (i >= m || j >= m) return Status::OutOfRange("bag index out of range");
+  if (i == j) return true;  // a bag always agrees with its own marginals
+  if (i > j) std::swap(i, j);
+  // pairs_ lists (i, j), i < j, lexicographically, so the query's
+  // pre-resolved cache slots sit at a closed-form offset — no schema
+  // intersection or lookup per query.
+  const PairTask& p = pairs_[i * (2 * m - i - 1) / 2 + (j - i - 1)];
+  BAGC_RETURN_NOT_OK(EnsureFilled(p.left, i));
+  BAGC_RETURN_NOT_OK(EnsureFilled(p.right, j));
+  return p.left->marginal == p.right->marginal;
+}
+
+Result<PairwiseVerdict> ConsistencyEngine::SweepSequential() {
+  for (const PairTask& p : pairs_) {
+    BAGC_RETURN_NOT_OK(EnsureFilled(p.left, p.i));
+    BAGC_RETURN_NOT_OK(EnsureFilled(p.right, p.j));
+    if (p.left->marginal != p.right->marginal) {
+      PairwiseVerdict v;
+      v.consistent = false;
+      v.witness_pair = {p.i, p.j};
+      return v;
+    }
+  }
+  return PairwiseVerdict{};
+}
+
+PairwiseVerdict ConsistencyEngine::SweepParallel() {
+  // Parallel engines sealed eagerly, so the tasks below only read the
+  // cache. Shard the lexicographic pair list into contiguous chunks and
+  // keep a running minimum over failing pair indices. A pair is skipped
+  // only when an earlier-or-equal failure is already recorded, so the
+  // final minimum is exactly the lexicographically first inconsistent
+  // pair — the sweep early-exits *and* stays deterministic for every
+  // worker count.
+  constexpr size_t kNone = std::numeric_limits<size_t>::max();
+  std::atomic<size_t> best{kNone};
+  size_t num_chunks = std::min(pairs_.size(), 4 * pool_->num_threads());
+  size_t chunk = (pairs_.size() + num_chunks - 1) / num_chunks;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    size_t lo = c * chunk;
+    size_t hi = std::min(pairs_.size(), lo + chunk);
+    pool_->Submit([this, &best, lo, hi] {
+      for (size_t idx = lo; idx < hi; ++idx) {
+        if (idx >= best.load(std::memory_order_relaxed)) return;
+        const PairTask& p = pairs_[idx];
+        if (p.left->marginal != p.right->marginal) {
+          size_t cur = best.load(std::memory_order_relaxed);
+          while (idx < cur &&
+                 !best.compare_exchange_weak(cur, idx, std::memory_order_relaxed)) {
+          }
+          return;
+        }
+      }
+    });
+  }
+  // Drain before touching `best` (and before the caller can destroy the
+  // engine): in-flight tasks reference this stack frame and the cache.
+  pool_->WaitIdle();
+  size_t found = best.load(std::memory_order_relaxed);
+  PairwiseVerdict v;
+  if (found != kNone) {
+    v.consistent = false;
+    v.witness_pair = {pairs_[found].i, pairs_[found].j};
+  }
+  return v;
+}
+
+Result<PairwiseVerdict> ConsistencyEngine::PairwiseAll() {
+  if (!pairwise_verdict_.has_value()) {
+    if (pool_ != nullptr && pairs_.size() > 1) {
+      pairwise_verdict_ = SweepParallel();
+    } else {
+      BAGC_ASSIGN_OR_RETURN(pairwise_verdict_, SweepSequential());
+    }
+  }
+  return *pairwise_verdict_;
+}
+
+Result<bool> ConsistencyEngine::Global() {
+  if (global_verdict_.has_value()) return *global_verdict_;
+  if (IsAcyclic(collection_->hypergraph())) {
+    // Theorem 2: local-to-global holds, so pairwise consistency decides.
+    BAGC_ASSIGN_OR_RETURN(PairwiseVerdict v, PairwiseAll());
+    global_verdict_ = v.consistent;
+  } else {
+    BAGC_ASSIGN_OR_RETURN(std::optional<Bag> witness, SolveGlobalExact());
+    global_verdict_ = witness.has_value();
+  }
+  return *global_verdict_;
+}
+
+Result<std::optional<Bag>> ConsistencyEngine::Witness(size_t i, size_t j,
+                                                      bool minimal) {
+  // The Lemma 2(2) pre-check comes from the cache instead of the solver's
+  // own marginal rebuild.
+  BAGC_ASSIGN_OR_RETURN(bool consistent, TwoBag(i, j));
+  if (!consistent) return std::optional<Bag>();
+  const Bag& r = collection_->bag(i);
+  const Bag& s = collection_->bag(j);
+  BAGC_ASSIGN_OR_RETURN(
+      Bag witness, witness_solver_.FindWitnessKnownConsistent(r, s, minimal));
+  return std::optional<Bag>(std::move(witness));
+}
+
+Result<std::optional<Bag>> ConsistencyEngine::SolveGlobalAcyclic(
+    const AcyclicSolveOptions& options) {
+  const Hypergraph& h = collection_->hypergraph();
+  BAGC_ASSIGN_OR_RETURN(std::vector<size_t> rip_order, RunningIntersectionOrder(h));
+
+  // Pairwise-consistency prefilter (by Theorem 2, for acyclic schemas this
+  // already decides global consistency).
+  BAGC_ASSIGN_OR_RETURN(PairwiseVerdict pairwise, PairwiseAll());
+  if (!pairwise.consistent) return std::optional<Bag>();
+
+  // The hypergraph's canonical edges may merge duplicate schemas; map each
+  // edge to the bags carrying it. Pairwise-consistent bags with the same
+  // schema are *equal* (consistency on the full shared schema), so any
+  // representative works.
+  const std::vector<Schema>& edges = h.edges();
+  std::vector<const Bag*> edge_bag(edges.size(), nullptr);
+  for (const Bag& b : collection_->bags()) {
+    for (size_t e = 0; e < edges.size(); ++e) {
+      if (edges[e] == b.schema()) {
+        edge_bag[e] = &b;
+        break;
+      }
+    }
+  }
+  for (const Bag* p : edge_bag) {
+    if (p == nullptr) return Status::Internal("edge without a bag");
+  }
+
+  // Theorem 6: fold minimal two-bag witnesses along the RIP listing. Every
+  // fold step solves inside the engine's one flow arena.
+  Bag acc = *edge_bag[rip_order[0]];
+  for (size_t i = 1; i < rip_order.size(); ++i) {
+    const Bag& next = *edge_bag[rip_order[i]];
+    BAGC_ASSIGN_OR_RETURN(std::optional<Bag> ti,
+                          options.minimal_fold
+                              ? witness_solver_.FindMinimalWitness(acc, next)
+                              : witness_solver_.FindWitness(acc, next));
+    if (!ti.has_value()) {
+      // Step 1 of Theorem 2 proves this cannot happen for pairwise
+      // consistent bags along a RIP listing.
+      return Status::Internal(
+          "pairwise consistent acyclic collection hit an inconsistent fold step");
+    }
+    acc = std::move(*ti);
+  }
+  return std::optional<Bag>(std::move(acc));
+}
+
+Result<std::optional<Bag>> ConsistencyEngine::SolveGlobalExact() {
+  // Pairwise consistency is necessary; it is also a cheap filter before
+  // the exponential search.
+  BAGC_ASSIGN_OR_RETURN(PairwiseVerdict pairwise, PairwiseAll());
+  if (!pairwise.consistent) return std::optional<Bag>();
+  BAGC_ASSIGN_OR_RETURN(
+      ConsistencyLp lp,
+      BuildConsistencyLp(collection_->bags(), options_.global.max_join_support));
+  BAGC_ASSIGN_OR_RETURN(auto solution,
+                        SolveIntegerFeasibility(lp, options_.global.search));
+  if (!solution.has_value()) return std::optional<Bag>();
+  BagBuilder builder(lp.joined_schema);
+  for (size_t i = 0; i < lp.variables.size(); ++i) {
+    if ((*solution)[i] > 0) {
+      BAGC_RETURN_NOT_OK(builder.Add(lp.variables[i], (*solution)[i]));
+    }
+  }
+  BAGC_ASSIGN_OR_RETURN(Bag witness, builder.Build());
+  return std::optional<Bag>(std::move(witness));
+}
+
+const Bag* ConsistencyEngine::CachedMarginal(size_t i, const Schema& z) const {
+  if (i >= cache_.size()) return nullptr;
+  const CachedProjection* p = FindProjection(i, z);
+  return (p == nullptr || !p->filled) ? nullptr : &p->marginal;
+}
+
+Result<uint64_t> ConsistencyEngine::ProbeMarginal(size_t i, const Schema& z,
+                                                  const Tuple& t) {
+  if (i >= cache_.size()) return Status::OutOfRange("bag index out of range");
+  CachedProjection* p = FindProjection(i, z);
+  if (p == nullptr) {
+    return Status::NotFound("no sealed projection for this attribute set");
+  }
+  BAGC_RETURN_NOT_OK(EnsureFilled(p, i));
+  if (!p->probe_built) {
+    p->probe.Reserve(p->marginal.SupportSize());
+    for (size_t e = 0; e < p->marginal.SupportSize(); ++e) {
+      p->probe.Insert(p->marginal.entries()[e].first, static_cast<uint32_t>(e));
+    }
+    p->probe_built = true;
+  }
+  const std::vector<uint32_t>* ids = p->probe.Find(t);
+  if (ids == nullptr || ids->empty()) return uint64_t{0};
+  return p->marginal.entries()[ids->front()].second;
+}
+
+}  // namespace bagc

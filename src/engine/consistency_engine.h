@@ -1,0 +1,170 @@
+// ConsistencyEngine: the batch consistency API. Pairwise and global bag
+// consistency (Atserias–Kolaitis, PODS 2021) are pure functions of a fixed
+// bag collection, so a server-style workload — one collection, many
+// queries — can seal the collection once and amortize all per-query
+// index construction:
+//
+//   - at seal time the engine computes, for every pair of bags, the
+//     marginals on their shared attributes (deduplicated per bag and
+//     keyed by attribute set) together with a TupleIndex probe per cached
+//     marginal, optionally sharded across a work-stealing thread pool;
+//   - TwoBag(i, j) then answers from the cached marginals (Lemma 2(2))
+//     without recomputing anything;
+//   - PairwiseAll() shards the O(m²) independent pair comparisons across
+//     the pool with an atomic early-exit, and deterministically reports
+//     the lexicographically first inconsistent pair;
+//   - Global() dispatches on schema acyclicity (Theorem 2) and memoizes;
+//   - witness queries reuse one TwoBagSolver flow arena across solves.
+//
+// The single-shot entry points in core/{pairwise,global}.cc are thin
+// wrappers that build a throwaway engine per call.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/collection.h"
+#include "core/global.h"
+#include "engine/two_bag_solver.h"
+#include "tuple/tuple_index.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace bagc {
+
+/// Tuning for a ConsistencyEngine.
+struct EngineOptions {
+  /// Worker threads for sealing and the pairwise sweep; 1 runs inline
+  /// (no pool is created).
+  size_t num_threads = 1;
+  /// Defer marginal computation from seal time to first use. This is the
+  /// single-shot wrappers' mode: the sequential sweep then recovers the
+  /// historical early exit (an inconsistency at the first pair costs two
+  /// marginals, not a full seal). Only honored when num_threads == 1 —
+  /// parallel engines always seal eagerly so queries stay race-free.
+  bool lazy_seal = false;
+  /// Tuning for the exact (cyclic-schema) global path.
+  GlobalSolveOptions global;
+};
+
+/// Outcome of a pairwise sweep.
+struct PairwiseVerdict {
+  bool consistent = true;
+  /// Valid iff !consistent: the lexicographically first pair (i, j), i < j,
+  /// whose shared marginals disagree. Deterministic for every thread count.
+  std::pair<size_t, size_t> witness_pair{0, 0};
+};
+
+/// \brief Sealed bag collection plus cached per-query state.
+///
+/// Pool tasks only ever write disjoint cache slots, and PairwiseAll/Global
+/// memoize their verdicts. Queries are not thread-safe against each other
+/// (they fill caches on demand); the parallelism lives inside the engine's
+/// own pool. Movable, not copyable (owns the pool).
+class ConsistencyEngine {
+ public:
+  /// Seals an owned copy of `collection`: allocates the cache of pairwise
+  /// shared-attribute marginals and (unless lazy_seal) computes them, in
+  /// parallel when options.num_threads > 1.
+  static Result<ConsistencyEngine> Make(BagCollection collection,
+                                        EngineOptions options = {});
+
+  /// As Make, but borrows `collection` instead of copying it; the caller
+  /// must keep it alive for the engine's lifetime. This is the zero-copy
+  /// path for the single-shot wrappers in core/.
+  static Result<ConsistencyEngine> MakeView(const BagCollection& collection,
+                                            EngineOptions options = {});
+
+  ConsistencyEngine(ConsistencyEngine&&) = default;
+  ConsistencyEngine& operator=(ConsistencyEngine&&) = default;
+  ConsistencyEngine(const ConsistencyEngine&) = delete;
+  ConsistencyEngine& operator=(const ConsistencyEngine&) = delete;
+
+  const BagCollection& collection() const { return *collection_; }
+  /// Number of sweep workers (1 when running inline).
+  size_t num_threads() const { return pool_ ? pool_->num_threads() : 1; }
+
+  /// Lemma 2(2) on bags i and j, answered from the cached marginals
+  /// (filling them on first use under lazy_seal).
+  Result<bool> TwoBag(size_t i, size_t j);
+
+  /// Sweeps all pairs (sharded across the pool when one exists) with
+  /// early exit on the first inconsistent pair; memoized. All in-flight
+  /// pool tasks are drained before this returns.
+  Result<PairwiseVerdict> PairwiseAll();
+
+  /// Global consistency: acyclic schemas reduce to PairwiseAll()
+  /// (Theorem 2); cyclic schemas run the exact solver. Memoized.
+  Result<bool> Global();
+
+  /// Witness of consistency for bags i and j (minimal per §5.3 when
+  /// `minimal`); nullopt when inconsistent. Reuses the engine's flow arena.
+  Result<std::optional<Bag>> Witness(size_t i, size_t j, bool minimal = false);
+
+  /// Theorem 6 witness construction for acyclic schemas, folding minimal
+  /// two-bag witnesses through the engine's reusable flow arena.
+  Result<std::optional<Bag>> SolveGlobalAcyclic(
+      const AcyclicSolveOptions& options = {});
+
+  /// Exact decision for arbitrary schemas via integer feasibility of
+  /// P(R1..Rm), with the pairwise sweep as a prefilter.
+  Result<std::optional<Bag>> SolveGlobalExact();
+
+  /// Cached marginal of bag i onto z, or nullptr when (i, z) is not a
+  /// sealed projection or (under lazy_seal) has not been computed yet.
+  const Bag* CachedMarginal(size_t i, const Schema& z) const;
+
+  /// Ri[z](t) via a TupleIndex probe over the cached marginal (built on
+  /// first probe of that projection); errors when (i, z) is not a sealed
+  /// projection. 0 when t is not in the marginal's support.
+  Result<uint64_t> ProbeMarginal(size_t i, const Schema& z, const Tuple& t);
+
+ private:
+  // One sealed projection of one bag: Z, Ri[Z] (filled eagerly or on first
+  // use), and a hash probe from marginal tuple to its entry index (built
+  // on first ProbeMarginal).
+  struct CachedProjection {
+    Schema schema;
+    Bag marginal;
+    bool filled = false;
+    TupleIndex probe;
+    bool probe_built = false;
+  };
+  // One pairwise comparison, with the two cache slots pre-resolved. The
+  // pointers target heap storage owned by cache_, which is stable after
+  // Seal() (and across moves of the engine).
+  struct PairTask {
+    size_t i, j;
+    CachedProjection* left;
+    CachedProjection* right;
+  };
+
+  ConsistencyEngine() = default;
+
+  static Result<ConsistencyEngine> MakeImpl(const BagCollection* view,
+                                            std::shared_ptr<const BagCollection> owned,
+                                            EngineOptions options);
+  // Builds cache_ and pairs_; computes the marginals (sharded over the
+  // pool) unless sealing lazily.
+  Status Seal();
+  Status EnsureFilled(CachedProjection* slot, size_t bag_index);
+  CachedProjection* FindProjection(size_t i, const Schema& z);
+  const CachedProjection* FindProjection(size_t i, const Schema& z) const;
+  Result<PairwiseVerdict> SweepSequential();
+  PairwiseVerdict SweepParallel();
+
+  const BagCollection* collection_ = nullptr;  // owned_ or a borrowed view
+  std::shared_ptr<const BagCollection> owned_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
+  std::vector<std::vector<CachedProjection>> cache_;  // per bag, schema-sorted
+  std::vector<PairTask> pairs_;  // all (i, j), i < j, lexicographic
+  std::optional<PairwiseVerdict> pairwise_verdict_;
+  std::optional<bool> global_verdict_;
+  TwoBagSolver witness_solver_;
+};
+
+}  // namespace bagc

@@ -7,31 +7,38 @@ namespace bagc {
 
 Result<ConsistencyNetwork> ConsistencyNetwork::Make(const Bag& r, const Bag& s) {
   ConsistencyNetwork cn;
+  BAGC_RETURN_NOT_OK(cn.Assign(r, s));
+  return cn;
+}
+
+Status ConsistencyNetwork::Assign(const Bag& r, const Bag& s) {
   BAGC_ASSIGN_OR_RETURN(TupleJoiner joiner, TupleJoiner::Make(r.schema(), s.schema()));
-  cn.joined_schema_ = joiner.joined_schema();
+  joined_schema_ = joiner.joined_schema();
+  middle_.clear();
+  source_capacity_ = 0;
+  sink_capacity_ = 0;
 
   // Vertex numbering: 0 = source, 1..|R'| = R tuples, then S tuples, then
   // sink last. The flat entry vectors give the mapping directly: the i-th
   // entry of R is vertex 1 + i, the j-th entry of S is vertex 1 + |R'| + j.
   size_t nr = r.SupportSize();
   size_t ns = s.SupportSize();
-  cn.net_ = FlowNetwork(2 + nr + ns);
-  cn.source_ = 0;
-  cn.sink_ = 1 + nr + ns;
+  net_.Reset(2 + nr + ns);
+  source_ = 0;
+  sink_ = 1 + nr + ns;
 
   for (size_t i = 0; i < nr; ++i) {
     uint64_t mult = r.entries()[i].second;
-    BAGC_RETURN_NOT_OK(cn.net_.AddEdge(cn.source_, 1 + i, mult).status());
-    BAGC_ASSIGN_OR_RETURN(cn.source_capacity_,
-                          CheckedAdd(cn.source_capacity_, mult));
+    BAGC_RETURN_NOT_OK(net_.AddEdge(source_, 1 + i, mult).status());
+    BAGC_ASSIGN_OR_RETURN(source_capacity_, CheckedAdd(source_capacity_, mult));
   }
   for (size_t j = 0; j < ns; ++j) {
     uint64_t mult = s.entries()[j].second;
-    BAGC_RETURN_NOT_OK(cn.net_.AddEdge(1 + nr + j, cn.sink_, mult).status());
-    BAGC_ASSIGN_OR_RETURN(cn.sink_capacity_, CheckedAdd(cn.sink_capacity_, mult));
+    BAGC_RETURN_NOT_OK(net_.AddEdge(1 + nr + j, sink_, mult).status());
+    BAGC_ASSIGN_OR_RETURN(sink_capacity_, CheckedAdd(sink_capacity_, mult));
   }
-  if (cn.source_capacity_ > FlowNetwork::kUnbounded ||
-      cn.sink_capacity_ > FlowNetwork::kUnbounded) {
+  if (source_capacity_ > FlowNetwork::kUnbounded ||
+      sink_capacity_ > FlowNetwork::kUnbounded) {
     return Status::ResourceExhausted("bag cardinalities exceed flow capacity range");
   }
 
@@ -53,11 +60,11 @@ Result<ConsistencyNetwork> ConsistencyNetwork::Make(const Bag& r, const Bag& s) 
       const Tuple& y = s.entries()[j].first;
       BAGC_ASSIGN_OR_RETURN(
           FlowNetwork::EdgeId eid,
-          cn.net_.AddEdge(1 + i, 1 + nr + j, FlowNetwork::kUnbounded));
-      cn.middle_.push_back({joiner.Join(x, y), eid});
+          net_.AddEdge(1 + i, 1 + nr + j, FlowNetwork::kUnbounded));
+      middle_.push_back({joiner.Join(x, y), eid});
     }
   }
-  return cn;
+  return Status::OK();
 }
 
 Result<bool> ConsistencyNetwork::HasSaturatedFlow() {

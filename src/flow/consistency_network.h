@@ -18,8 +18,16 @@ namespace bagc {
 /// \brief N(R, S) plus the bookkeeping to map flows back to witness bags.
 class ConsistencyNetwork {
  public:
+  /// An empty network; populate with Assign.
+  ConsistencyNetwork() : net_(0) {}
+
   /// Builds N(R, S). Fails on schema errors or overflowing capacities.
   static Result<ConsistencyNetwork> Make(const Bag& r, const Bag& s);
+
+  /// Rebuilds this object as N(R, S) in place, reusing the flow arena and
+  /// middle-edge storage of any previous build (see FlowNetwork::Reset).
+  /// On error the contents are unspecified; Assign again before use.
+  Status Assign(const Bag& r, const Bag& s);
 
   /// Sum of source-side capacities (= ||R||_u); a flow saturates iff its
   /// value equals this and also equals ||S||_u.
@@ -53,8 +61,6 @@ class ConsistencyNetwork {
     Tuple tuple;  // join tuple over XY
     FlowNetwork::EdgeId edge;
   };
-
-  ConsistencyNetwork() : net_(0) {}
 
   FlowNetwork net_;
   Schema joined_schema_;

@@ -8,6 +8,14 @@ namespace bagc {
 
 FlowNetwork::FlowNetwork(size_t num_vertices) : graph_(num_vertices) {}
 
+void FlowNetwork::Reset(size_t num_vertices) {
+  edges_.clear();
+  // Resize the adjacency table without releasing the per-vertex vectors:
+  // surviving slots keep their capacity for the next build.
+  graph_.resize(num_vertices);
+  for (std::vector<size_t>& adj : graph_) adj.clear();
+}
+
 Result<FlowNetwork::EdgeId> FlowNetwork::AddEdge(size_t u, size_t v,
                                                  uint64_t capacity) {
   if (u >= graph_.size() || v >= graph_.size()) {
@@ -26,15 +34,16 @@ Result<FlowNetwork::EdgeId> FlowNetwork::AddEdge(size_t u, size_t v,
 
 bool FlowNetwork::Bfs(size_t s, size_t t) {
   level_.assign(graph_.size(), -1);
-  std::vector<size_t> queue = {s};
+  bfs_queue_.clear();
+  bfs_queue_.push_back(s);
   level_[s] = 0;
-  for (size_t qi = 0; qi < queue.size(); ++qi) {
-    size_t v = queue[qi];
+  for (size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
+    size_t v = bfs_queue_[qi];
     for (size_t eid : graph_[v]) {
       const Edge& e = edges_[eid];
       if (e.cap > 0 && level_[e.to] < 0) {
         level_[e.to] = level_[v] + 1;
-        queue.push_back(e.to);
+        bfs_queue_.push_back(e.to);
       }
     }
   }

@@ -28,6 +28,13 @@ class FlowNetwork {
 
   explicit FlowNetwork(size_t num_vertices);
 
+  /// Clears the network back to `num_vertices` isolated vertices while
+  /// retaining every allocation (edge pool, adjacency lists, BFS/DFS
+  /// scratch). This is the arena-reuse entry point: repeated solves — the
+  /// §5.3 suppress/restore loop, the Theorem 6 fold, engine batch queries —
+  /// rebuild into the same storage instead of reallocating per solve.
+  void Reset(size_t num_vertices);
+
   size_t num_vertices() const { return graph_.size(); }
   size_t num_edges() const { return edges_.size() / 2; }
 
@@ -62,6 +69,7 @@ class FlowNetwork {
   std::vector<std::vector<size_t>> graph_;  // adjacency: edge indices
   std::vector<int> level_;
   std::vector<size_t> iter_;
+  std::vector<size_t> bfs_queue_;  // scratch, reused across Bfs calls
 };
 
 }  // namespace bagc

@@ -1,0 +1,226 @@
+// Randomized property tests for the ConsistencyEngine, all under one
+// seeded Rng so every run is reproducible:
+//   - pairwise consistency is invariant under bag reordering and under
+//     attribute renaming (both are isomorphisms of the instance);
+//   - the sharded sweep returns identical verdicts — including the
+//     lexicographically-first witness pair — for 1, 2, and 8 workers;
+//   - cached-marginal answers are stable across repeated queries on one
+//     engine and match uncached recomputation;
+//   - regression: PairwiseAll()'s early exit drains in-flight pool tasks
+//     before returning, so destroying the engine (or the caller's stack
+//     frame) immediately afterwards is safe. Run under ASan/UBSan in CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/pairwise.h"
+#include "engine/consistency_engine.h"
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+// Applies an attribute-id permutation to a bag: schema attributes map
+// through `perm` and tuple slots follow the renamed schema's sorted layout.
+Bag RenameBag(const Bag& b, const std::vector<AttrId>& perm) {
+  std::vector<AttrId> renamed;
+  renamed.reserve(b.schema().arity());
+  for (AttrId a : b.schema().attrs()) renamed.push_back(perm[a]);
+  Schema schema(renamed);
+  BagBuilder builder(schema);
+  builder.Reserve(b.SupportSize());
+  for (const auto& [t, mult] : b.entries()) {
+    std::vector<Value> values(schema.arity());
+    for (size_t slot = 0; slot < b.schema().arity(); ++slot) {
+      values[*schema.IndexOf(perm[b.schema().at(slot)])] = t.at(slot);
+    }
+    EXPECT_TRUE(builder.Add(Tuple{std::move(values)}, mult).ok());
+  }
+  return *builder.Build();
+}
+
+Result<BagCollection> MakeMixedCollection(uint64_t seed, bool perturb) {
+  Rng rng(seed);
+  BagGenOptions options;
+  options.support_size = 3 + rng.Below(10);
+  options.domain_size = 2 + rng.Below(3);
+  options.max_multiplicity = 5;
+  Hypergraph h = seed % 2 == 0 ? *MakePath(3 + seed % 3)
+                               : *MakeRandomAcyclic(4, 3, &rng);
+  BAGC_ASSIGN_OR_RETURN(BagCollection c,
+                        MakeGloballyConsistentCollection(h, options, &rng));
+  if (!perturb) return c;
+  std::vector<Bag> bags = c.bags();
+  Bag& victim = bags[rng.Below(bags.size())];
+  if (victim.IsEmpty()) {
+    std::vector<Value> zeros(victim.schema().arity(), 0);
+    EXPECT_TRUE(victim.Set(Tuple{std::move(zeros)}, 1).ok());
+  } else {
+    size_t pick = rng.Below(victim.SupportSize());
+    EXPECT_TRUE(victim
+                    .Set(victim.entries()[pick].first,
+                         victim.entries()[pick].second + 2)
+                    .ok());
+  }
+  return BagCollection::Make(std::move(bags));
+}
+
+TEST(EnginePropertyTest, PairwiseInvariantUnderBagReordering) {
+  Rng rng(2024);
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    BagCollection c = *MakeMixedCollection(seed, seed % 2 == 1);
+    ConsistencyEngine engine = *ConsistencyEngine::Make(c);
+    PairwiseVerdict base = *engine.PairwiseAll();
+
+    std::vector<size_t> order(c.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    std::vector<Bag> shuffled;
+    shuffled.reserve(order.size());
+    for (size_t i : order) shuffled.push_back(c.bag(i));
+    BagCollection permuted = *BagCollection::Make(std::move(shuffled));
+    ConsistencyEngine permuted_engine = *ConsistencyEngine::Make(permuted);
+    PairwiseVerdict after = *permuted_engine.PairwiseAll();
+
+    EXPECT_EQ(base.consistent, after.consistent);
+    if (!after.consistent) {
+      // The first failing pair depends on the order, but it must be a
+      // genuinely inconsistent pair of the permuted collection.
+      auto [i, j] = after.witness_pair;
+      Schema z = Schema::Intersect(permuted.bag(i).schema(),
+                                   permuted.bag(j).schema());
+      EXPECT_NE(*permuted.bag(i).Marginal(z), *permuted.bag(j).Marginal(z));
+    }
+  }
+}
+
+TEST(EnginePropertyTest, PairwiseInvariantUnderAttributeRenaming) {
+  Rng rng(4096);
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    BagCollection c = *MakeMixedCollection(seed, seed % 2 == 1);
+
+    // Random permutation of the attribute-id space actually in use.
+    AttrId max_attr = 0;
+    for (AttrId a : c.union_schema().attrs()) max_attr = std::max(max_attr, a);
+    std::vector<AttrId> perm(max_attr + 1);
+    std::iota(perm.begin(), perm.end(), 0);
+    rng.Shuffle(&perm);
+
+    std::vector<Bag> renamed;
+    renamed.reserve(c.size());
+    for (const Bag& b : c.bags()) renamed.push_back(RenameBag(b, perm));
+    BagCollection r = *BagCollection::Make(std::move(renamed));
+
+    ConsistencyEngine original = *ConsistencyEngine::Make(c);
+    ConsistencyEngine mapped = *ConsistencyEngine::Make(r);
+    PairwiseVerdict before = *original.PairwiseAll();
+    PairwiseVerdict after = *mapped.PairwiseAll();
+    EXPECT_EQ(before.consistent, after.consistent);
+    if (!before.consistent) {
+      // Renaming preserves bag order, so the first failing pair is the
+      // same index pair.
+      EXPECT_EQ(before.witness_pair, after.witness_pair);
+    }
+    EXPECT_EQ(*original.Global(), *mapped.Global());
+  }
+}
+
+TEST(EnginePropertyTest, VerdictIdenticalAcrossWorkerCounts) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    BagCollection c = *MakeMixedCollection(seed, seed % 2 == 1);
+    std::optional<PairwiseVerdict> reference;
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+      EngineOptions options;
+      options.num_threads = workers;
+      ConsistencyEngine engine = *ConsistencyEngine::Make(c, options);
+      PairwiseVerdict v = *engine.PairwiseAll();
+      if (!reference.has_value()) {
+        reference = v;
+      } else {
+        EXPECT_EQ(reference->consistent, v.consistent);
+        EXPECT_EQ(reference->witness_pair, v.witness_pair);
+      }
+      EXPECT_EQ(reference->consistent, *engine.Global());
+    }
+  }
+}
+
+TEST(EnginePropertyTest, CachedAnswersStableAcrossRepeatedQueries) {
+  BagCollection c = *MakeMixedCollection(11, false);
+  EngineOptions options;
+  options.num_threads = 2;
+  ConsistencyEngine engine = *ConsistencyEngine::Make(c, options);
+
+  PairwiseVerdict first = *engine.PairwiseAll();
+  for (int round = 0; round < 3; ++round) {
+    PairwiseVerdict again = *engine.PairwiseAll();
+    EXPECT_EQ(first.consistent, again.consistent);
+    EXPECT_EQ(first.witness_pair, again.witness_pair);
+    EXPECT_EQ(first.consistent, *engine.Global());
+    for (size_t i = 0; i < c.size(); ++i) {
+      for (size_t j = 0; j < c.size(); ++j) {
+        EXPECT_EQ(*engine.TwoBag(i, j), *engine.TwoBag(i, j));
+      }
+    }
+  }
+
+  // Cached marginals and probes agree with uncached recomputation.
+  for (size_t i = 0; i < c.size(); ++i) {
+    for (size_t j = 0; j < c.size(); ++j) {
+      if (i == j) continue;
+      Schema z = Schema::Intersect(c.bag(i).schema(), c.bag(j).schema());
+      const Bag* cached = engine.CachedMarginal(i, z);
+      ASSERT_NE(cached, nullptr);
+      Bag fresh = *c.bag(i).Marginal(z);
+      EXPECT_EQ(fresh, *cached);
+      for (const auto& [t, mult] : fresh.entries()) {
+        EXPECT_EQ(mult, *engine.ProbeMarginal(i, z, t));
+        EXPECT_EQ(mult, *engine.ProbeMarginal(i, z, t));  // probe is stable
+      }
+    }
+  }
+}
+
+TEST(EnginePropertyTest, EarlyExitDrainsPoolBeforeEngineDestruction) {
+  // Regression: the sharded sweep's early exit must not return while pool
+  // tasks are still touching the pair list or the sweep's stack frame —
+  // destroying the engine right after PairwiseAll() has to be safe. An
+  // inconsistent pair near the front maximizes in-flight work at exit
+  // time. ASan (CI sanitizer job) turns any straggler into a hard error.
+  Rng rng(31337);
+  BagGenOptions options;
+  options.support_size = 64;
+  options.domain_size = 4;
+  options.max_multiplicity = 6;
+  Hypergraph h = *MakePath(10);
+  for (int round = 0; round < 25; ++round) {
+    BagCollection base = *MakeGloballyConsistentCollection(h, options, &rng);
+    std::vector<Bag> bags = base.bags();
+    ASSERT_FALSE(bags[0].IsEmpty());
+    ASSERT_TRUE(bags[0]
+                    .Set(bags[0].entries()[0].first,
+                         bags[0].entries()[0].second + 1)
+                    .ok());
+    BagCollection c = *BagCollection::Make(std::move(bags));
+    PairwiseVerdict verdict;
+    {
+      EngineOptions engine_options;
+      engine_options.num_threads = 8;
+      ConsistencyEngine engine = *ConsistencyEngine::Make(c, engine_options);
+      verdict = *engine.PairwiseAll();
+    }  // engine (and its pool) destroyed immediately after the early exit
+    EXPECT_FALSE(verdict.consistent);
+    EXPECT_EQ(verdict.witness_pair.first, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bagc
