@@ -12,8 +12,19 @@
 //   single-threaded) ops/sec in the baseline field, so the speedup ratio
 //   is embedded in the artifact.
 //
+//   interned_rows: the dictionary-interning speedup on string-heavy
+//   workloads. Each benchmark runs the same logical computation twice:
+//   over fixed-width interned u32 rows (ValueDictionary + BagCollection)
+//   and over a string-keyed oracle pipeline (std::map over external
+//   token rows — what every comparison would cost without interning,
+//   i.e. the pre-interning baseline for string data). Interned entries
+//   carry the oracle's ops/sec in the baseline field, so the speedup is
+//   embedded in the artifact. Suites: two-bag solve, pairwise sweep,
+//   engine batch.
+//
 // Usage:
-//   bench_main [--suite bag_refactor|engine_batch] [--out FILE] [--baseline FILE]
+//   bench_main [--suite bag_refactor|engine_batch|interned_rows] [--out FILE]
+//              [--baseline FILE]
 //
 // With --baseline, each benchmark entry additionally carries the baseline's
 // ops/sec for the same (name, size) pair plus the speedup ratio, so a
@@ -24,9 +35,12 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/global.h"
@@ -34,6 +48,7 @@
 #include "engine/consistency_engine.h"
 #include "generators/workloads.h"
 #include "hypergraph/families.h"
+#include "tuple/value_dictionary.h"
 #include "util/random.h"
 
 namespace bagc {
@@ -217,6 +232,174 @@ void RunEngineBatchSuite(std::vector<BenchResult>* results) {
   }
 }
 
+// ---- interned_rows suite ---------------------------------------------------
+
+using StrRow = std::vector<std::string>;
+using StrTable = std::vector<std::pair<StrRow, uint64_t>>;  // one bag's rows
+using StrBag = std::map<StrRow, uint64_t>;
+
+// String-heavy external token: shared prefix + per-attribute salt + value,
+// ~28 chars, so every oracle comparison pays real string work (exactly
+// what tuple compares cost before values were interned).
+std::string Token(AttrId a, Value v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "warehouse_attr%02u_item_%08lld", a,
+                static_cast<long long>(v));
+  return buf;
+}
+
+// One collection, three synchronized representations: the external string
+// tables (oracle input), the interned bags sealed through one shared
+// DictionarySet (engine input), and the dictionaries themselves.
+struct StringWorkload {
+  BagCollection interned;
+  std::shared_ptr<DictionarySet> dicts;
+  std::vector<StrTable> tables;  // per bag, external rows
+};
+
+StringWorkload MakeStringWorkload(const BagCollection& numeric) {
+  StringWorkload w;
+  w.dicts = std::make_shared<DictionarySet>();
+  std::vector<Bag> interned;
+  for (const Bag& b : numeric.bags()) {
+    StrTable table;
+    table.reserve(b.SupportSize());
+    BagBuilder builder(b.schema());
+    builder.Reserve(b.SupportSize());
+    for (const auto& [t, mult] : b.entries()) {
+      StrRow row(b.schema().arity());
+      for (size_t i = 0; i < row.size(); ++i) row[i] = Token(b.schema().at(i), t.at(i));
+      if (!builder.AddExternal(row, mult, w.dicts.get()).ok()) std::abort();
+      table.emplace_back(std::move(row), mult);
+    }
+    Bag sealed = *builder.Build();
+    interned.push_back(std::move(sealed));
+    w.tables.push_back(std::move(table));
+  }
+  w.interned = *BagCollection::Make(std::move(interned));
+  return w;
+}
+
+// The oracle's marginal: group external rows by their projection slots.
+StrBag OracleMarginal(const StrTable& table, const std::vector<size_t>& slots) {
+  StrBag out;
+  StrRow projected(slots.size());
+  for (const auto& [row, mult] : table) {
+    for (size_t i = 0; i < slots.size(); ++i) projected[i] = row[slots[i]];
+    out[projected] += mult;
+  }
+  return out;
+}
+
+std::vector<size_t> SharedSlots(const Schema& from, const Schema& shared) {
+  Projector proj = *Projector::Make(from, shared);
+  std::vector<size_t> slots(proj.arity());
+  for (size_t i = 0; i < proj.arity(); ++i) slots[i] = proj.SourceIndex(i);
+  return slots;
+}
+
+void RunInternedRowsSuite(std::vector<BenchResult>* results) {
+  // Two-bag solve (Lemma 2(2)): decide consistency of a consistent pair.
+  // Interned: marginal + compare over u32 rows. Oracle: marginal + compare
+  // over string-keyed maps.
+  for (size_t support : {256, 1024}) {
+    Rng rng(3000 + support);
+    BagGenOptions options;
+    options.support_size = support;
+    options.domain_size = std::max<uint64_t>(4, support / 4);
+    options.max_multiplicity = 1u << 10;
+    auto [r, s] = *MakeConsistentPair(Schema{{0, 1}}, Schema{{1, 2}}, options, &rng);
+    BagCollection pair_c = *BagCollection::Make({r, s});
+    StringWorkload w = MakeStringWorkload(pair_c);
+    Schema shared = Schema::Intersect(r.schema(), s.schema());
+    std::vector<size_t> slots_r = SharedSlots(r.schema(), shared);
+    std::vector<size_t> slots_s = SharedSlots(s.schema(), shared);
+
+    BenchResult oracle = Measure("two_bag_string_oracle", support, [&] {
+      if (OracleMarginal(w.tables[0], slots_r) != OracleMarginal(w.tables[1], slots_s)) {
+        std::abort();
+      }
+    });
+    BenchResult interned = Measure("two_bag_interned", support, [&] {
+      if (!*AreConsistent(w.interned.bag(0), w.interned.bag(1))) std::abort();
+    });
+    interned.baseline_ops_per_sec = oracle.ops_per_sec;
+    results->push_back(std::move(oracle));
+    results->push_back(std::move(interned));
+  }
+
+  // Pairwise sweep over a circulant collection (every neighboring pair
+  // shares two attributes). Interned: seal + sweep via the engine.
+  // Oracle: all-pairs string marginal maps + compares.
+  for (size_t support : {256, 1024}) {
+    BagCollection c = MakeBatchCollection(support, 5000 + support);
+    StringWorkload w = MakeStringWorkload(c);
+    size_t m = c.size();
+
+    BenchResult oracle = Measure("pairwise_sweep_string_oracle", support, [&] {
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t j = i + 1; j < m; ++j) {
+          Schema shared =
+              Schema::Intersect(c.bag(i).schema(), c.bag(j).schema());
+          if (OracleMarginal(w.tables[i], SharedSlots(c.bag(i).schema(), shared)) !=
+              OracleMarginal(w.tables[j], SharedSlots(c.bag(j).schema(), shared))) {
+            std::abort();
+          }
+        }
+      }
+    });
+    BenchResult interned = Measure("pairwise_sweep_interned", support, [&] {
+      ConsistencyEngine e = *ConsistencyEngine::MakeView(w.interned);
+      if (!(*e.PairwiseAll()).consistent) std::abort();
+    });
+    interned.baseline_ops_per_sec = oracle.ops_per_sec;
+    results->push_back(std::move(oracle));
+    results->push_back(std::move(interned));
+  }
+
+  // Engine batch: 100 two-bag queries against one sealed collection; both
+  // sides may cache their marginals (maps for the oracle, interned bags +
+  // probes for the engine) — the measured gap is purely the row
+  // representation on the compare path.
+  for (size_t support : {256, 1024}) {
+    constexpr size_t kQueries = 100;
+    BagCollection c = MakeBatchCollection(support, 7000 + support);
+    StringWorkload w = MakeStringWorkload(c);
+    std::vector<std::pair<size_t, size_t>> queries =
+        MakeBatchQueries(c.size(), kQueries, 177);
+
+    // Oracle cache: per-pair marginal maps, built once outside the timed op.
+    std::map<std::pair<size_t, size_t>, std::pair<StrBag, StrBag>> oracle_cache;
+    for (auto [i, j] : queries) {
+      if (oracle_cache.count({i, j})) continue;
+      Schema shared = Schema::Intersect(c.bag(i).schema(), c.bag(j).schema());
+      oracle_cache[{i, j}] = {
+          OracleMarginal(w.tables[i], SharedSlots(c.bag(i).schema(), shared)),
+          OracleMarginal(w.tables[j], SharedSlots(c.bag(j).schema(), shared))};
+    }
+    BenchResult oracle = Measure("engine_batch_string_oracle", support, [&] {
+      size_t consistent = 0;
+      for (auto [i, j] : queries) {
+        const auto& [mi, mj] = oracle_cache[{i, j}];
+        if (mi == mj) ++consistent;
+      }
+      if (consistent == 0) std::abort();
+    });
+
+    ConsistencyEngine engine = *ConsistencyEngine::Make(w.interned);
+    BenchResult interned = Measure("engine_batch_interned", support, [&] {
+      size_t consistent = 0;
+      for (auto [i, j] : queries) {
+        if (*engine.TwoBag(i, j)) ++consistent;
+      }
+      if (consistent == 0) std::abort();
+    });
+    interned.baseline_ops_per_sec = oracle.ops_per_sec;
+    results->push_back(std::move(oracle));
+    results->push_back(std::move(interned));
+  }
+}
+
 void RunBagRefactorSuite(std::vector<BenchResult>* results) {
   // Two-bag solve: decide + extract a witness via the flow network.
   for (size_t support : {64, 256, 1024}) {
@@ -262,13 +445,14 @@ int Main(int argc, char** argv) {
       suite = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--suite bag_refactor|engine_batch] [--out FILE] "
-                   "[--baseline FILE]\n",
+                   "usage: %s [--suite bag_refactor|engine_batch|interned_rows] "
+                   "[--out FILE] [--baseline FILE]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (suite != "bag_refactor" && suite != "engine_batch") {
+  if (suite != "bag_refactor" && suite != "engine_batch" &&
+      suite != "interned_rows") {
     std::fprintf(stderr, "unknown suite %s\n", suite.c_str());
     return 2;
   }
@@ -289,6 +473,8 @@ int Main(int argc, char** argv) {
   std::vector<BenchResult> results;
   if (suite == "engine_batch") {
     RunEngineBatchSuite(&results);
+  } else if (suite == "interned_rows") {
+    RunInternedRowsSuite(&results);
   } else {
     RunBagRefactorSuite(&results);
   }

@@ -161,6 +161,15 @@ Status BagBuilder::Add(Tuple t, uint64_t mult) {
   return Status::OK();
 }
 
+Status BagBuilder::AddExternal(const std::vector<std::string>& tokens,
+                               uint64_t mult, DictionarySet* dicts) {
+  if (dicts == nullptr) {
+    return Status::InvalidArgument("AddExternal requires a dictionary set");
+  }
+  BAGC_ASSIGN_OR_RETURN(Tuple t, dicts->EncodeRow(schema_, tokens));
+  return Add(std::move(t), mult);
+}
+
 Result<Bag> BagBuilder::Build() {
   BAGC_RETURN_NOT_OK(internal::SealEntries(
       &pending_, [](uint64_t a, uint64_t b) { return CheckedAdd(a, b); },

@@ -115,6 +115,13 @@ class BagBuilder {
   /// Appends a row; arity-checked, zero multiplicities ignored.
   Status Add(Tuple t, uint64_t mult);
 
+  /// Appends a row of *external* values (tokens[i] is the value of
+  /// schema.at(i)), interning each through `dicts` — the sealing path for
+  /// string-valued data. Rows added this way are id-comparable with every
+  /// other bag sealed through the same DictionarySet.
+  Status AddExternal(const std::vector<std::string>& tokens, uint64_t mult,
+                     DictionarySet* dicts);
+
   /// Sorts, merges duplicates (checked add), and moves the result out.
   /// The builder is empty afterwards — including on error (an overflow
   /// during the merge discards the pending rows) — and may be reused for

@@ -55,15 +55,29 @@ Result<uint64_t> ParseUint(const std::string& token) {
 
 }  // namespace
 
-std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog) {
+std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog,
+                     const DictionarySet* dicts) {
   std::string out = "bag";
   for (AttrId a : bag.schema().attrs()) {
     out += " " + catalog.Name(a);
   }
   out += "\n";
+  // Resolve each slot's dictionary once; slots without one (numerically
+  // built bags, or attributes the set never saw) decode via the codec.
+  std::vector<const ValueDictionary*> slot_dict(bag.schema().arity(), nullptr);
+  if (dicts != nullptr) {
+    for (size_t i = 0; i < bag.schema().arity(); ++i) {
+      slot_dict[i] = dicts->find_dict(bag.schema().at(i));
+    }
+  }
   for (const auto& [t, mult] : bag.entries()) {
     for (size_t i = 0; i < t.arity(); ++i) {
-      out += std::to_string(t.at(i)) + " ";
+      const ValueDictionary* d = slot_dict[i];
+      if (d != nullptr && t.id(i) < d->size()) {
+        out += d->ExternalOf(t.id(i)) + " ";
+      } else {
+        out += std::to_string(t.at(i)) + " ";
+      }
     }
     out += ": " + std::to_string(mult) + "\n";
   }
@@ -72,14 +86,15 @@ std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog) {
 }
 
 std::string WriteCollection(const std::vector<Bag>& bags,
-                            const AttributeCatalog& catalog) {
+                            const AttributeCatalog& catalog,
+                            const DictionarySet* dicts) {
   std::string out;
-  for (const Bag& bag : bags) out += WriteBag(bag, catalog);
+  for (const Bag& bag : bags) out += WriteBag(bag, catalog, dicts);
   return out;
 }
 
 Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
-                     AttributeCatalog* catalog) {
+                     AttributeCatalog* catalog, DictionarySet* dicts) {
   // Skip blank/comment lines.
   while (*pos < lines.size() && StripComment(lines[*pos]).empty()) ++(*pos);
   if (*pos >= lines.size()) {
@@ -121,13 +136,22 @@ Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
     if (tokens.size() != attrs.size() + 2 || tokens[attrs.size()] != ":") {
       return Status::InvalidArgument("bad tuple line: '" + line + "'");
     }
-    std::vector<Value> values(attrs.size());
-    for (size_t i = 0; i < attrs.size(); ++i) {
-      BAGC_ASSIGN_OR_RETURN(int64_t v, ParseInt(tokens[i]));
-      values[slot_of_column[i]] = v;
+    std::vector<ValueId> row(attrs.size());
+    if (dicts != nullptr) {
+      // Dictionary mode: any word is a value; intern it per attribute.
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        BAGC_ASSIGN_OR_RETURN(row[slot_of_column[i]],
+                              dicts->Intern(attrs[i], tokens[i]));
+      }
+    } else {
+      // Legacy numeric mode: the historical integer format.
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        BAGC_ASSIGN_OR_RETURN(int64_t v, ParseInt(tokens[i]));
+        row[slot_of_column[i]] = EncodeValue(v);
+      }
     }
     BAGC_ASSIGN_OR_RETURN(uint64_t mult, ParseUint(tokens.back()));
-    Tuple t{std::move(values)};
+    Tuple t = Tuple::OfIds(std::move(row));
     if (seen.Find(t) != nullptr) {
       return Status::InvalidArgument("duplicate tuple: '" + line + "'");
     }
@@ -140,14 +164,15 @@ Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
 }
 
 Result<std::vector<Bag>> ParseCollection(const std::string& input,
-                                         AttributeCatalog* catalog) {
+                                         AttributeCatalog* catalog,
+                                         DictionarySet* dicts) {
   std::vector<std::string> lines = SplitLines(input);
   std::vector<Bag> bags;
   size_t pos = 0;
   while (true) {
     while (pos < lines.size() && StripComment(lines[pos]).empty()) ++pos;
     if (pos >= lines.size()) break;
-    BAGC_ASSIGN_OR_RETURN(Bag bag, ParseBag(lines, &pos, catalog));
+    BAGC_ASSIGN_OR_RETURN(Bag bag, ParseBag(lines, &pos, catalog, dicts));
     bags.push_back(std::move(bag));
   }
   if (bags.empty()) {

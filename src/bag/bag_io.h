@@ -8,6 +8,13 @@
 //
 // A collection file is a sequence of bag blocks. Attribute names are
 // interned into the caller's catalog, so bags sharing names share ids.
+//
+// Values: without a DictionarySet, tokens must be integers and rows are
+// encoded through the legacy numeric codec (the historical format,
+// unchanged). With a DictionarySet, tokens are arbitrary words (strings
+// or numbers alike) and every value is interned into the set's
+// per-attribute dictionary; writing decodes ids back to the original
+// external tokens, so the on-disk shape is identical either way.
 #pragma once
 
 #include <iosfwd>
@@ -16,24 +23,37 @@
 
 #include "bag/bag.h"
 #include "tuple/attribute.h"
+#include "tuple/value_dictionary.h"
 #include "util/result.h"
 
 namespace bagc {
 
-/// Serializes one bag using catalog names.
-std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog);
+/// Serializes one bag using catalog names. With `dicts`, the bag MUST
+/// have been sealed through that same set: ids on covered attributes
+/// decode to their dictionary strings (codec ids are indistinguishable
+/// from dictionary ids, so a numerically built bag over a
+/// dictionary-covered attribute would misdecode — see the uniform-sealing
+/// precondition in value_dictionary.h). Attributes the set never saw, and
+/// all values when `dicts` is null, decode through the numeric codec.
+std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog,
+                     const DictionarySet* dicts = nullptr);
 
 /// Serializes a whole collection (sequence of bag blocks).
 std::string WriteCollection(const std::vector<Bag>& bags,
-                            const AttributeCatalog& catalog);
+                            const AttributeCatalog& catalog,
+                            const DictionarySet* dicts = nullptr);
 
 /// Parses one bag block from `input` starting at line `*pos`; advances
-/// *pos past the block. Attribute names are interned into `catalog`.
+/// *pos past the block. Attribute names are interned into `catalog`;
+/// values are interned into `dicts` when given, else parsed as integers.
 Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
-                     AttributeCatalog* catalog);
+                     AttributeCatalog* catalog, DictionarySet* dicts = nullptr);
 
-/// Parses an entire collection document.
+/// Parses an entire collection document. All bags share `catalog` (and
+/// `dicts` when given), so shared attribute names — and shared values on
+/// them — map to identical ids across bags.
 Result<std::vector<Bag>> ParseCollection(const std::string& input,
-                                         AttributeCatalog* catalog);
+                                         AttributeCatalog* catalog,
+                                         DictionarySet* dicts = nullptr);
 
 }  // namespace bagc

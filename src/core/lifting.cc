@@ -26,12 +26,12 @@ std::vector<Schema> ApplyOp(const std::vector<Schema>& edges, const LiftOp& op) 
 // slot that attribute `a` occupies in schema `to`.
 Result<Tuple> InsertAt(const Tuple& t, const Schema& to, AttrId a, Value value) {
   BAGC_ASSIGN_OR_RETURN(size_t idx, to.IndexOf(a));
-  std::vector<Value> values;
-  values.reserve(t.arity() + 1);
-  for (size_t i = 0; i < idx; ++i) values.push_back(t.at(i));
-  values.push_back(value);
-  for (size_t i = idx; i < t.arity(); ++i) values.push_back(t.at(i));
-  return Tuple(std::move(values));
+  std::vector<ValueId> row;
+  row.reserve(t.arity() + 1);
+  for (size_t i = 0; i < idx; ++i) row.push_back(t.id(i));
+  row.push_back(EncodeValue(value));
+  for (size_t i = idx; i < t.arity(); ++i) row.push_back(t.id(i));
+  return Tuple::OfIds(std::move(row));
 }
 
 }  // namespace

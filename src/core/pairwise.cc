@@ -1,10 +1,5 @@
 #include "core/pairwise.h"
 
-#include <algorithm>
-#include <functional>
-#include <vector>
-
-#include "core/global.h"
 #include "engine/consistency_engine.h"
 
 namespace bagc {
@@ -30,64 +25,18 @@ Result<bool> ArePairwiseConsistent(const BagCollection& collection,
   return verdict.consistent;
 }
 
-namespace {
-
-// Enumerates all subsets of {0..m-1} of size exactly `k` via lexicographic
-// combinations, invoking `body`; stops early when body returns an error or
-// sets *stop.
-Status ForEachSubset(size_t m, size_t k,
-                     const std::function<Result<bool>(const std::vector<size_t>&)>&
-                         is_ok,
-                     std::optional<std::vector<size_t>>* failing) {
-  std::vector<size_t> idx(k);
-  for (size_t i = 0; i < k; ++i) idx[i] = i;
-  while (true) {
-    BAGC_ASSIGN_OR_RETURN(bool ok, is_ok(idx));
-    if (!ok) {
-      if (failing != nullptr) *failing = idx;
-      return Status::OK();
-    }
-    // Next combination.
-    size_t i = k;
-    while (i > 0) {
-      --i;
-      if (idx[i] != i + m - k) {
-        ++idx[i];
-        for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
-        break;
-      }
-      if (i == 0) return Status::OK();
-    }
-    if (k == 0) return Status::OK();
-  }
-}
-
-}  // namespace
-
 Result<bool> AreKWiseConsistent(const BagCollection& collection, size_t k,
                                 std::optional<std::vector<size_t>>* failing_subset) {
-  if (k < 2) return Status::InvalidArgument("k-wise consistency needs k >= 2");
-  size_t m = collection.size();
-  if (failing_subset != nullptr) failing_subset->reset();
-  // Subsets of size < k are covered by subsets of size k whenever m >= k
-  // (global consistency of a superset implies it for subsets, since the
-  // witness marginalizes down). When m < k, test the whole collection.
-  size_t size = std::min(k, m);
-  std::optional<std::vector<size_t>> failing;
-  BAGC_RETURN_NOT_OK(ForEachSubset(
-      m, size,
-      [&](const std::vector<size_t>& subset) -> Result<bool> {
-        BAGC_ASSIGN_OR_RETURN(BagCollection sub, collection.Subcollection(subset));
-        BAGC_ASSIGN_OR_RETURN(std::optional<Bag> witness,
-                              SolveGlobalConsistencyExact(sub));
-        return witness.has_value();
-      },
-      &failing));
-  if (failing.has_value()) {
-    if (failing_subset != nullptr) *failing_subset = failing;
-    return false;
-  }
-  return true;
+  // Single-shot wrapper over the batch engine, mirroring
+  // ArePairwiseConsistent: one lazily-sealed engine serves the entire
+  // subset sweep, so each pair's shared marginals are computed at most
+  // once across all C(m, k) subsets instead of once per throwaway
+  // engine-per-subset as the historical implementation did.
+  EngineOptions options;
+  options.lazy_seal = true;
+  BAGC_ASSIGN_OR_RETURN(ConsistencyEngine engine,
+                        ConsistencyEngine::MakeView(collection, options));
+  return engine.KWiseConsistent(k, failing_subset);
 }
 
 }  // namespace bagc

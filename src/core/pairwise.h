@@ -1,6 +1,10 @@
 // Pairwise and k-wise consistency of bag collections (paper §4). Pairwise
-// consistency is polynomial (Lemma 2); k-wise consistency for k >= 3 runs
-// the exact (exponential worst case) global solver on each subset.
+// consistency is polynomial (Lemma 2); k-wise consistency for k >= 3 is
+// exponential in the worst case. Both are thin wrappers over one
+// ConsistencyEngine (engine/consistency_engine.h): the k-wise sweep reuses
+// the engine's sealed per-pair marginal cache across every subset, decides
+// acyclic subsets by Theorem 2, and runs the exact feasibility search only
+// on cyclic subsets.
 #pragma once
 
 #include <cstddef>
@@ -20,7 +24,9 @@ Result<bool> ArePairwiseConsistent(const BagCollection& collection,
 
 /// Decides k-wise consistency: every sub-collection of size <= k is
 /// globally consistent. Exponential in both the number of subsets and the
-/// per-subset solve; intended for tests and small experiments. k >= 2.
+/// per-subset (cyclic) solve; intended for tests and small experiments.
+/// k >= 2. Shared marginals are computed once for the whole sweep, not
+/// once per subset.
 Result<bool> AreKWiseConsistent(const BagCollection& collection, size_t k,
                                 std::optional<std::vector<size_t>>* failing_subset =
                                     nullptr);

@@ -116,6 +116,7 @@ Status ConsistencyEngine::EnsureFilled(CachedProjection* slot, size_t bag_index)
   BAGC_ASSIGN_OR_RETURN(slot->marginal,
                         collection_->bag(bag_index).Marginal(slot->schema));
   slot->filled = true;
+  marginal_fills_->fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -226,6 +227,71 @@ Result<bool> ConsistencyEngine::Global() {
     global_verdict_ = witness.has_value();
   }
   return *global_verdict_;
+}
+
+Result<bool> ConsistencyEngine::KWiseConsistent(
+    size_t k, std::optional<std::vector<size_t>>* failing_subset) {
+  if (k < 2) return Status::InvalidArgument("k-wise consistency needs k >= 2");
+  if (failing_subset != nullptr) failing_subset->reset();
+  size_t m = collection_->size();
+  // Subsets of size < k are covered by subsets of size k whenever m >= k
+  // (global consistency of a superset implies it for subsets, since the
+  // witness marginalizes down). When m < k, test the whole collection.
+  size_t size = std::min(k, m);
+  // Lexicographic combination enumeration, as in the historical
+  // single-shot path, so the reported first failing subset is unchanged.
+  std::vector<size_t> idx(size);
+  for (size_t i = 0; i < size; ++i) idx[i] = i;
+  while (true) {
+    // Pairwise precheck from the sealed per-pair marginal cache. Each
+    // pair's marginals are computed at most once across the entire sweep
+    // — the historical path recomputed them inside every subset's
+    // throwaway engine.
+    bool subset_ok = true;
+    for (size_t a = 0; a < size && subset_ok; ++a) {
+      for (size_t b = a + 1; b < size && subset_ok; ++b) {
+        BAGC_ASSIGN_OR_RETURN(bool pair_ok, TwoBag(idx[a], idx[b]));
+        subset_ok = pair_ok;
+      }
+    }
+    if (subset_ok) {
+      // Pairwise consistency decides acyclic subsets (Theorem 2). Only a
+      // cyclic subset needs the exact feasibility search — and its
+      // pairwise prefilter is already done, so go straight to the LP.
+      std::vector<Schema> edges;
+      edges.reserve(size);
+      for (size_t i : idx) edges.push_back(collection_->bag(i).schema());
+      BAGC_ASSIGN_OR_RETURN(Hypergraph sub_h, Hypergraph::FromEdges(std::move(edges)));
+      if (!IsAcyclic(sub_h)) {
+        std::vector<Bag> sub_bags;
+        sub_bags.reserve(size);
+        for (size_t i : idx) sub_bags.push_back(collection_->bag(i));
+        BAGC_ASSIGN_OR_RETURN(
+            ConsistencyLp lp,
+            BuildConsistencyLp(sub_bags, options_.global.max_join_support));
+        BAGC_ASSIGN_OR_RETURN(auto solution,
+                              SolveIntegerFeasibility(lp, options_.global.search));
+        subset_ok = solution.has_value();
+      }
+    }
+    if (!subset_ok) {
+      if (failing_subset != nullptr) *failing_subset = idx;
+      return false;
+    }
+    // Next combination.
+    size_t i = size;
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + m - size) {
+        ++idx[i];
+        for (size_t j = i + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return true;
+  }
 }
 
 Result<std::optional<Bag>> ConsistencyEngine::Witness(size_t i, size_t j,

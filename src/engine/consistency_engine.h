@@ -20,6 +20,7 @@
 // wrappers that build a throwaway engine per call.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -30,6 +31,7 @@
 #include "core/global.h"
 #include "engine/two_bag_solver.h"
 #include "tuple/tuple_index.h"
+#include "tuple/value_dictionary.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -48,6 +50,13 @@ struct EngineOptions {
   bool lazy_seal = false;
   /// Tuning for the exact (cyclic-schema) global path.
   GlobalSolveOptions global;
+  /// The dictionary set the collection's rows were interned through, when
+  /// it was sealed from external (string) values. One set is shared by
+  /// the whole collection, so shared-attribute ids are comparable across
+  /// bags and no query ever re-interns or touches an external value. The
+  /// engine only holds it (for decoding results and for callers sharing
+  /// it onward); row algebra is dictionary-oblivious.
+  std::shared_ptr<const DictionarySet> dictionaries;
 };
 
 /// Outcome of a pairwise sweep.
@@ -87,6 +96,22 @@ class ConsistencyEngine {
   /// Number of sweep workers (1 when running inline).
   size_t num_threads() const { return pool_ ? pool_->num_threads() : 1; }
 
+  /// The shared dictionary set the collection was interned through, or
+  /// nullptr for numerically built collections.
+  const DictionarySet* dictionaries() const { return options_.dictionaries.get(); }
+  /// The same, shareable (e.g. to hand to a sub-engine or writer).
+  std::shared_ptr<const DictionarySet> shared_dictionaries() const {
+    return options_.dictionaries;
+  }
+
+  /// Number of marginal computations performed so far (cache fills; a
+  /// slot is only ever filled once). Lets callers and regression tests
+  /// assert that repeated queries — including the k-wise sweep — do no
+  /// re-computation.
+  uint64_t marginal_fills() const {
+    return marginal_fills_->load(std::memory_order_relaxed);
+  }
+
   /// Lemma 2(2) on bags i and j, answered from the cached marginals
   /// (filling them on first use under lazy_seal).
   Result<bool> TwoBag(size_t i, size_t j);
@@ -99,6 +124,20 @@ class ConsistencyEngine {
   /// Global consistency: acyclic schemas reduce to PairwiseAll()
   /// (Theorem 2); cyclic schemas run the exact solver. Memoized.
   Result<bool> Global();
+
+  /// K-wise consistency (paper §4): every size-min(k, m) subcollection is
+  /// globally consistent. Subsets are enumerated lexicographically and the
+  /// first failing one is reported. Unlike the historical implementation —
+  /// which sealed a throwaway engine per subset, re-deriving every shared
+  /// marginal from scratch — this reuses the parent engine's sealed state:
+  /// the per-pair cached marginals answer each subset's pairwise precheck
+  /// (filling each pair at most once across ALL subsets), acyclic subsets
+  /// are then decided outright by Theorem 2, and only cyclic subsets pay
+  /// an exact feasibility search (with no second pairwise pass). No bag is
+  /// copied for acyclic subsets and nothing is ever re-interned.
+  Result<bool> KWiseConsistent(size_t k,
+                               std::optional<std::vector<size_t>>* failing_subset =
+                                   nullptr);
 
   /// Witness of consistency for bags i and j (minimal per §5.3 when
   /// `minimal`); nullopt when inconsistent. Reuses the engine's flow arena.
@@ -165,6 +204,11 @@ class ConsistencyEngine {
   std::optional<PairwiseVerdict> pairwise_verdict_;
   std::optional<bool> global_verdict_;
   TwoBagSolver witness_solver_;
+  // Counts actual cache fills (see marginal_fills()). Heap storage keeps
+  // the engine movable while pool tasks increment it concurrently during
+  // eager sealing.
+  std::unique_ptr<std::atomic<uint64_t>> marginal_fills_ =
+      std::make_unique<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace bagc

@@ -70,9 +70,9 @@ Result<Bag> ExtendCycleWitness(const CycleInstance& input, const Bag& witness) {
   Bag out(extended);
   for (const auto& [t, mult] : witness.entries()) {
     // Witness schema is {0..n-1} in sorted layout; append A_{n+1} := A_1.
-    std::vector<Value> values(t.values());
-    values.push_back(t.at(0));
-    BAGC_RETURN_NOT_OK(out.Set(Tuple{std::move(values)}, mult));
+    std::vector<ValueId> row(t.ids());
+    row.push_back(t.id(0));
+    BAGC_RETURN_NOT_OK(out.Set(Tuple::OfIds(std::move(row)), mult));
   }
   return out;
 }

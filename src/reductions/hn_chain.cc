@@ -71,9 +71,9 @@ uint64_t MaxMultiplicity(const HnInstance& input) {
 // all precede the new attribute id — the fresh attribute always has the
 // largest id, so it lands in the last slot.
 Tuple AppendValue(const Tuple& t, Value v) {
-  std::vector<Value> values(t.values());
-  values.push_back(v);
-  return Tuple{std::move(values)};
+  std::vector<ValueId> row(t.ids());
+  row.push_back(EncodeValue(v));
+  return Tuple::OfIds(std::move(row));
 }
 
 }  // namespace
@@ -176,8 +176,8 @@ Result<Bag> RestrictHnWitness(const HnInstance& input, const Bag& witness) {
   // id, hence the last slot).
   for (const auto& [t, mult] : witness.entries()) {
     if (t.at(t.arity() - 1) != 1) continue;
-    std::vector<Value> values(t.values().begin(), t.values().end() - 1);
-    BAGC_RETURN_NOT_OK(out.Add(Tuple{std::move(values)}, mult));
+    std::vector<ValueId> row(t.ids().begin(), t.ids().end() - 1);
+    BAGC_RETURN_NOT_OK(out.Add(Tuple::OfIds(std::move(row)), mult));
   }
   return out;
 }

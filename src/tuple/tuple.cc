@@ -4,9 +4,9 @@ namespace bagc {
 
 std::string Tuple::ToString() const {
   std::string out = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  for (size_t i = 0; i < ids_.size(); ++i) {
     if (i > 0) out += ", ";
-    out += std::to_string(values_[i]);
+    out += std::to_string(at(i));
   }
   out += ")";
   return out;
@@ -38,19 +38,22 @@ Result<TupleJoiner> TupleJoiner::Make(const Schema& x, const Schema& y) {
 }
 
 bool TupleJoiner::Joinable(const Tuple& x, const Tuple& y) const {
+  // Raw id compares: shared-attribute values are id-equal by construction
+  // when both rows were interned through the same dictionaries (or the
+  // legacy codec).
   for (const auto& [xi, yi] : shared_slots_) {
-    if (x.at(xi) != y.at(yi)) return false;
+    if (x.id(xi) != y.id(yi)) return false;
   }
   return true;
 }
 
 Tuple TupleJoiner::Join(const Tuple& x, const Tuple& y) const {
-  std::vector<Value> out(sources_.size());
+  std::vector<ValueId> out(sources_.size());
   for (size_t i = 0; i < sources_.size(); ++i) {
     const auto& [from_left, idx] = sources_[i];
-    out[i] = from_left ? x.at(idx) : y.at(idx);
+    out[i] = from_left ? x.id(idx) : y.id(idx);
   }
-  return Tuple(std::move(out));
+  return Tuple::OfIds(std::move(out));
 }
 
 }  // namespace bagc

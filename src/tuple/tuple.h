@@ -1,55 +1,111 @@
 // Tuples over a schema (paper §2). A Tuple is a function from attributes to
-// domain values, stored as a value vector aligned with the canonical sorted
-// layout of its schema. Tup(∅) is non-empty: it contains the empty tuple.
+// domain values, stored as a fixed-width interned row aligned with the
+// canonical sorted layout of its schema: one ValueId (uint32) per slot.
+// Equality/ordering/hashing act on the raw id row (memcmp-style word
+// compares — never on external values), which is sound because the
+// paper's algorithms only compare values for equality (renaming
+// invariance). Tup(∅) is non-empty: it contains the empty tuple.
+//
+// External values enter a row two ways:
+//   - the historical numeric API: Tuple({v...}) with int64 Values, which
+//     encodes through the legacy codec (value_codec.h; id == value for
+//     the common non-negative range), and
+//   - per-attribute ValueDictionary interning (value_dictionary.h), used
+//     by bag_io and BagBuilder::AddExternal for string-valued data.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "tuple/schema.h"
+#include "tuple/value_codec.h"
+#include "tuple/value_dictionary.h"
 #include "util/hash.h"
 #include "util/result.h"
 
 namespace bagc {
 
-/// \brief Value vector aligned with a Schema's sorted attribute order.
+/// \brief Fixed-width interned row aligned with a Schema's sorted
+/// attribute order.
 ///
 /// Tuples do not carry their schema (bags store one schema for all their
 /// tuples); operations that need the schema take it as a parameter.
 class Tuple {
  public:
   Tuple() = default;
-  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  /// Encodes external numeric values through the legacy codec (identity
+  /// for [0, 2^31), side table otherwise — see value_codec.h).
+  explicit Tuple(const std::vector<Value>& values) {
+    ids_.reserve(values.size());
+    for (Value v : values) ids_.push_back(EncodeValue(v));
+  }
 
-  size_t arity() const { return values_.size(); }
-  Value at(size_t i) const { return values_[i]; }
-  const std::vector<Value>& values() const { return values_; }
+  /// Wraps an already-interned id row (dictionary or codec ids).
+  static Tuple OfIds(std::vector<ValueId> ids) {
+    Tuple t;
+    t.ids_ = std::move(ids);
+    return t;
+  }
+
+  size_t arity() const { return ids_.size(); }
+
+  /// Raw interned id of slot i — the hot-path accessor.
+  ValueId id(size_t i) const { return ids_[i]; }
+  /// The raw id row.
+  const std::vector<ValueId>& ids() const { return ids_; }
+  /// Contiguous id storage (SoA/vectorized-probe substrate).
+  const ValueId* data() const { return ids_.data(); }
+
+  /// External numeric value of slot i via the legacy codec (compat /
+  /// printing; not for hot paths).
+  Value at(size_t i) const { return DecodeValue(ids_[i]); }
+  /// Decoded copy of the whole row (compat; returns by value).
+  std::vector<Value> values() const {
+    std::vector<Value> out;
+    out.reserve(ids_.size());
+    for (ValueId id : ids_) out.push_back(DecodeValue(id));
+    return out;
+  }
 
   /// Projection t[Y] via a precomputed Projector.
   Tuple Project(const Projector& proj) const {
-    std::vector<Value> out(proj.arity());
-    for (size_t i = 0; i < proj.arity(); ++i) out[i] = values_[proj.SourceIndex(i)];
-    return Tuple(std::move(out));
+    std::vector<ValueId> out(proj.arity());
+    for (size_t i = 0; i < proj.arity(); ++i) out[i] = ids_[proj.SourceIndex(i)];
+    return OfIds(std::move(out));
   }
 
   /// Value of attribute `a` under schema `x`; errors if a ∉ X.
   Result<Value> ValueOf(const Schema& x, AttrId a) const {
     BAGC_ASSIGN_OR_RETURN(size_t idx, x.IndexOf(a));
-    return values_[idx];
+    return at(idx);
   }
 
-  bool operator==(const Tuple& o) const { return values_ == o.values_; }
+  /// Raw id of attribute `a` under schema `x`; errors if a ∉ X.
+  Result<ValueId> IdOf(const Schema& x, AttrId a) const {
+    BAGC_ASSIGN_OR_RETURN(size_t idx, x.IndexOf(a));
+    return ids_[idx];
+  }
+
+  bool operator==(const Tuple& o) const {
+    return ids_.size() == o.ids_.size() &&
+           (ids_.empty() ||
+            std::memcmp(ids_.data(), o.ids_.data(),
+                        ids_.size() * sizeof(ValueId)) == 0);
+  }
   bool operator!=(const Tuple& o) const { return !(*this == o); }
-  bool operator<(const Tuple& o) const { return values_ < o.values_; }
+  /// Lexicographic on the id row. For numerically built bags this equals
+  /// the historical value order on the direct-encoded range.
+  bool operator<(const Tuple& o) const { return ids_ < o.ids_; }
 
-  uint64_t Hash() const { return HashRange(values_); }
+  uint64_t Hash() const { return HashRange(ids_); }
 
-  /// "(v1, v2, ...)".
+  /// "(v1, v2, ...)" with codec-decoded numeric values.
   std::string ToString() const;
 
  private:
-  std::vector<Value> values_;
+  std::vector<ValueId> ids_;
 };
 
 struct TupleHash {
@@ -61,7 +117,7 @@ struct TupleHash {
 ///
 /// Precomputes, for every slot of the XY layout, which operand and slot it
 /// is read from, plus the shared slots that must agree for the join to be
-/// defined.
+/// defined. Agreement checks compare raw ids.
 class TupleJoiner {
  public:
   static Result<TupleJoiner> Make(const Schema& x, const Schema& y);

@@ -1,0 +1,59 @@
+// Legacy numeric value codec: the bridge between the historical int64
+// `Value` API and the fixed-width interned rows that tuples now carry
+// (ValueId = uint32_t, see value_dictionary.h).
+//
+// The paper's algorithms only ever compare domain values for equality
+// (renaming invariance, Lemma 1 / §2), so any injective encoding of the
+// external domain into row ids is sound. The codec keeps the common case
+// free: a non-negative value below 2^31 encodes as itself, so numerically
+// built bags have id == value and every historical printout, sort order,
+// and probe is unchanged. Values outside that range (negatives, huge
+// ints) are interned into a process-global side table whose ids occupy
+// the top half of the id space. Both directions are bijective for the
+// lifetime of the process.
+//
+// The codec is for construction, printing, and I/O only — hot paths
+// (joins, probes, marginal grouping) compare raw ids and never decode.
+//
+// Ordering caveat: side-table ids are assigned in first-encode order, so
+// rows containing out-of-range values sort (and serialize) after all
+// direct-range values and among themselves in encode order — which is
+// deterministic for a fixed execution but, unlike the direct range, is
+// not the numeric value order and can differ between processes that
+// construct tuples in different sequences. Code needing a
+// process-independent order for such values should compare decoded
+// values explicitly.
+#pragma once
+
+#include <cstdint>
+
+#include "tuple/value_dictionary.h"
+
+namespace bagc {
+
+// The external numeric domain element `Value` (int64) comes from
+// tuple/attribute.h via value_dictionary.h.
+
+/// Ids below this bound encode the value itself; ids at or above it index
+/// the side table of out-of-range values.
+inline constexpr ValueId kDirectValueLimit = 0x80000000u;
+
+/// True iff `v` encodes as itself (id == v).
+inline bool IsDirectValue(Value v) {
+  return v >= 0 && v < static_cast<Value>(kDirectValueLimit);
+}
+
+/// Encodes an external numeric value as a row id. Identity for
+/// [0, 2^31); interns through the global side table otherwise. Aborts if
+/// the side table ever exhausts its 2^31 ids (unreachable in practice).
+ValueId EncodeValue(Value v);
+
+/// Inverse of EncodeValue. Ids that were never issued by EncodeValue
+/// (e.g. dictionary ids of a string-interned bag) decode as themselves —
+/// the raw id widened to Value — which keeps printing total.
+Value DecodeValue(ValueId id);
+
+/// Number of side-table entries interned so far (test/introspection).
+size_t SideTableSizeForTest();
+
+}  // namespace bagc

@@ -1,0 +1,118 @@
+#include "tuple/value_dictionary.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tuple/tuple.h"
+#include "util/checked_math.h"
+
+namespace bagc {
+
+Result<ValueId> ValueDictionary::Intern(const std::string& external) {
+  ++intern_calls_;
+  auto it = index_.find(external);
+  if (it != index_.end()) return it->second;
+  // Next id = id_base_ + size(); reject once it would collide with the
+  // reserved kInvalidValueId sentinel (i.e. past UINT32_MAX - 1).
+  BAGC_ASSIGN_OR_RETURN(uint64_t next,
+                        CheckedAdd(id_base_, static_cast<uint64_t>(externals_.size())));
+  if (next >= static_cast<uint64_t>(kInvalidValueId)) {
+    return Status::ArithmeticOverflow("value dictionary exhausted the uint32 id space");
+  }
+  ValueId id = static_cast<ValueId>(next);
+  externals_.emplace_back(external);
+  index_.emplace(externals_.back(), id);
+  return id;
+}
+
+std::optional<ValueId> ValueDictionary::Find(const std::string& external) const {
+  auto it = index_.find(external);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ValueId> ValueDictionary::Canonicalize() {
+  size_t n = externals_.size();
+  // order[k] = old id of the k-th smallest external value.
+  std::vector<ValueId> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](ValueId a, ValueId b) {
+    return externals_[a] < externals_[b];
+  });
+  std::vector<ValueId> remap(n);
+  std::vector<std::string> sorted(n);
+  for (size_t k = 0; k < n; ++k) {
+    remap[order[k]] = static_cast<ValueId>(k);
+    sorted[k] = std::move(externals_[order[k]]);
+  }
+  externals_ = std::move(sorted);
+  index_.clear();
+  for (size_t k = 0; k < n; ++k) {
+    index_.emplace(externals_[k], static_cast<ValueId>(k));
+  }
+  return remap;
+}
+
+ValueDictionary& DictionarySet::dict(AttrId a) {
+  if (a >= dicts_.size()) dicts_.resize(a + 1);
+  if (dicts_[a] == nullptr) dicts_[a] = std::make_unique<ValueDictionary>();
+  return *dicts_[a];
+}
+
+const ValueDictionary* DictionarySet::find_dict(AttrId a) const {
+  if (a >= dicts_.size()) return nullptr;
+  return dicts_[a].get();
+}
+
+Result<ValueId> DictionarySet::Intern(AttrId a, const std::string& external) {
+  return dict(a).Intern(external);
+}
+
+Result<Tuple> DictionarySet::EncodeRow(const Schema& schema,
+                                       const std::vector<std::string>& tokens) {
+  if (tokens.size() != schema.arity()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  std::vector<ValueId> ids(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    BAGC_ASSIGN_OR_RETURN(ids[i], Intern(schema.at(i), tokens[i]));
+  }
+  return Tuple::OfIds(std::move(ids));
+}
+
+Result<std::vector<std::string>> DictionarySet::DecodeRow(const Schema& schema,
+                                                          const Tuple& row) const {
+  if (row.arity() != schema.arity()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  std::vector<std::string> out(row.arity());
+  for (size_t i = 0; i < row.arity(); ++i) {
+    const ValueDictionary* d = find_dict(schema.at(i));
+    ValueId id = row.id(i);
+    if (d == nullptr || id >= d->size()) {
+      return Status::NotFound("row id was not issued by this dictionary set");
+    }
+    out[i] = d->ExternalOf(id);
+  }
+  return out;
+}
+
+size_t DictionarySet::num_dicts() const {
+  size_t n = 0;
+  for (const auto& d : dicts_) n += (d != nullptr);
+  return n;
+}
+
+size_t DictionarySet::total_size() const {
+  size_t n = 0;
+  for (const auto& d : dicts_) n += (d == nullptr ? 0 : d->size());
+  return n;
+}
+
+uint64_t DictionarySet::total_intern_calls() const {
+  uint64_t n = 0;
+  for (const auto& d : dicts_) n += (d == nullptr ? 0 : d->intern_calls());
+  return n;
+}
+
+}  // namespace bagc

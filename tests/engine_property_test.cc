@@ -12,10 +12,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+#include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/global.h"
 #include "core/pairwise.h"
 #include "engine/consistency_engine.h"
 #include "generators/workloads.h"
@@ -219,6 +223,121 @@ TEST(EnginePropertyTest, EarlyExitDrainsPoolBeforeEngineDestruction) {
     }  // engine (and its pool) destroyed immediately after the early exit
     EXPECT_FALSE(verdict.consistent);
     EXPECT_EQ(verdict.witness_pair.first, 0u);
+  }
+}
+
+TEST(EnginePropertyTest, KWiseSweepReusesSealedMarginalsAndNeverReInterns) {
+  // Regression for the ROADMAP "throwaway engine per subset" gap: the
+  // k-wise sweep must answer every subset's pairwise precheck from the
+  // parent engine's sealed marginal cache (each pair filled at most once
+  // across ALL subsets) and must never touch the shared dictionaries.
+  Rng rng(5150);
+  BagGenOptions options;
+  options.support_size = 12;
+  options.domain_size = 3;
+  options.max_multiplicity = 4;
+  Hypergraph h = *MakePath(6);  // acyclic: every subset decided by Theorem 2
+  BagCollection c = *MakeGloballyConsistentCollection(h, options, &rng);
+
+  // Re-encode the collection through a shared DictionarySet so the engine
+  // carries real dictionaries whose intern counters we can watch.
+  auto dicts = std::make_shared<DictionarySet>();
+  std::vector<Bag> interned;
+  for (const Bag& b : c.bags()) {
+    BagBuilder builder(b.schema());
+    for (const auto& [t, mult] : b.entries()) {
+      std::vector<std::string> tokens;
+      for (size_t i = 0; i < t.arity(); ++i) {
+        tokens.push_back("tok" + std::to_string(t.at(i)));
+      }
+      ASSERT_TRUE(builder.AddExternal(tokens, mult, dicts.get()).ok());
+    }
+    interned.push_back(*builder.Build());
+  }
+  BagCollection ic = *BagCollection::Make(std::move(interned));
+
+  EngineOptions engine_options;
+  engine_options.lazy_seal = true;
+  engine_options.dictionaries = dicts;
+  ConsistencyEngine engine = *ConsistencyEngine::MakeView(ic, engine_options);
+  ASSERT_EQ(engine.dictionaries(), dicts.get());
+
+  uint64_t interns_before = dicts->total_intern_calls();
+  ASSERT_TRUE(*engine.KWiseConsistent(3));
+  uint64_t fills_after_first = engine.marginal_fills();
+  // Each pair's two cached slots fill at most once for the WHOLE sweep,
+  // even though most pairs appear in many 3-subsets.
+  size_t m = ic.size();
+  EXPECT_LE(fills_after_first, m * (m - 1));
+  EXPECT_GT(fills_after_first, 0u);
+
+  // A second sweep — and a deeper one — is answered entirely from cache.
+  ASSERT_TRUE(*engine.KWiseConsistent(3));
+  EXPECT_EQ(engine.marginal_fills(), fills_after_first);
+  ASSERT_TRUE(*engine.KWiseConsistent(2));
+  EXPECT_EQ(engine.marginal_fills(), fills_after_first);
+
+  // No re-interning anywhere in the sweep: the dictionaries saw zero
+  // Intern() calls and the engine still shares the same set.
+  EXPECT_EQ(dicts->total_intern_calls(), interns_before);
+  EXPECT_EQ(engine.shared_dictionaries().get(), dicts.get());
+
+  // The reused-cache sweep agrees with the single-shot wrapper.
+  EXPECT_TRUE(*AreKWiseConsistent(ic, 3));
+}
+
+TEST(EnginePropertyTest, KWiseMatchesHistoricalPerSubsetSolve) {
+  // Differential against the pre-engine semantics: exact global solve of
+  // every size-min(k,m) subcollection, throwaway state each time.
+  Rng rng(6021);
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    BagGenOptions options;
+    options.support_size = 2 + rng.Below(6);
+    options.domain_size = 2 + rng.Below(3);
+    options.max_multiplicity = 4;
+    Hypergraph h = seed % 2 == 0 ? *MakeCycle(4) : *MakePath(4);
+    BagCollection base = *MakeGloballyConsistentCollection(h, options, &rng);
+    std::vector<Bag> bags = base.bags();
+    if (rng.Chance(1, 2) && !bags[0].IsEmpty()) {
+      ASSERT_TRUE(bags[0]
+                      .Set(bags[0].entries()[0].first,
+                           bags[0].entries()[0].second + 1)
+                      .ok());
+    }
+    BagCollection c = *BagCollection::Make(std::move(bags));
+    for (size_t k : {size_t{2}, size_t{3}, c.size()}) {
+      // Historical oracle: exact solve per lexicographic subset.
+      std::optional<std::vector<size_t>> oracle_failing;
+      bool oracle = true;
+      size_t size = std::min(k, c.size());
+      std::vector<size_t> idx(size);
+      for (size_t i = 0; i < size; ++i) idx[i] = i;
+      while (oracle) {
+        BagCollection sub = *c.Subcollection(idx);
+        if (!(*SolveGlobalConsistencyExact(sub)).has_value()) {
+          oracle = false;
+          oracle_failing = idx;
+          break;
+        }
+        size_t i = size;
+        bool advanced = false;
+        while (i > 0) {
+          --i;
+          if (idx[i] != i + c.size() - size) {
+            ++idx[i];
+            for (size_t j = i + 1; j < size; ++j) idx[j] = idx[j - 1] + 1;
+            advanced = true;
+            break;
+          }
+        }
+        if (!advanced) break;
+      }
+      std::optional<std::vector<size_t>> failing;
+      bool verdict = *AreKWiseConsistent(c, k, &failing);
+      EXPECT_EQ(verdict, oracle);
+      EXPECT_EQ(failing, oracle_failing);
+    }
   }
 }
 

@@ -1,0 +1,170 @@
+// Property tests for the interned-value layer: ValueDictionary (per
+// attribute), DictionarySet (per collection), and the legacy numeric
+// codec that keeps the historical int64 Value API bit-compatible with
+// fixed-width uint32 rows.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tuple/tuple.h"
+#include "tuple/value_codec.h"
+#include "tuple/value_dictionary.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+TEST(ValueDictionaryTest, IdsAreDenseInFirstInternOrder) {
+  ValueDictionary dict;
+  std::vector<std::string> values = {"cherry", "apple", "banana", "durian"};
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(*dict.Intern(values[i]), static_cast<ValueId>(i));
+  }
+  EXPECT_EQ(dict.size(), values.size());
+}
+
+TEST(ValueDictionaryTest, ReInternIsIdempotent) {
+  ValueDictionary dict;
+  ValueId a = *dict.Intern("alpha");
+  ValueId b = *dict.Intern("beta");
+  EXPECT_EQ(*dict.Intern("alpha"), a);
+  EXPECT_EQ(*dict.Intern("beta"), b);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.intern_calls(), 4u);  // calls counted, ids stable
+}
+
+TEST(ValueDictionaryTest, LookupIsInverseOfIntern) {
+  ValueDictionary dict;
+  Rng rng(11);
+  std::vector<std::string> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back("v" + std::to_string(rng.Below(1000)) + "_x");
+  }
+  for (const std::string& v : values) {
+    ValueId id = *dict.Intern(v);
+    EXPECT_EQ(dict.ExternalOf(id), v);
+    ASSERT_TRUE(dict.Find(v).has_value());
+    EXPECT_EQ(*dict.Find(v), id);
+  }
+  EXPECT_FALSE(dict.Find("never-interned").has_value());
+}
+
+TEST(ValueDictionaryTest, CanonicalizeIsDeterministicUnderInsertionPermutations) {
+  // The same value *set*, interned in 20 different orders, must
+  // canonicalize to bit-identical dictionaries (same id for same value).
+  std::vector<std::string> values;
+  for (int i = 0; i < 50; ++i) values.push_back("tok_" + std::to_string(i * 7));
+  ValueDictionary reference;
+  for (const std::string& v : values) ASSERT_TRUE(reference.Intern(v).ok());
+  reference.Canonicalize();
+
+  Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::string> permuted = values;
+    rng.Shuffle(&permuted);
+    ValueDictionary dict;
+    for (const std::string& v : permuted) ASSERT_TRUE(dict.Intern(v).ok());
+    dict.Canonicalize();
+    ASSERT_EQ(dict.size(), reference.size());
+    for (ValueId id = 0; id < dict.size(); ++id) {
+      EXPECT_EQ(dict.ExternalOf(id), reference.ExternalOf(id));
+    }
+    for (const std::string& v : values) {
+      EXPECT_EQ(*dict.Find(v), *reference.Find(v));
+    }
+  }
+}
+
+TEST(ValueDictionaryTest, CanonicalizeReturnsConsistentRemap) {
+  ValueDictionary dict;
+  std::vector<std::string> values = {"zeta", "alpha", "mu"};
+  std::vector<ValueId> old_ids;
+  for (const std::string& v : values) old_ids.push_back(*dict.Intern(v));
+  std::vector<ValueId> remap = dict.Canonicalize();
+  ASSERT_EQ(remap.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    // The remapped old id must point at the same external value.
+    EXPECT_EQ(dict.ExternalOf(remap[old_ids[i]]), values[i]);
+  }
+  // Sorted order: alpha < mu < zeta.
+  EXPECT_EQ(dict.ExternalOf(0), "alpha");
+  EXPECT_EQ(dict.ExternalOf(1), "mu");
+  EXPECT_EQ(dict.ExternalOf(2), "zeta");
+}
+
+TEST(ValueDictionaryTest, RejectsIdSpaceOverflow) {
+  ValueDictionary dict;
+  // Pretend all but one id below the reserved sentinel are taken.
+  dict.set_id_base_for_test(static_cast<uint64_t>(kInvalidValueId) - 1);
+  ASSERT_TRUE(dict.Intern("fits").ok());
+  Result<ValueId> overflow = dict.Intern("does-not");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kArithmeticOverflow);
+  // Idempotent re-intern of an existing value still succeeds at the brim.
+  EXPECT_TRUE(dict.Intern("fits").ok());
+}
+
+TEST(DictionarySetTest, AttributesInternIndependently) {
+  DictionarySet dicts;
+  ValueId a0 = *dicts.Intern(0, "shared-token");
+  ValueId b0 = *dicts.Intern(7, "other");
+  ValueId b1 = *dicts.Intern(7, "shared-token");
+  EXPECT_EQ(a0, 0u);
+  EXPECT_EQ(b0, 0u);  // separate dictionary, fresh id space
+  EXPECT_EQ(b1, 1u);
+  EXPECT_EQ(dicts.num_dicts(), 2u);
+  EXPECT_EQ(dicts.total_size(), 3u);
+}
+
+TEST(DictionarySetTest, EncodeDecodeRowRoundTrip) {
+  DictionarySet dicts;
+  Schema schema{{2, 5}};
+  std::vector<std::string> row = {"paris", "berlin"};
+  Tuple t = *dicts.EncodeRow(schema, row);
+  EXPECT_EQ(t.arity(), 2u);
+  EXPECT_EQ(*dicts.DecodeRow(schema, t), row);
+  // Same tokens re-encode to the identical fixed-width row.
+  EXPECT_EQ(*dicts.EncodeRow(schema, row), t);
+  // Arity mismatch and foreign ids are rejected.
+  EXPECT_FALSE(dicts.EncodeRow(schema, {"one"}).ok());
+  EXPECT_FALSE(dicts.DecodeRow(schema, Tuple::OfIds({99u, 99u})).ok());
+}
+
+TEST(ValueCodecTest, DirectRangeEncodesAsItself) {
+  for (Value v : {Value{0}, Value{1}, Value{12345}, Value{0x7FFFFFFF}}) {
+    EXPECT_TRUE(IsDirectValue(v));
+    EXPECT_EQ(EncodeValue(v), static_cast<ValueId>(v));
+    EXPECT_EQ(DecodeValue(static_cast<ValueId>(v)), v);
+  }
+}
+
+TEST(ValueCodecTest, OutOfRangeValuesRoundTripThroughSideTable) {
+  std::vector<Value> values = {-1, -4, std::numeric_limits<Value>::min(),
+                               std::numeric_limits<Value>::max(), Value{1} << 40};
+  for (Value v : values) {
+    EXPECT_FALSE(IsDirectValue(v));
+    ValueId id = EncodeValue(v);
+    EXPECT_GE(id, kDirectValueLimit);
+    EXPECT_EQ(DecodeValue(id), v);
+    EXPECT_EQ(EncodeValue(v), id);  // stable on re-encode
+  }
+}
+
+TEST(ValueCodecTest, TuplesBuiltFromValuesDecodeBack) {
+  Tuple t{{-4, 5, Value{1} << 35}};
+  EXPECT_EQ(t.at(0), -4);
+  EXPECT_EQ(t.at(1), 5);
+  EXPECT_EQ(t.at(2), Value{1} << 35);
+  EXPECT_EQ(t.values(), (std::vector<Value>{-4, 5, Value{1} << 35}));
+  // Equal external values => equal rows, hashes, and ordering keys.
+  Tuple u{{-4, 5, Value{1} << 35}};
+  EXPECT_EQ(t, u);
+  EXPECT_EQ(t.Hash(), u.Hash());
+  EXPECT_FALSE(t < u);
+  EXPECT_FALSE(u < t);
+}
+
+}  // namespace
+}  // namespace bagc
