@@ -22,14 +22,25 @@
 //   embedded in the artifact. Suites: two-bag solve, pairwise sweep,
 //   engine batch.
 //
+//   columnar_probe: the SoA speedup on marginal-build/probe-heavy paths.
+//   Three pairs, row path (PR 3 baseline, in the baseline field) vs
+//   columnar path: a single marginal build (the engine cache-fill
+//   kernel), the engine seal + pairwise sweep (MarginalPath::kRows vs
+//   kColumnar), and the hash-join matching phase (per-row
+//   TupleIndex::Find vs batch ColumnIndex::ProbeAll).
+//
 // Usage:
-//   bench_main [--suite bag_refactor|engine_batch|interned_rows] [--out FILE]
-//              [--baseline FILE]
+//   bench_main [--suite bag_refactor|engine_batch|interned_rows|columnar_probe]
+//              [--out FILE] [--baseline FILE]
 //
 // With --baseline, each benchmark entry additionally carries the baseline's
 // ops/sec for the same (name, size) pair plus the speedup ratio, so a
 // before/after comparison lives in one artifact. The baseline file is a
 // JSON file previously produced by this tool.
+//
+// Every suite's JSON records host_cpus, the compiler, and the compile
+// flags (BAGC_COMPILE_FLAGS, injected by CMake) so parallel and
+// vectorization-sensitive legs stay interpretable after the fact.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -48,8 +59,15 @@
 #include "engine/consistency_engine.h"
 #include "generators/workloads.h"
 #include "hypergraph/families.h"
+#include "tuple/column_store.h"
+#include "tuple/tuple_index.h"
 #include "tuple/value_dictionary.h"
 #include "util/random.h"
+
+// Injected by CMake so the artifact records how the binary was compiled.
+#ifndef BAGC_COMPILE_FLAGS
+#define BAGC_COMPILE_FLAGS "(unknown)"
+#endif
 
 namespace bagc {
 namespace {
@@ -146,6 +164,34 @@ std::string FormatDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.4f", v);
   return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Compiler identity, for the artifact header.
+std::string CompilerVersion() {
+#if defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "(unknown)";
+#endif
 }
 
 // The batch workload: one sealed circulant collection (3-uniform, so
@@ -400,6 +446,107 @@ void RunInternedRowsSuite(std::vector<BenchResult>* results) {
   }
 }
 
+// ---- columnar_probe suite --------------------------------------------------
+
+// Marginal-heavy workload: many duplicate shared-attribute pairs (small
+// domain relative to support), the shape consistency checking actually
+// probes — every marginal collapses rows into far fewer groups.
+Bag MakeMarginalInput(size_t support, uint64_t seed) {
+  Rng rng(seed);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(4, support / 128);
+  options.max_multiplicity = 1u << 10;
+  return *MakeRandomBag(Schema{{0, 1, 2}}, options, &rng);
+}
+
+BagCollection MakeColumnarSweepCollection(size_t support, uint64_t seed) {
+  Rng rng(seed);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(4, support / 64);
+  options.max_multiplicity = 1u << 10;
+  Hypergraph h = *MakeCirculant(16, 3);
+  return *MakeGloballyConsistentCollection(h, options, &rng);
+}
+
+void RunColumnarProbeSuite(std::vector<BenchResult>* results) {
+  // Marginal build R(A,B,C) -> R[{A,B}]: the engine cache-fill kernel.
+  // Rows: per-row Tuple projection + sort/merge (the PR 3 path).
+  // Columnar: gather the two columns, batch-hash, group in place.
+  for (size_t support : {256, 1024, 4096}) {
+    Bag r = MakeMarginalInput(support, 11000 + support);
+    Schema z{{0, 1}};
+    BenchResult rows = Measure("marginal_build_rows", support, [&] {
+      Bag m = *r.MarginalRows(z);
+      if (m.SupportSize() == 0) std::abort();
+    });
+    BenchResult columnar = Measure("marginal_build_columnar", support, [&] {
+      Bag m = *r.MarginalColumnar(z);
+      if (m.SupportSize() == 0) std::abort();
+    });
+    columnar.baseline_ops_per_sec = rows.ops_per_sec;
+    results->push_back(std::move(rows));
+    results->push_back(std::move(columnar));
+  }
+
+  // Engine seal + full pairwise sweep, row-path vs columnar-path marginal
+  // fills (everything else identical): the probe-heavy batch workload.
+  for (size_t support : {256, 1024, 4096}) {
+    BagCollection c = MakeColumnarSweepCollection(support, 12000 + support);
+    EngineOptions rows_opt;
+    rows_opt.marginal_path = MarginalPath::kRows;
+    EngineOptions cols_opt;
+    cols_opt.marginal_path = MarginalPath::kColumnar;
+    BenchResult rows = Measure("pairwise_seal_sweep_rows", support, [&] {
+      ConsistencyEngine e = *ConsistencyEngine::MakeView(c, rows_opt);
+      if (!(*e.PairwiseAll()).consistent) std::abort();
+    });
+    BenchResult columnar = Measure("pairwise_seal_sweep_columnar", support, [&] {
+      ConsistencyEngine e = *ConsistencyEngine::MakeView(c, cols_opt);
+      if (!(*e.PairwiseAll()).consistent) std::abort();
+    });
+    columnar.baseline_ops_per_sec = rows.ops_per_sec;
+    results->push_back(std::move(rows));
+    results->push_back(std::move(columnar));
+  }
+
+  // Hash-join matching phase (the N(R, S) / bag-join probe kernel): index
+  // S's shared columns, resolve every R row. Rows: TupleIndex with a
+  // per-row Tuple projection per insert/Find. Columnar: ColumnIndex with
+  // one gather + one batch ProbeAll.
+  for (size_t support : {1024, 4096, 16384}) {
+    auto [r, s] = MakeTwoBagInput(support, 13000 + support);
+    Schema shared = Schema::Intersect(r.schema(), s.schema());
+    Projector r_shared = *Projector::Make(r.schema(), shared);
+    Projector s_shared = *Projector::Make(s.schema(), shared);
+    BenchResult rows = Measure("probe_batch_rows", support, [&] {
+      TupleIndex index(s.SupportSize());
+      for (size_t j = 0; j < s.SupportSize(); ++j) {
+        index.Insert(s.entries()[j].first.Project(s_shared),
+                     static_cast<uint32_t>(j));
+      }
+      size_t hits = 0;
+      for (const auto& [x, mult] : r.entries()) {
+        if (index.Find(x.Project(r_shared)) != nullptr) ++hits;
+      }
+      if (hits == 0) std::abort();
+    });
+    BenchResult columnar = Measure("probe_batch_columnar", support, [&] {
+      // The exact kernel Bag::Join / ConsistencyNetwork::Assign run.
+      ColumnJoinMatch match(r.entries(), r_shared, s.entries(), s_shared);
+      size_t hits = 0;
+      for (size_t i = 0; i < r.SupportSize(); ++i) {
+        hits += (match.MatchOf(i) != ColumnJoinMatch::kNoMatch);
+      }
+      if (hits == 0) std::abort();
+    });
+    columnar.baseline_ops_per_sec = rows.ops_per_sec;
+    results->push_back(std::move(rows));
+    results->push_back(std::move(columnar));
+  }
+}
+
 void RunBagRefactorSuite(std::vector<BenchResult>* results) {
   // Two-bag solve: decide + extract a witness via the flow network.
   for (size_t support : {64, 256, 1024}) {
@@ -445,14 +592,14 @@ int Main(int argc, char** argv) {
       suite = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--suite bag_refactor|engine_batch|interned_rows] "
-                   "[--out FILE] [--baseline FILE]\n",
+                   "usage: %s [--suite bag_refactor|engine_batch|interned_rows|"
+                   "columnar_probe] [--out FILE] [--baseline FILE]\n",
                    argv[0]);
       return 2;
     }
   }
   if (suite != "bag_refactor" && suite != "engine_batch" &&
-      suite != "interned_rows") {
+      suite != "interned_rows" && suite != "columnar_probe") {
     std::fprintf(stderr, "unknown suite %s\n", suite.c_str());
     return 2;
   }
@@ -475,6 +622,8 @@ int Main(int argc, char** argv) {
     RunEngineBatchSuite(&results);
   } else if (suite == "interned_rows") {
     RunInternedRowsSuite(&results);
+  } else if (suite == "columnar_probe") {
+    RunColumnarProbeSuite(&results);
   } else {
     RunBagRefactorSuite(&results);
   }
@@ -490,7 +639,9 @@ int Main(int argc, char** argv) {
 
   std::ostringstream json;
   json << "{\n  \"suite\": \"" << suite << "\",\n  \"host_cpus\": "
-       << std::thread::hardware_concurrency() << ",\n  \"benchmarks\": [\n";
+       << std::thread::hardware_concurrency() << ",\n  \"compiler\": \""
+       << EscapeJson(CompilerVersion()) << "\",\n  \"compile_flags\": \""
+       << EscapeJson(BAGC_COMPILE_FLAGS) << "\",\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     json << "    {\"name\": \"" << r.name << "\", \"size\": " << r.size

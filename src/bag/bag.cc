@@ -57,6 +57,11 @@ uint64_t Bag::Multiplicity(const Tuple& t) const {
 }
 
 Result<Bag> Bag::Marginal(const Schema& z) const {
+  if (entries_.size() >= kColumnarMinRows) return MarginalColumnar(z);
+  return MarginalRows(z);
+}
+
+Result<Bag> Bag::MarginalRows(const Schema& z) const {
   BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(schema_, z));
   BagBuilder builder(z);
   builder.Reserve(entries_.size());
@@ -66,23 +71,54 @@ Result<Bag> Bag::Marginal(const Schema& z) const {
   return builder.Build();
 }
 
+Result<Bag> Bag::MarginalColumnar(const Schema& z) const {
+  BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(schema_, z));
+  // Gather only the Z columns — the projection happens during the
+  // transpose, so the grouping below never touches a non-Z slot.
+  ColumnStore cols = ColumnStore::FromEntries(entries_, proj);
+  return GroupColumns(z, cols.View(), entries_);
+}
+
+Result<Bag> Bag::GroupColumns(const Schema& z, const ColumnView& projected,
+                              const Entries& source) {
+  if (projected.num_rows() != source.size() || projected.arity() != z.arity()) {
+    return Status::InvalidArgument("projected columns do not match source rows");
+  }
+  // Multiplicities are positive, so no group sums to zero.
+  BAGC_ASSIGN_OR_RETURN(
+      Entries out,
+      internal::GroupColumnarEntries<uint64_t>(
+          projected, source,
+          [](uint64_t a, uint64_t b) { return CheckedAdd(a, b); },
+          [](uint64_t m) { return m == 0; }));
+  Bag bag(z);
+  bag.entries_ = std::move(out);
+  return bag;
+}
+
+ColumnStore Bag::ToColumns() const {
+  // The identity projection is always valid.
+  Projector identity = Projector::Make(schema_, schema_).value();
+  return ColumnStore::FromEntries(entries_, identity);
+}
+
 Result<Bag> Bag::Join(const Bag& r, const Bag& s) {
   BAGC_ASSIGN_OR_RETURN(TupleJoiner joiner, TupleJoiner::Make(r.schema(), s.schema()));
-  // Hash-partition the right side on the shared attributes.
+  // Hash-partition the right side on the shared attributes, columnar: the
+  // matching phase gathers just the shared columns of both sides and
+  // resolves every probe in one ProbeAll batch — no per-row Tuple
+  // projections. Output tuples still assemble from the row entries.
   BAGC_ASSIGN_OR_RETURN(Projector r_shared,
                         Projector::Make(r.schema(), joiner.shared_schema()));
   BAGC_ASSIGN_OR_RETURN(Projector s_shared,
                         Projector::Make(s.schema(), joiner.shared_schema()));
-  TupleIndex index(s.entries().size());
-  for (size_t j = 0; j < s.entries().size(); ++j) {
-    index.Insert(s.entries()[j].first.Project(s_shared), static_cast<uint32_t>(j));
-  }
+  ColumnJoinMatch match(r.entries_, r_shared, s.entries_, s_shared);
   BagBuilder builder(joiner.joined_schema());
-  for (const auto& [x, xm] : r.entries()) {
-    const std::vector<uint32_t>* matches = index.Find(x.Project(r_shared));
-    if (matches == nullptr) continue;
-    for (uint32_t j : *matches) {
-      const Entry& ys = s.entries()[j];
+  for (size_t i = 0; i < r.entries_.size(); ++i) {
+    if (match.MatchOf(i) == ColumnJoinMatch::kNoMatch) continue;
+    const auto& [x, xm] = r.entries_[i];
+    for (uint32_t j : match.RightRows(match.MatchOf(i))) {
+      const Entry& ys = s.entries_[j];
       BAGC_ASSIGN_OR_RETURN(uint64_t mult, CheckedMul(xm, ys.second));
       BAGC_RETURN_NOT_OK(builder.Add(joiner.Join(x, ys.first), mult));
     }

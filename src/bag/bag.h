@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "tuple/attribute.h"
+#include "tuple/column_store.h"
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
 #include "util/checked_math.h"
@@ -56,8 +57,32 @@ class Bag {
   /// The i-th entry in sorted order; requires i < SupportSize().
   const Entry& entry(size_t i) const { return entries_[i]; }
 
-  /// Marginal R[Z] per Equation (2); requires Z ⊆ X.
+  /// Marginal R[Z] per Equation (2); requires Z ⊆ X. Dispatches on
+  /// support size: bags with >= kColumnarMinRows entries group via the
+  /// columnar path, smaller ones via the row path (identical output).
   Result<Bag> Marginal(const Schema& z) const;
+
+  /// Marginal via the row path: per-row Tuple projection + sort/merge.
+  /// The reference implementation the differential harness pins the
+  /// columnar path against; also the small-bag fast path.
+  Result<Bag> MarginalRows(const Schema& z) const;
+
+  /// Marginal via the columnar path: gather the Z columns, hash-group
+  /// them in place (no per-row Tuple), sum multiplicities per group.
+  Result<Bag> MarginalColumnar(const Schema& z) const;
+
+  /// Columnar grouping core: `projected` must hold Z-layout columns whose
+  /// row i corresponds to source[i] (same length); sums multiplicities of
+  /// equal rows (overflow-checked) and seals the sorted marginal over z.
+  /// Exposed so the ConsistencyEngine can group from its per-bag cached
+  /// ColumnStore without re-gathering.
+  static Result<Bag> GroupColumns(const Schema& z, const ColumnView& projected,
+                                  const Entries& source);
+
+  /// Column-major copy of the entry rows (one contiguous ValueId column
+  /// per schema slot); multiplicities stay in entries(). The SoA substrate
+  /// callers cache for repeated projections/probes.
+  ColumnStore ToColumns() const;
 
   /// Bag join R ⋈_b S: support R' ⋈ S', multiplicity R(t[X]) * S(t[Y]).
   static Result<Bag> Join(const Bag& r, const Bag& s);

@@ -10,6 +10,44 @@
 
 namespace bagc {
 
+namespace {
+
+// Canonicalizes every dictionary of `dicts` (id order == sorted external
+// order) and rewrites the collection's rows through the remaps, re-sealing
+// each bag so entries are sorted under the new ids. Every row id must have
+// been issued by `dicts` (the uniform-sealing precondition of
+// value_dictionary.h): numeric-codec rows have no dictionary to define an
+// external order — side-table ids in particular are NOT value-ordered —
+// so they are rejected rather than silently passed through.
+Result<BagCollection> CanonicalizeCollection(const BagCollection& collection,
+                                             DictionarySet* dicts) {
+  std::vector<std::vector<ValueId>> remaps = dicts->CanonicalizeAll();
+  std::vector<Bag> rewritten;
+  rewritten.reserve(collection.size());
+  for (const Bag& b : collection.bags()) {
+    BagBuilder builder(b.schema());
+    builder.Reserve(b.SupportSize());
+    for (const auto& [t, mult] : b.entries()) {
+      std::vector<ValueId> ids(t.arity());
+      for (size_t s = 0; s < t.arity(); ++s) {
+        AttrId a = b.schema().at(s);
+        if (a >= remaps.size() || t.id(s) >= remaps[a].size()) {
+          return Status::InvalidArgument(
+              "canonicalize_dictionaries: a row id was not issued by the "
+              "engine's dictionary set");
+        }
+        ids[s] = remaps[a][t.id(s)];
+      }
+      BAGC_RETURN_NOT_OK(builder.Add(Tuple::OfIds(std::move(ids)), mult));
+    }
+    BAGC_ASSIGN_OR_RETURN(Bag sealed, builder.Build());
+    rewritten.push_back(std::move(sealed));
+  }
+  return BagCollection::Make(std::move(rewritten));
+}
+
+}  // namespace
+
 Result<ConsistencyEngine> ConsistencyEngine::Make(BagCollection collection,
                                                   EngineOptions options) {
   auto owned = std::make_shared<const BagCollection>(std::move(collection));
@@ -29,6 +67,21 @@ Result<ConsistencyEngine> ConsistencyEngine::MakeImpl(
   engine.collection_ = view;
   engine.owned_ = std::move(owned);
   engine.options_ = options;
+  if (options.canonicalize_dictionaries) {
+    if (engine.owned_ == nullptr) {
+      return Status::InvalidArgument(
+          "canonicalize_dictionaries requires an owned collection; use Make");
+    }
+    if (options.dictionaries == nullptr) {
+      return Status::InvalidArgument(
+          "canonicalize_dictionaries requires a dictionary set");
+    }
+    BAGC_ASSIGN_OR_RETURN(
+        BagCollection canonical,
+        CanonicalizeCollection(*engine.collection_, options.dictionaries.get()));
+    engine.owned_ = std::make_shared<const BagCollection>(std::move(canonical));
+    engine.collection_ = engine.owned_.get();
+  }
   if (options.num_threads > 1) {
     engine.pool_ = std::make_unique<ThreadPool>(options.num_threads);
   }
@@ -39,6 +92,8 @@ Result<ConsistencyEngine> ConsistencyEngine::MakeImpl(
 Status ConsistencyEngine::Seal() {
   size_t m = collection_->size();
   cache_.assign(m, {});
+  bag_columns_.clear();
+  bag_columns_.resize(m);
 
   // Pass 1: compute each unordered pair's shared schema exactly once and
   // collect the distinct schemas per bag (by pointer into pair_schema,
@@ -94,6 +149,15 @@ Status ConsistencyEngine::Seal() {
   }
   std::vector<Status> statuses(slots.size());
   if (pool_ != nullptr) {
+    // Pre-build the per-bag column stores first, one task per bag:
+    // EnsureColumns is single-writer here, and the per-slot fills below
+    // (which may share a bag) then only read them.
+    for (size_t i = 0; i < m; ++i) {
+      if (UseColumnar(i) && !cache_[i].empty()) {
+        pool_->Submit([this, i] { EnsureColumns(i); });
+      }
+    }
+    pool_->WaitIdle();
     for (size_t t = 0; t < slots.size(); ++t) {
       pool_->Submit([this, &statuses, &slots, t] {
         statuses[t] =
@@ -113,11 +177,43 @@ Status ConsistencyEngine::Seal() {
 
 Status ConsistencyEngine::EnsureFilled(CachedProjection* slot, size_t bag_index) {
   if (slot->filled) return Status::OK();
-  BAGC_ASSIGN_OR_RETURN(slot->marginal,
-                        collection_->bag(bag_index).Marginal(slot->schema));
+  const Bag& bag = collection_->bag(bag_index);
+  if (UseColumnar(bag_index)) {
+    // One SoA transpose per bag, shared by all its sealed projections;
+    // each fill is a zero-copy column select plus a batch hash-group.
+    BAGC_ASSIGN_OR_RETURN(Projector proj,
+                          Projector::Make(bag.schema(), slot->schema));
+    BAGC_ASSIGN_OR_RETURN(
+        slot->marginal,
+        Bag::GroupColumns(slot->schema,
+                          EnsureColumns(bag_index).View().Select(proj),
+                          bag.entries()));
+  } else {
+    BAGC_ASSIGN_OR_RETURN(slot->marginal, bag.MarginalRows(slot->schema));
+  }
   slot->filled = true;
   marginal_fills_->fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+bool ConsistencyEngine::UseColumnar(size_t bag_index) const {
+  switch (options_.marginal_path) {
+    case MarginalPath::kRows:
+      return false;
+    case MarginalPath::kColumnar:
+      return true;
+    case MarginalPath::kAuto:
+    default:
+      return collection_->bag(bag_index).SupportSize() >= kColumnarMinRows;
+  }
+}
+
+const ColumnStore& ConsistencyEngine::EnsureColumns(size_t bag_index) {
+  std::unique_ptr<ColumnStore>& store = bag_columns_[bag_index];
+  if (store == nullptr) {
+    store = std::make_unique<ColumnStore>(collection_->bag(bag_index).ToColumns());
+  }
+  return *store;
 }
 
 ConsistencyEngine::CachedProjection* ConsistencyEngine::FindProjection(
@@ -335,22 +431,55 @@ Result<std::optional<Bag>> ConsistencyEngine::SolveGlobalAcyclic(
     if (p == nullptr) return Status::Internal("edge without a bag");
   }
 
-  // Theorem 6: fold minimal two-bag witnesses along the RIP listing. Every
-  // fold step solves inside the engine's one flow arena.
+  // Theorem 6: fold minimal two-bag witnesses along the RIP listing, every
+  // step inside the engine's one flow arena. The step-i shared schema
+  // Z_i = X_{σ(i)} ∩ (X_{σ(0)} ∪ … ∪ X_{σ(i-1)}) depends only on the
+  // listing, so each step's next-side marginal R_{σ(i)}[Z_i] — the
+  // Lemma 2(2) input of that fold step — is built ahead of the fold,
+  // sharded over the engine's pool when it has one. The fold itself stays
+  // sequential (the accumulator feeds the next step), so the merge order —
+  // and hence the witness — is identical for every worker count.
+  size_t steps = rip_order.size();
+  std::vector<Schema> step_shared(steps);
+  Schema prefix = edges[rip_order[0]];
+  for (size_t i = 1; i < steps; ++i) {
+    step_shared[i] = Schema::Intersect(edges[rip_order[i]], prefix);
+    prefix = Schema::Union(prefix, edges[rip_order[i]]);
+  }
+  std::vector<Bag> next_marginal(steps);
+  std::vector<Status> marginal_status(steps, Status::OK());
+  auto build_step = [&](size_t i) {
+    Result<Bag> m = edge_bag[rip_order[i]]->Marginal(step_shared[i]);
+    if (m.ok()) {
+      next_marginal[i] = std::move(m).value();
+    } else {
+      marginal_status[i] = m.status();
+    }
+  };
+  if (pool_ != nullptr) {
+    for (size_t i = 1; i < steps; ++i) {
+      pool_->Submit([&build_step, i] { build_step(i); });
+    }
+    pool_->WaitIdle();
+  } else {
+    for (size_t i = 1; i < steps; ++i) build_step(i);
+  }
+  for (const Status& st : marginal_status) BAGC_RETURN_NOT_OK(st);
+
   Bag acc = *edge_bag[rip_order[0]];
-  for (size_t i = 1; i < rip_order.size(); ++i) {
+  for (size_t i = 1; i < steps; ++i) {
     const Bag& next = *edge_bag[rip_order[i]];
-    BAGC_ASSIGN_OR_RETURN(std::optional<Bag> ti,
-                          options.minimal_fold
-                              ? witness_solver_.FindMinimalWitness(acc, next)
-                              : witness_solver_.FindWitness(acc, next));
-    if (!ti.has_value()) {
+    BAGC_ASSIGN_OR_RETURN(Bag acc_marginal, acc.Marginal(step_shared[i]));
+    if (acc_marginal != next_marginal[i]) {
       // Step 1 of Theorem 2 proves this cannot happen for pairwise
       // consistent bags along a RIP listing.
       return Status::Internal(
           "pairwise consistent acyclic collection hit an inconsistent fold step");
     }
-    acc = std::move(*ti);
+    BAGC_ASSIGN_OR_RETURN(
+        Bag ti,
+        witness_solver_.FindWitnessKnownConsistent(acc, next, options.minimal_fold));
+    acc = std::move(ti);
   }
   return std::optional<Bag>(std::move(acc));
 }

@@ -30,12 +30,26 @@
 #include "core/collection.h"
 #include "core/global.h"
 #include "engine/two_bag_solver.h"
+#include "tuple/column_store.h"
 #include "tuple/tuple_index.h"
 #include "tuple/value_dictionary.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
 namespace bagc {
+
+/// Execution path for the engine's sealed marginal builds (cache fills).
+enum class MarginalPath {
+  /// Dispatch per bag on support size (columnar at >= kColumnarMinRows) —
+  /// the default, matching Bag::Marginal.
+  kAuto,
+  /// Force the row path (per-row Tuple projection + sort/merge). The
+  /// differential-benchmark baseline.
+  kRows,
+  /// Force the columnar path: one per-bag ColumnStore shared by every
+  /// projection, grouped via batch-hashed ColumnIndex probes.
+  kColumnar,
+};
 
 /// Tuning for a ConsistencyEngine.
 struct EngineOptions {
@@ -55,8 +69,22 @@ struct EngineOptions {
   /// the whole collection, so shared-attribute ids are comparable across
   /// bags and no query ever re-interns or touches an external value. The
   /// engine only holds it (for decoding results and for callers sharing
-  /// it onward); row algebra is dictionary-oblivious.
-  std::shared_ptr<const DictionarySet> dictionaries;
+  /// it onward); row algebra is dictionary-oblivious — except under
+  /// canonicalize_dictionaries, which rewrites the set at seal time.
+  std::shared_ptr<DictionarySet> dictionaries;
+  /// Canonicalize `dictionaries` at seal time (ValueDictionary::
+  /// Canonicalize per attribute) and rewrite the engine's owned copy of
+  /// the collection through the remaps, so id order == external sorted
+  /// order: ordered entry scans then decode to lexicographically sorted
+  /// external rows, enabling range queries over external values. Requires
+  /// Make (an owned collection), a non-null dictionary set, and a fully
+  /// dictionary-sealed collection (numeric-codec rows have no external
+  /// order to canonicalize to and are rejected); the set is mutated, so
+  /// it must not encode rows for bags outside this collection.
+  bool canonicalize_dictionaries = false;
+  /// Execution path for sealed marginal builds; verdicts are identical on
+  /// every setting (pinned by the columnar differential leg).
+  MarginalPath marginal_path = MarginalPath::kAuto;
 };
 
 /// Outcome of a pairwise sweep.
@@ -190,6 +218,13 @@ class ConsistencyEngine {
   // pool) unless sealing lazily.
   Status Seal();
   Status EnsureFilled(CachedProjection* slot, size_t bag_index);
+  // True when bag i's cache fills should group columnar under the
+  // configured MarginalPath.
+  bool UseColumnar(size_t bag_index) const;
+  // Bag i's ColumnStore, built on first use. NOT thread-safe: parallel
+  // seals pre-build every store (one pool task per bag) before the slot
+  // fills fan out, so fills only ever read it.
+  const ColumnStore& EnsureColumns(size_t bag_index);
   CachedProjection* FindProjection(size_t i, const Schema& z);
   const CachedProjection* FindProjection(size_t i, const Schema& z) const;
   Result<PairwiseVerdict> SweepSequential();
@@ -200,6 +235,9 @@ class ConsistencyEngine {
   EngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when num_threads == 1
   std::vector<std::vector<CachedProjection>> cache_;  // per bag, schema-sorted
+  // Per-bag SoA transpose shared by all of that bag's sealed projections
+  // (zero-copy column Select per schema); null until first columnar fill.
+  std::vector<std::unique_ptr<ColumnStore>> bag_columns_;
   std::vector<PairTask> pairs_;  // all (i, j), i < j, lexicographic
   std::optional<PairwiseVerdict> pairwise_verdict_;
   std::optional<bool> global_verdict_;

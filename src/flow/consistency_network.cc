@@ -42,21 +42,19 @@ Status ConsistencyNetwork::Assign(const Bag& r, const Bag& s) {
     return Status::ResourceExhausted("bag cardinalities exceed flow capacity range");
   }
 
-  // Middle edges: one per join tuple of the supports, grouped via a hash
-  // join on the shared attributes.
+  // Middle edges: one per join tuple of the supports, grouped via a
+  // columnar hash join on the shared attributes — gather just the shared
+  // columns of both sides, index S's, and resolve every R row in one
+  // ProbeAll batch (no per-row Tuple projections on the matching phase).
   BAGC_ASSIGN_OR_RETURN(Projector r_shared,
                         Projector::Make(r.schema(), joiner.shared_schema()));
   BAGC_ASSIGN_OR_RETURN(Projector s_shared,
                         Projector::Make(s.schema(), joiner.shared_schema()));
-  TupleIndex index(ns);
-  for (size_t j = 0; j < ns; ++j) {
-    index.Insert(s.entries()[j].first.Project(s_shared), static_cast<uint32_t>(j));
-  }
+  ColumnJoinMatch match(r.entries(), r_shared, s.entries(), s_shared);
   for (size_t i = 0; i < nr; ++i) {
+    if (match.MatchOf(i) == ColumnJoinMatch::kNoMatch) continue;
     const Tuple& x = r.entries()[i].first;
-    const std::vector<uint32_t>* matches = index.Find(x.Project(r_shared));
-    if (matches == nullptr) continue;
-    for (uint32_t j : *matches) {
+    for (uint32_t j : match.RightRows(match.MatchOf(i))) {
       const Tuple& y = s.entries()[j].first;
       BAGC_ASSIGN_OR_RETURN(
           FlowNetwork::EdgeId eid,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bag/relation.h"
+#include "tuple/column_store.h"
 #include "tuple/tuple_index.h"
 
 namespace bagc {
@@ -16,41 +17,52 @@ size_t ConsistencyLp::NumNonZeros() const {
 namespace {
 
 // Appends the rows for bag `i` given the chosen variable tuples.
+// `var_columns` is the column-major transpose of `variables` over the
+// joined layout, built once by the caller and re-selected per bag: the
+// variable grouping and the per-support-tuple lookups both run columnar
+// (batch-hashed ProbeAll, no per-row Tuple projection).
 Status AppendRows(const std::vector<Bag>& bags, size_t i, const Schema& joined,
-                  const std::vector<Tuple>& variables, ConsistencyLp* lp) {
+                  const ColumnStore& var_columns, ConsistencyLp* lp) {
   const Bag& bag = bags[i];
   BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(joined, bag.schema()));
-  // Group variables by their projection onto Xi.
-  TupleIndex groups(variables.size());
-  for (uint32_t v = 0; v < variables.size(); ++v) {
-    groups.Insert(variables[v].Project(proj), v);
-  }
-  for (const auto& [r, mult] : bag.entries()) {
+  // Group variables by their projection onto Xi (zero-copy column select).
+  ColumnIndex groups(var_columns.View().Select(proj));
+  // Resolve every support tuple of Ri against the groups in one batch.
+  ColumnStore bag_cols = bag.ToColumns();
+  std::vector<uint32_t> match;
+  groups.ProbeAll(bag_cols.View(), &match);
+  std::vector<bool> in_support(groups.NumGroups(), false);
+  for (size_t e = 0; e < bag.entries().size(); ++e) {
     LpRow row;
     row.bag_index = i;
-    row.marginal_tuple = r;
-    row.rhs = mult;
-    const std::vector<uint32_t>* vars = groups.Find(r);
-    if (vars != nullptr) row.vars = *vars;
+    row.marginal_tuple = bag.entries()[e].first;
+    row.rhs = bag.entries()[e].second;
+    if (match[e] != ColumnIndex::kNoGroup) {
+      row.vars = groups.GroupRows(match[e]);
+      in_support[match[e]] = true;
+    }
     lp->rows.push_back(std::move(row));
   }
   // Variables projecting onto tuples *outside* the support of Ri must be 0;
   // emit a rhs=0 row for each such group so solvers see the restriction.
+  // A group is outside the support iff no support tuple probed into it.
   // Sorted by group key so row order stays deterministic and matches the
   // historical (sorted-map) layout.
-  std::vector<size_t> zero_groups;
+  std::vector<std::pair<Tuple, size_t>> zero_groups;
   for (size_t g = 0; g < groups.NumGroups(); ++g) {
-    if (bag.Multiplicity(groups.GroupKey(g)) == 0) zero_groups.push_back(g);
+    if (!in_support[g]) {
+      zero_groups.emplace_back(groups.keys().RowAt(groups.LeadRow(g)), g);
+    }
   }
-  std::sort(zero_groups.begin(), zero_groups.end(), [&](size_t a, size_t b) {
-    return groups.GroupKey(a) < groups.GroupKey(b);
-  });
-  for (size_t g : zero_groups) {
+  std::sort(zero_groups.begin(), zero_groups.end(),
+            [](const std::pair<Tuple, size_t>& a,
+               const std::pair<Tuple, size_t>& b) { return a.first < b.first; });
+  for (auto& [key, g] : zero_groups) {
     LpRow row;
     row.bag_index = i;
-    row.marginal_tuple = groups.GroupKey(g);
+    row.marginal_tuple = std::move(key);
     row.rhs = 0;
-    row.vars = groups.GroupIds(g);
+    row.vars = groups.GroupRows(g);
     lp->rows.push_back(std::move(row));
   }
   return Status::OK();
@@ -74,8 +86,11 @@ Result<ConsistencyLp> BuildConsistencyLp(const std::vector<Bag>& bags,
   ConsistencyLp lp;
   lp.joined_schema = join.schema();
   lp.variables = std::move(variables);
+  BAGC_ASSIGN_OR_RETURN(Projector identity,
+                        Projector::Make(lp.joined_schema, lp.joined_schema));
+  ColumnStore var_columns = ColumnStore::FromTuples(lp.variables, identity);
   for (size_t i = 0; i < bags.size(); ++i) {
-    BAGC_RETURN_NOT_OK(AppendRows(bags, i, lp.joined_schema, lp.variables, &lp));
+    BAGC_RETURN_NOT_OK(AppendRows(bags, i, lp.joined_schema, var_columns, &lp));
   }
   return lp;
 }
@@ -96,8 +111,11 @@ Result<ConsistencyLp> BuildLpWithVariables(const std::vector<Bag>& bags,
     }
   }
   lp.variables = std::move(variables);
+  BAGC_ASSIGN_OR_RETURN(Projector identity,
+                        Projector::Make(lp.joined_schema, lp.joined_schema));
+  ColumnStore var_columns = ColumnStore::FromTuples(lp.variables, identity);
   for (size_t i = 0; i < bags.size(); ++i) {
-    BAGC_RETURN_NOT_OK(AppendRows(bags, i, lp.joined_schema, lp.variables, &lp));
+    BAGC_RETURN_NOT_OK(AppendRows(bags, i, lp.joined_schema, var_columns, &lp));
   }
   return lp;
 }

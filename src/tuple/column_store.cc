@@ -1,0 +1,49 @@
+#include "tuple/column_store.h"
+
+#include "util/hash.h"
+
+namespace bagc {
+
+ColumnView ColumnView::Select(const Projector& proj) const {
+  std::vector<const ValueId*> cols(proj.arity());
+  for (size_t i = 0; i < proj.arity(); ++i) cols[i] = columns_[proj.SourceIndex(i)];
+  return ColumnView(std::move(cols), rows_);
+}
+
+Tuple ColumnView::RowAt(size_t r) const {
+  std::vector<ValueId> ids(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) ids[c] = columns_[c][r];
+  return Tuple::OfIds(std::move(ids));
+}
+
+bool ColumnView::RowsEqual(size_t a, const ColumnView& other, size_t b) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c][a] != other.columns_[c][b]) return false;
+  }
+  return true;
+}
+
+void ColumnView::HashRows(std::vector<uint64_t>* out) const {
+  out->assign(rows_, 0x5bf03635u ^ static_cast<uint64_t>(columns_.size()));
+  uint64_t* h = out->data();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    const ValueId* col = columns_[c];
+    for (size_t r = 0; r < rows_; ++r) {
+      HashCombine(&h[r], static_cast<uint64_t>(col[r]));
+    }
+  }
+}
+
+ColumnView ColumnStore::View() const {
+  std::vector<const ValueId*> cols(arity_);
+  for (size_t c = 0; c < arity_; ++c) cols[c] = column(c);
+  return ColumnView(std::move(cols), rows_);
+}
+
+Tuple ColumnStore::RowAt(size_t r) const {
+  std::vector<ValueId> ids(arity_);
+  for (size_t c = 0; c < arity_; ++c) ids[c] = column(c)[r];
+  return Tuple::OfIds(std::move(ids));
+}
+
+}  // namespace bagc

@@ -1,0 +1,125 @@
+// Structure-of-arrays storage for sealed tuple rows. A ColumnStore holds
+// one contiguous ValueId array per schema slot (column-major: column c is
+// the c-th stretch of a single allocation), gathered once from a sealed
+// flat entry vector; a ColumnView is a zero-copy selection of columns —
+// projecting onto Z ⊆ X is a pointer shuffle, never a per-row Tuple.
+//
+// This is the substrate the vectorized probe path runs on: batch row
+// hashing (HashRows) walks each column once with a branch-free inner loop
+// over a contiguous u32 span, so marginal grouping and hash-join matching
+// (ColumnIndex in tuple_index.h) touch memory column-at-a-time instead of
+// chasing one heap-allocated id vector per row. Rows stay reachable via
+// RowAt for cold paths (IO, reports, witness extraction).
+//
+// Hash compatibility: HashRows reproduces Tuple::Hash of the materialized
+// row exactly (same seed and combine order as HashRange), so columnar and
+// row-path indexes agree on every probe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace bagc {
+
+/// Row-count threshold below which the row path (per-row Tuple projection
+/// + sort/merge) beats the columnar gather + hash-group; dispatchers such
+/// as Bag::Marginal switch on it.
+inline constexpr size_t kColumnarMinRows = 32;
+
+/// \brief Zero-copy view of selected columns: per-slot base pointers plus
+/// a row count. Borrowed storage must outlive the view.
+class ColumnView {
+ public:
+  ColumnView() = default;
+  ColumnView(std::vector<const ValueId*> columns, size_t num_rows)
+      : columns_(std::move(columns)), rows_(num_rows) {}
+
+  size_t arity() const { return columns_.size(); }
+  size_t num_rows() const { return rows_; }
+
+  /// Base pointer of column c (contiguous, num_rows() entries).
+  const ValueId* column(size_t c) const { return columns_[c]; }
+
+  /// Id at (row r, column c).
+  ValueId at(size_t r, size_t c) const { return columns_[c][r]; }
+
+  /// Selects the columns of `proj` (this view's layout must be
+  /// proj.from()'s). Pure pointer shuffle — no row is touched.
+  ColumnView Select(const Projector& proj) const;
+
+  /// Materializes row r as a Tuple (cold paths only).
+  Tuple RowAt(size_t r) const;
+
+  /// Row a of this view == row b of `other` (same arity required).
+  bool RowsEqual(size_t a, const ColumnView& other, size_t b) const;
+
+  /// Hashes every row, column-at-a-time: one pass per column over a
+  /// contiguous span, accumulating into out[r]. out[r] equals
+  /// RowAt(r).Hash() (same seed/combine sequence as HashRange).
+  void HashRows(std::vector<uint64_t>* out) const;
+
+ private:
+  std::vector<const ValueId*> columns_;
+  size_t rows_ = 0;
+};
+
+/// \brief Owned column-major id storage gathered from sealed rows.
+class ColumnStore {
+ public:
+  ColumnStore() = default;
+
+  /// Gathers the slots selected by `proj` from rows[i].first (a Tuple over
+  /// proj.from()'s layout); annotations/multiplicities are not copied —
+  /// grouping code reads them from the source vector by row index. Pass an
+  /// identity projector (Projector::Make(x, x)) to transpose every column.
+  template <typename Entry>
+  static ColumnStore FromEntries(const std::vector<Entry>& rows,
+                                 const Projector& proj) {
+    return Gather(rows.size(), proj,
+                  [&rows](size_t r) -> const Tuple& { return rows[r].first; });
+  }
+
+  /// As FromEntries, over a bare tuple vector (e.g. LP variables).
+  static ColumnStore FromTuples(const std::vector<Tuple>& rows,
+                                const Projector& proj) {
+    return Gather(rows.size(), proj,
+                  [&rows](size_t r) -> const Tuple& { return rows[r]; });
+  }
+
+  size_t arity() const { return arity_; }
+  size_t num_rows() const { return rows_; }
+
+  /// Base pointer of column c.
+  const ValueId* column(size_t c) const { return data_.data() + c * rows_; }
+
+  /// View over all columns in store order.
+  ColumnView View() const;
+
+  /// Materializes row r as a Tuple (lazy accessor for cold paths).
+  Tuple RowAt(size_t r) const;
+
+ private:
+  template <typename GetTuple>
+  static ColumnStore Gather(size_t n, const Projector& proj, GetTuple&& tuple_of) {
+    ColumnStore out;
+    out.rows_ = n;
+    out.arity_ = proj.arity();
+    out.data_.resize(out.arity_ * n);
+    ValueId* dst = out.data_.data();
+    for (size_t c = 0; c < out.arity_; ++c, dst += n) {
+      size_t src = proj.SourceIndex(c);
+      for (size_t r = 0; r < n; ++r) dst[r] = tuple_of(r).id(src);
+    }
+    return out;
+  }
+
+  std::vector<ValueId> data_;  // column-major: column c at [c * rows_, (c+1) * rows_)
+  size_t rows_ = 0;
+  size_t arity_ = 0;
+};
+
+}  // namespace bagc

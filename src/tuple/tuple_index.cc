@@ -69,4 +69,57 @@ const std::vector<uint32_t>* TupleIndex::Find(const Tuple& key) const {
   return &groups_[slots_[slot] - 1].ids;
 }
 
+ColumnIndex::ColumnIndex(ColumnView keys) : keys_(std::move(keys)) {
+  size_t n = keys_.num_rows();
+  // All rows are inserted up front, so size the table once (load < ~0.7)
+  // and never rehash.
+  slots_.assign(NextPowerOfTwo(n + n / 2 + 1), 0);
+  groups_.reserve(n);
+  std::vector<uint64_t> hashes;
+  keys_.HashRows(&hashes);
+  for (size_t r = 0; r < n; ++r) {
+    size_t slot = FindSlot(hashes[r], keys_, r);
+    if (slots_[slot] == 0) {
+      ColumnGroup g;
+      g.lead = static_cast<uint32_t>(r);
+      g.hash = hashes[r];
+      g.rows.push_back(static_cast<uint32_t>(r));
+      groups_.push_back(std::move(g));
+      slots_[slot] = static_cast<uint32_t>(groups_.size());
+    } else {
+      groups_[slots_[slot] - 1].rows.push_back(static_cast<uint32_t>(r));
+    }
+  }
+}
+
+size_t ColumnIndex::FindSlot(uint64_t hash, const ColumnView& view,
+                             size_t row) const {
+  size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (true) {
+    uint32_t tag = slots_[i];
+    if (tag == 0) return i;
+    const ColumnGroup& g = groups_[tag - 1];
+    if (g.hash == hash && keys_.RowsEqual(g.lead, view, row)) return i;
+    i = (i + 1) & mask;
+  }
+}
+
+uint32_t ColumnIndex::Probe(const ColumnView& probes, size_t row,
+                            uint64_t hash) const {
+  if (slots_.empty()) return kNoGroup;  // default-constructed index
+  size_t slot = FindSlot(hash, probes, row);
+  return slots_[slot] == 0 ? kNoGroup : slots_[slot] - 1;
+}
+
+void ColumnIndex::ProbeAll(const ColumnView& probes,
+                           std::vector<uint32_t>* out) const {
+  std::vector<uint64_t> hashes;
+  probes.HashRows(&hashes);
+  out->assign(probes.num_rows(), kNoGroup);
+  for (size_t r = 0; r < probes.num_rows(); ++r) {
+    (*out)[r] = Probe(probes, r, hashes[r]);
+  }
+}
+
 }  // namespace bagc

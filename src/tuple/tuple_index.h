@@ -8,11 +8,19 @@
 // posting lists and the group sequence preserve first-insertion order, so
 // iteration is deterministic whenever the insertion sequence is (bag
 // entries are sorted, so in practice group order is sorted too).
+//
+// ColumnIndex is the columnar (SoA) counterpart: it groups the rows of a
+// borrowed ColumnView without materializing a single Tuple — build hashes
+// every key row in one column-at-a-time batch, and ProbeAll answers a
+// whole probe view the same way. Group numbering and per-group row order
+// match what TupleIndex produces for the same row sequence, so the two
+// paths are drop-in interchangeable for deterministic consumers.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "tuple/column_store.h"
 #include "tuple/tuple.h"
 
 namespace bagc {
@@ -58,6 +66,99 @@ class TupleIndex {
   // Capacity is always a power of two.
   std::vector<uint32_t> slots_;
   size_t size_ = 0;
+};
+
+/// \brief Hash grouping over the rows of a borrowed ColumnView, with a
+/// vectorizable batch probe.
+///
+/// Construction groups every key row (equal rows share a group; groups and
+/// their row lists are in first-appearance order, i.e. ascending row index
+/// — identical to inserting rows 0..n-1 into a TupleIndex). No Tuple is
+/// ever materialized: row hashes come from ColumnView::HashRows in one
+/// column-wise batch, and equality compares id spans in place. The key
+/// view's storage must outlive the index.
+class ColumnIndex {
+ public:
+  /// No matching group (also the cap sentinel — row counts are < 2^32).
+  static constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
+
+  ColumnIndex() = default;
+  /// Builds the grouping over all rows of `keys`.
+  explicit ColumnIndex(ColumnView keys);
+
+  size_t NumGroups() const { return groups_.size(); }
+  /// Rows of group g, ascending (== posting list order of TupleIndex).
+  const std::vector<uint32_t>& GroupRows(size_t g) const { return groups_[g].rows; }
+  /// First (smallest) key row of group g — the group's representative.
+  uint32_t LeadRow(size_t g) const { return groups_[g].lead; }
+  /// The indexed key view.
+  const ColumnView& keys() const { return keys_; }
+
+  /// For every row of `probes` (same arity as the keys), the matching
+  /// group id or kNoGroup. Hashes the whole probe view column-wise first,
+  /// then walks the table — the batch counterpart of TupleIndex::Find.
+  void ProbeAll(const ColumnView& probes, std::vector<uint32_t>* out) const;
+
+  /// Single-row probe against an external view (same arity); kNoGroup
+  /// when absent. `hash` must be the row's ColumnView/Tuple hash.
+  uint32_t Probe(const ColumnView& probes, size_t row, uint64_t hash) const;
+
+ private:
+  struct ColumnGroup {
+    uint32_t lead;
+    uint64_t hash;
+    std::vector<uint32_t> rows;
+  };
+
+  // Slot holding the group matching (view, row, hash), or the empty slot
+  // where a new group belongs.
+  size_t FindSlot(uint64_t hash, const ColumnView& view, size_t row) const;
+
+  ColumnView keys_;
+  std::vector<ColumnGroup> groups_;
+  // Open-addressing table of group index + 1; 0 marks an empty slot.
+  std::vector<uint32_t> slots_;
+};
+
+/// \brief Columnar hash-join matching phase, shared by the bag join and
+/// the N(R, S) middle-edge construction: gather the shared-attribute
+/// columns of both sides, index the right side's, and resolve every left
+/// row in one ProbeAll batch. Owns the gathered stores, so the match
+/// lists stay valid for the consumer's build loop. Movable, not copyable
+/// (the index borrows the owned right-side columns).
+class ColumnJoinMatch {
+ public:
+  static constexpr uint32_t kNoMatch = ColumnIndex::kNoGroup;
+
+  /// `left`/`right` are sealed entry vectors (rows[i].first is a Tuple
+  /// over the respective projector's source layout); the projectors
+  /// select both sides onto the same shared layout.
+  template <typename LeftEntries, typename RightEntries>
+  ColumnJoinMatch(const LeftEntries& left, const Projector& left_shared,
+                  const RightEntries& right, const Projector& right_shared)
+      : left_cols_(ColumnStore::FromEntries(left, left_shared)),
+        right_cols_(ColumnStore::FromEntries(right, right_shared)),
+        index_(right_cols_.View()) {
+    index_.ProbeAll(left_cols_.View(), &match_);
+  }
+
+  ColumnJoinMatch(ColumnJoinMatch&&) = default;
+  ColumnJoinMatch& operator=(ColumnJoinMatch&&) = default;
+  ColumnJoinMatch(const ColumnJoinMatch&) = delete;
+  ColumnJoinMatch& operator=(const ColumnJoinMatch&) = delete;
+
+  /// The group left row i matched, or kNoMatch.
+  uint32_t MatchOf(size_t i) const { return match_[i]; }
+  /// Right rows of a matched group, ascending (posting-list order).
+  const std::vector<uint32_t>& RightRows(uint32_t group) const {
+    return index_.GroupRows(group);
+  }
+
+ private:
+  ColumnStore left_cols_;
+  ColumnStore right_cols_;
+  ColumnIndex index_;
+  std::vector<uint32_t> match_;
 };
 
 }  // namespace bagc

@@ -115,4 +115,12 @@ uint64_t DictionarySet::total_intern_calls() const {
   return n;
 }
 
+std::vector<std::vector<ValueId>> DictionarySet::CanonicalizeAll() {
+  std::vector<std::vector<ValueId>> remaps(dicts_.size());
+  for (size_t a = 0; a < dicts_.size(); ++a) {
+    if (dicts_[a] != nullptr) remaps[a] = dicts_[a]->Canonicalize();
+  }
+  return remaps;
+}
+
 }  // namespace bagc

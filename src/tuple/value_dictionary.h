@@ -127,6 +127,13 @@ class DictionarySet {
   /// Sum of Intern() call counts across dictionaries.
   uint64_t total_intern_calls() const;
 
+  /// Canonicalizes every attribute dictionary (ValueDictionary::
+  /// Canonicalize: id order == sorted external order). Returns the remaps
+  /// indexed by AttrId — remaps[a][old_id] = new_id; attributes without a
+  /// dictionary get an empty remap. Every row encoded through this set
+  /// before the call must be rewritten through the remaps.
+  std::vector<std::vector<ValueId>> CanonicalizeAll();
+
  private:
   // Indexed by AttrId; sparse attributes stay null.
   std::vector<std::unique_ptr<ValueDictionary>> dicts_;

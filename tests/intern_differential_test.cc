@@ -192,16 +192,27 @@ TEST(InternDifferentialTest, MatchesStringOracleOn200Collections) {
     opts.dictionaries = dicts;
     ConsistencyEngine engine = *ConsistencyEngine::Make(interned, opts);
     ConsistencyEngine numeric_engine = *ConsistencyEngine::Make(numeric);
+    // Columnar leg: the same interned collection with every sealed
+    // marginal forced through the SoA path — verdicts, failing pairs, and
+    // witness multiplicities must be bit-identical to the row path.
+    EngineOptions columnar_opts;
+    columnar_opts.dictionaries = dicts;
+    columnar_opts.marginal_path = MarginalPath::kColumnar;
+    ConsistencyEngine columnar_engine =
+        *ConsistencyEngine::Make(interned, columnar_opts);
 
-    // Pairwise: interned engine == string oracle == numeric codec path,
-    // including the lexicographically-first failing pair.
+    // Pairwise: interned engine == string oracle == numeric codec path ==
+    // columnar path, including the lexicographically-first failing pair.
     PairwiseVerdict verdict = *engine.PairwiseAll();
     PairwiseVerdict numeric_verdict = *numeric_engine.PairwiseAll();
+    PairwiseVerdict columnar_verdict = *columnar_engine.PairwiseAll();
     EXPECT_EQ(verdict.consistent, oracle.consistent);
     EXPECT_EQ(numeric_verdict.consistent, oracle.consistent);
+    EXPECT_EQ(columnar_verdict.consistent, oracle.consistent);
     if (!oracle.consistent) {
       EXPECT_EQ(verdict.witness_pair, oracle.first_failing);
       EXPECT_EQ(numeric_verdict.witness_pair, oracle.first_failing);
+      EXPECT_EQ(columnar_verdict.witness_pair, oracle.first_failing);
     }
 
     // Two-bag verdicts and witness multiplicities on every pair.
@@ -213,9 +224,17 @@ TEST(InternDifferentialTest, MatchesStringOracleOn200Collections) {
                            OracleMarginal(numeric.bag(j), z);
         EXPECT_EQ(*engine.TwoBag(i, j), pair_oracle);
         EXPECT_EQ(*numeric_engine.TwoBag(i, j), pair_oracle);
+        EXPECT_EQ(*columnar_engine.TwoBag(i, j), pair_oracle);
 
         std::optional<Bag> witness = *engine.Witness(i, j);
+        std::optional<Bag> columnar_witness = *columnar_engine.Witness(i, j);
         EXPECT_EQ(witness.has_value(), pair_oracle);
+        ASSERT_EQ(columnar_witness.has_value(), witness.has_value());
+        if (witness.has_value()) {
+          // The columnar engine's witness is the same bag, multiplicity
+          // for multiplicity.
+          EXPECT_EQ(*columnar_witness, *witness);
+        }
         if (witness.has_value()) {
           // Bit-identical witness multiplicities: the decoded witness
           // marginals ARE the oracle's string tables, multiplicity for
@@ -232,8 +251,9 @@ TEST(InternDifferentialTest, MatchesStringOracleOn200Collections) {
 
     // Global verdict: interned vs numeric representation (acyclic cases
     // reduce to the oracle-checked pairwise; cyclic ones cross-check the
-    // exact solver on both row encodings).
+    // exact solver on both row encodings) — and the columnar leg agrees.
     EXPECT_EQ(*engine.Global(), *numeric_engine.Global());
+    EXPECT_EQ(*columnar_engine.Global(), *engine.Global());
 
     // k-wise on a sample of seeds (subset sweep is the expensive one).
     if (seed % 10 == 0 && interned.size() >= 3) {
@@ -296,6 +316,64 @@ TEST(InternDifferentialTest, BagIoRoundTripsThroughDictionaries) {
                 NamedTable(reparsed[i], dicts2, catalog2));
     }
   }
+}
+
+TEST(InternDifferentialTest, CanonicalizedScansMatchSortedMapOracle) {
+  // With canonicalize_dictionaries, id order == external sort order, so an
+  // ordered entry scan of every sealed bag decodes to exactly the sequence
+  // a std::map over the external token rows yields — and verdicts are
+  // unchanged from the un-canonicalized engine.
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(77'000 + seed);
+    BagCollection numeric = *MakeWorkload(seed);
+    auto dicts = std::make_shared<DictionarySet>();
+    BagCollection interned = *InternCollection(numeric, dicts.get(), &rng);
+
+    EngineOptions plain_opts;
+    plain_opts.dictionaries = dicts;
+    ConsistencyEngine plain = *ConsistencyEngine::Make(interned, plain_opts);
+    PairwiseVerdict before = *plain.PairwiseAll();
+    bool global_before = *plain.Global();
+
+    EngineOptions canon_opts;
+    canon_opts.dictionaries = dicts;
+    canon_opts.canonicalize_dictionaries = true;
+    ConsistencyEngine canon = *ConsistencyEngine::Make(interned, canon_opts);
+
+    for (size_t b = 0; b < canon.collection().size(); ++b) {
+      const Bag& bag = canon.collection().bag(b);
+      // The std::map oracle iterates external rows in sorted order; the
+      // canonicalized bag's id-sorted scan must decode to the same walk.
+      StringBag oracle = OracleMarginal(numeric.bag(b), numeric.bag(b).schema());
+      ASSERT_EQ(bag.SupportSize(), oracle.size());
+      auto it = oracle.begin();
+      for (const auto& [t, mult] : bag.entries()) {
+        std::vector<std::string> decoded =
+            *canon.dictionaries()->DecodeRow(bag.schema(), t);
+        EXPECT_EQ(decoded, it->first);
+        EXPECT_EQ(mult, it->second);
+        ++it;
+      }
+    }
+
+    // Canonicalization is a per-attribute value renaming: every verdict
+    // survives it.
+    PairwiseVerdict after = *canon.PairwiseAll();
+    EXPECT_EQ(after.consistent, before.consistent);
+    if (!before.consistent) {
+      EXPECT_EQ(after.witness_pair, before.witness_pair);
+    }
+    EXPECT_EQ(*canon.Global(), global_before);
+  }
+
+  // Guard rails: canonicalization needs an owned collection and a set.
+  BagCollection c = *MakeWorkload(1);
+  EngineOptions bad;
+  bad.canonicalize_dictionaries = true;
+  EXPECT_FALSE(ConsistencyEngine::Make(c, bad).ok());  // no dictionaries
+  bad.dictionaries = std::make_shared<DictionarySet>();
+  EXPECT_FALSE(ConsistencyEngine::MakeView(c, bad).ok());  // borrowed view
 }
 
 TEST(InternDifferentialTest, MixedNumericAndDictionaryFilesParse) {
