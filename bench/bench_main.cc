@@ -29,9 +29,16 @@
 //   kColumnar), and the hash-join matching phase (per-row
 //   TupleIndex::Find vs batch ColumnIndex::ProbeAll).
 //
+//   server_session: the bagcd dictionary-aware protocol win. One
+//   in-process ServerSession runs the same serve cycle (RESET, load all
+//   bags, SEAL, query batch) with string rows re-interned every cycle
+//   (LOAD) versus DICT-once + streamed u32 rows (LOADU32); a second pair
+//   measures steady-state TWOBAG throughput through the protocol vs bare
+//   engine calls.
+//
 // Usage:
-//   bench_main [--suite bag_refactor|engine_batch|interned_rows|columnar_probe]
-//              [--out FILE] [--baseline FILE]
+//   bench_main [--suite bag_refactor|engine_batch|interned_rows|columnar_probe|
+//               server_session] [--out FILE] [--baseline FILE] [--list-suites]
 //
 // With --baseline, each benchmark entry additionally carries the baseline's
 // ops/sec for the same (name, size) pair plus the speedup ratio, so a
@@ -59,6 +66,8 @@
 #include "engine/consistency_engine.h"
 #include "generators/workloads.h"
 #include "hypergraph/families.h"
+#include "server/engine_snapshot.h"
+#include "server/session.h"
 #include "tuple/column_store.h"
 #include "tuple/tuple_index.h"
 #include "tuple/value_dictionary.h"
@@ -446,6 +455,177 @@ void RunInternedRowsSuite(std::vector<BenchResult>* results) {
   }
 }
 
+// ---- server_session suite --------------------------------------------------
+
+// The bagcd session-protocol cost model: the same serve cycle — RESET,
+// load every bag, SEAL, answer a query batch — driven through an
+// in-process ServerSession twice. The strings leg streams external
+// tokens (LOAD): every value pays a string hash + dictionary lookup on
+// every cycle, which is what a server without the dictionary-aware
+// protocol would do. The u32 leg ships each attribute's DICT block once
+// per session (untimed, like a real session's handshake) and then
+// streams LOADU32 raw-id rows: integer parse + bounds check, no string
+// ever touches the hot path. Same bags, same seal, same queries — the
+// measured gap is purely the wire value representation. A third pair
+// measures steady-state query throughput through the protocol against
+// bare engine calls (the protocol tax).
+BagCollection MakeSessionCollection(size_t support, uint64_t seed) {
+  Rng rng(seed);
+  BagGenOptions options;
+  options.support_size = support;
+  options.domain_size = std::max<uint64_t>(8, support / 4);  // string-heavy
+  options.max_multiplicity = 1u << 10;
+  Hypergraph h = *MakePath(4);
+  return *MakeGloballyConsistentCollection(h, options, &rng);
+}
+
+// The DICT blocks for every dictionary of the workload, in attribute
+// order (the session handshake a dictionary-aware client sends once).
+std::string SessionDictScript(const StringWorkload& w, const Schema& all_attrs,
+                              const AttributeCatalog& catalog) {
+  std::string script;
+  for (AttrId a : all_attrs.attrs()) {
+    const ValueDictionary* dict = w.dicts->find_dict(a);
+    if (dict == nullptr) continue;
+    script += "DICT " + catalog.Name(a) + " " + std::to_string(dict->size()) + "\n";
+    for (const std::string& value : dict->externals()) script += value + "\n";
+    script += "END\n";
+  }
+  return script;
+}
+
+// One full serve cycle, string rows: RESET + LOAD every bag + SEAL + queries.
+std::string SessionCycleStrings(const StringWorkload& w,
+                                const AttributeCatalog& catalog,
+                                const std::string& query_script) {
+  std::string script = "RESET\n";
+  for (size_t b = 0; b < w.interned.size(); ++b) {
+    const Bag& bag = w.interned.bag(b);
+    script += "LOAD b" + std::to_string(b);
+    for (AttrId a : bag.schema().attrs()) script += " " + catalog.Name(a);
+    script += "\n";
+    for (const auto& [row, mult] : w.tables[b]) {
+      for (const std::string& token : row) script += token + " ";
+      script += ": " + std::to_string(mult) + "\n";
+    }
+    script += "END\n";
+  }
+  script += "SEAL\n" + query_script;
+  return script;
+}
+
+// The same cycle with LOADU32 raw-id rows.
+std::string SessionCycleU32(const StringWorkload& w,
+                            const AttributeCatalog& catalog,
+                            const std::string& query_script) {
+  std::string script = "RESET\n";
+  for (size_t b = 0; b < w.interned.size(); ++b) {
+    const Bag& bag = w.interned.bag(b);
+    script += "LOADU32 b" + std::to_string(b);
+    for (AttrId a : bag.schema().attrs()) script += " " + catalog.Name(a);
+    script += "\n";
+    for (const auto& [t, mult] : bag.entries()) {
+      for (size_t i = 0; i < t.arity(); ++i) {
+        script += std::to_string(t.id(i)) + " ";
+      }
+      script += ": " + std::to_string(mult) + "\n";
+    }
+    script += "END\n";
+  }
+  script += "SEAL\n" + query_script;
+  return script;
+}
+
+// Feeds a script and aborts on any ERR response (a benchmark must not
+// quietly measure a failing protocol exchange).
+void DriveSession(ServerSession* session, const std::string& script) {
+  std::vector<std::string> responses = session->HandleScript(script);
+  for (const std::string& line : responses) {
+    if (line.rfind("ERR", 0) == 0) std::abort();
+  }
+}
+
+void RunServerSessionSuite(std::vector<BenchResult>* results) {
+  for (size_t support : {1024, 4096}) {
+    BagCollection numeric = MakeSessionCollection(support, 11000 + support);
+    StringWorkload w = MakeStringWorkload(numeric);
+    AttributeCatalog catalog;
+    for (AttrId a : w.interned.union_schema().attrs()) {
+      catalog.Intern("attr" + std::to_string(a));
+    }
+    std::string queries = "PAIRWISE\n";
+    for (size_t i = 0; i < w.interned.size(); ++i) {
+      for (size_t j = i + 1; j < w.interned.size(); ++j) {
+        queries += "TWOBAG " + std::to_string(i) + " " + std::to_string(j) + "\n";
+      }
+    }
+    std::string dict_script = SessionDictScript(w, w.interned.union_schema(), catalog);
+    std::string cycle_strings = SessionCycleStrings(w, catalog, queries);
+    std::string cycle_u32 = SessionCycleU32(w, catalog, queries);
+
+    // Strings every cycle: each session keeps its live dictionaries
+    // (RESET, not RESET HARD), so the oracle leg pays re-interning —
+    // hash + lookup per token — not dictionary construction.
+    SnapshotRegistry strings_registry;
+    ServerSession strings_session(&strings_registry, nullptr);
+    DriveSession(&strings_session, dict_script);
+    BenchResult strings = Measure("session_cycle_strings", support, [&] {
+      DriveSession(&strings_session, cycle_strings);
+    });
+
+    // Dictionary once, u32 rows every cycle.
+    SnapshotRegistry u32_registry;
+    ServerSession u32_session(&u32_registry, nullptr);
+    DriveSession(&u32_session, dict_script);
+    BenchResult u32 = Measure("session_cycle_u32", support, [&] {
+      DriveSession(&u32_session, cycle_u32);
+    });
+    u32.baseline_ops_per_sec = strings.ops_per_sec;
+    results->push_back(std::move(strings));
+    results->push_back(std::move(u32));
+  }
+
+  // Steady-state query throughput: 100 TWOBAGs through the protocol per
+  // op against the same 100 answered by bare engine calls — the whole
+  // session/framing overhead, measured on a sealed snapshot.
+  for (size_t support : {1024}) {
+    constexpr size_t kQueries = 100;
+    BagCollection c = MakeBatchCollection(support, 13000 + support);
+    StringWorkload w = MakeStringWorkload(c);
+    AttributeCatalog catalog;
+    for (AttrId a : w.interned.union_schema().attrs()) {
+      catalog.Intern("attr" + std::to_string(a));
+    }
+    std::vector<std::pair<size_t, size_t>> queries =
+        MakeBatchQueries(c.size(), kQueries, 277);
+
+    ConsistencyEngine engine = *ConsistencyEngine::Make(w.interned);
+    BenchResult direct = Measure("twobag_100q_engine_direct", support, [&] {
+      size_t consistent = 0;
+      for (auto [i, j] : queries) {
+        if (*engine.TwoBag(i, j)) ++consistent;
+      }
+      if (consistent == 0) std::abort();
+    });
+
+    SnapshotRegistry registry;
+    ServerSession session(&registry, nullptr);
+    DriveSession(&session, SessionDictScript(w, w.interned.union_schema(), catalog));
+    DriveSession(&session, SessionCycleU32(w, catalog, ""));
+    std::string query_script;
+    for (auto [i, j] : queries) {
+      query_script +=
+          "TWOBAG " + std::to_string(i) + " " + std::to_string(j) + "\n";
+    }
+    BenchResult wire = Measure("twobag_100q_session", support, [&] {
+      DriveSession(&session, query_script);
+    });
+    wire.baseline_ops_per_sec = direct.ops_per_sec;
+    results->push_back(std::move(direct));
+    results->push_back(std::move(wire));
+  }
+}
+
 // ---- columnar_probe suite --------------------------------------------------
 
 // Marginal-heavy workload: many duplicate shared-attribute pairs (small
@@ -579,6 +759,13 @@ void RunBagRefactorSuite(std::vector<BenchResult>* results) {
   }
 }
 
+// Every suite this binary can run. README's bench-suite list is checked
+// against `--list-suites` output in CI (scripts/check_readme_suites.py),
+// so adding a suite here without documenting it fails the build.
+constexpr const char* kSuites[] = {"bag_refactor", "engine_batch",
+                                   "interned_rows", "columnar_probe",
+                                   "server_session"};
+
 int Main(int argc, char** argv) {
   std::string suite = "bag_refactor";
   std::string out_path;
@@ -590,16 +777,21 @@ int Main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--suite") == 0 && i + 1 < argc) {
       suite = argv[++i];
+    } else if (std::strcmp(argv[i], "--list-suites") == 0) {
+      for (const char* name : kSuites) std::printf("%s\n", name);
+      return 0;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--suite bag_refactor|engine_batch|interned_rows|"
-                   "columnar_probe] [--out FILE] [--baseline FILE]\n",
+                   "columnar_probe|server_session] [--out FILE] "
+                   "[--baseline FILE] [--list-suites]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (suite != "bag_refactor" && suite != "engine_batch" &&
-      suite != "interned_rows" && suite != "columnar_probe") {
+  bool known = false;
+  for (const char* name : kSuites) known = known || suite == name;
+  if (!known) {
     std::fprintf(stderr, "unknown suite %s\n", suite.c_str());
     return 2;
   }
@@ -624,6 +816,8 @@ int Main(int argc, char** argv) {
     RunInternedRowsSuite(&results);
   } else if (suite == "columnar_probe") {
     RunColumnarProbeSuite(&results);
+  } else if (suite == "server_session") {
+    RunServerSessionSuite(&results);
   } else {
     RunBagRefactorSuite(&results);
   }

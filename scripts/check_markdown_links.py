@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans the given markdown files (default: every *.md at the repo root
+plus docs/*.md) for inline links/images `[text](target)`, and fails if
+a relative target does not exist on disk, so documentation links cannot
+rot silently. External schemes (http/https/mailto) are not fetched —
+CI must not flake on the network; same-file `#anchor` targets are
+checked against the file's own headings (GitHub slug rules,
+approximately).
+
+Usage: check_markdown_links.py [FILES...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\- ]", "", title.lower()).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def strip_code(text: str) -> str:
+    # Drop fenced code blocks and inline code: protocol examples contain
+    # bracketed text that is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    for target in LINK_RE.findall(strip_code(path.read_text())):
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in heading_slugs(path):
+                errors.append(f"{path}: broken anchor '{target}'")
+            continue
+        file_part = target.split("#", 1)[0]
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link '{target}'")
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) > 1:
+        files = [Path(a) for a in argv[1:]]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        files = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    errors = []
+    for f in files:
+        if not f.exists():
+            errors.append(f"{f}: file not found")
+            continue
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e)
+    if errors:
+        return 1
+    print(f"checked {len(files)} markdown file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Fail when README's generated suite lists drift from the build.
+
+The README contains two generated blocks:
+
+    <!-- test-suites:begin ... -->   ...   <!-- test-suites:end -->
+    <!-- bench-suites:begin ... -->  ...   <!-- bench-suites:end -->
+
+This script compares them against the ground truth — `ctest -N` in the
+build directory and `bench_main --list-suites` — and exits nonzero on
+any mismatch, so a PR that adds a test or bench suite without updating
+the README fails CI. `--fix` rewrites the blocks in place instead.
+
+Usage: check_readme_suites.py [--build BUILD_DIR] [--readme README] [--fix]
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+TEST_BEGIN = "<!-- test-suites:begin"
+BENCH_BEGIN = "<!-- bench-suites:begin"
+TEST_END = "<!-- test-suites:end -->"
+BENCH_END = "<!-- bench-suites:end -->"
+
+
+def ctest_suites(build_dir: Path) -> list[str]:
+    out = subprocess.run(
+        ["ctest", "-N"], cwd=build_dir, check=True, capture_output=True, text=True
+    ).stdout
+    names = re.findall(r"Test\s+#\d+:\s+(\S+)", out)
+    if not names:
+        sys.exit(f"error: `ctest -N` in {build_dir} listed no tests")
+    return sorted(names)
+
+
+def bench_suites(build_dir: Path) -> list[str]:
+    bench_main = build_dir / "bench_main"
+    if not bench_main.exists():
+        sys.exit(f"error: {bench_main} not built (need BAGC_BUILD_BENCHMARKS=ON)")
+    out = subprocess.run(
+        [str(bench_main), "--list-suites"], check=True, capture_output=True, text=True
+    ).stdout
+    names = out.split()
+    if not names:
+        sys.exit("error: `bench_main --list-suites` printed nothing")
+    return names  # binary order is the canonical order
+
+
+def extract_block(readme: str, begin: str, end: str) -> tuple[str, int, int]:
+    start = readme.find(begin)
+    if start < 0:
+        sys.exit(f"error: README is missing the '{begin}' marker")
+    start = readme.index("\n", start) + 1
+    stop = readme.find(end, start)
+    if stop < 0:
+        sys.exit(f"error: README is missing the '{end}' marker")
+    return readme[start:stop], start, stop
+
+
+def block_names(block: str) -> list[str]:
+    return [t for t in block.split() if t != "```"]
+
+
+def render_block(names: list[str]) -> str:
+    wrapped = textwrap.fill(" ".join(names), width=70)
+    return f"```\n{wrapped}\n```\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build", default="build", type=Path)
+    parser.add_argument("--readme", default="README.md", type=Path)
+    parser.add_argument("--fix", action="store_true")
+    args = parser.parse_args()
+
+    readme = args.readme.read_text()
+    want = {
+        "test": (TEST_BEGIN, TEST_END, sorted(ctest_suites(args.build))),
+        "bench": (BENCH_BEGIN, BENCH_END, bench_suites(args.build)),
+    }
+
+    failed = False
+    for kind, (begin, end, expected) in want.items():
+        block, start, stop = extract_block(readme, begin, end)
+        got = block_names(block)
+        compare_got = sorted(got) if kind == "test" else got
+        compare_want = sorted(expected) if kind == "test" else expected
+        if compare_got != compare_want:
+            missing = set(compare_want) - set(compare_got)
+            stale = set(compare_got) - set(compare_want)
+            print(f"README {kind}-suite list is out of date:")
+            if missing:
+                print(f"  missing from README: {' '.join(sorted(missing))}")
+            if stale:
+                print(f"  stale in README:     {' '.join(sorted(stale))}")
+            if not missing and not stale:
+                print("  (same names, different order)")
+            if args.fix:
+                readme = readme[:start] + render_block(expected) + readme[stop:]
+                print(f"  --fix: rewrote the {kind}-suites block")
+            else:
+                failed = True
+
+    if args.fix:
+        args.readme.write_text(readme)
+        return 0
+    if failed:
+        print("run scripts/check_readme_suites.py --fix to regenerate")
+        return 1
+    print("README suite lists match the build")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Server smoke test: start a real bagcd daemon, replay the annotated
+# transcript from docs/PROTOCOL.md through the bagctl client, then stop
+# the daemon over the wire (SHUTDOWN) and assert a clean exit. This is
+# the out-of-process complement to server_protocol_test — it exercises
+# the actual executables, argument parsing, port-file handshake, and
+# process shutdown path.
+#
+# Usage: scripts/server_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BAGCD="$REPO_ROOT/$BUILD_DIR/bagcd"
+BAGCTL="$REPO_ROOT/$BUILD_DIR/bagctl"
+PORT_FILE=$(mktemp -u)
+
+[ -x "$BAGCD" ] || { echo "server_smoke: $BAGCD not built" >&2; exit 1; }
+[ -x "$BAGCTL" ] || { echo "server_smoke: $BAGCTL not built" >&2; exit 1; }
+
+cleanup() {
+  [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -f "$PORT_FILE"
+}
+trap cleanup EXIT
+
+"$BAGCD" --port 0 --port-file "$PORT_FILE" &
+DAEMON_PID=$!
+
+for _ in $(seq 100); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "server_smoke: bagcd never wrote its port file" >&2; exit 1; }
+PORT=$(cat "$PORT_FILE")
+
+# The transcript assumes a fresh server (STATS counters from zero),
+# which is exactly what we just started.
+"$BAGCTL" --port "$PORT" --replay "$REPO_ROOT/docs/PROTOCOL.md"
+
+# Clean wire-initiated shutdown: daemon must exit 0 on its own.
+printf 'SHUTDOWN\n' | "$BAGCTL" --port "$PORT" --script - > /dev/null
+if wait "$DAEMON_PID"; then
+  DAEMON_PID=""
+  echo "server_smoke: OK (port $PORT, transcript replayed, clean shutdown)"
+else
+  status=$?
+  DAEMON_PID=""
+  echo "server_smoke: bagcd exited with status $status" >&2
+  exit 1
+fi

@@ -1,11 +1,21 @@
 #include "bag/bag_io.h"
 
 #include <charconv>
+#include <string_view>
 #include <sstream>
 
 #include "tuple/tuple_index.h"
 
 namespace bagc {
+
+std::string_view StripCommentView(std::string_view line) {
+  size_t hash = line.find('#');
+  std::string_view s = hash == std::string_view::npos ? line : line.substr(0, hash);
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return {};
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
 
 namespace {
 
@@ -25,32 +35,46 @@ std::vector<std::string> SplitLines(const std::string& input) {
   return lines;
 }
 
-// Strips a trailing comment and surrounding whitespace.
 std::string StripComment(const std::string& line) {
-  size_t hash = line.find('#');
-  std::string s = hash == std::string::npos ? line : line.substr(0, hash);
-  size_t begin = s.find_first_not_of(" \t\r");
-  if (begin == std::string::npos) return "";
-  size_t end = s.find_last_not_of(" \t\r");
-  return s.substr(begin, end - begin + 1);
+  return std::string(StripCommentView(line));
 }
 
-Result<int64_t> ParseInt(const std::string& token) {
+Result<int64_t> ParseInt(std::string_view token) {
   int64_t value = 0;
   auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
   if (ec != std::errc() || ptr != token.data() + token.size()) {
-    return Status::InvalidArgument("not an integer: '" + token + "'");
+    return Status::InvalidArgument("not an integer: '" + std::string(token) + "'");
   }
   return value;
 }
 
-Result<uint64_t> ParseUint(const std::string& token) {
+Result<uint64_t> ParseUint(std::string_view token) {
   uint64_t value = 0;
   auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
   if (ec != std::errc() || ptr != token.data() + token.size()) {
-    return Status::InvalidArgument("not a non-negative integer: '" + token + "'");
+    return Status::InvalidArgument("not a non-negative integer: '" +
+                                   std::string(token) + "'");
   }
   return value;
+}
+
+// Zero-allocation tokenizer for row lines: appends the [begin, end)
+// views of each whitespace-separated token of `line` into *spans
+// (cleared first). Row parsing is the server's streaming hot path — a
+// LOADU32 session processes millions of these — so tokens must not
+// materialize strings; only the interning arm (which needs map keys)
+// converts, and only the raw-id arm stays fully allocation-free.
+void SplitSpans(std::string_view line, std::vector<std::string_view>* spans) {
+  spans->clear();
+  const char* data = line.data();
+  size_t n = line.size();
+  size_t i = 0;
+  while (i < n) {
+    while (i < n && (data[i] == ' ' || data[i] == '\t' || data[i] == '\r')) ++i;
+    size_t begin = i;
+    while (i < n && data[i] != ' ' && data[i] != '\t' && data[i] != '\r') ++i;
+    if (i > begin) spans->emplace_back(data + begin, i - begin);
+  }
 }
 
 }  // namespace
@@ -93,8 +117,21 @@ std::string WriteCollection(const std::vector<Bag>& bags,
   return out;
 }
 
-Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
-                     AttributeCatalog* catalog, DictionarySet* dicts) {
+namespace {
+
+// The three value-token encodings a bag block can carry. All share the
+// header grammar and the row framing ("v1 ... vk : mult"); they differ
+// only in how a value token becomes a row id.
+enum class RowMode {
+  kNumeric,  // integer tokens through the legacy codec
+  kIntern,   // arbitrary tokens interned into a DictionarySet
+  kRawIds,   // raw u32 ids validated against an already-shipped set
+};
+
+Result<Bag> ParseBagImpl(const std::vector<std::string>& lines, size_t* pos,
+                         AttributeCatalog* catalog, RowMode mode,
+                         DictionarySet* intern_dicts,
+                         const DictionarySet* raw_dicts) {
   // Skip blank/comment lines.
   while (*pos < lines.size() && StripComment(lines[*pos]).empty()) ++(*pos);
   if (*pos >= lines.size()) {
@@ -114,6 +151,19 @@ Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
   if (schema.arity() != header.size() - 1) {
     return Status::InvalidArgument("duplicate attribute in bag header");
   }
+  // The raw-id arm validates ids against the dictionaries the session
+  // already shipped; resolve each column's dictionary once, up front.
+  std::vector<const ValueDictionary*> column_dict(attrs.size(), nullptr);
+  if (mode == RowMode::kRawIds) {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      column_dict[i] = raw_dicts->find_dict(attrs[i]);
+      if (column_dict[i] == nullptr) {
+        return Status::FailedPrecondition(
+            "u32 rows require a dictionary for attribute '" + header[i + 1] +
+            "'; ship its DICT block first");
+      }
+    }
+  }
   // The sorted schema layout may permute the header order: remember where
   // each header column lands.
   std::vector<size_t> slot_of_column(attrs.size());
@@ -123,37 +173,60 @@ Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
   BagBuilder builder(schema);
   // Tuples already carrying a nonzero multiplicity; a repeat is an error.
   TupleIndex seen;
+  // Row lines are the streaming hot path: tokens are scanned as views
+  // into the line (SplitSpans), so the numeric and raw-id arms parse a
+  // whole row without one allocation beyond the tuple itself.
+  std::vector<std::string_view> tokens;
   while (true) {
     if (*pos >= lines.size()) {
       return Status::InvalidArgument("unterminated bag block (missing 'end')");
     }
-    std::string line = StripComment(lines[*pos]);
+    std::string_view line = StripCommentView(lines[*pos]);
     ++(*pos);
     if (line.empty()) continue;
     if (line == "end") break;
-    std::vector<std::string> tokens = SplitWhitespace(line);
+    SplitSpans(line, &tokens);
     // Expect: v1 ... vk : mult
     if (tokens.size() != attrs.size() + 2 || tokens[attrs.size()] != ":") {
-      return Status::InvalidArgument("bad tuple line: '" + line + "'");
+      return Status::InvalidArgument("bad tuple line: '" + std::string(line) + "'");
     }
     std::vector<ValueId> row(attrs.size());
-    if (dicts != nullptr) {
-      // Dictionary mode: any word is a value; intern it per attribute.
-      for (size_t i = 0; i < attrs.size(); ++i) {
-        BAGC_ASSIGN_OR_RETURN(row[slot_of_column[i]],
-                              dicts->Intern(attrs[i], tokens[i]));
-      }
-    } else {
-      // Legacy numeric mode: the historical integer format.
-      for (size_t i = 0; i < attrs.size(); ++i) {
-        BAGC_ASSIGN_OR_RETURN(int64_t v, ParseInt(tokens[i]));
-        row[slot_of_column[i]] = EncodeValue(v);
-      }
+    switch (mode) {
+      case RowMode::kIntern:
+        // Dictionary mode: any word is a value; intern it per attribute.
+        for (size_t i = 0; i < attrs.size(); ++i) {
+          BAGC_ASSIGN_OR_RETURN(row[slot_of_column[i]],
+                                intern_dicts->Intern(attrs[i],
+                                                     std::string(tokens[i])));
+        }
+        break;
+      case RowMode::kNumeric:
+        // Legacy numeric mode: the historical integer format.
+        for (size_t i = 0; i < attrs.size(); ++i) {
+          BAGC_ASSIGN_OR_RETURN(int64_t v, ParseInt(tokens[i]));
+          row[slot_of_column[i]] = EncodeValue(v);
+        }
+        break;
+      case RowMode::kRawIds:
+        // Streaming mode: tokens ARE the ids; no interning, no string
+        // hashing — just a bounds check against the shipped dictionary.
+        for (size_t i = 0; i < attrs.size(); ++i) {
+          BAGC_ASSIGN_OR_RETURN(uint64_t raw, ParseUint(tokens[i]));
+          if (raw >= column_dict[i]->size()) {
+            return Status::OutOfRange(
+                "row id " + std::string(tokens[i]) +
+                " was never issued for attribute '" + header[i + 1] +
+                "' (dictionary has " +
+                std::to_string(column_dict[i]->size()) + " values)");
+          }
+          row[slot_of_column[i]] = static_cast<ValueId>(raw);
+        }
+        break;
     }
     BAGC_ASSIGN_OR_RETURN(uint64_t mult, ParseUint(tokens.back()));
     Tuple t = Tuple::OfIds(std::move(row));
     if (seen.Find(t) != nullptr) {
-      return Status::InvalidArgument("duplicate tuple: '" + line + "'");
+      return Status::InvalidArgument("duplicate tuple: '" + std::string(line) + "'");
     }
     if (mult != 0) {
       seen.Insert(t, 0);
@@ -161,6 +234,20 @@ Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
     }
   }
   return builder.Build();
+}
+
+}  // namespace
+
+Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
+                     AttributeCatalog* catalog, DictionarySet* dicts) {
+  return ParseBagImpl(lines, pos, catalog,
+                      dicts == nullptr ? RowMode::kNumeric : RowMode::kIntern,
+                      dicts, nullptr);
+}
+
+Result<Bag> ParseBagU32(const std::vector<std::string>& lines, size_t* pos,
+                        AttributeCatalog* catalog, const DictionarySet& dicts) {
+  return ParseBagImpl(lines, pos, catalog, RowMode::kRawIds, nullptr, &dicts);
 }
 
 Result<std::vector<Bag>> ParseCollection(const std::string& input,

@@ -19,6 +19,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bag/bag.h"
@@ -27,6 +28,13 @@
 #include "util/result.h"
 
 namespace bagc {
+
+/// The format's line lexer: strips a trailing '#'-comment and
+/// surrounding " \t\r" whitespace, without copying (the result views
+/// into `line`). Exposed because the bagcd wire protocol applies the
+/// SAME lexical rules to command lines that this format applies to
+/// rows — both sides share this one definition so they cannot drift.
+std::string_view StripCommentView(std::string_view line);
 
 /// Serializes one bag using catalog names. With `dicts`, the bag MUST
 /// have been sealed through that same set: ids on covered attributes
@@ -48,6 +56,17 @@ std::string WriteCollection(const std::vector<Bag>& bags,
 /// values are interned into `dicts` when given, else parsed as integers.
 Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
                      AttributeCatalog* catalog, DictionarySet* dicts = nullptr);
+
+/// Parses one bag block whose value tokens are raw interned ids (u32)
+/// instead of external values — the streaming arm of the bagcd session
+/// protocol, where a client ships its DictionarySet once and thereafter
+/// streams fixed-width id rows. Every attribute of the header must
+/// already have a dictionary in `dicts`, and every id must be one that
+/// dictionary issued (id < size), so a malformed stream is rejected at
+/// the boundary instead of producing rows that silently decode to
+/// nothing. No interning (and no string hashing) happens on this path.
+Result<Bag> ParseBagU32(const std::vector<std::string>& lines, size_t* pos,
+                        AttributeCatalog* catalog, const DictionarySet& dicts);
 
 /// Parses an entire collection document. All bags share `catalog` (and
 /// `dicts` when given), so shared attribute names — and shared values on

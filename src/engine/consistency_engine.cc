@@ -172,6 +172,7 @@ Status ConsistencyEngine::Seal() {
     }
   }
   for (const Status& st : statuses) BAGC_RETURN_NOT_OK(st);
+  fully_sealed_ = true;
   return Status::OK();
 }
 
@@ -232,18 +233,35 @@ const ConsistencyEngine::CachedProjection* ConsistencyEngine::FindProjection(
   return &*it;
 }
 
-Result<bool> ConsistencyEngine::TwoBag(size_t i, size_t j) {
+Result<const ConsistencyEngine::PairTask*> ConsistencyEngine::PairAt(
+    size_t i, size_t j) const {
   size_t m = collection_->size();
   if (i >= m || j >= m) return Status::OutOfRange("bag index out of range");
-  if (i == j) return true;  // a bag always agrees with its own marginals
+  if (i == j) return static_cast<const PairTask*>(nullptr);
   if (i > j) std::swap(i, j);
   // pairs_ lists (i, j), i < j, lexicographically, so the query's
   // pre-resolved cache slots sit at a closed-form offset — no schema
   // intersection or lookup per query.
-  const PairTask& p = pairs_[i * (2 * m - i - 1) / 2 + (j - i - 1)];
-  BAGC_RETURN_NOT_OK(EnsureFilled(p.left, i));
-  BAGC_RETURN_NOT_OK(EnsureFilled(p.right, j));
-  return p.left->marginal == p.right->marginal;
+  return &pairs_[i * (2 * m - i - 1) / 2 + (j - i - 1)];
+}
+
+Result<bool> ConsistencyEngine::TwoBag(size_t i, size_t j) {
+  BAGC_ASSIGN_OR_RETURN(const PairTask* p, PairAt(i, j));
+  if (p == nullptr) return true;  // a bag always agrees with its own marginals
+  BAGC_RETURN_NOT_OK(EnsureFilled(p->left, p->i));
+  BAGC_RETURN_NOT_OK(EnsureFilled(p->right, p->j));
+  return p->left->marginal == p->right->marginal;
+}
+
+Result<bool> ConsistencyEngine::TwoBagSealed(size_t i, size_t j) const {
+  BAGC_ASSIGN_OR_RETURN(const PairTask* p, PairAt(i, j));
+  if (p == nullptr) return true;
+  if (!p->left->filled || !p->right->filled) {
+    return Status::FailedPrecondition(
+        "TwoBagSealed on an engine whose cache is not fully sealed; "
+        "use TwoBag() (or seal eagerly) instead");
+  }
+  return p->left->marginal == p->right->marginal;
 }
 
 Result<PairwiseVerdict> ConsistencyEngine::SweepSequential() {
@@ -325,8 +343,10 @@ Result<bool> ConsistencyEngine::Global() {
   return *global_verdict_;
 }
 
-Result<bool> ConsistencyEngine::KWiseConsistent(
-    size_t k, std::optional<std::vector<size_t>>* failing_subset) {
+template <typename PairFn>
+Result<bool> ConsistencyEngine::KWiseSweep(
+    size_t k, std::optional<std::vector<size_t>>* failing_subset,
+    PairFn&& pair_query) const {
   if (k < 2) return Status::InvalidArgument("k-wise consistency needs k >= 2");
   if (failing_subset != nullptr) failing_subset->reset();
   size_t m = collection_->size();
@@ -346,7 +366,7 @@ Result<bool> ConsistencyEngine::KWiseConsistent(
     bool subset_ok = true;
     for (size_t a = 0; a < size && subset_ok; ++a) {
       for (size_t b = a + 1; b < size && subset_ok; ++b) {
-        BAGC_ASSIGN_OR_RETURN(bool pair_ok, TwoBag(idx[a], idx[b]));
+        BAGC_ASSIGN_OR_RETURN(bool pair_ok, pair_query(idx[a], idx[b]));
         subset_ok = pair_ok;
       }
     }
@@ -388,6 +408,35 @@ Result<bool> ConsistencyEngine::KWiseConsistent(
     }
     if (!advanced) return true;
   }
+}
+
+Result<bool> ConsistencyEngine::KWiseConsistent(
+    size_t k, std::optional<std::vector<size_t>>* failing_subset) {
+  return KWiseSweep(k, failing_subset, [this](size_t a, size_t b) {
+    return TwoBag(a, b);  // fills lazily-sealed slots on first use
+  });
+}
+
+Result<bool> ConsistencyEngine::KWiseConsistentSealed(
+    size_t k, std::optional<std::vector<size_t>>* failing_subset) const {
+  return KWiseSweep(k, failing_subset, [this](size_t a, size_t b) {
+    return TwoBagSealed(a, b);  // read-only: never fills a slot
+  });
+}
+
+Result<std::optional<Bag>> ConsistencyEngine::WitnessSealed(size_t i, size_t j,
+                                                            bool minimal) const {
+  BAGC_ASSIGN_OR_RETURN(bool consistent, TwoBagSealed(i, j));
+  if (!consistent) return std::optional<Bag>();
+  // A local arena per call: slower than the engine's shared solver for a
+  // single caller, but free of cross-query contention — the trade the
+  // server snapshot wants. The construction is deterministic, so the
+  // witness is identical to Witness()'s.
+  TwoBagSolver solver;
+  BAGC_ASSIGN_OR_RETURN(
+      Bag witness, solver.FindWitnessKnownConsistent(collection_->bag(i),
+                                                     collection_->bag(j), minimal));
+  return std::optional<Bag>(std::move(witness));
 }
 
 Result<std::optional<Bag>> ConsistencyEngine::Witness(size_t i, size_t j,

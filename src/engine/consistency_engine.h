@@ -124,6 +124,14 @@ class ConsistencyEngine {
   /// Number of sweep workers (1 when running inline).
   size_t num_threads() const { return pool_ ? pool_->num_threads() : 1; }
 
+  /// Joins and destroys the worker pool. For owners that used threads
+  /// only for the eager seal + first sweep and will serve the rest of
+  /// the engine's life through the const sealed surface (the server's
+  /// snapshots): a long-lived generation should not park N idle worker
+  /// threads. Subsequent parallel-capable calls (a first PairwiseAll,
+  /// SolveGlobalAcyclic) simply run sequentially. No-op without a pool.
+  void ReleaseWorkers() { pool_.reset(); }
+
   /// The shared dictionary set the collection was interned through, or
   /// nullptr for numerically built collections.
   const DictionarySet* dictionaries() const { return options_.dictionaries.get(); }
@@ -140,9 +148,57 @@ class ConsistencyEngine {
     return marginal_fills_->load(std::memory_order_relaxed);
   }
 
+  /// True iff this engine was sealed eagerly (every marginal slot
+  /// computed at Make) — the precondition of the *Sealed const query
+  /// surface below. Deliberately NOT updated by lazy on-demand fills: a
+  /// lazily sealed engine reports false even once all slots happen to be
+  /// filled, because its fills mutate and were never meant to be shared.
+  bool fully_sealed() const { return fully_sealed_; }
+
   /// Lemma 2(2) on bags i and j, answered from the cached marginals
   /// (filling them on first use under lazy_seal).
   Result<bool> TwoBag(size_t i, size_t j);
+
+  // ---- Const (shared-snapshot) query surface -------------------------------
+  //
+  // After an eager seal the cache is immutable, so these answer without
+  // touching any engine state and are safe for any number of concurrent
+  // callers on one engine — the substrate of the bagcd server's shared
+  // engine snapshots (src/server/engine_snapshot.h). They fail with
+  // FailedPrecondition on a lazily sealed engine whose slots are not all
+  // filled yet; use the non-const entry points there instead.
+
+  /// TwoBag without cache fills: compares the two already-filled cached
+  /// marginals. Thread-safe on a fully sealed engine.
+  Result<bool> TwoBagSealed(size_t i, size_t j) const;
+
+  /// KWiseConsistent without cache fills: the same lexicographic subset
+  /// sweep, with every pairwise precheck answered by TwoBagSealed and
+  /// cyclic subsets paying a local LP (no shared state is written).
+  /// Thread-safe on a fully sealed engine.
+  Result<bool> KWiseConsistentSealed(
+      size_t k,
+      std::optional<std::vector<size_t>>* failing_subset = nullptr) const;
+
+  /// Witness without the engine's shared flow arena: the Lemma 2(2)
+  /// pre-check reads the sealed cache and the construction runs in a
+  /// local TwoBagSolver, so concurrent witness queries never contend.
+  /// Same deterministic witness as Witness(). Thread-safe on a fully
+  /// sealed engine.
+  Result<std::optional<Bag>> WitnessSealed(size_t i, size_t j,
+                                           bool minimal = false) const;
+
+  /// The memoized pairwise verdict, if PairwiseAll() has run. Reading it
+  /// is safe concurrently with the const surface above (snapshot builders
+  /// call PairwiseAll() once before publishing the engine).
+  const std::optional<PairwiseVerdict>& cached_pairwise_verdict() const {
+    return pairwise_verdict_;
+  }
+
+  /// The memoized global verdict, if Global() has run.
+  const std::optional<bool>& cached_global_verdict() const {
+    return global_verdict_;
+  }
 
   /// Sweeps all pairs (sharded across the pool when one exists) with
   /// early exit on the first inconsistent pair; memoized. All in-flight
@@ -229,6 +285,16 @@ class ConsistencyEngine {
   const CachedProjection* FindProjection(size_t i, const Schema& z) const;
   Result<PairwiseVerdict> SweepSequential();
   PairwiseVerdict SweepParallel();
+  // The cache slots of pair (i, j); normalizes i > j. Errors on an
+  // out-of-range index; returns nullptr (OK case) for i == j.
+  Result<const PairTask*> PairAt(size_t i, size_t j) const;
+  // The k-wise subset sweep shared by KWiseConsistent and
+  // KWiseConsistentSealed; `pair_query(a, b)` answers one Lemma 2(2)
+  // precheck. Defined in the .cc (both instantiations live there).
+  template <typename PairFn>
+  Result<bool> KWiseSweep(size_t k,
+                          std::optional<std::vector<size_t>>* failing_subset,
+                          PairFn&& pair_query) const;
 
   const BagCollection* collection_ = nullptr;  // owned_ or a borrowed view
   std::shared_ptr<const BagCollection> owned_;
@@ -239,6 +305,7 @@ class ConsistencyEngine {
   // (zero-copy column Select per schema); null until first columnar fill.
   std::vector<std::unique_ptr<ColumnStore>> bag_columns_;
   std::vector<PairTask> pairs_;  // all (i, j), i < j, lexicographic
+  bool fully_sealed_ = false;    // every cache slot filled (see fully_sealed())
   std::optional<PairwiseVerdict> pairwise_verdict_;
   std::optional<bool> global_verdict_;
   TwoBagSolver witness_solver_;

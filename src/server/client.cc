@@ -1,0 +1,395 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace bagc {
+
+namespace {
+
+// MSG_NOSIGNAL: a vanished server must come back as an error Status, not
+// a SIGPIPE that kills the client process.
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send(): ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// The wire format reserves '#' (comment to end of line) and whitespace
+// (token separators) in every position, so a value containing them would
+// be silently truncated or split server-side — the one corruption the
+// receiver cannot detect (the framing still parses). Refuse to send it.
+Status ValidateWireValue(const std::string& value) {
+  if (value.empty() ||
+      value.find_first_of("# \t\r\n") != std::string::npos) {
+    return Status::InvalidArgument(
+        "value '" + value +
+        "' is not representable on the wire (empty, or contains '#' or "
+        "whitespace)");
+  }
+  return Status::OK();
+}
+
+// "OK ..." passes through; "ERR ..." (or anything else) becomes an error
+// Status carrying the server's line.
+Status ExpectOk(const std::vector<std::string>& response) {
+  if (!response.empty() && response.front().rfind("OK", 0) == 0) {
+    return Status::OK();
+  }
+  return Status::Internal("server said: " +
+                          (response.empty() ? "<nothing>" : response.front()));
+}
+
+}  // namespace
+
+Result<BagcdClient> BagcdClient::Connect(const std::string& host, uint16_t port) {
+  BagcdClient client;
+  client.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (client.fd_ < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(client.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Internal("connect(" + host + ":" + std::to_string(port) +
+                            "): " + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  BAGC_ASSIGN_OR_RETURN(client.banner_, client.ReadLine());
+  if (client.banner_.rfind("BAGCD ", 0) != 0) {
+    return Status::Internal("unexpected banner: '" + client.banner_ + "'");
+  }
+  return client;
+}
+
+BagcdClient::BagcdClient(BagcdClient&& other) noexcept
+    : fd_(other.fd_),
+      banner_(std::move(other.banner_)),
+      inbuf_(std::move(other.inbuf_)),
+      shipped_(std::move(other.shipped_)) {
+  other.fd_ = -1;
+}
+
+BagcdClient& BagcdClient::operator=(BagcdClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    banner_ = std::move(other.banner_);
+    inbuf_ = std::move(other.inbuf_);
+    shipped_ = std::move(other.shipped_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+BagcdClient::~BagcdClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status BagcdClient::SendLine(const std::string& line) {
+  return WriteAll(fd_, line + "\n");
+}
+
+Result<std::string> BagcdClient::ReadLine() {
+  while (true) {
+    size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::Internal(std::string("read(): ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::Internal("server closed the connection");
+    inbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::vector<std::string>> BagcdClient::Command(
+    const std::string& command, const std::vector<std::string>& body) {
+  std::string request = command + "\n";
+  std::vector<std::string> tokens = WireTokens(command);
+  bool has_body = !tokens.empty() && WireCommandHasBody(tokens[0]);
+  if (has_body) {
+    for (const std::string& line : body) request += line + "\n";
+    request += std::string(kWireEnd) + "\n";
+  } else if (!body.empty()) {
+    return Status::InvalidArgument("command '" + command + "' takes no body");
+  }
+  BAGC_RETURN_NOT_OK(WriteAll(fd_, request));
+  std::vector<std::string> response;
+  BAGC_ASSIGN_OR_RETURN(std::string first, ReadLine());
+  response.push_back(first);
+  if (WireResponseHasBody(first)) {
+    while (true) {
+      BAGC_ASSIGN_OR_RETURN(std::string line, ReadLine());
+      bool end = line == kWireEnd;
+      response.push_back(std::move(line));
+      if (end) break;
+    }
+  }
+  return response;
+}
+
+Status BagcdClient::ShipDictionaries(const DictionarySet& dicts,
+                                     const Schema& schema,
+                                     const AttributeCatalog& catalog) {
+  for (AttrId attr : schema.attrs()) {
+    bool already = false;
+    for (AttrId s : shipped_) already = already || s == attr;
+    if (already) continue;
+    const ValueDictionary* dict = dicts.find_dict(attr);
+    if (dict == nullptr) continue;  // nothing to ship for this attribute
+    for (const std::string& value : dict->externals()) {
+      BAGC_RETURN_NOT_OK(ValidateWireValue(value));
+    }
+    BAGC_ASSIGN_OR_RETURN(
+        std::vector<std::string> response,
+        Command("DICT " + catalog.Name(attr) + " " + std::to_string(dict->size()),
+                dict->externals()));
+    BAGC_RETURN_NOT_OK(ExpectOk(response));
+    shipped_.push_back(attr);
+  }
+  return Status::OK();
+}
+
+Status BagcdClient::LoadBagU32(const std::string& name, const Bag& bag,
+                               const AttributeCatalog& catalog) {
+  std::string header = "LOADU32 " + name;
+  for (AttrId attr : bag.schema().attrs()) header += " " + catalog.Name(attr);
+  std::vector<std::string> rows;
+  rows.reserve(bag.SupportSize());
+  for (const auto& [tuple, mult] : bag.entries()) {
+    std::string row;
+    for (size_t i = 0; i < tuple.arity(); ++i) {
+      row += std::to_string(tuple.id(i)) + " ";
+    }
+    row += ": " + std::to_string(mult);
+    rows.push_back(std::move(row));
+  }
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command(header, rows));
+  return ExpectOk(response);
+}
+
+Status BagcdClient::LoadBagText(const std::string& name, const Bag& bag,
+                                const AttributeCatalog& catalog,
+                                const DictionarySet& dicts) {
+  std::string header = "LOAD " + name;
+  for (AttrId attr : bag.schema().attrs()) header += " " + catalog.Name(attr);
+  std::vector<std::string> rows;
+  rows.reserve(bag.SupportSize());
+  for (const auto& [tuple, mult] : bag.entries()) {
+    BAGC_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                          dicts.DecodeRow(bag.schema(), tuple));
+    std::string row;
+    for (const std::string& token : tokens) {
+      BAGC_RETURN_NOT_OK(ValidateWireValue(token));
+      row += token + " ";
+    }
+    row += ": " + std::to_string(mult);
+    rows.push_back(std::move(row));
+  }
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command(header, rows));
+  return ExpectOk(response);
+}
+
+Result<size_t> BagcdClient::Seal(bool canonical, size_t threads) {
+  std::string command = "SEAL";
+  if (canonical) command += " CANONICAL";
+  if (threads > 1) command += " THREADS " + std::to_string(threads);
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command(command));
+  BAGC_RETURN_NOT_OK(ExpectOk(response));
+  std::vector<std::string> tokens = WireTokens(response.front());
+  if (tokens.size() != 4 || tokens[1] != "SEAL") {
+    return Status::Internal("bad SEAL response: '" + response.front() + "'");
+  }
+  BAGC_ASSIGN_OR_RETURN(uint64_t bags, WireParseUint(tokens[2]));
+  return static_cast<size_t>(bags);
+}
+
+Result<bool> BagcdClient::TwoBag(size_t i, size_t j) {
+  BAGC_ASSIGN_OR_RETURN(
+      std::vector<std::string> response,
+      Command("TWOBAG " + std::to_string(i) + " " + std::to_string(j)));
+  BAGC_RETURN_NOT_OK(ExpectOk(response));
+  return response.front() == "OK CONSISTENT";
+}
+
+Result<std::optional<std::pair<size_t, size_t>>> BagcdClient::Pairwise() {
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command("PAIRWISE"));
+  BAGC_RETURN_NOT_OK(ExpectOk(response));
+  std::vector<std::string> tokens = WireTokens(response.front());
+  if (tokens.size() == 2 && tokens[1] == "CONSISTENT") {
+    return std::optional<std::pair<size_t, size_t>>();
+  }
+  if (tokens.size() == 4 && tokens[1] == "INCONSISTENT") {
+    BAGC_ASSIGN_OR_RETURN(uint64_t i, WireParseUint(tokens[2]));
+    BAGC_ASSIGN_OR_RETURN(uint64_t j, WireParseUint(tokens[3]));
+    return std::optional<std::pair<size_t, size_t>>(
+        std::make_pair(static_cast<size_t>(i), static_cast<size_t>(j)));
+  }
+  return Status::Internal("bad PAIRWISE response: '" + response.front() + "'");
+}
+
+Result<bool> BagcdClient::Global() {
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command("GLOBAL"));
+  BAGC_RETURN_NOT_OK(ExpectOk(response));
+  return response.front() == "OK CONSISTENT";
+}
+
+Result<std::optional<std::vector<size_t>>> BagcdClient::KWise(size_t k) {
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response,
+                        Command("KWISE " + std::to_string(k)));
+  BAGC_RETURN_NOT_OK(ExpectOk(response));
+  std::vector<std::string> tokens = WireTokens(response.front());
+  if (tokens.size() == 2 && tokens[1] == "CONSISTENT") {
+    return std::optional<std::vector<size_t>>();
+  }
+  if (tokens.size() >= 3 && tokens[1] == "INCONSISTENT") {
+    std::vector<size_t> subset;
+    for (size_t t = 2; t < tokens.size(); ++t) {
+      BAGC_ASSIGN_OR_RETURN(uint64_t index, WireParseUint(tokens[t]));
+      subset.push_back(static_cast<size_t>(index));
+    }
+    return std::optional<std::vector<size_t>>(std::move(subset));
+  }
+  return Status::Internal("bad KWISE response: '" + response.front() + "'");
+}
+
+Result<std::optional<std::vector<std::string>>> BagcdClient::Witness(
+    size_t i, size_t j, bool minimal) {
+  std::string command =
+      "WITNESS " + std::to_string(i) + " " + std::to_string(j);
+  if (minimal) command += " MINIMAL";
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command(command));
+  BAGC_RETURN_NOT_OK(ExpectOk(response));
+  if (response.front() == "OK NONE") {
+    return std::optional<std::vector<std::string>>();
+  }
+  if (response.front().rfind("OK WITNESS", 0) != 0 || response.size() < 2 ||
+      response.back() != kWireEnd) {
+    return Status::Internal("bad WITNESS response: '" + response.front() + "'");
+  }
+  return std::optional<std::vector<std::string>>(std::vector<std::string>(
+      response.begin() + 1, response.end() - 1));
+}
+
+namespace {
+
+// One C:/S: block. `start_line` is 1-based, for error reporting.
+struct TranscriptBlock {
+  std::vector<std::string> lines;
+  size_t start_line = 1;
+};
+
+std::vector<TranscriptBlock> ExtractBlocks(const std::string& text) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream iss(text);
+    std::string line;
+    while (std::getline(iss, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(line);
+    }
+  }
+  std::vector<TranscriptBlock> blocks;
+  bool in_fence = false;
+  bool saw_fence = false;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (!in_fence && lines[i].rfind("```transcript", 0) == 0) {
+      in_fence = true;
+      saw_fence = true;
+      blocks.push_back({{}, i + 2});
+      continue;
+    }
+    if (in_fence && lines[i].rfind("```", 0) == 0) {
+      in_fence = false;
+      continue;
+    }
+    if (in_fence) blocks.back().lines.push_back(lines[i]);
+  }
+  if (!saw_fence) {
+    // A raw transcript file: the whole text is one block.
+    blocks.push_back({std::move(lines), 1});
+  }
+  return blocks;
+}
+
+}  // namespace
+
+Result<size_t> ReplayTranscript(const std::string& host, uint16_t port,
+                                const std::string& text) {
+  std::vector<TranscriptBlock> blocks = ExtractBlocks(text);
+  size_t replayed = 0;
+  for (const TranscriptBlock& block : blocks) {
+    if (block.lines.empty()) continue;
+    BAGC_ASSIGN_OR_RETURN(BagcdClient client, BagcdClient::Connect(host, port));
+    bool banner_pending = true;
+    for (size_t i = 0; i < block.lines.size(); ++i) {
+      const std::string& line = block.lines[i];
+      std::string at = "transcript line " + std::to_string(block.start_line + i);
+      // Payload is everything after the marker, minus one optional
+      // separating space ("C: QUIT" and "C:QUIT" both mean QUIT).
+      auto payload_of = [](const std::string& marked) {
+        std::string payload = marked.substr(2);
+        if (!payload.empty() && payload.front() == ' ') payload.erase(0, 1);
+        return payload;
+      };
+      if (line.rfind("C:", 0) == 0) {
+        BAGC_RETURN_NOT_OK(client.SendLine(payload_of(line)));
+      } else if (line.rfind("S:", 0) == 0) {
+        std::string expected = payload_of(line);
+        std::string got;
+        if (banner_pending) {
+          got = client.banner();
+          banner_pending = false;
+        } else {
+          BAGC_ASSIGN_OR_RETURN(got, client.ReadLine());
+        }
+        if (got != expected) {
+          return Status::Internal(at + ": expected '" + expected + "', got '" +
+                                  got + "'");
+        }
+      } else if (WireStrip(line).empty()) {
+        continue;  // comment or blank
+      } else {
+        return Status::InvalidArgument(
+            at + ": transcript lines must start with 'C:', 'S:', or '#'");
+      }
+    }
+    ++replayed;
+  }
+  if (replayed == 0) {
+    return Status::InvalidArgument("no transcript content found");
+  }
+  return replayed;
+}
+
+}  // namespace bagc

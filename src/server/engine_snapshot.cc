@@ -1,0 +1,93 @@
+#include "server/engine_snapshot.h"
+
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+#include "bag/bag_io.h"
+#include "core/collection.h"
+
+namespace bagc {
+
+Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::Build(
+    BuildInputs inputs, uint64_t seq) {
+  auto snapshot = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snapshot->seq_ = seq;
+  snapshot->names_ = std::move(inputs.names);
+  for (size_t i = 0; i < snapshot->names_.size(); ++i) {
+    snapshot->name_index_.emplace(snapshot->names_[i], i);
+  }
+  snapshot->catalog_ = std::move(inputs.catalog);
+  for (const Bag& b : inputs.bags) snapshot->support_rows_ += b.SupportSize();
+
+  BAGC_ASSIGN_OR_RETURN(BagCollection collection,
+                        BagCollection::Make(std::move(inputs.bags)));
+  EngineOptions options;
+  options.num_threads = inputs.num_threads;
+  options.dictionaries = inputs.dicts;
+  options.canonicalize_dictionaries = inputs.canonicalize;
+  BAGC_ASSIGN_OR_RETURN(ConsistencyEngine engine,
+                        ConsistencyEngine::Make(std::move(collection), options));
+  snapshot->engine_.emplace(std::move(engine));
+  // The engine seals eagerly (no lazy_seal), so the cache is complete and
+  // the const query surface is live; run the sweep once so every session
+  // answers PAIRWISE from this verdict.
+  BAGC_ASSIGN_OR_RETURN(snapshot->pairwise_, snapshot->engine_->PairwiseAll());
+  // The pool has done all it ever will for this generation (eager seal +
+  // the sweep above); the snapshot serves the rest of its life through
+  // the const surface, so don't park idle worker threads per generation.
+  snapshot->engine_->ReleaseWorkers();
+  snapshot->dicts_ = snapshot->engine_->shared_dictionaries();
+  return std::shared_ptr<const EngineSnapshot>(std::move(snapshot));
+}
+
+Result<size_t> EngineSnapshot::ResolveBag(const std::string& token) const {
+  bool digits = !token.empty();
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) digits = false;
+  }
+  if (digits) {
+    uint64_t index = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), index);
+    if (ec != std::errc() || ptr != token.data() + token.size() ||
+        index >= names_.size()) {
+      return Status::OutOfRange("bag index " + token + " out of range (" +
+                                std::to_string(names_.size()) + " bags sealed)");
+    }
+    return static_cast<size_t>(index);
+  }
+  auto it = name_index_.find(token);
+  if (it == name_index_.end()) {
+    return Status::NotFound("no sealed bag named '" + token + "'");
+  }
+  return it->second;
+}
+
+Result<bool> EngineSnapshot::TwoBag(size_t i, size_t j) const {
+  return engine_->TwoBagSealed(i, j);
+}
+
+Result<bool> EngineSnapshot::Global() const {
+  std::lock_guard<std::mutex> lock(global_mu_);
+  // Global() memoizes on the engine; mutation happens only here, under
+  // the mutex, and never touches the sealed marginal cache the lock-free
+  // queries read.
+  return engine_->Global();
+}
+
+Result<bool> EngineSnapshot::KWise(
+    size_t k, std::optional<std::vector<size_t>>* failing_subset) const {
+  return engine_->KWiseConsistentSealed(k, failing_subset);
+}
+
+Result<std::optional<Bag>> EngineSnapshot::Witness(size_t i, size_t j,
+                                                   bool minimal) const {
+  return engine_->WitnessSealed(i, j, minimal);
+}
+
+std::string EngineSnapshot::WriteBagText(const Bag& bag) const {
+  return WriteBag(bag, catalog_, dicts_.get());
+}
+
+}  // namespace bagc

@@ -1,0 +1,91 @@
+#include "server/protocol.h"
+
+#include <charconv>
+#include <sstream>
+
+#include "bag/bag_io.h"
+
+namespace bagc {
+
+std::string_view WireErrorCode(WireError error) {
+  switch (error) {
+    case WireError::kParse:
+      return "E_PARSE";
+    case WireError::kState:
+      return "E_STATE";
+    case WireError::kRange:
+      return "E_RANGE";
+    case WireError::kEngine:
+      return "E_ENGINE";
+    case WireError::kInternal:
+      return "E_INTERNAL";
+  }
+  return "E_INTERNAL";
+}
+
+std::string WireErrLine(WireError error, const std::string& message) {
+  std::string flat;
+  flat.reserve(message.size());
+  for (char c : message) flat.push_back(c == '\n' || c == '\r' ? ' ' : c);
+  std::string out = "ERR ";
+  out += WireErrorCode(error);
+  if (!flat.empty()) {
+    out += ' ';
+    out += flat;
+  }
+  return out;
+}
+
+WireError WireErrorForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOutOfRange:
+      return WireError::kRange;
+    case StatusCode::kInvalidArgument:
+      return WireError::kParse;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kNotFound:
+      return WireError::kState;
+    case StatusCode::kInternal:
+      return WireError::kInternal;
+    default:
+      return WireError::kEngine;
+  }
+}
+
+std::string WireErrLineForStatus(const Status& status) {
+  return WireErrLine(WireErrorForStatus(status), status.message());
+}
+
+std::string WireStrip(const std::string& line) {
+  // One lexer for the whole system: command lines use exactly the rules
+  // bag IO rows use (bag/bag_io.h).
+  return std::string(StripCommentView(line));
+}
+
+std::vector<std::string> WireTokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(WireStrip(line));
+  std::string token;
+  while (iss >> token) out.push_back(token);
+  return out;
+}
+
+bool WireCommandHasBody(const std::string& command) {
+  return command == "DICT" || command == "LOAD" || command == "LOADU32";
+}
+
+bool WireResponseHasBody(const std::string& first_line) {
+  return first_line.rfind("OK WITNESS", 0) == 0 ||
+         first_line.rfind("OK STATS", 0) == 0;
+}
+
+Result<uint64_t> WireParseUint(const std::string& token) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Status::InvalidArgument("not a non-negative integer: '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace bagc

@@ -1,0 +1,76 @@
+// Wire-level vocabulary of the bagcd session protocol (version 1). The
+// protocol is line-oriented text over a byte stream: one command per
+// line, space-separated tokens, body-carrying commands (DICT / LOAD /
+// LOADU32) followed by raw lines up to a terminating "END". Responses
+// are a single "OK ..." or "ERR <code> ..." line, except WITNESS and
+// STATS whose OK form opens a body that also ends with "END". The full
+// grammar, the session lifecycle, and an annotated transcript live in
+// docs/PROTOCOL.md — this header is the single in-code source of the
+// literal strings both sides (ServerSession, BagcdClient) must agree on.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bagc {
+
+/// Protocol version spoken by this build; bumped on incompatible change.
+inline constexpr int kWireProtocolVersion = 1;
+
+/// Greeting the server writes on every fresh connection.
+inline constexpr std::string_view kWireBanner = "BAGCD 1 READY";
+
+/// Body terminator for DICT/LOAD/LOADU32 requests and WITNESS/STATS
+/// responses.
+inline constexpr std::string_view kWireEnd = "END";
+
+/// Machine-readable error classes (second token of an ERR response).
+enum class WireError {
+  kParse,     ///< E_PARSE: malformed command, token, or block
+  kState,     ///< E_STATE: command illegal in the current session state
+  kRange,     ///< E_RANGE: index, id, or count outside the valid range
+  kEngine,    ///< E_ENGINE: the consistency engine rejected the request
+  kInternal,  ///< E_INTERNAL: server-side invariant failure
+};
+
+/// The wire token of a WireError ("E_PARSE", "E_STATE", ...).
+std::string_view WireErrorCode(WireError error);
+
+/// Formats an ERR response line: "ERR <code> <message>". The message is
+/// flattened to one line (newlines become spaces; the framing is
+/// line-oriented).
+std::string WireErrLine(WireError error, const std::string& message);
+
+/// Maps a Status from the engine/IO layers onto the wire error class a
+/// client should see: OutOfRange -> E_RANGE, InvalidArgument -> E_PARSE,
+/// FailedPrecondition/NotFound -> E_STATE, everything else -> E_ENGINE.
+WireError WireErrorForStatus(const Status& status);
+
+/// Formats the ERR line for a non-OK status.
+std::string WireErrLineForStatus(const Status& status);
+
+/// Whitespace tokenizer with '#'-to-end-of-line comment stripping — the
+/// same lexical rules as the bag IO format, applied to command lines.
+std::vector<std::string> WireTokens(const std::string& line);
+
+/// Strips a trailing comment and surrounding whitespace; an empty result
+/// means the line carries nothing (ignored in command position).
+std::string WireStrip(const std::string& line);
+
+/// True for commands whose request carries a body up to "END": DICT,
+/// LOAD, LOADU32. The server always consumes the body of such a command
+/// before responding, even when the header is invalid, so one bad header
+/// cannot desynchronize the stream.
+bool WireCommandHasBody(const std::string& command);
+
+/// True for response first-lines that open a body up to "END":
+/// "OK WITNESS ..." and "OK STATS".
+bool WireResponseHasBody(const std::string& first_line);
+
+/// Parses a non-negative integer token (no sign, no suffix).
+Result<uint64_t> WireParseUint(const std::string& token);
+
+}  // namespace bagc

@@ -1,0 +1,473 @@
+#include "server/session.h"
+
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "bag/bag_io.h"
+
+namespace bagc {
+
+namespace {
+
+// Ceiling for SEAL THREADS <n>: generous for any real host, small
+// enough that thread-spawn can't exhaust process resources.
+constexpr uint64_t kMaxSealThreads = 64;
+
+// Ceilings on one buffered request body (DICT/LOAD/LOADU32 block): line
+// count AND total bytes — the byte cap is what actually bounds a
+// session's memory (4M near-max-length lines would otherwise buffer
+// terabytes). Same hardening class as kMaxSealThreads: no single request
+// may take the daemon down. Overflowing blocks answer E_RANGE.
+constexpr size_t kMaxBodyLines = size_t{1} << 22;  // ~4.2M rows per block
+constexpr size_t kMaxBodyBytes = size_t{1} << 28;  // 256 MiB per block
+
+// Runs `fn` on the server's shared query pool (the fan-out point for
+// concurrent sessions) and blocks this session until it finishes; inline
+// when the server runs without a pool.
+template <typename Fn>
+auto RunOn(ThreadPool* pool, Fn&& fn) -> decltype(fn()) {
+  if (pool == nullptr) return fn();
+  using R = decltype(fn());
+  auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+  std::future<R> future = task->get_future();
+  pool->Submit([task] { (*task)(); });
+  return future.get();
+}
+
+// Splits serialized bag text into response body lines (drops the final
+// empty fragment from the trailing newline).
+std::vector<std::string> SplitBody(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+ServerSession::ServerSession(SnapshotRegistry* registry, ThreadPool* query_pool)
+    : registry_(registry), query_pool_(query_pool) {
+  registry_->SessionOpened();
+}
+
+ServerSession::~ServerSession() { registry_->SessionClosed(); }
+
+ServerSession::Outcome ServerSession::HandleLine(const std::string& line,
+                                                 std::vector<std::string>* out) {
+  if (body_ != Body::kNone) {
+    if (WireStrip(line) == kWireEnd) {
+      FinishBody(out);
+    } else if (body_lines_.size() >= kMaxBodyLines ||
+               body_bytes_ + line.size() > kMaxBodyBytes) {
+      body_overflow_ = true;  // keep consuming, stop buffering
+    } else {
+      body_bytes_ += line.size();
+      body_lines_.push_back(line);
+    }
+    return Outcome::kContinue;
+  }
+  std::vector<std::string> tokens = WireTokens(line);
+  if (tokens.empty()) return Outcome::kContinue;  // blank / comment line
+  return HandleCommand(tokens, out);
+}
+
+std::vector<std::string> ServerSession::HandleScript(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream iss(text);
+  std::string line;
+  while (std::getline(iss, line)) {
+    if (HandleLine(line, &out) != Outcome::kContinue) break;
+  }
+  return out;
+}
+
+ServerSession::Outcome ServerSession::HandleCommand(
+    const std::vector<std::string>& tokens, std::vector<std::string>* out) {
+  const std::string& cmd = tokens[0];
+  if (WireCommandHasBody(cmd)) {
+    // Enter body mode even on a bad header: the body is always consumed
+    // through END before the (possibly ERR) response, so a bad header
+    // can never desynchronize the line stream.
+    body_ = cmd == "DICT" ? Body::kDict
+                          : (cmd == "LOAD" ? Body::kLoadText : Body::kLoadU32);
+    body_header_ = tokens;
+    body_lines_.clear();
+    return Outcome::kContinue;
+  }
+  if (cmd == "SEAL") {
+    HandleSeal(tokens, out);
+  } else if (cmd == "TWOBAG") {
+    HandleTwoBag(tokens, out);
+  } else if (cmd == "PAIRWISE") {
+    HandlePairwise(out);
+  } else if (cmd == "GLOBAL") {
+    HandleGlobal(out);
+  } else if (cmd == "KWISE") {
+    HandleKWise(tokens, out);
+  } else if (cmd == "WITNESS") {
+    HandleWitness(tokens, out);
+  } else if (cmd == "STATS") {
+    HandleStats(out);
+  } else if (cmd == "RESET") {
+    HandleReset(tokens, out);
+  } else if (cmd == "QUIT") {
+    out->push_back("OK BYE");
+    return Outcome::kCloseConnection;
+  } else if (cmd == "SHUTDOWN") {
+    out->push_back("OK BYE");
+    return Outcome::kShutdownServer;
+  } else {
+    out->push_back(
+        WireErrLine(WireError::kParse, "unknown command '" + cmd + "'"));
+  }
+  return Outcome::kContinue;
+}
+
+void ServerSession::FinishBody(std::vector<std::string>* out) {
+  Body body = body_;
+  body_ = Body::kNone;
+  if (body_overflow_) {
+    body_overflow_ = false;
+    out->push_back(WireErrLine(
+        WireError::kRange,
+        "request body exceeds " + std::to_string(kMaxBodyLines) + " lines or " +
+            std::to_string(kMaxBodyBytes) + " bytes"));
+  } else if (body == Body::kDict) {
+    FinishDict(out);
+  } else {
+    FinishLoad(out);
+  }
+  body_header_.clear();
+  body_lines_.clear();
+  body_bytes_ = 0;
+}
+
+void ServerSession::FinishDict(std::vector<std::string>* out) {
+  if (body_header_.size() != 3) {
+    out->push_back(
+        WireErrLine(WireError::kParse, "usage: DICT <attribute> <count>"));
+    return;
+  }
+  const std::string& attr_name = body_header_[1];
+  Result<uint64_t> count = WireParseUint(body_header_[2]);
+  if (!count.ok()) {
+    out->push_back(WireErrLineForStatus(count.status()));
+    return;
+  }
+  std::vector<std::string> values;
+  values.reserve(body_lines_.size());
+  for (const std::string& raw : body_lines_) {
+    std::vector<std::string> tokens = WireTokens(raw);
+    if (tokens.empty()) continue;  // blank / comment line
+    if (tokens.size() != 1) {
+      out->push_back(WireErrLine(WireError::kParse,
+                                 "dictionary values are one token per line"));
+      return;
+    }
+    values.push_back(std::move(tokens[0]));
+  }
+  if (values.size() != *count) {
+    out->push_back(WireErrLine(
+        WireError::kParse, "DICT " + attr_name + " declared " +
+                               std::to_string(*count) + " values but shipped " +
+                               std::to_string(values.size())));
+    return;
+  }
+  AttrId attr = catalog_.Intern(attr_name);
+  Status loaded = dicts_->dict(attr).BulkLoad(values);
+  if (!loaded.ok()) {
+    out->push_back(WireErrLineForStatus(loaded));
+    return;
+  }
+  out->push_back("OK DICT " + attr_name + " " + std::to_string(values.size()));
+}
+
+void ServerSession::FinishLoad(std::vector<std::string>* out) {
+  bool raw_ids = body_header_[0] == "LOADU32";
+  if (body_header_.size() < 3) {
+    out->push_back(WireErrLine(
+        WireError::kParse,
+        "usage: " + body_header_[0] + " <bag-name> <attribute...>"));
+    return;
+  }
+  const std::string& name = body_header_[1];
+  bool all_digits = true;
+  for (char c : name) all_digits = all_digits && c >= '0' && c <= '9';
+  if (all_digits) {
+    out->push_back(WireErrLine(
+        WireError::kParse,
+        "bag name '" + name + "' must not be all digits (reserved for indices)"));
+    return;
+  }
+  if (HasBag(name)) {
+    out->push_back(WireErrLine(WireError::kState,
+                               "bag '" + name + "' is already loaded"));
+    return;
+  }
+  // Reassemble a bag IO block and hand it to the matching parser arm.
+  std::vector<std::string> lines;
+  lines.reserve(body_lines_.size() + 2);
+  std::string header = "bag";
+  for (size_t i = 2; i < body_header_.size(); ++i) header += " " + body_header_[i];
+  lines.push_back(std::move(header));
+  // Move, don't copy: body_lines_ is discarded by FinishBody right after,
+  // and a second per-row string copy here would undo the allocation-free
+  // row scanning one layer down.
+  for (std::string& raw : body_lines_) lines.push_back(std::move(raw));
+  lines.emplace_back("end");
+  size_t pos = 0;
+  Result<Bag> bag =
+      raw_ids ? ParseBagU32(lines, &pos, &catalog_, *dicts_)
+              : ParseBag(lines, &pos, &catalog_, dicts_.get());
+  if (!bag.ok()) {
+    out->push_back(WireErrLineForStatus(bag.status()));
+    return;
+  }
+  if (pos != lines.size()) {
+    // A stray lowercase "end" row terminated the block early.
+    out->push_back(WireErrLine(WireError::kParse,
+                               "unexpected content after 'end' in a row block"));
+    return;
+  }
+  size_t support = bag->SupportSize();
+  bag_names_.push_back(name);
+  bags_.push_back(std::move(bag).value());
+  out->push_back("OK " + body_header_[0] + " " + name + " " +
+                 std::to_string(support) + " rows");
+}
+
+void ServerSession::HandleSeal(const std::vector<std::string>& tokens,
+                               std::vector<std::string>* out) {
+  bool canonical = false;
+  size_t num_threads = 1;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    if (tokens[i] == "CANONICAL") {
+      canonical = true;
+    } else if (tokens[i] == "THREADS" && i + 1 < tokens.size()) {
+      Result<uint64_t> n = WireParseUint(tokens[i + 1]);
+      if (!n.ok() || *n == 0) {
+        out->push_back(
+            WireErrLine(WireError::kParse, "THREADS needs a positive integer"));
+        return;
+      }
+      // One protocol line must not be able to crash the daemon: spawning
+      // an absurd worker count throws std::system_error out of
+      // std::thread and terminates the process for every client.
+      if (*n > kMaxSealThreads) {
+        out->push_back(WireErrLine(
+            WireError::kRange, "THREADS must be at most " +
+                                   std::to_string(kMaxSealThreads)));
+        return;
+      }
+      num_threads = static_cast<size_t>(*n);
+      ++i;
+    } else {
+      out->push_back(WireErrLine(
+          WireError::kParse, "usage: SEAL [CANONICAL] [THREADS <n>]"));
+      return;
+    }
+  }
+  if (bags_.empty()) {
+    out->push_back(
+        WireErrLine(WireError::kState, "no bags loaded; LOAD or LOADU32 first"));
+    return;
+  }
+  EngineSnapshot::BuildInputs inputs;
+  inputs.names = bag_names_;
+  inputs.bags = bags_;  // the session keeps its copies for later re-seals
+  inputs.catalog = catalog_;
+  // The snapshot seals through a private clone: the session's live set —
+  // and every id a client has streamed or will stream — stays untouched,
+  // even under CANONICAL (which reorders only the clone).
+  inputs.dicts = std::make_shared<DictionarySet>(dicts_->Clone());
+  inputs.num_threads = num_threads;
+  inputs.canonicalize = canonical;
+  Result<std::shared_ptr<const EngineSnapshot>> snapshot =
+      EngineSnapshot::Build(std::move(inputs), registry_->NextSeq());
+  if (!snapshot.ok()) {
+    out->push_back(WireErrLineForStatus(snapshot.status()));
+    return;
+  }
+  if (!registry_->Publish(*snapshot)) {
+    out->push_back(WireErrLine(
+        WireError::kState, "seal superseded by a newer generation"));
+    return;
+  }
+  registry_->RecordSeal();
+  out->push_back("OK SEAL " + std::to_string(bags_.size()) + " bags");
+}
+
+void ServerSession::HandleReset(const std::vector<std::string>& tokens,
+                                std::vector<std::string>* out) {
+  bool hard = tokens.size() == 2 && tokens[1] == "HARD";
+  if (tokens.size() > 2 || (tokens.size() == 2 && !hard)) {
+    out->push_back(WireErrLine(WireError::kParse, "usage: RESET [HARD]"));
+    return;
+  }
+  bag_names_.clear();
+  bags_.clear();
+  if (hard) {
+    catalog_ = AttributeCatalog();
+    dicts_ = std::make_shared<DictionarySet>();
+  }
+  // In-flight queries of other sessions finish on the old snapshot; new
+  // queries see no engine until the next SEAL.
+  registry_->Clear();
+  registry_->RecordReset();
+  out->push_back(hard ? "OK RESET HARD" : "OK RESET");
+}
+
+void ServerSession::HandleStats(std::vector<std::string>* out) {
+  std::shared_ptr<const EngineSnapshot> snapshot = registry_->Current();
+  out->push_back("OK STATS");
+  auto kv = [out](const std::string& key, uint64_t value) {
+    out->push_back(key + " " + std::to_string(value));
+  };
+  kv("proto", kWireProtocolVersion);
+  kv("sessions", registry_->sessions_active());
+  kv("seals", registry_->seals_total());
+  kv("resets", registry_->resets_total());
+  kv("queries", registry_->queries_total());
+  kv("snapshot", snapshot == nullptr ? 0 : snapshot->seq());
+  kv("bags", snapshot == nullptr ? 0 : snapshot->num_bags());
+  kv("support", snapshot == nullptr ? 0 : snapshot->support_rows());
+  kv("dict_values", snapshot == nullptr ? 0 : snapshot->dict_values());
+  kv("marginal_fills", snapshot == nullptr ? 0 : snapshot->marginal_fills());
+  out->push_back(std::string(kWireEnd));
+}
+
+std::shared_ptr<const EngineSnapshot> ServerSession::SnapshotOrErr(
+    std::vector<std::string>* out) {
+  std::shared_ptr<const EngineSnapshot> snapshot = registry_->Current();
+  if (snapshot == nullptr) {
+    out->push_back(
+        WireErrLine(WireError::kState, "no sealed engine; SEAL a collection first"));
+  }
+  return snapshot;
+}
+
+bool ServerSession::HasBag(const std::string& name) const {
+  for (const std::string& existing : bag_names_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+void ServerSession::HandleTwoBag(const std::vector<std::string>& tokens,
+                                 std::vector<std::string>* out) {
+  if (tokens.size() != 3) {
+    out->push_back(WireErrLine(WireError::kParse, "usage: TWOBAG <i> <j>"));
+    return;
+  }
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+  if (snapshot == nullptr) return;
+  Result<size_t> i = snapshot->ResolveBag(tokens[1]);
+  Result<size_t> j = snapshot->ResolveBag(tokens[2]);
+  if (!i.ok() || !j.ok()) {
+    out->push_back(WireErrLineForStatus(i.ok() ? j.status() : i.status()));
+    return;
+  }
+  registry_->RecordQuery();
+  Result<bool> verdict =
+      RunOn(query_pool_, [&] { return snapshot->TwoBag(*i, *j); });
+  if (!verdict.ok()) {
+    out->push_back(WireErrLineForStatus(verdict.status()));
+    return;
+  }
+  out->push_back(*verdict ? "OK CONSISTENT" : "OK INCONSISTENT");
+}
+
+void ServerSession::HandlePairwise(std::vector<std::string>* out) {
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+  if (snapshot == nullptr) return;
+  registry_->RecordQuery();
+  const PairwiseVerdict& verdict = snapshot->Pairwise();  // sealed at Build
+  if (verdict.consistent) {
+    out->push_back("OK CONSISTENT");
+  } else {
+    out->push_back("OK INCONSISTENT " + std::to_string(verdict.witness_pair.first) +
+                   " " + std::to_string(verdict.witness_pair.second));
+  }
+}
+
+void ServerSession::HandleGlobal(std::vector<std::string>* out) {
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+  if (snapshot == nullptr) return;
+  registry_->RecordQuery();
+  Result<bool> verdict = RunOn(query_pool_, [&] { return snapshot->Global(); });
+  if (!verdict.ok()) {
+    out->push_back(WireErrLineForStatus(verdict.status()));
+    return;
+  }
+  out->push_back(*verdict ? "OK CONSISTENT" : "OK INCONSISTENT");
+}
+
+void ServerSession::HandleKWise(const std::vector<std::string>& tokens,
+                                std::vector<std::string>* out) {
+  if (tokens.size() != 2) {
+    out->push_back(WireErrLine(WireError::kParse, "usage: KWISE <k>"));
+    return;
+  }
+  Result<uint64_t> k = WireParseUint(tokens[1]);
+  if (!k.ok()) {
+    out->push_back(WireErrLineForStatus(k.status()));
+    return;
+  }
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+  if (snapshot == nullptr) return;
+  registry_->RecordQuery();
+  std::optional<std::vector<size_t>> failing;
+  Result<bool> verdict = RunOn(query_pool_, [&] {
+    return snapshot->KWise(static_cast<size_t>(*k), &failing);
+  });
+  if (!verdict.ok()) {
+    out->push_back(WireErrLineForStatus(verdict.status()));
+    return;
+  }
+  if (*verdict) {
+    out->push_back("OK CONSISTENT");
+  } else {
+    std::string line = "OK INCONSISTENT";
+    for (size_t index : *failing) line += " " + std::to_string(index);
+    out->push_back(std::move(line));
+  }
+}
+
+void ServerSession::HandleWitness(const std::vector<std::string>& tokens,
+                                  std::vector<std::string>* out) {
+  bool minimal = tokens.size() == 4 && tokens[3] == "MINIMAL";
+  if (tokens.size() != 3 && !minimal) {
+    out->push_back(
+        WireErrLine(WireError::kParse, "usage: WITNESS <i> <j> [MINIMAL]"));
+    return;
+  }
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+  if (snapshot == nullptr) return;
+  Result<size_t> i = snapshot->ResolveBag(tokens[1]);
+  Result<size_t> j = snapshot->ResolveBag(tokens[2]);
+  if (!i.ok() || !j.ok()) {
+    out->push_back(WireErrLineForStatus(i.ok() ? j.status() : i.status()));
+    return;
+  }
+  registry_->RecordQuery();
+  Result<std::optional<Bag>> witness =
+      RunOn(query_pool_, [&] { return snapshot->Witness(*i, *j, minimal); });
+  if (!witness.ok()) {
+    out->push_back(WireErrLineForStatus(witness.status()));
+    return;
+  }
+  if (!witness->has_value()) {
+    out->push_back("OK NONE");
+    return;
+  }
+  const Bag& bag = **witness;
+  out->push_back("OK WITNESS " + std::to_string(bag.SupportSize()));
+  for (std::string& line : SplitBody(snapshot->WriteBagText(bag))) {
+    out->push_back(std::move(line));
+  }
+  out->push_back(std::string(kWireEnd));
+}
+
+}  // namespace bagc

@@ -1,0 +1,118 @@
+// Per-client session state machine of the bagcd protocol. A session is
+// transport-agnostic: the socket layer (bagcd_server.cc), the in-process
+// test harnesses, and the server_session benchmark all feed it one input
+// line at a time and collect complete response lines. The session owns
+// the client's interning state — attribute catalog, live DictionarySet,
+// loaded-but-unsealed bags — while every query is answered from the
+// shared immutable EngineSnapshot currently published in the registry,
+// so N sessions hammer one sealed engine concurrently and a RESET or
+// re-SEAL swaps generations under them without a pause.
+//
+// The dictionary-aware hot path: a client ships each attribute's
+// dictionary once (DICT block, ids 0..n-1 in shipped order), then
+// streams LOADU32 rows of raw ids for the rest of the session. Those ids
+// stay valid for the session's whole lifetime — SEAL hands the engine a
+// private clone of the dictionaries (canonicalized there when requested),
+// never the live set — so the server does no string interning, hashing,
+// or comparison on the streaming path (see ParseBagU32 in bag/bag_io.h).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bag/bag.h"
+#include "server/engine_snapshot.h"
+#include "server/protocol.h"
+#include "tuple/attribute.h"
+#include "tuple/value_dictionary.h"
+#include "util/thread_pool.h"
+
+namespace bagc {
+
+/// \brief One client's protocol state machine.
+///
+/// Not thread-safe in itself (one connection = one session = one feeder
+/// thread); cross-session concurrency happens in the shared registry and
+/// snapshots.
+class ServerSession {
+ public:
+  /// What the transport should do after a handled line.
+  enum class Outcome {
+    kContinue,        ///< keep reading
+    kCloseConnection, ///< QUIT: flush responses, close this connection
+    kShutdownServer,  ///< SHUTDOWN: flush, close, stop the whole server
+  };
+
+  /// `registry` must outlive the session. `query_pool` is the server's
+  /// shared fan-out pool for query evaluation; nullptr answers queries
+  /// inline on the transport thread.
+  ServerSession(SnapshotRegistry* registry, ThreadPool* query_pool);
+  ~ServerSession();
+
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  /// Feeds one input line (without its trailing newline). Appends zero or
+  /// more complete response lines to *out: zero while a body is being
+  /// streamed or for blank/comment lines, one for single-line responses,
+  /// several for WITNESS/STATS bodies.
+  Outcome HandleLine(const std::string& line, std::vector<std::string>* out);
+
+  /// Convenience for tests and benchmarks: feeds every line of `text`
+  /// and returns all response lines.
+  std::vector<std::string> HandleScript(const std::string& text);
+
+ private:
+  // Body-collection modes (request side).
+  enum class Body { kNone, kDict, kLoadText, kLoadU32 };
+
+  // Dispatch for a stripped, non-empty command line.
+  Outcome HandleCommand(const std::vector<std::string>& tokens,
+                        std::vector<std::string>* out);
+  // END seen: parse and apply the collected body, emit the response.
+  void FinishBody(std::vector<std::string>* out);
+  void FinishDict(std::vector<std::string>* out);
+  void FinishLoad(std::vector<std::string>* out);
+
+  void HandleSeal(const std::vector<std::string>& tokens,
+                  std::vector<std::string>* out);
+  void HandleReset(const std::vector<std::string>& tokens,
+                   std::vector<std::string>* out);
+  void HandleStats(std::vector<std::string>* out);
+  void HandleTwoBag(const std::vector<std::string>& tokens,
+                    std::vector<std::string>* out);
+  void HandlePairwise(std::vector<std::string>* out);
+  void HandleGlobal(std::vector<std::string>* out);
+  void HandleKWise(const std::vector<std::string>& tokens,
+                   std::vector<std::string>* out);
+  void HandleWitness(const std::vector<std::string>& tokens,
+                     std::vector<std::string>* out);
+
+  // The current snapshot, or an E_STATE error line into *out.
+  std::shared_ptr<const EngineSnapshot> SnapshotOrErr(
+      std::vector<std::string>* out);
+  // True when `name` is already loaded (session-local, pre-seal).
+  bool HasBag(const std::string& name) const;
+
+  SnapshotRegistry* registry_;
+  ThreadPool* query_pool_;
+
+  // Interning state: lives for the whole session (RESET keeps it; RESET
+  // HARD wipes it), so streamed u32 ids stay stable across re-seals.
+  AttributeCatalog catalog_;
+  std::shared_ptr<DictionarySet> dicts_ = std::make_shared<DictionarySet>();
+
+  // Loaded, not-yet-sealed bags in LOAD order (the collection order).
+  std::vector<std::string> bag_names_;
+  std::vector<Bag> bags_;
+
+  // In-flight request body.
+  Body body_ = Body::kNone;
+  std::vector<std::string> body_header_;  // tokens of the opening command
+  std::vector<std::string> body_lines_;   // raw body lines (verbatim)
+  size_t body_bytes_ = 0;       // bytes buffered in body_lines_
+  bool body_overflow_ = false;  // block exceeded a body cap -> E_RANGE
+};
+
+}  // namespace bagc

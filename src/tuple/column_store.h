@@ -31,7 +31,14 @@ namespace bagc {
 inline constexpr size_t kColumnarMinRows = 32;
 
 /// \brief Zero-copy view of selected columns: per-slot base pointers plus
-/// a row count. Borrowed storage must outlive the view.
+/// a row count.
+///
+/// Ownership rules: a ColumnView never owns id storage — every column
+/// pointer borrows from a ColumnStore (or other stable array), and the
+/// owner must outlive every view derived from it, including views
+/// produced by Select(). Views are cheap value types (a pointer vector);
+/// copying one neither copies nor extends the lifetime of the ids.
+/// Mutating or moving the owning store invalidates all of its views.
 class ColumnView {
  public:
   ColumnView() = default;
@@ -68,6 +75,15 @@ class ColumnView {
 };
 
 /// \brief Owned column-major id storage gathered from sealed rows.
+///
+/// Ownership rules: the store owns one flat allocation holding every
+/// column; it does NOT retain the entry vector it was gathered from
+/// (ids are copied out), but grouping code conventionally indexes that
+/// source vector by row number for multiplicities, so the two must stay
+/// index-aligned. View()/column() pointers — and every ColumnView
+/// derived from them — are invalidated by moving or destroying the
+/// store. The store is immutable after construction; concurrent readers
+/// need no synchronization.
 class ColumnStore {
  public:
   ColumnStore() = default;

@@ -25,6 +25,30 @@ Result<ValueId> ValueDictionary::Intern(const std::string& external) {
   return id;
 }
 
+Status ValueDictionary::BulkLoad(const std::vector<std::string>& values) {
+  if (!externals_.empty() || id_base_ != 0) {
+    return Status::FailedPrecondition(
+        "BulkLoad requires an empty dictionary: ids are meaningful only "
+        "relative to one encoder, so merging id spaces is refused");
+  }
+  if (static_cast<uint64_t>(values.size()) >=
+      static_cast<uint64_t>(kInvalidValueId)) {
+    return Status::ArithmeticOverflow(
+        "bulk load would exhaust the uint32 id space");
+  }
+  std::unordered_map<std::string, ValueId> index;
+  index.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!index.emplace(values[i], static_cast<ValueId>(i)).second) {
+      return Status::InvalidArgument("duplicate value in dictionary block: '" +
+                                     values[i] + "'");
+    }
+  }
+  externals_ = values;
+  index_ = std::move(index);
+  return Status::OK();
+}
+
 std::optional<ValueId> ValueDictionary::Find(const std::string& external) const {
   auto it = index_.find(external);
   if (it == index_.end()) return std::nullopt;
@@ -113,6 +137,17 @@ uint64_t DictionarySet::total_intern_calls() const {
   uint64_t n = 0;
   for (const auto& d : dicts_) n += (d == nullptr ? 0 : d->intern_calls());
   return n;
+}
+
+DictionarySet DictionarySet::Clone() const {
+  DictionarySet copy;
+  copy.dicts_.resize(dicts_.size());
+  for (size_t a = 0; a < dicts_.size(); ++a) {
+    if (dicts_[a] != nullptr) {
+      copy.dicts_[a] = std::make_unique<ValueDictionary>(*dicts_[a]);
+    }
+  }
+  return copy;
 }
 
 std::vector<std::vector<ValueId>> DictionarySet::CanonicalizeAll() {

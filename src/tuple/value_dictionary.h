@@ -64,6 +64,21 @@ class ValueDictionary {
   /// External value of an issued id; requires id < size().
   const std::string& ExternalOf(ValueId id) const { return externals_[id]; }
 
+  /// The full external-value table in id order (externals()[i] is the
+  /// value of id i). This is the dictionary's wire representation: a
+  /// receiver that BulkLoad()s this exact sequence reconstructs an
+  /// id-identical dictionary, so rows encoded by the sender decode
+  /// unchanged on the receiver (the bagcd `DICT` block ships it verbatim).
+  const std::vector<std::string>& externals() const { return externals_; }
+
+  /// Wire decode: assigns ids 0..values.size()-1 to `values` in order,
+  /// reconstructing the dictionary a sender serialized via externals().
+  /// Fails with FailedPrecondition if this dictionary already issued any
+  /// id (bulk loads define an id space; merging two is undetectable at
+  /// the row level and therefore refused), and with InvalidArgument on a
+  /// duplicate value. On failure the dictionary is left unchanged.
+  Status BulkLoad(const std::vector<std::string>& values);
+
   /// Number of distinct interned values (== the next id to be issued).
   size_t size() const { return externals_.size(); }
 
@@ -126,6 +141,14 @@ class DictionarySet {
 
   /// Sum of Intern() call counts across dictionaries.
   uint64_t total_intern_calls() const;
+
+  /// Deep copy of the whole set: same attributes, same ids, same
+  /// externals. A sealed ConsistencyEngine that must stay immutable while
+  /// its session keeps interning (the bagcd snapshot case) seals through
+  /// a clone, so later Intern() calls on the live set can never race its
+  /// readers — the id spaces coincide at the moment of cloning and only
+  /// the live set grows afterwards.
+  DictionarySet Clone() const;
 
   /// Canonicalizes every attribute dictionary (ValueDictionary::
   /// Canonicalize: id order == sorted external order). Returns the remaps

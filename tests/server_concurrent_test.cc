@@ -1,0 +1,353 @@
+// Concurrent-session differential for the bagcd server: N clients over
+// real sockets issue mixed queries (TWOBAG / PAIRWISE / GLOBAL / KWISE /
+// WITNESS) against one shared sealed engine, and every verdict, failing
+// pair, failing subset, and witness (down to its multiplicities) must be
+// bit-identical to the single-shot core/ path computed locally on the
+// same interned collection. A second scenario thrashes RESET/re-SEAL
+// generation swaps under live query load: in-flight queries must finish
+// on the generation they started with — every answer is either the
+// expected verdict or the documented E_STATE gap, never a wrong verdict
+// and never a torn response. Runs under the ASan/UBSan matrix leg via
+// the `differential` ctest label.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bag/bag_io.h"
+#include "core/global.h"
+#include "core/pairwise.h"
+#include "core/two_bag.h"
+#include "generators/workloads.h"
+#include "hypergraph/families.h"
+#include "server/bagcd_server.h"
+#include "server/client.h"
+#include "util/random.h"
+
+namespace bagc {
+namespace {
+
+// A numeric generator collection re-skinned as string data: every value
+// becomes a per-attribute token interned through one shared
+// DictionarySet, so the local collection and the one the server builds
+// from DICT + LOADU32 streams are id-identical by construction.
+struct StringCollection {
+  BagCollection collection;
+  AttributeCatalog catalog;
+  std::shared_ptr<DictionarySet> dicts;
+  std::vector<std::string> names;
+};
+
+std::string Token(AttrId a, Value v) {
+  return "attr" + std::to_string(a) + "_val" + std::to_string(v);
+}
+
+StringCollection InternAsStrings(const BagCollection& numeric) {
+  StringCollection out;
+  out.dicts = std::make_shared<DictionarySet>();
+  for (AttrId a : numeric.union_schema().attrs()) {
+    out.catalog.Intern("a" + std::to_string(a));
+  }
+  std::vector<Bag> bags;
+  for (const Bag& b : numeric.bags()) {
+    BagBuilder builder(b.schema());
+    builder.Reserve(b.SupportSize());
+    for (const auto& [t, mult] : b.entries()) {
+      std::vector<std::string> row(b.schema().arity());
+      for (size_t i = 0; i < row.size(); ++i) {
+        row[i] = Token(b.schema().at(i), t.at(i));
+      }
+      EXPECT_TRUE(builder.AddExternal(row, mult, out.dicts.get()).ok());
+    }
+    bags.push_back(*builder.Build());
+    out.names.push_back("bag" + std::to_string(out.names.size()));
+  }
+  out.collection = *BagCollection::Make(std::move(bags));
+  return out;
+}
+
+// All single-shot reference answers for one collection.
+struct Expected {
+  std::vector<std::vector<bool>> two_bag;  // [i][j]
+  bool pairwise = true;
+  std::pair<size_t, size_t> failing_pair{0, 0};
+  bool global = true;
+  bool kwise = true;
+  std::optional<std::vector<size_t>> failing_subset;
+  // Minimal witnesses for consistent pairs (empty optional elsewhere).
+  std::vector<std::vector<std::optional<Bag>>> witness;
+};
+
+Expected ComputeExpected(const BagCollection& c, size_t kwise_k) {
+  Expected e;
+  size_t m = c.size();
+  e.two_bag.assign(m, std::vector<bool>(m, true));
+  e.witness.assign(m, std::vector<std::optional<Bag>>(m));
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      if (i == j) continue;
+      e.two_bag[i][j] = *AreConsistent(c.bag(i), c.bag(j));
+      if (e.two_bag[i][j] && i < j) {
+        e.witness[i][j] = *FindMinimalWitness(c.bag(i), c.bag(j));
+      }
+    }
+  }
+  std::pair<size_t, size_t> failing{0, 0};
+  e.pairwise = *ArePairwiseConsistent(c, &failing);
+  if (!e.pairwise) e.failing_pair = failing;
+  e.global = *IsGloballyConsistent(c);
+  e.kwise = *AreKWiseConsistent(c, kwise_k, &e.failing_subset);
+  return e;
+}
+
+// Ships the collection over one client connection and seals it.
+void UploadAndSeal(BagcdClient* client, const StringCollection& sc,
+                   size_t seal_threads) {
+  for (const Bag& bag : sc.collection.bags()) {
+    ASSERT_TRUE(
+        client->ShipDictionaries(*sc.dicts, bag.schema(), sc.catalog).ok());
+  }
+  for (size_t i = 0; i < sc.collection.size(); ++i) {
+    ASSERT_TRUE(
+        client->LoadBagU32(sc.names[i], sc.collection.bag(i), sc.catalog).ok());
+  }
+  Result<size_t> sealed = client->Seal(/*canonical=*/false, seal_threads);
+  ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+  ASSERT_EQ(*sealed, sc.collection.size());
+}
+
+// Thread-safe capture of the first divergence, so a failure in CI names
+// the query and both answers instead of just counting.
+struct FailureLog {
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::string first;
+  void Record(const std::string& what) {
+    ++count;
+    std::lock_guard<std::mutex> lock(mu);
+    if (first.empty()) first = what;
+  }
+};
+
+// One client's full mixed-query pass; every answer checked bit-exactly.
+void RunMixedQueries(const std::string& host, uint16_t port,
+                     const StringCollection& sc, const Expected& e,
+                     size_t kwise_k, FailureLog* failures) {
+  Result<BagcdClient> client = BagcdClient::Connect(host, port);
+  if (!client.ok()) {
+    failures->Record("connect: " + client.status().ToString());
+    return;
+  }
+  size_t m = sc.collection.size();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      Result<bool> verdict = client->TwoBag(i, j);
+      if (!verdict.ok() || *verdict != e.two_bag[i][j]) {
+        failures->Record(
+            "TWOBAG " + std::to_string(i) + " " + std::to_string(j) + ": " +
+            (verdict.ok() ? "wrong verdict" : verdict.status().ToString()));
+        return;
+      }
+    }
+  }
+  Result<std::optional<std::pair<size_t, size_t>>> pairwise = client->Pairwise();
+  if (!pairwise.ok() || pairwise->has_value() == e.pairwise ||
+      (pairwise->has_value() && **pairwise != e.failing_pair)) {
+    failures->Record("PAIRWISE: " + (pairwise.ok() ? "wrong verdict/pair"
+                                                   : pairwise.status().ToString()));
+    return;
+  }
+  Result<bool> global = client->Global();
+  if (!global.ok() || *global != e.global) {
+    failures->Record("GLOBAL: " + (global.ok() ? "wrong verdict"
+                                               : global.status().ToString()));
+    return;
+  }
+  Result<std::optional<std::vector<size_t>>> kwise = client->KWise(kwise_k);
+  if (!kwise.ok() || kwise->has_value() == e.kwise ||
+      (kwise->has_value() && **kwise != *e.failing_subset)) {
+    failures->Record("KWISE: " + (kwise.ok() ? "wrong verdict/subset"
+                                             : kwise.status().ToString()));
+    return;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      Result<std::optional<std::vector<std::string>>> witness =
+          client->Witness(i, j, /*minimal=*/true);
+      if (!witness.ok() || witness->has_value() != e.two_bag[i][j]) {
+        failures->Record(
+            "WITNESS " + std::to_string(i) + " " + std::to_string(j) + ": " +
+            (witness.ok() ? "presence mismatch" : witness.status().ToString()));
+        return;
+      }
+      if (!witness->has_value()) continue;
+      // Decode the wire block and compare multiplicities bit-exactly.
+      AttributeCatalog catalog = sc.catalog;
+      size_t pos = 0;
+      Result<Bag> decoded = ParseBag(**witness, &pos, &catalog, sc.dicts.get());
+      if (!decoded.ok() || *decoded != *e.witness[i][j]) {
+        failures->Record("WITNESS " + std::to_string(i) + " " +
+                         std::to_string(j) + ": " +
+                         (decoded.ok() ? "multiplicities differ"
+                                       : decoded.status().ToString()));
+        return;
+      }
+    }
+  }
+}
+
+TEST(ServerConcurrentTest, MixedQueriesBitIdenticalAcrossClients) {
+  struct Scenario {
+    const char* name;
+    BagCollection numeric;
+    size_t kwise_k;
+  };
+  Rng rng(20260727);
+  BagGenOptions gen;
+  gen.support_size = 48;
+  gen.domain_size = 6;
+  gen.max_multiplicity = 64;
+
+  std::vector<Scenario> scenarios;
+  // Acyclic and consistent by construction (hidden witness).
+  scenarios.push_back(
+      {"acyclic_consistent", *MakeGloballyConsistentCollection(*MakePath(5), gen, &rng),
+       3});
+  // Acyclic with one perturbed bag: some pair must fail.
+  {
+    BagCollection c = *MakeGloballyConsistentCollection(*MakePath(4), gen, &rng);
+    std::vector<Bag> bags(c.bags());
+    const auto& entry = bags[1].entries().front();
+    Bag perturbed = bags[1];
+    EXPECT_TRUE(perturbed.Set(entry.first, entry.second + 3).ok());
+    bags[1] = perturbed;
+    scenarios.push_back({"acyclic_perturbed", *BagCollection::Make(std::move(bags)), 2});
+  }
+  // Cyclic (triangle): GLOBAL runs the exact P(R1..Rm) feasibility path.
+  {
+    BagGenOptions small = gen;
+    small.support_size = 12;
+    small.domain_size = 3;
+    small.max_multiplicity = 4;
+    scenarios.push_back(
+        {"cyclic_triangle",
+         *MakeGloballyConsistentCollection(*MakeCycle(3), small, &rng), 3});
+  }
+
+  for (Scenario& scenario : scenarios) {
+    SCOPED_TRACE(scenario.name);
+    StringCollection sc = InternAsStrings(scenario.numeric);
+    Expected expected = ComputeExpected(sc.collection, scenario.kwise_k);
+
+    BagcdServerOptions options;
+    options.query_threads = 4;  // fan queries out on the shared pool
+    Result<std::unique_ptr<BagcdServer>> server = BagcdServer::Start(options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    {
+      Result<BagcdClient> uploader =
+          BagcdClient::Connect("127.0.0.1", (*server)->port());
+      ASSERT_TRUE(uploader.ok()) << uploader.status().ToString();
+      UploadAndSeal(&*uploader, sc, /*seal_threads=*/2);
+    }
+
+    constexpr size_t kClients = 6;  // acceptance floor is 4 concurrent clients
+    FailureLog failures;
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < kClients; ++t) {
+      clients.emplace_back([&] {
+        RunMixedQueries("127.0.0.1", (*server)->port(), sc, expected,
+                        scenario.kwise_k, &failures);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    EXPECT_EQ(failures.count.load(), 0)
+        << scenario.name << ": first divergence: " << failures.first;
+    (*server)->Shutdown();
+  }
+}
+
+TEST(ServerConcurrentTest, GenerationSwapsUnderLoadNeverTearAnswers) {
+  Rng rng(424242);
+  BagGenOptions gen;
+  gen.support_size = 32;
+  gen.domain_size = 5;
+  gen.max_multiplicity = 32;
+  StringCollection sc =
+      InternAsStrings(*MakeGloballyConsistentCollection(*MakePath(4), gen, &rng));
+  Expected expected = ComputeExpected(sc.collection, 2);
+
+  BagcdServerOptions options;
+  options.query_threads = 2;
+  Result<std::unique_ptr<BagcdServer>> server = BagcdServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  Result<BagcdClient> admin = BagcdClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(admin.ok());
+  UploadAndSeal(&*admin, sc, 1);
+
+  std::atomic<bool> stop{false};
+  FailureLog wrong;
+  std::atomic<int> answered{0};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      Result<BagcdClient> client =
+          BagcdClient::Connect("127.0.0.1", (*server)->port());
+      if (!client.ok()) {
+        wrong.Record("connect: " + client.status().ToString());
+        return;
+      }
+      size_t m = sc.collection.size();
+      while (!stop.load()) {
+        for (size_t i = 0; i < m && !stop.load(); ++i) {
+          for (size_t j = i + 1; j < m; ++j) {
+            Result<bool> verdict = client->TwoBag(i, j);
+            if (verdict.ok()) {
+              // A real verdict must be THE verdict: every generation
+              // seals the same collection.
+              if (*verdict != expected.two_bag[i][j]) {
+                wrong.Record("TWOBAG " + std::to_string(i) + " " +
+                             std::to_string(j) + ": wrong verdict");
+              }
+              ++answered;
+            } else if (verdict.status().message().find("E_STATE") ==
+                       std::string::npos) {
+              // The only legal failure is the documented RESET gap.
+              wrong.Record("TWOBAG " + std::to_string(i) + " " +
+                           std::to_string(j) + ": " +
+                           verdict.status().ToString());
+            }
+          }
+        }
+      }
+    });
+  }
+  // Thrash generations: unpublish and re-seal the same data repeatedly
+  // while the readers hammer the registry.
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    Result<std::vector<std::string>> reset = admin->Command("RESET");
+    ASSERT_TRUE(reset.ok());
+    ASSERT_EQ(reset->front(), "OK RESET");
+    for (size_t i = 0; i < sc.collection.size(); ++i) {
+      ASSERT_TRUE(
+          admin->LoadBagU32(sc.names[i], sc.collection.bag(i), sc.catalog).ok());
+    }
+    Result<size_t> sealed = admin->Seal();
+    ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(wrong.count.load(), 0) << "first divergence: " << wrong.first;
+  EXPECT_GT(answered.load(), 0);
+  (*server)->Shutdown();
+}
+
+}  // namespace
+}  // namespace bagc

@@ -1,0 +1,352 @@
+// Protocol conformance tests for the bagcd server: the ServerSession
+// state machine driven in-process (grammar, error classes, session
+// lifecycle, snapshot-swap semantics), the typed client helpers over a
+// real socket, and — the anchor — the annotated transcript in
+// docs/PROTOCOL.md replayed verbatim against a live server, so the
+// documented wire format and the implementation cannot drift apart.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bag/bag_io.h"
+#include "core/pairwise.h"
+#include "core/two_bag.h"
+#include "server/bagcd_server.h"
+#include "server/client.h"
+#include "server/engine_snapshot.h"
+#include "server/protocol.h"
+#include "server/session.h"
+
+#ifndef BAGC_REPO_ROOT
+#define BAGC_REPO_ROOT "."
+#endif
+
+namespace bagc {
+namespace {
+
+std::vector<std::string> Feed(ServerSession* session, const std::string& script) {
+  return session->HandleScript(script);
+}
+
+// A tiny consistent two-bag script: dictionaries, one u32-streamed bag,
+// one text bag, seal.
+constexpr const char* kSetupScript = R"(DICT item 3
+apple
+banana
+cherry
+END
+DICT store 2
+downtown
+uptown
+END
+LOADU32 orders item store
+0 0 : 2
+1 1 : 1
+END
+LOAD stock item store
+apple downtown : 2
+banana uptown : 1
+END
+SEAL
+)";
+
+TEST(ServerSessionTest, LifecycleAndQueries) {
+  SnapshotRegistry registry;
+  ServerSession session(&registry, nullptr);
+  std::vector<std::string> out = Feed(&session, kSetupScript);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], "OK DICT item 3");
+  EXPECT_EQ(out[1], "OK DICT store 2");
+  EXPECT_EQ(out[2], "OK LOADU32 orders 2 rows");
+  EXPECT_EQ(out[3], "OK LOAD stock 2 rows");
+  EXPECT_EQ(out[4], "OK SEAL 2 bags");
+
+  out = Feed(&session, "TWOBAG orders stock\nPAIRWISE\nGLOBAL\nKWISE 2\n");
+  ASSERT_EQ(out.size(), 4u);
+  for (const std::string& line : out) EXPECT_EQ(line, "OK CONSISTENT");
+
+  out = Feed(&session, "WITNESS 0 1 MINIMAL\n");
+  ASSERT_GE(out.size(), 3u);
+  EXPECT_EQ(out.front(), "OK WITNESS 2");
+  EXPECT_EQ(out.back(), kWireEnd);
+}
+
+TEST(ServerSessionTest, ErrorClasses) {
+  SnapshotRegistry registry;
+  ServerSession session(&registry, nullptr);
+
+  // Query before any seal: state error.
+  std::vector<std::string> out = Feed(&session, "TWOBAG 0 1\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+
+  // Unknown command: parse error.
+  out = Feed(&session, "FROB\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_PARSE", 0), 0u) << out[0];
+
+  Feed(&session, kSetupScript);
+
+  // Re-shipping a dictionary: state error (id spaces do not merge).
+  out = Feed(&session, "DICT item 1\npear\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+
+  // Streaming an id the dictionary never issued: range error.
+  out = Feed(&session, "LOADU32 bad item store\n9 0 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_RANGE", 0), 0u) << out[0];
+
+  // Streaming u32 rows for an attribute with no dictionary: state error.
+  out = Feed(&session, "LOADU32 bad2 nodict\n0 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+
+  // Duplicate bag name: state error; all-digit name: parse error.
+  out = Feed(&session, "LOADU32 orders item store\n0 0 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+  out = Feed(&session, "LOADU32 123 item store\n0 0 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_PARSE", 0), 0u) << out[0];
+
+  // Out-of-range bag reference and unknown name on a sealed engine.
+  out = Feed(&session, "TWOBAG 0 7\nTWOBAG orders nosuch\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rfind("ERR E_RANGE", 0), 0u) << out[0];
+  EXPECT_EQ(out[1].rfind("ERR E_STATE", 0), 0u) << out[1];
+
+  // An absurd seal-time worker count is rejected, not attempted (a
+  // thread-spawn failure would terminate the daemon for every client).
+  out = Feed(&session, "SEAL THREADS 10000000\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_RANGE", 0), 0u) << out[0];
+
+  // A body command with a bad header still consumes its body: the row
+  // lines must NOT be interpreted as commands.
+  out = Feed(&session, "DICT toofew\nvalue1\nvalue2\nEND\nSTATS\n");
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[0].rfind("ERR E_PARSE", 0), 0u) << out[0];
+  EXPECT_EQ(out[1], "OK STATS");
+}
+
+TEST(ServerSessionTest, ResetKeepsDictionariesHardWipes) {
+  SnapshotRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+
+  std::vector<std::string> out = Feed(&session, "RESET\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "OK RESET");
+  EXPECT_EQ(registry.Current(), nullptr);
+
+  // Dictionaries survived: the same ids stream again without DICT.
+  out = Feed(&session, "LOADU32 orders item store\n2 1 : 5\nEND\nSEAL\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK LOADU32 orders 1 rows");
+  EXPECT_EQ(out[1], "OK SEAL 1 bags");
+
+  // HARD also wipes the dictionaries: streaming now needs a fresh DICT.
+  out = Feed(&session, "RESET HARD\nLOADU32 orders item store\n0 0 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK RESET HARD");
+  EXPECT_EQ(out[1].rfind("ERR E_STATE", 0), 0u) << out[1];
+}
+
+TEST(ServerSessionTest, SnapshotSwapIsSharedAcrossSessions) {
+  SnapshotRegistry registry;
+  ServerSession producer(&registry, nullptr);
+  ServerSession consumer(&registry, nullptr);
+
+  Feed(&producer, kSetupScript);
+  std::shared_ptr<const EngineSnapshot> first = registry.Current();
+  ASSERT_NE(first, nullptr);
+
+  // The other session queries the producer's snapshot.
+  std::vector<std::string> out = Feed(&consumer, "TWOBAG orders stock\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "OK CONSISTENT");
+
+  // An in-flight holder keeps the old generation alive across a re-SEAL;
+  // the registry hands out the new one.
+  Feed(&producer, "SEAL\n");
+  std::shared_ptr<const EngineSnapshot> second = registry.Current();
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_LT(first->seq(), second->seq());
+  EXPECT_EQ(first->num_bags(), 2u);  // old snapshot still fully usable
+  EXPECT_TRUE(*first->TwoBag(0, 1));
+
+  // RESET unpublishes for everyone.
+  Feed(&producer, "RESET\n");
+  out = Feed(&consumer, "PAIRWISE\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+}
+
+TEST(ServerSessionTest, CanonicalSealKeepsSessionIdsStable) {
+  SnapshotRegistry registry;
+  ServerSession session(&registry, nullptr);
+  // Ship a deliberately unsorted dictionary: canonicalization would
+  // reorder it, which must not disturb the session's id space.
+  std::vector<std::string> out = Feed(&session,
+                                     "DICT item 3\nzebra\nmango\napple\nEND\n"
+                                     "LOADU32 r item\n0 : 4\n2 : 1\nEND\n"
+                                     "LOADU32 s item\n0 : 4\n2 : 1\nEND\n"
+                                     "SEAL CANONICAL\n");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[3], "OK SEAL 2 bags");
+
+  // The witness decodes to the external values the session ids named —
+  // and the canonical snapshot serializes rows in sorted external order.
+  out = Feed(&session, "WITNESS r s\n");
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0], "OK WITNESS 2");
+  EXPECT_EQ(out[1], "bag item");
+  EXPECT_EQ(out[2], "apple : 1");
+  EXPECT_EQ(out[3], "zebra : 4");
+  EXPECT_EQ(out[4], "end");
+  EXPECT_EQ(out[5], kWireEnd);
+
+  // Session ids still refer to the shipped order (0 = zebra): stream
+  // them again after the canonical seal and the verdicts line up.
+  out = Feed(&session, "RESET\nLOADU32 r item\n0 : 1\nEND\n"
+                      "LOADU32 s item\n1 : 1\nEND\nSEAL\nTWOBAG r s\n");
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.back(), "OK INCONSISTENT");  // zebra-bag vs mango-bag
+}
+
+TEST(ServerSessionTest, StatsShape) {
+  SnapshotRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+  Feed(&session, "TWOBAG 0 1\n");
+  std::vector<std::string> out = Feed(&session, "STATS\n");
+  ASSERT_EQ(out.size(), 12u);
+  EXPECT_EQ(out.front(), "OK STATS");
+  EXPECT_EQ(out.back(), kWireEnd);
+  EXPECT_EQ(out[1], "proto 1");
+  EXPECT_EQ(out[2], "sessions 1");
+  EXPECT_EQ(out[3], "seals 1");
+  EXPECT_EQ(out[5], "queries 1");
+  EXPECT_EQ(out[7], "bags 2");
+}
+
+// ---- Socket-level tests ----------------------------------------------------
+
+TEST(BagcdServerTest, TypedClientHelpersMatchSingleShotCore) {
+  // Build a string-valued collection locally.
+  AttributeCatalog catalog;
+  auto dicts = std::make_shared<DictionarySet>();
+  std::string text =
+      "bag item store\napple downtown : 2\nbanana uptown : 1\nend\n"
+      "bag store region\ndowntown north : 3\nuptown north : 1\nend\n";
+  Result<std::vector<Bag>> bags = ParseCollection(text, &catalog, dicts.get());
+  ASSERT_TRUE(bags.ok()) << bags.status().ToString();
+
+  Result<std::unique_ptr<BagcdServer>> server = BagcdServer::Start({});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  Result<BagcdClient> client =
+      BagcdClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_EQ(client->banner(), kWireBanner);
+
+  for (const Bag& bag : *bags) {
+    ASSERT_TRUE(client->ShipDictionaries(*dicts, bag.schema(), catalog).ok());
+  }
+  ASSERT_TRUE(client->LoadBagU32("sales", (*bags)[0], catalog).ok());
+  ASSERT_TRUE(client->LoadBagU32("stores", (*bags)[1], catalog).ok());
+  Result<size_t> sealed = client->Seal();
+  ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+  EXPECT_EQ(*sealed, 2u);
+
+  // Single-shot reference answers.
+  bool expect_two = *AreConsistent((*bags)[0], (*bags)[1]);
+  EXPECT_EQ(*client->TwoBag(0, 1), expect_two);
+  Result<std::optional<std::pair<size_t, size_t>>> pairwise = client->Pairwise();
+  ASSERT_TRUE(pairwise.ok());
+  EXPECT_EQ(!pairwise->has_value(), expect_two);
+
+  Result<std::optional<std::vector<std::string>>> witness =
+      client->Witness(0, 1, /*minimal=*/true);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  if (expect_two) {
+    ASSERT_TRUE(witness->has_value());
+    std::optional<Bag> reference = *FindMinimalWitness((*bags)[0], (*bags)[1]);
+    ASSERT_TRUE(reference.has_value());
+    // The wire text must decode to exactly the single-shot witness.
+    std::string block;
+    for (const std::string& line : **witness) block += line + "\n";
+    AttributeCatalog reparse_catalog = catalog;
+    size_t pos = 0;
+    std::vector<std::string> lines;
+    std::istringstream iss(block);
+    std::string line;
+    while (std::getline(iss, line)) lines.push_back(line);
+    Result<Bag> decoded = ParseBag(lines, &pos, &reparse_catalog, dicts.get());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, *reference);
+  }
+  (*server)->Shutdown();
+}
+
+TEST(BagcdServerTest, ProtocolDocTranscriptReplaysVerbatim) {
+  std::ifstream in(std::string(BAGC_REPO_ROOT) + "/docs/PROTOCOL.md");
+  ASSERT_TRUE(in.good()) << "docs/PROTOCOL.md not found under " << BAGC_REPO_ROOT;
+  std::stringstream text;
+  text << in.rdbuf();
+
+  Result<std::unique_ptr<BagcdServer>> server = BagcdServer::Start({});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  Result<size_t> replayed =
+      ReplayTranscript("127.0.0.1", (*server)->port(), text.str());
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_GE(*replayed, 1u);
+  (*server)->Shutdown();
+}
+
+TEST(BagcdServerTest, SurvivesClientsThatNeverReadTheirResponses) {
+  Result<std::unique_ptr<BagcdServer>> server = BagcdServer::Start({});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  // Each rogue client floods commands and closes without reading a byte:
+  // the server's response writes hit a dead peer (EPIPE after the RST) —
+  // which must cost that connection only, never the process (SIGPIPE
+  // would take down every session; reproduced before MSG_NOSIGNAL).
+  for (int rogue = 0; rogue < 3; ++rogue) {
+    Result<BagcdClient> client =
+        BagcdClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < 500; ++i) {
+      if (!client->SendLine("STATS").ok()) break;  // server buffer filled: fine
+    }
+    // Destructor closes the socket with every response unread.
+  }
+  // The daemon must still serve a well-behaved client.
+  Result<BagcdClient> survivor =
+      BagcdClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+  Result<std::vector<std::string>> stats = survivor->Command("STATS");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->front(), "OK STATS");
+  (*server)->Shutdown();
+}
+
+TEST(BagcdServerTest, ShutdownCommandStopsTheServer) {
+  Result<std::unique_ptr<BagcdServer>> server = BagcdServer::Start({});
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  Result<BagcdClient> client =
+      BagcdClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendLine("SHUTDOWN").ok());
+  Result<std::string> bye = client->ReadLine();
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(*bye, "OK BYE");
+  (*server)->Wait();  // returns because the command requested shutdown
+}
+
+}  // namespace
+}  // namespace bagc

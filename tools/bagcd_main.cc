@@ -1,0 +1,117 @@
+// bagcd: the long-lived bag-consistency daemon. Binds a TCP listener,
+// serves the session protocol of docs/PROTOCOL.md (one ServerSession per
+// connection, one shared engine snapshot per SEAL generation), and exits
+// cleanly on SIGINT/SIGTERM or a SHUTDOWN command.
+//
+// Usage:
+//   bagcd [--host ADDR] [--port N] [--threads N] [--port-file PATH]
+//
+//   --host ADDR       bind address (default 127.0.0.1)
+//   --port N          TCP port; 0 picks an ephemeral port (default 0)
+//   --threads N       query-evaluation pool workers; 0 = inline (default 0)
+//   --port-file PATH  write the bound port to PATH once listening — the
+//                     race-free way for a harness to find an ephemeral
+//                     port (written atomically via rename)
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "server/bagcd_server.h"
+
+namespace {
+
+std::atomic<bool> g_signalled{false};
+
+void OnSignal(int) { g_signalled.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bagc::BagcdServerOptions options;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bagcd: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    // Reject (never truncate or wrap) out-of-range numeric flags: a port
+    // of 99999 silently binding 34463 sends every client elsewhere.
+    auto next_number = [&](const char* flag, long min, long max) -> long {
+      const char* text = next(flag);
+      char* rest = nullptr;
+      long value = std::strtol(text, &rest, 10);
+      if (rest == text || *rest != '\0' || value < min || value > max) {
+        std::fprintf(stderr, "bagcd: %s must be an integer in [%ld, %ld], got '%s'\n",
+                     flag, min, max, text);
+        std::exit(2);
+      }
+      return value;
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      options.host = next("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<uint16_t>(next_number("--port", 0, 65535));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      options.query_threads =
+          static_cast<size_t>(next_number("--threads", 0, 1024));
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      port_file = next("--port-file");
+    } else {
+      std::fprintf(stderr,
+                   "usage: bagcd [--host ADDR] [--port N] [--threads N] "
+                   "[--port-file PATH]\n");
+      return 2;
+    }
+  }
+
+  auto server = bagc::BagcdServer::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "bagcd: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  // Belt and braces on top of MSG_NOSIGNAL in the transport: no stray
+  // write to a dead peer may ever take the daemon down.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::printf("bagcd listening on %s:%u\n", options.host.c_str(),
+              static_cast<unsigned>((*server)->port()));
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::string tmp = port_file + ".tmp";
+    {
+      std::ofstream out(tmp);
+      out << (*server)->port() << "\n";
+    }
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      std::fprintf(stderr, "bagcd: cannot write port file %s\n", port_file.c_str());
+      return 1;
+    }
+  }
+
+  // Wait for a shutdown from either direction: a protocol SHUTDOWN flags
+  // the server itself; a signal flags g_signalled (handlers can't touch
+  // condition variables, so poll it at a human-invisible cadence).
+  std::thread signal_watch([&] {
+    while (!g_signalled.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    (*server)->RequestShutdown();
+  });
+  (*server)->Wait();
+  g_signalled.store(true);  // let the watcher exit when SHUTDOWN won the race
+  signal_watch.join();
+  std::printf("bagcd: clean shutdown\n");
+  return 0;
+}

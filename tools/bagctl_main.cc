@@ -1,0 +1,148 @@
+// bagctl: command-line client for a running bagcd server.
+//
+// Usage:
+//   bagctl --port N [--host ADDR] --replay FILE
+//   bagctl --port N [--host ADDR] [--script FILE]
+//
+//   --replay FILE  replay a C:/S: transcript (a raw transcript, or a
+//                  markdown file with ```transcript fences such as
+//                  docs/PROTOCOL.md) and fail on the first divergence —
+//                  the CI conformance check for the live server.
+//   --script FILE  send the file's protocol lines (stdin when omitted or
+//                  "-") and print every response line; body lines of
+//                  DICT/LOAD/LOADU32 are forwarded transparently. A
+//                  trailing QUIT is appended when the script has none.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace {
+
+int Fail(const bagc::Status& status) {
+  std::fprintf(stderr, "bagctl: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunScript(const std::string& host, uint16_t port, std::istream& in) {
+  auto client = bagc::BagcdClient::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  std::printf("%s\n", client->banner().c_str());
+  bool quit_sent = false;
+  bool in_body = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (in_body) {
+      // Body lines flow through without a response; END closes the body
+      // and the next server line is its response.
+      if (!client->SendLine(line).ok()) return 1;
+      if (bagc::WireStrip(line) != bagc::kWireEnd) continue;
+      in_body = false;
+    } else {
+      std::vector<std::string> tokens = bagc::WireTokens(line);
+      if (tokens.empty()) continue;
+      if (!client->SendLine(line).ok()) return 1;
+      if (bagc::WireCommandHasBody(tokens[0])) {
+        in_body = true;
+        continue;
+      }
+      quit_sent = tokens[0] == "QUIT" || tokens[0] == "SHUTDOWN";
+    }
+    // Read the complete response for the command just finished.
+    auto first = client->ReadLine();
+    if (!first.ok()) return Fail(first.status());
+    std::printf("%s\n", first->c_str());
+    if (bagc::WireResponseHasBody(*first)) {
+      while (true) {
+        auto next = client->ReadLine();
+        if (!next.ok()) return Fail(next.status());
+        std::printf("%s\n", next->c_str());
+        if (*next == bagc::kWireEnd) break;
+      }
+    }
+    if (quit_sent) return 0;
+  }
+  if (in_body) {
+    // A QUIT here would be swallowed as a body line and both sides would
+    // wait on each other forever.
+    std::fprintf(stderr,
+                 "bagctl: script ended inside a DICT/LOAD/LOADU32 body "
+                 "(missing END)\n");
+    return 1;
+  }
+  if (!quit_sent) {
+    if (!client->SendLine("QUIT").ok()) return 1;
+    auto bye = client->ReadLine();
+    if (!bye.ok()) return Fail(bye.status());
+    std::printf("%s\n", bye->c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string replay_path;
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bagctl: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = next("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::atoi(next("--port"));
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      replay_path = next("--replay");
+    } else if (std::strcmp(argv[i], "--script") == 0) {
+      script_path = next("--script");
+    } else {
+      std::fprintf(stderr,
+                   "usage: bagctl --port N [--host ADDR] "
+                   "(--replay FILE | --script FILE | -)\n");
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "bagctl: --port is required (1..65535)\n");
+    return 2;
+  }
+
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "bagctl: cannot read %s\n", replay_path.c_str());
+      return 1;
+    }
+    std::stringstream text;
+    text << in.rdbuf();
+    auto replayed = bagc::ReplayTranscript(host, static_cast<uint16_t>(port),
+                                           text.str());
+    if (!replayed.ok()) return Fail(replayed.status());
+    std::printf("bagctl: replayed %zu transcript block(s) verbatim\n", *replayed);
+    return 0;
+  }
+
+  if (script_path.empty() || script_path == "-") {
+    return RunScript(host, static_cast<uint16_t>(port), std::cin);
+  }
+  std::ifstream in(script_path);
+  if (!in) {
+    std::fprintf(stderr, "bagctl: cannot read %s\n", script_path.c_str());
+    return 1;
+  }
+  return RunScript(host, static_cast<uint16_t>(port), in);
+}
