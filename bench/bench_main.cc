@@ -34,7 +34,12 @@
 //   bags, SEAL, query batch) with string rows re-interned every cycle
 //   (LOAD) versus DICT-once + streamed u32 rows (LOADU32); a second pair
 //   measures steady-state TWOBAG throughput through the protocol vs bare
-//   engine calls.
+//   engine calls — in the text framing and, twobag_100q_session_binary,
+//   as prebuilt TWOBAG frames through the binary framing. A final trio
+//   measures cold ingest (RESET HARD + dictionaries + rows; no SEAL, so
+//   the gap is purely the wire path) as text LOADU32 blocks, as binary
+//   DICT/ROWS frames, and as one LOADSEG of an mmap-able segment file
+//   (docs/SEGMENT.md).
 //
 // Usage:
 //   bench_main [--suite bag_refactor|engine_batch|interned_rows|columnar_probe|
@@ -48,6 +53,8 @@
 // Every suite's JSON records host_cpus, the compiler, and the compile
 // flags (BAGC_COMPILE_FLAGS, injected by CMake) so parallel and
 // vectorization-sensitive legs stay interpretable after the fact.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -67,8 +74,10 @@
 #include "generators/workloads.h"
 #include "hypergraph/families.h"
 #include "server/engine_snapshot.h"
+#include "server/protocol.h"
 #include "server/session.h"
 #include "tuple/column_store.h"
+#include "tuple/segment.h"
 #include "tuple/tuple_index.h"
 #include "tuple/value_dictionary.h"
 #include "util/random.h"
@@ -88,6 +97,11 @@ struct BenchResult {
   size_t iterations;
   double baseline_ops_per_sec = 0;  // 0 = no baseline
 };
+
+// Set when a parallel leg (tN sweep) ran on a host with one CPU: its
+// speedup ratio then measures scheduling overhead, not parallelism. The
+// artifact records it (single_cpu_warning) and the run warns on stderr.
+bool g_parallel_legs_on_single_cpu = false;
 
 // Runs `op` repeatedly until it has consumed at least `min_seconds`,
 // reporting ops/sec over the timed window. One untimed warmup call.
@@ -233,6 +247,9 @@ void RunEngineBatchSuite(std::vector<BenchResult>* results) {
   constexpr size_t kQueries = 100;
   size_t n_threads =
       std::max<size_t>(2, std::min<size_t>(8, std::thread::hardware_concurrency()));
+  if (std::thread::hardware_concurrency() <= 1) {
+    g_parallel_legs_on_single_cpu = true;
+  }
 
   for (size_t support : {256, 1024, 4096}) {
     BagCollection c = MakeBatchCollection(support, 9000 + support);
@@ -514,11 +531,10 @@ std::string SessionCycleStrings(const StringWorkload& w,
   return script;
 }
 
-// The same cycle with LOADU32 raw-id rows.
-std::string SessionCycleU32(const StringWorkload& w,
-                            const AttributeCatalog& catalog,
-                            const std::string& query_script) {
-  std::string script = "RESET\n";
+// The LOADU32 blocks for every bag of the workload (raw-id rows).
+std::string SessionLoadU32Blocks(const StringWorkload& w,
+                                 const AttributeCatalog& catalog) {
+  std::string script;
   for (size_t b = 0; b < w.interned.size(); ++b) {
     const Bag& bag = w.interned.bag(b);
     script += "LOADU32 b" + std::to_string(b);
@@ -532,8 +548,14 @@ std::string SessionCycleU32(const StringWorkload& w,
     }
     script += "END\n";
   }
-  script += "SEAL\n" + query_script;
   return script;
+}
+
+// The same cycle with LOADU32 raw-id rows.
+std::string SessionCycleU32(const StringWorkload& w,
+                            const AttributeCatalog& catalog,
+                            const std::string& query_script) {
+  return "RESET\n" + SessionLoadU32Blocks(w, catalog) + "SEAL\n" + query_script;
 }
 
 // Feeds a script and aborts on any ERR response (a benchmark must not
@@ -543,6 +565,71 @@ void DriveSession(ServerSession* session, const std::string& script) {
   for (const std::string& line : responses) {
     if (line.rfind("ERR", 0) == 0) std::abort();
   }
+}
+
+// Feeds prebuilt binary frames and aborts on any Err frame or truncated
+// response (the binary-framing counterpart of DriveSession).
+void DriveSessionBinary(ServerSession* session, const std::string& frames) {
+  std::string out;
+  if (session->HandleData(frames, &out) != ServerSession::Outcome::kContinue) {
+    std::abort();
+  }
+  size_t pos = 0;
+  while (pos + kWireFrameHeaderBytes <= out.size()) {
+    const unsigned char* p = reinterpret_cast<const unsigned char*>(out.data() + pos);
+    uint32_t len = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+                   (static_cast<uint32_t>(p[2]) << 16) |
+                   (static_cast<uint32_t>(p[3]) << 24);
+    if (p[4] == kFrameErr) std::abort();
+    pos += kWireFrameHeaderBytes + len;
+  }
+  if (pos != out.size()) std::abort();
+}
+
+// Switches an in-process session to the binary framing (the one text
+// exchange a real binary client performs before streaming frames).
+void UpgradeSessionToBinary(ServerSession* session) {
+  std::string out;
+  if (session->HandleData("UPGRADE BINARY\n", &out) !=
+          ServerSession::Outcome::kContinue ||
+      !session->binary_mode()) {
+    std::abort();
+  }
+}
+
+// The binary-framing image of one cold ingest cycle: CMD RESET HARD,
+// one DICT frame per dictionary, one ROWS frame per bag.
+std::string BinaryIngestCycle(const StringWorkload& w,
+                              const AttributeCatalog& catalog) {
+  std::string frames;
+  WireAppendFrame(&frames, kFrameCmd, "RESET HARD");
+  for (AttrId a : w.interned.union_schema().attrs()) {
+    const ValueDictionary* dict = w.dicts->find_dict(a);
+    if (dict == nullptr) continue;
+    std::string payload;
+    WireAppendString(&payload, catalog.Name(a));
+    WireAppendU32(&payload, static_cast<uint32_t>(dict->size()));
+    for (const std::string& value : dict->externals()) {
+      WireAppendString(&payload, value);
+    }
+    WireAppendFrame(&frames, kFrameDict, payload);
+  }
+  for (size_t b = 0; b < w.interned.size(); ++b) {
+    const Bag& bag = w.interned.bag(b);
+    std::string payload;
+    WireAppendString(&payload, "b" + std::to_string(b));
+    WireAppendU32(&payload, static_cast<uint32_t>(bag.schema().arity()));
+    for (AttrId a : bag.schema().attrs()) {
+      WireAppendString(&payload, catalog.Name(a));
+    }
+    WireAppendU64(&payload, bag.SupportSize());
+    for (const auto& [t, mult] : bag.entries()) {
+      for (size_t i = 0; i < t.arity(); ++i) WireAppendU32(&payload, t.id(i));
+      WireAppendU64(&payload, mult);
+    }
+    WireAppendFrame(&frames, kFrameRows, payload);
+  }
+  return frames;
 }
 
 void RunServerSessionSuite(std::vector<BenchResult>* results) {
@@ -621,8 +708,91 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
       DriveSession(&session, query_script);
     });
     wire.baseline_ops_per_sec = direct.ops_per_sec;
+
+    // The same 100 queries as one prebuilt batch of TWOBAG frames: no
+    // decimal parsing, no response formatting — the binary framing's
+    // steady-state protocol tax against the same bare-engine baseline.
+    SnapshotRegistry bin_registry;
+    ServerSession bin_session(&bin_registry, nullptr);
+    DriveSession(&bin_session,
+                 SessionDictScript(w, w.interned.union_schema(), catalog));
+    DriveSession(&bin_session, SessionCycleU32(w, catalog, ""));
+    UpgradeSessionToBinary(&bin_session);
+    std::string frame_batch;
+    for (auto [i, j] : queries) {
+      std::string payload;
+      WireAppendU32(&payload, static_cast<uint32_t>(i));
+      WireAppendU32(&payload, static_cast<uint32_t>(j));
+      WireAppendFrame(&frame_batch, kFrameTwoBag, payload);
+    }
+    BenchResult binary = Measure("twobag_100q_session_binary", support, [&] {
+      DriveSessionBinary(&bin_session, frame_batch);
+    });
+    binary.baseline_ops_per_sec = direct.ops_per_sec;
+
     results->push_back(std::move(direct));
     results->push_back(std::move(wire));
+    results->push_back(std::move(binary));
+  }
+
+  // Cold ingest: RESET HARD (dictionaries wiped) + ship dictionaries +
+  // ship every row, per op — the bytes -> loaded-session-bags pipeline
+  // with the SEAL (engine build, identical across wire forms) left out
+  // so the measured gap is purely the ingest path. Three wire forms:
+  // decimal LOADU32 text blocks, binary DICT/ROWS frames, and one
+  // LOADSEG of a pre-written mmap-able segment (the segment ships its
+  // own dictionaries, which is why every cycle must RESET HARD to be
+  // comparable).
+  for (size_t support : {4096}) {
+    BagCollection numeric = MakeSessionCollection(support, 17000 + support);
+    StringWorkload w = MakeStringWorkload(numeric);
+    AttributeCatalog catalog;
+    for (AttrId a : w.interned.union_schema().attrs()) {
+      catalog.Intern("attr" + std::to_string(a));
+    }
+    std::string dict_script =
+        SessionDictScript(w, w.interned.union_schema(), catalog);
+
+    std::string text_cycle =
+        "RESET HARD\n" + dict_script + SessionLoadU32Blocks(w, catalog);
+    SnapshotRegistry text_registry;
+    ServerSession text_session(&text_registry, nullptr);
+    BenchResult text = Measure("ingest_loadu32_text", support, [&] {
+      DriveSession(&text_session, text_cycle);
+    });
+
+    std::string bin_cycle = BinaryIngestCycle(w, catalog);
+    SnapshotRegistry bin_registry;
+    ServerSession bin_session(&bin_registry, nullptr);
+    UpgradeSessionToBinary(&bin_session);
+    BenchResult rows = Measure("ingest_binary_rows", support, [&] {
+      DriveSessionBinary(&bin_session, bin_cycle);
+    });
+    rows.baseline_ops_per_sec = text.ops_per_sec;
+
+    std::vector<std::string> names;
+    for (size_t b = 0; b < w.interned.size(); ++b) {
+      names.push_back("b" + std::to_string(b));
+    }
+    std::string seg_path =
+        "/tmp/bagc_bench_ingest_" + std::to_string(::getpid()) + ".seg";
+    if (!WriteSegmentFile(seg_path, names, w.interned.bags(), catalog,
+                          *w.dicts)
+             .ok()) {
+      std::abort();
+    }
+    std::string seg_cycle = "RESET HARD\nLOADSEG " + seg_path + "\n";
+    SnapshotRegistry seg_registry;
+    ServerSession seg_session(&seg_registry, nullptr);
+    BenchResult seg = Measure("ingest_loadseg", support, [&] {
+      DriveSession(&seg_session, seg_cycle);
+    });
+    seg.baseline_ops_per_sec = text.ops_per_sec;
+    std::remove(seg_path.c_str());
+
+    results->push_back(std::move(text));
+    results->push_back(std::move(rows));
+    results->push_back(std::move(seg));
   }
 }
 
@@ -831,9 +1001,19 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (g_parallel_legs_on_single_cpu) {
+    std::fprintf(stderr,
+                 "bench_main: warning: parallel legs ran on a single-CPU "
+                 "host; their speedup ratios measure scheduling overhead, "
+                 "not parallelism (single_cpu_warning=true in the "
+                 "artifact)\n");
+  }
+
   std::ostringstream json;
   json << "{\n  \"suite\": \"" << suite << "\",\n  \"host_cpus\": "
-       << std::thread::hardware_concurrency() << ",\n  \"compiler\": \""
+       << std::thread::hardware_concurrency() << ",\n  \"single_cpu_warning\": "
+       << (g_parallel_legs_on_single_cpu ? "true" : "false")
+       << ",\n  \"compiler\": \""
        << EscapeJson(CompilerVersion()) << "\",\n  \"compile_flags\": \""
        << EscapeJson(BAGC_COMPILE_FLAGS) << "\",\n  \"benchmarks\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {

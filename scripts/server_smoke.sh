@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Server smoke test: start a real bagcd daemon, replay the annotated
-# transcript from docs/PROTOCOL.md through the bagctl client, then stop
-# the daemon over the wire (SHUTDOWN) and assert a clean exit. This is
-# the out-of-process complement to server_protocol_test — it exercises
-# the actual executables, argument parsing, port-file handshake, and
-# process shutdown path.
+# transcript from docs/PROTOCOL.md through the bagctl client, prove the
+# replayer actually fails on divergence (a deliberately wrong transcript
+# must exit nonzero with a line-numbered diff), round-trip a sealed-bag
+# segment (bagctl --export-seg -> daemon restart -> LOADSEG, answers
+# matching the text-loaded session), then stop the daemon over the wire
+# (SHUTDOWN) and assert a clean exit. This is the out-of-process
+# complement to server_protocol_test — it exercises the actual
+# executables, argument parsing, port-file handshake, and process
+# shutdown path.
 #
 # Usage: scripts/server_smoke.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -14,6 +18,7 @@ REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BAGCD="$REPO_ROOT/$BUILD_DIR/bagcd"
 BAGCTL="$REPO_ROOT/$BUILD_DIR/bagctl"
 PORT_FILE=$(mktemp -u)
+WORK_DIR=$(mktemp -d)
 
 [ -x "$BAGCD" ] || { echo "server_smoke: $BAGCD not built" >&2; exit 1; }
 [ -x "$BAGCTL" ] || { echo "server_smoke: $BAGCTL not built" >&2; exit 1; }
@@ -21,31 +26,93 @@ PORT_FILE=$(mktemp -u)
 cleanup() {
   [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
   rm -f "$PORT_FILE"
+  rm -rf "$WORK_DIR"
 }
 trap cleanup EXIT
 
-"$BAGCD" --port 0 --port-file "$PORT_FILE" &
-DAEMON_PID=$!
+start_daemon() {  # args: extra bagcd flags
+  rm -f "$PORT_FILE"
+  "$BAGCD" --port 0 --port-file "$PORT_FILE" "$@" &
+  DAEMON_PID=$!
+  for _ in $(seq 100); do
+    [ -s "$PORT_FILE" ] && break
+    sleep 0.1
+  done
+  [ -s "$PORT_FILE" ] || { echo "server_smoke: bagcd never wrote its port file" >&2; exit 1; }
+  PORT=$(cat "$PORT_FILE")
+}
 
-for _ in $(seq 100); do
-  [ -s "$PORT_FILE" ] && break
-  sleep 0.1
-done
-[ -s "$PORT_FILE" ] || { echo "server_smoke: bagcd never wrote its port file" >&2; exit 1; }
-PORT=$(cat "$PORT_FILE")
+stop_daemon() {  # wire-initiated shutdown; daemon must exit 0 on its own
+  printf 'SHUTDOWN\n' | "$BAGCTL" --port "$PORT" --script - > /dev/null
+  if wait "$DAEMON_PID"; then
+    DAEMON_PID=""
+  else
+    status=$?
+    DAEMON_PID=""
+    echo "server_smoke: bagcd exited with status $status" >&2
+    exit 1
+  fi
+}
+
+start_daemon
 
 # The transcript assumes a fresh server (STATS counters from zero),
 # which is exactly what we just started.
 "$BAGCTL" --port "$PORT" --replay "$REPO_ROOT/docs/PROTOCOL.md"
 
-# Clean wire-initiated shutdown: daemon must exit 0 on its own.
-printf 'SHUTDOWN\n' | "$BAGCTL" --port "$PORT" --script - > /dev/null
-if wait "$DAEMON_PID"; then
-  DAEMON_PID=""
-  echo "server_smoke: OK (port $PORT, transcript replayed, clean shutdown)"
-else
-  status=$?
-  DAEMON_PID=""
-  echo "server_smoke: bagcd exited with status $status" >&2
+# The replayer must FAIL on divergence — a conformance check that cannot
+# fail checks nothing. A wrong expectation exits nonzero and prints a
+# line-numbered diff.
+BAD_TRANSCRIPT="$WORK_DIR/bad_transcript.txt"
+cat > "$BAD_TRANSCRIPT" <<'EOF'
+S: BAGCD 1 READY
+C: HELLO
+S: OK HELLO proto 999 frames 1
+EOF
+if "$BAGCTL" --port "$PORT" --replay "$BAD_TRANSCRIPT" > "$WORK_DIR/bad_out.txt" 2>&1; then
+  echo "server_smoke: replay of a wrong transcript unexpectedly passed" >&2
   exit 1
 fi
+grep -q "transcript line 3: transcript mismatch" "$WORK_DIR/bad_out.txt" || {
+  echo "server_smoke: replay mismatch lacks the line-numbered diff:" >&2
+  cat "$WORK_DIR/bad_out.txt" >&2
+  exit 1
+}
+
+# Segment round trip: export a collection as an mmap-able segment, take
+# reference answers from a text-loaded session, restart the daemon warm
+# from the segment (--preload-seg), and check a LOADSEG session agrees.
+COLLECTION="$WORK_DIR/collection.bag"
+SEGMENT="$WORK_DIR/collection.seg"
+cat > "$COLLECTION" <<'EOF'
+bag item store
+apple downtown : 2
+banana uptown : 1
+cherry uptown : 5
+end
+bag store region
+downtown north : 2
+uptown north : 6
+end
+EOF
+"$BAGCTL" --export-seg "$SEGMENT" --collection "$COLLECTION" --names sales,stores
+
+QUERIES='SEAL\nTWOBAG sales stores\nPAIRWISE\nGLOBAL\nWITNESS sales stores\nQUIT\n'
+printf "LOAD sales item store\napple downtown : 2\nbanana uptown : 1\ncherry uptown : 5\nEND\nLOAD stores store region\ndowntown north : 2\nuptown north : 6\nEND\n$QUERIES" \
+  | "$BAGCTL" --port "$PORT" --script - | grep -v '^OK LOAD' > "$WORK_DIR/text_answers.txt"
+stop_daemon
+
+start_daemon --preload-seg "$SEGMENT"
+printf "LOADSEG $SEGMENT\n$QUERIES" \
+  | "$BAGCTL" --port "$PORT" --script - | grep -v '^OK LOADSEG' > "$WORK_DIR/seg_answers.txt"
+if ! diff -u "$WORK_DIR/text_answers.txt" "$WORK_DIR/seg_answers.txt"; then
+  echo "server_smoke: LOADSEG answers diverge from the text-loaded session" >&2
+  exit 1
+fi
+grep -q '^OK CONSISTENT' "$WORK_DIR/seg_answers.txt" || {
+  echo "server_smoke: segment session produced no verdict" >&2
+  exit 1
+}
+
+stop_daemon
+echo "server_smoke: OK (transcript replayed, replay diff verified, segment round trip, clean shutdowns)"

@@ -250,6 +250,68 @@ Result<Bag> ParseBagU32(const std::vector<std::string>& lines, size_t* pos,
   return ParseBagImpl(lines, pos, catalog, RowMode::kRawIds, nullptr, &dicts);
 }
 
+Result<Bag> BagFromU32Columns(const std::vector<std::string>& attr_names,
+                              const ColumnView& columns, const uint64_t* mults,
+                              AttributeCatalog* catalog,
+                              const DictionarySet& dicts) {
+  if (attr_names.size() != columns.arity()) {
+    return Status::InvalidArgument("attribute names do not match column count");
+  }
+  if (attr_names.empty()) {
+    return Status::InvalidArgument("a bag needs at least one attribute");
+  }
+  std::vector<AttrId> attrs;
+  attrs.reserve(attr_names.size());
+  for (const std::string& name : attr_names) {
+    attrs.push_back(catalog->Intern(name));
+  }
+  Schema schema{attrs};
+  if (schema.arity() != attrs.size()) {
+    return Status::InvalidArgument("duplicate attribute in bag header");
+  }
+  // Same validation order as the text arm: every column's dictionary
+  // resolved up front, ids bounds-checked per row.
+  std::vector<const ValueDictionary*> column_dict(attrs.size(), nullptr);
+  for (size_t c = 0; c < attrs.size(); ++c) {
+    column_dict[c] = dicts.find_dict(attrs[c]);
+    if (column_dict[c] == nullptr) {
+      return Status::FailedPrecondition(
+          "u32 rows require a dictionary for attribute '" + attr_names[c] +
+          "'; ship its DICT block first");
+    }
+  }
+  std::vector<size_t> slot_of_column(attrs.size());
+  for (size_t c = 0; c < attrs.size(); ++c) {
+    BAGC_ASSIGN_OR_RETURN(slot_of_column[c], schema.IndexOf(attrs[c]));
+  }
+  size_t n = columns.num_rows();
+  BagBuilder builder(schema);
+  TupleIndex seen;
+  std::vector<ValueId> row(attrs.size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < attrs.size(); ++c) {
+      ValueId id = columns.at(r, c);
+      if (id >= column_dict[c]->size()) {
+        return Status::OutOfRange(
+            "row id " + std::to_string(id) + " was never issued for attribute '" +
+            attr_names[c] + "' (dictionary has " +
+            std::to_string(column_dict[c]->size()) + " values)");
+      }
+      row[slot_of_column[c]] = id;
+    }
+    Tuple t = Tuple::OfIds(row);
+    if (seen.Find(t) != nullptr) {
+      return Status::InvalidArgument("duplicate tuple at row " +
+                                     std::to_string(r));
+    }
+    if (mults[r] != 0) {
+      seen.Insert(t, 0);
+      BAGC_RETURN_NOT_OK(builder.Add(std::move(t), mults[r]));
+    }
+  }
+  return builder.Build();
+}
+
 Result<std::vector<Bag>> ParseCollection(const std::string& input,
                                          AttributeCatalog* catalog,
                                          DictionarySet* dicts) {

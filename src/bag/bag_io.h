@@ -24,6 +24,7 @@
 
 #include "bag/bag.h"
 #include "tuple/attribute.h"
+#include "tuple/column_store.h"
 #include "tuple/value_dictionary.h"
 #include "util/result.h"
 
@@ -67,6 +68,20 @@ Result<Bag> ParseBag(const std::vector<std::string>& lines, size_t* pos,
 /// nothing. No interning (and no string hashing) happens on this path.
 Result<Bag> ParseBagU32(const std::vector<std::string>& lines, size_t* pos,
                         AttributeCatalog* catalog, const DictionarySet& dicts);
+
+/// The zero-parse twin of ParseBagU32: validates and seals a bag whose
+/// ids are already binary — a decoded ROWS frame of the binary wire
+/// framing, or the mmap'd columns of a sealed-bag segment file
+/// (tuple/segment.h). `attr_names[c]` names `columns.column(c)` (header
+/// order; the sorted schema layout may permute it), and row r carries
+/// multiplicity `mults[r]`. Semantics match the text arm exactly: every
+/// attribute needs a dictionary in `dicts` (FailedPrecondition), every
+/// id must be one it issued (OutOfRange), a duplicate row is
+/// InvalidArgument, and zero-multiplicity rows are dropped.
+Result<Bag> BagFromU32Columns(const std::vector<std::string>& attr_names,
+                              const ColumnView& columns, const uint64_t* mults,
+                              AttributeCatalog* catalog,
+                              const DictionarySet& dicts);
 
 /// Parses an entire collection document. All bags share `catalog` (and
 /// `dicts` when given), so shared attribute names — and shared values on

@@ -35,21 +35,6 @@ bool WriteAll(int fd, const std::string& data) {
   return true;
 }
 
-// Longest accepted input line. Real rows are tens of bytes; a peer that
-// streams megabytes without a newline is abusing the framing, and the
-// daemon must bound its buffering rather than grow until the OOM killer
-// takes every session down.
-constexpr size_t kMaxLineBytes = 1 << 20;
-
-std::string JoinLines(const std::vector<std::string>& lines) {
-  std::string out;
-  for (const std::string& line : lines) {
-    out += line;
-    out += '\n';
-  }
-  return out;
-}
-
 }  // namespace
 
 Result<std::unique_ptr<BagcdServer>> BagcdServer::Start(
@@ -132,44 +117,28 @@ void BagcdServer::AcceptLoop(int listen_fd) {
 void BagcdServer::ServeConnection(Conn* conn) {
   ServerSession session(&registry_, query_pool_.get());
   int fd = conn->fd;
-  std::string buffer;
   char chunk[4096];
   bool open = WriteAll(fd, std::string(kWireBanner) + "\n");
   while (open) {
     ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // peer closed, or Shutdown() shut the socket down
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t start = 0;
-    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
-         nl = buffer.find('\n', start)) {
-      std::string line = buffer.substr(start, nl - start);
-      start = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      std::vector<std::string> responses;
-      ServerSession::Outcome outcome = session.HandleLine(line, &responses);
-      bool wrote = responses.empty() || WriteAll(fd, JoinLines(responses));
-      // Honor the outcome BEFORE reacting to a failed write: the session
-      // already committed to it — a SHUTDOWN from a client that closed
-      // without reading its OK BYE must still stop the server.
-      if (outcome == ServerSession::Outcome::kShutdownServer) {
-        RequestShutdown();
-        open = false;
-        break;
-      }
-      if (outcome == ServerSession::Outcome::kCloseConnection || !wrote) {
-        open = false;
-        break;
-      }
+    // The session does all framing (text lines or binary frames, per its
+    // mode) and enforces the line/frame-size ceilings; the transport just
+    // moves bytes both ways.
+    std::string responses;
+    ServerSession::Outcome outcome =
+        session.HandleData(std::string_view(chunk, static_cast<size_t>(n)),
+                           &responses);
+    bool wrote = responses.empty() || WriteAll(fd, responses);
+    // Honor the outcome BEFORE reacting to a failed write: the session
+    // already committed to it — a SHUTDOWN from a client that closed
+    // without reading its OK BYE must still stop the server.
+    if (outcome == ServerSession::Outcome::kShutdownServer) {
+      RequestShutdown();
+      break;
     }
-    if (start > 0) buffer.erase(0, start);
-    if (buffer.size() > kMaxLineBytes) {
-      WriteAll(fd, WireErrLine(WireError::kRange,
-                               "input line exceeds " +
-                                   std::to_string(kMaxLineBytes) + " bytes") +
-                       "\n");
-      break;  // framing abuse: drop the connection
-    }
+    if (outcome == ServerSession::Outcome::kCloseConnection || !wrote) break;
   }
   // Mark done BEFORE closing: Shutdown() only ::shutdown()s fds of
   // connections not yet done, so it can never touch a descriptor this

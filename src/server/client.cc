@@ -88,6 +88,7 @@ BagcdClient::BagcdClient(BagcdClient&& other) noexcept
     : fd_(other.fd_),
       banner_(std::move(other.banner_)),
       inbuf_(std::move(other.inbuf_)),
+      binary_(other.binary_),
       shipped_(std::move(other.shipped_)) {
   other.fd_ = -1;
 }
@@ -98,6 +99,7 @@ BagcdClient& BagcdClient::operator=(BagcdClient&& other) noexcept {
     fd_ = other.fd_;
     banner_ = std::move(other.banner_);
     inbuf_ = std::move(other.inbuf_);
+    binary_ = other.binary_;
     shipped_ = std::move(other.shipped_);
     other.fd_ = -1;
   }
@@ -132,16 +134,165 @@ Result<std::string> BagcdClient::ReadLine() {
   }
 }
 
+Status BagcdClient::SendFrame(uint8_t opcode, std::string_view payload) {
+  std::string frame;
+  frame.reserve(kWireFrameHeaderBytes + payload.size());
+  WireAppendFrame(&frame, opcode, payload);
+  return WriteAll(fd_, frame);
+}
+
+Result<std::pair<uint8_t, std::string>> BagcdClient::ReadFrame() {
+  while (true) {
+    if (inbuf_.size() >= kWireFrameHeaderBytes) {
+      WireCursor header(std::string_view(inbuf_).substr(0, kWireFrameHeaderBytes));
+      uint32_t payload_len = 0;
+      uint8_t opcode = 0;
+      header.U32(&payload_len);
+      header.U8(&opcode);
+      if (payload_len > kWireMaxFramePayload) {
+        return Status::Internal("server frame payload of " +
+                                std::to_string(payload_len) +
+                                " bytes exceeds the frame ceiling");
+      }
+      if (inbuf_.size() >= kWireFrameHeaderBytes + payload_len) {
+        std::string payload =
+            inbuf_.substr(kWireFrameHeaderBytes, payload_len);
+        inbuf_.erase(0, kWireFrameHeaderBytes + payload_len);
+        return std::make_pair(opcode, std::move(payload));
+      }
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::Internal(std::string("read(): ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::Internal("server closed the connection");
+    inbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::vector<std::string>> BagcdClient::FrameToLines(
+    uint8_t opcode, const std::string& payload) {
+  // Mirrors the server's TextSink rendering exactly, so a script driven
+  // through the binary framing yields byte-identical response lines.
+  WireCursor cur(payload);
+  std::vector<std::string> lines;
+  switch (opcode) {
+    case kFrameOk:
+      lines.push_back("OK " + payload);
+      return lines;
+    case kFrameErr: {
+      uint8_t tag = 0;
+      if (!cur.U8(&tag)) return Status::Internal("malformed Err frame");
+      BAGC_ASSIGN_OR_RETURN(WireError error, WireErrorFromTag(tag));
+      lines.push_back(WireErrLine(
+          error, payload.substr(1)));
+      return lines;
+    }
+    case kFrameVerdict: {
+      uint8_t consistent = 0;
+      uint32_t n = 0;
+      if (!cur.U8(&consistent) || !cur.U32(&n)) {
+        return Status::Internal("malformed Verdict frame");
+      }
+      std::string line = consistent ? "OK CONSISTENT" : "OK INCONSISTENT";
+      for (uint32_t t = 0; t < n; ++t) {
+        uint32_t index = 0;
+        if (!cur.U32(&index)) return Status::Internal("malformed Verdict frame");
+        line += " " + std::to_string(index);
+      }
+      if (!cur.AtEnd()) return Status::Internal("malformed Verdict frame");
+      lines.push_back(std::move(line));
+      return lines;
+    }
+    case kFrameWitnessBag: {
+      uint8_t present = 0;
+      if (!cur.U8(&present)) return Status::Internal("malformed Witness frame");
+      if (present == 0) {
+        if (!cur.AtEnd()) return Status::Internal("malformed Witness frame");
+        lines.push_back("OK NONE");
+        return lines;
+      }
+      uint32_t arity = 0;
+      if (!cur.U32(&arity)) return Status::Internal("malformed Witness frame");
+      std::string header = "bag";
+      for (uint32_t c = 0; c < arity; ++c) {
+        std::string_view name;
+        if (!cur.String(&name)) return Status::Internal("malformed Witness frame");
+        header += " " + std::string(name);
+      }
+      uint64_t nrows = 0;
+      if (!cur.U64(&nrows)) return Status::Internal("malformed Witness frame");
+      lines.push_back("OK WITNESS " + std::to_string(nrows));
+      lines.push_back(std::move(header));
+      for (uint64_t r = 0; r < nrows; ++r) {
+        std::string row;
+        for (uint32_t c = 0; c < arity; ++c) {
+          std::string_view value;
+          if (!cur.String(&value)) {
+            return Status::Internal("malformed Witness frame");
+          }
+          row += std::string(value) + " ";
+        }
+        uint64_t mult = 0;
+        if (!cur.U64(&mult)) return Status::Internal("malformed Witness frame");
+        row += ": " + std::to_string(mult);
+        lines.push_back(std::move(row));
+      }
+      if (!cur.AtEnd()) return Status::Internal("malformed Witness frame");
+      lines.emplace_back("end");
+      lines.emplace_back(kWireEnd);
+      return lines;
+    }
+    case kFrameStats: {
+      uint32_t n = 0;
+      if (!cur.U32(&n)) return Status::Internal("malformed Stats frame");
+      lines.push_back("OK STATS");
+      for (uint32_t t = 0; t < n; ++t) {
+        std::string_view key;
+        uint64_t value = 0;
+        if (!cur.String(&key) || !cur.U64(&value)) {
+          return Status::Internal("malformed Stats frame");
+        }
+        lines.push_back(std::string(key) + " " + std::to_string(value));
+      }
+      if (!cur.AtEnd()) return Status::Internal("malformed Stats frame");
+      lines.emplace_back(kWireEnd);
+      return lines;
+    }
+    default:
+      return Status::Internal("unexpected server frame opcode " +
+                              std::to_string(opcode));
+  }
+}
+
 Result<std::vector<std::string>> BagcdClient::Command(
     const std::string& command, const std::vector<std::string>& body) {
-  std::string request = command + "\n";
   std::vector<std::string> tokens = WireTokens(command);
   bool has_body = !tokens.empty() && WireCommandHasBody(tokens[0]);
+  if (!has_body && !body.empty()) {
+    return Status::InvalidArgument("command '" + command + "' takes no body");
+  }
+  if (binary_) {
+    if (has_body) {
+      return Status::InvalidArgument(
+          "command '" + command +
+          "' carries a body; ship a DICT/ROWS frame in binary mode");
+    }
+    BAGC_RETURN_NOT_OK(SendFrame(kFrameCmd, command));
+    auto frame_result = ReadFrame();
+    BAGC_RETURN_NOT_OK(frame_result.status());
+    auto& [opcode, payload] = *frame_result;
+    // CMD TEXT's Ok frame is the last frame on the wire: the connection
+    // is line-oriented again from the next byte.
+    if (opcode == kFrameOk && payload == "TEXT") binary_ = false;
+    return FrameToLines(opcode, payload);
+  }
+  std::string request = command + "\n";
   if (has_body) {
     for (const std::string& line : body) request += line + "\n";
     request += std::string(kWireEnd) + "\n";
-  } else if (!body.empty()) {
-    return Status::InvalidArgument("command '" + command + "' takes no body");
   }
   BAGC_RETURN_NOT_OK(WriteAll(fd_, request));
   std::vector<std::string> response;
@@ -155,7 +306,77 @@ Result<std::vector<std::string>> BagcdClient::Command(
       if (end) break;
     }
   }
+  // A successful text-mode UPGRADE flips this client to frames too.
+  if (command == "UPGRADE BINARY" && first == "OK UPGRADE BINARY") {
+    binary_ = true;
+  }
   return response;
+}
+
+Result<std::pair<int, int>> BagcdClient::Hello() {
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command("HELLO"));
+  BAGC_RETURN_NOT_OK(ExpectOk(response));
+  std::vector<std::string> tokens = WireTokens(response.front());
+  if (tokens.size() != 6 || tokens[1] != "HELLO" || tokens[2] != "proto" ||
+      tokens[4] != "frames") {
+    return Status::Internal("bad HELLO response: '" + response.front() + "'");
+  }
+  BAGC_ASSIGN_OR_RETURN(uint64_t proto, WireParseUint(tokens[3]));
+  BAGC_ASSIGN_OR_RETURN(uint64_t frames, WireParseUint(tokens[5]));
+  return std::make_pair(static_cast<int>(proto), static_cast<int>(frames));
+}
+
+Status BagcdClient::UpgradeBinary() {
+  if (binary_) return Status::OK();
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response,
+                        Command("UPGRADE BINARY"));
+  return ExpectOk(response);  // Command() flipped binary_ on the OK
+}
+
+Status BagcdClient::DowngradeText() {
+  if (!binary_) return Status::OK();
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command("TEXT"));
+  return ExpectOk(response);  // Command() flipped binary_ on the OK
+}
+
+Result<std::string> BagcdClient::RoundTripOk(uint8_t opcode,
+                                             std::string_view payload) {
+  BAGC_RETURN_NOT_OK(SendFrame(opcode, payload));
+  auto frame_result = ReadFrame();
+  BAGC_RETURN_NOT_OK(frame_result.status());
+  auto& [got_opcode, got_payload] = *frame_result;
+  if (got_opcode == kFrameOk) return std::move(got_payload);
+  BAGC_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        FrameToLines(got_opcode, got_payload));
+  return Status::Internal("server said: " + lines.front());
+}
+
+Result<std::pair<bool, std::vector<size_t>>> BagcdClient::RoundTripVerdict(
+    uint8_t opcode, std::string_view payload) {
+  BAGC_RETURN_NOT_OK(SendFrame(opcode, payload));
+  auto frame_result = ReadFrame();
+  BAGC_RETURN_NOT_OK(frame_result.status());
+  auto& [got_opcode, got_payload] = *frame_result;
+  if (got_opcode != kFrameVerdict) {
+    BAGC_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                          FrameToLines(got_opcode, got_payload));
+    return Status::Internal("server said: " + lines.front());
+  }
+  WireCursor cur(got_payload);
+  uint8_t consistent = 0;
+  uint32_t n = 0;
+  if (!cur.U8(&consistent) || !cur.U32(&n)) {
+    return Status::Internal("malformed Verdict frame");
+  }
+  std::vector<size_t> indices;
+  indices.reserve(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    uint32_t index = 0;
+    if (!cur.U32(&index)) return Status::Internal("malformed Verdict frame");
+    indices.push_back(index);
+  }
+  if (!cur.AtEnd()) return Status::Internal("malformed Verdict frame");
+  return std::make_pair(consistent == 1, std::move(indices));
 }
 
 Status BagcdClient::ShipDictionaries(const DictionarySet& dicts,
@@ -170,11 +391,22 @@ Status BagcdClient::ShipDictionaries(const DictionarySet& dicts,
     for (const std::string& value : dict->externals()) {
       BAGC_RETURN_NOT_OK(ValidateWireValue(value));
     }
-    BAGC_ASSIGN_OR_RETURN(
-        std::vector<std::string> response,
-        Command("DICT " + catalog.Name(attr) + " " + std::to_string(dict->size()),
-                dict->externals()));
-    BAGC_RETURN_NOT_OK(ExpectOk(response));
+    if (binary_) {
+      std::string payload;
+      WireAppendString(&payload, catalog.Name(attr));
+      WireAppendU32(&payload, static_cast<uint32_t>(dict->size()));
+      for (const std::string& value : dict->externals()) {
+        WireAppendString(&payload, value);
+      }
+      BAGC_RETURN_NOT_OK(RoundTripOk(kFrameDict, payload).status());
+    } else {
+      BAGC_ASSIGN_OR_RETURN(
+          std::vector<std::string> response,
+          Command("DICT " + catalog.Name(attr) + " " +
+                      std::to_string(dict->size()),
+                  dict->externals()));
+      BAGC_RETURN_NOT_OK(ExpectOk(response));
+    }
     shipped_.push_back(attr);
   }
   return Status::OK();
@@ -182,6 +414,26 @@ Status BagcdClient::ShipDictionaries(const DictionarySet& dicts,
 
 Status BagcdClient::LoadBagU32(const std::string& name, const Bag& bag,
                                const AttributeCatalog& catalog) {
+  if (binary_) {
+    const Schema& schema = bag.schema();
+    std::string payload;
+    // Header + fixed-width row block; sized up front so row streaming is
+    // one append per integer into preallocated storage.
+    payload.reserve(64 + bag.SupportSize() * (schema.arity() * 4 + 8));
+    WireAppendString(&payload, name);
+    WireAppendU32(&payload, static_cast<uint32_t>(schema.arity()));
+    for (AttrId attr : schema.attrs()) {
+      WireAppendString(&payload, catalog.Name(attr));
+    }
+    WireAppendU64(&payload, bag.SupportSize());
+    for (const auto& [tuple, mult] : bag.entries()) {
+      for (size_t i = 0; i < tuple.arity(); ++i) {
+        WireAppendU32(&payload, tuple.id(i));
+      }
+      WireAppendU64(&payload, mult);
+    }
+    return RoundTripOk(kFrameRows, payload).status();
+  }
   std::string header = "LOADU32 " + name;
   for (AttrId attr : bag.schema().attrs()) header += " " + catalog.Name(attr);
   std::vector<std::string> rows;
@@ -201,6 +453,12 @@ Status BagcdClient::LoadBagU32(const std::string& name, const Bag& bag,
 Status BagcdClient::LoadBagText(const std::string& name, const Bag& bag,
                                 const AttributeCatalog& catalog,
                                 const DictionarySet& dicts) {
+  if (binary_) {
+    // The binary framing has no string-row frame (it exists to avoid
+    // exactly that decode/re-intern cycle); the raw-id path is LoadBagU32.
+    return Status::FailedPrecondition(
+        "LOAD blocks require text mode; use LoadBagU32 in binary mode");
+  }
   std::string header = "LOAD " + name;
   for (AttrId attr : bag.schema().attrs()) header += " " + catalog.Name(attr);
   std::vector<std::string> rows;
@@ -235,6 +493,13 @@ Result<size_t> BagcdClient::Seal(bool canonical, size_t threads) {
 }
 
 Result<bool> BagcdClient::TwoBag(size_t i, size_t j) {
+  if (binary_) {
+    std::string payload;
+    WireAppendU32(&payload, static_cast<uint32_t>(i));
+    WireAppendU32(&payload, static_cast<uint32_t>(j));
+    BAGC_ASSIGN_OR_RETURN(auto verdict, RoundTripVerdict(kFrameTwoBag, payload));
+    return verdict.first;
+  }
   BAGC_ASSIGN_OR_RETURN(
       std::vector<std::string> response,
       Command("TWOBAG " + std::to_string(i) + " " + std::to_string(j)));
@@ -243,6 +508,15 @@ Result<bool> BagcdClient::TwoBag(size_t i, size_t j) {
 }
 
 Result<std::optional<std::pair<size_t, size_t>>> BagcdClient::Pairwise() {
+  if (binary_) {
+    BAGC_ASSIGN_OR_RETURN(auto verdict, RoundTripVerdict(kFramePairwise, {}));
+    if (verdict.first) return std::optional<std::pair<size_t, size_t>>();
+    if (verdict.second.size() != 2) {
+      return Status::Internal("bad PAIRWISE verdict frame");
+    }
+    return std::optional<std::pair<size_t, size_t>>(
+        std::make_pair(verdict.second[0], verdict.second[1]));
+  }
   BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command("PAIRWISE"));
   BAGC_RETURN_NOT_OK(ExpectOk(response));
   std::vector<std::string> tokens = WireTokens(response.front());
@@ -259,12 +533,23 @@ Result<std::optional<std::pair<size_t, size_t>>> BagcdClient::Pairwise() {
 }
 
 Result<bool> BagcdClient::Global() {
+  if (binary_) {
+    BAGC_ASSIGN_OR_RETURN(auto verdict, RoundTripVerdict(kFrameGlobal, {}));
+    return verdict.first;
+  }
   BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command("GLOBAL"));
   BAGC_RETURN_NOT_OK(ExpectOk(response));
   return response.front() == "OK CONSISTENT";
 }
 
 Result<std::optional<std::vector<size_t>>> BagcdClient::KWise(size_t k) {
+  if (binary_) {
+    std::string payload;
+    WireAppendU32(&payload, static_cast<uint32_t>(k));
+    BAGC_ASSIGN_OR_RETURN(auto verdict, RoundTripVerdict(kFrameKWise, payload));
+    if (verdict.first) return std::optional<std::vector<size_t>>();
+    return std::optional<std::vector<size_t>>(std::move(verdict.second));
+  }
   BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response,
                         Command("KWISE " + std::to_string(k)));
   BAGC_RETURN_NOT_OK(ExpectOk(response));
@@ -285,6 +570,28 @@ Result<std::optional<std::vector<size_t>>> BagcdClient::KWise(size_t k) {
 
 Result<std::optional<std::vector<std::string>>> BagcdClient::Witness(
     size_t i, size_t j, bool minimal) {
+  if (binary_) {
+    std::string payload;
+    WireAppendU32(&payload, static_cast<uint32_t>(i));
+    WireAppendU32(&payload, static_cast<uint32_t>(j));
+    payload.push_back(minimal ? '\1' : '\0');
+    BAGC_RETURN_NOT_OK(SendFrame(kFrameWitness, payload));
+    auto frame_result = ReadFrame();
+    BAGC_RETURN_NOT_OK(frame_result.status());
+    auto& [opcode, frame_payload] = *frame_result;
+    BAGC_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                          FrameToLines(opcode, frame_payload));
+    if (opcode != kFrameWitnessBag) {
+      return Status::Internal("server said: " + lines.front());
+    }
+    if (lines.front() == "OK NONE") {
+      return std::optional<std::vector<std::string>>();
+    }
+    // FrameToLines renders the text framing exactly: OK line, bag block
+    // lines, END. Strip the envelope, as the text arm below does.
+    return std::optional<std::vector<std::string>>(
+        std::vector<std::string>(lines.begin() + 1, lines.end() - 1));
+  }
   std::string command =
       "WITNESS " + std::to_string(i) + " " + std::to_string(j);
   if (minimal) command += " MINIMAL";
@@ -374,8 +681,10 @@ Result<size_t> ReplayTranscript(const std::string& host, uint16_t port,
           BAGC_ASSIGN_OR_RETURN(got, client.ReadLine());
         }
         if (got != expected) {
-          return Status::Internal(at + ": expected '" + expected + "', got '" +
-                                  got + "'");
+          // Unified-diff shape so a failing replay reads at a glance;
+          // bagctl --replay prints this verbatim and exits nonzero.
+          return Status::Internal(at + ": transcript mismatch\n-" + expected +
+                                  "\n+" + got);
         }
       } else if (WireStrip(line).empty()) {
         continue;  // comment or blank

@@ -1,9 +1,14 @@
-// Client side of the bagcd protocol: a blocking line-oriented TCP
-// client plus typed helpers for the session lifecycle (ship dictionaries
-// once, stream u32 rows, seal, query), and the transcript replayer that
-// both the bagctl CLI and the protocol conformance test use to run the
-// annotated transcript in docs/PROTOCOL.md verbatim against a live
-// server.
+// Client side of the bagcd protocol: a blocking TCP client plus typed
+// helpers for the session lifecycle (ship dictionaries once, stream u32
+// rows, seal, query), and the transcript replayer that both the bagctl
+// CLI and the protocol conformance test use to run the annotated
+// transcript in docs/PROTOCOL.md verbatim against a live server.
+//
+// A client starts in the text framing and may negotiate the binary
+// framing (UpgradeBinary / DowngradeText). Every typed helper — and
+// Command(), which re-renders binary responses as the exact text lines
+// the text framing would have produced — works transparently in either
+// mode, so callers switch framings without changing call sites.
 #pragma once
 
 #include <cstdint>
@@ -45,9 +50,33 @@ class BagcdClient {
   /// One request/response round trip: sends `command` (plus `body` lines
   /// and the END terminator when non-empty), then reads the complete
   /// response — one line, or through the trailing END for WITNESS/STATS.
-  /// Returns all response lines; the first is the OK/ERR line.
+  /// Returns all response lines; the first is the OK/ERR line. In binary
+  /// mode the command travels as a CMD frame (body-carrying commands are
+  /// rejected — ship DICT/ROWS frames instead) and the response frame is
+  /// re-rendered as the byte-identical text lines.
   Result<std::vector<std::string>> Command(const std::string& command,
                                            const std::vector<std::string>& body = {});
+
+  // ---- Binary framing ------------------------------------------------------
+
+  /// HELLO; returns the (protocol, frame) versions the server speaks.
+  Result<std::pair<int, int>> Hello();
+
+  /// UPGRADE BINARY: after the server's OK both directions switch to
+  /// length-prefixed frames. Typed helpers keep working transparently.
+  Status UpgradeBinary();
+
+  /// Drops back to the text framing (CMD frame carrying "TEXT").
+  Status DowngradeText();
+
+  /// True after a successful UpgradeBinary (and before DowngradeText).
+  bool binary_mode() const { return binary_; }
+
+  /// Sends one raw frame. Binary mode only.
+  Status SendFrame(uint8_t opcode, std::string_view payload);
+
+  /// Reads the next complete frame (opcode, payload). Binary mode only.
+  Result<std::pair<uint8_t, std::string>> ReadFrame();
 
   // ---- Typed session helpers ----------------------------------------------
 
@@ -91,9 +120,22 @@ class BagcdClient {
  private:
   BagcdClient() = default;
 
+  // Sends `frame_payload` under `opcode`, expects an Ok frame back, and
+  // returns its payload (the OK line sans prefix); an Err frame becomes
+  // the same Status the text path would produce.
+  Result<std::string> RoundTripOk(uint8_t opcode, std::string_view payload);
+  // As RoundTripOk for verdict-shaped queries: (consistent, indices).
+  Result<std::pair<bool, std::vector<size_t>>> RoundTripVerdict(
+      uint8_t opcode, std::string_view payload);
+  // Re-renders one server frame as the text lines the text framing would
+  // have produced for the same response (byte-identical).
+  Result<std::vector<std::string>> FrameToLines(uint8_t opcode,
+                                                const std::string& payload);
+
   int fd_ = -1;
   std::string banner_;
   std::string inbuf_;
+  bool binary_ = false;
   std::vector<AttrId> shipped_;  // attributes already shipped as DICT blocks
 };
 

@@ -85,6 +85,10 @@ class EngineSnapshot {
   std::string WriteBagText(const Bag& bag) const;
 
   uint64_t seq() const { return seq_; }
+  /// The catalog/dictionaries the snapshot decodes results through —
+  /// for encoders (binary witness frames) that mirror WriteBagText.
+  const AttributeCatalog& catalog() const { return catalog_; }
+  const DictionarySet* dictionaries() const { return dicts_.get(); }
   size_t num_bags() const { return names_.size(); }
   const std::string& bag_name(size_t i) const { return names_[i]; }
   /// Total support rows across the sealed collection.

@@ -1,7 +1,7 @@
 #include "server/protocol.h"
 
 #include <charconv>
-#include <sstream>
+#include <cstring>
 
 #include "bag/bag_io.h"
 
@@ -63,10 +63,18 @@ std::string WireStrip(const std::string& line) {
 }
 
 std::vector<std::string> WireTokens(const std::string& line) {
+  // Manual scan, not istringstream: command tokenization sits on the
+  // per-request hot path and stream extraction costs an allocation plus
+  // locale machinery per token.
   std::vector<std::string> out;
-  std::istringstream iss(WireStrip(line));
-  std::string token;
-  while (iss >> token) out.push_back(token);
+  std::string_view s = StripCommentView(line);
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    size_t begin = i;
+    while (i < s.size() && s[i] != ' ' && s[i] != '\t') ++i;
+    if (i > begin) out.emplace_back(s.substr(begin, i - begin));
+  }
   return out;
 }
 
@@ -86,6 +94,86 @@ Result<uint64_t> WireParseUint(const std::string& token) {
     return Status::InvalidArgument("not a non-negative integer: '" + token + "'");
   }
   return value;
+}
+
+uint8_t WireErrorTag(WireError error) { return static_cast<uint8_t>(error); }
+
+Result<WireError> WireErrorFromTag(uint8_t tag) {
+  if (tag > static_cast<uint8_t>(WireError::kInternal)) {
+    return Status::InvalidArgument("unknown error tag " + std::to_string(tag));
+  }
+  return static_cast<WireError>(tag);
+}
+
+void WireAppendU16(std::string* out, uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  out->append(b, sizeof(b));
+}
+
+void WireAppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, sizeof(b));
+}
+
+void WireAppendU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, sizeof(b));
+}
+
+void WireAppendString(std::string* out, std::string_view s) {
+  WireAppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void WireAppendFrame(std::string* out, uint8_t opcode, std::string_view payload) {
+  WireAppendU32(out, static_cast<uint32_t>(payload.size()));
+  out->push_back(static_cast<char>(opcode));
+  out->append(payload.data(), payload.size());
+}
+
+namespace {
+
+// memcpy + shift assembly, not pointer punning: payload integers are
+// unaligned and a reinterpret_cast load would be UB (and trap under
+// UBSan exactly where the segment tests look).
+template <typename T>
+bool CursorLoad(std::string_view data, size_t* pos, bool* ok, T* v) {
+  if (!*ok || data.size() - *pos < sizeof(T)) {
+    *ok = false;
+    return false;
+  }
+  unsigned char raw[sizeof(T)];
+  std::memcpy(raw, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  uint64_t acc = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) acc |= uint64_t{raw[i]} << (8 * i);
+  *v = static_cast<T>(acc);
+  return true;
+}
+
+}  // namespace
+
+bool WireCursor::U8(uint8_t* v) { return CursorLoad(data_, &pos_, &ok_, v); }
+bool WireCursor::U16(uint16_t* v) { return CursorLoad(data_, &pos_, &ok_, v); }
+bool WireCursor::U32(uint32_t* v) { return CursorLoad(data_, &pos_, &ok_, v); }
+bool WireCursor::U64(uint64_t* v) { return CursorLoad(data_, &pos_, &ok_, v); }
+
+bool WireCursor::Bytes(size_t n, std::string_view* v) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *v = data_.substr(pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool WireCursor::String(std::string_view* v) {
+  uint32_t len = 0;
+  if (!U32(&len)) return false;
+  return Bytes(len, v);
 }
 
 }  // namespace bagc

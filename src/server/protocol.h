@@ -7,8 +7,17 @@
 // grammar, the session lifecycle, and an annotated transcript live in
 // docs/PROTOCOL.md — this header is the single in-code source of the
 // literal strings both sides (ServerSession, BagcdClient) must agree on.
+//
+// A session may also negotiate the *binary framing* ("UPGRADE BINARY"):
+// after the OK, both directions switch from lines to length-prefixed
+// little-endian frames ([u32 payload length][u8 opcode][payload]). The
+// frame vocabulary — opcodes, integer widths, payload grammars — lives
+// here too, as shared append/read helpers, so the server-side encoder
+// (session.cc) and the client-side decoder (client.cc) cannot drift.
+// "CMD TEXT" (a kFrameCmd carrying the verb TEXT) drops back to lines.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -72,5 +81,89 @@ bool WireResponseHasBody(const std::string& first_line);
 
 /// Parses a non-negative integer token (no sign, no suffix).
 Result<uint64_t> WireParseUint(const std::string& token);
+
+// ---- Binary framing ------------------------------------------------------
+//
+// Frame layout (both directions, after a successful "UPGRADE BINARY"):
+//
+//   [u32 payload_length LE][u8 opcode][payload_length bytes]
+//
+// Integers inside payloads are little-endian and unaligned; strings are
+// length-prefixed byte sequences (no NUL, no escaping). Client->server
+// opcodes are < 0x80, server->client opcodes >= 0x80.
+
+/// Capability the server advertises in its HELLO response ("frames 1").
+inline constexpr int kWireFrameVersion = 1;
+
+/// Bytes before the payload: u32 length + u8 opcode.
+inline constexpr size_t kWireFrameHeaderBytes = 5;
+
+/// Ceiling on one frame's payload. Matches the text path's body cap: a
+/// peer that claims a multi-gigabyte frame is abusing the framing and
+/// the connection is dropped rather than buffered.
+inline constexpr size_t kWireMaxFramePayload = size_t{1} << 28;  // 256 MiB
+
+// Client -> server frames.
+inline constexpr uint8_t kFrameCmd = 0x01;      ///< one text command line (no body)
+inline constexpr uint8_t kFrameDict = 0x02;     ///< DICT block: name + values
+inline constexpr uint8_t kFrameRows = 0x03;     ///< LOADU32 block: raw id rows
+inline constexpr uint8_t kFrameTwoBag = 0x04;   ///< u32 i, u32 j
+inline constexpr uint8_t kFramePairwise = 0x05; ///< empty payload
+inline constexpr uint8_t kFrameGlobal = 0x06;   ///< empty payload
+inline constexpr uint8_t kFrameKWise = 0x07;    ///< u32 k
+inline constexpr uint8_t kFrameWitness = 0x08;  ///< u32 i, u32 j, u8 minimal
+
+// Server -> client frames.
+inline constexpr uint8_t kFrameOk = 0x80;         ///< OK line sans "OK " prefix
+inline constexpr uint8_t kFrameErr = 0x81;        ///< u8 error class + message
+inline constexpr uint8_t kFrameVerdict = 0x82;    ///< u8 consistent + u32 n + n×u32
+inline constexpr uint8_t kFrameWitnessBag = 0x83; ///< decoded witness rows
+inline constexpr uint8_t kFrameStats = 0x84;      ///< u32 n + n×(key, u64 value)
+
+/// The u8 payload tag of a WireError inside a kFrameErr frame, and back.
+uint8_t WireErrorTag(WireError error);
+Result<WireError> WireErrorFromTag(uint8_t tag);
+
+/// Little-endian integer appenders (unaligned).
+void WireAppendU16(std::string* out, uint16_t v);
+void WireAppendU32(std::string* out, uint32_t v);
+void WireAppendU64(std::string* out, uint64_t v);
+
+/// Appends a length-prefixed string: u32 byte count + bytes.
+void WireAppendString(std::string* out, std::string_view s);
+
+/// Appends one complete frame (header + payload).
+void WireAppendFrame(std::string* out, uint8_t opcode, std::string_view payload);
+
+/// \brief Bounds-checked little-endian payload reader.
+///
+/// Every accessor returns false once the payload is exhausted (and from
+/// then on — the cursor latches failed), so a decoder can parse a whole
+/// grammar and check ok() once at the end.
+class WireCursor {
+ public:
+  explicit WireCursor(std::string_view payload) : data_(payload) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  /// Reads a u32 length prefix, then that many bytes (view into payload).
+  bool String(std::string_view* v);
+  /// Reads exactly n raw bytes (view into payload).
+  bool Bytes(size_t n, std::string_view* v);
+
+  /// True while no read has run past the end.
+  bool ok() const { return ok_; }
+  /// True when the payload is fully consumed (trailing bytes are a
+  /// framing error for fixed grammars).
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
 
 }  // namespace bagc

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "bag/bag_io.h"
+#include "tuple/segment.h"
 
 namespace bagc {
 
@@ -21,6 +22,12 @@ constexpr uint64_t kMaxSealThreads = 64;
 // may take the daemon down. Overflowing blocks answer E_RANGE.
 constexpr size_t kMaxBodyLines = size_t{1} << 22;  // ~4.2M rows per block
 constexpr size_t kMaxBodyBytes = size_t{1} << 28;  // 256 MiB per block
+
+// Longest accepted text-mode input line. Real rows are tens of bytes; a
+// peer that streams megabytes without a newline is abusing the framing,
+// and the session must bound its buffering rather than grow until the
+// OOM killer takes every session down.
+constexpr size_t kMaxLineBytes = 1 << 20;
 
 // Runs `fn` on the server's shared query pool (the fan-out point for
 // concurrent sessions) and blocks this session until it finishes; inline
@@ -45,6 +52,139 @@ std::vector<std::string> SplitBody(const std::string& text) {
   return lines;
 }
 
+// The protocol-v1 text encoder. Its output is pinned byte-for-byte by
+// the docs/PROTOCOL.md transcript replay — change nothing here without
+// changing the transcript.
+class TextSink final : public ServerSession::ResponseSink {
+ public:
+  explicit TextSink(std::vector<std::string>* out) : out_(out) {}
+
+  void Ok(const std::string& rest) override { out_->push_back("OK " + rest); }
+
+  void Err(WireError error, const std::string& message) override {
+    out_->push_back(WireErrLine(error, message));
+  }
+
+  void Verdict(bool consistent, const std::vector<size_t>& indices) override {
+    if (consistent) {
+      out_->push_back("OK CONSISTENT");
+      return;
+    }
+    std::string line = "OK INCONSISTENT";
+    for (size_t index : indices) line += " " + std::to_string(index);
+    out_->push_back(std::move(line));
+  }
+
+  void WitnessNone() override { out_->push_back("OK NONE"); }
+
+  void WitnessBag(const Bag& bag, const EngineSnapshot& snapshot) override {
+    out_->push_back("OK WITNESS " + std::to_string(bag.SupportSize()));
+    for (std::string& line : SplitBody(snapshot.WriteBagText(bag))) {
+      out_->push_back(std::move(line));
+    }
+    out_->push_back(std::string(kWireEnd));
+  }
+
+  void Stats(const std::vector<std::pair<std::string, uint64_t>>& kv) override {
+    out_->push_back("OK STATS");
+    for (const auto& [key, value] : kv) {
+      out_->push_back(key + " " + std::to_string(value));
+    }
+    out_->push_back(std::string(kWireEnd));
+  }
+
+ private:
+  std::vector<std::string>* out_;
+};
+
+// The binary encoder: one frame per response, appended straight into
+// the transport's output buffer (no per-response allocation on the
+// query path beyond the payload scratch).
+class BinarySink final : public ServerSession::ResponseSink {
+ public:
+  explicit BinarySink(std::string* out) : out_(out) {}
+
+  void Ok(const std::string& rest) override {
+    WireAppendFrame(out_, kFrameOk, rest);
+  }
+
+  void Err(WireError error, const std::string& message) override {
+    std::string payload;
+    payload.reserve(1 + message.size());
+    payload.push_back(static_cast<char>(WireErrorTag(error)));
+    payload += message;
+    WireAppendFrame(out_, kFrameErr, payload);
+  }
+
+  void Verdict(bool consistent, const std::vector<size_t>& indices) override {
+    std::string payload;
+    payload.reserve(5 + 4 * indices.size());
+    payload.push_back(consistent ? '\1' : '\0');
+    WireAppendU32(&payload, static_cast<uint32_t>(indices.size()));
+    for (size_t index : indices) {
+      WireAppendU32(&payload, static_cast<uint32_t>(index));
+    }
+    WireAppendFrame(out_, kFrameVerdict, payload);
+  }
+
+  void WitnessNone() override {
+    WireAppendFrame(out_, kFrameWitnessBag, std::string_view("\0", 1));
+  }
+
+  void WitnessBag(const Bag& bag, const EngineSnapshot& snapshot) override {
+    // Rows ship as decoded externals, exactly the values the text body
+    // prints: under SEAL CANONICAL the snapshot's id space differs from
+    // the session's, so raw ids would be undecodable client-side.
+    const Schema& schema = bag.schema();
+    const DictionarySet* dicts = snapshot.dictionaries();
+    std::vector<const ValueDictionary*> slot_dict(schema.arity(), nullptr);
+    for (size_t i = 0; i < schema.arity(); ++i) {
+      if (dicts != nullptr) slot_dict[i] = dicts->find_dict(schema.at(i));
+    }
+    std::string payload;
+    payload.push_back('\1');
+    WireAppendU32(&payload, static_cast<uint32_t>(schema.arity()));
+    for (size_t i = 0; i < schema.arity(); ++i) {
+      WireAppendString(&payload, snapshot.catalog().Name(schema.at(i)));
+    }
+    WireAppendU64(&payload, bag.SupportSize());
+    for (const auto& [tuple, mult] : bag.entries()) {
+      for (size_t i = 0; i < schema.arity(); ++i) {
+        const ValueDictionary* d = slot_dict[i];
+        if (d != nullptr && tuple.id(i) < d->size()) {
+          WireAppendString(&payload, d->ExternalOf(tuple.id(i)));
+        } else {
+          WireAppendString(&payload, std::to_string(tuple.at(i)));
+        }
+      }
+      WireAppendU64(&payload, mult);
+    }
+    WireAppendFrame(out_, kFrameWitnessBag, payload);
+  }
+
+  void Stats(const std::vector<std::pair<std::string, uint64_t>>& kv) override {
+    std::string payload;
+    WireAppendU32(&payload, static_cast<uint32_t>(kv.size()));
+    for (const auto& [key, value] : kv) {
+      WireAppendString(&payload, key);
+      WireAppendU64(&payload, value);
+    }
+    WireAppendFrame(out_, kFrameStats, payload);
+  }
+
+ private:
+  std::string* out_;
+};
+
+// Server-side twin of the client's wire-value validation: a dictionary
+// value that a binary DICT frame can carry but the text framing cannot
+// represent (whitespace, '#', empty) would corrupt every later text
+// response that decodes it, so it is refused at the boundary.
+bool WireRepresentable(std::string_view value) {
+  return !value.empty() &&
+         value.find_first_of("# \t\r\n") == std::string_view::npos;
+}
+
 }  // namespace
 
 ServerSession::ServerSession(SnapshotRegistry* registry, ThreadPool* query_pool)
@@ -54,11 +194,70 @@ ServerSession::ServerSession(SnapshotRegistry* registry, ThreadPool* query_pool)
 
 ServerSession::~ServerSession() { registry_->SessionClosed(); }
 
+ServerSession::Outcome ServerSession::HandleData(std::string_view data,
+                                                 std::string* out) {
+  inbuf_.append(data.data(), data.size());
+  size_t consumed = 0;
+  Outcome outcome = Outcome::kContinue;
+  while (outcome == Outcome::kContinue) {
+    if (mode_ == Mode::kText) {
+      size_t nl = inbuf_.find('\n', consumed);
+      if (nl == std::string::npos) {
+        if (inbuf_.size() - consumed > kMaxLineBytes) {
+          *out += WireErrLine(WireError::kRange,
+                              "input line exceeds " +
+                                  std::to_string(kMaxLineBytes) + " bytes");
+          *out += '\n';
+          outcome = Outcome::kCloseConnection;
+        }
+        break;
+      }
+      std::string line = inbuf_.substr(consumed, nl - consumed);
+      consumed = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::vector<std::string> responses;
+      outcome = HandleLine(line, &responses);
+      for (const std::string& response : responses) {
+        *out += response;
+        *out += '\n';
+      }
+      // A successful UPGRADE flips mode_ mid-buffer; the loop re-checks
+      // it each iteration, so bytes already received parse as frames.
+    } else {
+      if (inbuf_.size() - consumed < kWireFrameHeaderBytes) break;
+      WireCursor header(
+          std::string_view(inbuf_).substr(consumed, kWireFrameHeaderBytes));
+      uint32_t payload_len = 0;
+      uint8_t opcode = 0;
+      header.U32(&payload_len);
+      header.U8(&opcode);
+      if (payload_len > kWireMaxFramePayload) {
+        // No resync is possible mid-frame; refuse and close.
+        BinarySink sink(out);
+        sink.Err(WireError::kRange,
+                 "frame payload exceeds " +
+                     std::to_string(kWireMaxFramePayload) + " bytes");
+        outcome = Outcome::kCloseConnection;
+        break;
+      }
+      if (inbuf_.size() - consumed - kWireFrameHeaderBytes < payload_len) break;
+      std::string_view payload(inbuf_.data() + consumed + kWireFrameHeaderBytes,
+                               payload_len);
+      consumed += kWireFrameHeaderBytes + payload_len;
+      BinarySink sink(out);
+      outcome = HandleFrame(opcode, payload, &sink);
+    }
+  }
+  inbuf_.erase(0, consumed);
+  return outcome;
+}
+
 ServerSession::Outcome ServerSession::HandleLine(const std::string& line,
                                                  std::vector<std::string>* out) {
+  TextSink sink(out);
   if (body_ != Body::kNone) {
     if (WireStrip(line) == kWireEnd) {
-      FinishBody(out);
+      FinishBody(&sink);
     } else if (body_lines_.size() >= kMaxBodyLines ||
                body_bytes_ + line.size() > kMaxBodyBytes) {
       body_overflow_ = true;  // keep consuming, stop buffering
@@ -70,7 +269,7 @@ ServerSession::Outcome ServerSession::HandleLine(const std::string& line,
   }
   std::vector<std::string> tokens = WireTokens(line);
   if (tokens.empty()) return Outcome::kContinue;  // blank / comment line
-  return HandleCommand(tokens, out);
+  return HandleCommand(tokens, &sink);
 }
 
 std::vector<std::string> ServerSession::HandleScript(const std::string& text) {
@@ -84,9 +283,17 @@ std::vector<std::string> ServerSession::HandleScript(const std::string& text) {
 }
 
 ServerSession::Outcome ServerSession::HandleCommand(
-    const std::vector<std::string>& tokens, std::vector<std::string>* out) {
+    const std::vector<std::string>& tokens, ResponseSink* sink) {
   const std::string& cmd = tokens[0];
   if (WireCommandHasBody(cmd)) {
+    if (mode_ == Mode::kBinary) {
+      // Bodies are line-framed; inside the binary framing they travel as
+      // DICT/ROWS frames instead.
+      sink->Err(WireError::kState,
+                cmd + " blocks are not available in binary mode; ship a " +
+                    (cmd == "DICT" ? "DICT" : "ROWS") + " frame");
+      return Outcome::kContinue;
+    }
     // Enter body mode even on a bad header: the body is always consumed
     // through END before the (possibly ERR) response, so a bad header
     // can never desynchronize the line stream.
@@ -97,63 +304,144 @@ ServerSession::Outcome ServerSession::HandleCommand(
     return Outcome::kContinue;
   }
   if (cmd == "SEAL") {
-    HandleSeal(tokens, out);
+    HandleSeal(tokens, sink);
   } else if (cmd == "TWOBAG") {
-    HandleTwoBag(tokens, out);
+    HandleTwoBag(tokens, sink);
   } else if (cmd == "PAIRWISE") {
-    HandlePairwise(out);
+    HandlePairwise(sink);
   } else if (cmd == "GLOBAL") {
-    HandleGlobal(out);
+    HandleGlobal(sink);
   } else if (cmd == "KWISE") {
-    HandleKWise(tokens, out);
+    HandleKWise(tokens, sink);
   } else if (cmd == "WITNESS") {
-    HandleWitness(tokens, out);
+    HandleWitness(tokens, sink);
   } else if (cmd == "STATS") {
-    HandleStats(out);
+    HandleStats(sink);
   } else if (cmd == "RESET") {
-    HandleReset(tokens, out);
+    HandleReset(tokens, sink);
+  } else if (cmd == "HELLO") {
+    HandleHello(tokens, sink);
+  } else if (cmd == "UPGRADE") {
+    HandleUpgrade(tokens, sink);
+  } else if (cmd == "TEXT") {
+    // Idempotent downgrade: the OK is the last frame (or a plain text
+    // line when already in text mode); everything after is lines.
+    sink->Ok("TEXT");
+    mode_ = Mode::kText;
+  } else if (cmd == "LOADSEG") {
+    HandleLoadSeg(tokens, sink);
   } else if (cmd == "QUIT") {
-    out->push_back("OK BYE");
+    sink->Ok("BYE");
     return Outcome::kCloseConnection;
   } else if (cmd == "SHUTDOWN") {
-    out->push_back("OK BYE");
+    sink->Ok("BYE");
     return Outcome::kShutdownServer;
   } else {
-    out->push_back(
-        WireErrLine(WireError::kParse, "unknown command '" + cmd + "'"));
+    sink->Err(WireError::kParse, "unknown command '" + cmd + "'");
   }
   return Outcome::kContinue;
 }
 
-void ServerSession::FinishBody(std::vector<std::string>* out) {
+ServerSession::Outcome ServerSession::HandleFrame(uint8_t opcode,
+                                                  std::string_view payload,
+                                                  ResponseSink* sink) {
+  switch (opcode) {
+    case kFrameCmd: {
+      std::vector<std::string> tokens = WireTokens(std::string(payload));
+      if (tokens.empty()) {
+        sink->Err(WireError::kParse, "empty command frame");
+        return Outcome::kContinue;
+      }
+      return HandleCommand(tokens, sink);
+    }
+    case kFrameDict:
+      HandleDictFrame(payload, sink);
+      return Outcome::kContinue;
+    case kFrameRows:
+      HandleRowsFrame(payload, sink);
+      return Outcome::kContinue;
+    case kFrameTwoBag: {
+      WireCursor cur(payload);
+      uint32_t i = 0, j = 0;
+      if (!cur.U32(&i) || !cur.U32(&j) || !cur.AtEnd()) {
+        sink->Err(WireError::kParse, "TWOBAG frame carries u32 i, u32 j");
+        return Outcome::kContinue;
+      }
+      QueryTwoBag(i, j, sink);
+      return Outcome::kContinue;
+    }
+    case kFramePairwise:
+      if (!payload.empty()) {
+        sink->Err(WireError::kParse, "PAIRWISE frame carries no payload");
+        return Outcome::kContinue;
+      }
+      HandlePairwise(sink);
+      return Outcome::kContinue;
+    case kFrameGlobal:
+      if (!payload.empty()) {
+        sink->Err(WireError::kParse, "GLOBAL frame carries no payload");
+        return Outcome::kContinue;
+      }
+      HandleGlobal(sink);
+      return Outcome::kContinue;
+    case kFrameKWise: {
+      WireCursor cur(payload);
+      uint32_t k = 0;
+      if (!cur.U32(&k) || !cur.AtEnd()) {
+        sink->Err(WireError::kParse, "KWISE frame carries u32 k");
+        return Outcome::kContinue;
+      }
+      QueryKWise(k, sink);
+      return Outcome::kContinue;
+    }
+    case kFrameWitness: {
+      WireCursor cur(payload);
+      uint32_t i = 0, j = 0;
+      uint8_t minimal = 0;
+      if (!cur.U32(&i) || !cur.U32(&j) || !cur.U8(&minimal) || !cur.AtEnd() ||
+          minimal > 1) {
+        sink->Err(WireError::kParse,
+                  "WITNESS frame carries u32 i, u32 j, u8 minimal");
+        return Outcome::kContinue;
+      }
+      QueryWitness(i, j, minimal == 1, sink);
+      return Outcome::kContinue;
+    }
+    default:
+      // The frame boundary is still known, so the stream can continue.
+      sink->Err(WireError::kParse,
+                "unknown frame opcode " + std::to_string(opcode));
+      return Outcome::kContinue;
+  }
+}
+
+void ServerSession::FinishBody(ResponseSink* sink) {
   Body body = body_;
   body_ = Body::kNone;
   if (body_overflow_) {
     body_overflow_ = false;
-    out->push_back(WireErrLine(
-        WireError::kRange,
-        "request body exceeds " + std::to_string(kMaxBodyLines) + " lines or " +
-            std::to_string(kMaxBodyBytes) + " bytes"));
+    sink->Err(WireError::kRange,
+              "request body exceeds " + std::to_string(kMaxBodyLines) +
+                  " lines or " + std::to_string(kMaxBodyBytes) + " bytes");
   } else if (body == Body::kDict) {
-    FinishDict(out);
+    FinishDict(sink);
   } else {
-    FinishLoad(out);
+    FinishLoad(sink);
   }
   body_header_.clear();
   body_lines_.clear();
   body_bytes_ = 0;
 }
 
-void ServerSession::FinishDict(std::vector<std::string>* out) {
+void ServerSession::FinishDict(ResponseSink* sink) {
   if (body_header_.size() != 3) {
-    out->push_back(
-        WireErrLine(WireError::kParse, "usage: DICT <attribute> <count>"));
+    sink->Err(WireError::kParse, "usage: DICT <attribute> <count>");
     return;
   }
   const std::string& attr_name = body_header_[1];
   Result<uint64_t> count = WireParseUint(body_header_[2]);
   if (!count.ok()) {
-    out->push_back(WireErrLineForStatus(count.status()));
+    sink->ErrStatus(count.status());
     return;
   }
   std::vector<std::string> values;
@@ -162,50 +450,52 @@ void ServerSession::FinishDict(std::vector<std::string>* out) {
     std::vector<std::string> tokens = WireTokens(raw);
     if (tokens.empty()) continue;  // blank / comment line
     if (tokens.size() != 1) {
-      out->push_back(WireErrLine(WireError::kParse,
-                                 "dictionary values are one token per line"));
+      sink->Err(WireError::kParse, "dictionary values are one token per line");
       return;
     }
     values.push_back(std::move(tokens[0]));
   }
   if (values.size() != *count) {
-    out->push_back(WireErrLine(
-        WireError::kParse, "DICT " + attr_name + " declared " +
-                               std::to_string(*count) + " values but shipped " +
-                               std::to_string(values.size())));
+    sink->Err(WireError::kParse,
+              "DICT " + attr_name + " declared " + std::to_string(*count) +
+                  " values but shipped " + std::to_string(values.size()));
     return;
   }
   AttrId attr = catalog_.Intern(attr_name);
   Status loaded = dicts_->dict(attr).BulkLoad(values);
   if (!loaded.ok()) {
-    out->push_back(WireErrLineForStatus(loaded));
+    sink->ErrStatus(loaded);
     return;
   }
-  out->push_back("OK DICT " + attr_name + " " + std::to_string(values.size()));
+  sink->Ok("DICT " + attr_name + " " + std::to_string(values.size()));
 }
 
-void ServerSession::FinishLoad(std::vector<std::string>* out) {
+bool ServerSession::CheckNewBagName(const std::string& name,
+                                    ResponseSink* sink) {
+  bool all_digits = !name.empty();
+  for (char c : name) all_digits = all_digits && c >= '0' && c <= '9';
+  if (name.empty() || all_digits) {
+    sink->Err(WireError::kParse,
+              "bag name '" + name +
+                  "' must not be all digits (reserved for indices)");
+    return false;
+  }
+  if (HasBag(name)) {
+    sink->Err(WireError::kState, "bag '" + name + "' is already loaded");
+    return false;
+  }
+  return true;
+}
+
+void ServerSession::FinishLoad(ResponseSink* sink) {
   bool raw_ids = body_header_[0] == "LOADU32";
   if (body_header_.size() < 3) {
-    out->push_back(WireErrLine(
-        WireError::kParse,
-        "usage: " + body_header_[0] + " <bag-name> <attribute...>"));
+    sink->Err(WireError::kParse,
+              "usage: " + body_header_[0] + " <bag-name> <attribute...>");
     return;
   }
   const std::string& name = body_header_[1];
-  bool all_digits = true;
-  for (char c : name) all_digits = all_digits && c >= '0' && c <= '9';
-  if (all_digits) {
-    out->push_back(WireErrLine(
-        WireError::kParse,
-        "bag name '" + name + "' must not be all digits (reserved for indices)"));
-    return;
-  }
-  if (HasBag(name)) {
-    out->push_back(WireErrLine(WireError::kState,
-                               "bag '" + name + "' is already loaded"));
-    return;
-  }
+  if (!CheckNewBagName(name, sink)) return;
   // Reassemble a bag IO block and hand it to the matching parser arm.
   std::vector<std::string> lines;
   lines.reserve(body_lines_.size() + 2);
@@ -222,24 +512,243 @@ void ServerSession::FinishLoad(std::vector<std::string>* out) {
       raw_ids ? ParseBagU32(lines, &pos, &catalog_, *dicts_)
               : ParseBag(lines, &pos, &catalog_, dicts_.get());
   if (!bag.ok()) {
-    out->push_back(WireErrLineForStatus(bag.status()));
+    sink->ErrStatus(bag.status());
     return;
   }
   if (pos != lines.size()) {
     // A stray lowercase "end" row terminated the block early.
-    out->push_back(WireErrLine(WireError::kParse,
-                               "unexpected content after 'end' in a row block"));
+    sink->Err(WireError::kParse,
+              "unexpected content after 'end' in a row block");
     return;
   }
   size_t support = bag->SupportSize();
   bag_names_.push_back(name);
   bags_.push_back(std::move(bag).value());
-  out->push_back("OK " + body_header_[0] + " " + name + " " +
-                 std::to_string(support) + " rows");
+  sink->Ok(body_header_[0] + " " + name + " " + std::to_string(support) +
+           " rows");
+}
+
+void ServerSession::HandleDictFrame(std::string_view payload,
+                                    ResponseSink* sink) {
+  WireCursor cur(payload);
+  std::string_view attr_view;
+  uint32_t count = 0;
+  if (!cur.String(&attr_view) || !cur.U32(&count)) {
+    sink->Err(WireError::kParse, "malformed DICT frame header");
+    return;
+  }
+  if (!WireRepresentable(attr_view)) {
+    sink->Err(WireError::kParse,
+              "attribute name is not representable on the wire");
+    return;
+  }
+  std::vector<std::string> values;
+  values.reserve(count);
+  for (uint32_t v = 0; v < count; ++v) {
+    std::string_view value;
+    if (!cur.String(&value)) {
+      sink->Err(WireError::kParse,
+                "DICT frame declared " + std::to_string(count) +
+                    " values but carries " + std::to_string(v));
+      return;
+    }
+    if (!WireRepresentable(value)) {
+      sink->Err(WireError::kParse,
+                "value '" + std::string(value) +
+                    "' is not representable on the wire");
+      return;
+    }
+    values.emplace_back(value);
+  }
+  if (!cur.AtEnd()) {
+    sink->Err(WireError::kParse, "trailing bytes in DICT frame");
+    return;
+  }
+  std::string attr_name(attr_view);
+  AttrId attr = catalog_.Intern(attr_name);
+  Status loaded = dicts_->dict(attr).BulkLoad(values);
+  if (!loaded.ok()) {
+    sink->ErrStatus(loaded);
+    return;
+  }
+  sink->Ok("DICT " + attr_name + " " + std::to_string(values.size()));
+}
+
+void ServerSession::HandleRowsFrame(std::string_view payload,
+                                    ResponseSink* sink) {
+  WireCursor cur(payload);
+  std::string_view name_view;
+  uint32_t ncols = 0;
+  if (!cur.String(&name_view) || !cur.U32(&ncols) || ncols == 0) {
+    sink->Err(WireError::kParse, "malformed ROWS frame header");
+    return;
+  }
+  std::vector<std::string> col_names;
+  col_names.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string_view col;
+    if (!cur.String(&col)) {
+      sink->Err(WireError::kParse, "malformed ROWS frame header");
+      return;
+    }
+    col_names.emplace_back(col);
+  }
+  uint64_t nrows = 0;
+  if (!cur.U64(&nrows)) {
+    sink->Err(WireError::kParse, "malformed ROWS frame header");
+    return;
+  }
+  // Fixed-width remainder: exactly nrows × (ncols ids + one mult).
+  uint64_t row_bytes = uint64_t{ncols} * 4 + 8;
+  if (nrows != cur.remaining() / row_bytes ||
+      cur.remaining() % row_bytes != 0) {
+    sink->Err(WireError::kParse,
+              "ROWS frame declares " + std::to_string(nrows) +
+                  " rows but carries " + std::to_string(cur.remaining()) +
+                  " bytes of row data");
+    return;
+  }
+  std::string name(name_view);
+  if (!CheckNewBagName(name, sink)) return;
+  // Scatter the row-major wire layout into column-major scratch so the
+  // shared columnar ingest (and its validation) runs on it directly.
+  std::vector<ValueId> cols(size_t{ncols} * nrows);
+  std::vector<uint64_t> mults(nrows);
+  for (uint64_t r = 0; r < nrows; ++r) {
+    for (uint32_t c = 0; c < ncols; ++c) {
+      uint32_t id = 0;
+      cur.U32(&id);
+      cols[size_t{c} * nrows + r] = id;
+    }
+    cur.U64(&mults[r]);
+  }
+  std::vector<const ValueId*> ptrs(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) ptrs[c] = cols.data() + size_t{c} * nrows;
+  ColumnView view(std::move(ptrs), nrows);
+  Result<Bag> bag =
+      BagFromU32Columns(col_names, view, mults.data(), &catalog_, *dicts_);
+  if (!bag.ok()) {
+    sink->ErrStatus(bag.status());
+    return;
+  }
+  size_t support = bag->SupportSize();
+  bag_names_.push_back(name);
+  bags_.push_back(std::move(bag).value());
+  sink->Ok("LOADU32 " + name + " " + std::to_string(support) + " rows");
+}
+
+void ServerSession::HandleHello(const std::vector<std::string>& tokens,
+                                ResponseSink* sink) {
+  if (tokens.size() != 1) {
+    sink->Err(WireError::kParse, "usage: HELLO");
+    return;
+  }
+  sink->Ok("HELLO proto " + std::to_string(kWireProtocolVersion) + " frames " +
+           std::to_string(kWireFrameVersion));
+}
+
+void ServerSession::HandleUpgrade(const std::vector<std::string>& tokens,
+                                  ResponseSink* sink) {
+  if (tokens.size() != 2 || tokens[1] != "BINARY") {
+    sink->Err(WireError::kParse, "usage: UPGRADE BINARY");
+    return;
+  }
+  if (mode_ == Mode::kBinary) {
+    sink->Err(WireError::kState, "session is already in binary mode");
+    return;
+  }
+  // The OK is the last text line; every byte after it frames.
+  sink->Ok("UPGRADE BINARY");
+  mode_ = Mode::kBinary;
+}
+
+void ServerSession::HandleLoadSeg(const std::vector<std::string>& tokens,
+                                  ResponseSink* sink) {
+  if (tokens.size() != 2) {
+    sink->Err(WireError::kParse, "usage: LOADSEG <path>");
+    return;
+  }
+  Result<SegmentReader> reader = SegmentReader::Map(tokens[1]);
+  if (!reader.ok()) {
+    sink->ErrStatus(reader.status());
+    return;
+  }
+  // The segment ships its own dictionaries, so the session must not
+  // already hold one for any of its attributes (the same no-merge rule
+  // as a second DICT block). Validate everything, and build every bag
+  // against the segment's own dictionary set, BEFORE touching session
+  // state: a failed LOADSEG leaves the session unchanged.
+  std::vector<AttrId> attr_ids(reader->num_attrs());
+  std::vector<std::vector<std::string>> attr_values(reader->num_attrs());
+  DictionarySet seg_dicts;
+  for (size_t a = 0; a < reader->num_attrs(); ++a) {
+    std::string name(reader->attr_name(a));
+    if (!WireRepresentable(name)) {
+      sink->Err(WireError::kParse,
+                "segment attribute name is not representable on the wire");
+      return;
+    }
+    attr_ids[a] = catalog_.Intern(name);
+    if (dicts_->find_dict(attr_ids[a]) != nullptr) {
+      sink->Err(WireError::kState,
+                "attribute '" + name +
+                    "' already has a dictionary in this session");
+      return;
+    }
+    attr_values[a] = reader->AttrValues(a);
+    Status loaded = seg_dicts.dict(attr_ids[a]).BulkLoad(attr_values[a]);
+    if (!loaded.ok()) {
+      sink->ErrStatus(loaded);
+      return;
+    }
+  }
+  std::vector<std::string> new_names;
+  std::vector<Bag> new_bags;
+  size_t total_support = 0;
+  for (size_t b = 0; b < reader->num_bags(); ++b) {
+    std::string name(reader->bag_name(b));
+    if (!CheckNewBagName(name, sink)) return;
+    for (const std::string& prior : new_names) {
+      if (prior == name) {
+        sink->Err(WireError::kState,
+                  "bag '" + name + "' appears twice in the segment");
+        return;
+      }
+    }
+    std::vector<std::string> col_names;
+    col_names.reserve(reader->bag_arity(b));
+    for (size_t c = 0; c < reader->bag_arity(b); ++c) {
+      col_names.emplace_back(reader->attr_name(reader->bag_attr(b, c)));
+    }
+    // Zero parse: the columns feed the ingest straight from the mapping.
+    ColumnStore columns = reader->Columns(b);
+    Result<Bag> bag = BagFromU32Columns(col_names, columns.View(),
+                                        reader->Mults(b), &catalog_, seg_dicts);
+    if (!bag.ok()) {
+      sink->ErrStatus(bag.status());
+      return;
+    }
+    total_support += bag->SupportSize();
+    new_names.push_back(std::move(name));
+    new_bags.push_back(std::move(bag).value());
+  }
+  // Commit. Moving the validated segment dictionaries into the live set
+  // hands over the exact id space the bags were built against without
+  // re-hashing a single string (the target dictionaries are empty —
+  // pre-checked above — so the move is the whole state).
+  for (size_t a = 0; a < reader->num_attrs(); ++a) {
+    dicts_->dict(attr_ids[a]) = std::move(seg_dicts.dict(attr_ids[a]));
+  }
+  for (size_t b = 0; b < new_names.size(); ++b) {
+    bag_names_.push_back(std::move(new_names[b]));
+    bags_.push_back(std::move(new_bags[b]));
+  }
+  sink->Ok("LOADSEG " + std::to_string(reader->num_bags()) + " bags " +
+           std::to_string(total_support) + " rows");
 }
 
 void ServerSession::HandleSeal(const std::vector<std::string>& tokens,
-                               std::vector<std::string>* out) {
+                               ResponseSink* sink) {
   bool canonical = false;
   size_t num_threads = 1;
   for (size_t i = 1; i < tokens.size(); ++i) {
@@ -248,30 +757,26 @@ void ServerSession::HandleSeal(const std::vector<std::string>& tokens,
     } else if (tokens[i] == "THREADS" && i + 1 < tokens.size()) {
       Result<uint64_t> n = WireParseUint(tokens[i + 1]);
       if (!n.ok() || *n == 0) {
-        out->push_back(
-            WireErrLine(WireError::kParse, "THREADS needs a positive integer"));
+        sink->Err(WireError::kParse, "THREADS needs a positive integer");
         return;
       }
       // One protocol line must not be able to crash the daemon: spawning
       // an absurd worker count throws std::system_error out of
       // std::thread and terminates the process for every client.
       if (*n > kMaxSealThreads) {
-        out->push_back(WireErrLine(
-            WireError::kRange, "THREADS must be at most " +
-                                   std::to_string(kMaxSealThreads)));
+        sink->Err(WireError::kRange,
+                  "THREADS must be at most " + std::to_string(kMaxSealThreads));
         return;
       }
       num_threads = static_cast<size_t>(*n);
       ++i;
     } else {
-      out->push_back(WireErrLine(
-          WireError::kParse, "usage: SEAL [CANONICAL] [THREADS <n>]"));
+      sink->Err(WireError::kParse, "usage: SEAL [CANONICAL] [THREADS <n>]");
       return;
     }
   }
   if (bags_.empty()) {
-    out->push_back(
-        WireErrLine(WireError::kState, "no bags loaded; LOAD or LOADU32 first"));
+    sink->Err(WireError::kState, "no bags loaded; LOAD or LOADU32 first");
     return;
   }
   EngineSnapshot::BuildInputs inputs;
@@ -287,23 +792,22 @@ void ServerSession::HandleSeal(const std::vector<std::string>& tokens,
   Result<std::shared_ptr<const EngineSnapshot>> snapshot =
       EngineSnapshot::Build(std::move(inputs), registry_->NextSeq());
   if (!snapshot.ok()) {
-    out->push_back(WireErrLineForStatus(snapshot.status()));
+    sink->ErrStatus(snapshot.status());
     return;
   }
   if (!registry_->Publish(*snapshot)) {
-    out->push_back(WireErrLine(
-        WireError::kState, "seal superseded by a newer generation"));
+    sink->Err(WireError::kState, "seal superseded by a newer generation");
     return;
   }
   registry_->RecordSeal();
-  out->push_back("OK SEAL " + std::to_string(bags_.size()) + " bags");
+  sink->Ok("SEAL " + std::to_string(bags_.size()) + " bags");
 }
 
 void ServerSession::HandleReset(const std::vector<std::string>& tokens,
-                                std::vector<std::string>* out) {
+                                ResponseSink* sink) {
   bool hard = tokens.size() == 2 && tokens[1] == "HARD";
   if (tokens.size() > 2 || (tokens.size() == 2 && !hard)) {
-    out->push_back(WireErrLine(WireError::kParse, "usage: RESET [HARD]"));
+    sink->Err(WireError::kParse, "usage: RESET [HARD]");
     return;
   }
   bag_names_.clear();
@@ -316,34 +820,32 @@ void ServerSession::HandleReset(const std::vector<std::string>& tokens,
   // queries see no engine until the next SEAL.
   registry_->Clear();
   registry_->RecordReset();
-  out->push_back(hard ? "OK RESET HARD" : "OK RESET");
+  sink->Ok(hard ? "RESET HARD" : "RESET");
 }
 
-void ServerSession::HandleStats(std::vector<std::string>* out) {
+void ServerSession::HandleStats(ResponseSink* sink) {
   std::shared_ptr<const EngineSnapshot> snapshot = registry_->Current();
-  out->push_back("OK STATS");
-  auto kv = [out](const std::string& key, uint64_t value) {
-    out->push_back(key + " " + std::to_string(value));
-  };
-  kv("proto", kWireProtocolVersion);
-  kv("sessions", registry_->sessions_active());
-  kv("seals", registry_->seals_total());
-  kv("resets", registry_->resets_total());
-  kv("queries", registry_->queries_total());
-  kv("snapshot", snapshot == nullptr ? 0 : snapshot->seq());
-  kv("bags", snapshot == nullptr ? 0 : snapshot->num_bags());
-  kv("support", snapshot == nullptr ? 0 : snapshot->support_rows());
-  kv("dict_values", snapshot == nullptr ? 0 : snapshot->dict_values());
-  kv("marginal_fills", snapshot == nullptr ? 0 : snapshot->marginal_fills());
-  out->push_back(std::string(kWireEnd));
+  std::vector<std::pair<std::string, uint64_t>> kv;
+  kv.emplace_back("proto", kWireProtocolVersion);
+  kv.emplace_back("sessions", registry_->sessions_active());
+  kv.emplace_back("seals", registry_->seals_total());
+  kv.emplace_back("resets", registry_->resets_total());
+  kv.emplace_back("queries", registry_->queries_total());
+  kv.emplace_back("snapshot", snapshot == nullptr ? 0 : snapshot->seq());
+  kv.emplace_back("bags", snapshot == nullptr ? 0 : snapshot->num_bags());
+  kv.emplace_back("support", snapshot == nullptr ? 0 : snapshot->support_rows());
+  kv.emplace_back("dict_values",
+                  snapshot == nullptr ? 0 : snapshot->dict_values());
+  kv.emplace_back("marginal_fills",
+                  snapshot == nullptr ? 0 : snapshot->marginal_fills());
+  sink->Stats(kv);
 }
 
 std::shared_ptr<const EngineSnapshot> ServerSession::SnapshotOrErr(
-    std::vector<std::string>* out) {
+    ResponseSink* sink) {
   std::shared_ptr<const EngineSnapshot> snapshot = registry_->Current();
   if (snapshot == nullptr) {
-    out->push_back(
-        WireErrLine(WireError::kState, "no sealed engine; SEAL a collection first"));
+    sink->Err(WireError::kState, "no sealed engine; SEAL a collection first");
   }
   return snapshot;
 }
@@ -356,118 +858,133 @@ bool ServerSession::HasBag(const std::string& name) const {
 }
 
 void ServerSession::HandleTwoBag(const std::vector<std::string>& tokens,
-                                 std::vector<std::string>* out) {
+                                 ResponseSink* sink) {
   if (tokens.size() != 3) {
-    out->push_back(WireErrLine(WireError::kParse, "usage: TWOBAG <i> <j>"));
+    sink->Err(WireError::kParse, "usage: TWOBAG <i> <j>");
     return;
   }
-  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(sink);
   if (snapshot == nullptr) return;
   Result<size_t> i = snapshot->ResolveBag(tokens[1]);
   Result<size_t> j = snapshot->ResolveBag(tokens[2]);
   if (!i.ok() || !j.ok()) {
-    out->push_back(WireErrLineForStatus(i.ok() ? j.status() : i.status()));
+    sink->ErrStatus(i.ok() ? j.status() : i.status());
     return;
   }
   registry_->RecordQuery();
   Result<bool> verdict =
       RunOn(query_pool_, [&] { return snapshot->TwoBag(*i, *j); });
   if (!verdict.ok()) {
-    out->push_back(WireErrLineForStatus(verdict.status()));
+    sink->ErrStatus(verdict.status());
     return;
   }
-  out->push_back(*verdict ? "OK CONSISTENT" : "OK INCONSISTENT");
+  sink->Verdict(*verdict, {});
 }
 
-void ServerSession::HandlePairwise(std::vector<std::string>* out) {
-  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+void ServerSession::QueryTwoBag(size_t i, size_t j, ResponseSink* sink) {
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(sink);
+  if (snapshot == nullptr) return;
+  registry_->RecordQuery();
+  Result<bool> verdict =
+      RunOn(query_pool_, [&] { return snapshot->TwoBag(i, j); });
+  if (!verdict.ok()) {
+    sink->ErrStatus(verdict.status());
+    return;
+  }
+  sink->Verdict(*verdict, {});
+}
+
+void ServerSession::HandlePairwise(ResponseSink* sink) {
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(sink);
   if (snapshot == nullptr) return;
   registry_->RecordQuery();
   const PairwiseVerdict& verdict = snapshot->Pairwise();  // sealed at Build
   if (verdict.consistent) {
-    out->push_back("OK CONSISTENT");
+    sink->Verdict(true, {});
   } else {
-    out->push_back("OK INCONSISTENT " + std::to_string(verdict.witness_pair.first) +
-                   " " + std::to_string(verdict.witness_pair.second));
+    sink->Verdict(false,
+                  {verdict.witness_pair.first, verdict.witness_pair.second});
   }
 }
 
-void ServerSession::HandleGlobal(std::vector<std::string>* out) {
-  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+void ServerSession::HandleGlobal(ResponseSink* sink) {
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(sink);
   if (snapshot == nullptr) return;
   registry_->RecordQuery();
   Result<bool> verdict = RunOn(query_pool_, [&] { return snapshot->Global(); });
   if (!verdict.ok()) {
-    out->push_back(WireErrLineForStatus(verdict.status()));
+    sink->ErrStatus(verdict.status());
     return;
   }
-  out->push_back(*verdict ? "OK CONSISTENT" : "OK INCONSISTENT");
+  sink->Verdict(*verdict, {});
 }
 
 void ServerSession::HandleKWise(const std::vector<std::string>& tokens,
-                                std::vector<std::string>* out) {
+                                ResponseSink* sink) {
   if (tokens.size() != 2) {
-    out->push_back(WireErrLine(WireError::kParse, "usage: KWISE <k>"));
+    sink->Err(WireError::kParse, "usage: KWISE <k>");
     return;
   }
   Result<uint64_t> k = WireParseUint(tokens[1]);
   if (!k.ok()) {
-    out->push_back(WireErrLineForStatus(k.status()));
+    sink->ErrStatus(k.status());
     return;
   }
-  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+  QueryKWise(static_cast<size_t>(*k), sink);
+}
+
+void ServerSession::QueryKWise(size_t k, ResponseSink* sink) {
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(sink);
   if (snapshot == nullptr) return;
   registry_->RecordQuery();
   std::optional<std::vector<size_t>> failing;
-  Result<bool> verdict = RunOn(query_pool_, [&] {
-    return snapshot->KWise(static_cast<size_t>(*k), &failing);
-  });
+  Result<bool> verdict =
+      RunOn(query_pool_, [&] { return snapshot->KWise(k, &failing); });
   if (!verdict.ok()) {
-    out->push_back(WireErrLineForStatus(verdict.status()));
+    sink->ErrStatus(verdict.status());
     return;
   }
   if (*verdict) {
-    out->push_back("OK CONSISTENT");
+    sink->Verdict(true, {});
   } else {
-    std::string line = "OK INCONSISTENT";
-    for (size_t index : *failing) line += " " + std::to_string(index);
-    out->push_back(std::move(line));
+    sink->Verdict(false, *failing);
   }
 }
 
 void ServerSession::HandleWitness(const std::vector<std::string>& tokens,
-                                  std::vector<std::string>* out) {
+                                  ResponseSink* sink) {
   bool minimal = tokens.size() == 4 && tokens[3] == "MINIMAL";
   if (tokens.size() != 3 && !minimal) {
-    out->push_back(
-        WireErrLine(WireError::kParse, "usage: WITNESS <i> <j> [MINIMAL]"));
+    sink->Err(WireError::kParse, "usage: WITNESS <i> <j> [MINIMAL]");
     return;
   }
-  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(out);
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(sink);
   if (snapshot == nullptr) return;
   Result<size_t> i = snapshot->ResolveBag(tokens[1]);
   Result<size_t> j = snapshot->ResolveBag(tokens[2]);
   if (!i.ok() || !j.ok()) {
-    out->push_back(WireErrLineForStatus(i.ok() ? j.status() : i.status()));
+    sink->ErrStatus(i.ok() ? j.status() : i.status());
     return;
   }
+  QueryWitness(*i, *j, minimal, sink);
+}
+
+void ServerSession::QueryWitness(size_t i, size_t j, bool minimal,
+                                 ResponseSink* sink) {
+  std::shared_ptr<const EngineSnapshot> snapshot = SnapshotOrErr(sink);
+  if (snapshot == nullptr) return;
   registry_->RecordQuery();
   Result<std::optional<Bag>> witness =
-      RunOn(query_pool_, [&] { return snapshot->Witness(*i, *j, minimal); });
+      RunOn(query_pool_, [&] { return snapshot->Witness(i, j, minimal); });
   if (!witness.ok()) {
-    out->push_back(WireErrLineForStatus(witness.status()));
+    sink->ErrStatus(witness.status());
     return;
   }
   if (!witness->has_value()) {
-    out->push_back("OK NONE");
+    sink->WitnessNone();
     return;
   }
-  const Bag& bag = **witness;
-  out->push_back("OK WITNESS " + std::to_string(bag.SupportSize()));
-  for (std::string& line : SplitBody(snapshot->WriteBagText(bag))) {
-    out->push_back(std::move(line));
-  }
-  out->push_back(std::string(kWireEnd));
+  sink->WitnessBag(**witness, *snapshot);
 }
 
 }  // namespace bagc

@@ -1,12 +1,13 @@
 // Per-client session state machine of the bagcd protocol. A session is
 // transport-agnostic: the socket layer (bagcd_server.cc), the in-process
-// test harnesses, and the server_session benchmark all feed it one input
-// line at a time and collect complete response lines. The session owns
-// the client's interning state — attribute catalog, live DictionarySet,
-// loaded-but-unsealed bags — while every query is answered from the
-// shared immutable EngineSnapshot currently published in the registry,
-// so N sessions hammer one sealed engine concurrently and a RESET or
-// re-SEAL swaps generations under them without a pause.
+// test harnesses, and the server_session benchmark feed it raw bytes
+// (HandleData) or one text line at a time (HandleLine) and collect
+// complete responses. The session owns the client's interning state —
+// attribute catalog, live DictionarySet, loaded-but-unsealed bags —
+// while every query is answered from the shared immutable EngineSnapshot
+// currently published in the registry, so N sessions hammer one sealed
+// engine concurrently and a RESET or re-SEAL swaps generations under
+// them without a pause.
 //
 // The dictionary-aware hot path: a client ships each attribute's
 // dictionary once (DICT block, ids 0..n-1 in shipped order), then
@@ -15,10 +16,20 @@
 // private clone of the dictionaries (canonicalized there when requested),
 // never the live set — so the server does no string interning, hashing,
 // or comparison on the streaming path (see ParseBagU32 in bag/bag_io.h).
+//
+// Framing: a session starts in text mode (lines). "UPGRADE BINARY"
+// switches both directions to the length-prefixed frames of
+// server/protocol.h after the OK response; a CMD frame carrying "TEXT"
+// switches back after its OK frame. Every handler emits through a
+// ResponseSink, so the text encoder (byte-identical to protocol v1 —
+// the docs/PROTOCOL.md transcript pins it) and the binary encoder share
+// one set of handlers and cannot diverge semantically.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bag/bag.h"
@@ -37,11 +48,34 @@ namespace bagc {
 /// snapshots.
 class ServerSession {
  public:
-  /// What the transport should do after a handled line.
+  /// What the transport should do after handled input.
   enum class Outcome {
     kContinue,        ///< keep reading
-    kCloseConnection, ///< QUIT: flush responses, close this connection
+    kCloseConnection, ///< QUIT / framing abuse: flush responses, close
     kShutdownServer,  ///< SHUTDOWN: flush, close, stop the whole server
+  };
+
+  /// Response encoder: one implementation per framing. Handlers call
+  /// exactly one sink method per request (plus ErrStatus helpers), so
+  /// text and binary responses stay semantically identical by
+  /// construction.
+  class ResponseSink {
+   public:
+    virtual ~ResponseSink() = default;
+    /// Success line sans the "OK " prefix ("SEAL 2 bags", "BYE", ...).
+    virtual void Ok(const std::string& rest) = 0;
+    virtual void Err(WireError error, const std::string& message) = 0;
+    /// Consistency verdict; `indices` are the failing bag indices
+    /// (empty for TWOBAG/GLOBAL, the pair for PAIRWISE, the subset for
+    /// KWISE).
+    virtual void Verdict(bool consistent, const std::vector<size_t>& indices) = 0;
+    virtual void WitnessNone() = 0;
+    virtual void WitnessBag(const Bag& bag, const EngineSnapshot& snapshot) = 0;
+    virtual void Stats(const std::vector<std::pair<std::string, uint64_t>>& kv) = 0;
+
+    void ErrStatus(const Status& status) {
+      Err(WireErrorForStatus(status), status.message());
+    }
   };
 
   /// `registry` must outlive the session. `query_pool` is the server's
@@ -53,45 +87,75 @@ class ServerSession {
   ServerSession(const ServerSession&) = delete;
   ServerSession& operator=(const ServerSession&) = delete;
 
-  /// Feeds one input line (without its trailing newline). Appends zero or
-  /// more complete response lines to *out: zero while a body is being
-  /// streamed or for blank/comment lines, one for single-line responses,
-  /// several for WITNESS/STATS bodies.
+  /// Feeds raw transport bytes. Complete requests (text lines or binary
+  /// frames, per the current mode) are handled; a trailing partial stays
+  /// buffered for the next call. Responses — text lines with '\n', or
+  /// binary frames — are appended to *out ready to write to the peer.
+  /// Enforces the text line-length and binary frame-payload ceilings
+  /// (overflow answers E_RANGE and closes). Stop feeding once a non-
+  /// kContinue outcome is returned.
+  Outcome HandleData(std::string_view data, std::string* out);
+
+  /// Feeds one text-mode input line (without its trailing newline).
+  /// Appends zero or more complete response lines to *out: zero while a
+  /// body is being streamed or for blank/comment lines, one for
+  /// single-line responses, several for WITNESS/STATS bodies. Legacy
+  /// entry point for tests and benchmarks; HandleData is the transport's.
   Outcome HandleLine(const std::string& line, std::vector<std::string>* out);
 
   /// Convenience for tests and benchmarks: feeds every line of `text`
   /// and returns all response lines.
   std::vector<std::string> HandleScript(const std::string& text);
 
+  /// True after a successful UPGRADE BINARY (and before a CMD "TEXT").
+  bool binary_mode() const { return mode_ == Mode::kBinary; }
+
  private:
-  // Body-collection modes (request side).
+  enum class Mode { kText, kBinary };
+  // Body-collection modes (request side, text framing only).
   enum class Body { kNone, kDict, kLoadText, kLoadU32 };
 
-  // Dispatch for a stripped, non-empty command line.
+  // Dispatch for a stripped, non-empty command line (text line or CMD
+  // frame payload; body-carrying commands are rejected in binary mode).
   Outcome HandleCommand(const std::vector<std::string>& tokens,
-                        std::vector<std::string>* out);
+                        ResponseSink* sink);
+  // Dispatch for one complete binary frame.
+  Outcome HandleFrame(uint8_t opcode, std::string_view payload,
+                      ResponseSink* sink);
+
   // END seen: parse and apply the collected body, emit the response.
-  void FinishBody(std::vector<std::string>* out);
-  void FinishDict(std::vector<std::string>* out);
-  void FinishLoad(std::vector<std::string>* out);
+  void FinishBody(ResponseSink* sink);
+  void FinishDict(ResponseSink* sink);
+  void FinishLoad(ResponseSink* sink);
 
-  void HandleSeal(const std::vector<std::string>& tokens,
-                  std::vector<std::string>* out);
-  void HandleReset(const std::vector<std::string>& tokens,
-                   std::vector<std::string>* out);
-  void HandleStats(std::vector<std::string>* out);
-  void HandleTwoBag(const std::vector<std::string>& tokens,
-                    std::vector<std::string>* out);
-  void HandlePairwise(std::vector<std::string>* out);
-  void HandleGlobal(std::vector<std::string>* out);
-  void HandleKWise(const std::vector<std::string>& tokens,
-                   std::vector<std::string>* out);
-  void HandleWitness(const std::vector<std::string>& tokens,
-                     std::vector<std::string>* out);
+  // Binary bodies: DICT and LOADU32 equivalents carried in one frame.
+  void HandleDictFrame(std::string_view payload, ResponseSink* sink);
+  void HandleRowsFrame(std::string_view payload, ResponseSink* sink);
 
-  // The current snapshot, or an E_STATE error line into *out.
-  std::shared_ptr<const EngineSnapshot> SnapshotOrErr(
-      std::vector<std::string>* out);
+  void HandleHello(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleUpgrade(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleSeal(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleReset(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleLoadSeg(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleStats(ResponseSink* sink);
+  void HandleTwoBag(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandlePairwise(ResponseSink* sink);
+  void HandleGlobal(ResponseSink* sink);
+  void HandleKWise(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleWitness(const std::vector<std::string>& tokens, ResponseSink* sink);
+
+  // Shared query cores (text handlers parse tokens, binary frames decode
+  // integers; both land here).
+  void QueryTwoBag(size_t i, size_t j, ResponseSink* sink);
+  void QueryKWise(size_t k, ResponseSink* sink);
+  void QueryWitness(size_t i, size_t j, bool minimal, ResponseSink* sink);
+
+  // Validates a new bag name (shape + uniqueness); emits the error and
+  // returns false when unusable.
+  bool CheckNewBagName(const std::string& name, ResponseSink* sink);
+
+  // The current snapshot, or an E_STATE error via *sink.
+  std::shared_ptr<const EngineSnapshot> SnapshotOrErr(ResponseSink* sink);
   // True when `name` is already loaded (session-local, pre-seal).
   bool HasBag(const std::string& name) const;
 
@@ -107,7 +171,11 @@ class ServerSession {
   std::vector<std::string> bag_names_;
   std::vector<Bag> bags_;
 
-  // In-flight request body.
+  // Framing state.
+  Mode mode_ = Mode::kText;
+  std::string inbuf_;  // HandleData's partial line / partial frame buffer
+
+  // In-flight request body (text framing).
   Body body_ = Body::kNone;
   std::vector<std::string> body_header_;  // tokens of the opening command
   std::vector<std::string> body_lines_;   // raw body lines (verbatim)

@@ -74,7 +74,8 @@ class ColumnView {
   size_t rows_ = 0;
 };
 
-/// \brief Owned column-major id storage gathered from sealed rows.
+/// \brief Column-major id storage gathered from sealed rows — owned by
+/// default, or borrowing an external span (Borrow).
 ///
 /// Ownership rules: the store owns one flat allocation holding every
 /// column; it does NOT retain the entry vector it was gathered from
@@ -84,9 +85,27 @@ class ColumnView {
 /// derived from them — are invalidated by moving or destroying the
 /// store. The store is immutable after construction; concurrent readers
 /// need no synchronization.
+///
+/// A *borrowed* store (Borrow) holds no allocation at all: columns point
+/// into caller-owned memory — an mmap'd segment file (tuple/segment.h)
+/// is the motivating case — which must stay mapped and unchanged for the
+/// store's (and every derived view's) lifetime. Moving a borrowed store
+/// keeps its views valid, since they point at the external span.
 class ColumnStore {
  public:
   ColumnStore() = default;
+
+  /// Wraps an external column-major span (column c occupies
+  /// [c*num_rows, (c+1)*num_rows)) without copying. `column_major` must
+  /// be ValueId-aligned and outlive the store and all derived views.
+  static ColumnStore Borrow(const ValueId* column_major, size_t num_rows,
+                            size_t arity) {
+    ColumnStore out;
+    out.rows_ = num_rows;
+    out.arity_ = arity;
+    out.borrowed_ = column_major;
+    return out;
+  }
 
   /// Gathers the slots selected by `proj` from rows[i].first (a Tuple over
   /// proj.from()'s layout); annotations/multiplicities are not copied —
@@ -110,7 +129,9 @@ class ColumnStore {
   size_t num_rows() const { return rows_; }
 
   /// Base pointer of column c.
-  const ValueId* column(size_t c) const { return data_.data() + c * rows_; }
+  const ValueId* column(size_t c) const {
+    return (borrowed_ != nullptr ? borrowed_ : data_.data()) + c * rows_;
+  }
 
   /// View over all columns in store order.
   ColumnView View() const;
@@ -134,6 +155,7 @@ class ColumnStore {
   }
 
   std::vector<ValueId> data_;  // column-major: column c at [c * rows_, (c+1) * rows_)
+  const ValueId* borrowed_ = nullptr;  // non-null: columns live in external memory
   size_t rows_ = 0;
   size_t arity_ = 0;
 };

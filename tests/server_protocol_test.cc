@@ -236,6 +236,55 @@ TEST(ServerSessionTest, StatsShape) {
   EXPECT_EQ(out[7], "bags 2");
 }
 
+TEST(ServerSessionTest, BinaryModeRules) {
+  SnapshotRegistry registry;
+  ServerSession session(&registry, nullptr);
+  std::string out;
+  ASSERT_EQ(session.HandleData("HELLO\nUPGRADE BINARY\n", &out),
+            ServerSession::Outcome::kContinue);
+  EXPECT_EQ(out, "OK HELLO proto 1 frames 1\nOK UPGRADE BINARY\n");
+  EXPECT_TRUE(session.binary_mode());
+
+  auto frame = [](uint8_t opcode, const std::string& payload) {
+    std::string f;
+    WireAppendFrame(&f, opcode, payload);
+    return f;
+  };
+
+  // A second UPGRADE and a text body command are state errors in binary
+  // mode (body blocks have no line framing to ride on).
+  out.clear();
+  session.HandleData(
+      frame(kFrameCmd, "UPGRADE BINARY") + frame(kFrameCmd, "DICT item 1"),
+      &out);
+  size_t pos = 0;
+  int errs = 0;
+  while (pos + kWireFrameHeaderBytes <= out.size()) {
+    WireCursor header(std::string_view(out).substr(pos, kWireFrameHeaderBytes));
+    uint32_t len = 0;
+    uint8_t opcode = 0;
+    ASSERT_TRUE(header.U32(&len) && header.U8(&opcode));
+    EXPECT_EQ(opcode, kFrameErr);
+    Result<WireError> err = WireErrorFromTag(
+        static_cast<uint8_t>(out[pos + kWireFrameHeaderBytes]));
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(*err, WireError::kState);
+    ++errs;
+    pos += kWireFrameHeaderBytes + len;
+  }
+  EXPECT_EQ(pos, out.size());
+  EXPECT_EQ(errs, 2);
+
+  // CMD TEXT drops back to lines mid-buffer: the trailing bytes of the
+  // SAME HandleData call already parse as a text line, and TEXT in text
+  // mode is an idempotent OK.
+  out.clear();
+  session.HandleData(frame(kFrameCmd, "TEXT") + std::string("TEXT\n"), &out);
+  EXPECT_FALSE(session.binary_mode());
+  ASSERT_GE(out.size(), 8u);
+  EXPECT_EQ(out.substr(out.size() - 8), "OK TEXT\n");
+}
+
 // ---- Socket-level tests ----------------------------------------------------
 
 TEST(BagcdServerTest, TypedClientHelpersMatchSingleShotCore) {
@@ -292,6 +341,83 @@ TEST(BagcdServerTest, TypedClientHelpersMatchSingleShotCore) {
     EXPECT_EQ(*decoded, *reference);
   }
   (*server)->Shutdown();
+}
+
+// One session that negotiates frames mid-stream (text HELLO/UPGRADE ->
+// binary DICT/ROWS/queries -> back to text for STATS) must be
+// indistinguishable — verdicts, witness rows and multiplicities, STATS —
+// from a session that stays in the text framing throughout. Each run
+// gets its own server so the registry counters line up byte-for-byte.
+TEST(BagcdServerTest, MixedModeSessionMatchesPureTextSession) {
+  AttributeCatalog catalog;
+  auto dicts = std::make_shared<DictionarySet>();
+  std::string text =
+      "bag item store\napple downtown : 2\nbanana uptown : 1\n"
+      "cherry uptown : 5\nend\n"
+      "bag store region\ndowntown north : 2\nuptown north : 6\nend\n";
+  Result<std::vector<Bag>> bags = ParseCollection(text, &catalog, dicts.get());
+  ASSERT_TRUE(bags.ok()) << bags.status().ToString();
+
+  struct Run {
+    std::vector<std::string> verdicts;  // rendered query response lines
+    std::vector<std::string> witness;   // witness bag block lines
+    std::vector<std::string> stats;     // STATS response lines
+  };
+  auto run_session = [&](bool mixed) -> Run {
+    Run r;
+    Result<std::unique_ptr<BagcdServer>> server = BagcdServer::Start({});
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    Result<BagcdClient> client =
+        BagcdClient::Connect("127.0.0.1", (*server)->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    if (mixed) {
+      Result<std::pair<int, int>> hello = client->Hello();
+      EXPECT_TRUE(hello.ok()) << hello.status().ToString();
+      EXPECT_EQ(hello->first, kWireProtocolVersion);
+      EXPECT_EQ(hello->second, kWireFrameVersion);
+      EXPECT_TRUE(client->UpgradeBinary().ok());
+      EXPECT_TRUE(client->binary_mode());
+    }
+    // Dictionaries and rows travel as DICT/ROWS frames when mixed, as
+    // text blocks otherwise — same helper calls either way.
+    for (const Bag& bag : *bags) {
+      EXPECT_TRUE(client->ShipDictionaries(*dicts, bag.schema(), catalog).ok());
+    }
+    EXPECT_TRUE(client->LoadBagU32("sales", (*bags)[0], catalog).ok());
+    EXPECT_TRUE(client->LoadBagU32("stores", (*bags)[1], catalog).ok());
+    Result<size_t> sealed = client->Seal();
+    EXPECT_TRUE(sealed.ok()) << sealed.status().ToString();
+    // Command() re-renders binary responses as the exact text lines, so
+    // the two runs compare byte-for-byte.
+    for (const char* query :
+         {"TWOBAG sales stores", "PAIRWISE", "GLOBAL", "KWISE 2"}) {
+      Result<std::vector<std::string>> lines = client->Command(query);
+      EXPECT_TRUE(lines.ok()) << query << ": " << lines.status().ToString();
+      if (lines.ok()) {
+        for (const std::string& line : *lines) r.verdicts.push_back(line);
+      }
+    }
+    Result<std::optional<std::vector<std::string>>> witness =
+        client->Witness(0, 1, /*minimal=*/true);
+    EXPECT_TRUE(witness.ok()) << witness.status().ToString();
+    if (witness.ok() && witness->has_value()) r.witness = **witness;
+    if (mixed) {
+      EXPECT_TRUE(client->DowngradeText().ok());
+      EXPECT_FALSE(client->binary_mode());
+    }
+    Result<std::vector<std::string>> stats = client->Command("STATS");
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    if (stats.ok()) r.stats = *stats;
+    (*server)->Shutdown();
+    return r;
+  };
+
+  Run text_run = run_session(/*mixed=*/false);
+  Run mixed_run = run_session(/*mixed=*/true);
+  EXPECT_EQ(text_run.verdicts, mixed_run.verdicts);
+  ASSERT_FALSE(text_run.witness.empty());
+  EXPECT_EQ(text_run.witness, mixed_run.witness);  // rows AND multiplicities
+  EXPECT_EQ(text_run.stats, mixed_run.stats);
 }
 
 TEST(BagcdServerTest, ProtocolDocTranscriptReplaysVerbatim) {

@@ -5,13 +5,19 @@
 //
 // Usage:
 //   bagcd [--host ADDR] [--port N] [--threads N] [--port-file PATH]
+//         [--preload-seg PATH]
 //
-//   --host ADDR       bind address (default 127.0.0.1)
-//   --port N          TCP port; 0 picks an ephemeral port (default 0)
-//   --threads N       query-evaluation pool workers; 0 = inline (default 0)
-//   --port-file PATH  write the bound port to PATH once listening — the
-//                     race-free way for a harness to find an ephemeral
-//                     port (written atomically via rename)
+//   --host ADDR        bind address (default 127.0.0.1)
+//   --port N           TCP port; 0 picks an ephemeral port (default 0)
+//   --threads N        query-evaluation pool workers; 0 = inline (default 0)
+//   --port-file PATH   write the bound port to PATH once listening — the
+//                      race-free way for a harness to find an ephemeral
+//                      port (written atomically via rename)
+//   --preload-seg PATH mmap the sealed-bag segment at PATH (see
+//                      docs/SEGMENT.md), seal it, and publish it as the
+//                      serving snapshot before accepting queries — a
+//                      daemon that restarts warm without any client
+//                      re-streaming rows
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -25,6 +31,7 @@
 #include <thread>
 
 #include "server/bagcd_server.h"
+#include "server/session.h"
 
 namespace {
 
@@ -37,6 +44,7 @@ void OnSignal(int) { g_signalled.store(true); }
 int main(int argc, char** argv) {
   bagc::BagcdServerOptions options;
   std::string port_file;
+  std::string preload_seg;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -67,10 +75,12 @@ int main(int argc, char** argv) {
           static_cast<size_t>(next_number("--threads", 0, 1024));
     } else if (std::strcmp(argv[i], "--port-file") == 0) {
       port_file = next("--port-file");
+    } else if (std::strcmp(argv[i], "--preload-seg") == 0) {
+      preload_seg = next("--preload-seg");
     } else {
       std::fprintf(stderr,
                    "usage: bagcd [--host ADDR] [--port N] [--threads N] "
-                   "[--port-file PATH]\n");
+                   "[--port-file PATH] [--preload-seg PATH]\n");
       return 2;
     }
   }
@@ -79,6 +89,24 @@ int main(int argc, char** argv) {
   if (!server.ok()) {
     std::fprintf(stderr, "bagcd: %s\n", server.status().ToString().c_str());
     return 1;
+  }
+  if (!preload_seg.empty()) {
+    // An internal session loads and seals the segment exactly as a
+    // client's "LOADSEG <path>" + "SEAL" would, so the published
+    // snapshot is indistinguishable from a client-streamed one. The
+    // port file is written after this, so harnesses that wait for it
+    // never race a half-warm daemon.
+    bagc::ServerSession session(&(*server)->registry(), nullptr);
+    std::vector<std::string> responses =
+        session.HandleScript("LOADSEG " + preload_seg + "\nSEAL\n");
+    for (const std::string& response : responses) {
+      if (response.rfind("OK", 0) != 0) {
+        std::fprintf(stderr, "bagcd: --preload-seg failed: %s\n",
+                     response.c_str());
+        return 1;
+      }
+    }
+    std::printf("bagcd: preloaded %s\n", preload_seg.c_str());
   }
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);

@@ -1,17 +1,26 @@
-// bagctl: command-line client for a running bagcd server.
+// bagctl: command-line client for a running bagcd server, plus local
+// segment tooling.
 //
 // Usage:
 //   bagctl --port N [--host ADDR] --replay FILE
 //   bagctl --port N [--host ADDR] [--script FILE]
+//   bagctl --export-seg OUT --collection FILE [--names a,b,...]
 //
 //   --replay FILE  replay a C:/S: transcript (a raw transcript, or a
 //                  markdown file with ```transcript fences such as
 //                  docs/PROTOCOL.md) and fail on the first divergence —
-//                  the CI conformance check for the live server.
+//                  the CI conformance check for the live server. A
+//                  mismatch prints a line-numbered diff and exits 1.
 //   --script FILE  send the file's protocol lines (stdin when omitted or
 //                  "-") and print every response line; body lines of
 //                  DICT/LOAD/LOADU32 are forwarded transparently. A
 //                  trailing QUIT is appended when the script has none.
+//   --export-seg OUT --collection FILE
+//                  local (no server): parse the bag IO collection in
+//                  FILE, intern every value, and write it as an
+//                  mmap-able sealed-bag segment (docs/SEGMENT.md) to
+//                  OUT, ready for LOADSEG. Bags are named bag0, bag1,
+//                  ... in file order unless --names overrides them.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,8 +29,10 @@
 #include <string>
 #include <vector>
 
+#include "bag/bag_io.h"
 #include "server/client.h"
 #include "server/protocol.h"
+#include "tuple/segment.h"
 
 namespace {
 
@@ -86,6 +97,50 @@ int RunScript(const std::string& host, uint16_t port, std::istream& in) {
   return 0;
 }
 
+int ExportSegment(const std::string& out_path, const std::string& collection_path,
+                  const std::string& names_csv) {
+  std::ifstream in(collection_path);
+  if (!in) {
+    std::fprintf(stderr, "bagctl: cannot read %s\n", collection_path.c_str());
+    return 1;
+  }
+  std::stringstream text;
+  text << in.rdbuf();
+  bagc::AttributeCatalog catalog;
+  bagc::DictionarySet dicts;
+  auto bags = bagc::ParseCollection(text.str(), &catalog, &dicts);
+  if (!bags.ok()) return Fail(bags.status());
+  std::vector<std::string> names;
+  if (!names_csv.empty()) {
+    std::string current;
+    for (char c : names_csv + ",") {
+      if (c == ',') {
+        if (!current.empty()) names.push_back(current);
+        current.clear();
+      } else {
+        current += c;
+      }
+    }
+    if (names.size() != bags->size()) {
+      std::fprintf(stderr, "bagctl: --names lists %zu names for %zu bags\n",
+                   names.size(), bags->size());
+      return 1;
+    }
+  } else {
+    for (size_t i = 0; i < bags->size(); ++i) {
+      names.push_back("bag" + std::to_string(i));
+    }
+  }
+  bagc::Status written =
+      bagc::WriteSegmentFile(out_path, names, *bags, catalog, dicts);
+  if (!written.ok()) return Fail(written);
+  size_t rows = 0;
+  for (const bagc::Bag& bag : *bags) rows += bag.SupportSize();
+  std::printf("bagctl: wrote %zu bag(s), %zu support row(s) to %s\n",
+              bags->size(), rows, out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,6 +148,9 @@ int main(int argc, char** argv) {
   int port = 0;
   std::string replay_path;
   std::string script_path;
+  std::string export_path;
+  std::string collection_path;
+  std::string names_csv;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -109,13 +167,30 @@ int main(int argc, char** argv) {
       replay_path = next("--replay");
     } else if (std::strcmp(argv[i], "--script") == 0) {
       script_path = next("--script");
+    } else if (std::strcmp(argv[i], "--export-seg") == 0) {
+      export_path = next("--export-seg");
+    } else if (std::strcmp(argv[i], "--collection") == 0) {
+      collection_path = next("--collection");
+    } else if (std::strcmp(argv[i], "--names") == 0) {
+      names_csv = next("--names");
     } else {
       std::fprintf(stderr,
                    "usage: bagctl --port N [--host ADDR] "
-                   "(--replay FILE | --script FILE | -)\n");
+                   "(--replay FILE | --script FILE | -)\n"
+                   "       bagctl --export-seg OUT --collection FILE "
+                   "[--names a,b,...]\n");
       return 2;
     }
   }
+
+  if (!export_path.empty()) {
+    if (collection_path.empty()) {
+      std::fprintf(stderr, "bagctl: --export-seg needs --collection FILE\n");
+      return 2;
+    }
+    return ExportSegment(export_path, collection_path, names_csv);
+  }
+
   if (port <= 0 || port > 65535) {
     std::fprintf(stderr, "bagctl: --port is required (1..65535)\n");
     return 2;
