@@ -653,7 +653,7 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
     // Strings every cycle: each session keeps its live dictionaries
     // (RESET, not RESET HARD), so the oracle leg pays re-interning —
     // hash + lookup per token — not dictionary construction.
-    SnapshotRegistry strings_registry;
+    CollectionRegistry strings_registry;
     ServerSession strings_session(&strings_registry, nullptr);
     DriveSession(&strings_session, dict_script);
     BenchResult strings = Measure("session_cycle_strings", support, [&] {
@@ -661,7 +661,7 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
     });
 
     // Dictionary once, u32 rows every cycle.
-    SnapshotRegistry u32_registry;
+    CollectionRegistry u32_registry;
     ServerSession u32_session(&u32_registry, nullptr);
     DriveSession(&u32_session, dict_script);
     BenchResult u32 = Measure("session_cycle_u32", support, [&] {
@@ -695,7 +695,7 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
       if (consistent == 0) std::abort();
     });
 
-    SnapshotRegistry registry;
+    CollectionRegistry registry;
     ServerSession session(&registry, nullptr);
     DriveSession(&session, SessionDictScript(w, w.interned.union_schema(), catalog));
     DriveSession(&session, SessionCycleU32(w, catalog, ""));
@@ -712,7 +712,7 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
     // The same 100 queries as one prebuilt batch of TWOBAG frames: no
     // decimal parsing, no response formatting — the binary framing's
     // steady-state protocol tax against the same bare-engine baseline.
-    SnapshotRegistry bin_registry;
+    CollectionRegistry bin_registry;
     ServerSession bin_session(&bin_registry, nullptr);
     DriveSession(&bin_session,
                  SessionDictScript(w, w.interned.union_schema(), catalog));
@@ -755,14 +755,14 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
 
     std::string text_cycle =
         "RESET HARD\n" + dict_script + SessionLoadU32Blocks(w, catalog);
-    SnapshotRegistry text_registry;
+    CollectionRegistry text_registry;
     ServerSession text_session(&text_registry, nullptr);
     BenchResult text = Measure("ingest_loadu32_text", support, [&] {
       DriveSession(&text_session, text_cycle);
     });
 
     std::string bin_cycle = BinaryIngestCycle(w, catalog);
-    SnapshotRegistry bin_registry;
+    CollectionRegistry bin_registry;
     ServerSession bin_session(&bin_registry, nullptr);
     UpgradeSessionToBinary(&bin_session);
     BenchResult rows = Measure("ingest_binary_rows", support, [&] {
@@ -782,7 +782,7 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
       std::abort();
     }
     std::string seg_cycle = "RESET HARD\nLOADSEG " + seg_path + "\n";
-    SnapshotRegistry seg_registry;
+    CollectionRegistry seg_registry;
     ServerSession seg_session(&seg_registry, nullptr);
     BenchResult seg = Measure("ingest_loadseg", support, [&] {
       DriveSession(&seg_session, seg_cycle);
@@ -793,6 +793,65 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
     results->push_back(std::move(text));
     results->push_back(std::move(rows));
     results->push_back(std::move(seg));
+  }
+
+  // Incremental re-seal: a 32-bag collection where each cycle touches
+  // exactly one bag (DROP + re-LOADU32) and re-seals. The FULL leg
+  // rebuilds every column store and refills every pairwise marginal; the
+  // incremental leg reuses the 31 untouched bags' slots from the
+  // previous generation and refills only the touched bag's row — the
+  // O(k·m) vs O(m²) claim, measured end-to-end through the protocol.
+  {
+    constexpr size_t kBags = 32;
+    constexpr size_t kSupport = 256;
+    Rng rng(23001);
+    BagGenOptions options;
+    options.support_size = kSupport;
+    options.domain_size = 64;
+    options.max_multiplicity = 1u << 10;
+    BagCollection numeric =
+        *MakeGloballyConsistentCollection(*MakePath(kBags), options, &rng);
+    StringWorkload w = MakeStringWorkload(numeric);
+    AttributeCatalog catalog;
+    for (AttrId a : w.interned.union_schema().attrs()) {
+      catalog.Intern("attr" + std::to_string(a));
+    }
+    // The re-LOAD block for bag 0 alone (same rows every cycle: the
+    // measured work is the re-seal, not data drift).
+    std::string reload_b0 = "DROP b0\nLOADU32 b0";
+    const Bag& b0 = w.interned.bag(0);
+    for (AttrId a : b0.schema().attrs()) reload_b0 += " " + catalog.Name(a);
+    reload_b0 += "\n";
+    for (const auto& [t, mult] : b0.entries()) {
+      for (size_t i = 0; i < t.arity(); ++i) {
+        reload_b0 += std::to_string(t.id(i)) + " ";
+      }
+      reload_b0 += ": " + std::to_string(mult) + "\n";
+    }
+    reload_b0 += "END\n";
+
+    auto prime = [&](ServerSession* session) {
+      DriveSession(session,
+                   SessionDictScript(w, w.interned.union_schema(), catalog));
+      DriveSession(session, SessionLoadU32Blocks(w, catalog) + "SEAL\n");
+    };
+    CollectionRegistry full_registry;
+    ServerSession full_session(&full_registry, nullptr);
+    prime(&full_session);
+    BenchResult full = Measure("reseal_full_1of32", kBags * kSupport, [&] {
+      DriveSession(&full_session, reload_b0 + "SEAL FULL\n");
+    });
+
+    CollectionRegistry incr_registry;
+    ServerSession incr_session(&incr_registry, nullptr);
+    prime(&incr_session);
+    BenchResult incr =
+        Measure("reseal_incremental_1of32", kBags * kSupport, [&] {
+          DriveSession(&incr_session, reload_b0 + "SEAL\n");
+        });
+    incr.baseline_ops_per_sec = full.ops_per_sec;
+    results->push_back(std::move(full));
+    results->push_back(std::move(incr));
   }
 }
 

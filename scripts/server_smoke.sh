@@ -4,7 +4,9 @@
 # replayer actually fails on divergence (a deliberately wrong transcript
 # must exit nonzero with a line-numbered diff), round-trip a sealed-bag
 # segment (bagctl --export-seg -> daemon restart -> LOADSEG, answers
-# matching the text-loaded session), then stop the daemon over the wire
+# matching the text-loaded session), thrash two named collections
+# through a 1 MiB memory budget (eviction + lazy segment reload must not
+# change a byte of the answers), then stop the daemon over the wire
 # (SHUTDOWN) and assert a clean exit. This is the out-of-process
 # complement to server_protocol_test — it exercises the actual
 # executables, argument parsing, port-file handshake, and process
@@ -113,6 +115,68 @@ grep -q '^OK CONSISTENT' "$WORK_DIR/seg_answers.txt" || {
   echo "server_smoke: segment session produced no verdict" >&2
   exit 1
 }
+stop_daemon
+
+# Multi-collection eviction leg: two named tenants, each sealing past the
+# entire --mem-budget-mb 1 budget, so every ATTACH+query evicts the other
+# tenant and lazily reloads from its segment — and the answers must not
+# differ by one byte from an unlimited-budget daemon's.
+make_big_collection() {  # args: out-path, salt (multiplicities differ per tenant)
+  awk -v salt="$2" 'BEGIN {
+    print "bag item store"
+    for (i = 0; i < 12000; ++i)
+      printf "item%d st%d : %d\n", i, i % 64, 1 + (i + salt) % 5
+    print "end"
+    print "bag store region"
+    for (s = 0; s < 64; ++s) printf "st%d north : %d\n", s, 200 + salt
+    print "end"
+  }' > "$1"
+}
+make_big_collection "$WORK_DIR/tenant_a.bag" 0
+make_big_collection "$WORK_DIR/tenant_b.bag" 1
+"$BAGCTL" --export-seg "$WORK_DIR/tenant_a.seg" --collection "$WORK_DIR/tenant_a.bag" --names sales,stores
+"$BAGCTL" --export-seg "$WORK_DIR/tenant_b.seg" --collection "$WORK_DIR/tenant_b.bag" --names sales,stores
+
+TENANT_QUERIES='TWOBAG sales stores\nPAIRWISE\nKWISE 2\nQUIT\n'
+
+# Reference answers from a daemon with no budget (nothing ever evicted).
+start_daemon
+for t in a b; do
+  printf "LOADSEG $WORK_DIR/tenant_$t.seg\nSEAL\nQUIT\n" \
+    | "$BAGCTL" --port "$PORT" --attach "tenant_$t" --script - > /dev/null
+  printf "$TENANT_QUERIES" \
+    | "$BAGCTL" --port "$PORT" --attach "tenant_$t" --script - > "$WORK_DIR/ref_$t.txt"
+  grep -Eq '^OK (IN)?CONSISTENT' "$WORK_DIR/ref_$t.txt" || {
+    echo "server_smoke: tenant_$t reference run produced no verdict" >&2
+    exit 1
+  }
+done
+stop_daemon
+
+# The budgeted daemon: seal both tenants, then thrash queries across them.
+start_daemon --mem-budget-mb 1
+for t in a b; do
+  printf "LOADSEG $WORK_DIR/tenant_$t.seg\nSEAL\nQUIT\n" \
+    | "$BAGCTL" --port "$PORT" --attach "tenant_$t" --script - > /dev/null
+done
+for round in 1 2 3; do
+  for t in a b; do
+    printf "$TENANT_QUERIES" \
+      | "$BAGCTL" --port "$PORT" --attach "tenant_$t" --script - > "$WORK_DIR/got_$t.txt"
+    if ! diff -u "$WORK_DIR/ref_$t.txt" "$WORK_DIR/got_$t.txt"; then
+      echo "server_smoke: tenant_$t round $round diverged after eviction/reload" >&2
+      exit 1
+    fi
+  done
+done
+# The budget really was tight enough to thrash: the registry reloaded
+# tenant_a from its segment at least once per round.
+printf 'STATS tenant_a\nQUIT\n' | "$BAGCTL" --port "$PORT" --script - > "$WORK_DIR/stats_a.txt"
+grep -Eq '^reloads [1-9]' "$WORK_DIR/stats_a.txt" || {
+  echo "server_smoke: budget daemon never reloaded tenant_a (eviction leg inert):" >&2
+  cat "$WORK_DIR/stats_a.txt" >&2
+  exit 1
+}
 
 stop_daemon
-echo "server_smoke: OK (transcript replayed, replay diff verified, segment round trip, clean shutdowns)"
+echo "server_smoke: OK (transcript replayed, replay diff verified, segment round trip, eviction thrash, clean shutdowns)"

@@ -13,26 +13,43 @@ bool EntryTupleLess(const Bag::Entry& e, const Tuple& t) { return e.first < t; }
 
 }  // namespace
 
-Bag::Entries::iterator Bag::LowerBound(const Tuple& t) {
-  return std::lower_bound(entries_.begin(), entries_.end(), t, EntryTupleLess);
+const Bag::Entries& Bag::NoEntries() {
+  static const Entries kEmpty;
+  return kEmpty;
+}
+
+Bag::Entries& Bag::MutableEntries() {
+  if (entries_ == nullptr) {
+    entries_ = std::make_shared<Entries>();
+  } else if (entries_.use_count() > 1) {
+    entries_ = std::make_shared<Entries>(*entries_);
+  }
+  return *entries_;
+}
+
+Bag::Entries::iterator Bag::LowerBound(Entries& es, const Tuple& t) {
+  return std::lower_bound(es.begin(), es.end(), t, EntryTupleLess);
 }
 
 Bag::Entries::const_iterator Bag::LowerBound(const Tuple& t) const {
-  return std::lower_bound(entries_.begin(), entries_.end(), t, EntryTupleLess);
+  const Entries& es = entries();
+  return std::lower_bound(es.begin(), es.end(), t, EntryTupleLess);
 }
 
 Status Bag::Set(const Tuple& t, uint64_t mult) {
   if (t.arity() != schema_.arity()) {
     return Status::InvalidArgument("tuple arity does not match bag schema");
   }
-  auto it = LowerBound(t);
-  bool present = it != entries_.end() && it->first == t;
+  if (mult == 0 && Multiplicity(t) == 0) return Status::OK();  // no-op erase
+  Entries& es = MutableEntries();
+  auto it = LowerBound(es, t);
+  bool present = it != es.end() && it->first == t;
   if (mult == 0) {
-    if (present) entries_.erase(it);
+    if (present) es.erase(it);
   } else if (present) {
     it->second = mult;
   } else {
-    entries_.insert(it, Entry{t, mult});
+    es.insert(it, Entry{t, mult});
   }
   return Status::OK();
 }
@@ -42,30 +59,31 @@ Status Bag::Add(const Tuple& t, uint64_t mult) {
     return Status::InvalidArgument("tuple arity does not match bag schema");
   }
   if (mult == 0) return Status::OK();
-  auto it = LowerBound(t);
-  if (it != entries_.end() && it->first == t) {
+  Entries& es = MutableEntries();
+  auto it = LowerBound(es, t);
+  if (it != es.end() && it->first == t) {
     BAGC_ASSIGN_OR_RETURN(it->second, CheckedAdd(it->second, mult));
   } else {
-    entries_.insert(it, Entry{t, mult});
+    es.insert(it, Entry{t, mult});
   }
   return Status::OK();
 }
 
 uint64_t Bag::Multiplicity(const Tuple& t) const {
   auto it = LowerBound(t);
-  return (it != entries_.end() && it->first == t) ? it->second : 0;
+  return (it != entries().end() && it->first == t) ? it->second : 0;
 }
 
 Result<Bag> Bag::Marginal(const Schema& z) const {
-  if (entries_.size() >= kColumnarMinRows) return MarginalColumnar(z);
+  if (entries().size() >= kColumnarMinRows) return MarginalColumnar(z);
   return MarginalRows(z);
 }
 
 Result<Bag> Bag::MarginalRows(const Schema& z) const {
   BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(schema_, z));
   BagBuilder builder(z);
-  builder.Reserve(entries_.size());
-  for (const auto& [t, mult] : entries_) {
+  builder.Reserve(entries().size());
+  for (const auto& [t, mult] : entries()) {
     BAGC_RETURN_NOT_OK(builder.Add(t.Project(proj), mult));
   }
   return builder.Build();
@@ -75,8 +93,8 @@ Result<Bag> Bag::MarginalColumnar(const Schema& z) const {
   BAGC_ASSIGN_OR_RETURN(Projector proj, Projector::Make(schema_, z));
   // Gather only the Z columns — the projection happens during the
   // transpose, so the grouping below never touches a non-Z slot.
-  ColumnStore cols = ColumnStore::FromEntries(entries_, proj);
-  return GroupColumns(z, cols.View(), entries_);
+  ColumnStore cols = ColumnStore::FromEntries(entries(), proj);
+  return GroupColumns(z, cols.View(), entries());
 }
 
 Result<Bag> Bag::GroupColumns(const Schema& z, const ColumnView& projected,
@@ -92,14 +110,14 @@ Result<Bag> Bag::GroupColumns(const Schema& z, const ColumnView& projected,
           [](uint64_t a, uint64_t b) { return CheckedAdd(a, b); },
           [](uint64_t m) { return m == 0; }));
   Bag bag(z);
-  bag.entries_ = std::move(out);
+  bag.AdoptEntries(std::move(out));
   return bag;
 }
 
 ColumnStore Bag::ToColumns() const {
   // The identity projection is always valid.
   Projector identity = Projector::Make(schema_, schema_).value();
-  return ColumnStore::FromEntries(entries_, identity);
+  return ColumnStore::FromEntries(entries(), identity);
 }
 
 Result<Bag> Bag::Join(const Bag& r, const Bag& s) {
@@ -112,13 +130,15 @@ Result<Bag> Bag::Join(const Bag& r, const Bag& s) {
                         Projector::Make(r.schema(), joiner.shared_schema()));
   BAGC_ASSIGN_OR_RETURN(Projector s_shared,
                         Projector::Make(s.schema(), joiner.shared_schema()));
-  ColumnJoinMatch match(r.entries_, r_shared, s.entries_, s_shared);
+  const Entries& r_entries = r.entries();
+  const Entries& s_entries = s.entries();
+  ColumnJoinMatch match(r_entries, r_shared, s_entries, s_shared);
   BagBuilder builder(joiner.joined_schema());
-  for (size_t i = 0; i < r.entries_.size(); ++i) {
+  for (size_t i = 0; i < r_entries.size(); ++i) {
     if (match.MatchOf(i) == ColumnJoinMatch::kNoMatch) continue;
-    const auto& [x, xm] = r.entries_[i];
+    const auto& [x, xm] = r_entries[i];
     for (uint32_t j : match.RightRows(match.MatchOf(i))) {
-      const Entry& ys = s.entries_[j];
+      const Entry& ys = s_entries[j];
       BAGC_ASSIGN_OR_RETURN(uint64_t mult, CheckedMul(xm, ys.second));
       BAGC_RETURN_NOT_OK(builder.Add(joiner.Join(x, ys.first), mult));
     }
@@ -128,7 +148,7 @@ Result<Bag> Bag::Join(const Bag& r, const Bag& s) {
 
 bool Bag::Contained(const Bag& r, const Bag& s) {
   if (r.schema() != s.schema()) return false;
-  for (const auto& [t, mult] : r.entries_) {
+  for (const auto& [t, mult] : r.entries()) {
     if (mult > s.Multiplicity(t)) return false;
   }
   return true;
@@ -136,7 +156,7 @@ bool Bag::Contained(const Bag& r, const Bag& s) {
 
 uint64_t Bag::MultiplicityBound() const {
   uint64_t best = 0;
-  for (const auto& [t, mult] : entries_) {
+  for (const auto& [t, mult] : entries()) {
     (void)t;
     best = std::max(best, mult);
   }
@@ -145,7 +165,7 @@ uint64_t Bag::MultiplicityBound() const {
 
 uint64_t Bag::MultiplicitySize() const {
   uint64_t best = 0;
-  for (const auto& [t, mult] : entries_) {
+  for (const auto& [t, mult] : entries()) {
     (void)t;
     best = std::max<uint64_t>(best, BitLength(mult + 1));
   }
@@ -154,7 +174,7 @@ uint64_t Bag::MultiplicitySize() const {
 
 Result<uint64_t> Bag::UnarySize() const {
   uint64_t total = 0;
-  for (const auto& [t, mult] : entries_) {
+  for (const auto& [t, mult] : entries()) {
     (void)t;
     BAGC_ASSIGN_OR_RETURN(total, CheckedAdd(total, mult));
   }
@@ -163,7 +183,7 @@ Result<uint64_t> Bag::UnarySize() const {
 
 uint64_t Bag::BinarySize() const {
   uint64_t total = 0;
-  for (const auto& [t, mult] : entries_) {
+  for (const auto& [t, mult] : entries()) {
     (void)t;
     total += BitLength(mult + 1);
   }
@@ -172,7 +192,7 @@ uint64_t Bag::BinarySize() const {
 
 std::string Bag::ToString(const AttributeCatalog& catalog) const {
   std::string out = schema_.ToString(catalog) + " [\n";
-  for (const auto& [t, mult] : entries_) {
+  for (const auto& [t, mult] : entries()) {
     out += "  " + t.ToString() + " : " + std::to_string(mult) + "\n";
   }
   out += "]";
@@ -181,7 +201,7 @@ std::string Bag::ToString(const AttributeCatalog& catalog) const {
 
 std::string Bag::ToString() const {
   std::string out = schema_.ToString() + " [\n";
-  for (const auto& [t, mult] : entries_) {
+  for (const auto& [t, mult] : entries()) {
     out += "  " + t.ToString() + " : " + std::to_string(mult) + "\n";
   }
   out += "]";
@@ -211,7 +231,7 @@ Result<Bag> BagBuilder::Build() {
       &pending_, [](uint64_t a, uint64_t b) { return CheckedAdd(a, b); },
       [](uint64_t m) { return m == 0; }));
   Bag bag(schema_);
-  bag.entries_ = std::move(pending_);
+  bag.AdoptEntries(std::move(pending_));
   pending_ = Bag::Entries();
   return bag;
 }

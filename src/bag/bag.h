@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,15 +48,17 @@ class Bag {
   uint64_t Multiplicity(const Tuple& t) const;
 
   /// |Supp(R)| — the support size ||R||_supp of §5.2.
-  size_t SupportSize() const { return entries_.size(); }
-  bool IsEmpty() const { return entries_.empty(); }
+  size_t SupportSize() const { return entries().size(); }
+  bool IsEmpty() const { return entries().empty(); }
 
   /// Sorted (tuple, multiplicity) entries; all multiplicities positive.
   /// Random access: entries()[i] is the i-th smallest support tuple.
-  const Entries& entries() const { return entries_; }
+  /// The reference is invalidated by any later mutation of this bag
+  /// (entries are copy-on-write; a mutation may swap the storage).
+  const Entries& entries() const { return entries_ ? *entries_ : NoEntries(); }
 
   /// The i-th entry in sorted order; requires i < SupportSize().
-  const Entry& entry(size_t i) const { return entries_[i]; }
+  const Entry& entry(size_t i) const { return entries()[i]; }
 
   /// Marginal R[Z] per Equation (2); requires Z ⊆ X. Dispatches on
   /// support size: bags with >= kColumnarMinRows entries group via the
@@ -92,7 +95,8 @@ class Bag {
 
   /// Equality as functions (schema and all multiplicities).
   bool operator==(const Bag& o) const {
-    return schema_ == o.schema_ && entries_ == o.entries_;
+    return schema_ == o.schema_ &&
+           (entries_ == o.entries_ || entries() == o.entries());
   }
   bool operator!=(const Bag& o) const { return !(*this == o); }
 
@@ -117,12 +121,28 @@ class Bag {
  private:
   friend class BagBuilder;
 
-  // Position of the first entry with tuple >= t.
-  Entries::iterator LowerBound(const Tuple& t);
+  // Position of the first entry with tuple >= t (within `es`).
+  static Entries::iterator LowerBound(Entries& es, const Tuple& t);
   Entries::const_iterator LowerBound(const Tuple& t) const;
 
+  // The shared empty vector behind entries() of a bag with no storage.
+  static const Entries& NoEntries();
+  // Copy-on-write gate: returns uniquely-owned storage, cloning the
+  // shared vector first if other bags still reference it. Every mutator
+  // goes through here; const accessors never do.
+  Entries& MutableEntries();
+  // Adopts freshly built storage (bulk construction paths).
+  void AdoptEntries(Entries entries) {
+    entries_ = std::make_shared<Entries>(std::move(entries));
+  }
+
   Schema schema_;
-  Entries entries_;
+  // Sorted entry storage, shared across copies until one of them
+  // mutates. Copying a Bag — collections handed to an engine, snapshot
+  // generations, subcollections — is a refcount bump, which is what
+  // makes an incremental re-seal's "reship every untouched bag" step
+  // O(m) pointer copies instead of O(total rows). Null means empty.
+  std::shared_ptr<Entries> entries_;
 };
 
 /// \brief Accumulates (tuple, multiplicity) rows and seals them into a Bag

@@ -49,24 +49,33 @@ Result<BagCollection> CanonicalizeCollection(const BagCollection& collection,
 }  // namespace
 
 Result<ConsistencyEngine> ConsistencyEngine::Make(BagCollection collection,
-                                                  EngineOptions options) {
+                                                  EngineOptions options,
+                                                  const SealReuse* reuse) {
   auto owned = std::make_shared<const BagCollection>(std::move(collection));
   const BagCollection* view = owned.get();
-  return MakeImpl(view, std::move(owned), options);
+  return MakeImpl(view, std::move(owned), options, reuse);
 }
 
 Result<ConsistencyEngine> ConsistencyEngine::MakeView(
     const BagCollection& collection, EngineOptions options) {
-  return MakeImpl(&collection, nullptr, options);
+  return MakeImpl(&collection, nullptr, options, nullptr);
 }
 
 Result<ConsistencyEngine> ConsistencyEngine::MakeImpl(
     const BagCollection* view, std::shared_ptr<const BagCollection> owned,
-    EngineOptions options) {
+    EngineOptions options, const SealReuse* reuse) {
   ConsistencyEngine engine;
   engine.collection_ = view;
   engine.owned_ = std::move(owned);
   engine.options_ = options;
+  // A canonicalizing seal remaps every row id, so nothing from a previous
+  // generation is comparable; a lazily sealed previous engine has mutable
+  // slots that must not be shared. Both degrade to a full seal.
+  if (reuse != nullptr &&
+      (options.canonicalize_dictionaries || reuse->previous == nullptr ||
+       !reuse->previous->fully_sealed())) {
+    reuse = nullptr;
+  }
   if (options.canonicalize_dictionaries) {
     if (engine.owned_ == nullptr) {
       return Status::InvalidArgument(
@@ -85,11 +94,11 @@ Result<ConsistencyEngine> ConsistencyEngine::MakeImpl(
   if (options.num_threads > 1) {
     engine.pool_ = std::make_unique<ThreadPool>(options.num_threads);
   }
-  BAGC_RETURN_NOT_OK(engine.Seal());
+  BAGC_RETURN_NOT_OK(engine.Seal(reuse));
   return engine;
 }
 
-Status ConsistencyEngine::Seal() {
+Status ConsistencyEngine::Seal(const SealReuse* reuse) {
   size_t m = collection_->size();
   cache_.assign(m, {});
   bag_columns_.clear();
@@ -139,6 +148,29 @@ Status ConsistencyEngine::Seal() {
     }
   }
 
+  // Incremental reuse: for every bag whose rows are unchanged since the
+  // previous generation, adopt that generation's column store and every
+  // cached marginal whose shared schema survived. A slot whose schema is
+  // new (the partner bag changed shape) simply misses the lookup and is
+  // filled below, so a re-seal that touched k of m bags fills O(k·m)
+  // slots, not O(m²). Shared pointers keep the bags alive across either
+  // generation's destruction.
+  if (reuse != nullptr) {
+    const ConsistencyEngine& prev = *reuse->previous;
+    for (size_t i = 0; i < m && i < reuse->prev_index.size(); ++i) {
+      size_t p = reuse->prev_index[i];
+      if (p == SealReuse::kNoPrev || p >= prev.cache_.size()) continue;
+      bag_columns_[i] = prev.bag_columns_[p];
+      for (CachedProjection& slot : cache_[i]) {
+        const CachedProjection* prev_slot = prev.FindProjection(p, slot.schema);
+        if (prev_slot != nullptr && prev_slot->filled) {
+          slot.marginal = prev_slot->marginal;
+          slot.filled = true;  // EnsureFilled skips it: no fresh fill counted
+        }
+      }
+    }
+  }
+
   // Pass 3: fill the slots, unless deferring to first use. Each slot is
   // written by exactly one task, so the parallel fill shares nothing but
   // disjoint slots.
@@ -179,19 +211,21 @@ Status ConsistencyEngine::Seal() {
 Status ConsistencyEngine::EnsureFilled(CachedProjection* slot, size_t bag_index) {
   if (slot->filled) return Status::OK();
   const Bag& bag = collection_->bag(bag_index);
+  Bag marginal;
   if (UseColumnar(bag_index)) {
     // One SoA transpose per bag, shared by all its sealed projections;
     // each fill is a zero-copy column select plus a batch hash-group.
     BAGC_ASSIGN_OR_RETURN(Projector proj,
                           Projector::Make(bag.schema(), slot->schema));
     BAGC_ASSIGN_OR_RETURN(
-        slot->marginal,
+        marginal,
         Bag::GroupColumns(slot->schema,
                           EnsureColumns(bag_index).View().Select(proj),
                           bag.entries()));
   } else {
-    BAGC_ASSIGN_OR_RETURN(slot->marginal, bag.MarginalRows(slot->schema));
+    BAGC_ASSIGN_OR_RETURN(marginal, bag.MarginalRows(slot->schema));
   }
+  slot->marginal = std::make_shared<const Bag>(std::move(marginal));
   slot->filled = true;
   marginal_fills_->fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
@@ -210,9 +244,10 @@ bool ConsistencyEngine::UseColumnar(size_t bag_index) const {
 }
 
 const ColumnStore& ConsistencyEngine::EnsureColumns(size_t bag_index) {
-  std::unique_ptr<ColumnStore>& store = bag_columns_[bag_index];
+  std::shared_ptr<const ColumnStore>& store = bag_columns_[bag_index];
   if (store == nullptr) {
-    store = std::make_unique<ColumnStore>(collection_->bag(bag_index).ToColumns());
+    store = std::make_shared<const ColumnStore>(
+        collection_->bag(bag_index).ToColumns());
   }
   return *store;
 }
@@ -250,7 +285,7 @@ Result<bool> ConsistencyEngine::TwoBag(size_t i, size_t j) {
   if (p == nullptr) return true;  // a bag always agrees with its own marginals
   BAGC_RETURN_NOT_OK(EnsureFilled(p->left, p->i));
   BAGC_RETURN_NOT_OK(EnsureFilled(p->right, p->j));
-  return p->left->marginal == p->right->marginal;
+  return *p->left->marginal == *p->right->marginal;
 }
 
 Result<bool> ConsistencyEngine::TwoBagSealed(size_t i, size_t j) const {
@@ -261,14 +296,14 @@ Result<bool> ConsistencyEngine::TwoBagSealed(size_t i, size_t j) const {
         "TwoBagSealed on an engine whose cache is not fully sealed; "
         "use TwoBag() (or seal eagerly) instead");
   }
-  return p->left->marginal == p->right->marginal;
+  return *p->left->marginal == *p->right->marginal;
 }
 
 Result<PairwiseVerdict> ConsistencyEngine::SweepSequential() {
   for (const PairTask& p : pairs_) {
     BAGC_RETURN_NOT_OK(EnsureFilled(p.left, p.i));
     BAGC_RETURN_NOT_OK(EnsureFilled(p.right, p.j));
-    if (p.left->marginal != p.right->marginal) {
+    if (*p.left->marginal != *p.right->marginal) {
       PairwiseVerdict v;
       v.consistent = false;
       v.witness_pair = {p.i, p.j};
@@ -297,7 +332,7 @@ PairwiseVerdict ConsistencyEngine::SweepParallel() {
       for (size_t idx = lo; idx < hi; ++idx) {
         if (idx >= best.load(std::memory_order_relaxed)) return;
         const PairTask& p = pairs_[idx];
-        if (p.left->marginal != p.right->marginal) {
+        if (*p.left->marginal != *p.right->marginal) {
           size_t cur = best.load(std::memory_order_relaxed);
           while (idx < cur &&
                  !best.compare_exchange_weak(cur, idx, std::memory_order_relaxed)) {
@@ -554,10 +589,32 @@ Result<std::optional<Bag>> ConsistencyEngine::SolveGlobalExact() {
   return std::optional<Bag>(std::move(witness));
 }
 
+size_t ConsistencyEngine::ApproxSealedBytes() const {
+  // Per-entry cost of the flat storage: the pair's inline Tuple vector +
+  // multiplicity, plus the heap id row. Constants are estimates; the
+  // budget accounting only needs a monotone, deterministic measure.
+  auto bag_bytes = [](const Bag& b) {
+    return size_t{64} + b.SupportSize() * (32 + 4 * b.schema().arity());
+  };
+  size_t total = 0;
+  for (const Bag& b : collection_->bags()) total += bag_bytes(b);
+  for (const std::vector<CachedProjection>& row : cache_) {
+    for (const CachedProjection& slot : row) {
+      if (slot.filled) total += bag_bytes(*slot.marginal);
+    }
+  }
+  for (const std::shared_ptr<const ColumnStore>& store : bag_columns_) {
+    if (store != nullptr) {
+      total += 64 + 4 * store->num_rows() * store->arity();
+    }
+  }
+  return total;
+}
+
 const Bag* ConsistencyEngine::CachedMarginal(size_t i, const Schema& z) const {
   if (i >= cache_.size()) return nullptr;
   const CachedProjection* p = FindProjection(i, z);
-  return (p == nullptr || !p->filled) ? nullptr : &p->marginal;
+  return (p == nullptr || !p->filled) ? nullptr : p->marginal.get();
 }
 
 Result<uint64_t> ConsistencyEngine::ProbeMarginal(size_t i, const Schema& z,
@@ -569,15 +626,15 @@ Result<uint64_t> ConsistencyEngine::ProbeMarginal(size_t i, const Schema& z,
   }
   BAGC_RETURN_NOT_OK(EnsureFilled(p, i));
   if (!p->probe_built) {
-    p->probe.Reserve(p->marginal.SupportSize());
-    for (size_t e = 0; e < p->marginal.SupportSize(); ++e) {
-      p->probe.Insert(p->marginal.entries()[e].first, static_cast<uint32_t>(e));
+    p->probe.Reserve(p->marginal->SupportSize());
+    for (size_t e = 0; e < p->marginal->SupportSize(); ++e) {
+      p->probe.Insert(p->marginal->entries()[e].first, static_cast<uint32_t>(e));
     }
     p->probe_built = true;
   }
   const std::vector<uint32_t>* ids = p->probe.Find(t);
   if (ids == nullptr || ids->empty()) return uint64_t{0};
-  return p->marginal.entries()[ids->front()].second;
+  return p->marginal->entries()[ids->front()].second;
 }
 
 }  // namespace bagc

@@ -95,6 +95,32 @@ struct PairwiseVerdict {
   std::pair<size_t, size_t> witness_pair{0, 0};
 };
 
+class ConsistencyEngine;
+
+/// Incremental-seal input: reuse the sealed state of a previous engine
+/// generation for the bags that did not change. The cached marginals and
+/// per-bag column stores are immutable and shared by pointer, so a re-seal
+/// that touched k of m bags fills only the O(k·m) slots involving a
+/// changed bag instead of all O(m²).
+///
+/// Correctness preconditions (the caller's responsibility — the engine
+/// can only check the structural ones):
+///   - `previous` is fully sealed and outlives the Make call (the shared
+///     state itself survives it via shared_ptr);
+///   - neither generation canonicalized its dictionaries, and both were
+///     sealed through the same dictionary lineage (append-only growth is
+///     fine; any id remap invalidates every cached row). Make ignores the
+///     reuse hint when the new seal canonicalizes.
+struct SealReuse {
+  /// Sentinel for "this bag is new or changed; fill it from scratch".
+  static constexpr size_t kNoPrev = static_cast<size_t>(-1);
+  const ConsistencyEngine* previous = nullptr;
+  /// prev_index[i] = this bag's index in `previous`'s collection when its
+  /// rows are bit-identical there, else kNoPrev. Shorter-than-m vectors
+  /// treat missing entries as kNoPrev.
+  std::vector<size_t> prev_index;
+};
+
 /// \brief Sealed bag collection plus cached per-query state.
 ///
 /// Pool tasks only ever write disjoint cache slots, and PairwiseAll/Global
@@ -105,9 +131,11 @@ class ConsistencyEngine {
  public:
   /// Seals an owned copy of `collection`: allocates the cache of pairwise
   /// shared-attribute marginals and (unless lazy_seal) computes them, in
-  /// parallel when options.num_threads > 1.
+  /// parallel when options.num_threads > 1. A non-null `reuse` seeds
+  /// unchanged bags' slots from a previous generation (see SealReuse).
   static Result<ConsistencyEngine> Make(BagCollection collection,
-                                        EngineOptions options = {});
+                                        EngineOptions options = {},
+                                        const SealReuse* reuse = nullptr);
 
   /// As Make, but borrows `collection` instead of copying it; the caller
   /// must keep it alive for the engine's lifetime. This is the zero-copy
@@ -147,6 +175,13 @@ class ConsistencyEngine {
   uint64_t marginal_fills() const {
     return marginal_fills_->load(std::memory_order_relaxed);
   }
+
+  /// Approximate resident bytes of the sealed state: collection rows,
+  /// cached marginals, and columnar transposes (dictionaries excluded —
+  /// the owner accounts those). An upper bound under incremental reuse:
+  /// shared slots are counted in every generation holding them, which is
+  /// the conservative direction for an eviction budget.
+  size_t ApproxSealedBytes() const;
 
   /// True iff this engine was sealed eagerly (every marginal slot
   /// computed at Make) — the precondition of the *Sealed const query
@@ -248,10 +283,12 @@ class ConsistencyEngine {
  private:
   // One sealed projection of one bag: Z, Ri[Z] (filled eagerly or on first
   // use), and a hash probe from marginal tuple to its entry index (built
-  // on first ProbeMarginal).
+  // on first ProbeMarginal). The marginal is held by shared_ptr so an
+  // incremental re-seal shares unchanged bags' slots with the previous
+  // generation — whichever engine dies first, the bag survives.
   struct CachedProjection {
     Schema schema;
-    Bag marginal;
+    std::shared_ptr<const Bag> marginal;
     bool filled = false;
     TupleIndex probe;
     bool probe_built = false;
@@ -269,10 +306,12 @@ class ConsistencyEngine {
 
   static Result<ConsistencyEngine> MakeImpl(const BagCollection* view,
                                             std::shared_ptr<const BagCollection> owned,
-                                            EngineOptions options);
+                                            EngineOptions options,
+                                            const SealReuse* reuse);
   // Builds cache_ and pairs_; computes the marginals (sharded over the
-  // pool) unless sealing lazily.
-  Status Seal();
+  // pool) unless sealing lazily. A non-null `reuse` pre-fills unchanged
+  // bags' slots and column stores from the previous generation.
+  Status Seal(const SealReuse* reuse);
   Status EnsureFilled(CachedProjection* slot, size_t bag_index);
   // True when bag i's cache fills should group columnar under the
   // configured MarginalPath.
@@ -303,7 +342,8 @@ class ConsistencyEngine {
   std::vector<std::vector<CachedProjection>> cache_;  // per bag, schema-sorted
   // Per-bag SoA transpose shared by all of that bag's sealed projections
   // (zero-copy column Select per schema); null until first columnar fill.
-  std::vector<std::unique_ptr<ColumnStore>> bag_columns_;
+  // shared_ptr for the same reason as CachedProjection::marginal.
+  std::vector<std::shared_ptr<const ColumnStore>> bag_columns_;
   std::vector<PairTask> pairs_;  // all (i, j), i < j, lexicographic
   bool fully_sealed_ = false;    // every cache slot filled (see fully_sealed())
   std::optional<PairwiseVerdict> pairwise_verdict_;

@@ -71,6 +71,7 @@ Result<std::unique_ptr<BagcdServer>> BagcdServer::Start(
   if (options.query_threads > 0) {
     server->query_pool_ = std::make_unique<ThreadPool>(options.query_threads);
   }
+  server->registry_ = std::make_unique<CollectionRegistry>(options.registry);
   // The accept loop gets its own copy of the fd: Shutdown() writes
   // listen_fd_ (under mu_) while this thread runs, and an unsynchronized
   // read of the member would be a data race. accept() on the copied fd
@@ -115,7 +116,7 @@ void BagcdServer::AcceptLoop(int listen_fd) {
 }
 
 void BagcdServer::ServeConnection(Conn* conn) {
-  ServerSession session(&registry_, query_pool_.get());
+  ServerSession session(registry_.get(), query_pool_.get());
   int fd = conn->fd;
   char chunk[4096];
   bool open = WriteAll(fd, std::string(kWireBanner) + "\n");

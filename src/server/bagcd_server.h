@@ -2,8 +2,10 @@
 // that speaks the line protocol of session.h. One OS thread per
 // connection feeds that client's ServerSession; query evaluation fans
 // out on one shared work-stealing ThreadPool (util/thread_pool.h), and
-// all sessions share one SnapshotRegistry, so the whole server serves
-// from a single sealed engine generation at a time. Shutdown — from
+// all sessions share one CollectionRegistry: every named collection
+// serves from its own sealed engine generation, with cold tenants
+// evicted (and lazily reloaded from segments) under the configured
+// memory budget. Shutdown — from
 // Shutdown(), a SHUTDOWN command, or a signal via RequestShutdown() —
 // stops the accept loop, unblocks every connection, and joins all
 // threads before Start()'s Wait() returns.
@@ -17,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "server/collection_registry.h"
 #include "server/engine_snapshot.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -33,6 +36,11 @@ struct BagcdServerOptions {
   /// Workers in the shared query-evaluation pool; 0 answers queries
   /// inline on each connection's thread.
   size_t query_threads = 0;
+  /// Multi-tenant registry limits (see CollectionRegistry::Options):
+  /// global resident-byte budget with LRU eviction, collection-count
+  /// admission cap, and per-collection snapshot byte ceiling. 0 each =
+  /// unlimited (the single-tenant protocol v1 behavior).
+  CollectionRegistry::Options registry;
 };
 
 /// \brief A running bagcd server: listener, connection threads, registry.
@@ -52,8 +60,8 @@ class BagcdServer {
   /// The bound TCP port (the actual one when options.port was 0).
   uint16_t port() const { return port_; }
 
-  /// The shared session registry (snapshot + STATS counters).
-  SnapshotRegistry& registry() { return registry_; }
+  /// The shared collection registry (snapshots + STATS counters).
+  CollectionRegistry& registry() { return *registry_; }
 
   /// Blocks until a shutdown is requested (SHUTDOWN command, a signal
   /// handler calling RequestShutdown(), or Shutdown() from another
@@ -89,7 +97,7 @@ class BagcdServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::unique_ptr<ThreadPool> query_pool_;  // null when query_threads == 0
-  SnapshotRegistry registry_;
+  std::unique_ptr<CollectionRegistry> registry_;
 
   std::thread accept_thread_;
   std::mutex mu_;  // guards conns_ and the stop flags

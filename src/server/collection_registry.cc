@@ -1,0 +1,253 @@
+#include "server/collection_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bag/bag_io.h"
+#include "tuple/segment.h"
+
+namespace bagc {
+
+namespace {
+
+// Rebuilds a sealed snapshot from a BAGCSEG segment — the lazy-reload
+// path after an eviction. Mirrors the session's LOADSEG+SEAL pipeline
+// with a fresh catalog/dictionary set: attributes intern in segment
+// table order and dictionaries bulk-load the segment's value tables, so
+// the rebuilt snapshot decodes (and orders) results bit-identically to
+// the generation originally sealed from this segment. `canonical`
+// replays the original seal's CANONICAL flag for the same reason.
+Result<std::shared_ptr<const EngineSnapshot>> BuildSnapshotFromSegment(
+    const std::string& path, bool canonical, uint64_t seq) {
+  BAGC_ASSIGN_OR_RETURN(SegmentReader reader, SegmentReader::Map(path));
+  EngineSnapshot::BuildInputs inputs;
+  std::vector<AttrId> attr_ids(reader.num_attrs());
+  auto seg_dicts = std::make_shared<DictionarySet>();
+  for (size_t a = 0; a < reader.num_attrs(); ++a) {
+    attr_ids[a] = inputs.catalog.Intern(std::string(reader.attr_name(a)));
+    Status loaded = seg_dicts->dict(attr_ids[a]).BulkLoad(reader.AttrValues(a));
+    if (!loaded.ok()) return loaded;
+  }
+  for (size_t b = 0; b < reader.num_bags(); ++b) {
+    std::vector<std::string> col_names;
+    col_names.reserve(reader.bag_arity(b));
+    for (size_t c = 0; c < reader.bag_arity(b); ++c) {
+      col_names.emplace_back(reader.attr_name(reader.bag_attr(b, c)));
+    }
+    ColumnStore columns = reader.Columns(b);
+    BAGC_ASSIGN_OR_RETURN(
+        Bag bag, BagFromU32Columns(col_names, columns.View(), reader.Mults(b),
+                                   &inputs.catalog, *seg_dicts));
+    inputs.names.emplace_back(reader.bag_name(b));
+    inputs.bags.push_back(std::move(bag));
+  }
+  inputs.dicts = std::move(seg_dicts);
+  inputs.canonicalize = canonical;
+  return EngineSnapshot::Build(std::move(inputs), seq);
+}
+
+}  // namespace
+
+CollectionRegistry::CollectionRegistry(Options options)
+    : options_(options),
+      default_(std::shared_ptr<Collection>(
+          new Collection(kDefaultCollectionName))) {
+  collections_.emplace(default_->name(), default_);
+}
+
+Result<std::shared_ptr<CollectionRegistry::Collection>>
+CollectionRegistry::Attach(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  if (it != collections_.end()) return it->second;
+  if (options_.max_collections > 0 &&
+      collections_.size() >= options_.max_collections) {
+    return Status::FailedPrecondition(
+        "collection limit reached (" +
+        std::to_string(options_.max_collections) +
+        "); DETACH is per-session, DROP or restart to free a name");
+  }
+  auto c = std::shared_ptr<Collection>(new Collection(name));
+  collections_.emplace(name, c);
+  return c;
+}
+
+std::shared_ptr<CollectionRegistry::Collection> CollectionRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = collections_.find(name);
+  return it == collections_.end() ? nullptr : it->second;
+}
+
+Result<std::shared_ptr<const EngineSnapshot>> CollectionRegistry::Acquire(
+    Collection* c) {
+  std::string path;
+  bool canonical = false;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (c->current_ != nullptr) {
+      c->last_access_ = ++lru_clock_;
+      ++c->hits_;
+      return c->current_;
+    }
+    if (c->generation_ == 0) {
+      // Nothing ever published (or a RESET emptied the chain): not an
+      // eviction, just "no engine yet".
+      return std::shared_ptr<const EngineSnapshot>();
+    }
+    if (c->segment_path_.empty()) {
+      return Status::FailedPrecondition(
+          "collection '" + c->name_ +
+          "' was evicted under the memory budget and has no segment to "
+          "reload from; SEAL it again");
+    }
+    path = c->segment_path_;
+    canonical = c->reload_canonical_;
+    // The reload is a publication in the chain: it takes a seq under the
+    // same high-water rule, so a RESET racing the rebuild wins.
+    seq = c->NextSeq();
+  }
+  // Build outside the lock — reloads are as slow as seals.
+  Result<std::shared_ptr<const EngineSnapshot>> rebuilt =
+      BuildSnapshotFromSegment(path, canonical, seq);
+  if (!rebuilt.ok()) {
+    return Status::FailedPrecondition("collection '" + c->name_ +
+                                      "' reload from segment failed: " +
+                                      rebuilt.status().message());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (c->current_ != nullptr) {
+    // A concurrent reload (or fresh SEAL) landed first; serve that one.
+    c->last_access_ = ++lru_clock_;
+    ++c->hits_;
+    return c->current_;
+  }
+  if (seq <= c->published_high_water_) {
+    // RESET (or DROP) raced the rebuild: stay empty, per the chain rule.
+    return std::shared_ptr<const EngineSnapshot>();
+  }
+  c->published_high_water_ = seq;
+  ++c->reloads_;
+  const uint64_t bytes = (*rebuilt)->approx_bytes();
+  InstallLocked(c, *std::move(rebuilt), bytes);
+  EvictToBudgetLocked(c);
+  return c->current_;
+}
+
+std::shared_ptr<const EngineSnapshot> CollectionRegistry::Peek(
+    const Collection* c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return c->current_;
+}
+
+Status CollectionRegistry::Publish(
+    Collection* c, std::shared_ptr<const EngineSnapshot> snapshot,
+    std::string segment_path, bool canonical) {
+  const uint64_t bytes = snapshot->approx_bytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_collection_bytes > 0 &&
+      bytes > options_.max_collection_bytes) {
+    return Status::OutOfRange(
+        "sealed snapshot (~" + std::to_string(bytes) +
+        " bytes) exceeds the per-collection ceiling (" +
+        std::to_string(options_.max_collection_bytes) + " bytes)");
+  }
+  // <= : seqs are unique per snapshot, and Clear() raises the mark TO the
+  // highest issued seq precisely so a seal that began before a RESET is
+  // refused too. The seq was taken before the (possibly slow) build, so
+  // the slower build of an OLDER seq must not overwrite the newer engine.
+  if (snapshot->seq() <= c->published_high_water_) {
+    return Status::FailedPrecondition(
+        "seal superseded by a newer generation; retry SEAL");
+  }
+  c->published_high_water_ = snapshot->seq();
+  c->segment_path_ = std::move(segment_path);
+  c->reload_canonical_ = canonical;
+  InstallLocked(c, std::move(snapshot), bytes);
+  EvictToBudgetLocked(c);
+  return Status::OK();
+}
+
+void CollectionRegistry::Clear(Collection* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t issued = c->next_seq_.load(std::memory_order_relaxed) - 1;
+  if (issued > c->published_high_water_) c->published_high_water_ = issued;
+  if (c->current_ != nullptr) {
+    resident_bytes_ -= c->bytes_;
+    c->current_ = nullptr;
+    c->bytes_ = 0;
+  }
+  // RESET means "no engine until the next SEAL" — the reload source must
+  // not resurrect the cleared generation, and generation_ = 0 marks the
+  // chain empty (as opposed to evicted).
+  c->segment_path_.clear();
+  c->reload_canonical_ = false;
+  c->generation_ = 0;
+}
+
+CollectionRegistry::CollectionStats CollectionRegistry::Stats(
+    const Collection* c) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CollectionStats s;
+  s.resident = c->current_ != nullptr;
+  s.reloadable = !c->segment_path_.empty();
+  s.bytes = c->bytes_;
+  s.generation = c->generation_;
+  s.last_access = c->last_access_;
+  s.hits = c->hits_;
+  s.evictions = c->evictions_;
+  s.reloads = c->reloads_;
+  return s;
+}
+
+void CollectionRegistry::MarkNextSealSupersededForTest(Collection* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t next = c->next_seq_.load(std::memory_order_relaxed);
+  if (next > c->published_high_water_) c->published_high_water_ = next;
+}
+
+size_t CollectionRegistry::num_collections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return collections_.size();
+}
+
+size_t CollectionRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+void CollectionRegistry::InstallLocked(
+    Collection* c, std::shared_ptr<const EngineSnapshot> snapshot,
+    uint64_t bytes) {
+  resident_bytes_ -= c->bytes_;
+  c->current_ = std::move(snapshot);
+  c->bytes_ = bytes;
+  resident_bytes_ += bytes;
+  c->generation_ = c->current_->seq();
+  c->last_access_ = ++lru_clock_;
+}
+
+void CollectionRegistry::EvictToBudgetLocked(const Collection* exempt) {
+  if (options_.mem_budget_bytes == 0) return;
+  while (resident_bytes_ > options_.mem_budget_bytes) {
+    Collection* coldest = nullptr;
+    for (auto& [name, c] : collections_) {
+      if (c.get() == exempt || c->current_ == nullptr) continue;
+      if (coldest == nullptr || c->last_access_ < coldest->last_access_) {
+        coldest = c.get();
+      }
+    }
+    if (coldest == nullptr) break;  // only the exempt tenant is resident
+    resident_bytes_ -= coldest->bytes_;
+    // Dropping the pointer is the whole eviction: in-flight queries keep
+    // their shared_ptr and finish on the old engine. generation_ stays —
+    // it distinguishes "evicted" from "never sealed" in Acquire.
+    coldest->current_ = nullptr;
+    coldest->bytes_ = 0;
+    ++coldest->evictions_;
+    evictions_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace bagc

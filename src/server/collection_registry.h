@@ -1,0 +1,193 @@
+// Multi-tenant snapshot registry for the bagcd server. A *collection* is
+// one named tenant: its own generation chain of sealed EngineSnapshots
+// (seq numbers, publish high-water mark), its own STATS counters, and an
+// optional BAGCSEG segment it can be rebuilt from. Sessions bind to a
+// collection with ATTACH (every session starts on "default"), SEAL
+// publishes into the bound collection's chain, and queries read its
+// current snapshot.
+//
+// The registry enforces a global memory budget: when the resident bytes
+// of all published snapshots exceed it, the coldest collections (LRU by
+// last query/publish) are evicted — their snapshot pointer is dropped,
+// in-flight queries finish on the shared_ptr they already hold. An
+// evicted collection that registered a segment reloads lazily on the
+// next query (Acquire); one with no segment answers E_STATE until it is
+// sealed again. Admission caps (max collections, per-collection byte
+// ceiling) bound what any one tenant can take before eviction triggers.
+//
+// Concurrency: one registry-wide mutex guards the collection map, every
+// collection's published state, the LRU clock, and the byte accounting.
+// Snapshot *builds* (SEAL, lazy reload) run outside the lock; only the
+// publish/install step takes it. Per-chain seq issuance is atomic and
+// lock-free, preserving the single-generation registry's race rule: a
+// SEAL that loses to a newer generation (or to a RESET that happened
+// after it took its seq) is refused at publish with a retryable error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/engine_snapshot.h"
+#include "util/result.h"
+
+namespace bagc {
+
+/// Name every session is bound to before its first ATTACH.
+inline constexpr const char* kDefaultCollectionName = "default";
+
+/// \brief Named multi-tenant registry of sealed engine generations, with
+/// LRU eviction under a global memory budget.
+class CollectionRegistry {
+ public:
+  struct Options {
+    /// Global ceiling on resident snapshot bytes; 0 = unlimited. The
+    /// most-recently published/queried collection is exempt from its own
+    /// eviction pass, so one oversized tenant degrades to single-tenant
+    /// caching instead of thrashing to zero.
+    size_t mem_budget_bytes = 0;
+    /// Maximum number of named collections (ATTACH refuses beyond it,
+    /// counting "default"); 0 = unlimited.
+    size_t max_collections = 0;
+    /// Per-collection ceiling on one snapshot's bytes (publish refuses
+    /// larger seals outright); 0 = unlimited.
+    size_t max_collection_bytes = 0;
+  };
+
+  /// Point-in-time per-collection counters (STATS <name>).
+  struct CollectionStats {
+    bool resident = false;       ///< a snapshot is currently published
+    bool reloadable = false;     ///< a segment reload source is registered
+    uint64_t bytes = 0;          ///< resident snapshot's approximate bytes
+    uint64_t generation = 0;     ///< seq of the current publication (0 = none)
+    uint64_t last_access = 0;    ///< LRU clock tick of the last touch
+    uint64_t hits = 0;           ///< queries answered from the resident snapshot
+    uint64_t evictions = 0;      ///< times this collection's snapshot was evicted
+    uint64_t reloads = 0;        ///< lazy segment rebuilds after eviction
+  };
+
+  /// One named tenant. Handles are shared_ptr so a DETACHed/evicted
+  /// collection a session still points at stays valid; all mutable state
+  /// except seq issuance is guarded by the owning registry's mutex.
+  class Collection {
+   public:
+    const std::string& name() const { return name_; }
+
+    /// Next SEAL generation number in this collection's chain (1-based,
+    /// monotone, lock-free).
+    uint64_t NextSeq() { return next_seq_.fetch_add(1, std::memory_order_relaxed); }
+
+   private:
+    friend class CollectionRegistry;
+    explicit Collection(std::string name) : name_(std::move(name)) {}
+
+    const std::string name_;
+    std::atomic<uint64_t> next_seq_{1};
+    // ---- everything below is guarded by the registry's mu_ ----
+    std::shared_ptr<const EngineSnapshot> current_;
+    uint64_t published_high_water_ = 0;
+    std::string segment_path_;   // lazy reload source; empty = none
+    bool reload_canonical_ = false;
+    uint64_t bytes_ = 0;
+    uint64_t generation_ = 0;
+    uint64_t last_access_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t reloads_ = 0;
+  };
+
+  CollectionRegistry() : CollectionRegistry(Options{0, 0, 0}) {}
+  explicit CollectionRegistry(Options options);
+
+  const Options& options() const { return options_; }
+
+  /// The pre-created "default" collection.
+  std::shared_ptr<Collection> Default() const { return default_; }
+
+  /// Create-or-get a named collection. Refuses creation (not lookup)
+  /// with FailedPrecondition once max_collections is reached.
+  Result<std::shared_ptr<Collection>> Attach(const std::string& name);
+
+  /// The named collection, or nullptr (STATS lookups; never creates).
+  std::shared_ptr<Collection> Find(const std::string& name) const;
+
+  /// The collection's current snapshot for a query: bumps the LRU clock
+  /// and hit counter; an evicted collection with a registered segment is
+  /// rebuilt here (outside the lock) and re-published with a fresh seq.
+  /// OK(nullptr) when nothing was ever published (or a RESET emptied the
+  /// chain); FailedPrecondition when the collection was evicted and has
+  /// no segment to reload from, or its segment reload failed.
+  Result<std::shared_ptr<const EngineSnapshot>> Acquire(Collection* c);
+
+  /// The current snapshot without any side effects (STATS reporting):
+  /// no LRU touch, no hit count, never triggers a reload.
+  std::shared_ptr<const EngineSnapshot> Peek(const Collection* c) const;
+
+  /// Publishes a sealed snapshot into `c`'s chain. Refuses with
+  /// OutOfRange when the snapshot exceeds the per-collection byte
+  /// ceiling, and with FailedPrecondition (retryable: take a new seq and
+  /// rebuild) when a newer generation already won the chain — the same
+  /// high-water rule as the single-generation registry. On success,
+  /// `segment_path` (empty = none) becomes the collection's lazy reload
+  /// source with `canonical` as its re-seal flag, and colder collections
+  /// are evicted until the global budget holds (never `c` itself).
+  Status Publish(Collection* c, std::shared_ptr<const EngineSnapshot> snapshot,
+                 std::string segment_path, bool canonical);
+
+  /// Unpublishes `c`'s current generation (RESET): in-flight queries
+  /// finish on it, the high-water mark advances past every issued seq so
+  /// in-flight seals AND reloads of the old state are refused, and the
+  /// reload source is dropped — no engine until the next SEAL.
+  void Clear(Collection* c);
+
+  CollectionStats Stats(const Collection* c) const;
+
+  /// Test hook for the publish-race path: raises `c`'s high-water mark to
+  /// its next unissued seq, so exactly the next SEAL loses (deterministic
+  /// stand-in for a concurrent seal winning mid-build); the retry wins.
+  void MarkNextSealSupersededForTest(Collection* c);
+
+  // ---- registry-wide STATS ----
+  size_t num_collections() const;
+  size_t resident_bytes() const;
+  uint64_t evictions_total() const { return evictions_total_.load(std::memory_order_relaxed); }
+
+  // ---- global session counters (relaxed; reporting, not synchronization).
+  void SessionOpened() { sessions_.fetch_add(1, std::memory_order_relaxed); }
+  void SessionClosed() { sessions_.fetch_sub(1, std::memory_order_relaxed); }
+  void RecordSeal() { seals_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordReset() { resets_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordQuery() { queries_.fetch_add(1, std::memory_order_relaxed); }
+  size_t sessions_active() const { return sessions_.load(std::memory_order_relaxed); }
+  uint64_t seals_total() const { return seals_.load(std::memory_order_relaxed); }
+  uint64_t resets_total() const { return resets_.load(std::memory_order_relaxed); }
+  uint64_t queries_total() const { return queries_.load(std::memory_order_relaxed); }
+
+ private:
+  // Swap `snapshot` in as c's resident generation (byte accounting + LRU
+  // touch). Caller holds mu_.
+  void InstallLocked(Collection* c,
+                     std::shared_ptr<const EngineSnapshot> snapshot,
+                     uint64_t bytes);
+  // Drop the coldest resident snapshots (never `exempt`) until the
+  // global budget holds. Caller holds mu_.
+  void EvictToBudgetLocked(const Collection* exempt);
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Collection>> collections_;
+  std::shared_ptr<Collection> default_;
+  uint64_t lru_clock_ = 0;      // guarded by mu_
+  uint64_t resident_bytes_ = 0; // guarded by mu_
+  std::atomic<uint64_t> evictions_total_{0};
+  std::atomic<size_t> sessions_{0};
+  std::atomic<uint64_t> seals_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> queries_{0};
+};
+
+}  // namespace bagc

@@ -26,8 +26,16 @@ Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::Build(
   options.num_threads = inputs.num_threads;
   options.dictionaries = inputs.dicts;
   options.canonicalize_dictionaries = inputs.canonicalize;
-  BAGC_ASSIGN_OR_RETURN(ConsistencyEngine engine,
-                        ConsistencyEngine::Make(std::move(collection), options));
+  SealReuse reuse;
+  const SealReuse* reuse_ptr = nullptr;
+  if (inputs.previous != nullptr && !inputs.prev_bag.empty()) {
+    reuse.previous = inputs.previous->engine();
+    reuse.prev_index = std::move(inputs.prev_bag);
+    reuse_ptr = &reuse;  // Make() drops it again if canonicalizing
+  }
+  BAGC_ASSIGN_OR_RETURN(
+      ConsistencyEngine engine,
+      ConsistencyEngine::Make(std::move(collection), options, reuse_ptr));
   snapshot->engine_.emplace(std::move(engine));
   // The engine seals eagerly (no lazy_seal), so the cache is complete and
   // the const query surface is live; run the sweep once so every session
@@ -38,6 +46,10 @@ Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::Build(
   // the const surface, so don't park idle worker threads per generation.
   snapshot->engine_->ReleaseWorkers();
   snapshot->dicts_ = snapshot->engine_->shared_dictionaries();
+  // Dictionary entries are approximated at a flat per-value cost; the
+  // engine's sealed state dominates for any collection worth evicting.
+  snapshot->approx_bytes_ = snapshot->engine_->ApproxSealedBytes() +
+                            48 * snapshot->dict_values();
   return std::shared_ptr<const EngineSnapshot>(std::move(snapshot));
 }
 

@@ -1,12 +1,12 @@
 // Shared immutable engine snapshots for the bagcd server. A SEAL builds
 // one EngineSnapshot — an eagerly sealed ConsistencyEngine plus the
 // catalog/dictionary state needed to decode results back to external
-// values — and publishes it in the server's SnapshotRegistry. Sessions
-// answering queries take shared ownership of the current snapshot for
-// the duration of one query, so a concurrent RESET or re-SEAL swaps the
-// registry pointer atomically while every in-flight query finishes on
-// the snapshot it started with; the old engine is destroyed when the
-// last such query releases it.
+// values — and publishes it in the server's CollectionRegistry (see
+// collection_registry.h). Sessions answering queries take shared
+// ownership of the current snapshot for the duration of one query, so a
+// concurrent RESET or re-SEAL swaps the registry pointer atomically
+// while every in-flight query finishes on the snapshot it started with;
+// the old engine is destroyed when the last such query releases it.
 //
 // Thread-safety: every query method on EngineSnapshot is const and safe
 // for any number of concurrent callers. TwoBag/Pairwise/KWise/Witness
@@ -48,6 +48,15 @@ class EngineSnapshot {
     /// (EngineOptions::canonicalize_dictionaries). The session's live
     /// dictionaries — and hence the ids a client streams — are untouched.
     bool canonicalize = false;
+    /// Incremental re-seal: the previous generation whose sealed state
+    /// this build may reuse, with prev_bag[i] the previous engine's index
+    /// of this build's bag i (SealReuse::kNoPrev = changed/new bag).
+    /// Reuse silently degrades to a full seal when canonicalizing (id
+    /// remaps invalidate prior rows). The previous generation only needs
+    /// to live through Build: reused marginals and column stores are
+    /// shared_ptr slots the new engine then co-owns.
+    std::shared_ptr<const EngineSnapshot> previous;
+    std::vector<size_t> prev_bag;
   };
 
   /// Seals the engine eagerly, runs the pairwise sweep once, and returns
@@ -96,6 +105,11 @@ class EngineSnapshot {
   /// Distinct dictionary values the snapshot can decode.
   size_t dict_values() const { return dicts_ == nullptr ? 0 : dicts_->total_size(); }
   uint64_t marginal_fills() const { return engine_->marginal_fills(); }
+  /// Approximate resident bytes of the sealed engine (registry budget /
+  /// eviction accounting; stable across identical rebuilds).
+  size_t approx_bytes() const { return approx_bytes_; }
+  /// The sealed engine — the reuse source for an incremental re-seal.
+  const ConsistencyEngine* engine() const { return &*engine_; }
 
  private:
   EngineSnapshot() = default;
@@ -106,82 +120,12 @@ class EngineSnapshot {
   AttributeCatalog catalog_;
   std::shared_ptr<const DictionarySet> dicts_;
   size_t support_rows_ = 0;
+  size_t approx_bytes_ = 0;
   PairwiseVerdict pairwise_;
   // Mutated only by Global() under global_mu_ (memoization); everything
   // else uses the engine's const sealed surface.
   mutable std::optional<ConsistencyEngine> engine_;
   mutable std::mutex global_mu_;
-};
-
-/// \brief The server's session registry: active-session accounting plus
-/// the atomically swapped current snapshot.
-///
-/// Publish/Clear replace the shared pointer under a mutex; Current()
-/// hands out shared ownership, so readers never see a torn snapshot and
-/// an old generation survives exactly as long as its last in-flight
-/// query.
-class SnapshotRegistry {
- public:
-  /// The current snapshot, or nullptr before the first SEAL / after a
-  /// RESET.
-  std::shared_ptr<const EngineSnapshot> Current() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return current_;
-  }
-
-  /// Atomically swaps in a new generation. Returns false — and publishes
-  /// nothing — when a newer generation already won the race: two
-  /// concurrent SEALs take their seq before their (possibly slow) builds,
-  /// so the slower build of an OLDER seq must not overwrite the newer
-  /// engine. The high-water mark survives Clear(), so a seal that began
-  /// before a RESET cannot resurrect itself after it either.
-  bool Publish(std::shared_ptr<const EngineSnapshot> snapshot) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (snapshot != nullptr) {
-      // <= : seqs are unique per snapshot, and Clear() raises the mark TO
-      // the highest issued seq precisely so that seal is refused too.
-      if (snapshot->seq() <= published_high_water_) return false;
-      published_high_water_ = snapshot->seq();
-    }
-    current_ = std::move(snapshot);
-    return true;
-  }
-
-  /// Unpublishes the current generation (in-flight queries finish on it)
-  /// and invalidates every seal already in flight: the high-water mark
-  /// advances past all seqs issued so far, so a SEAL that took its seq
-  /// before this RESET is refused at Publish — "no engine until the next
-  /// SEAL" means a seal *initiated* after the reset.
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    uint64_t issued = next_seq_.load(std::memory_order_relaxed) - 1;
-    if (issued > published_high_water_) published_high_water_ = issued;
-    current_ = nullptr;
-  }
-
-  /// Next SEAL generation number (1-based, monotone).
-  uint64_t NextSeq() { return next_seq_.fetch_add(1, std::memory_order_relaxed); }
-
-  // ---- STATS counters (relaxed; they are reporting, not synchronization).
-  void SessionOpened() { sessions_.fetch_add(1, std::memory_order_relaxed); }
-  void SessionClosed() { sessions_.fetch_sub(1, std::memory_order_relaxed); }
-  void RecordSeal() { seals_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordReset() { resets_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordQuery() { queries_.fetch_add(1, std::memory_order_relaxed); }
-  size_t sessions_active() const { return sessions_.load(std::memory_order_relaxed); }
-  uint64_t seals_total() const { return seals_.load(std::memory_order_relaxed); }
-  uint64_t resets_total() const { return resets_.load(std::memory_order_relaxed); }
-  uint64_t queries_total() const { return queries_.load(std::memory_order_relaxed); }
-
- private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const EngineSnapshot> current_;
-  uint64_t published_high_water_ = 0;  // guarded by mu_
-  std::atomic<uint64_t> next_seq_{1};
-  std::atomic<size_t> sessions_{0};
-  std::atomic<uint64_t> seals_{0};
-  std::atomic<uint64_t> resets_{0};
-  std::atomic<uint64_t> queries_{0};
 };
 
 }  // namespace bagc

@@ -3,7 +3,11 @@
 // line, space-separated tokens, body-carrying commands (DICT / LOAD /
 // LOADU32) followed by raw lines up to a terminating "END". Responses
 // are a single "OK ..." or "ERR <code> ..." line, except WITNESS and
-// STATS whose OK form opens a body that also ends with "END". The full
+// STATS whose OK form opens a body that also ends with "END". The
+// multi-tenant verbs — ATTACH/DETACH (bind a session to a named
+// collection), DROP (unload one staged bag), per-collection STATS, and
+// the SEAL FULL opt-out of incremental re-seals — are additive: a v1
+// client never sends them and sees byte-identical responses. The full
 // grammar, the session lifecycle, and an annotated transcript live in
 // docs/PROTOCOL.md — this header is the single in-code source of the
 // literal strings both sides (ServerSession, BagcdClient) must agree on.

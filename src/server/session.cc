@@ -187,8 +187,11 @@ bool WireRepresentable(std::string_view value) {
 
 }  // namespace
 
-ServerSession::ServerSession(SnapshotRegistry* registry, ThreadPool* query_pool)
-    : registry_(registry), query_pool_(query_pool) {
+ServerSession::ServerSession(CollectionRegistry* registry,
+                             ThreadPool* query_pool)
+    : registry_(registry),
+      query_pool_(query_pool),
+      collection_(registry->Default()) {
   registry_->SessionOpened();
 }
 
@@ -202,16 +205,20 @@ ServerSession::Outcome ServerSession::HandleData(std::string_view data,
   while (outcome == Outcome::kContinue) {
     if (mode_ == Mode::kText) {
       size_t nl = inbuf_.find('\n', consumed);
-      if (nl == std::string::npos) {
-        if (inbuf_.size() - consumed > kMaxLineBytes) {
-          *out += WireErrLine(WireError::kRange,
-                              "input line exceeds " +
-                                  std::to_string(kMaxLineBytes) + " bytes");
-          *out += '\n';
-          outcome = Outcome::kCloseConnection;
-        }
+      // The line-length ceiling applies whether or not the newline has
+      // arrived yet: a complete over-long line (one read with a late
+      // newline) is exactly as abusive as a partial one, and must not
+      // slip through just because it parsed as a whole line.
+      if (nl == std::string::npos ? inbuf_.size() - consumed > kMaxLineBytes
+                                  : nl - consumed > kMaxLineBytes) {
+        *out += WireErrLine(WireError::kRange,
+                            "input line exceeds " +
+                                std::to_string(kMaxLineBytes) + " bytes");
+        *out += '\n';
+        outcome = Outcome::kCloseConnection;
         break;
       }
+      if (nl == std::string::npos) break;
       std::string line = inbuf_.substr(consumed, nl - consumed);
       consumed = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -316,9 +323,15 @@ ServerSession::Outcome ServerSession::HandleCommand(
   } else if (cmd == "WITNESS") {
     HandleWitness(tokens, sink);
   } else if (cmd == "STATS") {
-    HandleStats(sink);
+    HandleStats(tokens, sink);
   } else if (cmd == "RESET") {
     HandleReset(tokens, sink);
+  } else if (cmd == "ATTACH") {
+    HandleAttach(tokens, sink);
+  } else if (cmd == "DETACH") {
+    HandleDetach(tokens, sink);
+  } else if (cmd == "DROP") {
+    HandleDrop(tokens, sink);
   } else if (cmd == "HELLO") {
     HandleHello(tokens, sink);
   } else if (cmd == "UPGRADE") {
@@ -522,8 +535,7 @@ void ServerSession::FinishLoad(ResponseSink* sink) {
     return;
   }
   size_t support = bag->SupportSize();
-  bag_names_.push_back(name);
-  bags_.push_back(std::move(bag).value());
+  AddBag(name, std::move(bag).value());
   sink->Ok(body_header_[0] + " " + name + " " + std::to_string(support) +
            " rows");
 }
@@ -632,8 +644,7 @@ void ServerSession::HandleRowsFrame(std::string_view payload,
     return;
   }
   size_t support = bag->SupportSize();
-  bag_names_.push_back(name);
-  bags_.push_back(std::move(bag).value());
+  AddBag(name, std::move(bag).value());
   sink->Ok("LOADU32 " + name + " " + std::to_string(support) + " rows");
 }
 
@@ -739,10 +750,14 @@ void ServerSession::HandleLoadSeg(const std::vector<std::string>& tokens,
   for (size_t a = 0; a < reader->num_attrs(); ++a) {
     dicts_->dict(attr_ids[a]) = std::move(seg_dicts.dict(attr_ids[a]));
   }
+  bool was_empty = bags_.empty();
   for (size_t b = 0; b < new_names.size(); ++b) {
-    bag_names_.push_back(std::move(new_names[b]));
-    bags_.push_back(std::move(new_bags[b]));
+    AddBag(std::move(new_names[b]), std::move(new_bags[b]));
   }
+  // When this segment IS the whole loaded state, a later SEAL can
+  // register it as the collection's lazy reload source (a reload
+  // re-derives bit-identical results); AddBag cleared any prior staging.
+  if (was_empty) staged_seg_path_ = tokens[1];
   sink->Ok("LOADSEG " + std::to_string(reader->num_bags()) + " bags " +
            std::to_string(total_support) + " rows");
 }
@@ -750,10 +765,13 @@ void ServerSession::HandleLoadSeg(const std::vector<std::string>& tokens,
 void ServerSession::HandleSeal(const std::vector<std::string>& tokens,
                                ResponseSink* sink) {
   bool canonical = false;
+  bool full = false;
   size_t num_threads = 1;
   for (size_t i = 1; i < tokens.size(); ++i) {
     if (tokens[i] == "CANONICAL") {
       canonical = true;
+    } else if (tokens[i] == "FULL") {
+      full = true;
     } else if (tokens[i] == "THREADS" && i + 1 < tokens.size()) {
       Result<uint64_t> n = WireParseUint(tokens[i + 1]);
       if (!n.ok() || *n == 0) {
@@ -771,7 +789,8 @@ void ServerSession::HandleSeal(const std::vector<std::string>& tokens,
       num_threads = static_cast<size_t>(*n);
       ++i;
     } else {
-      sink->Err(WireError::kParse, "usage: SEAL [CANONICAL] [THREADS <n>]");
+      sink->Err(WireError::kParse,
+                "usage: SEAL [CANONICAL] [FULL] [THREADS <n>]");
       return;
     }
   }
@@ -785,22 +804,64 @@ void ServerSession::HandleSeal(const std::vector<std::string>& tokens,
   inputs.catalog = catalog_;
   // The snapshot seals through a private clone: the session's live set —
   // and every id a client has streamed or will stream — stays untouched,
-  // even under CANONICAL (which reorders only the clone).
-  inputs.dicts = std::make_shared<DictionarySet>(dicts_->Clone());
+  // even under CANONICAL (which reorders only the clone). Re-seals skip
+  // the clone when no value was interned since the last one (dictionary
+  // growth is append-only, so an equal total count means identical
+  // content) — the generations then share one immutable DictionarySet.
+  if (!canonical && last_seal_dicts_ != nullptr &&
+      last_seal_dicts_->total_size() == dicts_->total_size()) {
+    inputs.dicts = last_seal_dicts_;
+  } else {
+    inputs.dicts = std::make_shared<DictionarySet>(dicts_->Clone());
+  }
+  std::shared_ptr<DictionarySet> seal_dicts = inputs.dicts;
   inputs.num_threads = num_threads;
   inputs.canonicalize = canonical;
+  // Incremental re-seal: bags unchanged since the last generation this
+  // session sealed (epoch at or before that seal, same name then) reuse
+  // its marginal cache and column stores — a k-of-m touch refills O(k·m)
+  // pairs instead of O(m²). Canonical seals on either side remap ids and
+  // disqualify reuse; FULL opts out explicitly (benchmark baseline).
+  size_t reused = 0;
+  if (!full && !canonical && !last_seal_canonical_ && last_sealed_ != nullptr) {
+    inputs.prev_bag.assign(bags_.size(), SealReuse::kNoPrev);
+    for (size_t i = 0; i < bags_.size(); ++i) {
+      if (bag_epochs_[i] > last_seal_epoch_) continue;  // changed since
+      for (size_t p = 0; p < last_sealed_->num_bags(); ++p) {
+        if (last_sealed_->bag_name(p) == bag_names_[i]) {
+          inputs.prev_bag[i] = p;
+          ++reused;
+          break;
+        }
+      }
+    }
+    if (reused > 0) inputs.previous = last_sealed_;
+    else inputs.prev_bag.clear();
+  }
   Result<std::shared_ptr<const EngineSnapshot>> snapshot =
-      EngineSnapshot::Build(std::move(inputs), registry_->NextSeq());
+      EngineSnapshot::Build(std::move(inputs), collection_->NextSeq());
   if (!snapshot.ok()) {
     sink->ErrStatus(snapshot.status());
     return;
   }
-  if (!registry_->Publish(*snapshot)) {
-    sink->Err(WireError::kState, "seal superseded by a newer generation");
+  Status published = registry_->Publish(collection_.get(), *snapshot,
+                                        staged_seg_path_, canonical);
+  if (!published.ok()) {
+    sink->ErrStatus(published);
     return;
   }
+  last_sealed_ = *snapshot;
+  last_seal_epoch_ = epoch_counter_;
+  last_seal_canonical_ = canonical;
+  // A canonical seal remapped the clone's ids in place; it can never
+  // seed a later generation.
+  last_seal_dicts_ = canonical ? nullptr : std::move(seal_dicts);
   registry_->RecordSeal();
-  sink->Ok("SEAL " + std::to_string(bags_.size()) + " bags");
+  std::string rest = "SEAL " + std::to_string(bags_.size()) + " bags";
+  // The suffix appears only on actual reuse, so full-seal responses stay
+  // byte-identical to protocol v1.
+  if (reused > 0) rest += " " + std::to_string(reused) + " reused";
+  sink->Ok(rest);
 }
 
 void ServerSession::HandleReset(const std::vector<std::string>& tokens,
@@ -812,19 +873,117 @@ void ServerSession::HandleReset(const std::vector<std::string>& tokens,
   }
   bag_names_.clear();
   bags_.clear();
+  bag_epochs_.clear();
+  ForgetSealLineage();
   if (hard) {
     catalog_ = AttributeCatalog();
     dicts_ = std::make_shared<DictionarySet>();
   }
   // In-flight queries of other sessions finish on the old snapshot; new
-  // queries see no engine until the next SEAL.
-  registry_->Clear();
+  // queries on this collection see no engine until the next SEAL.
+  registry_->Clear(collection_.get());
   registry_->RecordReset();
   sink->Ok(hard ? "RESET HARD" : "RESET");
 }
 
-void ServerSession::HandleStats(ResponseSink* sink) {
-  std::shared_ptr<const EngineSnapshot> snapshot = registry_->Current();
+void ServerSession::HandleAttach(const std::vector<std::string>& tokens,
+                                 ResponseSink* sink) {
+  if (tokens.size() != 2) {
+    sink->Err(WireError::kParse, "usage: ATTACH <collection>");
+    return;
+  }
+  const std::string& name = tokens[1];
+  // Collection names share the bag-name shape rules: non-empty, not all
+  // digits (so STATS <name> and future addressing stay unambiguous).
+  bool all_digits = !name.empty();
+  for (char c : name) all_digits = all_digits && c >= '0' && c <= '9';
+  if (name.empty() || all_digits) {
+    sink->Err(WireError::kParse,
+              "collection name '" + name + "' must not be all digits");
+    return;
+  }
+  Result<std::shared_ptr<CollectionRegistry::Collection>> attached =
+      registry_->Attach(name);
+  if (!attached.ok()) {
+    sink->ErrStatus(attached.status());
+    return;
+  }
+  if (attached->get() != collection_.get()) {
+    collection_ = *std::move(attached);
+    // The previous chain's generations mean nothing to the new one.
+    ForgetSealLineage();
+  }
+  sink->Ok("ATTACH " + name);
+}
+
+void ServerSession::HandleDetach(const std::vector<std::string>& tokens,
+                                 ResponseSink* sink) {
+  if (tokens.size() != 1) {
+    sink->Err(WireError::kParse, "usage: DETACH");
+    return;
+  }
+  if (collection_.get() != registry_->Default().get()) {
+    collection_ = registry_->Default();
+    ForgetSealLineage();
+  }
+  sink->Ok("DETACH");
+}
+
+void ServerSession::HandleDrop(const std::vector<std::string>& tokens,
+                               ResponseSink* sink) {
+  if (tokens.size() != 2) {
+    sink->Err(WireError::kParse, "usage: DROP <bag-name>");
+    return;
+  }
+  const std::string& name = tokens[1];
+  for (size_t i = 0; i < bag_names_.size(); ++i) {
+    if (bag_names_[i] != name) continue;
+    bag_names_.erase(bag_names_.begin() + i);
+    bags_.erase(bags_.begin() + i);
+    bag_epochs_.erase(bag_epochs_.begin() + i);
+    // The loaded set no longer matches any one segment; re-LOADing the
+    // same name gets a fresh epoch, which is what marks it changed for
+    // the next incremental SEAL.
+    staged_seg_path_.clear();
+    sink->Ok("DROP " + name);
+    return;
+  }
+  sink->Err(WireError::kState, "bag '" + name + "' is not loaded");
+}
+
+void ServerSession::HandleStats(const std::vector<std::string>& tokens,
+                                ResponseSink* sink) {
+  if (tokens.size() > 2) {
+    sink->Err(WireError::kParse, "usage: STATS [<collection>]");
+    return;
+  }
+  if (tokens.size() == 2) {
+    // Per-collection STATS: registry-level accounting, no snapshot
+    // access (Peek semantics — reporting must not trigger a reload).
+    std::shared_ptr<CollectionRegistry::Collection> c =
+        registry_->Find(tokens[1]);
+    if (c == nullptr) {
+      sink->Err(WireError::kState, "no collection named '" + tokens[1] + "'");
+      return;
+    }
+    CollectionRegistry::CollectionStats s = registry_->Stats(c.get());
+    std::vector<std::pair<std::string, uint64_t>> kv;
+    kv.emplace_back("resident", s.resident ? 1 : 0);
+    kv.emplace_back("reloadable", s.reloadable ? 1 : 0);
+    kv.emplace_back("bytes", s.bytes);
+    kv.emplace_back("generation", s.generation);
+    kv.emplace_back("last_access", s.last_access);
+    kv.emplace_back("hits", s.hits);
+    kv.emplace_back("evictions", s.evictions);
+    kv.emplace_back("reloads", s.reloads);
+    sink->Stats(kv);
+    return;
+  }
+  // Global STATS reports the bound collection's snapshot without LRU or
+  // reload side effects; the first ten keys are pinned by protocol v1
+  // (docs/PROTOCOL.md transcript), new registry keys append after them.
+  std::shared_ptr<const EngineSnapshot> snapshot =
+      registry_->Peek(collection_.get());
   std::vector<std::pair<std::string, uint64_t>> kv;
   kv.emplace_back("proto", kWireProtocolVersion);
   kv.emplace_back("sessions", registry_->sessions_active());
@@ -838,16 +997,24 @@ void ServerSession::HandleStats(ResponseSink* sink) {
                   snapshot == nullptr ? 0 : snapshot->dict_values());
   kv.emplace_back("marginal_fills",
                   snapshot == nullptr ? 0 : snapshot->marginal_fills());
+  kv.emplace_back("collections", registry_->num_collections());
+  kv.emplace_back("evictions", registry_->evictions_total());
   sink->Stats(kv);
 }
 
 std::shared_ptr<const EngineSnapshot> ServerSession::SnapshotOrErr(
     ResponseSink* sink) {
-  std::shared_ptr<const EngineSnapshot> snapshot = registry_->Current();
-  if (snapshot == nullptr) {
+  Result<std::shared_ptr<const EngineSnapshot>> snapshot =
+      registry_->Acquire(collection_.get());
+  if (!snapshot.ok()) {
+    // Evicted with no reload source, or the segment reload failed.
+    sink->ErrStatus(snapshot.status());
+    return nullptr;
+  }
+  if (*snapshot == nullptr) {
     sink->Err(WireError::kState, "no sealed engine; SEAL a collection first");
   }
-  return snapshot;
+  return *snapshot;
 }
 
 bool ServerSession::HasBag(const std::string& name) const {
@@ -855,6 +1022,22 @@ bool ServerSession::HasBag(const std::string& name) const {
     if (existing == name) return true;
   }
   return false;
+}
+
+void ServerSession::AddBag(std::string name, Bag bag) {
+  bag_names_.push_back(std::move(name));
+  bags_.push_back(std::move(bag));
+  bag_epochs_.push_back(++epoch_counter_);
+  // The loaded set grew past whatever segment staged it.
+  staged_seg_path_.clear();
+}
+
+void ServerSession::ForgetSealLineage() {
+  last_sealed_ = nullptr;
+  last_seal_epoch_ = 0;
+  last_seal_canonical_ = false;
+  last_seal_dicts_ = nullptr;
+  staged_seg_path_.clear();
 }
 
 void ServerSession::HandleTwoBag(const std::vector<std::string>& tokens,

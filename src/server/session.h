@@ -5,9 +5,14 @@
 // complete responses. The session owns the client's interning state —
 // attribute catalog, live DictionarySet, loaded-but-unsealed bags —
 // while every query is answered from the shared immutable EngineSnapshot
-// currently published in the registry, so N sessions hammer one sealed
+// currently published for the session's *collection* (ATTACH binds one;
+// "default" before the first ATTACH), so N sessions hammer one sealed
 // engine concurrently and a RESET or re-SEAL swaps generations under
-// them without a pause.
+// them without a pause. SEAL publishes into the bound collection's
+// chain; when the previous generation of that chain was sealed by this
+// session and only k of m bags changed since (DROP + re-LOAD marks a
+// bag changed), the seal reuses the untouched bags' sealed state —
+// O(k·m) marginal fills instead of O(m²) ("SEAL FULL" opts out).
 //
 // The dictionary-aware hot path: a client ships each attribute's
 // dictionary once (DICT block, ids 0..n-1 in shipped order), then
@@ -33,6 +38,7 @@
 #include <vector>
 
 #include "bag/bag.h"
+#include "server/collection_registry.h"
 #include "server/engine_snapshot.h"
 #include "server/protocol.h"
 #include "tuple/attribute.h"
@@ -80,8 +86,9 @@ class ServerSession {
 
   /// `registry` must outlive the session. `query_pool` is the server's
   /// shared fan-out pool for query evaluation; nullptr answers queries
-  /// inline on the transport thread.
-  ServerSession(SnapshotRegistry* registry, ThreadPool* query_pool);
+  /// inline on the transport thread. The session starts bound to the
+  /// registry's "default" collection.
+  ServerSession(CollectionRegistry* registry, ThreadPool* query_pool);
   ~ServerSession();
 
   ServerSession(const ServerSession&) = delete;
@@ -134,10 +141,13 @@ class ServerSession {
 
   void HandleHello(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandleUpgrade(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleAttach(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleDetach(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleDrop(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandleSeal(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandleReset(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandleLoadSeg(const std::vector<std::string>& tokens, ResponseSink* sink);
-  void HandleStats(ResponseSink* sink);
+  void HandleStats(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandleTwoBag(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandlePairwise(ResponseSink* sink);
   void HandleGlobal(ResponseSink* sink);
@@ -154,22 +164,54 @@ class ServerSession {
   // returns false when unusable.
   bool CheckNewBagName(const std::string& name, ResponseSink* sink);
 
-  // The current snapshot, or an E_STATE error via *sink.
+  // The bound collection's current snapshot (lazily reloaded from its
+  // segment after an eviction), or an E_STATE error via *sink.
   std::shared_ptr<const EngineSnapshot> SnapshotOrErr(ResponseSink* sink);
   // True when `name` is already loaded (session-local, pre-seal).
   bool HasBag(const std::string& name) const;
+  // Registers a freshly loaded bag (name/bag/change-epoch in lockstep).
+  void AddBag(std::string name, Bag bag);
+  // Invalidates the incremental-seal linkage and the staged segment
+  // reload source (any change that breaks "bags == previous seal").
+  void ForgetSealLineage();
 
-  SnapshotRegistry* registry_;
+  CollectionRegistry* registry_;
   ThreadPool* query_pool_;
+  // The collection SEAL/RESET/queries act on; rebound by ATTACH/DETACH.
+  std::shared_ptr<CollectionRegistry::Collection> collection_;
 
   // Interning state: lives for the whole session (RESET keeps it; RESET
   // HARD wipes it), so streamed u32 ids stay stable across re-seals.
   AttributeCatalog catalog_;
   std::shared_ptr<DictionarySet> dicts_ = std::make_shared<DictionarySet>();
 
-  // Loaded, not-yet-sealed bags in LOAD order (the collection order).
+  // Loaded, not-yet-sealed bags in LOAD order (the collection order),
+  // with the change epoch each was (re)loaded at — the incremental-seal
+  // dirtiness marker: a bag whose epoch postdates the last seal must be
+  // refilled; the rest reuse the previous generation's sealed state.
   std::vector<std::string> bag_names_;
   std::vector<Bag> bags_;
+  std::vector<uint64_t> bag_epochs_;
+  uint64_t epoch_counter_ = 0;
+
+  // Incremental-seal linkage: the last generation THIS session sealed
+  // into the bound collection, and the epoch/CANONICAL flag it was
+  // sealed at. Cleared by RESET, ATTACH/DETACH, and canonical seals
+  // (canonicalization remaps ids, so prior sealed state is unusable).
+  std::shared_ptr<const EngineSnapshot> last_sealed_;
+  uint64_t last_seal_epoch_ = 0;
+  bool last_seal_canonical_ = false;
+  // The dictionary clone the last seal was built against, shared with
+  // the next generation when nothing was interned in between (session
+  // dictionaries only ever grow, so an unchanged total value count means
+  // unchanged content). Null after canonical seals: the engine remapped
+  // that clone's ids, so it no longer matches the session's id space.
+  std::shared_ptr<DictionarySet> last_seal_dicts_;
+
+  // When every loaded bag came from one LOADSEG (and nothing was loaded
+  // or dropped since), the segment path SEAL registers as the
+  // collection's lazy reload source; empty otherwise.
+  std::string staged_seg_path_;
 
   // Framing state.
   Mode mode_ = Mode::kText;

@@ -95,9 +95,22 @@ class Tuple {
                         ids_.size() * sizeof(ValueId)) == 0);
   }
   bool operator!=(const Tuple& o) const { return !(*this == o); }
-  /// Lexicographic on the id row. For numerically built bags this equals
-  /// the historical value order on the direct-encoded range.
-  bool operator<(const Tuple& o) const { return ids_ < o.ids_; }
+  /// Lexicographic on the id row under the codec order (value_codec.h
+  /// ValueIdLess): a single integer compare per slot on the direct range
+  /// — dictionary ids and in-range numerics, the only ids hot paths ever
+  /// carry — and numeric value order (not first-encode order) for
+  /// side-table slots, so ordered scans over out-of-range values agree
+  /// with a value oracle and are process-independent.
+  bool operator<(const Tuple& o) const {
+    size_t n = ids_.size() < o.ids_.size() ? ids_.size() : o.ids_.size();
+    for (size_t i = 0; i < n; ++i) {
+      ValueId a = ids_[i], b = o.ids_[i];
+      if (a == b) continue;
+      if ((a | b) < kDirectValueLimit) return a < b;
+      return ValueIdLess(a, b);
+    }
+    return ids_.size() < o.ids_.size();
+  }
 
   uint64_t Hash() const { return HashRange(ids_); }
 

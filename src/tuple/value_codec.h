@@ -15,14 +15,16 @@
 // The codec is for construction, printing, and I/O only — hot paths
 // (joins, probes, marginal grouping) compare raw ids and never decode.
 //
-// Ordering caveat: side-table ids are assigned in first-encode order, so
-// rows containing out-of-range values sort (and serialize) after all
-// direct-range values and among themselves in encode order — which is
-// deterministic for a fixed execution but, unlike the direct range, is
-// not the numeric value order and can differ between processes that
-// construct tuples in different sequences. Code needing a
-// process-independent order for such values should compare decoded
-// values explicitly.
+// Ordering: side-table ids are assigned in first-encode order, so the
+// raw id order of out-of-range values depends on the encode sequence and
+// can differ between processes. Row ordering therefore goes through
+// ValueIdLess below, which compares by (decoded value, raw id): the
+// direct range stays a single integer compare (id == value there), and
+// side-table slots compare in numeric value order regardless of when
+// they were first encoded — ordered scans agree with a value oracle and
+// are process-independent. (The raw-id tie-break only separates distinct
+// unissued ids that decode to themselves; ids issued by EncodeValue are
+// bijective with their values.)
 #pragma once
 
 #include <cstdint>
@@ -55,5 +57,18 @@ Value DecodeValue(ValueId id);
 
 /// Number of side-table entries interned so far (test/introspection).
 size_t SideTableSizeForTest();
+
+/// Strict total order on row ids by (DecodeValue(id), id) — numeric value
+/// order, independent of side-table encode order. For the direct range
+/// (dictionary ids and in-range numerics) this is the plain id compare,
+/// and callers keep that as their fast path; only slots touching the
+/// side-table half of the id space pay a decode.
+inline bool ValueIdLess(ValueId a, ValueId b) {
+  if ((a | b) < kDirectValueLimit) return a < b;
+  Value va = DecodeValue(a);
+  Value vb = DecodeValue(b);
+  if (va != vb) return va < vb;
+  return a < b;
+}
 
 }  // namespace bagc

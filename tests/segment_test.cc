@@ -217,7 +217,7 @@ TEST(SegmentTest, LoadSegMatchesTextLoadedSession) {
   ASSERT_TRUE(
       WriteSegmentFile(path, f.names, f.bags, f.catalog, f.dicts).ok());
 
-  SnapshotRegistry text_registry;
+  CollectionRegistry text_registry;
   ServerSession text_session(&text_registry, nullptr);
   std::string dict_script;
   for (AttrId a : {0, 1, 2}) {
@@ -246,7 +246,7 @@ TEST(SegmentTest, LoadSegMatchesTextLoadedSession) {
   const std::string queries = "SEAL\nTWOBAG 0 1\nWITNESS left right\nSTATS\n";
   std::vector<std::string> text_out = text_session.HandleScript(load_script + queries);
 
-  SnapshotRegistry seg_registry;
+  CollectionRegistry seg_registry;
   ServerSession seg_session(&seg_registry, nullptr);
   std::vector<std::string> seg_out =
       seg_session.HandleScript("LOADSEG " + path + "\n" + queries);

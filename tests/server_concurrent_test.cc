@@ -29,6 +29,7 @@
 #include "hypergraph/families.h"
 #include "server/bagcd_server.h"
 #include "server/client.h"
+#include "server/session.h"
 #include "util/random.h"
 
 namespace bagc {
@@ -347,6 +348,83 @@ TEST(ServerConcurrentTest, GenerationSwapsUnderLoadNeverTearAnswers) {
   EXPECT_EQ(wrong.count.load(), 0) << "first divergence: " << wrong.first;
   EXPECT_GT(answered.load(), 0);
   (*server)->Shutdown();
+}
+
+// A SEAL that loses the publish race to a newer generation must surface
+// the retryable E_STATE — not a silent drop of the loser's snapshot
+// (the pre-fix behavior: the session answered OK while the registry
+// discarded its engine, so the client queried a generation it never
+// built). The race is made deterministic with the registry's test hook;
+// the racing-seals loop below exercises the same path under real
+// concurrency.
+TEST(ServerConcurrentTest, SupersededSealSurfacesRetryableEState) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  std::vector<std::string> out = session.HandleScript(
+      "DICT item 2\napple\nbanana\nEND\n"
+      "LOADU32 r item\n0 : 2\n1 : 1\nEND\n"
+      "LOADU32 s item\n0 : 2\n1 : 1\nEND\n");
+  for (const std::string& line : out) {
+    ASSERT_EQ(line.rfind("OK", 0), 0u) << line;
+  }
+
+  // Deterministic stand-in for a concurrent seal winning mid-build:
+  // exactly the next SEAL takes a seq at or below the high-water mark.
+  registry.MarkNextSealSupersededForTest(registry.Default().get());
+  out = session.HandleScript("SEAL\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+  EXPECT_NE(out[0].find("superseded"), std::string::npos) << out[0];
+  EXPECT_NE(out[0].find("retry SEAL"), std::string::npos) << out[0];
+  // The loser's snapshot was never published.
+  EXPECT_EQ(registry.Peek(registry.Default().get()), nullptr);
+
+  // The documented recovery: the retry takes a fresh seq and wins.
+  out = session.HandleScript("SEAL\nTWOBAG r s\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK SEAL 2 bags");
+  EXPECT_EQ(out[1], "OK CONSISTENT");
+}
+
+// Many sessions sealing the same collection at once: every response is
+// either OK SEAL or the retryable E_STATE, at least one seal wins, and
+// the surviving generation answers queries.
+TEST(ServerConcurrentTest, RacingSealsEitherWinOrAskForRetry) {
+  CollectionRegistry registry;
+  constexpr size_t kSealers = 4;
+  std::atomic<int> won{0};
+  FailureLog bad;
+  std::vector<std::thread> sealers;
+  for (size_t t = 0; t < kSealers; ++t) {
+    sealers.emplace_back([&registry, &won, &bad] {
+      ServerSession session(&registry, nullptr);
+      std::vector<std::string> loaded = session.HandleScript(
+          "DICT item 2\napple\nbanana\nEND\n"
+          "LOADU32 r item\n0 : 2\n1 : 1\nEND\n"
+          "LOADU32 s item\n0 : 2\n1 : 1\nEND\n");
+      for (int round = 0; round < 8; ++round) {
+        std::vector<std::string> out = session.HandleScript("SEAL\n");
+        if (out.size() != 1) {
+          bad.Record("SEAL answered " + std::to_string(out.size()) + " lines");
+          return;
+        }
+        if (out[0].rfind("OK SEAL 2 bags", 0) == 0) {
+          ++won;
+        } else if (out[0].rfind("ERR E_STATE", 0) != 0 ||
+                   out[0].find("retry SEAL") == std::string::npos) {
+          bad.Record("SEAL: " + out[0]);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : sealers) t.join();
+  EXPECT_EQ(bad.count.load(), 0) << "first divergence: " << bad.first;
+  EXPECT_GT(won.load(), 0);
+  ServerSession reader(&registry, nullptr);
+  std::vector<std::string> verdict = reader.HandleScript("TWOBAG r s\n");
+  ASSERT_EQ(verdict.size(), 1u);
+  EXPECT_EQ(verdict[0], "OK CONSISTENT");
 }
 
 }  // namespace

@@ -55,7 +55,7 @@ SEAL
 )";
 
 TEST(ServerSessionTest, LifecycleAndQueries) {
-  SnapshotRegistry registry;
+  CollectionRegistry registry;
   ServerSession session(&registry, nullptr);
   std::vector<std::string> out = Feed(&session, kSetupScript);
   ASSERT_EQ(out.size(), 5u);
@@ -76,7 +76,7 @@ TEST(ServerSessionTest, LifecycleAndQueries) {
 }
 
 TEST(ServerSessionTest, ErrorClasses) {
-  SnapshotRegistry registry;
+  CollectionRegistry registry;
   ServerSession session(&registry, nullptr);
 
   // Query before any seal: state error.
@@ -135,14 +135,14 @@ TEST(ServerSessionTest, ErrorClasses) {
 }
 
 TEST(ServerSessionTest, ResetKeepsDictionariesHardWipes) {
-  SnapshotRegistry registry;
+  CollectionRegistry registry;
   ServerSession session(&registry, nullptr);
   Feed(&session, kSetupScript);
 
   std::vector<std::string> out = Feed(&session, "RESET\n");
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], "OK RESET");
-  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.Peek(registry.Default().get()), nullptr);
 
   // Dictionaries survived: the same ids stream again without DICT.
   out = Feed(&session, "LOADU32 orders item store\n2 1 : 5\nEND\nSEAL\n");
@@ -158,12 +158,12 @@ TEST(ServerSessionTest, ResetKeepsDictionariesHardWipes) {
 }
 
 TEST(ServerSessionTest, SnapshotSwapIsSharedAcrossSessions) {
-  SnapshotRegistry registry;
+  CollectionRegistry registry;
   ServerSession producer(&registry, nullptr);
   ServerSession consumer(&registry, nullptr);
 
   Feed(&producer, kSetupScript);
-  std::shared_ptr<const EngineSnapshot> first = registry.Current();
+  std::shared_ptr<const EngineSnapshot> first = registry.Peek(registry.Default().get());
   ASSERT_NE(first, nullptr);
 
   // The other session queries the producer's snapshot.
@@ -174,7 +174,7 @@ TEST(ServerSessionTest, SnapshotSwapIsSharedAcrossSessions) {
   // An in-flight holder keeps the old generation alive across a re-SEAL;
   // the registry hands out the new one.
   Feed(&producer, "SEAL\n");
-  std::shared_ptr<const EngineSnapshot> second = registry.Current();
+  std::shared_ptr<const EngineSnapshot> second = registry.Peek(registry.Default().get());
   ASSERT_NE(second, nullptr);
   EXPECT_NE(first.get(), second.get());
   EXPECT_LT(first->seq(), second->seq());
@@ -189,7 +189,7 @@ TEST(ServerSessionTest, SnapshotSwapIsSharedAcrossSessions) {
 }
 
 TEST(ServerSessionTest, CanonicalSealKeepsSessionIdsStable) {
-  SnapshotRegistry registry;
+  CollectionRegistry registry;
   ServerSession session(&registry, nullptr);
   // Ship a deliberately unsorted dictionary: canonicalization would
   // reorder it, which must not disturb the session's id space.
@@ -221,12 +221,12 @@ TEST(ServerSessionTest, CanonicalSealKeepsSessionIdsStable) {
 }
 
 TEST(ServerSessionTest, StatsShape) {
-  SnapshotRegistry registry;
+  CollectionRegistry registry;
   ServerSession session(&registry, nullptr);
   Feed(&session, kSetupScript);
   Feed(&session, "TWOBAG 0 1\n");
   std::vector<std::string> out = Feed(&session, "STATS\n");
-  ASSERT_EQ(out.size(), 12u);
+  ASSERT_EQ(out.size(), 14u);
   EXPECT_EQ(out.front(), "OK STATS");
   EXPECT_EQ(out.back(), kWireEnd);
   EXPECT_EQ(out[1], "proto 1");
@@ -234,10 +234,141 @@ TEST(ServerSessionTest, StatsShape) {
   EXPECT_EQ(out[3], "seals 1");
   EXPECT_EQ(out[5], "queries 1");
   EXPECT_EQ(out[7], "bags 2");
+  // Registry keys append after the protocol-v1 ten so old readers that
+  // index by position keep working.
+  EXPECT_EQ(out[11], "collections 1");
+  EXPECT_EQ(out[12], "evictions 0");
+
+  // Per-collection STATS: registry accounting for one tenant.
+  out = Feed(&session, "STATS default\n");
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out[1], "resident 1");
+  EXPECT_EQ(out[2], "reloadable 0");
+  EXPECT_EQ(out[4], "generation 1");
+  out = Feed(&session, "STATS nosuch\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+}
+
+TEST(ServerSessionTest, AttachBindsItsOwnGenerationChain) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);  // seals into "default"
+
+  // Rebinding to a fresh collection: queries find no engine there while
+  // "default" still serves other sessions.
+  std::vector<std::string> out = Feed(&session, "ATTACH tenant_a\nPAIRWISE\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK ATTACH tenant_a");
+  EXPECT_EQ(out[1].rfind("ERR E_STATE", 0), 0u) << out[1];
+  ServerSession other(&registry, nullptr);
+  out = Feed(&other, "TWOBAG orders stock\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "OK CONSISTENT");
+
+  // The loaded bags are session-local: the same session seals them into
+  // the new chain, whose generation numbering starts at 1 again.
+  out = Feed(&session, "SEAL\nTWOBAG orders stock\nDETACH\n");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "OK SEAL 2 bags");
+  EXPECT_EQ(out[1], "OK CONSISTENT");
+  EXPECT_EQ(out[2], "OK DETACH");
+  EXPECT_EQ(registry.num_collections(), 2u);
+
+  // All-digit and malformed names are refused at parse time.
+  out = Feed(&session, "ATTACH 123\nATTACH\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rfind("ERR E_PARSE", 0), 0u) << out[0];
+  EXPECT_EQ(out[1].rfind("ERR E_PARSE", 0), 0u) << out[1];
+
+  // The admission cap counts "default": a third name is refused.
+  CollectionRegistry::Options capped;
+  capped.max_collections = 2;
+  CollectionRegistry small(capped);
+  ServerSession capped_session(&small, nullptr);
+  out = Feed(&capped_session, "ATTACH a\nATTACH b\nATTACH a\n");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "OK ATTACH a");
+  EXPECT_EQ(out[1].rfind("ERR E_STATE", 0), 0u) << out[1];
+  EXPECT_EQ(out[2], "OK ATTACH a");  // re-attach to an existing name is free
+}
+
+TEST(ServerSessionTest, DropUnloadsOneStagedBag) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+
+  // DROP + re-LOAD the same name, then re-seal: the replacement rows are
+  // what the new generation serves.
+  std::vector<std::string> out = Feed(&session,
+                                     "DROP stock\n"
+                                     "LOAD stock item store\n"
+                                     "apple downtown : 99\n"
+                                     "END\n"
+                                     "SEAL FULL\n"
+                                     "TWOBAG orders stock\n");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "OK DROP stock");
+  EXPECT_EQ(out[1], "OK LOAD stock 1 rows");
+  EXPECT_EQ(out[2], "OK SEAL 2 bags");
+  EXPECT_EQ(out[3], "OK INCONSISTENT");
+
+  out = Feed(&session, "DROP nosuch\nDROP\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+  EXPECT_EQ(out[1].rfind("ERR E_PARSE", 0), 0u) << out[1];
+}
+
+TEST(ServerSessionTest, IncrementalResealReusesUntouchedBags) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+  uint64_t full_fills =
+      registry.Peek(registry.Default().get())->marginal_fills();
+  EXPECT_GT(full_fills, 0u);
+
+  // Touch one of the two bags; the plain re-seal reuses the other bag's
+  // sealed marginals, so it fills strictly fewer than the full seal did.
+  std::vector<std::string> out = Feed(&session,
+                                     "DROP stock\n"
+                                     "LOAD stock item store\n"
+                                     "apple downtown : 2\n"
+                                     "banana uptown : 1\n"
+                                     "END\n"
+                                     "SEAL\n");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2], "OK SEAL 2 bags 1 reused");
+  std::shared_ptr<const EngineSnapshot> incremental =
+      registry.Peek(registry.Default().get());
+  EXPECT_LT(incremental->marginal_fills(), full_fills);
+
+  // Same bags re-sealed with FULL: identical verdicts, no reuse suffix.
+  out = Feed(&session, "SEAL FULL\nTWOBAG orders stock\nPAIRWISE\n");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "OK SEAL 2 bags");
+  EXPECT_EQ(out[1], "OK CONSISTENT");
+  EXPECT_EQ(out[2], "OK CONSISTENT");
+
+  // Witness rows from the incremental generation match the full one:
+  // reuse shares state, never changes answers.
+  ServerSession fresh(&registry, nullptr);
+  std::vector<std::string> w_full =
+      Feed(&fresh, "WITNESS orders stock MINIMAL\n");
+  Feed(&session,
+       "DROP orders\nLOADU32 orders item store\n0 0 : 2\n1 1 : 1\nEND\nSEAL\n");
+  std::vector<std::string> w_incr =
+      Feed(&fresh, "WITNESS orders stock MINIMAL\n");
+  EXPECT_EQ(w_full, w_incr);
+
+  // A canonical seal refuses reuse on both sides of the boundary.
+  out = Feed(&session, "SEAL CANONICAL\nSEAL\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK SEAL 2 bags");
+  EXPECT_EQ(out[1], "OK SEAL 2 bags");
 }
 
 TEST(ServerSessionTest, BinaryModeRules) {
-  SnapshotRegistry registry;
+  CollectionRegistry registry;
   ServerSession session(&registry, nullptr);
   std::string out;
   ASSERT_EQ(session.HandleData("HELLO\nUPGRADE BINARY\n", &out),
@@ -283,6 +414,121 @@ TEST(ServerSessionTest, BinaryModeRules) {
   EXPECT_FALSE(session.binary_mode());
   ASSERT_GE(out.size(), 8u);
   EXPECT_EQ(out.substr(out.size() - 8), "OK TEXT\n");
+}
+
+TEST(ServerSessionTest, BinaryFrameSplitAcrossReadsParsesOnce) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  std::string out;
+  session.HandleData("UPGRADE BINARY\n", &out);
+  ASSERT_TRUE(session.binary_mode());
+
+  // One CMD frame delivered a byte at a time: a frame boundary owes
+  // nothing to read() boundaries. No response may appear until the final
+  // payload byte lands, and then exactly one response frame must.
+  std::string f;
+  WireAppendFrame(&f, kFrameCmd, "STATS");
+  out.clear();
+  for (size_t i = 0; i + 1 < f.size(); ++i) {
+    ASSERT_EQ(session.HandleData(std::string_view(&f[i], 1), &out),
+              ServerSession::Outcome::kContinue);
+    EXPECT_TRUE(out.empty()) << "responded after " << (i + 1) << " of "
+                             << f.size() << " bytes";
+  }
+  session.HandleData(std::string_view(&f.back(), 1), &out);
+  ASSERT_GE(out.size(), kWireFrameHeaderBytes);
+  EXPECT_EQ(static_cast<uint8_t>(out[4]), kFrameStats);
+
+  // Two frames glued into one read both answer; a trailing partial
+  // header stays buffered for the next read.
+  std::string two = f + f;
+  std::string partial;
+  WireAppendFrame(&partial, kFrameCmd, "STATS");
+  two += partial.substr(0, 3);
+  out.clear();
+  ASSERT_EQ(session.HandleData(two, &out), ServerSession::Outcome::kContinue);
+  size_t frames = 0;
+  size_t pos = 0;
+  while (pos + kWireFrameHeaderBytes <= out.size()) {
+    WireCursor header(std::string_view(out).substr(pos, kWireFrameHeaderBytes));
+    uint32_t len = 0;
+    uint8_t opcode = 0;
+    ASSERT_TRUE(header.U32(&len) && header.U8(&opcode));
+    EXPECT_EQ(opcode, kFrameStats);
+    ++frames;
+    pos += kWireFrameHeaderBytes + len;
+  }
+  EXPECT_EQ(frames, 2u);
+  out.clear();
+  session.HandleData(partial.substr(3), &out);
+  ASSERT_GE(out.size(), kWireFrameHeaderBytes);
+  EXPECT_EQ(static_cast<uint8_t>(out[4]), kFrameStats);
+}
+
+TEST(ServerSessionTest, OversizedFramePayloadClosesTheConnection) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  std::string out;
+  session.HandleData("UPGRADE BINARY\n", &out);
+  ASSERT_TRUE(session.binary_mode());
+
+  // A header that *claims* an over-limit payload is refused from the
+  // header alone — the session must not buffer toward a 256 MiB+1
+  // allocation before noticing, and no resync is possible mid-frame.
+  std::string header;
+  WireAppendU32(&header, static_cast<uint32_t>(kWireMaxFramePayload) + 1);
+  header.push_back(static_cast<char>(kFrameCmd));
+  out.clear();
+  EXPECT_EQ(session.HandleData(header, &out),
+            ServerSession::Outcome::kCloseConnection);
+  ASSERT_GE(out.size(), kWireFrameHeaderBytes + 1u);
+  EXPECT_EQ(static_cast<uint8_t>(out[4]), kFrameErr);
+  Result<WireError> err = WireErrorFromTag(
+      static_cast<uint8_t>(out[kWireFrameHeaderBytes]));
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(*err, WireError::kRange);
+}
+
+TEST(ServerSessionTest, OverlongTextLineClosesEvenWhenComplete) {
+  constexpr size_t kMaxLineBytes = 1 << 20;  // mirrors session.cc
+
+  // A complete over-long line (newline included in the same read) is as
+  // abusive as a partial one; before the fix it slipped past the cap
+  // because the ceiling was only checked while the newline was missing.
+  {
+    CollectionRegistry registry;
+    ServerSession session(&registry, nullptr);
+    std::string out;
+    std::string line(kMaxLineBytes + 1, 'a');
+    line += '\n';
+    EXPECT_EQ(session.HandleData(line, &out),
+              ServerSession::Outcome::kCloseConnection);
+    EXPECT_EQ(out.rfind("ERR E_RANGE", 0), 0u) << out.substr(0, 40);
+    EXPECT_NE(out.find("input line exceeds"), std::string::npos);
+  }
+
+  // Still-growing line with no newline yet: refused at the same ceiling.
+  {
+    CollectionRegistry registry;
+    ServerSession session(&registry, nullptr);
+    std::string out;
+    std::string partial(kMaxLineBytes + 1, 'b');
+    EXPECT_EQ(session.HandleData(partial, &out),
+              ServerSession::Outcome::kCloseConnection);
+    EXPECT_EQ(out.rfind("ERR E_RANGE", 0), 0u) << out.substr(0, 40);
+  }
+
+  // Exactly at the ceiling: parses as a (bad) command, session lives.
+  {
+    CollectionRegistry registry;
+    ServerSession session(&registry, nullptr);
+    std::string out;
+    std::string line(kMaxLineBytes, 'c');
+    line += '\n';
+    EXPECT_EQ(session.HandleData(line, &out),
+              ServerSession::Outcome::kContinue);
+    EXPECT_EQ(out.rfind("ERR E_PARSE", 0), 0u) << out.substr(0, 40);
+  }
 }
 
 // ---- Socket-level tests ----------------------------------------------------

@@ -1,0 +1,218 @@
+// Multi-tenant registry differential for the bagcd server: K segment-
+// backed collections thrash through ATTACH / query / evict / lazy-reload
+// cycles under a memory budget so tight that every publish evicts every
+// other tenant, and each collection's responses — verdicts, failing
+// pairs, witness rows down to their multiplicities — must stay
+// bit-identical to a single-collection oracle registry that never
+// evicts. A lazily reloaded snapshot is rebuilt from its BAGCSEG segment
+// through a different code path than the session's LOADSEG + SEAL; this
+// suite is what pins the two paths to identical ids, sort orders, and
+// wire bytes (the canonical tenant covers the reload_canonical_ replay).
+// Runs under the ASan/UBSan matrix leg via the `differential` label.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bag/bag_io.h"
+#include "server/collection_registry.h"
+#include "server/session.h"
+#include "tuple/segment.h"
+
+namespace bagc {
+namespace {
+
+struct Tenant {
+  std::string name;
+  std::string seg_path;
+  bool canonical = false;
+  std::vector<std::string> oracle;  // expected query responses
+};
+
+// Mixed query pass: consistency verdicts at every arity plus a witness
+// with multiplicities. Responses are compared byte-for-byte, so this one
+// script doubles as both the oracle probe and the thrash probe.
+constexpr const char* kQueryScript =
+    "TWOBAG 0 1\nPAIRWISE\nGLOBAL\nKWISE 2\nWITNESS 0 1 MINIMAL\n";
+
+// Per-tenant bag text: multiplicities scale with the tenant index so
+// every collection has distinct answers (tenant 0 consistent, higher
+// tenants drift inconsistent), and cross-tenant cache mixups would be
+// caught by the byte compare, not masked by identical data.
+std::string TenantBagText(size_t k) {
+  std::string text;
+  text += "bag item store\n";
+  text += "apple downtown : " + std::to_string(2 + k) + "\n";
+  text += "banana uptown : " + std::to_string(1 + (k % 3)) + "\n";
+  text += "cherry uptown : 2\nend\n";
+  text += "bag store region\n";
+  text += "downtown north : " + std::to_string(2 + k) + "\n";
+  text += "uptown north : " + std::to_string(3 + (k % 3)) + "\n";
+  text += "end\n";
+  return text;
+}
+
+// Writes tenant k's collection as a segment file and returns its path.
+std::string WriteTenantSegment(size_t k) {
+  AttributeCatalog catalog;
+  DictionarySet dicts;
+  Result<std::vector<Bag>> bags =
+      ParseCollection(TenantBagText(k), &catalog, &dicts);
+  EXPECT_TRUE(bags.ok()) << bags.status().ToString();
+  std::string path =
+      testing::TempDir() + "registry_tenant" + std::to_string(k) + ".seg";
+  EXPECT_TRUE(
+      WriteSegmentFile(path, {"left", "right"}, *bags, catalog, dicts).ok());
+  return path;
+}
+
+// ATTACH + LOADSEG + SEAL one tenant into `registry` and return the
+// script responses (callers assert the last line is the SEAL ack).
+std::vector<std::string> SealTenant(CollectionRegistry* registry,
+                                    const Tenant& t) {
+  ServerSession session(registry, nullptr);
+  return session.HandleScript("ATTACH " + t.name + "\nLOADSEG " + t.seg_path +
+                              "\n" + std::string(t.canonical ? "SEAL CANONICAL\n"
+                                                             : "SEAL\n"));
+}
+
+TEST(ServerRegistryTest, EvictReloadThrashMatchesSingleCollectionOracle) {
+  constexpr size_t kTenants = 5;
+  std::vector<Tenant> tenants;
+  for (size_t k = 0; k < kTenants; ++k) {
+    Tenant t;
+    t.name = "tenant" + std::to_string(k);
+    t.seg_path = WriteTenantSegment(k);
+    t.canonical = (k == 2);  // one tenant exercises the canonical replay
+    tenants.push_back(std::move(t));
+  }
+
+  // Oracle answers: each tenant alone in an unlimited registry, queried
+  // while resident — no eviction, no reload, the plain sealed path.
+  for (Tenant& t : tenants) {
+    CollectionRegistry oracle_registry;
+    std::vector<std::string> sealed = SealTenant(&oracle_registry, t);
+    ASSERT_FALSE(sealed.empty());
+    ASSERT_EQ(sealed.back().rfind("OK SEAL 2 bags", 0), 0u) << sealed.back();
+    ServerSession session(&oracle_registry, nullptr);
+    session.HandleScript("ATTACH " + t.name + "\n");
+    t.oracle = session.HandleScript(kQueryScript);
+    ASSERT_FALSE(t.oracle.empty());
+  }
+
+  // The thrash registry: a 1-byte budget means every publish (seal OR
+  // lazy reload) evicts every other resident tenant — maximal thrash.
+  CollectionRegistry::Options opts;
+  opts.mem_budget_bytes = 1;
+  CollectionRegistry registry(opts);
+  for (const Tenant& t : tenants) {
+    std::vector<std::string> sealed = SealTenant(&registry, t);
+    ASSERT_EQ(sealed.back().rfind("OK SEAL 2 bags", 0), 0u) << sealed.back();
+  }
+  EXPECT_GT(registry.evictions_total(), 0u);
+
+  // Deterministic pseudo-random ATTACH/query thrash. Every probe either
+  // hits the one resident tenant or forces a lazy segment reload; both
+  // must answer with the oracle's exact bytes.
+  ServerSession prober(&registry, nullptr);
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<size_t>(state >> 33);
+  };
+  for (int round = 0; round < 60; ++round) {
+    const Tenant& t = tenants[next() % kTenants];
+    std::vector<std::string> bound =
+        prober.HandleScript("ATTACH " + t.name + "\n");
+    ASSERT_EQ(bound.size(), 1u);
+    ASSERT_EQ(bound[0], "OK ATTACH " + t.name);
+    std::vector<std::string> got = prober.HandleScript(kQueryScript);
+    ASSERT_EQ(got, t.oracle) << "tenant " << t.name << " round " << round;
+  }
+
+  // The thrash really exercised the reload path, and the registry's
+  // books balance: with a 1-byte budget at most one tenant is resident.
+  uint64_t total_reloads = 0;
+  size_t resident = 0;
+  for (const Tenant& t : tenants) {
+    CollectionRegistry::CollectionStats s =
+        registry.Stats(registry.Find(t.name).get());
+    EXPECT_TRUE(s.reloadable) << t.name;
+    total_reloads += s.reloads;
+    resident += s.resident ? 1 : 0;
+  }
+  EXPECT_GT(total_reloads, 0u);
+  EXPECT_LE(resident, 1u);
+  EXPECT_GT(registry.evictions_total(), kTenants);
+
+  for (const Tenant& t : tenants) std::remove(t.seg_path.c_str());
+}
+
+TEST(ServerRegistryTest, EvictedStreamOnlyCollectionAnswersEStateUntilResealed) {
+  CollectionRegistry::Options opts;
+  opts.mem_budget_bytes = 1;
+  CollectionRegistry registry(opts);
+
+  // "ephemeral" is sealed from streamed rows: no segment, no reload path.
+  ServerSession session(&registry, nullptr);
+  std::vector<std::string> out = session.HandleScript(
+      "ATTACH ephemeral\n"
+      "DICT item 2\napple\nbanana\nEND\n"
+      "LOADU32 r item\n0 : 2\n1 : 1\nEND\n"
+      "LOADU32 s item\n0 : 2\n1 : 1\nEND\n"
+      "SEAL\nTWOBAG r s\n");
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back(), "OK CONSISTENT");
+
+  // Publishing another tenant under the 1-byte budget evicts it.
+  Tenant other;
+  other.name = "backed";
+  other.seg_path = WriteTenantSegment(0);
+  ASSERT_EQ(SealTenant(&registry, other).back().rfind("OK SEAL", 0), 0u);
+
+  // The documented dead end, verbatim: E_STATE naming the collection,
+  // the cause, and the recovery.
+  out = session.HandleScript("TWOBAG r s\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0],
+            "ERR E_STATE collection 'ephemeral' was evicted under the memory "
+            "budget and has no segment to reload from; SEAL it again");
+
+  // The recovery works: the session still holds its bags, so SEAL
+  // republishes (reusing the lineage) and queries answer again.
+  out = session.HandleScript("SEAL\nTWOBAG r s\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rfind("OK SEAL 2 bags", 0), 0u) << out[0];
+  EXPECT_EQ(out[1], "OK CONSISTENT");
+
+  // The segment-backed tenant, by contrast, reloads transparently even
+  // after the re-seal above evicted it.
+  ServerSession reader(&registry, nullptr);
+  out = reader.HandleScript("ATTACH backed\nTWOBAG 0 1\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].rfind("OK ", 0), 0u) << out[1];
+  EXPECT_GT(registry.Stats(registry.Find("backed").get()).reloads, 0u);
+
+  std::remove(other.seg_path.c_str());
+}
+
+TEST(ServerRegistryTest, PerCollectionByteCeilingRefusesOversizedSeal) {
+  CollectionRegistry::Options opts;
+  opts.max_collection_bytes = 1;  // nothing real fits
+  CollectionRegistry registry(opts);
+  ServerSession session(&registry, nullptr);
+  std::vector<std::string> out = session.HandleScript(
+      "DICT item 2\napple\nbanana\nEND\n"
+      "LOADU32 r item\n0 : 2\n1 : 1\nEND\n"
+      "SEAL\n");
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back().rfind("ERR E_RANGE", 0), 0u) << out.back();
+  EXPECT_NE(out.back().find("per-collection ceiling"), std::string::npos);
+  // Nothing was published.
+  EXPECT_EQ(registry.Peek(registry.Default().get()), nullptr);
+}
+
+}  // namespace
+}  // namespace bagc

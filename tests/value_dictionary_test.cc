@@ -166,5 +166,52 @@ TEST(ValueCodecTest, TuplesBuiltFromValuesDecodeBack) {
   EXPECT_FALSE(u < t);
 }
 
+// Regression for the side-table ordering caveat: side-table ids are
+// issued in first-encode order, so encoding values in descending order
+// makes raw-id order the exact REVERSE of value order. Raw-id compares
+// on that range would order rows by encode history (and differently in
+// every process); ValueIdLess and Tuple::operator< must order by the
+// decoded value instead.
+TEST(ValueCodecTest, SideTableIdsCompareInValueOrderNotEncodeOrder) {
+  // Distinct from every value other codec tests intern: the process-wide
+  // side table is shared across tests in this binary.
+  const Value lo = -(Value{1} << 41) - 7;
+  const Value mid = -(Value{1} << 40) - 7;
+  const Value hi = (Value{1} << 41) + 7;
+  // Adversarial encode order: descending value.
+  ValueId id_hi = EncodeValue(hi);
+  ValueId id_mid = EncodeValue(mid);
+  ValueId id_lo = EncodeValue(lo);
+  // The premise of the regression: raw ids really are value-reversed.
+  ASSERT_GT(id_lo, id_mid);
+  ASSERT_GT(id_mid, id_hi);
+
+  // ValueIdLess follows the values, not the ids.
+  EXPECT_TRUE(ValueIdLess(id_lo, id_mid));
+  EXPECT_TRUE(ValueIdLess(id_mid, id_hi));
+  EXPECT_TRUE(ValueIdLess(id_lo, id_hi));
+  EXPECT_FALSE(ValueIdLess(id_hi, id_mid));
+  EXPECT_FALSE(ValueIdLess(id_mid, id_lo));
+  EXPECT_FALSE(ValueIdLess(id_lo, id_lo));
+
+  // Mixed direct/side-table: every negative sorts below every direct id,
+  // and the direct range keeps its single-compare fast path.
+  EXPECT_TRUE(ValueIdLess(id_lo, 0u));
+  EXPECT_TRUE(ValueIdLess(id_mid, 3u));
+  EXPECT_FALSE(ValueIdLess(id_hi, 3u));  // 2^41+7 > 3
+  EXPECT_TRUE(ValueIdLess(2u, 3u));
+
+  // Tuple ordering routes side-table slots through the same comparator:
+  // rows sort by external value even though their raw ids reverse it.
+  Tuple a{{lo, Value{1}}};
+  Tuple b{{mid, Value{1}}};
+  Tuple c{{hi, Value{1}}};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(c < b);
+  EXPECT_FALSE(b < a);
+}
+
 }  // namespace
 }  // namespace bagc

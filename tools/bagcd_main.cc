@@ -5,7 +5,8 @@
 //
 // Usage:
 //   bagcd [--host ADDR] [--port N] [--threads N] [--port-file PATH]
-//         [--preload-seg PATH]
+//         [--preload-seg PATH] [--mem-budget-mb N] [--max-collections N]
+//         [--max-collection-mb N]
 //
 //   --host ADDR        bind address (default 127.0.0.1)
 //   --port N           TCP port; 0 picks an ephemeral port (default 0)
@@ -15,9 +16,18 @@
 //                      port (written atomically via rename)
 //   --preload-seg PATH mmap the sealed-bag segment at PATH (see
 //                      docs/SEGMENT.md), seal it, and publish it as the
-//                      serving snapshot before accepting queries — a
-//                      daemon that restarts warm without any client
-//                      re-streaming rows
+//                      "default" collection's snapshot before accepting
+//                      queries — a daemon that restarts warm without any
+//                      client re-streaming rows
+//   --mem-budget-mb N  global budget for resident sealed snapshots; the
+//                      coldest collections are evicted past it and lazily
+//                      reloaded from their segments on the next query
+//                      (0 = unlimited, default)
+//   --max-collections N  admission cap on named collections, counting
+//                      "default" (0 = unlimited, default)
+//   --max-collection-mb N  per-collection ceiling on one sealed
+//                      snapshot's size; larger SEALs answer E_RANGE
+//                      (0 = unlimited, default)
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -77,10 +87,22 @@ int main(int argc, char** argv) {
       port_file = next("--port-file");
     } else if (std::strcmp(argv[i], "--preload-seg") == 0) {
       preload_seg = next("--preload-seg");
+    } else if (std::strcmp(argv[i], "--mem-budget-mb") == 0) {
+      options.registry.mem_budget_bytes =
+          static_cast<size_t>(next_number("--mem-budget-mb", 0, 1 << 20)) << 20;
+    } else if (std::strcmp(argv[i], "--max-collections") == 0) {
+      options.registry.max_collections =
+          static_cast<size_t>(next_number("--max-collections", 0, 1 << 20));
+    } else if (std::strcmp(argv[i], "--max-collection-mb") == 0) {
+      options.registry.max_collection_bytes =
+          static_cast<size_t>(next_number("--max-collection-mb", 0, 1 << 20))
+          << 20;
     } else {
       std::fprintf(stderr,
                    "usage: bagcd [--host ADDR] [--port N] [--threads N] "
-                   "[--port-file PATH] [--preload-seg PATH]\n");
+                   "[--port-file PATH] [--preload-seg PATH] "
+                   "[--mem-budget-mb N] [--max-collections N] "
+                   "[--max-collection-mb N]\n");
       return 2;
     }
   }

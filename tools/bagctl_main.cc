@@ -3,7 +3,7 @@
 //
 // Usage:
 //   bagctl --port N [--host ADDR] --replay FILE
-//   bagctl --port N [--host ADDR] [--script FILE]
+//   bagctl --port N [--host ADDR] [--attach NAME] [--script FILE]
 //   bagctl --export-seg OUT --collection FILE [--names a,b,...]
 //
 //   --replay FILE  replay a C:/S: transcript (a raw transcript, or a
@@ -15,6 +15,10 @@
 //                  "-") and print every response line; body lines of
 //                  DICT/LOAD/LOADU32 are forwarded transparently. A
 //                  trailing QUIT is appended when the script has none.
+//   --attach NAME  bind the session to the named server collection
+//                  before the first script line (sends "ATTACH NAME";
+//                  see docs/PROTOCOL.md) — so existing scripts run
+//                  against any tenant unchanged
 //   --export-seg OUT --collection FILE
 //                  local (no server): parse the bag IO collection in
 //                  FILE, intern every value, and write it as an
@@ -41,10 +45,18 @@ int Fail(const bagc::Status& status) {
   return 1;
 }
 
-int RunScript(const std::string& host, uint16_t port, std::istream& in) {
+int RunScript(const std::string& host, uint16_t port,
+              const std::string& attach, std::istream& in) {
   auto client = bagc::BagcdClient::Connect(host, port);
   if (!client.ok()) return Fail(client.status());
   std::printf("%s\n", client->banner().c_str());
+  if (!attach.empty()) {
+    if (!client->SendLine("ATTACH " + attach).ok()) return 1;
+    auto bound = client->ReadLine();
+    if (!bound.ok()) return Fail(bound.status());
+    std::printf("%s\n", bound->c_str());
+    if (bound->rfind("OK ", 0) != 0) return 1;
+  }
   bool quit_sent = false;
   bool in_body = false;
   std::string line;
@@ -151,6 +163,7 @@ int main(int argc, char** argv) {
   std::string export_path;
   std::string collection_path;
   std::string names_csv;
+  std::string attach_name;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -173,9 +186,11 @@ int main(int argc, char** argv) {
       collection_path = next("--collection");
     } else if (std::strcmp(argv[i], "--names") == 0) {
       names_csv = next("--names");
+    } else if (std::strcmp(argv[i], "--attach") == 0) {
+      attach_name = next("--attach");
     } else {
       std::fprintf(stderr,
-                   "usage: bagctl --port N [--host ADDR] "
+                   "usage: bagctl --port N [--host ADDR] [--attach NAME] "
                    "(--replay FILE | --script FILE | -)\n"
                    "       bagctl --export-seg OUT --collection FILE "
                    "[--names a,b,...]\n");
@@ -212,12 +227,12 @@ int main(int argc, char** argv) {
   }
 
   if (script_path.empty() || script_path == "-") {
-    return RunScript(host, static_cast<uint16_t>(port), std::cin);
+    return RunScript(host, static_cast<uint16_t>(port), attach_name, std::cin);
   }
   std::ifstream in(script_path);
   if (!in) {
     std::fprintf(stderr, "bagctl: cannot read %s\n", script_path.c_str());
     return 1;
   }
-  return RunScript(host, static_cast<uint16_t>(port), in);
+  return RunScript(host, static_cast<uint16_t>(port), attach_name, in);
 }
