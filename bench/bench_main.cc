@@ -41,9 +41,19 @@
 //   DICT/ROWS frames, and as one LOADSEG of an mmap-able segment file
 //   (docs/SEGMENT.md).
 //
+//   delta_stream: streaming mutation vs re-sealing. On one 32-bag
+//   collection, propagating a change to k of 32 bags into a published
+//   generation three ways: INSERT/DELETE delta commits (incremental
+//   marginal maintenance — only dirty slots adjust, only dirty pairs
+//   re-compare), DROP + re-LOADU32 + plain SEAL (the SealReuse path:
+//   untouched bags adopted, touched bags rebuilt), and DROP +
+//   re-LOADU32 + SEAL FULL (every store and marginal rebuilt). The
+//   reseal legs carry the FULL leg's ops/sec as their baseline.
+//
 // Usage:
 //   bench_main [--suite bag_refactor|engine_batch|interned_rows|columnar_probe|
-//               server_session] [--out FILE] [--baseline FILE] [--list-suites]
+//               server_session|delta_stream] [--out FILE] [--baseline FILE]
+//               [--list-suites]
 //
 // With --baseline, each benchmark entry additionally carries the baseline's
 // ops/sec for the same (name, size) pair plus the speedup ratio, so a
@@ -563,7 +573,10 @@ std::string SessionCycleU32(const StringWorkload& w,
 void DriveSession(ServerSession* session, const std::string& script) {
   std::vector<std::string> responses = session->HandleScript(script);
   for (const std::string& line : responses) {
-    if (line.rfind("ERR", 0) == 0) std::abort();
+    if (line.rfind("ERR", 0) == 0) {
+      std::fprintf(stderr, "DriveSession: %s\n", line.c_str());
+      std::abort();
+    }
   }
 }
 
@@ -855,6 +868,105 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
   }
 }
 
+// ---- delta_stream suite ----------------------------------------------------
+
+void RunDeltaStreamSuite(std::vector<BenchResult>* results) {
+  // One 32-bag path collection; each leg propagates a change to k of the
+  // 32 bags into a published generation. The delta legs alternate an
+  // INSERT and a DELETE of the same row per touched bag across
+  // iterations, so the collection returns to its base state every two
+  // cycles and one iteration is exactly k delta commits; the reseal legs
+  // DROP + re-stream the same k bags and seal.
+  constexpr size_t kBags = 32;
+  constexpr size_t kSupport = 256;
+  Rng rng(29001);
+  BagGenOptions options;
+  options.support_size = kSupport;
+  options.domain_size = 64;
+  options.max_multiplicity = 1u << 10;
+  // MakePath(n) yields n-1 edge bags.
+  BagCollection numeric =
+      *MakeGloballyConsistentCollection(*MakePath(kBags + 1), options, &rng);
+  StringWorkload w = MakeStringWorkload(numeric);
+  AttributeCatalog catalog;
+  for (AttrId a : w.interned.union_schema().attrs()) {
+    catalog.Intern("attr" + std::to_string(a));
+  }
+  auto prime = [&](ServerSession* session) {
+    DriveSession(session,
+                 SessionDictScript(w, w.interned.union_schema(), catalog));
+    DriveSession(session, SessionLoadU32Blocks(w, catalog) + "SEAL\n");
+  };
+  // The re-stream block (DROP + LOADU32, same rows) and the delta blocks
+  // (INSERT / DELETE of one id-0 row) for bag b.
+  auto reload_block = [&](size_t b) {
+    const Bag& bag = w.interned.bag(b);
+    std::string out = "DROP b" + std::to_string(b) + "\nLOADU32 b" +
+                      std::to_string(b);
+    for (AttrId a : bag.schema().attrs()) out += " " + catalog.Name(a);
+    out += "\n";
+    for (const auto& [t, mult] : bag.entries()) {
+      for (size_t i = 0; i < t.arity(); ++i) {
+        out += std::to_string(t.id(i)) + " ";
+      }
+      out += ": " + std::to_string(mult) + "\n";
+    }
+    return out + "END\n";
+  };
+  auto delta_block = [&](size_t b, bool insert) {
+    const Bag& bag = w.interned.bag(b);
+    std::string out = insert ? "INSERT b" : "DELETE b";
+    out += std::to_string(b);
+    for (AttrId a : bag.schema().attrs()) out += " " + catalog.Name(a);
+    out += "\n";
+    for (size_t i = 0; i < bag.schema().arity(); ++i) out += "0 ";
+    return out + ": 7\nEND\n";
+  };
+
+  for (size_t touched : {size_t{1}, size_t{4}, kBags}) {
+    std::string suffix =
+        "_" + std::to_string(touched) + "of" + std::to_string(kBags);
+    std::string reload_all;
+    std::string insert_all;
+    std::string delete_all;
+    for (size_t b = 0; b < touched; ++b) {
+      reload_all += reload_block(b);
+      insert_all += delta_block(b, /*insert=*/true);
+      delete_all += delta_block(b, /*insert=*/false);
+    }
+
+    CollectionRegistry full_registry;
+    ServerSession full_session(&full_registry, nullptr);
+    prime(&full_session);
+    BenchResult full = Measure("reseal_full" + suffix, kBags * kSupport, [&] {
+      DriveSession(&full_session, reload_all + "SEAL FULL\n");
+    });
+
+    CollectionRegistry reuse_registry;
+    ServerSession reuse_session(&reuse_registry, nullptr);
+    prime(&reuse_session);
+    BenchResult reuse = Measure("seal_reuse" + suffix, kBags * kSupport, [&] {
+      DriveSession(&reuse_session, reload_all + "SEAL\n");
+    });
+    reuse.baseline_ops_per_sec = full.ops_per_sec;
+
+    CollectionRegistry delta_registry;
+    ServerSession delta_session(&delta_registry, nullptr);
+    prime(&delta_session);
+    bool inserting = true;
+    BenchResult delta =
+        Measure("delta_commit" + suffix, kBags * kSupport, [&] {
+          DriveSession(&delta_session, inserting ? insert_all : delete_all);
+          inserting = !inserting;
+        });
+    delta.baseline_ops_per_sec = full.ops_per_sec;
+
+    results->push_back(std::move(full));
+    results->push_back(std::move(reuse));
+    results->push_back(std::move(delta));
+  }
+}
+
 // ---- columnar_probe suite --------------------------------------------------
 
 // Marginal-heavy workload: many duplicate shared-attribute pairs (small
@@ -993,7 +1105,7 @@ void RunBagRefactorSuite(std::vector<BenchResult>* results) {
 // so adding a suite here without documenting it fails the build.
 constexpr const char* kSuites[] = {"bag_refactor", "engine_batch",
                                    "interned_rows", "columnar_probe",
-                                   "server_session"};
+                                   "server_session", "delta_stream"};
 
 int Main(int argc, char** argv) {
   std::string suite = "bag_refactor";
@@ -1012,7 +1124,7 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--suite bag_refactor|engine_batch|interned_rows|"
-                   "columnar_probe|server_session] [--out FILE] "
+                   "columnar_probe|server_session|delta_stream] [--out FILE] "
                    "[--baseline FILE] [--list-suites]\n",
                    argv[0]);
       return 2;
@@ -1047,6 +1159,8 @@ int Main(int argc, char** argv) {
     RunColumnarProbeSuite(&results);
   } else if (suite == "server_session") {
     RunServerSessionSuite(&results);
+  } else if (suite == "delta_stream") {
+    RunDeltaStreamSuite(&results);
   } else {
     RunBagRefactorSuite(&results);
   }

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Server smoke test: start a real bagcd daemon, replay the annotated
-# transcript from docs/PROTOCOL.md through the bagctl client, prove the
+# transcripts from docs/PROTOCOL.md through the bagctl client (all four
+# blocks, including the INSERT/DELETE streaming-mutation transcript with
+# its "reused" suffixes and all-or-nothing failure line), prove the
 # replayer actually fails on divergence (a deliberately wrong transcript
 # must exit nonzero with a line-numbered diff), round-trip a sealed-bag
 # segment (bagctl --export-seg -> daemon restart -> LOADSEG, answers
@@ -179,4 +181,4 @@ grep -Eq '^reloads [1-9]' "$WORK_DIR/stats_a.txt" || {
 }
 
 stop_daemon
-echo "server_smoke: OK (transcript replayed, replay diff verified, segment round trip, eviction thrash, clean shutdowns)"
+echo "server_smoke: OK (transcripts incl. mutation replayed, replay diff verified, segment round trip, eviction thrash, clean shutdowns)"

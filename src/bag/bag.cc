@@ -1,6 +1,7 @@
 #include "bag/bag.h"
 
 #include <algorithm>
+#include <map>
 
 #include "bag/entry_seal.h"
 #include "tuple/tuple_index.h"
@@ -72,6 +73,53 @@ Status Bag::Add(const Tuple& t, uint64_t mult) {
 uint64_t Bag::Multiplicity(const Tuple& t) const {
   auto it = LowerBound(t);
   return (it != entries().end() && it->first == t) ? it->second : 0;
+}
+
+Status Bag::ApplyRowDeltas(
+    const std::vector<std::pair<Tuple, int64_t>>& deltas) {
+  // Net the stream per tuple first so `insert x, delete x` cancels and a
+  // repeated row accumulates once — validation then sees one signed net
+  // per tuple, which is what all-or-nothing semantics must judge.
+  std::map<Tuple, int64_t> net;
+  for (const auto& [t, d] : deltas) {
+    if (t.arity() != schema_.arity()) {
+      return Status::InvalidArgument("tuple arity does not match bag schema");
+    }
+    int64_t& acc = net[t];
+    if (__builtin_add_overflow(acc, d, &acc)) {
+      return Status::ArithmeticOverflow("delta net overflows int64 for row " +
+                                        t.ToString());
+    }
+  }
+  // Validate every net against the current multiplicities before touching
+  // storage: a delete below zero or an insert overflow must leave the bag
+  // exactly as it was.
+  std::vector<std::pair<Tuple, uint64_t>> next;
+  next.reserve(net.size());
+  for (const auto& [t, d] : net) {
+    if (d == 0) continue;
+    uint64_t have = Multiplicity(t);
+    if (d < 0) {
+      // |d| without negating INT64_MIN (UB): -(d + 1) is in range.
+      uint64_t drop = static_cast<uint64_t>(-(d + 1)) + 1;
+      if (drop > have) {
+        return Status::OutOfRange("DELETE below zero multiplicity: bag has " +
+                                  std::to_string(have) + " of row " +
+                                  t.ToString());
+      }
+      next.emplace_back(t, have - drop);
+    } else {
+      BAGC_ASSIGN_OR_RETURN(uint64_t bumped,
+                            CheckedAdd(have, static_cast<uint64_t>(d)));
+      next.emplace_back(t, bumped);
+    }
+  }
+  // Commit: Set with a validated arity and multiplicity cannot fail.
+  for (const auto& [t, mult] : next) {
+    Status set = Set(t, mult);
+    if (!set.ok()) return set;
+  }
+  return Status::OK();
 }
 
 Result<Bag> Bag::Marginal(const Schema& z) const {

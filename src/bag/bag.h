@@ -47,6 +47,15 @@ class Bag {
   /// R(t); 0 when t not in the support.
   uint64_t Multiplicity(const Tuple& t) const;
 
+  /// Applies signed row deltas in place: delta > 0 inserts (multiplicity
+  /// bump, overflow-checked), delta < 0 deletes (a delete to zero removes
+  /// the row from the support). Opposed deltas on the same tuple cancel
+  /// before validation. All-or-nothing: arity mismatches
+  /// (InvalidArgument), a delete below zero (OutOfRange), or an overflow
+  /// leave the bag untouched. Copy-on-write as with every mutator — other
+  /// bags sharing this storage keep the pre-delta rows.
+  Status ApplyRowDeltas(const std::vector<std::pair<Tuple, int64_t>>& deltas);
+
   /// |Supp(R)| — the support size ||R||_supp of §5.2.
   size_t SupportSize() const { return entries().size(); }
   bool IsEmpty() const { return entries().empty(); }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iterator>
 #include <limits>
+#include <map>
 
 #include "hypergraph/acyclicity.h"
 #include "solver/integer_feasibility.h"
 #include "solver/lp.h"
+#include "util/checked_math.h"
 
 namespace bagc {
 
@@ -147,6 +150,7 @@ Status ConsistencyEngine::Seal(const SealReuse* reuse) {
       pairs_.push_back({i, j, left, right});
     }
   }
+  pair_state_.assign(pairs_.size(), 0);
 
   // Incremental reuse: for every bag whose rows are unchanged since the
   // previous generation, adopt that generation's column store and every
@@ -283,9 +287,13 @@ Result<const ConsistencyEngine::PairTask*> ConsistencyEngine::PairAt(
 Result<bool> ConsistencyEngine::TwoBag(size_t i, size_t j) {
   BAGC_ASSIGN_OR_RETURN(const PairTask* p, PairAt(i, j));
   if (p == nullptr) return true;  // a bag always agrees with its own marginals
+  size_t idx = static_cast<size_t>(p - pairs_.data());
+  if (pair_state_[idx] != 0) return pair_state_[idx] == 1;
   BAGC_RETURN_NOT_OK(EnsureFilled(p->left, p->i));
   BAGC_RETURN_NOT_OK(EnsureFilled(p->right, p->j));
-  return *p->left->marginal == *p->right->marginal;
+  bool equal = *p->left->marginal == *p->right->marginal;
+  pair_state_[idx] = equal ? 1 : 2;
+  return equal;
 }
 
 Result<bool> ConsistencyEngine::TwoBagSealed(size_t i, size_t j) const {
@@ -296,14 +304,26 @@ Result<bool> ConsistencyEngine::TwoBagSealed(size_t i, size_t j) const {
         "TwoBagSealed on an engine whose cache is not fully sealed; "
         "use TwoBag() (or seal eagerly) instead");
   }
+  // Read-only consult of the verdict cache (never written here: the
+  // const surface serves concurrent callers).
+  int8_t state = pair_state_[static_cast<size_t>(p - pairs_.data())];
+  if (state != 0) return state == 1;
   return *p->left->marginal == *p->right->marginal;
 }
 
 Result<PairwiseVerdict> ConsistencyEngine::SweepSequential() {
-  for (const PairTask& p : pairs_) {
-    BAGC_RETURN_NOT_OK(EnsureFilled(p.left, p.i));
-    BAGC_RETURN_NOT_OK(EnsureFilled(p.right, p.j));
-    if (*p.left->marginal != *p.right->marginal) {
+  for (size_t idx = 0; idx < pairs_.size(); ++idx) {
+    const PairTask& p = pairs_[idx];
+    bool equal;
+    if (pair_state_[idx] != 0) {
+      equal = pair_state_[idx] == 1;
+    } else {
+      BAGC_RETURN_NOT_OK(EnsureFilled(p.left, p.i));
+      BAGC_RETURN_NOT_OK(EnsureFilled(p.right, p.j));
+      equal = *p.left->marginal == *p.right->marginal;
+      pair_state_[idx] = equal ? 1 : 2;
+    }
+    if (!equal) {
       PairwiseVerdict v;
       v.consistent = false;
       v.witness_pair = {p.i, p.j};
@@ -332,7 +352,16 @@ PairwiseVerdict ConsistencyEngine::SweepParallel() {
       for (size_t idx = lo; idx < hi; ++idx) {
         if (idx >= best.load(std::memory_order_relaxed)) return;
         const PairTask& p = pairs_[idx];
-        if (*p.left->marginal != *p.right->marginal) {
+        bool equal;
+        if (pair_state_[idx] != 0) {
+          equal = pair_state_[idx] == 1;
+        } else {
+          equal = *p.left->marginal == *p.right->marginal;
+          // Chunks are disjoint index ranges, so no two tasks ever write
+          // the same pair_state_ byte.
+          pair_state_[idx] = equal ? 1 : 2;
+        }
+        if (!equal) {
           size_t cur = best.load(std::memory_order_relaxed);
           while (idx < cur &&
                  !best.compare_exchange_weak(cur, idx, std::memory_order_relaxed)) {
@@ -587,6 +616,180 @@ Result<std::optional<Bag>> ConsistencyEngine::SolveGlobalExact() {
   }
   BAGC_ASSIGN_OR_RETURN(Bag witness, builder.Build());
   return std::optional<Bag>(std::move(witness));
+}
+
+Result<DeltaOutcome> ConsistencyEngine::ApplyDelta(
+    size_t bag_index, const std::vector<BagDelta>& deltas) {
+  if (owned_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ApplyDelta requires an owned collection; use Make (not MakeView)");
+  }
+  size_t m = collection_->size();
+  if (bag_index >= m) return Status::OutOfRange("bag index out of range");
+  const Bag& bag = collection_->bag(bag_index);
+  const size_t arity = bag.schema().arity();
+
+  // Net change per row, keyed in sorted tuple order. Opposed rows within
+  // one stream cancel before validation, so "insert x; delete x" is a
+  // structural no-op even when x was never in the bag.
+  std::map<Tuple, int64_t> net;
+  for (const BagDelta& d : deltas) {
+    if (d.row.arity() != arity) {
+      return Status::InvalidArgument(
+          "delta row arity does not match the bag schema");
+    }
+    int64_t& acc = net[d.row];
+    if (__builtin_add_overflow(acc, d.delta, &acc)) {
+      return Status::ArithmeticOverflow("delta multiplicity overflow");
+    }
+  }
+  for (auto it = net.begin(); it != net.end();) {
+    it = it->second == 0 ? net.erase(it) : std::next(it);
+  }
+  DeltaOutcome outcome;
+  if (net.empty()) return outcome;
+
+  // The mutated bag. COW: other generations holding the old bag keep it.
+  // Row-level validation (a delete below zero → OutOfRange, an insert
+  // overflow) is the bag layer's, all-or-nothing on the copy — a failed
+  // delta leaves the engine bit-identical.
+  Bag mutated = bag;
+  BAGC_RETURN_NOT_OK(mutated.ApplyRowDeltas(
+      std::vector<std::pair<Tuple, int64_t>>(net.begin(), net.end())));
+
+  // Adjust each cached marginal of the bag from the *projected* nets
+  // (Equation (2) is linear in multiplicities): a known group's net is a
+  // multiplicity bump, a new group appends, an adjustment to zero removes
+  // the group. A projection under which the nets cancel is clean and
+  // keeps its slot untouched. Adjusted copies are staged here and
+  // committed below — any overflow aborts with nothing mutated.
+  std::vector<size_t> dirty_slots;
+  std::vector<std::optional<Bag>> staged(cache_[bag_index].size());
+  for (size_t k = 0; k < cache_[bag_index].size(); ++k) {
+    CachedProjection& slot = cache_[bag_index][k];
+    BAGC_ASSIGN_OR_RETURN(Projector proj,
+                          Projector::Make(bag.schema(), slot.schema));
+    std::map<Tuple, int64_t> pnet;
+    for (const auto& [t, d] : net) {
+      int64_t& acc = pnet[t.Project(proj)];
+      if (__builtin_add_overflow(acc, d, &acc)) {
+        return Status::ArithmeticOverflow("projected delta overflow");
+      }
+    }
+    for (auto it = pnet.begin(); it != pnet.end();) {
+      it = it->second == 0 ? pnet.erase(it) : std::next(it);
+    }
+    if (pnet.empty()) continue;
+    dirty_slots.push_back(k);
+    if (!slot.filled) continue;  // lazy slot: recomputed from the new rows later
+    Bag next = *slot.marginal;
+    for (const auto& [pt, pd] : pnet) {
+      uint64_t old_group = next.Multiplicity(pt);
+      uint64_t updated;
+      if (pd < 0) {
+        // Cannot underflow: the new group count is a sum of the new
+        // (validated, non-negative) row multiplicities. CheckedSub guards
+        // the invariant anyway.
+        BAGC_ASSIGN_OR_RETURN(
+            updated, CheckedSub(old_group, static_cast<uint64_t>(-(pd + 1)) + 1));
+      } else {
+        BAGC_ASSIGN_OR_RETURN(updated,
+                              CheckedAdd(old_group, static_cast<uint64_t>(pd)));
+      }
+      BAGC_RETURN_NOT_OK(next.Set(pt, updated));
+    }
+    staged[k] = std::move(next);
+  }
+
+  // Rebuild the owned collection around the mutated bag (schemas — and
+  // hence the hypergraph, the pair list, and every cache slot pointer —
+  // are unchanged; untouched bags are refcount bumps).
+  std::vector<Bag> bags = collection_->bags();
+  bags[bag_index] = std::move(mutated);
+  BAGC_ASSIGN_OR_RETURN(BagCollection next_collection,
+                        BagCollection::Make(std::move(bags)));
+
+  // ---- Commit: nothing below can fail. ----
+  owned_ = std::make_shared<const BagCollection>(std::move(next_collection));
+  collection_ = owned_.get();
+  bag_columns_[bag_index] = nullptr;  // transposed the old rows
+  for (size_t k : dirty_slots) {
+    if (!staged[k].has_value()) continue;
+    CachedProjection& slot = cache_[bag_index][k];
+    slot.marginal = std::make_shared<const Bag>(std::move(*staged[k]));
+    slot.probe = TupleIndex();
+    slot.probe_built = false;
+    ++outcome.changed_slots;
+    // An in-place adjustment is this generation's fill of the slot.
+    marginal_fills_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Minimal invalidation: exactly the pairs whose shared-attribute
+  // marginal changed lose their cached verdicts (identified by the
+  // pre-resolved slot pointers); clean pairs — including every pair not
+  // involving this bag — keep theirs.
+  std::vector<const CachedProjection*> dirty_ptrs;
+  dirty_ptrs.reserve(dirty_slots.size());
+  for (size_t k : dirty_slots) dirty_ptrs.push_back(&cache_[bag_index][k]);
+  for (size_t idx = 0; idx < pairs_.size(); ++idx) {
+    const PairTask& p = pairs_[idx];
+    const CachedProjection* own =
+        p.i == bag_index ? p.left : (p.j == bag_index ? p.right : nullptr);
+    if (own == nullptr) continue;
+    if (std::find(dirty_ptrs.begin(), dirty_ptrs.end(), own) ==
+        dirty_ptrs.end()) {
+      continue;
+    }
+    outcome.dirty_pairs.emplace_back(p.i, p.j);
+    pair_state_[idx] = 0;
+  }
+  if (!outcome.dirty_pairs.empty()) pairwise_verdict_.reset();
+  // The cyclic-schema global solver reads full bags, not shared
+  // marginals, so any effective row change drops the memoized global
+  // verdict (acyclic recomputation reduces to the — possibly still
+  // memoized — pairwise sweep).
+  global_verdict_.reset();
+  return outcome;
+}
+
+Result<ConsistencyEngine> ConsistencyEngine::MakeDelta(
+    const ConsistencyEngine& previous, size_t bag_index,
+    const std::vector<BagDelta>& deltas, DeltaOutcome* outcome) {
+  if (!previous.fully_sealed_) {
+    return Status::FailedPrecondition(
+        "MakeDelta requires a fully sealed previous generation");
+  }
+  if (previous.options_.canonicalize_dictionaries) {
+    return Status::FailedPrecondition(
+        "MakeDelta cannot apply deltas to a canonicalized generation: "
+        "canonicalization remapped the row ids the delta speaks");
+  }
+  if (bag_index >= previous.collection_->size()) {
+    return Status::OutOfRange("bag index out of range");
+  }
+  // Adopt EVERY bag of the previous generation (identity reuse): zero
+  // marginal fills, shared column stores, shared marginal slots. The
+  // delta below then adjusts only the mutated bag's dirty slots, so
+  // marginal_fills() of the new engine lands on exactly that count.
+  SealReuse reuse;
+  reuse.previous = &previous;
+  reuse.prev_index.resize(previous.collection_->size());
+  for (size_t i = 0; i < reuse.prev_index.size(); ++i) reuse.prev_index[i] = i;
+  EngineOptions options = previous.options_;
+  options.num_threads = 1;  // residual work is O(dirty pairs); no pool
+  options.lazy_seal = false;
+  BAGC_ASSIGN_OR_RETURN(
+      ConsistencyEngine engine,
+      Make(BagCollection(*previous.collection_), options, &reuse));
+  // Carry the previous generation's memoized verdicts forward; ApplyDelta
+  // invalidates exactly the dirty ones.
+  engine.pair_state_ = previous.pair_state_;
+  engine.pairwise_verdict_ = previous.pairwise_verdict_;
+  engine.global_verdict_ = previous.global_verdict_;
+  engine.marginal_fills_->store(0, std::memory_order_relaxed);
+  BAGC_ASSIGN_OR_RETURN(DeltaOutcome out, engine.ApplyDelta(bag_index, deltas));
+  if (outcome != nullptr) *outcome = std::move(out);
+  return engine;
 }
 
 size_t ConsistencyEngine::ApproxSealedBytes() const {

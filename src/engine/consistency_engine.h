@@ -121,6 +121,30 @@ struct SealReuse {
   std::vector<size_t> prev_index;
 };
 
+/// One row-level mutation of one bag: `delta` > 0 inserts copies of the
+/// row, `delta` < 0 deletes them. A stream of these is a *delta*: the
+/// incremental-maintenance unit of ConsistencyEngine::ApplyDelta and the
+/// server's INSERT/DELETE verbs. Rows carry the same interned ids as the
+/// bag they mutate (dictionary or codec ids).
+struct BagDelta {
+  Tuple row;
+  int64_t delta = 0;
+};
+
+/// What a delta actually touched: the pairs whose shared-attribute
+/// marginals changed (their cached verdicts were invalidated; everything
+/// else kept its verdict) and the number of cached marginal slots that
+/// were adjusted. A delta whose row changes cancel out under a projection
+/// leaves that projection's slot — and its pairs — clean.
+struct DeltaOutcome {
+  /// Dirty pairs (i, j), i < j, in lexicographic order. Every pair
+  /// involves the mutated bag (dirty-pair minimality).
+  std::vector<std::pair<size_t, size_t>> dirty_pairs;
+  /// Cached marginal slots of the mutated bag that were adjusted in
+  /// place. Each adjustment counts as one marginal fill.
+  size_t changed_slots = 0;
+};
+
 /// \brief Sealed bag collection plus cached per-query state.
 ///
 /// Pool tasks only ever write disjoint cache slots, and PairwiseAll/Global
@@ -142,6 +166,24 @@ class ConsistencyEngine {
   /// path for the single-shot wrappers in core/.
   static Result<ConsistencyEngine> MakeView(const BagCollection& collection,
                                             EngineOptions options = {});
+
+  /// Builds the next generation of `previous` with `deltas` applied to
+  /// bag `bag_index`: every untouched bag adopts the previous
+  /// generation's column store and cached marginals (shared pointers, no
+  /// fills), the mutated bag's slots are adjusted in place from the
+  /// projected deltas (each adjusted slot counts as one marginal fill on
+  /// the NEW engine — marginal_fills() starts at zero and lands on
+  /// exactly the dirty slot count), and clean pairs carry their cached
+  /// verdicts forward. `previous` must be fully sealed, must not have
+  /// canonicalized its dictionaries (the delta's ids would not be
+  /// comparable), and must outlive this call; the shared sealed state
+  /// survives it. DELETE below zero multiplicity fails with OutOfRange
+  /// and builds nothing. The new engine runs inline (no worker pool):
+  /// a delta generation's residual work is O(dirty pairs), not O(m²).
+  static Result<ConsistencyEngine> MakeDelta(const ConsistencyEngine& previous,
+                                             size_t bag_index,
+                                             const std::vector<BagDelta>& deltas,
+                                             DeltaOutcome* outcome = nullptr);
 
   ConsistencyEngine(ConsistencyEngine&&) = default;
   ConsistencyEngine& operator=(ConsistencyEngine&&) = default;
@@ -189,6 +231,29 @@ class ConsistencyEngine {
   /// lazily sealed engine reports false even once all slots happen to be
   /// filled, because its fills mutate and were never meant to be shared.
   bool fully_sealed() const { return fully_sealed_; }
+
+  /// Applies a delta stream to bag `bag_index` in place: per-row net
+  /// changes mutate the owned bag (copy-on-write), and each cached
+  /// marginal R[Z] of the bag is *adjusted* — the projected net of the
+  /// delta rows is added onto a copy of the cached marginal (a known
+  /// row's insert is a multiplicity bump, a new row appends, a delete to
+  /// zero removes the row) — instead of being recomputed from all rows.
+  /// Each adjusted slot counts as one marginal fill. Verdict invalidation
+  /// is minimal: only pairs whose shared-attribute marginal actually
+  /// changed are returned dirty and lose their cached verdicts; clean
+  /// pairs (including every pair not involving the bag) keep theirs. The
+  /// memoized global verdict is dropped on any effective change (the
+  /// cyclic-schema solver reads full bags, not just shared marginals).
+  ///
+  /// All-or-nothing: validation (arity, DELETE below zero multiplicity →
+  /// OutOfRange, multiplicity overflow) happens before any mutation, so a
+  /// failed delta leaves the engine bit-identical. Requires an owned
+  /// collection (Make, not MakeView). Deltas whose nets cancel to zero
+  /// are a no-op returning an empty outcome. Not thread-safe against
+  /// concurrent queries (same contract as the other non-const entry
+  /// points).
+  Result<DeltaOutcome> ApplyDelta(size_t bag_index,
+                                  const std::vector<BagDelta>& deltas);
 
   /// Lemma 2(2) on bags i and j, answered from the cached marginals
   /// (filling them on first use under lazy_seal).
@@ -345,6 +410,12 @@ class ConsistencyEngine {
   // shared_ptr for the same reason as CachedProjection::marginal.
   std::vector<std::shared_ptr<const ColumnStore>> bag_columns_;
   std::vector<PairTask> pairs_;  // all (i, j), i < j, lexicographic
+  // Per-pair verdict cache aligned with pairs_: 0 unknown, 1 consistent,
+  // 2 inconsistent. Written by the sweeps (parallel chunks write disjoint
+  // indices) and by TwoBag; ApplyDelta resets exactly the dirty entries,
+  // so a post-delta sweep re-compares only pairs whose shared marginals
+  // changed. TwoBagSealed reads it but never writes (const surface).
+  std::vector<int8_t> pair_state_;
   bool fully_sealed_ = false;    // every cache slot filled (see fully_sealed())
   std::optional<PairwiseVerdict> pairwise_verdict_;
   std::optional<bool> global_verdict_;

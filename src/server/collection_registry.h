@@ -162,10 +162,13 @@ class CollectionRegistry {
   void RecordSeal() { seals_.fetch_add(1, std::memory_order_relaxed); }
   void RecordReset() { resets_.fetch_add(1, std::memory_order_relaxed); }
   void RecordQuery() { queries_.fetch_add(1, std::memory_order_relaxed); }
+  /// One committed INSERT/DELETE delta (staged or published).
+  void RecordDelta() { deltas_.fetch_add(1, std::memory_order_relaxed); }
   size_t sessions_active() const { return sessions_.load(std::memory_order_relaxed); }
   uint64_t seals_total() const { return seals_.load(std::memory_order_relaxed); }
   uint64_t resets_total() const { return resets_.load(std::memory_order_relaxed); }
   uint64_t queries_total() const { return queries_.load(std::memory_order_relaxed); }
+  uint64_t deltas_total() const { return deltas_.load(std::memory_order_relaxed); }
 
  private:
   // Swap `snapshot` in as c's resident generation (byte accounting + LRU
@@ -188,6 +191,7 @@ class CollectionRegistry {
   std::atomic<uint64_t> seals_{0};
   std::atomic<uint64_t> resets_{0};
   std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> deltas_{0};
 };
 
 }  // namespace bagc

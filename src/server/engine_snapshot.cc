@@ -53,6 +53,37 @@ Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::Build(
   return std::shared_ptr<const EngineSnapshot>(std::move(snapshot));
 }
 
+Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::BuildDelta(
+    const std::shared_ptr<const EngineSnapshot>& previous, size_t bag_index,
+    const std::vector<BagDelta>& deltas, uint64_t seq, DeltaOutcome* outcome) {
+  auto snapshot = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snapshot->seq_ = seq;
+  snapshot->names_ = previous->names_;
+  snapshot->name_index_ = previous->name_index_;
+  snapshot->catalog_ = previous->catalog_;
+  {
+    // MakeDelta carries the previous engine's memoized global verdict
+    // into the new generation; concurrent Global() calls on `previous`
+    // write that memo. Same mutex, no torn reads.
+    std::lock_guard<std::mutex> lock(previous->global_mu_);
+    BAGC_ASSIGN_OR_RETURN(
+        ConsistencyEngine engine,
+        ConsistencyEngine::MakeDelta(*previous->engine_, bag_index, deltas,
+                                     outcome));
+    snapshot->engine_.emplace(std::move(engine));
+  }
+  // Only the delta's dirty pairs actually re-compare here; clean pairs
+  // answer from the carried per-pair verdicts.
+  BAGC_ASSIGN_OR_RETURN(snapshot->pairwise_, snapshot->engine_->PairwiseAll());
+  snapshot->dicts_ = snapshot->engine_->shared_dictionaries();
+  for (const Bag& b : snapshot->engine_->collection().bags()) {
+    snapshot->support_rows_ += b.SupportSize();
+  }
+  snapshot->approx_bytes_ = snapshot->engine_->ApproxSealedBytes() +
+                            48 * snapshot->dict_values();
+  return std::shared_ptr<const EngineSnapshot>(std::move(snapshot));
+}
+
 Result<size_t> EngineSnapshot::ResolveBag(const std::string& token) const {
   bool digits = !token.empty();
   for (char c : token) {

@@ -65,6 +65,22 @@ class EngineSnapshot {
   static Result<std::shared_ptr<const EngineSnapshot>> Build(BuildInputs inputs,
                                                              uint64_t seq);
 
+  /// Derives the next generation from `previous` by one bag's delta
+  /// stream (ConsistencyEngine::MakeDelta): every untouched bag's sealed
+  /// state — column stores, marginal slots, cached pair verdicts — is
+  /// adopted by refcount bump, the mutated bag's dirty marginal slots are
+  /// adjusted in place, and the fresh pairwise sweep re-compares only the
+  /// dirty pairs. Catalog, names, and the dictionary clone are shared
+  /// with `previous` (the caller must guarantee no value was interned in
+  /// between). `outcome`, when non-null, receives the dirty pair set and
+  /// changed-slot count. `previous` is untouched: readers mid-query on it
+  /// finish bit-identically. Fails without side effects when the delta is
+  /// invalid (a DELETE below zero multiplicity is OutOfRange).
+  static Result<std::shared_ptr<const EngineSnapshot>> BuildDelta(
+      const std::shared_ptr<const EngineSnapshot>& previous, size_t bag_index,
+      const std::vector<BagDelta>& deltas, uint64_t seq,
+      DeltaOutcome* outcome = nullptr);
+
   /// Resolves a wire bag reference: a digits-only token is an index,
   /// anything else a LOAD-time bag name.
   Result<size_t> ResolveBag(const std::string& token) const;

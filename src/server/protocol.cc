@@ -79,7 +79,8 @@ std::vector<std::string> WireTokens(const std::string& line) {
 }
 
 bool WireCommandHasBody(const std::string& command) {
-  return command == "DICT" || command == "LOAD" || command == "LOADU32";
+  return command == "DICT" || command == "LOAD" || command == "LOADU32" ||
+         command == "INSERT" || command == "DELETE";
 }
 
 bool WireResponseHasBody(const std::string& first_line) {

@@ -116,6 +116,8 @@ inline constexpr uint8_t kFramePairwise = 0x05; ///< empty payload
 inline constexpr uint8_t kFrameGlobal = 0x06;   ///< empty payload
 inline constexpr uint8_t kFrameKWise = 0x07;    ///< u32 k
 inline constexpr uint8_t kFrameWitness = 0x08;  ///< u32 i, u32 j, u8 minimal
+inline constexpr uint8_t kFrameInsert = 0x09;   ///< INSERT delta: ROWS grammar
+inline constexpr uint8_t kFrameDelete = 0x0A;   ///< DELETE delta: ROWS grammar
 
 // Server -> client frames.
 inline constexpr uint8_t kFrameOk = 0x80;         ///< OK line sans "OK " prefix

@@ -1,6 +1,7 @@
 #include "server/session.h"
 
 #include <future>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -296,16 +297,22 @@ ServerSession::Outcome ServerSession::HandleCommand(
     if (mode_ == Mode::kBinary) {
       // Bodies are line-framed; inside the binary framing they travel as
       // DICT/ROWS frames instead.
+      const std::string frame =
+          cmd == "DICT" ? "DICT"
+                        : (cmd == "INSERT" || cmd == "DELETE" ? cmd : "ROWS");
       sink->Err(WireError::kState,
                 cmd + " blocks are not available in binary mode; ship a " +
-                    (cmd == "DICT" ? "DICT" : "ROWS") + " frame");
+                    frame + " frame");
       return Outcome::kContinue;
     }
     // Enter body mode even on a bad header: the body is always consumed
     // through END before the (possibly ERR) response, so a bad header
     // can never desynchronize the line stream.
-    body_ = cmd == "DICT" ? Body::kDict
-                          : (cmd == "LOAD" ? Body::kLoadText : Body::kLoadU32);
+    body_ = cmd == "DICT"     ? Body::kDict
+            : cmd == "LOAD"   ? Body::kLoadText
+            : cmd == "INSERT" ? Body::kInsert
+            : cmd == "DELETE" ? Body::kDelete
+                              : Body::kLoadU32;
     body_header_ = tokens;
     body_lines_.clear();
     return Outcome::kContinue;
@@ -373,6 +380,10 @@ ServerSession::Outcome ServerSession::HandleFrame(uint8_t opcode,
     case kFrameRows:
       HandleRowsFrame(payload, sink);
       return Outcome::kContinue;
+    case kFrameInsert:
+    case kFrameDelete:
+      HandleMutateFrame(opcode == kFrameInsert, payload, sink);
+      return Outcome::kContinue;
     case kFrameTwoBag: {
       WireCursor cur(payload);
       uint32_t i = 0, j = 0;
@@ -438,6 +449,8 @@ void ServerSession::FinishBody(ResponseSink* sink) {
                   " lines or " + std::to_string(kMaxBodyBytes) + " bytes");
   } else if (body == Body::kDict) {
     FinishDict(sink);
+  } else if (body == Body::kInsert || body == Body::kDelete) {
+    FinishMutate(body == Body::kInsert, sink);
   } else {
     FinishLoad(sink);
   }
@@ -646,6 +659,295 @@ void ServerSession::HandleRowsFrame(std::string_view payload,
   size_t support = bag->SupportSize();
   AddBag(name, std::move(bag).value());
   sink->Ok("LOADU32 " + name + " " + std::to_string(support) + " rows");
+}
+
+// Resolves an INSERT/DELETE column header against the loaded bag: the
+// named attributes must spell exactly the bag's schema (any order), every
+// attribute needs a dictionary (same rule as LOADU32), and
+// slot_of_column[c] maps wire column c to its schema slot. Emits the
+// error and returns false when unusable.
+static bool ResolveMutateColumns(AttributeCatalog* catalog,
+                                 const DictionarySet& dicts,
+                                 const Schema& bag_schema,
+                                 const std::vector<std::string>& col_names,
+                                 std::vector<const ValueDictionary*>* column_dict,
+                                 std::vector<size_t>* slot_of_column,
+                                 ServerSession::ResponseSink* sink) {
+  std::vector<AttrId> attrs;
+  attrs.reserve(col_names.size());
+  for (const std::string& n : col_names) attrs.push_back(catalog->Intern(n));
+  Schema schema{attrs};
+  if (schema.arity() != attrs.size()) {
+    sink->Err(WireError::kParse, "duplicate attribute in delta header");
+    return false;
+  }
+  if (schema != bag_schema) {
+    sink->Err(WireError::kParse,
+              "delta attributes do not match the bag's schema");
+    return false;
+  }
+  column_dict->assign(attrs.size(), nullptr);
+  slot_of_column->assign(attrs.size(), 0);
+  for (size_t c = 0; c < attrs.size(); ++c) {
+    (*column_dict)[c] = dicts.find_dict(attrs[c]);
+    if ((*column_dict)[c] == nullptr) {
+      sink->Err(WireError::kState,
+                "u32 rows require a dictionary for attribute '" + col_names[c] +
+                    "'; ship its DICT block first");
+      return false;
+    }
+    (*slot_of_column)[c] = *schema.IndexOf(attrs[c]);
+  }
+  return true;
+}
+
+void ServerSession::FinishMutate(bool insert, ResponseSink* sink) {
+  const std::string verb = insert ? "INSERT" : "DELETE";
+  if (body_header_.size() < 3) {
+    sink->Err(WireError::kParse,
+              "usage: " + verb + " <bag-name> <attribute...>");
+    return;
+  }
+  const std::string& name = body_header_[1];
+  size_t bag_index = bag_names_.size();
+  for (size_t i = 0; i < bag_names_.size(); ++i) {
+    if (bag_names_[i] == name) {
+      bag_index = i;
+      break;
+    }
+  }
+  if (bag_index == bag_names_.size()) {
+    sink->Err(WireError::kState,
+              "bag '" + name + "' is not loaded in this session; " + verb +
+                  " mutates loaded bags (LOAD, LOADU32, or LOADSEG it first)");
+    return;
+  }
+  std::vector<std::string> col_names(body_header_.begin() + 2,
+                                     body_header_.end());
+  std::vector<const ValueDictionary*> column_dict;
+  std::vector<size_t> slot_of_column;
+  if (!ResolveMutateColumns(&catalog_, *dicts_, bags_[bag_index].schema(),
+                            col_names, &column_dict, &slot_of_column, sink)) {
+    return;
+  }
+  const size_t arity = col_names.size();
+  std::vector<BagDelta> deltas;
+  size_t rows = 0;
+  std::vector<ValueId> row(arity);
+  for (const std::string& raw : body_lines_) {
+    std::vector<std::string> tokens = WireTokens(raw);
+    if (tokens.empty()) continue;  // blank / comment line
+    if (tokens.size() != arity + 2 || tokens[arity] != ":") {
+      sink->Err(WireError::kParse, verb + " rows are '<" +
+                                       std::to_string(arity) +
+                                       " ids> : <count>'");
+      return;
+    }
+    for (size_t c = 0; c < arity; ++c) {
+      Result<uint64_t> id = WireParseUint(tokens[c]);
+      if (!id.ok() || *id > std::numeric_limits<uint32_t>::max()) {
+        sink->Err(WireError::kParse, "row ids are u32 integers");
+        return;
+      }
+      if (*id >= column_dict[c]->size()) {
+        sink->Err(WireError::kRange,
+                  "row id " + tokens[c] + " was never issued for attribute '" +
+                      col_names[c] + "' (dictionary has " +
+                      std::to_string(column_dict[c]->size()) + " values)");
+        return;
+      }
+      row[slot_of_column[c]] = static_cast<ValueId>(*id);
+    }
+    Result<uint64_t> count = WireParseUint(tokens[arity + 1]);
+    if (!count.ok()) {
+      sink->ErrStatus(count.status());
+      return;
+    }
+    if (*count > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      sink->Err(WireError::kRange, "delta count exceeds int64");
+      return;
+    }
+    ++rows;
+    if (*count == 0) continue;  // zero rows net nothing, as in LOADU32
+    int64_t amount = static_cast<int64_t>(*count);
+    deltas.push_back({Tuple::OfIds(row), insert ? amount : -amount});
+  }
+  CommitDelta(bag_index, insert, std::move(deltas), rows, sink);
+}
+
+void ServerSession::HandleMutateFrame(bool insert, std::string_view payload,
+                                      ResponseSink* sink) {
+  const std::string verb = insert ? "INSERT" : "DELETE";
+  WireCursor cur(payload);
+  std::string_view name_view;
+  uint32_t ncols = 0;
+  if (!cur.String(&name_view) || !cur.U32(&ncols) || ncols == 0) {
+    sink->Err(WireError::kParse, "malformed " + verb + " frame header");
+    return;
+  }
+  std::vector<std::string> col_names;
+  col_names.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string_view col;
+    if (!cur.String(&col)) {
+      sink->Err(WireError::kParse, "malformed " + verb + " frame header");
+      return;
+    }
+    col_names.emplace_back(col);
+  }
+  uint64_t nrows = 0;
+  if (!cur.U64(&nrows)) {
+    sink->Err(WireError::kParse, "malformed " + verb + " frame header");
+    return;
+  }
+  // Fixed-width remainder, exactly the ROWS frame grammar.
+  uint64_t row_bytes = uint64_t{ncols} * 4 + 8;
+  if (nrows != cur.remaining() / row_bytes ||
+      cur.remaining() % row_bytes != 0) {
+    sink->Err(WireError::kParse,
+              verb + " frame declares " + std::to_string(nrows) +
+                  " rows but carries " + std::to_string(cur.remaining()) +
+                  " bytes of row data");
+    return;
+  }
+  std::string name(name_view);
+  size_t bag_index = bag_names_.size();
+  for (size_t i = 0; i < bag_names_.size(); ++i) {
+    if (bag_names_[i] == name) {
+      bag_index = i;
+      break;
+    }
+  }
+  if (bag_index == bag_names_.size()) {
+    sink->Err(WireError::kState,
+              "bag '" + name + "' is not loaded in this session; " + verb +
+                  " mutates loaded bags (LOAD, LOADU32, or LOADSEG it first)");
+    return;
+  }
+  std::vector<const ValueDictionary*> column_dict;
+  std::vector<size_t> slot_of_column;
+  if (!ResolveMutateColumns(&catalog_, *dicts_, bags_[bag_index].schema(),
+                            col_names, &column_dict, &slot_of_column, sink)) {
+    return;
+  }
+  std::vector<BagDelta> deltas;
+  deltas.reserve(nrows);
+  std::vector<ValueId> row(ncols);
+  for (uint64_t r = 0; r < nrows; ++r) {
+    for (uint32_t c = 0; c < ncols; ++c) {
+      uint32_t id = 0;
+      cur.U32(&id);
+      if (id >= column_dict[c]->size()) {
+        sink->Err(WireError::kRange,
+                  "row id " + std::to_string(id) +
+                      " was never issued for attribute '" + col_names[c] +
+                      "' (dictionary has " +
+                      std::to_string(column_dict[c]->size()) + " values)");
+        return;
+      }
+      row[slot_of_column[c]] = id;
+    }
+    uint64_t count = 0;
+    cur.U64(&count);
+    if (count > static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+      sink->Err(WireError::kRange, "delta count exceeds int64");
+      return;
+    }
+    if (count == 0) continue;
+    int64_t amount = static_cast<int64_t>(count);
+    deltas.push_back({Tuple::OfIds(row), insert ? amount : -amount});
+  }
+  CommitDelta(bag_index, insert, std::move(deltas),
+              static_cast<size_t>(nrows), sink);
+}
+
+void ServerSession::CommitDelta(size_t bag_index, bool insert,
+                                std::vector<BagDelta> deltas, size_t rows,
+                                ResponseSink* sink) {
+  const std::string verb = insert ? "INSERT" : "DELETE";
+  const std::string& name = bag_names_[bag_index];
+  // Incremental-publish lineage: the bound collection's chain currently
+  // ends in the generation this session sealed, every loaded bag is
+  // bit-identical to it (epoch at or before that seal, same name), and
+  // no value was interned since — the generations then share one
+  // immutable dictionary clone, so the delta's ids mean the same thing
+  // in both. These are the SEAL reuse conditions demanded for ALL bags:
+  // the delta must be the only change the new generation carries.
+  bool lineage = last_sealed_ != nullptr && !last_seal_canonical_ &&
+                 last_seal_dicts_ != nullptr &&
+                 last_seal_dicts_->total_size() == dicts_->total_size() &&
+                 bags_.size() == last_sealed_->num_bags();
+  for (size_t b = 0; lineage && b < bags_.size(); ++b) {
+    lineage = bag_epochs_[b] <= last_seal_epoch_ &&
+              last_sealed_->bag_name(b) == bag_names_[b];
+  }
+  if (lineage) {
+    if (registry_->Peek(collection_.get()) == nullptr) {
+      // Evicted under the memory budget: no resident generation to
+      // derive from, and a delta commit must not trigger a reload (Peek
+      // semantics). Retryable: any query reloads the collection from its
+      // segment, or SEAL republishes it fresh.
+      sink->Err(WireError::kState,
+                "collection '" + collection_->name() +
+                    "' is not resident; run a query (reload) or SEAL, then "
+                    "retry the " +
+                    verb);
+      return;
+    }
+    DeltaOutcome outcome;
+    Result<std::shared_ptr<const EngineSnapshot>> next =
+        EngineSnapshot::BuildDelta(last_sealed_, bag_index, deltas,
+                                   collection_->NextSeq(), &outcome);
+    if (!next.ok()) {
+      // DELETE below zero multiplicity (E_RANGE) and friends: nothing
+      // was mutated or published — the loaded bag, the lineage, and the
+      // served generation are all intact.
+      sink->ErrStatus(next.status());
+      return;
+    }
+    Status published = registry_->Publish(collection_.get(), *next,
+                                          /*segment_path=*/"",
+                                          /*canonical=*/false);
+    if (!published.ok()) {
+      // A concurrent publication won the chain (retryable E_STATE);
+      // readers are on the newer generation, this session is untouched.
+      sink->ErrStatus(published);
+      return;
+    }
+    // The session's staged copy now matches the published generation, so
+    // the next SEAL or delta keeps full reuse lineage.
+    bags_[bag_index] = (*next)->engine()->collection().bag(bag_index);
+    bag_epochs_[bag_index] = ++epoch_counter_;
+    last_sealed_ = *next;
+    last_seal_epoch_ = epoch_counter_;
+    // The published rows diverged from whatever segment staged them.
+    staged_seg_path_.clear();
+    registry_->RecordDelta();
+    std::string rest = verb + " " + name + " " + std::to_string(rows) +
+                       " rows " + std::to_string(bags_.size()) + " bags";
+    size_t reused = bags_.size() - 1;
+    if (reused > 0) rest += " " + std::to_string(reused) + " reused";
+    sink->Ok(rest);
+    return;
+  }
+  // No publishable lineage (nothing sealed yet, canonical seal,
+  // dictionary growth, or a changed bag set): mutate the loaded bag
+  // only. The epoch bump marks it changed, so the next SEAL refills
+  // exactly this bag.
+  std::vector<std::pair<Tuple, int64_t>> nets;
+  nets.reserve(deltas.size());
+  for (BagDelta& d : deltas) nets.emplace_back(std::move(d.row), d.delta);
+  Bag next_bag = bags_[bag_index];
+  Status applied = next_bag.ApplyRowDeltas(nets);
+  if (!applied.ok()) {
+    sink->ErrStatus(applied);  // all-or-nothing: the loaded bag is intact
+    return;
+  }
+  bags_[bag_index] = std::move(next_bag);
+  bag_epochs_[bag_index] = ++epoch_counter_;
+  staged_seg_path_.clear();
+  registry_->RecordDelta();
+  sink->Ok(verb + " " + name + " " + std::to_string(rows) + " rows staged");
 }
 
 void ServerSession::HandleHello(const std::vector<std::string>& tokens,
@@ -999,6 +1301,7 @@ void ServerSession::HandleStats(const std::vector<std::string>& tokens,
                   snapshot == nullptr ? 0 : snapshot->marginal_fills());
   kv.emplace_back("collections", registry_->num_collections());
   kv.emplace_back("evictions", registry_->evictions_total());
+  kv.emplace_back("deltas", registry_->deltas_total());
   sink->Stats(kv);
 }
 

@@ -120,7 +120,7 @@ class ServerSession {
  private:
   enum class Mode { kText, kBinary };
   // Body-collection modes (request side, text framing only).
-  enum class Body { kNone, kDict, kLoadText, kLoadU32 };
+  enum class Body { kNone, kDict, kLoadText, kLoadU32, kInsert, kDelete };
 
   // Dispatch for a stripped, non-empty command line (text line or CMD
   // frame payload; body-carrying commands are rejected in binary mode).
@@ -134,10 +134,27 @@ class ServerSession {
   void FinishBody(ResponseSink* sink);
   void FinishDict(ResponseSink* sink);
   void FinishLoad(ResponseSink* sink);
+  void FinishMutate(bool insert, ResponseSink* sink);
 
   // Binary bodies: DICT and LOADU32 equivalents carried in one frame.
   void HandleDictFrame(std::string_view payload, ResponseSink* sink);
   void HandleRowsFrame(std::string_view payload, ResponseSink* sink);
+  // INSERT/DELETE delta carried in one ROWS-grammar frame.
+  void HandleMutateFrame(bool insert, std::string_view payload,
+                         ResponseSink* sink);
+
+  // Shared INSERT/DELETE core (text body and binary frame both land
+  // here with parsed, dictionary-validated deltas): applies the signed
+  // rows to the loaded bag and — when the bound collection currently
+  // serves a generation this session sealed and nothing else changed —
+  // derives and publishes the next generation incrementally
+  // (EngineSnapshot::BuildDelta, untouched bags adopted). Without that
+  // lineage the mutation stays session-local ("staged") until the next
+  // SEAL. All-or-nothing either way: a DELETE below zero multiplicity
+  // answers E_RANGE with the bag, the lineage, and the published
+  // generation untouched.
+  void CommitDelta(size_t bag_index, bool insert, std::vector<BagDelta> deltas,
+                   size_t rows, ResponseSink* sink);
 
   void HandleHello(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandleUpgrade(const std::vector<std::string>& tokens, ResponseSink* sink);

@@ -427,5 +427,139 @@ TEST(ServerConcurrentTest, RacingSealsEitherWinOrAskForRetry) {
   EXPECT_EQ(verdict[0], "OK CONSISTENT");
 }
 
+// A delta commit on an evicted collection must answer the retryable
+// E_STATE, not silently reload (deriving a generation may never touch
+// the reload path) and not corrupt the session's staged copy.
+TEST(ServerConcurrentTest, MutationOnEvictedCollectionIsRetryableEState) {
+  CollectionRegistry::Options options;
+  options.mem_budget_bytes = 1;  // any second publish evicts the first
+  CollectionRegistry registry(options);
+
+  ServerSession victim(&registry, nullptr);
+  std::vector<std::string> out = victim.HandleScript(
+      "ATTACH tenant_a\n"
+      "DICT item 2\napple\nbanana\nEND\n"
+      "LOADU32 r item\n0 : 2\nEND\n"
+      "LOADU32 s item\n0 : 2\nEND\n"
+      "SEAL\n");
+  ASSERT_EQ(out.back(), "OK SEAL 2 bags");
+
+  // A second tenant publishes; the 1-byte budget evicts tenant_a (the
+  // most recent publish is exempt, the cold one goes).
+  ServerSession other(&registry, nullptr);
+  out = other.HandleScript(
+      "ATTACH tenant_b\n"
+      "DICT item 2\napple\nbanana\nEND\n"
+      "LOADU32 r item\n0 : 1\nEND\n"
+      "SEAL\n");
+  ASSERT_EQ(out.back(), "OK SEAL 1 bags");
+
+  // The victim's lineage is intact but its generation is gone: the
+  // delta is refused with the documented retryable message.
+  out = victim.HandleScript("INSERT r item\n1 : 3\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+  EXPECT_NE(out[0].find("not resident"), std::string::npos) << out[0];
+
+  // The documented recovery: re-SEAL (which re-publishes and evicts
+  // tenant_b in turn), then the delta commits incrementally.
+  out = victim.HandleScript("SEAL\nINSERT r item\n1 : 3\nEND\nTWOBAG r s\n");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "OK SEAL 2 bags 2 reused");
+  EXPECT_EQ(out[1], "OK INSERT r 1 rows 2 bags 1 reused");
+  EXPECT_EQ(out[2], "OK INCONSISTENT");
+}
+
+// A delta publish that loses the chain race answers the retryable
+// E_STATE and mutates nothing — the deterministic stand-in for a
+// concurrent seal winning between lineage check and publish.
+TEST(ServerConcurrentTest, SupersededDeltaPublishIsRetryable) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  std::vector<std::string> out = session.HandleScript(
+      "DICT item 2\napple\nbanana\nEND\n"
+      "LOADU32 r item\n0 : 2\nEND\n"
+      "LOADU32 s item\n0 : 2\nEND\n"
+      "SEAL\n");
+  ASSERT_EQ(out.back(), "OK SEAL 2 bags");
+
+  registry.MarkNextSealSupersededForTest(registry.Default().get());
+  out = session.HandleScript("INSERT r item\n1 : 1\nEND\nTWOBAG r s\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+  EXPECT_NE(out[0].find("superseded"), std::string::npos) << out[0];
+  EXPECT_EQ(out[1], "OK CONSISTENT");  // nothing published, bag intact
+
+  // The retry (a fresh seq) wins and carries the delta.
+  out = session.HandleScript("INSERT r item\n1 : 1\nEND\nTWOBAG r s\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK INSERT r 1 rows 2 bags 1 reused");
+  EXPECT_EQ(out[1], "OK INCONSISTENT");
+}
+
+// Readers holding the pre-delta generation finish on it bit-identically
+// while delta commits publish successors: snapshots are immutable, so a
+// commit may never disturb an in-flight query's answers. Concurrent
+// reader threads additionally hammer the registry during the commits —
+// every answer must be one of the two legal generations' verdicts.
+TEST(ServerConcurrentTest, ReadersOnOldGenerationSurviveDeltaPublishes) {
+  CollectionRegistry registry;
+  ServerSession admin(&registry, nullptr);
+  std::vector<std::string> out = admin.HandleScript(
+      "DICT item 2\napple\nbanana\nEND\n"
+      "LOADU32 r item\n0 : 2\nEND\n"
+      "LOADU32 s item\n0 : 2\nEND\n"
+      "SEAL\n");
+  ASSERT_EQ(out.back(), "OK SEAL 2 bags");
+
+  // Pin the pre-delta generation the way an in-flight query does and
+  // record its answers.
+  std::shared_ptr<const EngineSnapshot> pinned =
+      registry.Peek(registry.Default().get());
+  ASSERT_NE(pinned, nullptr);
+  ASSERT_TRUE(*pinned->TwoBag(0, 1));
+  std::string pinned_witness =
+      pinned->WriteBagText(**pinned->Witness(0, 1, /*minimal=*/true));
+
+  std::atomic<bool> stop{false};
+  FailureLog wrong;
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&registry, &stop, &wrong] {
+      ServerSession reader(&registry, nullptr);
+      while (!stop.load()) {
+        std::vector<std::string> verdict = reader.HandleScript("TWOBAG r s\n");
+        if (verdict.size() != 1 ||
+            (verdict[0] != "OK CONSISTENT" && verdict[0] != "OK INCONSISTENT")) {
+          wrong.Record("TWOBAG answered '" +
+                       (verdict.empty() ? std::string("<nothing>") : verdict[0]) +
+                       "'");
+          return;
+        }
+      }
+    });
+  }
+  // Alternate INSERT/DELETE of the same rows: generations flip between
+  // the consistent base and the inconsistent +delta state.
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const char* script = (cycle % 2 == 0) ? "INSERT r item\n1 : 3\nEND\n"
+                                          : "DELETE r item\n1 : 3\nEND\n";
+    out = admin.HandleScript(script);
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0].rfind("OK", 0), 0u) << out[0];
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(wrong.count.load(), 0) << "first divergence: " << wrong.first;
+
+  // The pinned generation never moved: same verdict, same witness bytes.
+  EXPECT_TRUE(*pinned->TwoBag(0, 1));
+  EXPECT_EQ(pinned_witness,
+            pinned->WriteBagText(**pinned->Witness(0, 1, /*minimal=*/true)));
+  EXPECT_EQ(pinned->seq(), 1u);
+  // Twenty commits later the served generation is number 21.
+  EXPECT_EQ(registry.Peek(registry.Default().get())->seq(), 21u);
+}
+
 }  // namespace
 }  // namespace bagc

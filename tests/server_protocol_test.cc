@@ -226,7 +226,7 @@ TEST(ServerSessionTest, StatsShape) {
   Feed(&session, kSetupScript);
   Feed(&session, "TWOBAG 0 1\n");
   std::vector<std::string> out = Feed(&session, "STATS\n");
-  ASSERT_EQ(out.size(), 14u);
+  ASSERT_EQ(out.size(), 15u);
   EXPECT_EQ(out.front(), "OK STATS");
   EXPECT_EQ(out.back(), kWireEnd);
   EXPECT_EQ(out[1], "proto 1");
@@ -238,6 +238,7 @@ TEST(ServerSessionTest, StatsShape) {
   // index by position keep working.
   EXPECT_EQ(out[11], "collections 1");
   EXPECT_EQ(out[12], "evictions 0");
+  EXPECT_EQ(out[13], "deltas 0");
 
   // Per-collection STATS: registry accounting for one tenant.
   out = Feed(&session, "STATS default\n");
@@ -365,6 +366,239 @@ TEST(ServerSessionTest, IncrementalResealReusesUntouchedBags) {
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0], "OK SEAL 2 bags");
   EXPECT_EQ(out[1], "OK SEAL 2 bags");
+}
+
+TEST(ServerSessionTest, InsertDeltaPublishesIncrementally) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);  // orders == stock, consistent
+
+  // A one-bag INSERT after a seal publishes the next generation directly
+  // from the previous one — the untouched bag rides along ("1 reused"),
+  // and the verdict flips because stock now carries an extra row.
+  std::vector<std::string> out = Feed(&session,
+                                     "INSERT stock item store\n"
+                                     "2 0 : 5\n"  // cherry downtown x5
+                                     "END\n"
+                                     "TWOBAG orders stock\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK INSERT stock 1 rows 2 bags 1 reused");
+  EXPECT_EQ(out[1], "OK INCONSISTENT");
+
+  // Exactly the mutated bag's shared-marginal slot refilled: a delta
+  // generation's fill counter is the dirty-slot count, not a re-seal.
+  std::shared_ptr<const EngineSnapshot> published =
+      registry.Peek(registry.Default().get());
+  ASSERT_NE(published, nullptr);
+  EXPECT_EQ(published->marginal_fills(), 1u);
+
+  // DELETE of the same rows restores the original bag: verdicts return,
+  // and the generation counter shows two extra publishes.
+  out = Feed(&session,
+             "DELETE stock item store\n"
+             "2 0 : 5\n"
+             "END\n"
+             "TWOBAG orders stock\n"
+             "STATS default\n");
+  ASSERT_GE(out.size(), 4u);
+  EXPECT_EQ(out[0], "OK DELETE stock 1 rows 2 bags 1 reused");
+  EXPECT_EQ(out[1], "OK CONSISTENT");
+  EXPECT_EQ(out[6], "generation 3");
+
+  // The global counter saw both commits.
+  out = Feed(&session, "STATS\n");
+  ASSERT_EQ(out.size(), 15u);
+  EXPECT_EQ(out[13], "deltas 2");
+
+  // Lineage survives a delta publish: the next plain SEAL still reuses
+  // every bag (the session copy tracked the published generation).
+  out = Feed(&session, "SEAL\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "OK SEAL 2 bags 2 reused");
+}
+
+TEST(ServerSessionTest, DeleteBelowZeroLeavesGenerationAndBagIntact) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+
+  // Deleting more copies than the bag holds: E_RANGE, all-or-nothing —
+  // no generation publishes and the served rows are untouched, so the
+  // verdict is still the pre-delta one.
+  std::vector<std::string> out = Feed(&session,
+                                     "DELETE stock item store\n"
+                                     "0 0 : 99\n"
+                                     "END\n"
+                                     "TWOBAG orders stock\n"
+                                     "STATS default\n");
+  ASSERT_GE(out.size(), 4u);
+  EXPECT_EQ(out[0].rfind("ERR E_RANGE", 0), 0u) << out[0];
+  EXPECT_NE(out[0].find("below zero"), std::string::npos) << out[0];
+  EXPECT_EQ(out[1], "OK CONSISTENT");
+  EXPECT_EQ(out[6], "generation 1");
+
+  // The failed delta corrupted nothing: a valid one on the same bag
+  // commits cleanly right after.
+  out = Feed(&session, "INSERT stock item store\n2 1 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "OK INSERT stock 1 rows 2 bags 1 reused");
+
+  // Same all-or-nothing on the staged path (no seal lineage): a below-
+  // zero DELETE against a freshly loaded bag leaves it loadable and
+  // sealable with its original rows.
+  ServerSession staged(&registry, nullptr);
+  out = Feed(&staged,
+             "ATTACH tenant_staged\n"
+             "DICT item 1\napple\nEND\n"
+             "LOADU32 r item\n0 : 2\nEND\n"
+             "DELETE r item\n0 : 3\nEND\n"
+             "LOADU32 s item\n0 : 2\nEND\n"
+             "SEAL\nTWOBAG r s\n");
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[3].rfind("ERR E_RANGE", 0), 0u) << out[3];
+  EXPECT_EQ(out[5], "OK SEAL 2 bags");
+  EXPECT_EQ(out[6], "OK CONSISTENT");  // r kept both copies
+}
+
+TEST(ServerSessionTest, MutateBeforeSealStagesIntoTheLoadedBag) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+
+  // No seal yet: the delta lands on the loaded bag only ("staged") and
+  // the following SEAL serves the mutated rows.
+  std::vector<std::string> out = Feed(&session,
+                                     "DICT item 2\napple\nbanana\nEND\n"
+                                     "LOADU32 r item\n0 : 1\nEND\n"
+                                     "LOADU32 s item\n0 : 1\n1 : 1\nEND\n"
+                                     "INSERT r item\n1 : 1\nEND\n"
+                                     "SEAL\nTWOBAG r s\n");
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[3], "OK INSERT r 1 rows staged");
+  EXPECT_EQ(out[4], "OK SEAL 2 bags");
+  EXPECT_EQ(out[5], "OK CONSISTENT");  // r grew to match s
+
+  // A delta names attributes exactly as LOADU32 did; anything else is a
+  // parse error before any row is read.
+  out = Feed(&session, "INSERT r wrong\n0 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_PARSE", 0), 0u) << out[0];
+
+  // Mutating a bag this session never loaded (including stream-only
+  // names that exist solely in the sealed generation): E_STATE.
+  out = Feed(&session, "DELETE nosuch item\n0 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_STATE", 0), 0u) << out[0];
+  EXPECT_NE(out[0].find("not loaded"), std::string::npos) << out[0];
+
+  // An id the dictionary never issued: E_RANGE, same wording as LOADU32.
+  out = Feed(&session, "INSERT r item\n9 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].rfind("ERR E_RANGE", 0), 0u) << out[0];
+  EXPECT_NE(out[0].find("never issued"), std::string::npos) << out[0];
+
+  // Interning after the seal (dictionary growth) demotes the next delta
+  // to the staged path: the sealed generation's dictionary clone no
+  // longer matches the session's.
+  out = Feed(&session,
+             "DICT extra 1\nx\nEND\n"
+             "INSERT r item\n0 : 1\nEND\n");
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1], "OK INSERT r 1 rows staged");
+}
+
+TEST(ServerSessionTest, MutateFramesMirrorTheTextGrammar) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+  std::string raw;
+  session.HandleData("UPGRADE BINARY\n", &raw);
+  ASSERT_TRUE(session.binary_mode());
+
+  auto frame = [](uint8_t opcode, const std::string& payload) {
+    std::string f;
+    WireAppendFrame(&f, opcode, payload);
+    return f;
+  };
+  auto read_frames = [](const std::string& out) {
+    std::vector<std::pair<uint8_t, std::string>> frames;
+    size_t pos = 0;
+    while (pos + kWireFrameHeaderBytes <= out.size()) {
+      WireCursor header(
+          std::string_view(out).substr(pos, kWireFrameHeaderBytes));
+      uint32_t len = 0;
+      uint8_t opcode = 0;
+      EXPECT_TRUE(header.U32(&len) && header.U8(&opcode));
+      frames.emplace_back(opcode, out.substr(pos + kWireFrameHeaderBytes, len));
+      pos += kWireFrameHeaderBytes + len;
+    }
+    EXPECT_EQ(pos, out.size());
+    return frames;
+  };
+
+  // INSERT frame, ROWS grammar: name, ncols, column names, nrows, then
+  // fixed-width rows of ncols u32 ids + a u64 count.
+  std::string payload;
+  WireAppendString(&payload, "stock");
+  WireAppendU32(&payload, 2);
+  WireAppendString(&payload, "item");
+  WireAppendString(&payload, "store");
+  WireAppendU64(&payload, 1);
+  WireAppendU32(&payload, 2);  // cherry
+  WireAppendU32(&payload, 0);  // downtown
+  WireAppendU64(&payload, 5);
+  raw.clear();
+  session.HandleData(frame(kFrameInsert, payload), &raw);
+  auto frames = read_frames(raw);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, kFrameOk);
+  EXPECT_EQ(frames[0].second, "INSERT stock 1 rows 2 bags 1 reused");
+
+  // The DELETE frame undoes it; verdicts (queried over frames too) agree
+  // with the text session's view of the same collection.
+  payload.clear();
+  WireAppendString(&payload, "stock");
+  WireAppendU32(&payload, 2);
+  WireAppendString(&payload, "item");
+  WireAppendString(&payload, "store");
+  WireAppendU64(&payload, 1);
+  WireAppendU32(&payload, 2);
+  WireAppendU32(&payload, 0);
+  WireAppendU64(&payload, 5);
+  raw.clear();
+  session.HandleData(frame(kFrameDelete, payload) + frame(kFramePairwise, ""),
+                     &raw);
+  frames = read_frames(raw);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].first, kFrameOk);
+  EXPECT_EQ(frames[0].second, "DELETE stock 1 rows 2 bags 1 reused");
+  EXPECT_EQ(frames[1].first, kFrameVerdict);
+  EXPECT_EQ(static_cast<uint8_t>(frames[1].second[0]), 1u);  // consistent
+
+  // A frame whose declared row count disagrees with its byte length is
+  // refused whole — no partial delta is read.
+  payload.clear();
+  WireAppendString(&payload, "stock");
+  WireAppendU32(&payload, 2);
+  WireAppendString(&payload, "item");
+  WireAppendString(&payload, "store");
+  WireAppendU64(&payload, 2);  // claims two rows, carries one
+  WireAppendU32(&payload, 0);
+  WireAppendU32(&payload, 0);
+  WireAppendU64(&payload, 1);
+  raw.clear();
+  session.HandleData(frame(kFrameInsert, payload), &raw);
+  frames = read_frames(raw);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, kFrameErr);
+  EXPECT_EQ(frames[0].second[0], static_cast<char>(WireErrorTag(WireError::kParse)));
+
+  // In binary mode the text body form is refused by verb name.
+  raw.clear();
+  session.HandleData(frame(kFrameCmd, "INSERT stock item store"), &raw);
+  frames = read_frames(raw);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, kFrameErr);
+  EXPECT_NE(frames[0].second.find("INSERT"), std::string::npos);
 }
 
 TEST(ServerSessionTest, BinaryModeRules) {
