@@ -90,7 +90,10 @@
 #include "tuple/segment.h"
 #include "tuple/tuple_index.h"
 #include "tuple/value_dictionary.h"
+#include "solver/lp.h"
 #include "util/random.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
 
 // Injected by CMake so the artifact records how the binary was compiled.
 #ifndef BAGC_COMPILE_FLAGS
@@ -348,7 +351,9 @@ StringWorkload MakeStringWorkload(const BagCollection& numeric) {
     table.reserve(b.SupportSize());
     BagBuilder builder(b.schema());
     builder.Reserve(b.SupportSize());
-    for (const auto& [t, mult] : b.entries()) {
+    for (size_t e = 0; e < b.SupportSize(); ++e) {
+      Tuple t = b.RowAt(e);
+      uint64_t mult = b.MultiplicityAt(e);
       StrRow row(b.schema().arity());
       for (size_t i = 0; i < row.size(); ++i) row[i] = Token(b.schema().at(i), t.at(i));
       if (!builder.AddExternal(row, mult, w.dicts.get()).ok()) std::abort();
@@ -550,11 +555,11 @@ std::string SessionLoadU32Blocks(const StringWorkload& w,
     script += "LOADU32 b" + std::to_string(b);
     for (AttrId a : bag.schema().attrs()) script += " " + catalog.Name(a);
     script += "\n";
-    for (const auto& [t, mult] : bag.entries()) {
-      for (size_t i = 0; i < t.arity(); ++i) {
-        script += std::to_string(t.id(i)) + " ";
+    for (size_t e = 0; e < bag.SupportSize(); ++e) {
+      for (size_t i = 0; i < bag.schema().arity(); ++i) {
+        script += std::to_string(bag.IdAt(e, i)) + " ";
       }
-      script += ": " + std::to_string(mult) + "\n";
+      script += ": " + std::to_string(bag.MultiplicityAt(e)) + "\n";
     }
     script += "END\n";
   }
@@ -636,9 +641,11 @@ std::string BinaryIngestCycle(const StringWorkload& w,
       WireAppendString(&payload, catalog.Name(a));
     }
     WireAppendU64(&payload, bag.SupportSize());
-    for (const auto& [t, mult] : bag.entries()) {
-      for (size_t i = 0; i < t.arity(); ++i) WireAppendU32(&payload, t.id(i));
-      WireAppendU64(&payload, mult);
+    for (size_t e = 0; e < bag.SupportSize(); ++e) {
+      for (size_t i = 0; i < bag.schema().arity(); ++i) {
+        WireAppendU32(&payload, bag.IdAt(e, i));
+      }
+      WireAppendU64(&payload, bag.MultiplicityAt(e));
     }
     WireAppendFrame(&frames, kFrameRows, payload);
   }
@@ -835,11 +842,11 @@ void RunServerSessionSuite(std::vector<BenchResult>* results) {
     const Bag& b0 = w.interned.bag(0);
     for (AttrId a : b0.schema().attrs()) reload_b0 += " " + catalog.Name(a);
     reload_b0 += "\n";
-    for (const auto& [t, mult] : b0.entries()) {
-      for (size_t i = 0; i < t.arity(); ++i) {
-        reload_b0 += std::to_string(t.id(i)) + " ";
+    for (size_t e = 0; e < b0.SupportSize(); ++e) {
+      for (size_t i = 0; i < b0.schema().arity(); ++i) {
+        reload_b0 += std::to_string(b0.IdAt(e, i)) + " ";
       }
-      reload_b0 += ": " + std::to_string(mult) + "\n";
+      reload_b0 += ": " + std::to_string(b0.MultiplicityAt(e)) + "\n";
     }
     reload_b0 += "END\n";
 
@@ -905,11 +912,11 @@ void RunDeltaStreamSuite(std::vector<BenchResult>* results) {
                       std::to_string(b);
     for (AttrId a : bag.schema().attrs()) out += " " + catalog.Name(a);
     out += "\n";
-    for (const auto& [t, mult] : bag.entries()) {
-      for (size_t i = 0; i < t.arity(); ++i) {
-        out += std::to_string(t.id(i)) + " ";
+    for (size_t e = 0; e < bag.SupportSize(); ++e) {
+      for (size_t i = 0; i < bag.schema().arity(); ++i) {
+        out += std::to_string(bag.IdAt(e, i)) + " ";
       }
-      out += ": " + std::to_string(mult) + "\n";
+      out += ": " + std::to_string(bag.MultiplicityAt(e)) + "\n";
     }
     return out + "END\n";
   };
@@ -1041,21 +1048,33 @@ void RunColumnarProbeSuite(std::vector<BenchResult>* results) {
     Schema shared = Schema::Intersect(r.schema(), s.schema());
     Projector r_shared = *Projector::Make(r.schema(), shared);
     Projector s_shared = *Projector::Make(s.schema(), shared);
+    // Marginals come back columnar-sealed now; the row leg measures the
+    // PR 3 per-Tuple path, so materialize row-form twins for it (a
+    // same-value Set de-seals without changing a single multiplicity).
+    Bag r_rows = r;
+    Bag s_rows = s;
+    if (!r_rows.Set(r_rows.RowAt(0), r_rows.MultiplicityAt(0)).ok() ||
+        !s_rows.Set(s_rows.RowAt(0), s_rows.MultiplicityAt(0)).ok()) {
+      std::abort();
+    }
     BenchResult rows = Measure("probe_batch_rows", support, [&] {
-      TupleIndex index(s.SupportSize());
-      for (size_t j = 0; j < s.SupportSize(); ++j) {
-        index.Insert(s.entries()[j].first.Project(s_shared),
+      TupleIndex index(s_rows.SupportSize());
+      for (size_t j = 0; j < s_rows.SupportSize(); ++j) {
+        index.Insert(s_rows.entries()[j].first.Project(s_shared),
                      static_cast<uint32_t>(j));
       }
       size_t hits = 0;
-      for (const auto& [x, mult] : r.entries()) {
+      for (const auto& [x, mult] : r_rows.entries()) {
         if (index.Find(x.Project(r_shared)) != nullptr) ++hits;
       }
       if (hits == 0) std::abort();
     });
     BenchResult columnar = Measure("probe_batch_columnar", support, [&] {
-      // The exact kernel Bag::Join / ConsistencyNetwork::Assign run.
-      ColumnJoinMatch match(r.entries(), r_shared, s.entries(), s_shared);
+      // The exact kernel Bag::Join / ConsistencyNetwork::Assign run:
+      // zero-copy shared-column views over the columnar-sealed bags.
+      ColumnStore r_backing, s_backing;
+      ColumnJoinMatch match(r.ProjectedView(r_shared, &r_backing),
+                            s.ProjectedView(s_shared, &s_backing));
       size_t hits = 0;
       for (size_t i = 0; i < r.SupportSize(); ++i) {
         hits += (match.MatchOf(i) != ColumnJoinMatch::kNoMatch);
@@ -1065,6 +1084,138 @@ void RunColumnarProbeSuite(std::vector<BenchResult>* results) {
     columnar.baseline_ops_per_sec = rows.ops_per_sec;
     results->push_back(std::move(rows));
     results->push_back(std::move(columnar));
+  }
+
+  // SIMD-explicit kernel legs: each dispatched batch kernel at kScalar
+  // (the differential twin) vs the best level this host executes. Same
+  // inputs, bit-identical outputs — the artifact records the pure ISA
+  // speedup with the columnar layout held constant.
+  const simd::SimdLevel best = simd::Resolve(simd::SimdLevel::kAuto);
+  for (size_t support : {4096, 65536}) {
+    Rng rng(14000 + support);
+    std::vector<ValueId> data(support * 3);
+    for (ValueId& v : data) v = static_cast<ValueId>(rng.Next() % (1u << 16));
+    ColumnStore store =
+        ColumnStore::FromColumnMajor(std::move(data), support, 3);
+    std::vector<uint64_t> hashes;
+    BenchResult scalar = Measure("hash_rows_scalar", support, [&] {
+      store.View().HashRows(&hashes, simd::SimdLevel::kScalar);
+      if (hashes.empty()) std::abort();
+    });
+    BenchResult vec = Measure("hash_rows_simd", support, [&] {
+      store.View().HashRows(&hashes, best);
+      if (hashes.empty()) std::abort();
+    });
+    vec.baseline_ops_per_sec = scalar.ops_per_sec;
+    results->push_back(std::move(scalar));
+    results->push_back(std::move(vec));
+  }
+  for (size_t support : {4096, 65536}) {
+    Rng rng(15000 + support);
+    std::vector<ValueId> keys(support * 2), probes(support * 2);
+    for (ValueId& v : keys) v = static_cast<ValueId>(rng.Next() % (support / 8));
+    for (ValueId& v : probes) v = static_cast<ValueId>(rng.Next() % (support / 4));
+    ColumnStore key_store =
+        ColumnStore::FromColumnMajor(std::move(keys), support, 2);
+    ColumnStore probe_store =
+        ColumnStore::FromColumnMajor(std::move(probes), support, 2);
+    std::vector<uint32_t> matched;
+    ColumnIndex scalar_index(key_store.View(), simd::SimdLevel::kScalar);
+    ColumnIndex simd_index(key_store.View(), best);
+    BenchResult scalar = Measure("probe_all_scalar", support, [&] {
+      scalar_index.ProbeAll(probe_store.View(), &matched);
+      if (matched.size() != support) std::abort();
+    });
+    BenchResult vec = Measure("probe_all_simd", support, [&] {
+      simd_index.ProbeAll(probe_store.View(), &matched);
+      if (matched.size() != support) std::abort();
+    });
+    vec.baseline_ops_per_sec = scalar.ops_per_sec;
+    results->push_back(std::move(scalar));
+    results->push_back(std::move(vec));
+  }
+  for (size_t support : {4096, 65536}) {
+    Rng rng(16000 + support);
+    // Dense arity-2 keys: the radix group-by with SIMD max/pack against
+    // the scalar hash-group twin.
+    std::vector<ValueId> data(support * 2);
+    for (ValueId& v : data) v = static_cast<ValueId>(rng.Next() % 64);
+    ColumnStore store =
+        ColumnStore::FromColumnMajor(std::move(data), support, 2);
+    std::vector<uint64_t> mults(support);
+    for (uint64_t& m : mults) m = 1 + rng.Next() % 1000;
+    Schema z{{0, 1}};
+    BenchResult scalar = Measure("group_columns_scalar", support, [&] {
+      Bag m = *Bag::GroupColumns(z, store.View(), mults.data(), support,
+                                 simd::SimdLevel::kScalar);
+      if (m.SupportSize() == 0) std::abort();
+    });
+    BenchResult vec = Measure("group_columns_simd", support, [&] {
+      Bag m = *Bag::GroupColumns(z, store.View(), mults.data(), support, best);
+      if (m.SupportSize() == 0) std::abort();
+    });
+    vec.baseline_ops_per_sec = scalar.ops_per_sec;
+    results->push_back(std::move(scalar));
+    results->push_back(std::move(vec));
+  }
+
+  // P(R1..Rm) LP row builder, serial vs engine-pool parallel (per-bag
+  // blocks, deterministic merge — the rows are byte-identical). On a
+  // single-CPU host the ratio measures scheduling overhead, and the
+  // artifact says so (single_cpu_warning).
+  if (std::thread::hardware_concurrency() <= 1) {
+    g_parallel_legs_on_single_cpu = true;
+  }
+  for (size_t support : {256, 1024}) {
+    // Path schema keeps the join support under the LP cap (a circulant
+    // blows past it); the small domain still yields tens of thousands
+    // of LP variables at the top size.
+    Rng rng(17000 + support);
+    BagGenOptions gen;
+    gen.support_size = support;
+    gen.domain_size = std::max<uint64_t>(4, support / 64);
+    gen.max_multiplicity = 1u << 10;
+    Hypergraph h = *MakePath(4);
+    BagCollection c = *MakeGloballyConsistentCollection(h, gen, &rng);
+    ThreadPool pool(4);
+    BenchResult serial = Measure("lp_build_serial", support, [&] {
+      ConsistencyLp lp = *BuildConsistencyLp(c.bags());
+      if (lp.rows.empty()) std::abort();
+    });
+    BenchResult parallel = Measure("lp_build_parallel_t4", support, [&] {
+      ConsistencyLp lp = *BuildConsistencyLp(c.bags(), 1u << 22, &pool);
+      if (lp.rows.empty()) std::abort();
+    });
+    parallel.baseline_ops_per_sec = serial.ops_per_sec;
+    results->push_back(std::move(serial));
+    results->push_back(std::move(parallel));
+  }
+
+  // Sealed resident bytes, row-path vs columnar-only seal of the same
+  // collection — raw byte counts, not rates (iterations = 1, no
+  // baseline/speedup: for memory, lower is better; the README quotes
+  // the ratio directly).
+  for (size_t support : {1024, 4096}) {
+    BagCollection rows_c = MakeColumnarSweepCollection(support, 18000 + support);
+    BagCollection cols_c = MakeColumnarSweepCollection(support, 18000 + support);
+    EngineOptions rows_opt;
+    rows_opt.marginal_path = MarginalPath::kRows;
+    ConsistencyEngine rows_engine =
+        *ConsistencyEngine::Make(std::move(rows_c), rows_opt);
+    ConsistencyEngine cols_engine =
+        *ConsistencyEngine::Make(std::move(cols_c), EngineOptions{});
+    BenchResult rows_mem;
+    rows_mem.name = "sealed_bytes_rows";
+    rows_mem.size = support;
+    rows_mem.ops_per_sec = static_cast<double>(rows_engine.ApproxSealedBytes());
+    rows_mem.iterations = 1;
+    BenchResult cols_mem;
+    cols_mem.name = "sealed_bytes_columnar";
+    cols_mem.size = support;
+    cols_mem.ops_per_sec = static_cast<double>(cols_engine.ApproxSealedBytes());
+    cols_mem.iterations = 1;
+    results->push_back(std::move(rows_mem));
+    results->push_back(std::move(cols_mem));
   }
 }
 

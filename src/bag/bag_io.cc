@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "tuple/tuple_index.h"
+#include "util/simd.h"
 
 namespace bagc {
 
@@ -94,7 +95,8 @@ std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog,
       slot_dict[i] = dicts->find_dict(bag.schema().at(i));
     }
   }
-  for (const auto& [t, mult] : bag.entries()) {
+  for (size_t e = 0; e < bag.SupportSize(); ++e) {
+    Tuple t = bag.RowAt(e);  // text write-out is a designated cold path
     for (size_t i = 0; i < t.arity(); ++i) {
       const ValueDictionary* d = slot_dict[i];
       if (d != nullptr && t.id(i) < d->size()) {
@@ -103,7 +105,7 @@ std::string WriteBag(const Bag& bag, const AttributeCatalog& catalog,
         out += std::to_string(t.at(i)) + " ";
       }
     }
-    out += ": " + std::to_string(mult) + "\n";
+    out += ": " + std::to_string(bag.MultiplicityAt(e)) + "\n";
   }
   out += "end\n";
   return out;
@@ -310,6 +312,69 @@ Result<Bag> BagFromU32Columns(const std::vector<std::string>& attr_names,
     }
   }
   return builder.Build();
+}
+
+Result<Bag> BagBorrowU32Columns(const std::vector<std::string>& attr_names,
+                                const ColumnView& columns,
+                                const uint64_t* mults,
+                                AttributeCatalog* catalog,
+                                const DictionarySet& dicts,
+                                std::shared_ptr<const void> keep_alive) {
+  if (attr_names.size() != columns.arity()) {
+    return Status::InvalidArgument("attribute names do not match column count");
+  }
+  if (attr_names.empty()) {
+    return Status::InvalidArgument("a bag needs at least one attribute");
+  }
+  std::vector<AttrId> attrs;
+  attrs.reserve(attr_names.size());
+  for (const std::string& name : attr_names) {
+    attrs.push_back(catalog->Intern(name));
+  }
+  Schema schema{attrs};
+  if (schema.arity() != attrs.size()) {
+    return Status::InvalidArgument("duplicate attribute in bag header");
+  }
+  // Borrowing cannot permute: the mapped columns are served exactly as
+  // written, so column c must already be schema slot c.
+  if (schema.attrs() != attrs) {
+    return Status::FailedPrecondition(
+        "segment columns are not in sorted-schema order; re-ingest by copy");
+  }
+  size_t n = columns.num_rows();
+  const ValueId* base = columns.column(0);
+  for (size_t c = 0; c < attrs.size(); ++c) {
+    const ValueDictionary* dict = dicts.find_dict(attrs[c]);
+    if (dict == nullptr) {
+      return Status::FailedPrecondition(
+          "u32 rows require a dictionary for attribute '" + attr_names[c] +
+          "'; ship its DICT block first");
+    }
+    // BorrowColumnar wants one contiguous column-major block; segment
+    // columns are laid out that way, anything else falls back to a copy.
+    if (columns.column(c) != base + c * n) {
+      return Status::FailedPrecondition(
+          "segment columns are not contiguous column-major");
+    }
+    // Bounds check the whole column at once (SIMD max-reduce) instead of
+    // per-row: every id a column carries must have been issued by its
+    // dictionary.
+    if (n > 0) {
+      uint32_t max_id = simd::MaxU32(columns.column(c), n,
+                                     simd::SimdLevel::kAuto);
+      if (max_id >= dict->size()) {
+        return Status::OutOfRange(
+            "row id " + std::to_string(max_id) +
+            " was never issued for attribute '" + attr_names[c] +
+            "' (dictionary has " + std::to_string(dict->size()) + " values)");
+      }
+    }
+  }
+  // BorrowColumnar validates the remaining sealed invariants: rows
+  // strictly ascending (which also rules out duplicates) and every
+  // multiplicity positive.
+  return Bag::BorrowColumnar(std::move(schema), base, mults, n,
+                             std::move(keep_alive));
 }
 
 Result<std::vector<Bag>> ParseCollection(const std::string& input,

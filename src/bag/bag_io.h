@@ -18,6 +18,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -82,6 +83,23 @@ Result<Bag> BagFromU32Columns(const std::vector<std::string>& attr_names,
                               const ColumnView& columns, const uint64_t* mults,
                               AttributeCatalog* catalog,
                               const DictionarySet& dicts);
+
+/// Zero-copy twin of BagFromU32Columns for mmap'd sealed-bag segments:
+/// validates the columns in place and serves them through
+/// Bag::BorrowColumnar, so the bag holds no row vector and no column
+/// copy — `keep_alive` (the shared SegmentReader) pins the mapping.
+/// Stricter than the copying arm by design: the columns must already be
+/// in sorted-schema slot order, contiguous column-major, strictly
+/// row-ascending, with no zero multiplicities — exactly what
+/// EncodeSegment writes. Anything else (a permuted or hand-built
+/// segment) returns a status; callers fall back to BagFromU32Columns,
+/// which re-sorts and filters.
+Result<Bag> BagBorrowU32Columns(const std::vector<std::string>& attr_names,
+                                const ColumnView& columns,
+                                const uint64_t* mults,
+                                AttributeCatalog* catalog,
+                                const DictionarySet& dicts,
+                                std::shared_ptr<const void> keep_alive);
 
 /// Parses an entire collection document. All bags share `catalog` (and
 /// `dicts` when given), so shared attribute names — and shared values on

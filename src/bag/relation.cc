@@ -71,10 +71,11 @@ Result<Relation> Relation::Semijoin(const Relation& r, const Relation& s) {
 
 Relation Relation::SupportOf(const Bag& bag) {
   Relation out(bag.schema());
-  // Bag entries are sorted, so the end hint makes each insert O(1).
-  for (const auto& [t, mult] : bag.entries()) {
-    (void)mult;
-    out.tuples_.insert(out.tuples_.end(), t);
+  // Bag rows are sorted, so the end hint makes each insert O(1). RowAt
+  // materializes from either representation (flat rows or sealed columns).
+  size_t n = bag.SupportSize();
+  for (size_t i = 0; i < n; ++i) {
+    out.tuples_.insert(out.tuples_.end(), bag.RowAt(i));
   }
   return out;
 }

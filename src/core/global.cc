@@ -51,9 +51,8 @@ Result<Bag> MinimizeWitnessSupport(const BagCollection& collection,
   }
   std::vector<Tuple> support;
   support.reserve(witness.SupportSize());
-  for (const auto& [t, mult] : witness.entries()) {
-    (void)mult;
-    support.push_back(t);
+  for (size_t e = 0; e < witness.SupportSize(); ++e) {
+    support.push_back(witness.RowAt(e));
   }
   // Greedy: try dropping each support tuple; keep the drop when the
   // restricted program stays feasible.

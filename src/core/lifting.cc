@@ -129,10 +129,11 @@ Result<std::vector<Bag>> LiftCollection(const LiftPlan& plan,
         }
         BagBuilder builder(x);
         builder.Reserve(current[i].SupportSize());
-        for (const auto& [t, mult] : current[i].entries()) {
-          BAGC_ASSIGN_OR_RETURN(Tuple tx,
-                                InsertAt(t, x, op.vertex, plan.default_value));
-          BAGC_RETURN_NOT_OK(builder.Add(std::move(tx), mult));
+        for (size_t e = 0; e < current[i].SupportSize(); ++e) {
+          BAGC_ASSIGN_OR_RETURN(
+              Tuple tx, InsertAt(current[i].RowAt(e), x, op.vertex,
+                                 plan.default_value));
+          BAGC_RETURN_NOT_OK(builder.Add(std::move(tx), current[i].MultiplicityAt(e)));
         }
         BAGC_ASSIGN_OR_RETURN(Bag r, builder.Build());
         lifted.push_back(std::move(r));

@@ -30,18 +30,20 @@ Result<BagCollection> CanonicalizeCollection(const BagCollection& collection,
   for (const Bag& b : collection.bags()) {
     BagBuilder builder(b.schema());
     builder.Reserve(b.SupportSize());
-    for (const auto& [t, mult] : b.entries()) {
-      std::vector<ValueId> ids(t.arity());
-      for (size_t s = 0; s < t.arity(); ++s) {
+    const size_t arity = b.schema().arity();
+    for (size_t e = 0; e < b.SupportSize(); ++e) {
+      std::vector<ValueId> ids(arity);
+      for (size_t s = 0; s < arity; ++s) {
         AttrId a = b.schema().at(s);
-        if (a >= remaps.size() || t.id(s) >= remaps[a].size()) {
+        ValueId id = b.IdAt(e, s);
+        if (a >= remaps.size() || id >= remaps[a].size()) {
           return Status::InvalidArgument(
               "canonicalize_dictionaries: a row id was not issued by the "
               "engine's dictionary set");
         }
-        ids[s] = remaps[a][t.id(s)];
+        ids[s] = remaps[a][id];
       }
-      BAGC_RETURN_NOT_OK(builder.Add(Tuple::OfIds(std::move(ids)), mult));
+      BAGC_RETURN_NOT_OK(builder.Add(Tuple::OfIds(std::move(ids)), b.MultiplicityAt(e)));
     }
     BAGC_ASSIGN_OR_RETURN(Bag sealed, builder.Build());
     rewritten.push_back(std::move(sealed));
@@ -93,6 +95,29 @@ Result<ConsistencyEngine> ConsistencyEngine::MakeImpl(
         CanonicalizeCollection(*engine.collection_, options.dictionaries.get()));
     engine.owned_ = std::make_shared<const BagCollection>(std::move(canonical));
     engine.collection_ = engine.owned_.get();
+  }
+  // Owned hot-path bags go columnar-only at seal time: the flat entry
+  // vector is dropped and the ColumnStore becomes the bag (rows are
+  // reconstructed on cold paths via RowAt). Bags already columnar — e.g.
+  // adopted from a previous generation by MakeDelta — are left untouched;
+  // borrowed collections (MakeView) are never mutated.
+  if (engine.owned_ != nullptr && options.marginal_path != MarginalPath::kRows) {
+    size_t min_rows = options.columnar_min_rows == 0 ? kColumnarMinRows
+                                                     : options.columnar_min_rows;
+    bool convert = false;
+    for (const Bag& b : engine.collection_->bags()) {
+      convert |= !b.columnar_sealed() && b.SupportSize() >= min_rows;
+    }
+    if (convert) {
+      std::vector<Bag> bags = engine.collection_->bags();
+      for (Bag& b : bags) {
+        if (b.SupportSize() >= min_rows) b.SealColumnar();
+      }
+      BAGC_ASSIGN_OR_RETURN(BagCollection sealed,
+                            BagCollection::Make(std::move(bags)));
+      engine.owned_ = std::make_shared<const BagCollection>(std::move(sealed));
+      engine.collection_ = engine.owned_.get();
+    }
   }
   if (options.num_threads > 1) {
     engine.pool_ = std::make_unique<ThreadPool>(options.num_threads);
@@ -217,15 +242,25 @@ Status ConsistencyEngine::EnsureFilled(CachedProjection* slot, size_t bag_index)
   const Bag& bag = collection_->bag(bag_index);
   Bag marginal;
   if (UseColumnar(bag_index)) {
-    // One SoA transpose per bag, shared by all its sealed projections;
+    // One SoA transpose per bag, shared by all its sealed projections
+    // (columnar-sealed bags alias their own store — no transpose at all);
     // each fill is a zero-copy column select plus a batch hash-group.
     BAGC_ASSIGN_OR_RETURN(Projector proj,
                           Projector::Make(bag.schema(), slot->schema));
-    BAGC_ASSIGN_OR_RETURN(
-        marginal,
-        Bag::GroupColumns(slot->schema,
-                          EnsureColumns(bag_index).View().Select(proj),
-                          bag.entries()));
+    if (bag.columnar_sealed()) {
+      BAGC_ASSIGN_OR_RETURN(
+          marginal,
+          Bag::GroupColumns(slot->schema,
+                            EnsureColumns(bag_index).View().Select(proj),
+                            bag.MultiplicityData(), bag.SupportSize(),
+                            options_.simd));
+    } else {
+      BAGC_ASSIGN_OR_RETURN(
+          marginal,
+          Bag::GroupColumns(slot->schema,
+                            EnsureColumns(bag_index).View().Select(proj),
+                            bag.entries()));
+    }
   } else {
     BAGC_ASSIGN_OR_RETURN(marginal, bag.MarginalRows(slot->schema));
   }
@@ -233,6 +268,11 @@ Status ConsistencyEngine::EnsureFilled(CachedProjection* slot, size_t bag_index)
   slot->filled = true;
   marginal_fills_->fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+size_t ConsistencyEngine::ColumnarMinRows() const {
+  return options_.columnar_min_rows == 0 ? kColumnarMinRows
+                                         : options_.columnar_min_rows;
 }
 
 bool ConsistencyEngine::UseColumnar(size_t bag_index) const {
@@ -243,15 +283,24 @@ bool ConsistencyEngine::UseColumnar(size_t bag_index) const {
       return true;
     case MarginalPath::kAuto:
     default:
-      return collection_->bag(bag_index).SupportSize() >= kColumnarMinRows;
+      // Columnar-sealed bags have no row path to fall back to; size-based
+      // dispatch only applies to bags still holding flat rows.
+      return collection_->bag(bag_index).columnar_sealed() ||
+             collection_->bag(bag_index).SupportSize() >= ColumnarMinRows();
   }
 }
 
 const ColumnStore& ConsistencyEngine::EnsureColumns(size_t bag_index) {
   std::shared_ptr<const ColumnStore>& store = bag_columns_[bag_index];
   if (store == nullptr) {
-    store = std::make_shared<const ColumnStore>(
-        collection_->bag(bag_index).ToColumns());
+    const Bag& bag = collection_->bag(bag_index);
+    if (bag.columnar_sealed()) {
+      // The bag IS column-major already: alias its live store instead of
+      // re-transposing (zero bytes, shared lifetime via the aliasing ptr).
+      store = bag.SharedColumns();
+    } else {
+      store = std::make_shared<const ColumnStore>(bag.ToColumns());
+    }
   }
   return *store;
 }
@@ -562,7 +611,9 @@ Result<std::optional<Bag>> ConsistencyEngine::SolveGlobalAcyclic(
   std::vector<Bag> next_marginal(steps);
   std::vector<Status> marginal_status(steps, Status::OK());
   auto build_step = [&](size_t i) {
-    Result<Bag> m = edge_bag[rip_order[i]]->Marginal(step_shared[i]);
+    Result<Bag> m = edge_bag[rip_order[i]]->Marginal(step_shared[i],
+                                                     ColumnarMinRows(),
+                                                     options_.simd);
     if (m.ok()) {
       next_marginal[i] = std::move(m).value();
     } else {
@@ -604,7 +655,8 @@ Result<std::optional<Bag>> ConsistencyEngine::SolveGlobalExact() {
   if (!pairwise.consistent) return std::optional<Bag>();
   BAGC_ASSIGN_OR_RETURN(
       ConsistencyLp lp,
-      BuildConsistencyLp(collection_->bags(), options_.global.max_join_support));
+      BuildConsistencyLp(collection_->bags(), options_.global.max_join_support,
+                         pool_.get()));
   BAGC_ASSIGN_OR_RETURN(auto solution,
                         SolveIntegerFeasibility(lp, options_.global.search));
   if (!solution.has_value()) return std::optional<Bag>();
@@ -656,6 +708,12 @@ Result<DeltaOutcome> ConsistencyEngine::ApplyDelta(
   Bag mutated = bag;
   BAGC_RETURN_NOT_OK(mutated.ApplyRowDeltas(
       std::vector<std::pair<Tuple, int64_t>>(net.begin(), net.end())));
+  // Delta staging materialized flat rows; restore the columnar-only
+  // invariant for hot bags before the new generation is published.
+  if (options_.marginal_path != MarginalPath::kRows &&
+      mutated.SupportSize() >= ColumnarMinRows()) {
+    mutated.SealColumnar();
+  }
 
   // Adjust each cached marginal of the bag from the *projected* nets
   // (Equation (2) is linear in multiplicities): a known group's net is a
@@ -698,6 +756,9 @@ Result<DeltaOutcome> ConsistencyEngine::ApplyDelta(
       }
       BAGC_RETURN_NOT_OK(next.Set(pt, updated));
     }
+    // The adjustment ran on flat rows; re-seal when the cached marginal
+    // was columnar so adjusted slots keep the sealed-bytes reduction.
+    if (slot.marginal->columnar_sealed()) next.SealColumnar();
     staged[k] = std::move(next);
   }
 
@@ -793,23 +854,25 @@ Result<ConsistencyEngine> ConsistencyEngine::MakeDelta(
 }
 
 size_t ConsistencyEngine::ApproxSealedBytes() const {
-  // Per-entry cost of the flat storage: the pair's inline Tuple vector +
-  // multiplicity, plus the heap id row. Constants are estimates; the
-  // budget accounting only needs a monotone, deterministic measure.
-  auto bag_bytes = [](const Bag& b) {
-    return size_t{64} + b.SupportSize() * (32 + 4 * b.schema().arity());
-  };
+  // Representation-aware accounting (Bag::ApproxBytes): columnar-sealed
+  // bags charge their column store + multiplicity array, row bags the
+  // flat entry vector. The budget accounting only needs a monotone,
+  // deterministic measure.
   size_t total = 0;
-  for (const Bag& b : collection_->bags()) total += bag_bytes(b);
+  for (const Bag& b : collection_->bags()) total += b.ApproxBytes();
   for (const std::vector<CachedProjection>& row : cache_) {
     for (const CachedProjection& slot : row) {
-      if (slot.filled) total += bag_bytes(*slot.marginal);
+      if (slot.filled) total += slot.marginal->ApproxBytes();
     }
   }
-  for (const std::shared_ptr<const ColumnStore>& store : bag_columns_) {
-    if (store != nullptr) {
-      total += 64 + 4 * store->num_rows() * store->arity();
-    }
+  for (size_t i = 0; i < bag_columns_.size(); ++i) {
+    const std::shared_ptr<const ColumnStore>& store = bag_columns_[i];
+    if (store == nullptr) continue;
+    // A store aliasing a columnar-sealed bag's own columns holds no bytes
+    // of its own — the bag already charged them above.
+    const Bag& b = collection_->bag(i);
+    if (b.columnar_sealed() && store.get() == b.SharedColumns().get()) continue;
+    total += 64 + 4 * store->num_rows() * store->arity();
   }
   return total;
 }
@@ -831,13 +894,13 @@ Result<uint64_t> ConsistencyEngine::ProbeMarginal(size_t i, const Schema& z,
   if (!p->probe_built) {
     p->probe.Reserve(p->marginal->SupportSize());
     for (size_t e = 0; e < p->marginal->SupportSize(); ++e) {
-      p->probe.Insert(p->marginal->entries()[e].first, static_cast<uint32_t>(e));
+      p->probe.Insert(p->marginal->RowAt(e), static_cast<uint32_t>(e));
     }
     p->probe_built = true;
   }
   const std::vector<uint32_t>* ids = p->probe.Find(t);
   if (ids == nullptr || ids->empty()) return uint64_t{0};
-  return p->marginal->entries()[ids->front()].second;
+  return p->marginal->MultiplicityAt(ids->front());
 }
 
 }  // namespace bagc

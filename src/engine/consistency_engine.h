@@ -85,6 +85,17 @@ struct EngineOptions {
   /// Execution path for sealed marginal builds; verdicts are identical on
   /// every setting (pinned by the columnar differential leg).
   MarginalPath marginal_path = MarginalPath::kAuto;
+  /// Row-count crossover for MarginalPath::kAuto — bags at or above it
+  /// fill columnar, below it per-row. Also gates the owned-seal conversion
+  /// to columnar-only storage (the flat row vector is dropped; RowAt
+  /// reconstructs rows on cold paths). 0 means the library default,
+  /// kColumnarMinRows. bagcd exposes it as --columnar-min-rows.
+  size_t columnar_min_rows = 0;
+  /// ISA dispatch level for the vectorized kernels (batch row hashing,
+  /// gather-style probe, radix group-by). kAuto resolves to the best
+  /// level the host supports; every level is bit-identical to the scalar
+  /// twin (pinned by simd_kernel_test), so this only moves throughput.
+  simd::SimdLevel simd = simd::SimdLevel::kAuto;
 };
 
 /// Outcome of a pairwise sweep.
@@ -381,6 +392,9 @@ class ConsistencyEngine {
   // True when bag i's cache fills should group columnar under the
   // configured MarginalPath.
   bool UseColumnar(size_t bag_index) const;
+  // The effective kAuto crossover (options_.columnar_min_rows, or the
+  // library default when unset).
+  size_t ColumnarMinRows() const;
   // Bag i's ColumnStore, built on first use. NOT thread-safe: parallel
   // seals pre-build every store (one pool task per bag) before the slot
   // fills fan out, so fills only ever read it.

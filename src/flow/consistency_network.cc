@@ -28,12 +28,12 @@ Status ConsistencyNetwork::Assign(const Bag& r, const Bag& s) {
   sink_ = 1 + nr + ns;
 
   for (size_t i = 0; i < nr; ++i) {
-    uint64_t mult = r.entries()[i].second;
+    uint64_t mult = r.MultiplicityAt(i);
     BAGC_RETURN_NOT_OK(net_.AddEdge(source_, 1 + i, mult).status());
     BAGC_ASSIGN_OR_RETURN(source_capacity_, CheckedAdd(source_capacity_, mult));
   }
   for (size_t j = 0; j < ns; ++j) {
-    uint64_t mult = s.entries()[j].second;
+    uint64_t mult = s.MultiplicityAt(j);
     BAGC_RETURN_NOT_OK(net_.AddEdge(1 + nr + j, sink_, mult).status());
     BAGC_ASSIGN_OR_RETURN(sink_capacity_, CheckedAdd(sink_capacity_, mult));
   }
@@ -50,16 +50,19 @@ Status ConsistencyNetwork::Assign(const Bag& r, const Bag& s) {
                         Projector::Make(r.schema(), joiner.shared_schema()));
   BAGC_ASSIGN_OR_RETURN(Projector s_shared,
                         Projector::Make(s.schema(), joiner.shared_schema()));
-  ColumnJoinMatch match(r.entries(), r_shared, s.entries(), s_shared);
+  ColumnStore r_backing;
+  ColumnStore s_backing;
+  ColumnView r_view = r.ProjectedView(r_shared, &r_backing);
+  ColumnView s_view = s.ProjectedView(s_shared, &s_backing);
+  ColumnJoinMatch match(r_view, s_view);
   for (size_t i = 0; i < nr; ++i) {
     if (match.MatchOf(i) == ColumnJoinMatch::kNoMatch) continue;
-    const Tuple& x = r.entries()[i].first;
+    Tuple x = r.RowAt(i);  // middle-edge assembly materializes (cold)
     for (uint32_t j : match.RightRows(match.MatchOf(i))) {
-      const Tuple& y = s.entries()[j].first;
       BAGC_ASSIGN_OR_RETURN(
           FlowNetwork::EdgeId eid,
           net_.AddEdge(1 + i, 1 + nr + j, FlowNetwork::kUnbounded));
-      middle_.push_back({joiner.Join(x, y), eid});
+      middle_.push_back({joiner.Join(x, s.RowAt(j)), eid});
     }
   }
   return Status::OK();

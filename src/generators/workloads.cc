@@ -43,10 +43,8 @@ Result<std::pair<Bag, Bag>> MakeInconsistentPair(const Schema& x, const Schema& 
   // shared marginal (S unchanged); when the intersection is empty it
   // changes the total cardinality, which is the ∅-marginal.
   size_t pick = static_cast<size_t>(rng->Below(r.SupportSize()));
-  auto it = r.entries().begin();
-  std::advance(it, pick);
-  Tuple t = it->first;
-  uint64_t mult = it->second;
+  Tuple t = r.RowAt(pick);
+  uint64_t mult = r.MultiplicityAt(pick);
   BAGC_RETURN_NOT_OK(r.Set(t, mult + 1));
   return pair;
 }

@@ -41,9 +41,11 @@ Result<CycleInstance> ExtendCycle(const CycleInstance& input) {
   Schema rehomed_schema{{static_cast<AttrId>(n - 1), static_cast<AttrId>(n)}};
   BagBuilder rehomed_builder(rehomed_schema);
   rehomed_builder.Reserve(closing.SupportSize());
-  for (const auto& [t, mult] : closing.entries()) {
+  for (size_t e = 0; e < closing.SupportSize(); ++e) {
+    Tuple t = closing.RowAt(e);
     // New layout {n-1, n}: slot 0 = A_n = t.at(1), slot 1 = A_{n+1} = t.at(0).
-    BAGC_RETURN_NOT_OK(rehomed_builder.Add(Tuple{{t.at(1), t.at(0)}}, mult));
+    BAGC_RETURN_NOT_OK(
+        rehomed_builder.Add(Tuple{{t.at(1), t.at(0)}}, closing.MultiplicityAt(e)));
   }
   BAGC_ASSIGN_OR_RETURN(Bag rehomed, rehomed_builder.Build());
   out.bags.push_back(std::move(rehomed));
@@ -54,9 +56,11 @@ Result<CycleInstance> ExtendCycle(const CycleInstance& input) {
   BAGC_ASSIGN_OR_RETURN(Bag closing_a1, closing.Marginal(a1));
   Schema eq_schema{{static_cast<AttrId>(0), static_cast<AttrId>(n)}};
   Bag equality(eq_schema);
-  for (const auto& [t, mult] : closing_a1.entries()) {
+  for (size_t e = 0; e < closing_a1.SupportSize(); ++e) {
+    Tuple t = closing_a1.RowAt(e);
     // Layout {0, n}: slot 0 = A_1, slot 1 = A_{n+1}; both carry the value.
-    BAGC_RETURN_NOT_OK(equality.Set(Tuple{{t.at(0), t.at(0)}}, mult));
+    BAGC_RETURN_NOT_OK(
+        equality.Set(Tuple{{t.at(0), t.at(0)}}, closing_a1.MultiplicityAt(e)));
   }
   out.bags.push_back(std::move(equality));
   return out;
@@ -68,11 +72,13 @@ Result<Bag> ExtendCycleWitness(const CycleInstance& input, const Bag& witness) {
   for (size_t i = 0; i <= n; ++i) attrs[i] = static_cast<AttrId>(i);
   Schema extended{attrs};
   Bag out(extended);
-  for (const auto& [t, mult] : witness.entries()) {
+  for (size_t e = 0; e < witness.SupportSize(); ++e) {
+    Tuple t = witness.RowAt(e);
     // Witness schema is {0..n-1} in sorted layout; append A_{n+1} := A_1.
     std::vector<ValueId> row(t.ids());
     row.push_back(t.id(0));
-    BAGC_RETURN_NOT_OK(out.Set(Tuple::OfIds(std::move(row)), mult));
+    BAGC_RETURN_NOT_OK(
+        out.Set(Tuple::OfIds(std::move(row)), witness.MultiplicityAt(e)));
   }
   return out;
 }

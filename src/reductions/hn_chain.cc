@@ -23,8 +23,8 @@ Result<std::vector<std::vector<Value>>> ActiveDomains(const HnInstance& input) {
   std::vector<std::set<Value>> doms(input.n);
   for (const Bag& bag : input.bags) {
     const Schema& x = bag.schema();
-    for (const auto& [t, mult] : bag.entries()) {
-      (void)mult;
+    for (size_t e = 0; e < bag.SupportSize(); ++e) {
+      Tuple t = bag.RowAt(e);
       for (size_t slot = 0; slot < x.arity(); ++slot) {
         doms[x.at(slot)].insert(t.at(slot));
       }
@@ -174,10 +174,12 @@ Result<Bag> RestrictHnWitness(const HnInstance& input, const Bag& witness) {
   Bag out(old_schema);
   // Keep only the A_{n+1} = 1 layer (the fresh attribute has the largest
   // id, hence the last slot).
-  for (const auto& [t, mult] : witness.entries()) {
+  for (size_t e = 0; e < witness.SupportSize(); ++e) {
+    Tuple t = witness.RowAt(e);
     if (t.at(t.arity() - 1) != 1) continue;
     std::vector<ValueId> row(t.ids().begin(), t.ids().end() - 1);
-    BAGC_RETURN_NOT_OK(out.Add(Tuple::OfIds(std::move(row)), mult));
+    BAGC_RETURN_NOT_OK(
+        out.Add(Tuple::OfIds(std::move(row)), witness.MultiplicityAt(e)));
   }
   return out;
 }

@@ -426,11 +426,11 @@ Status BagcdClient::LoadBagU32(const std::string& name, const Bag& bag,
       WireAppendString(&payload, catalog.Name(attr));
     }
     WireAppendU64(&payload, bag.SupportSize());
-    for (const auto& [tuple, mult] : bag.entries()) {
-      for (size_t i = 0; i < tuple.arity(); ++i) {
-        WireAppendU32(&payload, tuple.id(i));
+    for (size_t e = 0; e < bag.SupportSize(); ++e) {
+      for (size_t i = 0; i < schema.arity(); ++i) {
+        WireAppendU32(&payload, bag.IdAt(e, i));
       }
-      WireAppendU64(&payload, mult);
+      WireAppendU64(&payload, bag.MultiplicityAt(e));
     }
     return RoundTripOk(kFrameRows, payload).status();
   }
@@ -438,12 +438,12 @@ Status BagcdClient::LoadBagU32(const std::string& name, const Bag& bag,
   for (AttrId attr : bag.schema().attrs()) header += " " + catalog.Name(attr);
   std::vector<std::string> rows;
   rows.reserve(bag.SupportSize());
-  for (const auto& [tuple, mult] : bag.entries()) {
+  for (size_t e = 0; e < bag.SupportSize(); ++e) {
     std::string row;
-    for (size_t i = 0; i < tuple.arity(); ++i) {
-      row += std::to_string(tuple.id(i)) + " ";
+    for (size_t i = 0; i < bag.schema().arity(); ++i) {
+      row += std::to_string(bag.IdAt(e, i)) + " ";
     }
-    row += ": " + std::to_string(mult);
+    row += ": " + std::to_string(bag.MultiplicityAt(e));
     rows.push_back(std::move(row));
   }
   BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command(header, rows));
@@ -463,15 +463,15 @@ Status BagcdClient::LoadBagText(const std::string& name, const Bag& bag,
   for (AttrId attr : bag.schema().attrs()) header += " " + catalog.Name(attr);
   std::vector<std::string> rows;
   rows.reserve(bag.SupportSize());
-  for (const auto& [tuple, mult] : bag.entries()) {
+  for (size_t e = 0; e < bag.SupportSize(); ++e) {
     BAGC_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
-                          dicts.DecodeRow(bag.schema(), tuple));
+                          dicts.DecodeRow(bag.schema(), bag.RowAt(e)));
     std::string row;
     for (const std::string& token : tokens) {
       BAGC_RETURN_NOT_OK(ValidateWireValue(token));
       row += token + " ";
     }
-    row += ": " + std::to_string(mult);
+    row += ": " + std::to_string(bag.MultiplicityAt(e));
     rows.push_back(std::move(row));
   }
   BAGC_ASSIGN_OR_RETURN(std::vector<std::string> response, Command(header, rows));

@@ -18,31 +18,48 @@ namespace {
 // the generation originally sealed from this segment. `canonical`
 // replays the original seal's CANONICAL flag for the same reason.
 Result<std::shared_ptr<const EngineSnapshot>> BuildSnapshotFromSegment(
-    const std::string& path, bool canonical, uint64_t seq) {
-  BAGC_ASSIGN_OR_RETURN(SegmentReader reader, SegmentReader::Map(path));
+    const std::string& path, bool canonical, size_t columnar_min_rows,
+    uint64_t seq) {
+  BAGC_ASSIGN_OR_RETURN(SegmentReader mapped, SegmentReader::Map(path));
+  // The reader is shared so each borrowed bag can pin the mapping: the
+  // snapshot then serves column reads straight from the page cache and
+  // the reload adds (almost) no resident bytes.
+  auto reader = std::make_shared<SegmentReader>(std::move(mapped));
   EngineSnapshot::BuildInputs inputs;
-  std::vector<AttrId> attr_ids(reader.num_attrs());
+  std::vector<AttrId> attr_ids(reader->num_attrs());
   auto seg_dicts = std::make_shared<DictionarySet>();
-  for (size_t a = 0; a < reader.num_attrs(); ++a) {
-    attr_ids[a] = inputs.catalog.Intern(std::string(reader.attr_name(a)));
-    Status loaded = seg_dicts->dict(attr_ids[a]).BulkLoad(reader.AttrValues(a));
+  for (size_t a = 0; a < reader->num_attrs(); ++a) {
+    attr_ids[a] = inputs.catalog.Intern(std::string(reader->attr_name(a)));
+    Status loaded =
+        seg_dicts->dict(attr_ids[a]).BulkLoad(reader->AttrValues(a));
     if (!loaded.ok()) return loaded;
   }
-  for (size_t b = 0; b < reader.num_bags(); ++b) {
+  for (size_t b = 0; b < reader->num_bags(); ++b) {
     std::vector<std::string> col_names;
-    col_names.reserve(reader.bag_arity(b));
-    for (size_t c = 0; c < reader.bag_arity(b); ++c) {
-      col_names.emplace_back(reader.attr_name(reader.bag_attr(b, c)));
+    col_names.reserve(reader->bag_arity(b));
+    for (size_t c = 0; c < reader->bag_arity(b); ++c) {
+      col_names.emplace_back(reader->attr_name(reader->bag_attr(b, c)));
     }
-    ColumnStore columns = reader.Columns(b);
-    BAGC_ASSIGN_OR_RETURN(
-        Bag bag, BagFromU32Columns(col_names, columns.View(), reader.Mults(b),
-                                   &inputs.catalog, *seg_dicts));
-    inputs.names.emplace_back(reader.bag_name(b));
-    inputs.bags.push_back(std::move(bag));
+    ColumnStore columns = reader->Columns(b);
+    // Zero-copy first: a segment EncodeSegment wrote is already in the
+    // sealed columnar shape, so serve it in place. A canonical reload
+    // remaps ids anyway (the borrow only feeds the rebuild), and any
+    // segment the strict borrow validation rejects falls back to the
+    // copying ingest, which re-sorts and gives the precise error.
+    Result<Bag> bag =
+        BagBorrowU32Columns(col_names, columns.View(), reader->Mults(b),
+                            &inputs.catalog, *seg_dicts, reader);
+    if (!bag.ok()) {
+      bag = BagFromU32Columns(col_names, columns.View(), reader->Mults(b),
+                              &inputs.catalog, *seg_dicts);
+    }
+    if (!bag.ok()) return bag.status();
+    inputs.names.emplace_back(reader->bag_name(b));
+    inputs.bags.push_back(std::move(bag).value());
   }
   inputs.dicts = std::move(seg_dicts);
   inputs.canonicalize = canonical;
+  inputs.columnar_min_rows = columnar_min_rows;
   return EngineSnapshot::Build(std::move(inputs), seq);
 }
 
@@ -110,7 +127,8 @@ Result<std::shared_ptr<const EngineSnapshot>> CollectionRegistry::Acquire(
   }
   // Build outside the lock — reloads are as slow as seals.
   Result<std::shared_ptr<const EngineSnapshot>> rebuilt =
-      BuildSnapshotFromSegment(path, canonical, seq);
+      BuildSnapshotFromSegment(path, canonical, options_.columnar_min_rows,
+                               seq);
   if (!rebuilt.ok()) {
     return Status::FailedPrecondition("collection '" + c->name_ +
                                       "' reload from segment failed: " +

@@ -56,6 +56,11 @@ class CollectionRegistry {
     /// Per-collection ceiling on one snapshot's bytes (publish refuses
     /// larger seals outright); 0 = unlimited.
     size_t max_collection_bytes = 0;
+    /// Minimum support rows for a sealed bag to convert to columnar-only
+    /// serving form (EngineOptions::columnar_min_rows); 0 = the engine
+    /// default (kColumnarMinRows). Applied to every SEAL and lazy segment
+    /// reload this registry performs — bagcd --columnar-min-rows.
+    size_t columnar_min_rows = 0;
   };
 
   /// Point-in-time per-collection counters (STATS <name>).

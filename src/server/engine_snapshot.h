@@ -44,6 +44,10 @@ class EngineSnapshot {
     std::shared_ptr<DictionarySet> dicts;
     /// Seal-time worker threads (marginal fills + pairwise sweep).
     size_t num_threads = 1;
+    /// Minimum support rows before a sealed bag drops its row vector for
+    /// the columnar-only serving form; 0 = engine default
+    /// (EngineOptions::columnar_min_rows).
+    size_t columnar_min_rows = 0;
     /// Canonicalize the snapshot's dictionary clone at seal
     /// (EngineOptions::canonicalize_dictionaries). The session's live
     /// dictionaries — and hence the ids a client streams — are untouched.
@@ -124,6 +128,10 @@ class EngineSnapshot {
   /// Approximate resident bytes of the sealed engine (registry budget /
   /// eviction accounting; stable across identical rebuilds).
   size_t approx_bytes() const { return approx_bytes_; }
+  /// The engine's own sealed-state bytes (bags, marginal caches, column
+  /// stores) without the dictionary estimate — the STATS `sealed_bytes`
+  /// key, the number the columnar-only seal is meant to shrink.
+  size_t sealed_bytes() const { return engine_->ApproxSealedBytes(); }
   /// The sealed engine — the reuse source for an incremental re-seal.
   const ConsistencyEngine* engine() const { return &*engine_; }
 

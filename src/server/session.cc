@@ -149,7 +149,8 @@ class BinarySink final : public ServerSession::ResponseSink {
       WireAppendString(&payload, snapshot.catalog().Name(schema.at(i)));
     }
     WireAppendU64(&payload, bag.SupportSize());
-    for (const auto& [tuple, mult] : bag.entries()) {
+    for (size_t e = 0; e < bag.SupportSize(); ++e) {
+      Tuple tuple = bag.RowAt(e);  // witness decode: designated cold path
       for (size_t i = 0; i < schema.arity(); ++i) {
         const ValueDictionary* d = slot_dict[i];
         if (d != nullptr && tuple.id(i) < d->size()) {
@@ -158,7 +159,7 @@ class BinarySink final : public ServerSession::ResponseSink {
           WireAppendString(&payload, std::to_string(tuple.at(i)));
         }
       }
-      WireAppendU64(&payload, mult);
+      WireAppendU64(&payload, bag.MultiplicityAt(e));
     }
     WireAppendFrame(out_, kFrameWitnessBag, payload);
   }
@@ -981,11 +982,15 @@ void ServerSession::HandleLoadSeg(const std::vector<std::string>& tokens,
     sink->Err(WireError::kParse, "usage: LOADSEG <path>");
     return;
   }
-  Result<SegmentReader> reader = SegmentReader::Map(tokens[1]);
-  if (!reader.ok()) {
-    sink->ErrStatus(reader.status());
+  Result<SegmentReader> mapped = SegmentReader::Map(tokens[1]);
+  if (!mapped.ok()) {
+    sink->ErrStatus(mapped.status());
     return;
   }
+  // Shared so each borrowed bag pins the mapping: the loaded bags serve
+  // the mmap'd columns in place (no row vector, no column copy) until a
+  // mutation de-seals them. The reader dies with the last such bag.
+  auto reader = std::make_shared<SegmentReader>(std::move(mapped).value());
   // The segment ships its own dictionaries, so the session must not
   // already hold one for any of its attributes (the same no-merge rule
   // as a second DICT block). Validate everything, and build every bag
@@ -1033,10 +1038,19 @@ void ServerSession::HandleLoadSeg(const std::vector<std::string>& tokens,
     for (size_t c = 0; c < reader->bag_arity(b); ++c) {
       col_names.emplace_back(reader->attr_name(reader->bag_attr(b, c)));
     }
-    // Zero parse: the columns feed the ingest straight from the mapping.
+    // Zero parse, zero copy: a well-formed segment is already in sealed
+    // columnar shape, so the bag borrows the mapped columns in place.
+    // Segments the strict borrow validation rejects (permuted columns,
+    // zero mults) fall back to the copying ingest, which re-sorts and
+    // reports the precise error.
     ColumnStore columns = reader->Columns(b);
-    Result<Bag> bag = BagFromU32Columns(col_names, columns.View(),
-                                        reader->Mults(b), &catalog_, seg_dicts);
+    Result<Bag> bag =
+        BagBorrowU32Columns(col_names, columns.View(), reader->Mults(b),
+                            &catalog_, seg_dicts, reader);
+    if (!bag.ok()) {
+      bag = BagFromU32Columns(col_names, columns.View(), reader->Mults(b),
+                              &catalog_, seg_dicts);
+    }
     if (!bag.ok()) {
       sink->ErrStatus(bag.status());
       return;
@@ -1118,6 +1132,7 @@ void ServerSession::HandleSeal(const std::vector<std::string>& tokens,
   }
   std::shared_ptr<DictionarySet> seal_dicts = inputs.dicts;
   inputs.num_threads = num_threads;
+  inputs.columnar_min_rows = registry_->options().columnar_min_rows;
   inputs.canonicalize = canonical;
   // Incremental re-seal: bags unchanged since the last generation this
   // session sealed (epoch at or before that seal, same name then) reuse
@@ -1302,6 +1317,8 @@ void ServerSession::HandleStats(const std::vector<std::string>& tokens,
   kv.emplace_back("collections", registry_->num_collections());
   kv.emplace_back("evictions", registry_->evictions_total());
   kv.emplace_back("deltas", registry_->deltas_total());
+  kv.emplace_back("sealed_bytes",
+                  snapshot == nullptr ? 0 : snapshot->sealed_bytes());
   sink->Stats(kv);
 }
 

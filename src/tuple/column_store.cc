@@ -23,15 +23,22 @@ bool ColumnView::RowsEqual(size_t a, const ColumnView& other, size_t b) const {
   return true;
 }
 
-void ColumnView::HashRows(std::vector<uint64_t>* out) const {
-  out->assign(rows_, 0x5bf03635u ^ static_cast<uint64_t>(columns_.size()));
-  uint64_t* h = out->data();
+int ColumnView::CompareRows(size_t a, const ColumnView& other, size_t b) const {
   for (size_t c = 0; c < columns_.size(); ++c) {
-    const ValueId* col = columns_[c];
-    for (size_t r = 0; r < rows_; ++r) {
-      HashCombine(&h[r], static_cast<uint64_t>(col[r]));
-    }
+    ValueId x = columns_[c][a];
+    ValueId y = other.columns_[c][b];
+    if (x == y) continue;
+    if ((x | y) < kDirectValueLimit) return x < y ? -1 : 1;
+    return ValueIdLess(x, y) ? -1 : 1;
   }
+  return 0;
+}
+
+void ColumnView::HashRows(std::vector<uint64_t>* out,
+                          simd::SimdLevel level) const {
+  out->resize(rows_);
+  simd::HashRowsKernel(columns_.data(), columns_.size(), rows_, out->data(),
+                       level);
 }
 
 ColumnView ColumnStore::View() const {

@@ -22,12 +22,15 @@
 
 #include "tuple/schema.h"
 #include "tuple/tuple.h"
+#include "util/simd.h"
 
 namespace bagc {
 
-/// Row-count threshold below which the row path (per-row Tuple projection
-/// + sort/merge) beats the columnar gather + hash-group; dispatchers such
-/// as Bag::Marginal switch on it.
+/// Default row-count threshold below which the row path (per-row Tuple
+/// projection + sort/merge) beats the columnar gather + hash-group;
+/// dispatchers such as Bag::Marginal switch on it. Engine callers can
+/// override the crossover per collection via
+/// EngineOptions::columnar_min_rows (bagcd: --columnar-min-rows).
 inline constexpr size_t kColumnarMinRows = 32;
 
 /// \brief Zero-copy view of selected columns: per-slot base pointers plus
@@ -64,10 +67,18 @@ class ColumnView {
   /// Row a of this view == row b of `other` (same arity required).
   bool RowsEqual(size_t a, const ColumnView& other, size_t b) const;
 
-  /// Hashes every row, column-at-a-time: one pass per column over a
-  /// contiguous span, accumulating into out[r]. out[r] equals
-  /// RowAt(r).Hash() (same seed/combine sequence as HashRange).
-  void HashRows(std::vector<uint64_t>* out) const;
+  /// Three-way lexicographic compare of row a against row b of `other`
+  /// (same arity required), replicating Tuple::operator< exactly —
+  /// including value order (ValueIdLess) for side-table ids — so sorting
+  /// or searching rows columnar agrees bit-for-bit with the row path.
+  int CompareRows(size_t a, const ColumnView& other, size_t b) const;
+
+  /// Hashes every row into out[r] == RowAt(r).Hash() (same seed/combine
+  /// sequence as HashRange) via the dispatched batch kernel
+  /// (simd::HashRowsKernel); `level` selects the ISA variant, kAuto =
+  /// the process default. Every level is bit-identical.
+  void HashRows(std::vector<uint64_t>* out,
+                simd::SimdLevel level = simd::SimdLevel::kAuto) const;
 
  private:
   std::vector<const ValueId*> columns_;
@@ -125,8 +136,24 @@ class ColumnStore {
                   [&rows](size_t r) -> const Tuple& { return rows[r]; });
   }
 
+  /// Adopts an already column-major owned vector (column c occupies
+  /// [c*num_rows, (c+1)*num_rows)); data.size() must be arity*num_rows.
+  /// The emit path of the columnar group-by builds results directly in
+  /// this layout.
+  static ColumnStore FromColumnMajor(std::vector<ValueId> data,
+                                     size_t num_rows, size_t arity) {
+    ColumnStore out;
+    out.data_ = std::move(data);
+    out.rows_ = num_rows;
+    out.arity_ = arity;
+    return out;
+  }
+
   size_t arity() const { return arity_; }
   size_t num_rows() const { return rows_; }
+  /// True when the ids live in external memory (Borrow) — i.e. this
+  /// store contributes no resident bytes of its own.
+  bool is_borrowed() const { return borrowed_ != nullptr; }
 
   /// Base pointer of column c.
   const ValueId* column(size_t c) const {

@@ -143,13 +143,14 @@ Result<std::string> EncodeSegment(const std::vector<std::string>& names,
   };
   for (size_t b = 0; b < bags.size(); ++b) {
     const Schema& schema = bags[b].schema();
+    const size_t rows = bags[b].SupportSize();
     for (size_t c = 0; c < schema.arity(); ++c) {
       const ValueDictionary* dict = dict_of[attr_index(schema.at(c))];
-      for (const auto& [tuple, mult] : bags[b].entries()) {
-        (void)mult;
-        if (tuple.id(c) >= dict->size()) {
+      for (size_t r = 0; r < rows; ++r) {
+        ValueId id = bags[b].IdAt(r, c);
+        if (id >= dict->size()) {
           return Status::OutOfRange(
-              "bag '" + names[b] + "' carries id " + std::to_string(tuple.id(c)) +
+              "bag '" + names[b] + "' carries id " + std::to_string(id) +
               " never issued for attribute '" + catalog.Name(schema.at(c)) +
               "' — not sealed through these dictionaries");
         }
@@ -189,7 +190,7 @@ Result<std::string> EncodeSegment(const std::vector<std::string>& names,
 
   for (size_t b = 0; b < bags.size(); ++b) {
     const Schema& schema = bags[b].schema();
-    const auto& entries = bags[b].entries();
+    const size_t rows = bags[b].SupportSize();
     AlignTo(&out, 4);
     size_t name_off = out.size();
     out += names[b];
@@ -199,16 +200,14 @@ Result<std::string> EncodeSegment(const std::vector<std::string>& names,
     AlignTo(&out, 4);
     size_t columns_off = out.size();
     for (size_t c = 0; c < schema.arity(); ++c) {
-      for (const auto& [tuple, mult] : entries) {
-        (void)mult;
-        AppendU32(&out, tuple.id(c));
+      for (size_t r = 0; r < rows; ++r) {
+        AppendU32(&out, bags[b].IdAt(r, c));
       }
     }
     AlignTo(&out, 8);
     size_t mults_off = out.size();
-    for (const auto& [tuple, mult] : entries) {
-      (void)tuple;
-      AppendU64(&out, mult);
+    for (size_t r = 0; r < rows; ++r) {
+      AppendU64(&out, bags[b].MultiplicityAt(r));
     }
     size_t entry = bag_table + b * 48;
     PutU64(&out, entry + 0, name_off);
@@ -217,7 +216,7 @@ Result<std::string> EncodeSegment(const std::vector<std::string>& names,
     PutU64(&out, entry + 16, attrs_off);
     PutU64(&out, entry + 24, columns_off);
     PutU64(&out, entry + 32, mults_off);
-    PutU64(&out, entry + 40, entries.size());
+    PutU64(&out, entry + 40, rows);
   }
 
   std::memcpy(out.data(), kSegmentMagic.data(), kSegmentMagic.size());

@@ -69,14 +69,15 @@ const std::vector<uint32_t>* TupleIndex::Find(const Tuple& key) const {
   return &groups_[slots_[slot] - 1].ids;
 }
 
-ColumnIndex::ColumnIndex(ColumnView keys) : keys_(std::move(keys)) {
+ColumnIndex::ColumnIndex(ColumnView keys, simd::SimdLevel level)
+    : keys_(std::move(keys)), level_(simd::Resolve(level)) {
   size_t n = keys_.num_rows();
   // All rows are inserted up front, so size the table once (load < ~0.7)
   // and never rehash.
   slots_.assign(NextPowerOfTwo(n + n / 2 + 1), 0);
   groups_.reserve(n);
   std::vector<uint64_t> hashes;
-  keys_.HashRows(&hashes);
+  keys_.HashRows(&hashes, level_);
   for (size_t r = 0; r < n; ++r) {
     size_t slot = FindSlot(hashes[r], keys_, r);
     if (slots_[slot] == 0) {
@@ -114,11 +115,34 @@ uint32_t ColumnIndex::Probe(const ColumnView& probes, size_t row,
 
 void ColumnIndex::ProbeAll(const ColumnView& probes,
                            std::vector<uint32_t>* out) const {
+  size_t n = probes.num_rows();
+  out->assign(n, kNoGroup);
+  if (n == 0) return;
   std::vector<uint64_t> hashes;
-  probes.HashRows(&hashes);
-  out->assign(probes.num_rows(), kNoGroup);
-  for (size_t r = 0; r < probes.num_rows(); ++r) {
-    (*out)[r] = Probe(probes, r, hashes[r]);
+  probes.HashRows(&hashes, level_);
+  if (slots_.empty()) return;  // default-constructed index: no groups
+  // Gather indices are i32, so the batched first probe needs a table
+  // capacity <= 2^31; larger tables (would need > 1.4G keys) walk
+  // scalar. Both branches produce identical answers.
+  if (slots_.size() > (size_t{1} << 31)) {
+    for (size_t r = 0; r < n; ++r) (*out)[r] = Probe(probes, r, hashes[r]);
+    return;
+  }
+  // Load every probe's first slot in one batch: an empty slot is a
+  // definitive miss and a matching first slot a definitive hit, so the
+  // scalar walk only runs on genuine collisions.
+  std::vector<uint32_t> tags(n);
+  simd::GatherSlotTags(slots_.data(), slots_.size() - 1, hashes.data(), n,
+                       tags.data(), level_);
+  for (size_t r = 0; r < n; ++r) {
+    uint32_t tag = tags[r];
+    if (tag == 0) continue;  // first slot empty: kNoGroup
+    const ColumnGroup& g = groups_[tag - 1];
+    if (g.hash == hashes[r] && keys_.RowsEqual(g.lead, probes, r)) {
+      (*out)[r] = tag - 1;
+    } else {
+      (*out)[r] = Probe(probes, r, hashes[r]);
+    }
   }
 }
 

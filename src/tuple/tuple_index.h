@@ -83,8 +83,11 @@ class ColumnIndex {
   static constexpr uint32_t kNoGroup = 0xFFFFFFFFu;
 
   ColumnIndex() = default;
-  /// Builds the grouping over all rows of `keys`.
-  explicit ColumnIndex(ColumnView keys);
+  /// Builds the grouping over all rows of `keys`. `level` selects the
+  /// SIMD variant of the batch hash and batch probe (kAuto = process
+  /// default); every level produces identical groups and probe answers.
+  explicit ColumnIndex(ColumnView keys,
+                       simd::SimdLevel level = simd::SimdLevel::kAuto);
 
   size_t NumGroups() const { return groups_.size(); }
   /// Rows of group g, ascending (== posting list order of TupleIndex).
@@ -95,8 +98,11 @@ class ColumnIndex {
   const ColumnView& keys() const { return keys_; }
 
   /// For every row of `probes` (same arity as the keys), the matching
-  /// group id or kNoGroup. Hashes the whole probe view column-wise first,
-  /// then walks the table — the batch counterpart of TupleIndex::Find.
+  /// group id or kNoGroup. Hashes the whole probe view column-wise, then
+  /// loads every probe's first slot in one batch (simd::GatherSlotTags —
+  /// hardware gather on AVX2) so the common cases (empty slot, or a
+  /// first-slot hit) never enter the scalar walk; only collisions do.
+  /// Bit-identical to per-row Probe at every dispatch level.
   void ProbeAll(const ColumnView& probes, std::vector<uint32_t>* out) const;
 
   /// Single-row probe against an external view (same arity); kNoGroup
@@ -118,6 +124,8 @@ class ColumnIndex {
   std::vector<ColumnGroup> groups_;
   // Open-addressing table of group index + 1; 0 marks an empty slot.
   std::vector<uint32_t> slots_;
+  // Resolved dispatch level for batch hashing/probing (never kAuto).
+  simd::SimdLevel level_ = simd::SimdLevel::kScalar;
 };
 
 /// \brief Columnar hash-join matching phase, shared by the bag join and
@@ -135,11 +143,21 @@ class ColumnJoinMatch {
   /// select both sides onto the same shared layout.
   template <typename LeftEntries, typename RightEntries>
   ColumnJoinMatch(const LeftEntries& left, const Projector& left_shared,
-                  const RightEntries& right, const Projector& right_shared)
+                  const RightEntries& right, const Projector& right_shared,
+                  simd::SimdLevel level = simd::SimdLevel::kAuto)
       : left_cols_(ColumnStore::FromEntries(left, left_shared)),
         right_cols_(ColumnStore::FromEntries(right, right_shared)),
-        index_(right_cols_.View()) {
+        index_(right_cols_.View(), level) {
     index_.ProbeAll(left_cols_.View(), &match_);
+  }
+
+  /// Zero-copy variant over already-columnar sides (columnar-sealed
+  /// bags): the views borrow their owners' storage, which must outlive
+  /// this match object.
+  ColumnJoinMatch(ColumnView left, ColumnView right,
+                  simd::SimdLevel level = simd::SimdLevel::kAuto)
+      : index_(std::move(right), level) {
+    index_.ProbeAll(left, &match_);
   }
 
   ColumnJoinMatch(ColumnJoinMatch&&) = default;

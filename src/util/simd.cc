@@ -1,0 +1,487 @@
+#include "util/simd.h"
+
+#include <atomic>
+
+#include "util/hash.h"
+
+// Architecture gates. BAGC_FORCE_SCALAR_SIMD (CMake option) compiles the
+// vector variants out entirely; the dispatch table then only ever holds
+// the scalar twins.
+#if !defined(BAGC_FORCE_SCALAR_SIMD)
+#if defined(__x86_64__) || defined(__i386__)
+#define BAGC_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define BAGC_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace bagc {
+namespace simd {
+
+namespace {
+
+// ---- Scalar twins (the reference implementations) ---------------------
+
+void HashRowsScalar(const uint32_t* const* cols, size_t arity, size_t n,
+                    uint64_t* out) {
+  const uint64_t seed = HashSeed(arity);
+  for (size_t r = 0; r < n; ++r) out[r] = seed;
+  for (size_t c = 0; c < arity; ++c) {
+    const uint32_t* col = cols[c];
+    for (size_t r = 0; r < n; ++r) {
+      HashCombine(&out[r], static_cast<uint64_t>(col[r]));
+    }
+  }
+}
+
+uint32_t MaxU32Scalar(const uint32_t* col, size_t n) {
+  uint32_t best = 0;
+  for (size_t r = 0; r < n; ++r) best = col[r] > best ? col[r] : best;
+  return best;
+}
+
+void PackKeys2Scalar(const uint32_t* a, const uint32_t* b, uint64_t stride,
+                     size_t n, uint64_t* keys) {
+  for (size_t r = 0; r < n; ++r) {
+    keys[r] = static_cast<uint64_t>(a[r]) * stride + b[r];
+  }
+}
+
+void GatherSlotTagsScalar(const uint32_t* slots, uint64_t mask,
+                          const uint64_t* hashes, size_t n, uint32_t* tags) {
+  for (size_t r = 0; r < n; ++r) tags[r] = slots[hashes[r] & mask];
+}
+
+// ---- x86: SSE4.2 (2-lane u64) and AVX2 (4-lane u64) variants ----------
+
+#if defined(BAGC_SIMD_X86)
+
+// 64x64 -> low 64 multiply from 32-bit halves (no 64-bit vector multiply
+// below AVX-512): x*y = lo(x)*lo(y) + ((lo(x)*hi(y) + hi(x)*lo(y)) << 32).
+__attribute__((target("sse4.2"), always_inline)) inline __m128i
+Mul64Sse(__m128i x, __m128i y) {
+  __m128i xh = _mm_srli_epi64(x, 32);
+  __m128i yh = _mm_srli_epi64(y, 32);
+  __m128i ll = _mm_mul_epu32(x, y);
+  __m128i cross = _mm_add_epi64(_mm_mul_epu32(x, yh), _mm_mul_epu32(xh, y));
+  return _mm_add_epi64(ll, _mm_slli_epi64(cross, 32));
+}
+
+__attribute__((target("sse4.2"), always_inline)) inline __m128i
+Mix64Sse(__m128i v) {
+  const __m128i c1 = _mm_set1_epi64x(static_cast<long long>(kHashMixC1));
+  const __m128i c2 = _mm_set1_epi64x(static_cast<long long>(kHashMixC2));
+  const __m128i c3 = _mm_set1_epi64x(static_cast<long long>(kHashMixC3));
+  __m128i x = _mm_add_epi64(v, c1);
+  x = Mul64Sse(_mm_xor_si128(x, _mm_srli_epi64(x, 30)), c2);
+  x = Mul64Sse(_mm_xor_si128(x, _mm_srli_epi64(x, 27)), c3);
+  return _mm_xor_si128(x, _mm_srli_epi64(x, 31));
+}
+
+__attribute__((target("sse4.2"))) void HashRowsSse42(
+    const uint32_t* const* cols, size_t arity, size_t n, uint64_t* out) {
+  const uint64_t seed = HashSeed(arity);
+  const __m128i c1 = _mm_set1_epi64x(static_cast<long long>(kHashMixC1));
+  size_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    __m128i h = _mm_set1_epi64x(static_cast<long long>(seed));
+    for (size_t c = 0; c < arity; ++c) {
+      // Two u32 lanes widened to u64.
+      __m128i v = _mm_cvtepu32_epi64(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(cols[c] + r)));
+      __m128i m = Mix64Sse(v);
+      // h ^= m + c1 + (h << 6) + (h >> 2)  — HashCombine, lockstep lanes.
+      __m128i add = _mm_add_epi64(
+          _mm_add_epi64(m, c1),
+          _mm_add_epi64(_mm_slli_epi64(h, 6), _mm_srli_epi64(h, 2)));
+      h = _mm_xor_si128(h, add);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + r), h);
+  }
+  for (; r < n; ++r) {
+    uint64_t h = seed;
+    for (size_t c = 0; c < arity; ++c) {
+      HashCombine(&h, static_cast<uint64_t>(cols[c][r]));
+    }
+    out[r] = h;
+  }
+}
+
+__attribute__((target("sse4.2"))) uint32_t MaxU32Sse42(const uint32_t* col,
+                                                       size_t n) {
+  size_t r = 0;
+  __m128i best = _mm_setzero_si128();
+  for (; r + 4 <= n; r += 4) {
+    best = _mm_max_epu32(
+        best, _mm_loadu_si128(reinterpret_cast<const __m128i*>(col + r)));
+  }
+  alignas(16) uint32_t lanes[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), best);
+  uint32_t out = 0;
+  for (uint32_t lane : lanes) out = lane > out ? lane : out;
+  for (; r < n; ++r) out = col[r] > out ? col[r] : out;
+  return out;
+}
+
+__attribute__((target("sse4.2"))) void PackKeys2Sse42(const uint32_t* a,
+                                                      const uint32_t* b,
+                                                      uint64_t stride, size_t n,
+                                                      uint64_t* keys) {
+  const __m128i vs = _mm_set1_epi64x(static_cast<long long>(stride));
+  size_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    __m128i va = _mm_cvtepu32_epi64(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + r)));
+    __m128i vb = _mm_cvtepu32_epi64(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + r)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(keys + r),
+                     _mm_add_epi64(Mul64Sse(va, vs), vb));
+  }
+  for (; r < n; ++r) keys[r] = static_cast<uint64_t>(a[r]) * stride + b[r];
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m256i
+Mul64Avx2(__m256i x, __m256i y) {
+  __m256i xh = _mm256_srli_epi64(x, 32);
+  __m256i yh = _mm256_srli_epi64(y, 32);
+  __m256i ll = _mm256_mul_epu32(x, y);
+  __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(x, yh), _mm256_mul_epu32(xh, y));
+  return _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"), always_inline)) inline __m256i
+Mix64Avx2(__m256i v) {
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<long long>(kHashMixC1));
+  const __m256i c2 = _mm256_set1_epi64x(static_cast<long long>(kHashMixC2));
+  const __m256i c3 = _mm256_set1_epi64x(static_cast<long long>(kHashMixC3));
+  __m256i x = _mm256_add_epi64(v, c1);
+  x = Mul64Avx2(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)), c2);
+  x = Mul64Avx2(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)), c3);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+__attribute__((target("avx2"))) void HashRowsAvx2(const uint32_t* const* cols,
+                                                  size_t arity, size_t n,
+                                                  uint64_t* out) {
+  const uint64_t seed = HashSeed(arity);
+  const __m256i c1 = _mm256_set1_epi64x(static_cast<long long>(kHashMixC1));
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    // The row block's running hash stays in a register across ALL
+    // columns — out[] is written once per block, not once per column.
+    __m256i h = _mm256_set1_epi64x(static_cast<long long>(seed));
+    for (size_t c = 0; c < arity; ++c) {
+      __m256i v = _mm256_cvtepu32_epi64(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols[c] + r)));
+      __m256i m = Mix64Avx2(v);
+      __m256i add = _mm256_add_epi64(
+          _mm256_add_epi64(m, c1),
+          _mm256_add_epi64(_mm256_slli_epi64(h, 6), _mm256_srli_epi64(h, 2)));
+      h = _mm256_xor_si256(h, add);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + r), h);
+  }
+  for (; r < n; ++r) {
+    uint64_t h = seed;
+    for (size_t c = 0; c < arity; ++c) {
+      HashCombine(&h, static_cast<uint64_t>(cols[c][r]));
+    }
+    out[r] = h;
+  }
+}
+
+__attribute__((target("avx2"))) uint32_t MaxU32Avx2(const uint32_t* col,
+                                                    size_t n) {
+  size_t r = 0;
+  __m256i best = _mm256_setzero_si256();
+  for (; r + 8 <= n; r += 8) {
+    best = _mm256_max_epu32(
+        best, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(col + r)));
+  }
+  alignas(32) uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best);
+  uint32_t out = 0;
+  for (uint32_t lane : lanes) out = lane > out ? lane : out;
+  for (; r < n; ++r) out = col[r] > out ? col[r] : out;
+  return out;
+}
+
+__attribute__((target("avx2"))) void PackKeys2Avx2(const uint32_t* a,
+                                                   const uint32_t* b,
+                                                   uint64_t stride, size_t n,
+                                                   uint64_t* keys) {
+  const __m256i vs = _mm256_set1_epi64x(static_cast<long long>(stride));
+  size_t r = 0;
+  for (; r + 4 <= n; r += 4) {
+    __m256i va = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + r)));
+    __m256i vb = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + r)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + r),
+                        _mm256_add_epi64(Mul64Avx2(va, vs), vb));
+  }
+  for (; r < n; ++r) keys[r] = static_cast<uint64_t>(a[r]) * stride + b[r];
+}
+
+__attribute__((target("avx2"))) void GatherSlotTagsAvx2(const uint32_t* slots,
+                                                        uint64_t mask,
+                                                        const uint64_t* hashes,
+                                                        size_t n,
+                                                        uint32_t* tags) {
+  size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    alignas(32) int32_t idx[8];
+    for (int k = 0; k < 8; ++k) {
+      idx[k] = static_cast<int32_t>(hashes[r + k] & mask);
+    }
+    __m256i vi = _mm256_load_si256(reinterpret_cast<const __m256i*>(idx));
+    __m256i t = _mm256_i32gather_epi32(reinterpret_cast<const int*>(slots),
+                                       vi, 4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(tags + r), t);
+  }
+  for (; r < n; ++r) tags[r] = slots[hashes[r] & mask];
+}
+
+#endif  // BAGC_SIMD_X86
+
+// ---- arm64: NEON (2-lane u64) variants --------------------------------
+
+#if defined(BAGC_SIMD_NEON)
+
+inline uint64x2_t Mul64Neon(uint64x2_t x, uint64x2_t y) {
+  uint32x2_t x_lo = vmovn_u64(x);
+  uint32x2_t y_lo = vmovn_u64(y);
+  uint32x2_t x_hi = vshrn_n_u64(x, 32);
+  uint32x2_t y_hi = vshrn_n_u64(y, 32);
+  uint64x2_t ll = vmull_u32(x_lo, y_lo);
+  uint64x2_t cross = vmlal_u32(vmull_u32(x_lo, y_hi), x_hi, y_lo);
+  return vaddq_u64(ll, vshlq_n_u64(cross, 32));
+}
+
+inline uint64x2_t Mix64Neon(uint64x2_t v) {
+  const uint64x2_t c1 = vdupq_n_u64(kHashMixC1);
+  const uint64x2_t c2 = vdupq_n_u64(kHashMixC2);
+  const uint64x2_t c3 = vdupq_n_u64(kHashMixC3);
+  uint64x2_t x = vaddq_u64(v, c1);
+  x = Mul64Neon(veorq_u64(x, vshrq_n_u64(x, 30)), c2);
+  x = Mul64Neon(veorq_u64(x, vshrq_n_u64(x, 27)), c3);
+  return veorq_u64(x, vshrq_n_u64(x, 31));
+}
+
+void HashRowsNeon(const uint32_t* const* cols, size_t arity, size_t n,
+                  uint64_t* out) {
+  const uint64_t seed = HashSeed(arity);
+  const uint64x2_t c1 = vdupq_n_u64(kHashMixC1);
+  size_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    uint64x2_t h = vdupq_n_u64(seed);
+    for (size_t c = 0; c < arity; ++c) {
+      uint64x2_t v = vmovl_u32(vld1_u32(cols[c] + r));
+      uint64x2_t m = Mix64Neon(v);
+      uint64x2_t add = vaddq_u64(
+          vaddq_u64(m, c1),
+          vaddq_u64(vshlq_n_u64(h, 6), vshrq_n_u64(h, 2)));
+      h = veorq_u64(h, add);
+    }
+    vst1q_u64(out + r, h);
+  }
+  for (; r < n; ++r) {
+    uint64_t h = seed;
+    for (size_t c = 0; c < arity; ++c) {
+      HashCombine(&h, static_cast<uint64_t>(cols[c][r]));
+    }
+    out[r] = h;
+  }
+}
+
+uint32_t MaxU32Neon(const uint32_t* col, size_t n) {
+  size_t r = 0;
+  uint32x4_t best = vdupq_n_u32(0);
+  for (; r + 4 <= n; r += 4) best = vmaxq_u32(best, vld1q_u32(col + r));
+  uint32_t out = vmaxvq_u32(best);
+  for (; r < n; ++r) out = col[r] > out ? col[r] : out;
+  return out;
+}
+
+void PackKeys2Neon(const uint32_t* a, const uint32_t* b, uint64_t stride,
+                   size_t n, uint64_t* keys) {
+  const uint64x2_t vs = vdupq_n_u64(stride);
+  size_t r = 0;
+  for (; r + 2 <= n; r += 2) {
+    uint64x2_t va = vmovl_u32(vld1_u32(a + r));
+    uint64x2_t vb = vmovl_u32(vld1_u32(b + r));
+    vst1q_u64(keys + r, vaddq_u64(Mul64Neon(va, vs), vb));
+  }
+  for (; r < n; ++r) keys[r] = static_cast<uint64_t>(a[r]) * stride + b[r];
+}
+
+#endif  // BAGC_SIMD_NEON
+
+std::atomic<SimdLevel>& ActiveLevelSlot() {
+  static std::atomic<SimdLevel> active{DetectSimdLevel()};
+  return active;
+}
+
+}  // namespace
+
+SimdLevel DetectSimdLevel() {
+#if defined(BAGC_SIMD_X86)
+  static const SimdLevel detected = [] {
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAVX2;
+    if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSSE42;
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+#elif defined(BAGC_SIMD_NEON)
+  return SimdLevel::kNEON;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+bool LevelSupported(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSSE42:
+      return DetectSimdLevel() == SimdLevel::kSSE42 ||
+             DetectSimdLevel() == SimdLevel::kAVX2;
+    case SimdLevel::kAVX2:
+      return DetectSimdLevel() == SimdLevel::kAVX2;
+    case SimdLevel::kNEON:
+      return DetectSimdLevel() == SimdLevel::kNEON;
+    case SimdLevel::kAuto:
+      return true;
+  }
+  return false;
+}
+
+SimdLevel ActiveSimdLevel() { return ActiveLevelSlot().load(std::memory_order_relaxed); }
+
+void SetActiveSimdLevel(SimdLevel level) {
+  if (level == SimdLevel::kAuto || !LevelSupported(level)) {
+    level = DetectSimdLevel();
+  }
+  ActiveLevelSlot().store(level, std::memory_order_relaxed);
+}
+
+SimdLevel Resolve(SimdLevel level) {
+  if (level == SimdLevel::kAuto) level = ActiveSimdLevel();
+  if (!LevelSupported(level)) level = DetectSimdLevel();
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSSE42:
+      return "sse4.2";
+    case SimdLevel::kAVX2:
+      return "avx2";
+    case SimdLevel::kNEON:
+      return "neon";
+    case SimdLevel::kAuto:
+      return "auto";
+  }
+  return "scalar";
+}
+
+bool ParseSimdLevel(const std::string& name, SimdLevel* out) {
+  if (name == "scalar") {
+    *out = SimdLevel::kScalar;
+  } else if (name == "sse4.2" || name == "sse42") {
+    *out = SimdLevel::kSSE42;
+  } else if (name == "avx2") {
+    *out = SimdLevel::kAVX2;
+  } else if (name == "neon") {
+    *out = SimdLevel::kNEON;
+  } else if (name == "auto") {
+    *out = SimdLevel::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void HashRowsKernel(const uint32_t* const* cols, size_t arity, size_t n,
+                    uint64_t* out, SimdLevel level) {
+  switch (Resolve(level)) {
+#if defined(BAGC_SIMD_X86)
+    case SimdLevel::kAVX2:
+      HashRowsAvx2(cols, arity, n, out);
+      return;
+    case SimdLevel::kSSE42:
+      HashRowsSse42(cols, arity, n, out);
+      return;
+#endif
+#if defined(BAGC_SIMD_NEON)
+    case SimdLevel::kNEON:
+      HashRowsNeon(cols, arity, n, out);
+      return;
+#endif
+    default:
+      HashRowsScalar(cols, arity, n, out);
+      return;
+  }
+}
+
+uint32_t MaxU32(const uint32_t* col, size_t n, SimdLevel level) {
+  switch (Resolve(level)) {
+#if defined(BAGC_SIMD_X86)
+    case SimdLevel::kAVX2:
+      return MaxU32Avx2(col, n);
+    case SimdLevel::kSSE42:
+      return MaxU32Sse42(col, n);
+#endif
+#if defined(BAGC_SIMD_NEON)
+    case SimdLevel::kNEON:
+      return MaxU32Neon(col, n);
+#endif
+    default:
+      return MaxU32Scalar(col, n);
+  }
+}
+
+void PackKeys2(const uint32_t* a, const uint32_t* b, uint64_t stride,
+               size_t n, uint64_t* keys, SimdLevel level) {
+  switch (Resolve(level)) {
+#if defined(BAGC_SIMD_X86)
+    case SimdLevel::kAVX2:
+      PackKeys2Avx2(a, b, stride, n, keys);
+      return;
+    case SimdLevel::kSSE42:
+      PackKeys2Sse42(a, b, stride, n, keys);
+      return;
+#endif
+#if defined(BAGC_SIMD_NEON)
+    case SimdLevel::kNEON:
+      PackKeys2Neon(a, b, stride, n, keys);
+      return;
+#endif
+    default:
+      PackKeys2Scalar(a, b, stride, n, keys);
+      return;
+  }
+}
+
+void GatherSlotTags(const uint32_t* slots, uint64_t mask,
+                    const uint64_t* hashes, size_t n, uint32_t* tags,
+                    SimdLevel level) {
+  switch (Resolve(level)) {
+#if defined(BAGC_SIMD_X86)
+    case SimdLevel::kAVX2:
+      GatherSlotTagsAvx2(slots, mask, hashes, n, tags);
+      return;
+#endif
+    default:
+      GatherSlotTagsScalar(slots, mask, hashes, n, tags);
+      return;
+  }
+}
+
+}  // namespace simd
+}  // namespace bagc

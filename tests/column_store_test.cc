@@ -141,7 +141,7 @@ TEST(ColumnStoreTest, EmptySchemaBags) {
   Bag bag = RandomBag(Schema{{0, 1}}, 64, 4, 99);
   Bag onto_empty = *bag.MarginalColumnar(Schema{});
   ASSERT_EQ(onto_empty.SupportSize(), 1u);
-  EXPECT_EQ(onto_empty.entries()[0].second, *bag.UnarySize());
+  EXPECT_EQ(onto_empty.MultiplicityAt(0), *bag.UnarySize());
   EXPECT_EQ(onto_empty, *bag.MarginalRows(Schema{}));
 
   // And an empty bag stays empty on both paths.
@@ -185,8 +185,8 @@ TEST(ColumnStoreTest, KRelationColumnarMarginalMatchesBag) {
     KRelation<CountingSemiring> got = *kr.Marginal(z);
     ASSERT_EQ(got.SupportSize(), expected.SupportSize());
     for (size_t i = 0; i < expected.SupportSize(); ++i) {
-      EXPECT_EQ(got.entries()[i].first, expected.entries()[i].first);
-      EXPECT_EQ(got.entries()[i].second, expected.entries()[i].second);
+      EXPECT_EQ(got.entries()[i].first, expected.RowAt(i));
+      EXPECT_EQ(got.entries()[i].second, expected.MultiplicityAt(i));
     }
   }
 }
@@ -206,8 +206,8 @@ TEST(ColumnStoreTest, EngineMarginalPathsProduceIdenticalVerdicts) {
       std::vector<Bag> bags = c.bags();
       Bag& victim = bags[seed % bags.size()];
       if (!victim.IsEmpty()) {
-        Tuple t = victim.entries()[0].first;
-        uint64_t mult = victim.entries()[0].second;
+        Tuple t = victim.RowAt(0);
+        uint64_t mult = victim.MultiplicityAt(0);
         ASSERT_TRUE(victim.Set(t, mult + 1).ok());
       }
       c = *BagCollection::Make(std::move(bags));

@@ -38,12 +38,13 @@ Bag RenameBag(const Bag& b, const std::vector<AttrId>& perm) {
   Schema schema(renamed);
   BagBuilder builder(schema);
   builder.Reserve(b.SupportSize());
-  for (const auto& [t, mult] : b.entries()) {
+  for (size_t e = 0; e < b.SupportSize(); ++e) {
+    Tuple t = b.RowAt(e);
     std::vector<Value> values(schema.arity());
     for (size_t slot = 0; slot < b.schema().arity(); ++slot) {
       values[*schema.IndexOf(perm[b.schema().at(slot)])] = t.at(slot);
     }
-    EXPECT_TRUE(builder.Add(Tuple{std::move(values)}, mult).ok());
+    EXPECT_TRUE(builder.Add(Tuple{std::move(values)}, b.MultiplicityAt(e)).ok());
   }
   return *builder.Build();
 }
@@ -66,10 +67,8 @@ Result<BagCollection> MakeMixedCollection(uint64_t seed, bool perturb) {
     EXPECT_TRUE(victim.Set(Tuple{std::move(zeros)}, 1).ok());
   } else {
     size_t pick = rng.Below(victim.SupportSize());
-    EXPECT_TRUE(victim
-                    .Set(victim.entries()[pick].first,
-                         victim.entries()[pick].second + 2)
-                    .ok());
+    EXPECT_TRUE(
+        victim.Set(victim.RowAt(pick), victim.MultiplicityAt(pick) + 2).ok());
   }
   return BagCollection::Make(std::move(bags));
 }
@@ -185,7 +184,9 @@ TEST(EnginePropertyTest, CachedAnswersStableAcrossRepeatedQueries) {
       ASSERT_NE(cached, nullptr);
       Bag fresh = *c.bag(i).Marginal(z);
       EXPECT_EQ(fresh, *cached);
-      for (const auto& [t, mult] : fresh.entries()) {
+      for (size_t e = 0; e < fresh.SupportSize(); ++e) {
+        Tuple t = fresh.RowAt(e);
+        uint64_t mult = fresh.MultiplicityAt(e);
         EXPECT_EQ(mult, *engine.ProbeMarginal(i, z, t));
         EXPECT_EQ(mult, *engine.ProbeMarginal(i, z, t));  // probe is stable
       }
@@ -209,10 +210,8 @@ TEST(EnginePropertyTest, EarlyExitDrainsPoolBeforeEngineDestruction) {
     BagCollection base = *MakeGloballyConsistentCollection(h, options, &rng);
     std::vector<Bag> bags = base.bags();
     ASSERT_FALSE(bags[0].IsEmpty());
-    ASSERT_TRUE(bags[0]
-                    .Set(bags[0].entries()[0].first,
-                         bags[0].entries()[0].second + 1)
-                    .ok());
+    ASSERT_TRUE(
+        bags[0].Set(bags[0].RowAt(0), bags[0].MultiplicityAt(0) + 1).ok());
     BagCollection c = *BagCollection::Make(std::move(bags));
     PairwiseVerdict verdict;
     {
@@ -245,12 +244,13 @@ TEST(EnginePropertyTest, KWiseSweepReusesSealedMarginalsAndNeverReInterns) {
   std::vector<Bag> interned;
   for (const Bag& b : c.bags()) {
     BagBuilder builder(b.schema());
-    for (const auto& [t, mult] : b.entries()) {
+    for (size_t e = 0; e < b.SupportSize(); ++e) {
+      Tuple t = b.RowAt(e);
       std::vector<std::string> tokens;
       for (size_t i = 0; i < t.arity(); ++i) {
         tokens.push_back("tok" + std::to_string(t.at(i)));
       }
-      ASSERT_TRUE(builder.AddExternal(tokens, mult, dicts.get()).ok());
+      ASSERT_TRUE(builder.AddExternal(tokens, b.MultiplicityAt(e), dicts.get()).ok());
     }
     interned.push_back(*builder.Build());
   }
@@ -300,10 +300,8 @@ TEST(EnginePropertyTest, KWiseMatchesHistoricalPerSubsetSolve) {
     BagCollection base = *MakeGloballyConsistentCollection(h, options, &rng);
     std::vector<Bag> bags = base.bags();
     if (rng.Chance(1, 2) && !bags[0].IsEmpty()) {
-      ASSERT_TRUE(bags[0]
-                      .Set(bags[0].entries()[0].first,
-                           bags[0].entries()[0].second + 1)
-                      .ok());
+      ASSERT_TRUE(
+          bags[0].Set(bags[0].RowAt(0), bags[0].MultiplicityAt(0) + 1).ok());
     }
     BagCollection c = *BagCollection::Make(std::move(bags));
     for (size_t k : {size_t{2}, size_t{3}, c.size()}) {

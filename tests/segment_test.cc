@@ -270,6 +270,25 @@ TEST(SegmentTest, LoadSegMatchesTextLoadedSession) {
   std::vector<std::string> text_tail = tail(text_out);
   std::vector<std::string> seg_tail = tail(seg_out);
   ASSERT_FALSE(text_tail.empty());
+  // sealed_bytes is the one line that legitimately differs: the
+  // segment-loaded session serves the mmap'd columns in place
+  // (BagBorrowU32Columns), so its engine-resident bytes must come in at
+  // or under the text-loaded copy. Everything else is byte-identical.
+  auto split_sealed = [](std::vector<std::string>* lines) {
+    for (auto it = lines->begin(); it != lines->end(); ++it) {
+      if (it->rfind("sealed_bytes ", 0) == 0) {
+        uint64_t value = std::stoull(it->substr(std::string("sealed_bytes ").size()));
+        lines->erase(it);
+        return value;
+      }
+    }
+    return static_cast<uint64_t>(0);
+  };
+  uint64_t text_sealed = split_sealed(&text_tail);
+  uint64_t seg_sealed = split_sealed(&seg_tail);
+  EXPECT_GT(text_sealed, 0u);
+  EXPECT_GT(seg_sealed, 0u);
+  EXPECT_LE(seg_sealed, text_sealed);
   EXPECT_EQ(text_tail, seg_tail);
   std::remove(path.c_str());
 }

@@ -60,12 +60,13 @@ StringCollection InternAsStrings(const BagCollection& numeric) {
   for (const Bag& b : numeric.bags()) {
     BagBuilder builder(b.schema());
     builder.Reserve(b.SupportSize());
-    for (const auto& [t, mult] : b.entries()) {
+    for (size_t e = 0; e < b.SupportSize(); ++e) {
+      Tuple t = b.RowAt(e);
       std::vector<std::string> row(b.schema().arity());
       for (size_t i = 0; i < row.size(); ++i) {
         row[i] = Token(b.schema().at(i), t.at(i));
       }
-      EXPECT_TRUE(builder.AddExternal(row, mult, out.dicts.get()).ok());
+      EXPECT_TRUE(builder.AddExternal(row, b.MultiplicityAt(e), out.dicts.get()).ok());
     }
     bags.push_back(*builder.Build());
     out.names.push_back("bag" + std::to_string(out.names.size()));
@@ -225,9 +226,9 @@ TEST(ServerConcurrentTest, MixedQueriesBitIdenticalAcrossClients) {
   {
     BagCollection c = *MakeGloballyConsistentCollection(*MakePath(4), gen, &rng);
     std::vector<Bag> bags(c.bags());
-    const auto& entry = bags[1].entries().front();
     Bag perturbed = bags[1];
-    EXPECT_TRUE(perturbed.Set(entry.first, entry.second + 3).ok());
+    EXPECT_TRUE(
+        perturbed.Set(bags[1].RowAt(0), bags[1].MultiplicityAt(0) + 3).ok());
     bags[1] = perturbed;
     scenarios.push_back({"acyclic_perturbed", *BagCollection::Make(std::move(bags)), 2});
   }

@@ -226,7 +226,7 @@ TEST(ServerSessionTest, StatsShape) {
   Feed(&session, kSetupScript);
   Feed(&session, "TWOBAG 0 1\n");
   std::vector<std::string> out = Feed(&session, "STATS\n");
-  ASSERT_EQ(out.size(), 15u);
+  ASSERT_EQ(out.size(), 16u);
   EXPECT_EQ(out.front(), "OK STATS");
   EXPECT_EQ(out.back(), kWireEnd);
   EXPECT_EQ(out[1], "proto 1");
@@ -239,6 +239,7 @@ TEST(ServerSessionTest, StatsShape) {
   EXPECT_EQ(out[11], "collections 1");
   EXPECT_EQ(out[12], "evictions 0");
   EXPECT_EQ(out[13], "deltas 0");
+  EXPECT_EQ(out[14].rfind("sealed_bytes ", 0), 0u);
 
   // Per-collection STATS: registry accounting for one tenant.
   out = Feed(&session, "STATS default\n");
@@ -407,7 +408,7 @@ TEST(ServerSessionTest, InsertDeltaPublishesIncrementally) {
 
   // The global counter saw both commits.
   out = Feed(&session, "STATS\n");
-  ASSERT_EQ(out.size(), 15u);
+  ASSERT_EQ(out.size(), 16u);
   EXPECT_EQ(out[13], "deltas 2");
 
   // Lineage survives a delta publish: the next plain SEAL still reuses

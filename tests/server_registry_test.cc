@@ -214,5 +214,133 @@ TEST(ServerRegistryTest, PerCollectionByteCeilingRefusesOversizedSeal) {
   EXPECT_EQ(registry.Peek(registry.Default().get()), nullptr);
 }
 
+// Streams one bag of `rows` distinct arity-2 rows and SEALs it.
+std::string WideLoadScript(size_t rows) {
+  std::string script = "DICT item " + std::to_string(rows) + "\n";
+  for (size_t i = 0; i < rows; ++i) script += "v" + std::to_string(i) + "\n";
+  script += "END\nDICT store 2\nd\nu\nEND\n";
+  script += "LOADU32 r item store\n";
+  for (size_t i = 0; i < rows; ++i) {
+    script += std::to_string(i) + " " + std::to_string(i % 2) + " : 3\n";
+  }
+  script += "END\nSEAL\n";
+  return script;
+}
+
+uint64_t StatsSealedBytes(ServerSession* session) {
+  for (const std::string& line : session->HandleScript("STATS\n")) {
+    if (line.rfind("sealed_bytes ", 0) == 0) {
+      return std::stoull(line.substr(std::string("sealed_bytes ").size()));
+    }
+  }
+  ADD_FAILURE() << "STATS carried no sealed_bytes key";
+  return 0;
+}
+
+// The columnar-only seal memory pin: every sealed bag at or above the
+// columnar threshold holds NO live flat row vector (columnar_sealed),
+// its resident bytes come in well under the row form it replaced, and
+// the STATS sealed_bytes key surfaces the engine-resident total.
+TEST(ServerRegistryTest, SealedBagsHoldNoRowVectorAndShrinkSealedBytes) {
+  const size_t kRows = 64;  // comfortably above kColumnarMinRows
+  ASSERT_GE(kRows, kColumnarMinRows);
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  std::vector<std::string> out = session.HandleScript(WideLoadScript(kRows));
+  ASSERT_FALSE(out.empty());
+  ASSERT_EQ(out.back().rfind("OK SEAL", 0), 0u) << out.back();
+  std::shared_ptr<const EngineSnapshot> snapshot =
+      registry.Peek(registry.Default().get());
+  ASSERT_NE(snapshot, nullptr);
+  for (const Bag& bag : snapshot->engine()->collection().bags()) {
+    ASSERT_TRUE(bag.columnar_sealed())
+        << "sealed serving bag still carries its flat row vector";
+    // The ~halving pin: the columnar rep (ids + mults, no Tuples) must
+    // be at most 60% of the row form's footprint for the same rows.
+    Bag row_form = bag;
+    Status unsealed = row_form.Add(bag.RowAt(0), 1);  // de-seals via COW
+    ASSERT_TRUE(unsealed.ok());
+    ASSERT_FALSE(row_form.columnar_sealed());
+    EXPECT_LE(bag.ApproxBytes() * 10, row_form.ApproxBytes() * 6)
+        << "columnar " << bag.ApproxBytes() << " bytes vs row "
+        << row_form.ApproxBytes();
+  }
+  uint64_t sealed = StatsSealedBytes(&session);
+  EXPECT_GT(sealed, 0u);
+  EXPECT_EQ(sealed, snapshot->sealed_bytes());
+}
+
+// --columnar-min-rows plumbing: the registry option reaches the engine
+// of every SEAL, moving the threshold both down (tiny bags convert) and
+// up (nothing converts, the row form survives).
+TEST(ServerRegistryTest, ColumnarMinRowsOptionControlsSealShape) {
+  const std::string script =
+      "DICT item 4\na\nb\nc\nd\nEND\n"
+      "LOADU32 r item\n0 : 1\n1 : 2\n2 : 1\n3 : 5\nEND\nSEAL\n";
+  {
+    CollectionRegistry::Options opts;
+    opts.columnar_min_rows = 2;  // far below the engine default
+    CollectionRegistry registry(opts);
+    ServerSession session(&registry, nullptr);
+    ASSERT_EQ(session.HandleScript(script).back().rfind("OK SEAL", 0), 0u);
+    std::shared_ptr<const EngineSnapshot> snapshot =
+        registry.Peek(registry.Default().get());
+    ASSERT_NE(snapshot, nullptr);
+    for (const Bag& bag : snapshot->engine()->collection().bags()) {
+      EXPECT_TRUE(bag.columnar_sealed());
+    }
+  }
+  {
+    CollectionRegistry::Options opts;
+    opts.columnar_min_rows = size_t{1} << 30;  // nothing qualifies
+    CollectionRegistry registry(opts);
+    ServerSession session(&registry, nullptr);
+    ASSERT_EQ(session.HandleScript(script).back().rfind("OK SEAL", 0), 0u);
+    std::shared_ptr<const EngineSnapshot> snapshot =
+        registry.Peek(registry.Default().get());
+    ASSERT_NE(snapshot, nullptr);
+    for (const Bag& bag : snapshot->engine()->collection().bags()) {
+      EXPECT_FALSE(bag.columnar_sealed());
+    }
+  }
+}
+
+// The zero-copy twin: a snapshot lazily reloaded from its BAGCSEG
+// segment serves the mmap'd columns in place — every reloaded bag is
+// columnar-sealed over a *borrowed* store (no ids copied, no row
+// vector), and answers stay bit-identical (the thrash differential
+// above covers that; this pins the representation).
+TEST(ServerRegistryTest, SegmentReloadServesBorrowedColumns) {
+  Tenant t{"mmapped", WriteTenantSegment(1), false, {}};
+  CollectionRegistry::Options opts;
+  opts.mem_budget_bytes = 1;  // evict everything not most-recent
+  CollectionRegistry registry(opts);
+  ASSERT_EQ(SealTenant(&registry, t).back().rfind("OK SEAL", 0), 0u);
+  // Publishing "default" evicts the segment-backed tenant...
+  ServerSession other(&registry, nullptr);
+  ASSERT_EQ(other
+                .HandleScript("DICT item 2\na\nb\nEND\n"
+                              "LOADU32 r item\n0 : 1\n1 : 1\nEND\nSEAL\n")
+                .back()
+                .rfind("OK SEAL", 0),
+            0u);
+  std::shared_ptr<CollectionRegistry::Collection> c = registry.Find(t.name);
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(registry.Peek(c.get()), nullptr) << "tenant was not evicted";
+  // ...and the next query reloads it from the mapping.
+  Result<std::shared_ptr<const EngineSnapshot>> reloaded =
+      registry.Acquire(c.get());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_NE(*reloaded, nullptr);
+  for (const Bag& bag : (*reloaded)->engine()->collection().bags()) {
+    ASSERT_TRUE(bag.columnar_sealed());
+    std::shared_ptr<const ColumnStore> store = bag.SharedColumns();
+    ASSERT_NE(store, nullptr);
+    EXPECT_TRUE(store->is_borrowed())
+        << "reloaded bag copied its columns instead of borrowing the mmap";
+  }
+  std::remove(t.seg_path.c_str());
+}
+
 }  // namespace
 }  // namespace bagc

@@ -28,6 +28,14 @@
 //   --max-collection-mb N  per-collection ceiling on one sealed
 //                      snapshot's size; larger SEALs answer E_RANGE
 //                      (0 = unlimited, default)
+//   --columnar-min-rows N  minimum support rows before a sealed bag
+//                      drops its row vector for the columnar-only
+//                      serving form (0 = engine default, currently 32);
+//                      applies to every SEAL and lazy segment reload
+//   --simd LEVEL       force the SIMD dispatch level for every kernel
+//                      in the process: scalar, sse4.2, avx2, neon, or
+//                      auto (default; runtime cpuid). Levels the host
+//                      cannot run are refused at startup
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -42,6 +50,7 @@
 
 #include "server/bagcd_server.h"
 #include "server/session.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -97,12 +106,35 @@ int main(int argc, char** argv) {
       options.registry.max_collection_bytes =
           static_cast<size_t>(next_number("--max-collection-mb", 0, 1 << 20))
           << 20;
+    } else if (std::strcmp(argv[i], "--columnar-min-rows") == 0) {
+      options.registry.columnar_min_rows = static_cast<size_t>(
+          next_number("--columnar-min-rows", 0, 1L << 40));
+    } else if (std::strcmp(argv[i], "--simd") == 0) {
+      const char* name = next("--simd");
+      bagc::simd::SimdLevel level;
+      if (!bagc::simd::ParseSimdLevel(name, &level)) {
+        std::fprintf(stderr,
+                     "bagcd: --simd must be scalar, sse4.2, avx2, neon, or "
+                     "auto, got '%s'\n",
+                     name);
+        return 2;
+      }
+      if (level != bagc::simd::SimdLevel::kAuto &&
+          !bagc::simd::LevelSupported(level)) {
+        std::fprintf(stderr, "bagcd: this host cannot execute --simd %s\n",
+                     bagc::simd::SimdLevelName(level));
+        return 2;
+      }
+      // Process-wide default: every kAuto kernel call in every session
+      // and seal resolves to this level.
+      bagc::simd::SetActiveSimdLevel(level);
     } else {
       std::fprintf(stderr,
                    "usage: bagcd [--host ADDR] [--port N] [--threads N] "
                    "[--port-file PATH] [--preload-seg PATH] "
                    "[--mem-budget-mb N] [--max-collections N] "
-                   "[--max-collection-mb N]\n");
+                   "[--max-collection-mb N] [--columnar-min-rows N] "
+                   "[--simd LEVEL]\n");
       return 2;
     }
   }
