@@ -48,7 +48,11 @@
 //   re-compare), DROP + re-LOADU32 + plain SEAL (the SealReuse path:
 //   untouched bags adopted, touched bags rebuilt), and DROP +
 //   re-LOADU32 + SEAL FULL (every store and marginal rebuilt). The
-//   reseal legs carry the FULL leg's ops/sec as their baseline.
+//   reseal legs carry the FULL leg's ops/sec as their baseline. Two WAL
+//   legs measure what --wal-dir adds: wal_commit_fsync (one durable
+//   4-bag commit record — encode, O_APPEND write, fdatasync) and
+//   wal_replay_32gen (reading + checksum-validating a 32-generation
+//   log, the startup recovery read path).
 //
 // Usage:
 //   bench_main [--suite bag_refactor|engine_batch|interned_rows|columnar_probe|
@@ -90,6 +94,7 @@
 #include "tuple/segment.h"
 #include "tuple/tuple_index.h"
 #include "tuple/value_dictionary.h"
+#include "tuple/wal.h"
 #include "solver/lp.h"
 #include "util/random.h"
 #include "util/simd.h"
@@ -971,6 +976,67 @@ void RunDeltaStreamSuite(std::vector<BenchResult>* results) {
     results->push_back(std::move(full));
     results->push_back(std::move(reuse));
     results->push_back(std::move(delta));
+  }
+
+  // ---- WAL legs: what --wal-dir adds to the delta path ---------------------
+  //
+  // wal_commit_fsync: one durable 4-bag commit record per iteration —
+  // EncodeWalRecord + O_APPEND write + fdatasync through WalWriter,
+  // the incremental cost every acked COMMIT pays for crash safety
+  // (dominated by the fdatasync, so ops/sec ~= the storage sync rate).
+  // wal_replay_32gen: reading and checksum-validating a 32-generation
+  // log (ReadWalFile), the startup recovery read path.
+  auto make_record = [](uint64_t generation) {
+    WalRecord record;
+    record.generation = generation;
+    record.base_fingerprint = 0xfeedfacecafef00dull;
+    for (uint32_t b = 0; b < 4; ++b) {
+      WalBagBlock block;
+      block.bag_index = b;
+      block.arity = 2;
+      for (uint32_t r = 0; r < 4; ++r) {
+        block.ids.push_back(r);
+        block.ids.push_back(r + 1);
+        block.deltas.push_back((r % 2) ? -3 : 7);
+      }
+      record.bags.push_back(std::move(block));
+    }
+    return record;
+  };
+
+  {
+    char path[] = "/tmp/bagc_bench_wal_commit_XXXXXX";
+    int fd = ::mkstemp(path);
+    if (fd >= 0) ::close(fd);
+    ::unlink(path);  // WalWriter::Open lays down its own header
+    WalWriter writer = *WalWriter::Open(path);
+    uint64_t generation = 0;
+    BenchResult commit = Measure("wal_commit_fsync", 1, [&] {
+      Status appended = writer.Append(make_record(++generation));
+      if (!appended.ok()) std::abort();
+    });
+    results->push_back(std::move(commit));
+    ::unlink(path);
+  }
+
+  {
+    char path[] = "/tmp/bagc_bench_wal_replay_XXXXXX";
+    int fd = ::mkstemp(path);
+    if (fd >= 0) ::close(fd);
+    ::unlink(path);
+    constexpr size_t kGenerations = 32;
+    {
+      WalWriter writer = *WalWriter::Open(path);
+      for (uint64_t g = 1; g <= kGenerations; ++g) {
+        if (!writer.Append(make_record(g)).ok()) std::abort();
+      }
+    }
+    BenchResult replay = Measure("wal_replay_32gen", kGenerations, [&] {
+      Result<WalContents> log = ReadWalFile(path);
+      if (!log.ok() || log->records.size() != kGenerations) std::abort();
+    });
+    results->push_back(std::move(replay));
+    ::unlink(path);
   }
 }
 

@@ -2,14 +2,19 @@
 # Server smoke test: start a real bagcd daemon, replay the annotated
 # transcripts from docs/PROTOCOL.md through the bagctl client (all four
 # blocks, including the INSERT/DELETE streaming-mutation transcript with
-# its "reused" suffixes and all-or-nothing failure line), prove the
-# replayer actually fails on divergence (a deliberately wrong transcript
-# must exit nonzero with a line-numbered diff), round-trip a sealed-bag
-# segment (bagctl --export-seg -> daemon restart -> LOADSEG, answers
-# matching the text-loaded session), thrash two named collections
-# through a 1 MiB memory budget (eviction + lazy segment reload must not
-# change a byte of the answers), then stop the daemon over the wire
-# (SHUTDOWN) and assert a clean exit. This is the out-of-process
+# its "reused" suffixes and all-or-nothing failure line, plus the
+# BEGIN/COMMIT transaction block), prove the replayer actually fails on
+# divergence (a deliberately wrong transcript must exit nonzero with a
+# line-numbered diff), round-trip a sealed-bag segment (bagctl
+# --export-seg -> daemon restart -> LOADSEG, answers matching the
+# text-loaded session), thrash two named collections through a 1 MiB
+# memory budget (eviction + lazy segment reload must not change a byte
+# of the answers), SIGKILL a daemon whose commits were journaled to a
+# --wal-dir delta WAL and prove the restart replays them byte-identically
+# (including a kill mid-commit-stream, whose torn tail must be truncated,
+# and a fingerprint-mismatched WAL, which must refuse startup), then
+# stop the daemon over the wire (SHUTDOWN) and assert a clean exit.
+# This is the out-of-process
 # complement to server_protocol_test — it exercises the actual
 # executables, argument parsing, port-file handshake, and process
 # shutdown path.
@@ -34,15 +39,21 @@ cleanup() {
 }
 trap cleanup EXIT
 
+DAEMON_LOG="$WORK_DIR/daemon_log.txt"
+
 start_daemon() {  # args: extra bagcd flags
   rm -f "$PORT_FILE"
-  "$BAGCD" --port 0 --port-file "$PORT_FILE" "$@" &
+  "$BAGCD" --port 0 --port-file "$PORT_FILE" "$@" > "$DAEMON_LOG" 2>&1 &
   DAEMON_PID=$!
   for _ in $(seq 100); do
     [ -s "$PORT_FILE" ] && break
     sleep 0.1
   done
-  [ -s "$PORT_FILE" ] || { echo "server_smoke: bagcd never wrote its port file" >&2; exit 1; }
+  [ -s "$PORT_FILE" ] || {
+    echo "server_smoke: bagcd never wrote its port file" >&2
+    cat "$DAEMON_LOG" >&2
+    exit 1
+  }
   PORT=$(cat "$PORT_FILE")
 }
 
@@ -181,4 +192,95 @@ grep -Eq '^reloads [1-9]' "$WORK_DIR/stats_a.txt" || {
 }
 
 stop_daemon
-echo "server_smoke: OK (transcripts incl. mutation replayed, replay diff verified, segment round trip, eviction thrash, clean shutdowns)"
+
+# Crash-recovery leg: commits journaled to the delta WAL must survive a
+# SIGKILL (no clean shutdown, no flush) and replay on restart, answers
+# byte-identical to the uninterrupted daemon's.
+WAL_DIR="$WORK_DIR/wal"
+mkdir -p "$WAL_DIR"
+WAL_QUERIES='TWOBAG 0 1\nPAIRWISE\nGLOBAL\nKWISE 2\nWITNESS 0 1 MINIMAL\nQUIT\n'
+# ids follow the segment's interning order: item apple=0 banana=1
+# cherry=2; store downtown=0 uptown=1; region north=0.
+WAL_COMMITS='BEGIN\nINSERT sales item store\n2 0 : 3\nEND\nDELETE stores store region\n1 0 : 2\nEND\nCOMMIT\nINSERT sales item store\n0 0 : 1\nEND\nDELETE sales item store\n1 1 : 1\nEND\nSTATS\nQUIT\n'
+
+start_daemon --preload-seg "$SEGMENT" --wal-dir "$WAL_DIR"
+printf "LOADSEG $SEGMENT\nSEAL\n$WAL_COMMITS" \
+  | "$BAGCTL" --port "$PORT" --script - > "$WORK_DIR/wal_commits.txt"
+if grep -q '^ERR' "$WORK_DIR/wal_commits.txt"; then
+  echo "server_smoke: WAL commit stream errored:" >&2
+  cat "$WORK_DIR/wal_commits.txt" >&2
+  exit 1
+fi
+grep -q '^OK COMMIT 2 rows 2 bags' "$WORK_DIR/wal_commits.txt" || {
+  echo "server_smoke: multi-bag COMMIT was not published atomically:" >&2
+  cat "$WORK_DIR/wal_commits.txt" >&2
+  exit 1
+}
+grep -q '^wal_records 3' "$WORK_DIR/wal_commits.txt" || {
+  echo "server_smoke: expected 3 WAL records after the commit stream:" >&2
+  cat "$WORK_DIR/wal_commits.txt" >&2
+  exit 1
+}
+# The uninterrupted daemon is the oracle: capture its answers, then
+# SIGKILL it — no shutdown handler runs, only the WAL survives.
+printf "$WAL_QUERIES" | "$BAGCTL" --port "$PORT" --script - > "$WORK_DIR/wal_ref.txt"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+start_daemon --preload-seg "$SEGMENT" --wal-dir "$WAL_DIR"
+grep -q 'replayed 3 WAL generation' "$DAEMON_LOG" || {
+  echo "server_smoke: restarted bagcd did not replay the WAL:" >&2
+  cat "$DAEMON_LOG" >&2
+  exit 1
+}
+printf "$WAL_QUERIES" | "$BAGCTL" --port "$PORT" --script - > "$WORK_DIR/wal_got.txt"
+if ! diff -u "$WORK_DIR/wal_ref.txt" "$WORK_DIR/wal_got.txt"; then
+  echo "server_smoke: recovered answers diverge from the uninterrupted daemon" >&2
+  exit 1
+fi
+
+# Kill the daemon MID-stream this time: a torn final record is a crash
+# artifact the recovery must truncate and tolerate, never refuse.
+( printf "LOADSEG $SEGMENT\nSEAL\n"
+  for _ in $(seq 50); do
+    printf 'INSERT sales item store\n0 0 : 1\nEND\nDELETE sales item store\n0 0 : 1\nEND\n'
+  done
+  printf 'QUIT\n' ) \
+  | "$BAGCTL" --port "$PORT" --script - > /dev/null 2>&1 &
+STREAM_PID=$!
+sleep 0.2
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+wait "$STREAM_PID" 2>/dev/null || true
+
+start_daemon --preload-seg "$SEGMENT" --wal-dir "$WAL_DIR"
+printf "$WAL_QUERIES" | "$BAGCTL" --port "$PORT" --script - > "$WORK_DIR/wal_torn.txt"
+grep -Eq '^OK (IN)?CONSISTENT' "$WORK_DIR/wal_torn.txt" || {
+  echo "server_smoke: daemon did not serve after mid-stream crash recovery:" >&2
+  cat "$DAEMON_LOG" >&2
+  exit 1
+}
+stop_daemon
+
+# A WAL written against one base segment must refuse to replay over a
+# different one — the daemon exits with the documented error instead of
+# silently folding deltas onto the wrong rows.
+if "$BAGCD" --port 0 --port-file "$PORT_FILE" --preload-seg "$WORK_DIR/tenant_a.seg" \
+    --wal-dir "$WAL_DIR" > "$WORK_DIR/wal_mismatch.txt" 2>&1; then
+  echo "server_smoke: bagcd started despite a fingerprint-mismatched WAL" >&2
+  exit 1
+fi
+grep -q 'WAL recovery failed' "$WORK_DIR/wal_mismatch.txt" || {
+  echo "server_smoke: fingerprint mismatch lacks the documented error:" >&2
+  cat "$WORK_DIR/wal_mismatch.txt" >&2
+  exit 1
+}
+grep -q 'different base segment' "$WORK_DIR/wal_mismatch.txt" || {
+  echo "server_smoke: fingerprint mismatch does not name the cause:" >&2
+  cat "$WORK_DIR/wal_mismatch.txt" >&2
+  exit 1
+}
+
+echo "server_smoke: OK (transcripts incl. mutation + transactions replayed, replay diff verified, segment round trip, eviction thrash, WAL crash recovery + fingerprint refusal, clean shutdowns)"

@@ -672,133 +672,167 @@ Result<std::optional<Bag>> ConsistencyEngine::SolveGlobalExact() {
 
 Result<DeltaOutcome> ConsistencyEngine::ApplyDelta(
     size_t bag_index, const std::vector<BagDelta>& deltas) {
+  DeltaBatch batch(1);
+  batch[0].bag_index = bag_index;
+  batch[0].deltas = deltas;
+  return ApplyDeltaBatch(batch);
+}
+
+Result<DeltaOutcome> ConsistencyEngine::ApplyDeltaBatch(
+    const DeltaBatch& batch) {
   if (owned_ == nullptr) {
     return Status::FailedPrecondition(
         "ApplyDelta requires an owned collection; use Make (not MakeView)");
   }
   size_t m = collection_->size();
-  if (bag_index >= m) return Status::OutOfRange("bag index out of range");
-  const Bag& bag = collection_->bag(bag_index);
-  const size_t arity = bag.schema().arity();
 
-  // Net change per row, keyed in sorted tuple order. Opposed rows within
-  // one stream cancel before validation, so "insert x; delete x" is a
-  // structural no-op even when x was never in the bag.
-  std::map<Tuple, int64_t> net;
-  for (const BagDelta& d : deltas) {
-    if (d.row.arity() != arity) {
-      return Status::InvalidArgument(
-          "delta row arity does not match the bag schema");
-    }
-    int64_t& acc = net[d.row];
-    if (__builtin_add_overflow(acc, d.delta, &acc)) {
-      return Status::ArithmeticOverflow("delta multiplicity overflow");
+  // Net change per bag per row, keyed in sorted tuple order. A bag
+  // listed twice nets as one stream, and opposed rows within the batch
+  // cancel before validation, so "insert x; delete x" is a structural
+  // no-op even when x was never in the bag.
+  std::map<size_t, std::map<Tuple, int64_t>> nets;
+  for (const BagDeltas& bd : batch) {
+    if (bd.bag_index >= m) return Status::OutOfRange("bag index out of range");
+    const size_t arity = collection_->bag(bd.bag_index).schema().arity();
+    std::map<Tuple, int64_t>& net = nets[bd.bag_index];
+    for (const BagDelta& d : bd.deltas) {
+      if (d.row.arity() != arity) {
+        return Status::InvalidArgument(
+            "delta row arity does not match the bag schema");
+      }
+      int64_t& acc = net[d.row];
+      if (__builtin_add_overflow(acc, d.delta, &acc)) {
+        return Status::ArithmeticOverflow("delta multiplicity overflow");
+      }
     }
   }
-  for (auto it = net.begin(); it != net.end();) {
-    it = it->second == 0 ? net.erase(it) : std::next(it);
+  for (auto bit = nets.begin(); bit != nets.end();) {
+    std::map<Tuple, int64_t>& net = bit->second;
+    for (auto it = net.begin(); it != net.end();) {
+      it = it->second == 0 ? net.erase(it) : std::next(it);
+    }
+    bit = net.empty() ? nets.erase(bit) : std::next(bit);
   }
   DeltaOutcome outcome;
-  if (net.empty()) return outcome;
+  if (nets.empty()) return outcome;
 
-  // The mutated bag. COW: other generations holding the old bag keep it.
-  // Row-level validation (a delete below zero → OutOfRange, an insert
-  // overflow) is the bag layer's, all-or-nothing on the copy — a failed
-  // delta leaves the engine bit-identical.
-  Bag mutated = bag;
-  BAGC_RETURN_NOT_OK(mutated.ApplyRowDeltas(
-      std::vector<std::pair<Tuple, int64_t>>(net.begin(), net.end())));
-  // Delta staging materialized flat rows; restore the columnar-only
-  // invariant for hot bags before the new generation is published.
-  if (options_.marginal_path != MarginalPath::kRows &&
-      mutated.SupportSize() >= ColumnarMinRows()) {
-    mutated.SealColumnar();
+  // ---- Stage: per bag, the mutated copy and its adjusted marginal
+  // slots. Nothing in the engine changes until EVERY bag has staged
+  // cleanly — a validation failure in the last bag leaves the first
+  // bags untouched (all-or-nothing across the batch).
+  struct StagedBag {
+    size_t bag_index;
+    Bag mutated;
+    std::vector<size_t> dirty_slots;
+    std::vector<std::optional<Bag>> staged;
+  };
+  std::vector<StagedBag> staged_bags;
+  staged_bags.reserve(nets.size());
+  for (const auto& [bag_index, net] : nets) {
+    const Bag& bag = collection_->bag(bag_index);
+    // The mutated bag. COW: other generations holding the old bag keep
+    // it. Row-level validation (a delete below zero → OutOfRange, an
+    // insert overflow) is the bag layer's, all-or-nothing on the copy.
+    Bag mutated = bag;
+    BAGC_RETURN_NOT_OK(mutated.ApplyRowDeltas(
+        std::vector<std::pair<Tuple, int64_t>>(net.begin(), net.end())));
+    // Delta staging materialized flat rows; restore the columnar-only
+    // invariant for hot bags before the new generation is published.
+    if (options_.marginal_path != MarginalPath::kRows &&
+        mutated.SupportSize() >= ColumnarMinRows()) {
+      mutated.SealColumnar();
+    }
+
+    // Adjust each cached marginal of the bag from the *projected* nets
+    // (Equation (2) is linear in multiplicities): a known group's net is
+    // a multiplicity bump, a new group appends, an adjustment to zero
+    // removes the group. A projection under which the nets cancel is
+    // clean and keeps its slot untouched. Adjusted copies are staged
+    // here and committed below — any overflow aborts with nothing
+    // mutated.
+    StagedBag sb{bag_index, std::move(mutated), {},
+                 std::vector<std::optional<Bag>>(cache_[bag_index].size())};
+    for (size_t k = 0; k < cache_[bag_index].size(); ++k) {
+      CachedProjection& slot = cache_[bag_index][k];
+      BAGC_ASSIGN_OR_RETURN(Projector proj,
+                            Projector::Make(bag.schema(), slot.schema));
+      std::map<Tuple, int64_t> pnet;
+      for (const auto& [t, d] : net) {
+        int64_t& acc = pnet[t.Project(proj)];
+        if (__builtin_add_overflow(acc, d, &acc)) {
+          return Status::ArithmeticOverflow("projected delta overflow");
+        }
+      }
+      for (auto it = pnet.begin(); it != pnet.end();) {
+        it = it->second == 0 ? pnet.erase(it) : std::next(it);
+      }
+      if (pnet.empty()) continue;
+      sb.dirty_slots.push_back(k);
+      if (!slot.filled) continue;  // lazy slot: recomputed from the new rows later
+      Bag next = *slot.marginal;
+      for (const auto& [pt, pd] : pnet) {
+        uint64_t old_group = next.Multiplicity(pt);
+        uint64_t updated;
+        if (pd < 0) {
+          // Cannot underflow: the new group count is a sum of the new
+          // (validated, non-negative) row multiplicities. CheckedSub
+          // guards the invariant anyway.
+          BAGC_ASSIGN_OR_RETURN(
+              updated,
+              CheckedSub(old_group, static_cast<uint64_t>(-(pd + 1)) + 1));
+        } else {
+          BAGC_ASSIGN_OR_RETURN(
+              updated, CheckedAdd(old_group, static_cast<uint64_t>(pd)));
+        }
+        BAGC_RETURN_NOT_OK(next.Set(pt, updated));
+      }
+      // The adjustment ran on flat rows; re-seal when the cached marginal
+      // was columnar so adjusted slots keep the sealed-bytes reduction.
+      if (slot.marginal->columnar_sealed()) next.SealColumnar();
+      sb.staged[k] = std::move(next);
+    }
+    staged_bags.push_back(std::move(sb));
   }
 
-  // Adjust each cached marginal of the bag from the *projected* nets
-  // (Equation (2) is linear in multiplicities): a known group's net is a
-  // multiplicity bump, a new group appends, an adjustment to zero removes
-  // the group. A projection under which the nets cancel is clean and
-  // keeps its slot untouched. Adjusted copies are staged here and
-  // committed below — any overflow aborts with nothing mutated.
-  std::vector<size_t> dirty_slots;
-  std::vector<std::optional<Bag>> staged(cache_[bag_index].size());
-  for (size_t k = 0; k < cache_[bag_index].size(); ++k) {
-    CachedProjection& slot = cache_[bag_index][k];
-    BAGC_ASSIGN_OR_RETURN(Projector proj,
-                          Projector::Make(bag.schema(), slot.schema));
-    std::map<Tuple, int64_t> pnet;
-    for (const auto& [t, d] : net) {
-      int64_t& acc = pnet[t.Project(proj)];
-      if (__builtin_add_overflow(acc, d, &acc)) {
-        return Status::ArithmeticOverflow("projected delta overflow");
-      }
-    }
-    for (auto it = pnet.begin(); it != pnet.end();) {
-      it = it->second == 0 ? pnet.erase(it) : std::next(it);
-    }
-    if (pnet.empty()) continue;
-    dirty_slots.push_back(k);
-    if (!slot.filled) continue;  // lazy slot: recomputed from the new rows later
-    Bag next = *slot.marginal;
-    for (const auto& [pt, pd] : pnet) {
-      uint64_t old_group = next.Multiplicity(pt);
-      uint64_t updated;
-      if (pd < 0) {
-        // Cannot underflow: the new group count is a sum of the new
-        // (validated, non-negative) row multiplicities. CheckedSub guards
-        // the invariant anyway.
-        BAGC_ASSIGN_OR_RETURN(
-            updated, CheckedSub(old_group, static_cast<uint64_t>(-(pd + 1)) + 1));
-      } else {
-        BAGC_ASSIGN_OR_RETURN(updated,
-                              CheckedAdd(old_group, static_cast<uint64_t>(pd)));
-      }
-      BAGC_RETURN_NOT_OK(next.Set(pt, updated));
-    }
-    // The adjustment ran on flat rows; re-seal when the cached marginal
-    // was columnar so adjusted slots keep the sealed-bytes reduction.
-    if (slot.marginal->columnar_sealed()) next.SealColumnar();
-    staged[k] = std::move(next);
-  }
-
-  // Rebuild the owned collection around the mutated bag (schemas — and
+  // Rebuild the owned collection around the mutated bags (schemas — and
   // hence the hypergraph, the pair list, and every cache slot pointer —
   // are unchanged; untouched bags are refcount bumps).
   std::vector<Bag> bags = collection_->bags();
-  bags[bag_index] = std::move(mutated);
+  for (StagedBag& sb : staged_bags) bags[sb.bag_index] = std::move(sb.mutated);
   BAGC_ASSIGN_OR_RETURN(BagCollection next_collection,
                         BagCollection::Make(std::move(bags)));
 
   // ---- Commit: nothing below can fail. ----
   owned_ = std::make_shared<const BagCollection>(std::move(next_collection));
   collection_ = owned_.get();
-  bag_columns_[bag_index] = nullptr;  // transposed the old rows
-  for (size_t k : dirty_slots) {
-    if (!staged[k].has_value()) continue;
-    CachedProjection& slot = cache_[bag_index][k];
-    slot.marginal = std::make_shared<const Bag>(std::move(*staged[k]));
-    slot.probe = TupleIndex();
-    slot.probe_built = false;
-    ++outcome.changed_slots;
-    // An in-place adjustment is this generation's fill of the slot.
-    marginal_fills_->fetch_add(1, std::memory_order_relaxed);
+  std::vector<const CachedProjection*> dirty_ptrs;
+  for (StagedBag& sb : staged_bags) {
+    bag_columns_[sb.bag_index] = nullptr;  // transposed the old rows
+    for (size_t k : sb.dirty_slots) {
+      CachedProjection& slot = cache_[sb.bag_index][k];
+      dirty_ptrs.push_back(&slot);
+      if (!sb.staged[k].has_value()) continue;
+      slot.marginal = std::make_shared<const Bag>(std::move(*sb.staged[k]));
+      slot.probe = TupleIndex();
+      slot.probe_built = false;
+      ++outcome.changed_slots;
+      // An in-place adjustment is this generation's fill of the slot.
+      marginal_fills_->fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   // Minimal invalidation: exactly the pairs whose shared-attribute
   // marginal changed lose their cached verdicts (identified by the
   // pre-resolved slot pointers); clean pairs — including every pair not
-  // involving this bag — keep theirs.
-  std::vector<const CachedProjection*> dirty_ptrs;
-  dirty_ptrs.reserve(dirty_slots.size());
-  for (size_t k : dirty_slots) dirty_ptrs.push_back(&cache_[bag_index][k]);
+  // involving a mutated bag — keep theirs. A pair between two mutated
+  // bags is dirty from either side. pairs_ is lexicographic, so
+  // dirty_pairs comes out sorted and deduplicated.
   for (size_t idx = 0; idx < pairs_.size(); ++idx) {
     const PairTask& p = pairs_[idx];
-    const CachedProjection* own =
-        p.i == bag_index ? p.left : (p.j == bag_index ? p.right : nullptr);
-    if (own == nullptr) continue;
-    if (std::find(dirty_ptrs.begin(), dirty_ptrs.end(), own) ==
-        dirty_ptrs.end()) {
+    if (std::find(dirty_ptrs.begin(), dirty_ptrs.end(), p.left) ==
+            dirty_ptrs.end() &&
+        std::find(dirty_ptrs.begin(), dirty_ptrs.end(), p.right) ==
+            dirty_ptrs.end()) {
       continue;
     }
     outcome.dirty_pairs.emplace_back(p.i, p.j);
@@ -816,6 +850,15 @@ Result<DeltaOutcome> ConsistencyEngine::ApplyDelta(
 Result<ConsistencyEngine> ConsistencyEngine::MakeDelta(
     const ConsistencyEngine& previous, size_t bag_index,
     const std::vector<BagDelta>& deltas, DeltaOutcome* outcome) {
+  DeltaBatch batch(1);
+  batch[0].bag_index = bag_index;
+  batch[0].deltas = deltas;
+  return MakeDeltaBatch(previous, batch, outcome);
+}
+
+Result<ConsistencyEngine> ConsistencyEngine::MakeDeltaBatch(
+    const ConsistencyEngine& previous, const DeltaBatch& batch,
+    DeltaOutcome* outcome) {
   if (!previous.fully_sealed_) {
     return Status::FailedPrecondition(
         "MakeDelta requires a fully sealed previous generation");
@@ -825,12 +868,14 @@ Result<ConsistencyEngine> ConsistencyEngine::MakeDelta(
         "MakeDelta cannot apply deltas to a canonicalized generation: "
         "canonicalization remapped the row ids the delta speaks");
   }
-  if (bag_index >= previous.collection_->size()) {
-    return Status::OutOfRange("bag index out of range");
+  for (const BagDeltas& bd : batch) {
+    if (bd.bag_index >= previous.collection_->size()) {
+      return Status::OutOfRange("bag index out of range");
+    }
   }
   // Adopt EVERY bag of the previous generation (identity reuse): zero
   // marginal fills, shared column stores, shared marginal slots. The
-  // delta below then adjusts only the mutated bag's dirty slots, so
+  // batch below then adjusts only the mutated bags' dirty slots, so
   // marginal_fills() of the new engine lands on exactly that count.
   SealReuse reuse;
   reuse.previous = &previous;
@@ -842,13 +887,13 @@ Result<ConsistencyEngine> ConsistencyEngine::MakeDelta(
   BAGC_ASSIGN_OR_RETURN(
       ConsistencyEngine engine,
       Make(BagCollection(*previous.collection_), options, &reuse));
-  // Carry the previous generation's memoized verdicts forward; ApplyDelta
-  // invalidates exactly the dirty ones.
+  // Carry the previous generation's memoized verdicts forward; the
+  // batch apply invalidates exactly the dirty ones.
   engine.pair_state_ = previous.pair_state_;
   engine.pairwise_verdict_ = previous.pairwise_verdict_;
   engine.global_verdict_ = previous.global_verdict_;
   engine.marginal_fills_->store(0, std::memory_order_relaxed);
-  BAGC_ASSIGN_OR_RETURN(DeltaOutcome out, engine.ApplyDelta(bag_index, deltas));
+  BAGC_ASSIGN_OR_RETURN(DeltaOutcome out, engine.ApplyDeltaBatch(batch));
   if (outcome != nullptr) *outcome = std::move(out);
   return engine;
 }

@@ -142,6 +142,17 @@ struct BagDelta {
   int64_t delta = 0;
 };
 
+/// One bag's share of an atomic multi-bag commit.
+struct BagDeltas {
+  size_t bag_index = 0;
+  std::vector<BagDelta> deltas;
+};
+
+/// An atomic delta generation: every listed bag's deltas publish
+/// together or not at all (ApplyDeltaBatch / MakeDeltaBatch). Listing
+/// the same bag twice is allowed — its deltas net as one stream.
+using DeltaBatch = std::vector<BagDeltas>;
+
 /// What a delta actually touched: the pairs whose shared-attribute
 /// marginals changed (their cached verdicts were invalidated; everything
 /// else kept its verdict) and the number of cached marginal slots that
@@ -149,9 +160,9 @@ struct BagDelta {
 /// leaves that projection's slot — and its pairs — clean.
 struct DeltaOutcome {
   /// Dirty pairs (i, j), i < j, in lexicographic order. Every pair
-  /// involves the mutated bag (dirty-pair minimality).
+  /// involves a mutated bag (dirty-pair minimality).
   std::vector<std::pair<size_t, size_t>> dirty_pairs;
-  /// Cached marginal slots of the mutated bag that were adjusted in
+  /// Cached marginal slots of the mutated bags that were adjusted in
   /// place. Each adjustment counts as one marginal fill.
   size_t changed_slots = 0;
 };
@@ -195,6 +206,19 @@ class ConsistencyEngine {
                                              size_t bag_index,
                                              const std::vector<BagDelta>& deltas,
                                              DeltaOutcome* outcome = nullptr);
+
+  /// MakeDelta generalized to an atomic multi-bag batch: one published
+  /// generation carries every listed bag's deltas, with the same
+  /// contract per bag (in-place slot adjustment, minimal dirty-pair
+  /// invalidation — a pair is dirty when EITHER side's shared marginal
+  /// changed — marginal_fills() landing on exactly the batch's dirty
+  /// slot count). All-or-nothing across bags: validation of every bag's
+  /// deltas happens before any mutation, so a failed batch (for example
+  /// a DELETE below zero in the last bag) builds nothing. MakeDelta is
+  /// the single-entry special case.
+  static Result<ConsistencyEngine> MakeDeltaBatch(
+      const ConsistencyEngine& previous, const DeltaBatch& batch,
+      DeltaOutcome* outcome = nullptr);
 
   ConsistencyEngine(ConsistencyEngine&&) = default;
   ConsistencyEngine& operator=(ConsistencyEngine&&) = default;
@@ -265,6 +289,15 @@ class ConsistencyEngine {
   /// points).
   Result<DeltaOutcome> ApplyDelta(size_t bag_index,
                                   const std::vector<BagDelta>& deltas);
+
+  /// ApplyDelta generalized to an atomic multi-bag batch (the in-place
+  /// twin of MakeDeltaBatch): per-bag nets are staged — COW bag
+  /// mutation, projected slot adjustments — for EVERY bag before any
+  /// engine state changes, then committed in one step. A validation
+  /// failure in any bag (arity, DELETE below zero, overflow) leaves the
+  /// engine bit-identical with no bag touched. ApplyDelta forwards here
+  /// with a single-entry batch.
+  Result<DeltaOutcome> ApplyDeltaBatch(const DeltaBatch& batch);
 
   /// Lemma 2(2) on bags i and j, answered from the cached marginals
   /// (filling them on first use under lazy_seal).

@@ -1,5 +1,7 @@
 #include "server/collection_registry.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <utility>
 
@@ -9,6 +11,72 @@
 namespace bagc {
 
 namespace {
+
+// One committed batch as the WAL logs it: raw per-bag signed row
+// deltas, exactly what the session staged (the replay feeds them back
+// through BuildDeltaBatch, which nets them identically).
+WalRecord RecordFromBatch(const EngineSnapshot& snapshot,
+                          const DeltaBatch& batch, uint64_t generation,
+                          uint64_t fingerprint) {
+  WalRecord record;
+  record.generation = generation;
+  record.base_fingerprint = fingerprint;
+  record.bags.reserve(batch.size());
+  for (const BagDeltas& bd : batch) {
+    if (bd.deltas.empty()) continue;  // zero-count rows netted to nothing
+    WalBagBlock block;
+    block.bag_index = static_cast<uint32_t>(bd.bag_index);
+    block.arity = static_cast<uint32_t>(
+        snapshot.engine()->collection().bag(bd.bag_index).schema().arity());
+    block.ids.reserve(bd.deltas.size() * block.arity);
+    block.deltas.reserve(bd.deltas.size());
+    for (const BagDelta& d : bd.deltas) {
+      for (size_t c = 0; c < d.row.arity(); ++c) block.ids.push_back(d.row.id(c));
+      block.deltas.push_back(d.delta);
+    }
+    record.bags.push_back(std::move(block));
+  }
+  return record;
+}
+
+// The inverse: one logged record back into the batch BuildDeltaBatch
+// replays. Validates the record against the live collection shape —
+// the log was written against this exact base, so a mismatch means the
+// wrong log, not a recoverable tear.
+Result<DeltaBatch> BatchFromRecord(const EngineSnapshot& snapshot,
+                                   const WalRecord& record) {
+  DeltaBatch batch;
+  batch.reserve(record.bags.size());
+  const BagCollection& collection = snapshot.engine()->collection();
+  for (const WalBagBlock& block : record.bags) {
+    if (block.bag_index >= collection.size()) {
+      return Status::InvalidArgument(
+          "WAL generation " + std::to_string(record.generation) +
+          " targets bag index " + std::to_string(block.bag_index) +
+          " but the base collection has " + std::to_string(collection.size()) +
+          " bags");
+    }
+    size_t arity = collection.bag(block.bag_index).schema().arity();
+    if (block.arity != arity) {
+      return Status::InvalidArgument(
+          "WAL generation " + std::to_string(record.generation) +
+          " carries arity " + std::to_string(block.arity) + " rows for bag " +
+          std::to_string(block.bag_index) + " (schema arity " +
+          std::to_string(arity) + ")");
+    }
+    BagDeltas bd;
+    bd.bag_index = block.bag_index;
+    bd.deltas.reserve(block.rows());
+    for (size_t r = 0; r < block.rows(); ++r) {
+      std::vector<ValueId> ids(block.ids.begin() + r * arity,
+                               block.ids.begin() + (r + 1) * arity);
+      bd.deltas.push_back(BagDelta{Tuple::OfIds(std::move(ids)),
+                                   block.deltas[r]});
+    }
+    batch.push_back(std::move(bd));
+  }
+  return batch;
+}
 
 // Rebuilds a sealed snapshot from a BAGCSEG segment — the lazy-reload
 // path after an eviction. Mirrors the session's LOADSEG+SEAL pipeline
@@ -134,6 +202,24 @@ Result<std::shared_ptr<const EngineSnapshot>> CollectionRegistry::Acquire(
                                       "' reload from segment failed: " +
                                       rebuilt.status().message());
   }
+  if (!options_.wal_dir.empty()) {
+    // The segment is only the BASE of the chain; the committed delta
+    // generations live in the WAL. Fold them onto the rebuilt snapshot
+    // BEFORE install — folding onto current_ after a racing delta landed
+    // would apply that delta twice. If a concurrent publish wins the
+    // install below, this folded snapshot is simply discarded.
+    std::lock_guard<std::mutex> wal_lock(c->wal_mu_);
+    uint64_t replayed = 0;
+    Result<std::shared_ptr<const EngineSnapshot>> folded =
+        FoldWalLocked(c, *std::move(rebuilt), path, &replayed);
+    if (!folded.ok()) {
+      return Status::FailedPrecondition(
+          "collection '" + c->name_ +
+          "' reload succeeded but WAL replay failed: " +
+          folded.status().message());
+    }
+    rebuilt = *std::move(folded);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (c->current_ != nullptr) {
     // A concurrent reload (or fresh SEAL) landed first; serve that one.
@@ -145,7 +231,9 @@ Result<std::shared_ptr<const EngineSnapshot>> CollectionRegistry::Acquire(
     // RESET (or DROP) raced the rebuild: stay empty, per the chain rule.
     return std::shared_ptr<const EngineSnapshot>();
   }
-  c->published_high_water_ = seq;
+  // A WAL fold advances the snapshot past `seq`; the mark must cover the
+  // generation actually installed.
+  c->published_high_water_ = std::max(seq, (*rebuilt)->seq());
   ++c->reloads_;
   const uint64_t bytes = (*rebuilt)->approx_bytes();
   InstallLocked(c, *std::move(rebuilt), bytes);
@@ -159,9 +247,9 @@ std::shared_ptr<const EngineSnapshot> CollectionRegistry::Peek(
   return c->current_;
 }
 
-Status CollectionRegistry::Publish(
+Status CollectionRegistry::PublishChain(
     Collection* c, std::shared_ptr<const EngineSnapshot> snapshot,
-    std::string segment_path, bool canonical) {
+    const std::string* segment_path, bool canonical) {
   const uint64_t bytes = snapshot->approx_bytes();
   std::lock_guard<std::mutex> lock(mu_);
   if (options_.max_collection_bytes > 0 &&
@@ -180,28 +268,238 @@ Status CollectionRegistry::Publish(
         "seal superseded by a newer generation; retry SEAL");
   }
   c->published_high_water_ = snapshot->seq();
-  c->segment_path_ = std::move(segment_path);
-  c->reload_canonical_ = canonical;
+  if (segment_path != nullptr) {
+    c->segment_path_ = *segment_path;
+    c->reload_canonical_ = canonical;
+  }
   InstallLocked(c, std::move(snapshot), bytes);
   EvictToBudgetLocked(c);
   return Status::OK();
 }
 
-void CollectionRegistry::Clear(Collection* c) {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t issued = c->next_seq_.load(std::memory_order_relaxed) - 1;
-  if (issued > c->published_high_water_) c->published_high_water_ = issued;
-  if (c->current_ != nullptr) {
-    resident_bytes_ -= c->bytes_;
-    c->current_ = nullptr;
-    c->bytes_ = 0;
+Status CollectionRegistry::Publish(
+    Collection* c, std::shared_ptr<const EngineSnapshot> snapshot,
+    std::string segment_path, bool canonical) {
+  if (options_.wal_dir.empty()) {
+    return PublishChain(c, std::move(snapshot), &segment_path, canonical);
   }
-  // RESET means "no engine until the next SEAL" — the reload source must
-  // not resurrect the cleared generation, and generation_ = 0 marks the
-  // chain empty (as opposed to evicted).
-  c->segment_path_.clear();
-  c->reload_canonical_ = false;
-  c->generation_ = 0;
+  // A full seal starts a new base epoch: any logged deltas speak the OLD
+  // base and must not replay over the new one, so the WAL resets with
+  // the publish (both under wal_mu_, so no delta commit interleaves).
+  // The one exception is the recovery window: the --preload-seg internal
+  // SEAL is publishing exactly the base the log is about to replay over,
+  // and ReplayWal owns the log's fate.
+  std::lock_guard<std::mutex> wal_lock(c->wal_mu_);
+  BAGC_RETURN_NOT_OK(PublishChain(c, std::move(snapshot), &segment_path,
+                                  canonical));
+  if (recovery_mode_.load(std::memory_order_relaxed)) return Status::OK();
+  return ResetWalLocked(c, segment_path);
+}
+
+Status CollectionRegistry::PublishDelta(
+    Collection* c, std::shared_ptr<const EngineSnapshot> snapshot,
+    const DeltaBatch& batch) {
+  // Without a WAL to make the delta chain replayable, the published
+  // rows silently diverge from any staged segment, so the reload source
+  // is DROPPED (a later eviction answers E_STATE instead of quietly
+  // reloading pre-delta state). With a WAL attached, the base segment
+  // stays the replay anchor of the whole chain.
+  const std::string no_reload_source;
+  if (options_.wal_dir.empty()) {
+    return PublishChain(c, std::move(snapshot), &no_reload_source, false);
+  }
+  std::lock_guard<std::mutex> wal_lock(c->wal_mu_);
+  if (c->wal_ == nullptr) {
+    // No segment base, no durability: the collection was sealed from
+    // session rows and has no replay anchor.
+    return PublishChain(c, std::move(snapshot), &no_reload_source, false);
+  }
+  std::shared_ptr<const EngineSnapshot> kept = snapshot;
+  BAGC_RETURN_NOT_OK(PublishChain(c, std::move(snapshot), nullptr, false));
+  WalRecord record =
+      RecordFromBatch(*kept, batch, kept->seq(), c->wal_fingerprint_);
+  if (record.bags.empty()) {
+    // A no-op commit (every row netted to zero) published a generation
+    // but changed nothing; replay reconstructs equivalent state without
+    // it, and the record grammar refuses empty blocks anyway.
+    return Status::OK();
+  }
+  Status appended = c->wal_->Append(record);
+  if (!appended.ok()) {
+    // The generation IS published — memory state moved on — but the
+    // commit is not durable. Surface that loudly rather than ack it.
+    return Status::Internal("delta published but WAL append failed: " +
+                            appended.message());
+  }
+  c->wal_records_.store(c->wal_->records(), std::memory_order_relaxed);
+  c->wal_bytes_.store(c->wal_->bytes(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void CollectionRegistry::Clear(Collection* c) {
+  // wal_mu_ before mu_ (the registry's lock order): a RESET also ends
+  // the collection's durability epoch.
+  std::unique_lock<std::mutex> wal_lock;
+  if (!options_.wal_dir.empty()) {
+    wal_lock = std::unique_lock<std::mutex>(c->wal_mu_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t issued = c->next_seq_.load(std::memory_order_relaxed) - 1;
+    if (issued > c->published_high_water_) c->published_high_water_ = issued;
+    if (c->current_ != nullptr) {
+      resident_bytes_ -= c->bytes_;
+      c->current_ = nullptr;
+      c->bytes_ = 0;
+    }
+    // RESET means "no engine until the next SEAL" — the reload source must
+    // not resurrect the cleared generation, and generation_ = 0 marks the
+    // chain empty (as opposed to evicted).
+    c->segment_path_.clear();
+    c->reload_canonical_ = false;
+    c->generation_ = 0;
+  }
+  if (wal_lock.owns_lock()) {
+    // The logged deltas chain onto the cleared state; drop them with it.
+    ResetWalLocked(c, std::string());
+  }
+}
+
+std::string CollectionRegistry::WalPathFor(const std::string& name) const {
+  // Filesystem-safe, injective encoding of the tenant name: anything
+  // outside [A-Za-z0-9_.-] becomes %XX, including '%' itself and path
+  // separators, so no name escapes wal_dir or collides with another.
+  static const char* kHex = "0123456789ABCDEF";
+  std::string encoded;
+  encoded.reserve(name.size());
+  for (char ch : name) {
+    unsigned char u = static_cast<unsigned char>(ch);
+    bool safe = (u >= 'A' && u <= 'Z') || (u >= 'a' && u <= 'z') ||
+                (u >= '0' && u <= '9') || u == '_' || u == '.' || u == '-';
+    if (safe) {
+      encoded.push_back(ch);
+    } else {
+      encoded.push_back('%');
+      encoded.push_back(kHex[u >> 4]);
+      encoded.push_back(kHex[u & 0xf]);
+    }
+  }
+  return options_.wal_dir + "/" + encoded + ".wal";
+}
+
+Status CollectionRegistry::ResetWalLocked(Collection* c,
+                                          const std::string& segment_path) {
+  c->wal_.reset();
+  c->wal_fingerprint_ = 0;
+  c->wal_records_.store(0, std::memory_order_relaxed);
+  c->wal_bytes_.store(0, std::memory_order_relaxed);
+  std::string wal_path = WalPathFor(c->name_);
+  ::unlink(wal_path.c_str());  // ENOENT is fine: no log yet
+  if (segment_path.empty()) {
+    // No segment base → no replay anchor → no WAL for this epoch.
+    return Status::OK();
+  }
+  BAGC_ASSIGN_OR_RETURN(uint64_t fingerprint, SegmentFingerprint(segment_path));
+  BAGC_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Open(wal_path));
+  c->wal_fingerprint_ = fingerprint;
+  c->wal_records_.store(writer.records(), std::memory_order_relaxed);
+  c->wal_bytes_.store(writer.bytes(), std::memory_order_relaxed);
+  c->wal_ = std::make_unique<WalWriter>(std::move(writer));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const EngineSnapshot>> CollectionRegistry::FoldWalLocked(
+    Collection* c, std::shared_ptr<const EngineSnapshot> base,
+    const std::string& segment_path, uint64_t* replayed) {
+  BAGC_ASSIGN_OR_RETURN(uint64_t fingerprint, SegmentFingerprint(segment_path));
+  std::string wal_path = WalPathFor(c->name_);
+  std::vector<WalRecord> records;
+  auto read = ReadWalFile(wal_path);
+  if (read.ok()) {
+    records = std::move(read->records);
+  } else if (read.status().code() != StatusCode::kNotFound) {
+    // Mid-file corruption or a foreign file: refuse to serve a state
+    // that silently skips committed generations.
+    return read.status();
+  }
+  if (!records.empty()) {
+    if (base == nullptr) {
+      return Status::FailedPrecondition(
+          "collection '" + c->name_ +
+          "' has logged generations but no resident base to replay over");
+    }
+    if (records.front().base_fingerprint != fingerprint) {
+      return Status::FailedPrecondition(
+          "WAL " + wal_path + " was written against a different base segment "
+          "(log fingerprint " +
+          std::to_string(records.front().base_fingerprint) + ", segment " +
+          segment_path + " has " + std::to_string(fingerprint) +
+          "); refusing to replay");
+    }
+    // Future appends must land past every logged generation; the logged
+    // ids are a previous process's seqs, so push this chain past them.
+    uint64_t want = records.back().generation + 1;
+    uint64_t have = c->next_seq_.load(std::memory_order_relaxed);
+    while (have < want &&
+           !c->next_seq_.compare_exchange_weak(have, want,
+                                               std::memory_order_relaxed)) {
+    }
+    for (const WalRecord& record : records) {
+      BAGC_ASSIGN_OR_RETURN(DeltaBatch batch, BatchFromRecord(*base, record));
+      BAGC_ASSIGN_OR_RETURN(
+          base, EngineSnapshot::BuildDeltaBatch(base, batch, c->NextSeq()));
+    }
+    *replayed += records.size();
+    c->replayed_.fetch_add(records.size(), std::memory_order_relaxed);
+    replayed_total_.fetch_add(records.size(), std::memory_order_relaxed);
+  }
+  // Attach (and create, for an empty log) the writer; Open amputates a
+  // torn tail so the file ends exactly at the last replayed record.
+  BAGC_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Open(wal_path));
+  c->wal_fingerprint_ = fingerprint;
+  c->wal_records_.store(writer.records(), std::memory_order_relaxed);
+  c->wal_bytes_.store(writer.bytes(), std::memory_order_relaxed);
+  c->wal_ = std::make_unique<WalWriter>(std::move(writer));
+  return base;
+}
+
+Result<uint64_t> CollectionRegistry::ReplayWal(Collection* c) {
+  if (options_.wal_dir.empty()) return uint64_t{0};
+  std::lock_guard<std::mutex> wal_lock(c->wal_mu_);
+  std::shared_ptr<const EngineSnapshot> base;
+  std::string segment_path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = c->current_;
+    segment_path = c->segment_path_;
+  }
+  if (segment_path.empty()) return uint64_t{0};  // no replay anchor
+  uint64_t replayed = 0;
+  BAGC_ASSIGN_OR_RETURN(
+      std::shared_ptr<const EngineSnapshot> folded,
+      FoldWalLocked(c, std::move(base), segment_path, &replayed));
+  if (replayed > 0) {
+    BAGC_RETURN_NOT_OK(PublishChain(c, std::move(folded), nullptr, false));
+  }
+  return replayed;
+}
+
+uint64_t CollectionRegistry::wal_records_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, c] : collections_) {
+    total += c->wal_records_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t CollectionRegistry::wal_bytes_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, c] : collections_) {
+    total += c->wal_bytes_.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 CollectionRegistry::CollectionStats CollectionRegistry::Stats(

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "server/engine_snapshot.h"
+#include "tuple/wal.h"
 #include "util/result.h"
 
 namespace bagc {
@@ -61,6 +62,14 @@ class CollectionRegistry {
     /// default (kColumnarMinRows). Applied to every SEAL and lazy segment
     /// reload this registry performs — bagcd --columnar-min-rows.
     size_t columnar_min_rows = 0;
+    /// Directory for per-collection delta WALs (bagcd --wal-dir); empty
+    /// disables durability. A collection whose base was sealed from a
+    /// segment gets a WAL keyed to that segment's fingerprint: every
+    /// PublishDelta appends one fdatasynced record, a full-seal Publish
+    /// resets the log (new base epoch), and ReplayWal / lazy reload
+    /// replays the log over the base so committed generations survive a
+    /// daemon restart.
+    std::string wal_dir;
   };
 
   /// Point-in-time per-collection counters (STATS <name>).
@@ -92,6 +101,18 @@ class CollectionRegistry {
 
     const std::string name_;
     std::atomic<uint64_t> next_seq_{1};
+    // ---- WAL state (wal_dir registries only) ----
+    // wal_mu_ serializes delta publishes (chain publish + record append,
+    // so file order equals seq order), full-seal WAL resets, and replay.
+    // Lock order: wal_mu_ is taken BEFORE the registry's mu_, never
+    // while holding it.
+    std::mutex wal_mu_;
+    std::unique_ptr<WalWriter> wal_;     // guarded by wal_mu_
+    uint64_t wal_fingerprint_ = 0;       // guarded by wal_mu_
+    // Lock-free mirrors of the writer's accounting for STATS.
+    std::atomic<uint64_t> wal_records_{0};
+    std::atomic<uint64_t> wal_bytes_{0};
+    std::atomic<uint64_t> replayed_{0};
     // ---- everything below is guarded by the registry's mu_ ----
     std::shared_ptr<const EngineSnapshot> current_;
     uint64_t published_high_water_ = 0;
@@ -105,7 +126,7 @@ class CollectionRegistry {
     uint64_t reloads_ = 0;
   };
 
-  CollectionRegistry() : CollectionRegistry(Options{0, 0, 0}) {}
+  CollectionRegistry() : CollectionRegistry(Options()) {}
   explicit CollectionRegistry(Options options);
 
   const Options& options() const { return options_; }
@@ -143,6 +164,41 @@ class CollectionRegistry {
   Status Publish(Collection* c, std::shared_ptr<const EngineSnapshot> snapshot,
                  std::string segment_path, bool canonical);
 
+  /// Publishes a delta generation (COMMIT / INSERT / DELETE): the same
+  /// chain rules as Publish. When a WAL is attached, the collection's
+  /// existing reload source is PRESERVED (the delta chain is replayable
+  /// on top of the base segment) and `batch` is appended as one durable
+  /// record — fdatasynced before OK is returned, in publish order; an
+  /// append failure is surfaced (the generation is published but not
+  /// durable). Without a WAL the reload source is dropped: the segment
+  /// no longer matches the published rows and must not quietly serve
+  /// pre-delta state after an eviction.
+  Status PublishDelta(Collection* c,
+                      std::shared_ptr<const EngineSnapshot> snapshot,
+                      const DeltaBatch& batch);
+
+  /// Replays the collection's WAL over its resident snapshot, which
+  /// must be the clean base sealed from its registered segment (bagcd
+  /// calls this right after --preload-seg). Validates the log's base
+  /// fingerprint against the segment — a divergent-fingerprint WAL is
+  /// refused with FailedPrecondition — folds every logged generation
+  /// into one published snapshot, attaches the writer for future
+  /// commits, and returns the number of generations replayed (0 when no
+  /// log exists; the writer is still attached). Idempotent across
+  /// restarts: the same log over the same base recovers the same state.
+  /// No-op returning 0 when the registry has no wal_dir or the
+  /// collection no reload source.
+  Result<uint64_t> ReplayWal(Collection* c);
+
+  /// Startup-recovery window: while set, a full-seal Publish preserves
+  /// any existing WAL instead of resetting it, so the --preload-seg
+  /// internal SEAL does not destroy the log it is about to replay.
+  /// bagcd sets it around preload + ReplayWal and clears it before
+  /// accepting connections.
+  void SetRecoveryMode(bool on) {
+    recovery_mode_.store(on, std::memory_order_relaxed);
+  }
+
   /// Unpublishes `c`'s current generation (RESET): in-flight queries
   /// finish on it, the high-water mark advances past every issued seq so
   /// in-flight seals AND reloads of the old state are refused, and the
@@ -160,6 +216,13 @@ class CollectionRegistry {
   size_t num_collections() const;
   size_t resident_bytes() const;
   uint64_t evictions_total() const { return evictions_total_.load(std::memory_order_relaxed); }
+  /// Records / bytes across every attached WAL (STATS wal_records /
+  /// wal_bytes), and generations recovered by replay since startup.
+  uint64_t wal_records_total() const;
+  uint64_t wal_bytes_total() const;
+  uint64_t replayed_generations_total() const {
+    return replayed_total_.load(std::memory_order_relaxed);
+  }
 
   // ---- global session counters (relaxed; reporting, not synchronization).
   void SessionOpened() { sessions_.fetch_add(1, std::memory_order_relaxed); }
@@ -184,6 +247,27 @@ class CollectionRegistry {
   // Drop the coldest resident snapshots (never `exempt`) until the
   // global budget holds. Caller holds mu_.
   void EvictToBudgetLocked(const Collection* exempt);
+  // The shared publish body: chain rules + install + eviction, under
+  // mu_. A null `segment_path` keeps the existing reload source (delta
+  // publishes); non-null replaces it (full seals).
+  Status PublishChain(Collection* c,
+                      std::shared_ptr<const EngineSnapshot> snapshot,
+                      const std::string* segment_path, bool canonical);
+  // c's WAL file path under options_.wal_dir (collection name encoded
+  // filesystem-safe).
+  std::string WalPathFor(const std::string& name) const;
+  // Drops and deletes c's WAL, then (unless `segment_path` is empty)
+  // starts a fresh one keyed to that segment's fingerprint. Caller
+  // holds c->wal_mu_.
+  Status ResetWalLocked(Collection* c, const std::string& segment_path);
+  // Reads c's WAL, validates it against `segment_path`'s fingerprint,
+  // folds every record over `base`, attaches the writer, and bumps
+  // next_seq_ past the logged generations. Returns the folded snapshot
+  // (== base when the log is empty) and adds the replay count to
+  // `*replayed`. Caller holds c->wal_mu_ and must NOT hold mu_.
+  Result<std::shared_ptr<const EngineSnapshot>> FoldWalLocked(
+      Collection* c, std::shared_ptr<const EngineSnapshot> base,
+      const std::string& segment_path, uint64_t* replayed);
 
   const Options options_;
   mutable std::mutex mu_;
@@ -192,6 +276,8 @@ class CollectionRegistry {
   uint64_t lru_clock_ = 0;      // guarded by mu_
   uint64_t resident_bytes_ = 0; // guarded by mu_
   std::atomic<uint64_t> evictions_total_{0};
+  std::atomic<uint64_t> replayed_total_{0};
+  std::atomic<bool> recovery_mode_{false};
   std::atomic<size_t> sessions_{0};
   std::atomic<uint64_t> seals_{0};
   std::atomic<uint64_t> resets_{0};

@@ -57,20 +57,28 @@ Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::Build(
 Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::BuildDelta(
     const std::shared_ptr<const EngineSnapshot>& previous, size_t bag_index,
     const std::vector<BagDelta>& deltas, uint64_t seq, DeltaOutcome* outcome) {
+  DeltaBatch batch(1);
+  batch[0].bag_index = bag_index;
+  batch[0].deltas = deltas;
+  return BuildDeltaBatch(previous, batch, seq, outcome);
+}
+
+Result<std::shared_ptr<const EngineSnapshot>> EngineSnapshot::BuildDeltaBatch(
+    const std::shared_ptr<const EngineSnapshot>& previous,
+    const DeltaBatch& batch, uint64_t seq, DeltaOutcome* outcome) {
   auto snapshot = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
   snapshot->seq_ = seq;
   snapshot->names_ = previous->names_;
   snapshot->name_index_ = previous->name_index_;
   snapshot->catalog_ = previous->catalog_;
   {
-    // MakeDelta carries the previous engine's memoized global verdict
-    // into the new generation; concurrent Global() calls on `previous`
-    // write that memo. Same mutex, no torn reads.
+    // MakeDeltaBatch carries the previous engine's memoized global
+    // verdict into the new generation; concurrent Global() calls on
+    // `previous` write that memo. Same mutex, no torn reads.
     std::lock_guard<std::mutex> lock(previous->global_mu_);
     BAGC_ASSIGN_OR_RETURN(
         ConsistencyEngine engine,
-        ConsistencyEngine::MakeDelta(*previous->engine_, bag_index, deltas,
-                                     outcome));
+        ConsistencyEngine::MakeDeltaBatch(*previous->engine_, batch, outcome));
     snapshot->engine_.emplace(std::move(engine));
   }
   // Only the delta's dirty pairs actually re-compare here; clean pairs

@@ -85,6 +85,16 @@ class EngineSnapshot {
       const std::vector<BagDelta>& deltas, uint64_t seq,
       DeltaOutcome* outcome = nullptr);
 
+  /// BuildDelta generalized to an atomic multi-bag batch
+  /// (ConsistencyEngine::MakeDeltaBatch): one published generation
+  /// carries every listed bag's deltas, with the same adoption/
+  /// invalidation contract per bag, and a failure in any bag builds
+  /// nothing. This is the COMMIT verb's builder and the WAL replay
+  /// unit — one WAL record becomes one BuildDeltaBatch call.
+  static Result<std::shared_ptr<const EngineSnapshot>> BuildDeltaBatch(
+      const std::shared_ptr<const EngineSnapshot>& previous,
+      const DeltaBatch& batch, uint64_t seq, DeltaOutcome* outcome = nullptr);
+
   /// Resolves a wire bag reference: a digits-only token is an index,
   /// anything else a LOAD-time bag name.
   Result<size_t> ResolveBag(const std::string& token) const;

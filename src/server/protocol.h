@@ -118,6 +118,8 @@ inline constexpr uint8_t kFrameKWise = 0x07;    ///< u32 k
 inline constexpr uint8_t kFrameWitness = 0x08;  ///< u32 i, u32 j, u8 minimal
 inline constexpr uint8_t kFrameInsert = 0x09;   ///< INSERT delta: ROWS grammar
 inline constexpr uint8_t kFrameDelete = 0x0A;   ///< DELETE delta: ROWS grammar
+inline constexpr uint8_t kFrameBegin = 0x0B;    ///< BEGIN: empty payload
+inline constexpr uint8_t kFrameCommit = 0x0C;   ///< COMMIT: empty payload
 
 // Server -> client frames.
 inline constexpr uint8_t kFrameOk = 0x80;         ///< OK line sans "OK " prefix

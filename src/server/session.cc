@@ -1,7 +1,9 @@
 #include "server/session.h"
 
+#include <algorithm>
 #include <future>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -294,6 +296,18 @@ std::vector<std::string> ServerSession::HandleScript(const std::string& text) {
 ServerSession::Outcome ServerSession::HandleCommand(
     const std::vector<std::string>& tokens, ResponseSink* sink) {
   const std::string& cmd = tokens[0];
+  // A transaction pins the bag set and the bound collection: only the
+  // delta verbs, queries, and framing commands run while one is open.
+  // RESET stays legal (it discards the transaction with everything
+  // else); body-carrying commands are refused in FinishBody so their
+  // blocks are still consumed through END.
+  if (txn_active_ && (cmd == "SEAL" || cmd == "LOADSEG" || cmd == "DROP" ||
+                      cmd == "ATTACH" || cmd == "DETACH")) {
+    sink->Err(WireError::kState,
+              cmd + " is not allowed inside a transaction; COMMIT or RESET "
+                    "first");
+    return Outcome::kContinue;
+  }
   if (WireCommandHasBody(cmd)) {
     if (mode_ == Mode::kBinary) {
       // Bodies are line-framed; inside the binary framing they travel as
@@ -320,6 +334,10 @@ ServerSession::Outcome ServerSession::HandleCommand(
   }
   if (cmd == "SEAL") {
     HandleSeal(tokens, sink);
+  } else if (cmd == "BEGIN") {
+    HandleBegin(tokens, sink);
+  } else if (cmd == "COMMIT") {
+    HandleCommit(tokens, sink);
   } else if (cmd == "TWOBAG") {
     HandleTwoBag(tokens, sink);
   } else if (cmd == "PAIRWISE") {
@@ -385,6 +403,20 @@ ServerSession::Outcome ServerSession::HandleFrame(uint8_t opcode,
     case kFrameDelete:
       HandleMutateFrame(opcode == kFrameInsert, payload, sink);
       return Outcome::kContinue;
+    case kFrameBegin:
+      if (!payload.empty()) {
+        sink->Err(WireError::kParse, "BEGIN frame carries no payload");
+        return Outcome::kContinue;
+      }
+      HandleBegin({"BEGIN"}, sink);
+      return Outcome::kContinue;
+    case kFrameCommit:
+      if (!payload.empty()) {
+        sink->Err(WireError::kParse, "COMMIT frame carries no payload");
+        return Outcome::kContinue;
+      }
+      HandleCommit({"COMMIT"}, sink);
+      return Outcome::kContinue;
     case kFrameTwoBag: {
       WireCursor cur(payload);
       uint32_t i = 0, j = 0;
@@ -448,6 +480,13 @@ void ServerSession::FinishBody(ResponseSink* sink) {
     sink->Err(WireError::kRange,
               "request body exceeds " + std::to_string(kMaxBodyLines) +
                   " lines or " + std::to_string(kMaxBodyBytes) + " bytes");
+  } else if (txn_active_ && body != Body::kInsert && body != Body::kDelete) {
+    // The block was consumed through END (stream stays in sync); only
+    // the application is refused.
+    sink->Err(WireError::kState,
+              body_header_[0] +
+                  " is not allowed inside a transaction; COMMIT or RESET "
+                  "first");
   } else if (body == Body::kDict) {
     FinishDict(sink);
   } else if (body == Body::kInsert || body == Body::kDelete) {
@@ -867,13 +906,34 @@ void ServerSession::CommitDelta(size_t bag_index, bool insert,
                                 ResponseSink* sink) {
   const std::string verb = insert ? "INSERT" : "DELETE";
   const std::string& name = bag_names_[bag_index];
+  if (txn_active_) {
+    // Inside BEGIN/COMMIT the delta only buffers; validation against
+    // multiplicities (and publication) happens atomically at COMMIT.
+    BagDeltas entry;
+    entry.bag_index = bag_index;
+    entry.deltas = std::move(deltas);
+    txn_batch_.push_back(std::move(entry));
+    txn_rows_ += rows;
+    sink->Ok(verb + " " + name + " " + std::to_string(rows) +
+             " rows buffered");
+    return;
+  }
+  DeltaBatch batch(1);
+  batch[0].bag_index = bag_index;
+  batch[0].deltas = std::move(deltas);
+  CommitBatch(std::move(batch), rows, verb + " " + name, sink);
+}
+
+void ServerSession::CommitBatch(DeltaBatch batch, size_t rows,
+                                const std::string& label, ResponseSink* sink) {
+  const std::string verb = label.substr(0, label.find(' '));
   // Incremental-publish lineage: the bound collection's chain currently
   // ends in the generation this session sealed, every loaded bag is
   // bit-identical to it (epoch at or before that seal, same name), and
   // no value was interned since — the generations then share one
-  // immutable dictionary clone, so the delta's ids mean the same thing
+  // immutable dictionary clone, so the batch's ids mean the same thing
   // in both. These are the SEAL reuse conditions demanded for ALL bags:
-  // the delta must be the only change the new generation carries.
+  // the batch must be the only change the new generation carries.
   bool lineage = last_sealed_ != nullptr && !last_seal_canonical_ &&
                  last_seal_dicts_ != nullptr &&
                  last_seal_dicts_->total_size() == dicts_->total_size() &&
@@ -897,58 +957,129 @@ void ServerSession::CommitDelta(size_t bag_index, bool insert,
     }
     DeltaOutcome outcome;
     Result<std::shared_ptr<const EngineSnapshot>> next =
-        EngineSnapshot::BuildDelta(last_sealed_, bag_index, deltas,
-                                   collection_->NextSeq(), &outcome);
+        EngineSnapshot::BuildDeltaBatch(last_sealed_, batch,
+                                        collection_->NextSeq(), &outcome);
     if (!next.ok()) {
-      // DELETE below zero multiplicity (E_RANGE) and friends: nothing
-      // was mutated or published — the loaded bag, the lineage, and the
-      // served generation are all intact.
+      // A DELETE below zero multiplicity (E_RANGE) in ANY bag: nothing
+      // was mutated or published — every loaded bag, the lineage, and
+      // the served generation are all intact.
       sink->ErrStatus(next.status());
       return;
     }
-    Status published = registry_->Publish(collection_.get(), *next,
-                                          /*segment_path=*/"",
-                                          /*canonical=*/false);
+    Status published =
+        registry_->PublishDelta(collection_.get(), *next, batch);
     if (!published.ok()) {
       // A concurrent publication won the chain (retryable E_STATE);
       // readers are on the newer generation, this session is untouched.
       sink->ErrStatus(published);
       return;
     }
-    // The session's staged copy now matches the published generation, so
+    // The session's staged copies now match the published generation, so
     // the next SEAL or delta keeps full reuse lineage.
-    bags_[bag_index] = (*next)->engine()->collection().bag(bag_index);
-    bag_epochs_[bag_index] = ++epoch_counter_;
+    std::vector<size_t> mutated;
+    for (const BagDeltas& bd : batch) {
+      if (std::find(mutated.begin(), mutated.end(), bd.bag_index) ==
+          mutated.end()) {
+        mutated.push_back(bd.bag_index);
+      }
+    }
+    for (size_t bi : mutated) {
+      bags_[bi] = (*next)->engine()->collection().bag(bi);
+      bag_epochs_[bi] = ++epoch_counter_;
+    }
     last_sealed_ = *next;
     last_seal_epoch_ = epoch_counter_;
     // The published rows diverged from whatever segment staged them.
     staged_seg_path_.clear();
     registry_->RecordDelta();
-    std::string rest = verb + " " + name + " " + std::to_string(rows) +
-                       " rows " + std::to_string(bags_.size()) + " bags";
-    size_t reused = bags_.size() - 1;
+    std::string rest = label + " " + std::to_string(rows) + " rows " +
+                       std::to_string(bags_.size()) + " bags";
+    size_t reused = bags_.size() - mutated.size();
     if (reused > 0) rest += " " + std::to_string(reused) + " reused";
     sink->Ok(rest);
     return;
   }
   // No publishable lineage (nothing sealed yet, canonical seal,
-  // dictionary growth, or a changed bag set): mutate the loaded bag
-  // only. The epoch bump marks it changed, so the next SEAL refills
-  // exactly this bag.
-  std::vector<std::pair<Tuple, int64_t>> nets;
-  nets.reserve(deltas.size());
-  for (BagDelta& d : deltas) nets.emplace_back(std::move(d.row), d.delta);
-  Bag next_bag = bags_[bag_index];
-  Status applied = next_bag.ApplyRowDeltas(nets);
-  if (!applied.ok()) {
-    sink->ErrStatus(applied);  // all-or-nothing: the loaded bag is intact
-    return;
+  // dictionary growth, or a changed bag set): mutate the loaded bags
+  // only, all-or-nothing across the whole batch. Nets are merged per bag
+  // first — the same netting ApplyDeltaBatch performs — so a bag listed
+  // twice behaves identically on both paths. The epoch bumps mark the
+  // touched bags changed, so the next SEAL refills exactly those.
+  std::map<size_t, std::map<Tuple, int64_t>> nets;
+  for (BagDeltas& bd : batch) {
+    std::map<Tuple, int64_t>& bag_net = nets[bd.bag_index];
+    for (BagDelta& d : bd.deltas) {
+      int64_t& slot = bag_net[std::move(d.row)];
+      if (__builtin_add_overflow(slot, d.delta, &slot)) {
+        sink->Err(WireError::kRange, "delta for one row overflows int64");
+        return;
+      }
+    }
   }
-  bags_[bag_index] = std::move(next_bag);
-  bag_epochs_[bag_index] = ++epoch_counter_;
+  std::map<size_t, Bag> staged;
+  for (auto& [bi, bag_net] : nets) {
+    std::vector<std::pair<Tuple, int64_t>> bag_deltas;
+    bag_deltas.reserve(bag_net.size());
+    for (auto& [row, delta] : bag_net) {
+      if (delta != 0) bag_deltas.emplace_back(row, delta);
+    }
+    if (bag_deltas.empty()) continue;
+    Bag next_bag = bags_[bi];
+    Status applied = next_bag.ApplyRowDeltas(bag_deltas);
+    if (!applied.ok()) {
+      sink->ErrStatus(applied);  // all-or-nothing: every loaded bag intact
+      return;
+    }
+    staged.emplace(bi, std::move(next_bag));
+  }
+  for (auto& [bi, bag] : staged) {
+    bags_[bi] = std::move(bag);
+    bag_epochs_[bi] = ++epoch_counter_;
+  }
   staged_seg_path_.clear();
   registry_->RecordDelta();
-  sink->Ok(verb + " " + name + " " + std::to_string(rows) + " rows staged");
+  sink->Ok(label + " " + std::to_string(rows) + " rows staged");
+}
+
+void ServerSession::HandleBegin(const std::vector<std::string>& tokens,
+                                ResponseSink* sink) {
+  if (tokens.size() != 1) {
+    sink->Err(WireError::kParse, "usage: BEGIN");
+    return;
+  }
+  if (txn_active_) {
+    sink->Err(WireError::kState,
+              "a transaction is already open; COMMIT or RESET first");
+    return;
+  }
+  txn_active_ = true;
+  txn_batch_.clear();
+  txn_rows_ = 0;
+  sink->Ok("BEGIN");
+}
+
+void ServerSession::HandleCommit(const std::vector<std::string>& tokens,
+                                 ResponseSink* sink) {
+  if (tokens.size() != 1) {
+    sink->Err(WireError::kParse, "usage: COMMIT");
+    return;
+  }
+  if (!txn_active_) {
+    sink->Err(WireError::kState, "no transaction is open; BEGIN first");
+    return;
+  }
+  // COMMIT ends the transaction either way: on an error the batch was
+  // not applied anywhere (all-or-nothing) and the client re-BEGINs.
+  DeltaBatch batch = std::move(txn_batch_);
+  size_t rows = txn_rows_;
+  txn_active_ = false;
+  txn_batch_.clear();
+  txn_rows_ = 0;
+  if (batch.empty()) {
+    sink->Ok("COMMIT 0 rows");
+    return;
+  }
+  CommitBatch(std::move(batch), rows, "COMMIT", sink);
 }
 
 void ServerSession::HandleHello(const std::vector<std::string>& tokens,
@@ -1192,6 +1323,10 @@ void ServerSession::HandleReset(const std::vector<std::string>& tokens,
   bags_.clear();
   bag_epochs_.clear();
   ForgetSealLineage();
+  // An open transaction dies with the bags it was staged against.
+  txn_active_ = false;
+  txn_batch_.clear();
+  txn_rows_ = 0;
   if (hard) {
     catalog_ = AttributeCatalog();
     dicts_ = std::make_shared<DictionarySet>();
@@ -1319,6 +1454,10 @@ void ServerSession::HandleStats(const std::vector<std::string>& tokens,
   kv.emplace_back("deltas", registry_->deltas_total());
   kv.emplace_back("sealed_bytes",
                   snapshot == nullptr ? 0 : snapshot->sealed_bytes());
+  kv.emplace_back("wal_records", registry_->wal_records_total());
+  kv.emplace_back("wal_bytes", registry_->wal_bytes_total());
+  kv.emplace_back("replayed_generations",
+                  registry_->replayed_generations_total());
   sink->Stats(kv);
 }
 

@@ -156,6 +156,19 @@ class ServerSession {
   void CommitDelta(size_t bag_index, bool insert, std::vector<BagDelta> deltas,
                    size_t rows, ResponseSink* sink);
 
+  // The COMMIT core, generalizing CommitDelta to a multi-bag batch:
+  // publishes the whole batch as ONE generation (and one WAL record)
+  // when the lineage holds, or applies it to the loaded bags otherwise —
+  // all-or-nothing across every bag either way (a failing delta in the
+  // last bag leaves every bag untouched). `label` is the response prefix
+  // ("COMMIT", "INSERT <name>"); its first token names the verb in
+  // error messages.
+  void CommitBatch(DeltaBatch batch, size_t rows, const std::string& label,
+                   ResponseSink* sink);
+
+  void HandleBegin(const std::vector<std::string>& tokens, ResponseSink* sink);
+  void HandleCommit(const std::vector<std::string>& tokens, ResponseSink* sink);
+
   void HandleHello(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandleUpgrade(const std::vector<std::string>& tokens, ResponseSink* sink);
   void HandleAttach(const std::vector<std::string>& tokens, ResponseSink* sink);
@@ -229,6 +242,13 @@ class ServerSession {
   // or dropped since), the segment path SEAL registers as the
   // collection's lazy reload source; empty otherwise.
   std::string staged_seg_path_;
+
+  // Open BEGIN/COMMIT transaction: INSERT/DELETE deltas buffer here and
+  // publish as ONE atomic generation (and one WAL record) at COMMIT.
+  // Structural commands are refused while open; RESET discards it.
+  bool txn_active_ = false;
+  DeltaBatch txn_batch_;
+  size_t txn_rows_ = 0;
 
   // Framing state.
   Mode mode_ = Mode::kText;

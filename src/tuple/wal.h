@@ -1,0 +1,170 @@
+// Delta write-ahead log: the durable twin of the in-memory delta
+// commit path. A WAL file records the committed delta generations of
+// one collection on top of one sealed base segment; a daemon restart
+// (or a registry lazy reload) replays the log over --preload-seg and
+// recovers the exact published state, so live mutating tenants no
+// longer rewind to the sealed base. docs/WAL.md documents the byte
+// layout with an annotated hexdump.
+//
+// File layout (all integers little-endian):
+//
+//   header (16 bytes)
+//     0   8   magic "BAGCWAL\n"
+//     8   4   u32 version (1)
+//     12  4   u32 header size (16)
+//   records, back to back, each:
+//     0   4   u32 payload length
+//     4   8   u64 FNV-1a checksum of the payload bytes
+//     12  .   payload:
+//               0   8   u64 generation id (strictly increasing)
+//               8   8   u64 base-segment fingerprint (the BAGCSEG
+//                       header checksum of the sealed base — see
+//                       SegmentFingerprint)
+//               16  4   u32 bag block count (>= 1)
+//               per bag block:
+//                 0   4   u32 bag index (position in the collection)
+//                 4   4   u32 arity
+//                 8   4   u32 row count (>= 1)
+//                 per row: arity × u32 value ids, then i64 delta
+//                          (two's complement u64 on the wire)
+//
+// Torn-vs-corrupt policy (the crash-recovery contract, pinned by
+// tests/wal_test.cc under ASan/UBSan):
+//   - A record that overruns the end of the file, or whose checksum
+//     fails *and* is the last thing in the file, is a torn tail from a
+//     crashed append: it is dropped (and WalWriter::Open truncates it
+//     off atomically before appending).
+//   - A checksum failure with a checksum-valid record after it is
+//     mid-file corruption, not a crash artifact: the reader refuses
+//     the whole log (InvalidArgument → E_PARSE) rather than silently
+//     skipping a committed generation.
+//   - A checksum-valid record whose payload violates the grammar
+//     (short payload, zero bags, zero rows, trailing bytes,
+//     non-increasing generation, fingerprint differing from the first
+//     record's) is refused (InvalidArgument → E_PARSE).
+// The reader validates every length before dereferencing, mirroring
+// the BAGCSEG reader's hostile-bytes discipline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bagc {
+
+/// First 8 bytes of every WAL file.
+inline constexpr std::string_view kWalMagic = "BAGCWAL\n";
+
+/// Format version written and accepted by this build.
+inline constexpr uint32_t kWalVersion = 1;
+
+/// Fixed header size (bytes); records start here.
+inline constexpr uint32_t kWalHeaderBytes = 16;
+
+/// Bytes of framing before each record's payload (u32 length + u64
+/// payload checksum).
+inline constexpr uint32_t kWalRecordFrameBytes = 12;
+
+/// Hard cap on one record's payload; larger commits must be split.
+/// Matches the session body cap so anything the wire accepted fits.
+inline constexpr uint32_t kWalMaxRecordPayload = 1u << 28;
+
+/// One bag's signed row deltas within a committed generation.
+/// `ids` is row-major (rows() × arity); `deltas[r]` is the signed
+/// multiplicity adjustment of row r.
+struct WalBagBlock {
+  uint32_t bag_index = 0;
+  uint32_t arity = 0;
+  std::vector<uint32_t> ids;
+  std::vector<int64_t> deltas;
+
+  size_t rows() const { return deltas.size(); }
+};
+
+/// One committed delta generation: every bag it touched, all-or-nothing.
+struct WalRecord {
+  uint64_t generation = 0;
+  uint64_t base_fingerprint = 0;
+  std::vector<WalBagBlock> bags;
+};
+
+/// Everything a valid WAL file holds, plus the recovery accounting the
+/// server reports (STATS wal_records / wal_bytes) and the smoke tests
+/// assert on.
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// Bytes of header plus intact records — the offset a recovering
+  /// writer truncates to.
+  uint64_t valid_bytes = 0;
+  /// Torn-tail bytes dropped past valid_bytes (0 for a clean log).
+  uint64_t dropped_bytes = 0;
+};
+
+/// Serializes one record (framing + payload). Refuses empty batches,
+/// empty bag blocks, id/arity shape mismatches, and payloads over
+/// kWalMaxRecordPayload.
+Result<std::string> EncodeWalRecord(const WalRecord& record);
+
+/// Parses a whole WAL image per the torn-vs-corrupt policy above.
+/// Borrows nothing: the returned records own their data.
+Result<WalContents> ParseWal(std::string_view data);
+
+/// Reads and parses the WAL at `path`. A missing file is NotFound; an
+/// empty or header-only file is a valid empty log.
+Result<WalContents> ReadWalFile(const std::string& path);
+
+/// Reads the base-segment fingerprint a WAL record must carry: the
+/// FNV-1a checksum stored at offset 24 of the BAGCSEG header at
+/// `path`. Validates magic and version but not the full file — this is
+/// the cheap identity probe run before deciding whether a WAL applies.
+Result<uint64_t> SegmentFingerprint(const std::string& path);
+
+/// \brief Appender for one collection's WAL.
+///
+/// Open() creates the file (with header) if absent; on an existing
+/// file it validates every record, atomically truncates a torn final
+/// record, and refuses mid-file corruption. Append() writes the framed
+/// record with O_APPEND semantics and fdatasyncs before returning, so
+/// an acked commit survives power loss. Single-writer: the server
+/// serializes appends per collection. Move-only.
+class WalWriter {
+ public:
+  static Result<WalWriter> Open(const std::string& path);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Durably appends one committed generation. The record's generation
+  /// must be strictly greater than every generation already in the log.
+  Status Append(const WalRecord& record);
+
+  /// Records in the log (pre-existing plus appended).
+  uint64_t records() const { return records_; }
+  /// Current file size in bytes.
+  uint64_t bytes() const { return bytes_; }
+  /// Highest generation in the log; 0 if the log is empty.
+  uint64_t last_generation() const { return last_generation_; }
+  /// Fingerprint carried by the log's records; 0 if the log is empty
+  /// (the first append sets it).
+  uint64_t base_fingerprint() const { return base_fingerprint_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter() = default;
+  void Close();
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t bytes_ = 0;
+  uint64_t records_ = 0;
+  uint64_t last_generation_ = 0;
+  uint64_t base_fingerprint_ = 0;
+};
+
+}  // namespace bagc

@@ -398,5 +398,69 @@ TEST(EngineDeltaTest, MakeDeltaGuardRails) {
   EXPECT_FALSE(view.ApplyDelta(0, noop).ok());
 }
 
+// The engine half of the COMMIT contract: a multi-bag batch whose LAST
+// entry is invalid must leave every earlier bag untouched even though
+// their own deltas were individually fine, for both the in-place
+// (ApplyDeltaBatch) and derive-a-generation (MakeDeltaBatch) twins; and
+// a valid batch's marginal fills land on exactly its dirty slot count.
+TEST(EngineDeltaTest, BatchFailureInLastBagLeavesEveryBagUntouched) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(9'000'000 + seed);
+    BagCollection start = *MakeWorkload(seed);
+    ConsistencyEngine engine = *ConsistencyEngine::Make(start);
+    const size_t m = engine.collection().size();
+    if (m < 2) continue;  // atomicity across bags needs at least two
+    PairwiseVerdict before = *engine.PairwiseAll();
+    uint64_t fills_before = engine.marginal_fills();
+
+    size_t victim_bag = m;
+    for (size_t r = 0; r < m; ++r) {
+      if (!engine.collection().bag(r).IsEmpty()) {
+        victim_bag = r;
+        break;
+      }
+    }
+    ASSERT_LT(victim_bag, m);
+    DeltaBatch batch;
+    for (size_t r = 0; r < m; ++r) {
+      if (r == victim_bag) continue;
+      batch.push_back({r, MakeStream(engine.collection().bag(r), &rng)});
+    }
+    const Bag& victim = engine.collection().bag(victim_bag);
+    Tuple row = victim.entries()[0].first;
+    uint64_t have = victim.entries()[0].second;
+    batch.push_back(
+        {victim_bag, {{row, -static_cast<int64_t>(have) - 1}}});  // underflow
+
+    Result<DeltaOutcome> failed = engine.ApplyDeltaBatch(batch);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kOutOfRange);
+    for (size_t r = 0; r < m; ++r) {
+      EXPECT_EQ(engine.collection().bag(r), start.bag(r)) << "bag " << r;
+    }
+    EXPECT_EQ(engine.marginal_fills(), fills_before);
+    PairwiseVerdict after = *engine.PairwiseAll();
+    EXPECT_EQ(after.consistent, before.consistent);
+
+    // The derive-a-generation twin refuses identically, building nothing.
+    Result<ConsistencyEngine> derived =
+        ConsistencyEngine::MakeDeltaBatch(engine, batch);
+    ASSERT_FALSE(derived.ok());
+    EXPECT_EQ(derived.status().code(), StatusCode::kOutOfRange);
+
+    // Drop the poisoned tail: the remaining all-valid batch derives one
+    // generation whose fills are exactly the batch's dirty slots.
+    batch.pop_back();
+    if (batch.empty()) continue;
+    DeltaOutcome outcome;
+    Result<ConsistencyEngine> next =
+        ConsistencyEngine::MakeDeltaBatch(engine, batch, &outcome);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    EXPECT_EQ(next->marginal_fills(), outcome.changed_slots);
+    CheckAgainstReseal(*next);
+  }
+}
+
 }  // namespace
 }  // namespace bagc

@@ -226,7 +226,7 @@ TEST(ServerSessionTest, StatsShape) {
   Feed(&session, kSetupScript);
   Feed(&session, "TWOBAG 0 1\n");
   std::vector<std::string> out = Feed(&session, "STATS\n");
-  ASSERT_EQ(out.size(), 16u);
+  ASSERT_EQ(out.size(), 19u);
   EXPECT_EQ(out.front(), "OK STATS");
   EXPECT_EQ(out.back(), kWireEnd);
   EXPECT_EQ(out[1], "proto 1");
@@ -240,6 +240,9 @@ TEST(ServerSessionTest, StatsShape) {
   EXPECT_EQ(out[12], "evictions 0");
   EXPECT_EQ(out[13], "deltas 0");
   EXPECT_EQ(out[14].rfind("sealed_bytes ", 0), 0u);
+  EXPECT_EQ(out[15], "wal_records 0");
+  EXPECT_EQ(out[16], "wal_bytes 0");
+  EXPECT_EQ(out[17], "replayed_generations 0");
 
   // Per-collection STATS: registry accounting for one tenant.
   out = Feed(&session, "STATS default\n");
@@ -408,7 +411,7 @@ TEST(ServerSessionTest, InsertDeltaPublishesIncrementally) {
 
   // The global counter saw both commits.
   out = Feed(&session, "STATS\n");
-  ASSERT_EQ(out.size(), 16u);
+  ASSERT_EQ(out.size(), 19u);
   EXPECT_EQ(out[13], "deltas 2");
 
   // Lineage survives a delta publish: the next plain SEAL still reuses
@@ -940,6 +943,140 @@ TEST(BagcdServerTest, SurvivesClientsThatNeverReadTheirResponses) {
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->front(), "OK STATS");
   (*server)->Shutdown();
+}
+
+TEST(ServerSessionTest, TransactionCommitIsAtomicAcrossBags) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+
+  // A COMMIT whose LAST bag's delta is invalid publishes nothing: the
+  // orders insert was individually fine, but the stock delete
+  // underflows, so neither bag — and no generation — changes.
+  std::vector<std::string> out = Feed(&session,
+                                      "BEGIN\n"
+                                      "INSERT orders item store\n2 0 : 1\nEND\n"
+                                      "DELETE stock item store\n1 1 : 9\nEND\n"
+                                      "COMMIT\n");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "OK BEGIN");
+  EXPECT_EQ(out[1], "OK INSERT orders 1 rows buffered");
+  EXPECT_EQ(out[2], "OK DELETE stock 1 rows buffered");
+  EXPECT_EQ(out[3].rfind("ERR E_RANGE DELETE below zero multiplicity", 0), 0u)
+      << out[3];
+
+  // Still generation 1, and the buffered orders row never landed: a
+  // witness for the untouched pair shows the original multiplicities.
+  out = Feed(&session, "STATS\nWITNESS 0 1\n");
+  EXPECT_EQ(out[6], "snapshot 1") << "failed COMMIT must not publish";
+  std::string joined;
+  for (const std::string& line : out) joined += line + "\n";
+  EXPECT_NE(joined.find("apple downtown : 2"), std::string::npos) << joined;
+
+  // The failed COMMIT closed the transaction; the same deltas with a
+  // legal delete commit as one generation touching both bags.
+  out = Feed(&session,
+             "BEGIN\n"
+             "INSERT orders item store\n2 0 : 1\nEND\n"
+             "DELETE stock item store\n1 1 : 1\nEND\n"
+             "COMMIT\nSTATS\n");
+  ASSERT_GE(out.size(), 23u);
+  EXPECT_EQ(out[3], "OK COMMIT 2 rows 2 bags");
+  // The failed attempt burned a sequence number without publishing:
+  // generation ids are monotonic, not dense.
+  EXPECT_EQ(out[10], "snapshot 3");
+  // marginal_fills lands on exactly the batch's dirty slots: both bags
+  // mutated, one shared-attribute slot each.
+  EXPECT_EQ(out[14], "marginal_fills 2");
+
+  // Structural commands are refused mid-transaction; RESET discards it.
+  out = Feed(&session, "BEGIN\nSEAL\nDROP orders\nRESET\nCOMMIT\n");
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_NE(out[1].find("not allowed inside a transaction"), std::string::npos);
+  EXPECT_NE(out[2].find("not allowed inside a transaction"), std::string::npos);
+  EXPECT_EQ(out[3], "OK RESET");
+  EXPECT_EQ(out[4].rfind("ERR E_STATE no transaction is open", 0), 0u) << out[4];
+}
+
+TEST(ServerSessionTest, TransactionFramesRoundTripAndRefuseTrailingBytes) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+  std::string raw;
+  session.HandleData("UPGRADE BINARY\n", &raw);
+  ASSERT_TRUE(session.binary_mode());
+
+  auto frame = [](uint8_t opcode, const std::string& payload) {
+    std::string f;
+    WireAppendFrame(&f, opcode, payload);
+    return f;
+  };
+  auto read_frames = [](const std::string& out) {
+    std::vector<std::pair<uint8_t, std::string>> frames;
+    size_t pos = 0;
+    while (pos + kWireFrameHeaderBytes <= out.size()) {
+      WireCursor header(
+          std::string_view(out).substr(pos, kWireFrameHeaderBytes));
+      uint32_t len = 0;
+      uint8_t opcode = 0;
+      EXPECT_TRUE(header.U32(&len) && header.U8(&opcode));
+      frames.emplace_back(opcode, out.substr(pos + kWireFrameHeaderBytes, len));
+      pos += kWireFrameHeaderBytes + len;
+    }
+    EXPECT_EQ(pos, out.size());
+    return frames;
+  };
+  auto rows_payload = [](const std::string& bag, uint32_t item, uint32_t store,
+                         uint64_t count) {
+    std::string payload;
+    WireAppendString(&payload, bag);
+    WireAppendU32(&payload, 2);
+    WireAppendString(&payload, "item");
+    WireAppendString(&payload, "store");
+    WireAppendU64(&payload, 1);
+    WireAppendU32(&payload, item);
+    WireAppendU32(&payload, store);
+    WireAppendU64(&payload, count);
+    return payload;
+  };
+
+  // BEGIN / buffered deltas / COMMIT entirely over frames: one atomic
+  // two-bag generation, same response text as the text verbs.
+  raw.clear();
+  session.HandleData(frame(kFrameBegin, "") +
+                         frame(kFrameInsert, rows_payload("orders", 2, 0, 1)) +
+                         frame(kFrameDelete, rows_payload("stock", 0, 0, 1)) +
+                         frame(kFrameCommit, ""),
+                     &raw);
+  auto frames = read_frames(raw);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].first, kFrameOk);
+  EXPECT_EQ(frames[0].second, "BEGIN");
+  EXPECT_EQ(frames[1].second, "INSERT orders 1 rows buffered");
+  EXPECT_EQ(frames[2].second, "DELETE stock 1 rows buffered");
+  EXPECT_EQ(frames[3].first, kFrameOk);
+  EXPECT_EQ(frames[3].second, "COMMIT 2 rows 2 bags");
+
+  // A BEGIN/COMMIT frame carrying payload bytes is malformed — refused
+  // without opening or closing anything.
+  raw.clear();
+  session.HandleData(frame(kFrameBegin, "x"), &raw);
+  frames = read_frames(raw);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, kFrameErr);
+  EXPECT_NE(frames[0].second.find("no payload"), std::string::npos);
+  raw.clear();
+  session.HandleData(frame(kFrameCommit, "\x01"), &raw);
+  frames = read_frames(raw);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, kFrameErr);
+  // No transaction was opened by the bad BEGIN frame above.
+  raw.clear();
+  session.HandleData(frame(kFrameCommit, ""), &raw);
+  frames = read_frames(raw);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].first, kFrameErr);
+  EXPECT_NE(frames[0].second.find("no transaction is open"), std::string::npos);
 }
 
 TEST(BagcdServerTest, ShutdownCommandStopsTheServer) {

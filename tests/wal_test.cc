@@ -1,0 +1,604 @@
+// Fault-injection differential for the delta WAL (src/tuple/wal.h) and
+// the registry's crash recovery. A randomized multi-bag commit history
+// is journaled, then the log is damaged every way a crash or bit rot
+// can damage it — truncated at EVERY byte offset, every bit of the
+// tail record flipped, interior records corrupted — and the recovered
+// state must follow the torn-vs-corrupt contract exactly: torn tails
+// are dropped to the last intact record boundary (recovery then
+// answers bit-identically to an oracle that committed that prefix),
+// while a damaged committed generation with intact records after it is
+// refused outright, never silently skipped. Runs under the ASan/UBSan
+// matrix leg via the `differential` label.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bag/bag_io.h"
+#include "server/collection_registry.h"
+#include "server/session.h"
+#include "tuple/segment.h"
+#include "tuple/wal.h"
+
+namespace bagc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Raw-byte helpers: the test re-implements the framing primitives so a
+// codec bug cannot hide by corrupting writer and checker identically.
+
+uint64_t Fnv1a(const char* data, size_t n) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::string WalHeaderBytes() {
+  std::string h(kWalMagic);
+  AppendU32(&h, kWalVersion);
+  AppendU32(&h, kWalHeaderBytes);
+  return h;
+}
+
+// Frames an arbitrary payload with a CORRECT checksum — the road to
+// checksum-valid grammar violations EncodeWalRecord refuses to emit.
+std::string FrameRaw(const std::string& payload) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  AppendU64(&out, Fnv1a(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+// Deterministic splitmix64: the history must replay identically on
+// every platform the differential matrix runs.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Random but self-consistent record history: strictly increasing
+// generations, one shared fingerprint, 1-2 bag blocks of 1-3 rows.
+std::vector<WalRecord> RandomHistory(size_t n, uint64_t seed) {
+  uint64_t state = seed;
+  std::vector<WalRecord> history;
+  uint64_t generation = 0;
+  for (size_t i = 0; i < n; ++i) {
+    WalRecord record;
+    generation += 1 + NextRand(&state) % 3;
+    record.generation = generation;
+    record.base_fingerprint = 0xfeedfacecafef00dull;
+    size_t bags = 1 + NextRand(&state) % 2;
+    for (size_t b = 0; b < bags; ++b) {
+      WalBagBlock block;
+      block.bag_index = static_cast<uint32_t>(NextRand(&state) % 4);
+      block.arity = 1 + static_cast<uint32_t>(NextRand(&state) % 3);
+      size_t rows = 1 + NextRand(&state) % 3;
+      for (size_t r = 0; r < rows; ++r) {
+        for (uint32_t a = 0; a < block.arity; ++a) {
+          block.ids.push_back(static_cast<uint32_t>(NextRand(&state) % 64));
+        }
+        int64_t delta = 1 + static_cast<int64_t>(NextRand(&state) % 5);
+        block.deltas.push_back((NextRand(&state) % 2) ? delta : -delta);
+      }
+      record.bags.push_back(std::move(block));
+    }
+    history.push_back(std::move(record));
+  }
+  return history;
+}
+
+// Encodes a history into a full file image and returns the byte offset
+// of each record's END (so boundaries[k] is the valid_bytes of a log
+// holding exactly k+1 records).
+std::string EncodeImage(const std::vector<WalRecord>& history,
+                        std::vector<size_t>* boundaries) {
+  std::string image = WalHeaderBytes();
+  for (const WalRecord& record : history) {
+    Result<std::string> encoded = EncodeWalRecord(record);
+    EXPECT_TRUE(encoded.ok()) << encoded.status().ToString();
+    image += *encoded;
+    if (boundaries != nullptr) boundaries->push_back(image.size());
+  }
+  return image;
+}
+
+void ExpectRecordsEqual(const std::vector<WalRecord>& got,
+                        const std::vector<WalRecord>& want, size_t want_n) {
+  ASSERT_EQ(got.size(), want_n);
+  for (size_t i = 0; i < want_n; ++i) {
+    EXPECT_EQ(got[i].generation, want[i].generation) << "record " << i;
+    EXPECT_EQ(got[i].base_fingerprint, want[i].base_fingerprint);
+    ASSERT_EQ(got[i].bags.size(), want[i].bags.size()) << "record " << i;
+    for (size_t b = 0; b < want[i].bags.size(); ++b) {
+      EXPECT_EQ(got[i].bags[b].bag_index, want[i].bags[b].bag_index);
+      EXPECT_EQ(got[i].bags[b].arity, want[i].bags[b].arity);
+      EXPECT_EQ(got[i].bags[b].ids, want[i].bags[b].ids);
+      EXPECT_EQ(got[i].bags[b].deltas, want[i].bags[b].deltas);
+    }
+  }
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// Format-level fault injection.
+
+TEST(WalFormatTest, EncodeParseRoundTripsRandomHistory) {
+  std::vector<WalRecord> history = RandomHistory(8, 0x5eed0001);
+  std::string image = EncodeImage(history, nullptr);
+  Result<WalContents> parsed = ParseWal(image);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectRecordsEqual(parsed->records, history, history.size());
+  EXPECT_EQ(parsed->valid_bytes, image.size());
+  EXPECT_EQ(parsed->dropped_bytes, 0u);
+}
+
+TEST(WalFormatTest, EveryTruncationPointRecoversTheLongestIntactPrefix) {
+  std::vector<WalRecord> history = RandomHistory(6, 0x5eed0002);
+  std::vector<size_t> boundaries;
+  std::string image = EncodeImage(history, &boundaries);
+
+  for (size_t cut = 0; cut <= image.size(); ++cut) {
+    Result<WalContents> parsed = ParseWal(std::string_view(image).substr(0, cut));
+    ASSERT_TRUE(parsed.ok())
+        << "cut at byte " << cut << ": " << parsed.status().ToString();
+    // The survivors are exactly the records whose last byte fits.
+    size_t want = 0;
+    while (want < boundaries.size() && boundaries[want] <= cut) ++want;
+    ExpectRecordsEqual(parsed->records, history, want);
+    size_t want_valid = (cut < kWalHeaderBytes)
+                            ? 0
+                            : (want == 0 ? kWalHeaderBytes : boundaries[want - 1]);
+    EXPECT_EQ(parsed->valid_bytes, want_valid) << "cut at byte " << cut;
+    EXPECT_EQ(parsed->dropped_bytes, cut - want_valid) << "cut at byte " << cut;
+  }
+}
+
+TEST(WalFormatTest, EveryTailRecordBitFlipDropsExactlyTheTornTail) {
+  std::vector<WalRecord> history = RandomHistory(4, 0x5eed0003);
+  std::vector<size_t> boundaries;
+  std::string image = EncodeImage(history, &boundaries);
+  size_t tail_start = boundaries[boundaries.size() - 2];
+
+  for (size_t byte = tail_start; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = image;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      Result<WalContents> parsed = ParseWal(damaged);
+      // Whatever the flip hit — length, checksum, payload — the tail
+      // record is a torn append: dropped whole, never refused, and
+      // never partially applied.
+      ASSERT_TRUE(parsed.ok()) << "bit " << bit << " of byte " << byte << ": "
+                               << parsed.status().ToString();
+      ExpectRecordsEqual(parsed->records, history, history.size() - 1);
+      EXPECT_EQ(parsed->valid_bytes, tail_start);
+      EXPECT_EQ(parsed->dropped_bytes, image.size() - tail_start);
+    }
+  }
+}
+
+TEST(WalFormatTest, InteriorRecordCorruptionIsRefusedNotSkipped) {
+  std::vector<WalRecord> history = RandomHistory(4, 0x5eed0004);
+  std::vector<size_t> boundaries;
+  std::string image = EncodeImage(history, &boundaries);
+  // Second record's frame: [len u32][checksum u64][payload]. Flipping
+  // the length field would re-align the scan (a different, also-torn
+  // shape); checksum and payload flips model bit rot on a committed
+  // record that later records prove was once intact.
+  size_t start = boundaries[0];
+  size_t payload_start = start + kWalRecordFrameBytes;
+  for (size_t byte = start + 4; byte < boundaries[1]; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = image;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      Result<WalContents> parsed = ParseWal(damaged);
+      ASSERT_FALSE(parsed.ok())
+          << "flip in " << (byte < payload_start ? "checksum" : "payload")
+          << " byte " << byte << " bit " << bit << " was swallowed";
+    }
+  }
+}
+
+TEST(WalFormatTest, ChecksumValidGrammarViolationsAreRefused) {
+  const uint64_t fp = 0xfeedfacecafef00dull;
+  auto payload_prefix = [&](uint64_t generation, uint32_t bag_count) {
+    std::string p;
+    AppendU64(&p, generation);
+    AppendU64(&p, fp);
+    AppendU32(&p, bag_count);
+    return p;
+  };
+  auto one_row_block = [&](std::string* p) {
+    AppendU32(p, 0);  // bag index
+    AppendU32(p, 1);  // arity
+    AppendU32(p, 1);  // rows
+    AppendU32(p, 7);  // id
+    AppendU64(p, 1);  // delta +1
+  };
+  std::string good = payload_prefix(1, 1);
+  one_row_block(&good);
+
+  struct Case {
+    const char* what;
+    std::string image;
+  };
+  std::vector<Case> cases;
+  {  // zero bag blocks
+    cases.push_back({"zero bags", WalHeaderBytes() + FrameRaw(payload_prefix(1, 0))});
+  }
+  {  // a block claiming zero rows
+    std::string p = payload_prefix(1, 1);
+    AppendU32(&p, 0);
+    AppendU32(&p, 1);
+    AppendU32(&p, 0);
+    cases.push_back({"zero rows", WalHeaderBytes() + FrameRaw(p)});
+  }
+  {  // a block claiming arity zero
+    std::string p = payload_prefix(1, 1);
+    AppendU32(&p, 0);
+    AppendU32(&p, 0);
+    AppendU32(&p, 1);
+    cases.push_back({"arity zero", WalHeaderBytes() + FrameRaw(p)});
+  }
+  {  // trailing garbage after the last block
+    std::string p = good;
+    p += "\x01";
+    cases.push_back({"trailing bytes", WalHeaderBytes() + FrameRaw(p)});
+  }
+  {  // payload shorter than its own fixed header
+    cases.push_back({"short payload", WalHeaderBytes() + FrameRaw("tiny")});
+  }
+  {  // generation does not increase
+    std::string repeat = payload_prefix(1, 1);
+    one_row_block(&repeat);
+    cases.push_back({"stuck generation",
+                     WalHeaderBytes() + FrameRaw(good) + FrameRaw(repeat)});
+  }
+  {  // second record swaps fingerprints mid-log
+    std::string other;
+    AppendU64(&other, 2);
+    AppendU64(&other, fp + 1);
+    AppendU32(&other, 1);
+    one_row_block(&other);
+    cases.push_back({"fingerprint swap",
+                     WalHeaderBytes() + FrameRaw(good) + FrameRaw(other)});
+  }
+  for (const Case& c : cases) {
+    Result<WalContents> parsed = ParseWal(c.image);
+    EXPECT_FALSE(parsed.ok()) << c.what << " was accepted";
+  }
+  // Control: the good record alone parses.
+  Result<WalContents> control = ParseWal(WalHeaderBytes() + FrameRaw(good));
+  ASSERT_TRUE(control.ok()) << control.status().ToString();
+  EXPECT_EQ(control->records.size(), 1u);
+}
+
+TEST(WalFormatTest, ForeignAndVersionedHeadersAreRefused) {
+  std::string foreign = "NOTAWAL\n";
+  foreign.resize(32, '\0');
+  EXPECT_FALSE(ParseWal(foreign).ok());
+  std::string wrong_version(kWalMagic);
+  AppendU32(&wrong_version, kWalVersion + 1);
+  AppendU32(&wrong_version, kWalHeaderBytes);
+  EXPECT_FALSE(ParseWal(wrong_version).ok());
+  // An empty image and a bare header are both valid empty logs (a
+  // crash can land between create, header write, and first append).
+  EXPECT_TRUE(ParseWal("").ok());
+  EXPECT_TRUE(ParseWal(WalHeaderBytes()).ok());
+}
+
+TEST(WalWriterTest, OpenTruncatesTornTailAtomicallyAndResumesAppending) {
+  std::vector<WalRecord> history = RandomHistory(3, 0x5eed0005);
+  std::vector<size_t> boundaries;
+  std::string image = EncodeImage(history, &boundaries);
+  // Tear the final record: keep its frame but cut the payload short.
+  std::string torn = image.substr(0, boundaries[1] + kWalRecordFrameBytes + 3);
+  std::string path = testing::TempDir() + "wal_writer_torn.wal";
+  WriteFileBytes(path, torn);
+
+  Result<WalWriter> writer = WalWriter::Open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_EQ(writer->records(), 2u);
+  EXPECT_EQ(writer->last_generation(), history[1].generation);
+  EXPECT_EQ(writer->base_fingerprint(), history[1].base_fingerprint);
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_EQ(static_cast<size_t>(st.st_size), boundaries[1])
+      << "torn tail must be truncated off before the next append";
+
+  // The writer resumes exactly where the intact log ended.
+  ASSERT_TRUE(writer->Append(history[2]).ok());
+  EXPECT_EQ(writer->records(), 3u);
+  Result<WalContents> reread = ReadWalFile(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  ExpectRecordsEqual(reread->records, history, 3);
+  EXPECT_EQ(reread->dropped_bytes, 0u);
+
+  // Re-appending a generation that does not advance is refused.
+  EXPECT_FALSE(writer->Append(history[2]).ok());
+}
+
+TEST(WalWriterTest, OpenRefusesMidFileCorruption) {
+  std::vector<WalRecord> history = RandomHistory(3, 0x5eed0006);
+  std::vector<size_t> boundaries;
+  std::string image = EncodeImage(history, &boundaries);
+  image[boundaries[0] + kWalRecordFrameBytes] ^= 0x40;  // first record payload
+  std::string path = testing::TempDir() + "wal_writer_corrupt.wal";
+  WriteFileBytes(path, image);
+  EXPECT_FALSE(WalWriter::Open(path).ok());
+}
+
+TEST(WalFormatTest, EncoderRefusesEmptyBatchesAndBlocks) {
+  WalRecord empty;
+  empty.generation = 1;
+  EXPECT_FALSE(EncodeWalRecord(empty).ok());
+  WalRecord hollow;
+  hollow.generation = 1;
+  hollow.bags.emplace_back();
+  hollow.bags.back().arity = 1;
+  EXPECT_FALSE(EncodeWalRecord(hollow).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Registry-level crash recovery: a randomized BEGIN/COMMIT history on a
+// segment-backed collection, replayed from the WAL into fresh
+// registries under every record-boundary truncation and under tail /
+// interior damage. The oracle is the uninterrupted registry itself:
+// after recovering k generations, every query answer must match the
+// bytes the live server produced right after commit k.
+
+constexpr const char* kQueryScript =
+    "TWOBAG 0 1\nPAIRWISE\nGLOBAL\nKWISE 2\nWITNESS 0 1 MINIMAL\n";
+
+std::string WriteBaseSegment(const std::string& filename, size_t salt) {
+  AttributeCatalog catalog;
+  DictionarySet dicts;
+  std::string text;
+  text += "bag item store\n";
+  text += "apple downtown : " + std::to_string(2 + salt) + "\n";
+  text += "banana uptown : 1\ncherry uptown : 2\nend\n";
+  text += "bag store region\n";
+  text += "downtown north : 2\nuptown north : 3\nend\n";
+  Result<std::vector<Bag>> bags = ParseCollection(text, &catalog, &dicts);
+  EXPECT_TRUE(bags.ok()) << bags.status().ToString();
+  std::string path = testing::TempDir() + filename;
+  EXPECT_TRUE(
+      WriteSegmentFile(path, {"left", "right"}, *bags, catalog, dicts).ok());
+  return path;
+}
+
+std::string MakeWalDir(const std::string& name) {
+  std::string dir = testing::TempDir() + name;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+// The one WAL file a single-collection run produced.
+std::string FindWalFile(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  EXPECT_NE(d, nullptr) << dir;
+  std::string found;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".wal") {
+      EXPECT_TRUE(found.empty()) << "more than one WAL file in " << dir;
+      found = name;
+    }
+  }
+  ::closedir(d);
+  EXPECT_FALSE(found.empty()) << "no WAL file in " << dir;
+  return found;
+}
+
+// Record-end offsets of a WAL image, walked straight off the framing.
+std::vector<size_t> WalBoundaries(const std::string& image) {
+  std::vector<size_t> boundaries;
+  size_t off = kWalHeaderBytes;
+  while (off + kWalRecordFrameBytes <= image.size()) {
+    uint32_t len = 0;
+    std::memcpy(&len, image.data() + off, 4);  // test runs little-endian hosts
+    off += kWalRecordFrameBytes + len;
+    EXPECT_LE(off, image.size());
+    boundaries.push_back(off);
+  }
+  return boundaries;
+}
+
+// Recovers `wal_image` over `seg_path` in a fresh registry, exactly as
+// bagcd --preload-seg --wal-dir does at startup. Returns the replayed
+// generation count, or an error when recovery must refuse.
+Result<uint64_t> RecoverInto(CollectionRegistry* registry,
+                             const std::string& wal_dir,
+                             const std::string& wal_name,
+                             const std::string& wal_image,
+                             const std::string& seg_path) {
+  WriteFileBytes(wal_dir + "/" + wal_name, wal_image);
+  registry->SetRecoveryMode(true);
+  ServerSession session(registry, nullptr);
+  std::vector<std::string> responses =
+      session.HandleScript("LOADSEG " + seg_path + "\nSEAL\n");
+  EXPECT_EQ(responses.back().rfind("OK SEAL", 0), 0u) << responses.back();
+  Result<uint64_t> replayed = registry->ReplayWal(registry->Default().get());
+  registry->SetRecoveryMode(false);
+  return replayed;
+}
+
+TEST(WalRecoveryTest, RandomizedHistoryRecoversBitIdenticalAtEveryTruncation) {
+  constexpr size_t kCommits = 10;
+  std::string seg_path = WriteBaseSegment("wal_recovery_base.seg", 0);
+  std::string wal_dir = MakeWalDir("wal_recovery_live");
+
+  CollectionRegistry::Options opts;
+  opts.wal_dir = wal_dir;
+  CollectionRegistry live(opts);
+  ServerSession writer(&live, nullptr);
+  {
+    std::vector<std::string> sealed =
+        writer.HandleScript("LOADSEG " + seg_path + "\nSEAL\n");
+    ASSERT_EQ(sealed.back().rfind("OK SEAL 2 bags", 0), 0u) << sealed.back();
+  }
+
+  // Shadow multiplicities keep the random deletes legal; ids follow the
+  // segment's interning order (item: apple 0, banana 1, cherry 2;
+  // store: downtown 0, uptown 1; region: north 0).
+  std::map<std::pair<uint32_t, uint32_t>, int64_t> shadow[2];
+  shadow[0] = {{{0, 0}, 2}, {{1, 1}, 1}, {{2, 1}, 2}};
+  shadow[1] = {{{0, 0}, 2}, {{1, 0}, 3}};
+  const char* bag_name[2] = {"left", "right"};
+  const char* bag_attrs[2] = {"item store", "store region"};
+  const uint32_t id_limit[2][2] = {{3, 2}, {2, 1}};
+
+  // oracle[k] = query answers after k committed generations.
+  std::vector<std::vector<std::string>> oracle;
+  oracle.push_back(writer.HandleScript(kQueryScript));
+  uint64_t state = 0x5eed0007;
+  for (size_t commit = 0; commit < kCommits; ++commit) {
+    std::string script = "BEGIN\n";
+    size_t blocks = 1 + NextRand(&state) % 2;
+    for (size_t blk = 0; blk < blocks; ++blk) {
+      // One block per bag in two-block commits, so a commit can never
+      // net to zero rows (which would correctly skip the WAL append
+      // and desynchronize this test's per-commit record accounting).
+      size_t bag = (blocks == 2) ? blk : NextRand(&state) % 2;
+      std::pair<uint32_t, uint32_t> row = {
+          static_cast<uint32_t>(NextRand(&state) % id_limit[bag][0]),
+          static_cast<uint32_t>(NextRand(&state) % id_limit[bag][1])};
+      bool erase = (NextRand(&state) % 3 == 0) && shadow[bag][row] > 0;
+      int64_t count = erase ? 1 : 1 + static_cast<int64_t>(NextRand(&state) % 3);
+      shadow[bag][row] += erase ? -count : count;
+      script += std::string(erase ? "DELETE " : "INSERT ") + bag_name[bag] +
+                " " + bag_attrs[bag] + "\n" + std::to_string(row.first) + " " +
+                std::to_string(row.second) + " : " + std::to_string(count) +
+                "\nEND\n";
+    }
+    script += "COMMIT\n";
+    std::vector<std::string> responses = writer.HandleScript(script);
+    ASSERT_EQ(responses.back().rfind("OK COMMIT", 0), 0u)
+        << "commit " << commit << ": " << responses.back();
+    ASSERT_NE(responses.back().find(" bags"), std::string::npos)
+        << "commit " << commit
+        << " was staged, not published — no WAL record: " << responses.back();
+    oracle.push_back(writer.HandleScript(kQueryScript));
+  }
+  ASSERT_EQ(live.wal_records_total(), kCommits);
+  EXPECT_GT(live.wal_bytes_total(), 0u);
+
+  std::string wal_name = FindWalFile(wal_dir);
+  std::string image = ReadFileBytes(wal_dir + "/" + wal_name);
+  std::vector<size_t> boundaries = WalBoundaries(image);
+  ASSERT_EQ(boundaries.size(), kCommits);
+
+  // Every record-boundary truncation: recovery lands on exactly the
+  // first k generations and answers with the oracle's bytes.
+  for (size_t k = 0; k <= kCommits; ++k) {
+    std::string dir = MakeWalDir("wal_recovery_cut" + std::to_string(k));
+    CollectionRegistry::Options ropts;
+    ropts.wal_dir = dir;
+    CollectionRegistry recovered(ropts);
+    size_t cut = (k == 0) ? kWalHeaderBytes : boundaries[k - 1];
+    Result<uint64_t> replayed = RecoverInto(&recovered, dir, wal_name,
+                                            image.substr(0, cut), seg_path);
+    ASSERT_TRUE(replayed.ok()) << "cut " << k << ": "
+                               << replayed.status().ToString();
+    EXPECT_EQ(*replayed, k);
+    EXPECT_EQ(recovered.replayed_generations_total(), k);
+    ServerSession prober(&recovered, nullptr);
+    EXPECT_EQ(prober.HandleScript(kQueryScript), oracle[k]) << "cut " << k;
+  }
+
+  // A torn tail (bit flip inside the final record) drops exactly that
+  // one commit; everything before it still recovers bit-identically.
+  {
+    std::string torn = image;
+    torn[boundaries[kCommits - 2] + kWalRecordFrameBytes + 9] ^= 0x10;
+    std::string dir = MakeWalDir("wal_recovery_torn");
+    CollectionRegistry::Options ropts;
+    ropts.wal_dir = dir;
+    CollectionRegistry recovered(ropts);
+    Result<uint64_t> replayed =
+        RecoverInto(&recovered, dir, wal_name, torn, seg_path);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+    EXPECT_EQ(*replayed, kCommits - 1);
+    ServerSession prober(&recovered, nullptr);
+    EXPECT_EQ(prober.HandleScript(kQueryScript), oracle[kCommits - 1]);
+  }
+
+  // Interior damage is NOT a torn tail: recovery must refuse the log
+  // rather than silently skip a committed generation.
+  {
+    std::string damaged = image;
+    damaged[boundaries[0] + kWalRecordFrameBytes + 9] ^= 0x10;
+    std::string dir = MakeWalDir("wal_recovery_midfile");
+    CollectionRegistry::Options ropts;
+    ropts.wal_dir = dir;
+    CollectionRegistry recovered(ropts);
+    Result<uint64_t> replayed =
+        RecoverInto(&recovered, dir, wal_name, damaged, seg_path);
+    EXPECT_FALSE(replayed.ok());
+  }
+
+  // A WAL written against a DIFFERENT base segment must refuse to
+  // replay — folding deltas over the wrong base silently corrupts.
+  {
+    std::string other_seg = WriteBaseSegment("wal_recovery_other.seg", 5);
+    std::string dir = MakeWalDir("wal_recovery_wrongbase");
+    CollectionRegistry::Options ropts;
+    ropts.wal_dir = dir;
+    CollectionRegistry recovered(ropts);
+    Result<uint64_t> replayed =
+        RecoverInto(&recovered, dir, wal_name, image, other_seg);
+    ASSERT_FALSE(replayed.ok());
+    EXPECT_NE(replayed.status().message().find("different base segment"),
+              std::string::npos)
+        << replayed.status().ToString();
+  }
+}
+
+TEST(WalRecoveryTest, SegmentFingerprintIdentifiesTheBase) {
+  std::string a = WriteBaseSegment("wal_fp_a.seg", 0);
+  std::string b = WriteBaseSegment("wal_fp_b.seg", 7);
+  Result<uint64_t> fa = SegmentFingerprint(a);
+  Result<uint64_t> fb = SegmentFingerprint(b);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  EXPECT_NE(*fa, 0u);
+  EXPECT_NE(*fa, *fb) << "different contents must fingerprint differently";
+  Result<uint64_t> again = SegmentFingerprint(a);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*fa, *again);
+}
+
+}  // namespace
+}  // namespace bagc

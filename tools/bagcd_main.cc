@@ -32,6 +32,12 @@
 //                      drops its row vector for the columnar-only
 //                      serving form (0 = engine default, currently 32);
 //                      applies to every SEAL and lazy segment reload
+//   --wal-dir PATH     per-collection delta WAL directory (docs/WAL.md):
+//                      every committed INSERT/DELETE/COMMIT on a
+//                      segment-based collection appends one fdatasynced
+//                      record, and on startup (with --preload-seg) the
+//                      log is replayed over the base segment so
+//                      committed generations survive a crash or restart
 //   --simd LEVEL       force the SIMD dispatch level for every kernel
 //                      in the process: scalar, sse4.2, avx2, neon, or
 //                      auto (default; runtime cpuid). Levels the host
@@ -109,6 +115,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--columnar-min-rows") == 0) {
       options.registry.columnar_min_rows = static_cast<size_t>(
           next_number("--columnar-min-rows", 0, 1L << 40));
+    } else if (std::strcmp(argv[i], "--wal-dir") == 0) {
+      options.registry.wal_dir = next("--wal-dir");
     } else if (std::strcmp(argv[i], "--simd") == 0) {
       const char* name = next("--simd");
       bagc::simd::SimdLevel level;
@@ -134,7 +142,7 @@ int main(int argc, char** argv) {
                    "[--port-file PATH] [--preload-seg PATH] "
                    "[--mem-budget-mb N] [--max-collections N] "
                    "[--max-collection-mb N] [--columnar-min-rows N] "
-                   "[--simd LEVEL]\n");
+                   "[--wal-dir PATH] [--simd LEVEL]\n");
       return 2;
     }
   }
@@ -149,7 +157,9 @@ int main(int argc, char** argv) {
     // client's "LOADSEG <path>" + "SEAL" would, so the published
     // snapshot is indistinguishable from a client-streamed one. The
     // port file is written after this, so harnesses that wait for it
-    // never race a half-warm daemon.
+    // never race a half-warm daemon. Recovery mode keeps this internal
+    // SEAL from resetting the WAL the replay below folds in.
+    (*server)->registry().SetRecoveryMode(true);
     bagc::ServerSession session(&(*server)->registry(), nullptr);
     std::vector<std::string> responses =
         session.HandleScript("LOADSEG " + preload_seg + "\nSEAL\n");
@@ -161,6 +171,21 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("bagcd: preloaded %s\n", preload_seg.c_str());
+    auto replayed = (*server)->registry().ReplayWal(
+        (*server)->registry().Default().get());
+    if (!replayed.ok()) {
+      // A WAL that cannot replay (fingerprint mismatch, mid-file
+      // corruption) must stop the daemon: serving the bare base would
+      // silently roll back committed generations.
+      std::fprintf(stderr, "bagcd: WAL recovery failed: %s\n",
+                   replayed.status().ToString().c_str());
+      return 1;
+    }
+    (*server)->registry().SetRecoveryMode(false);
+    if (*replayed > 0) {
+      std::printf("bagcd: replayed %llu WAL generation(s)\n",
+                  static_cast<unsigned long long>(*replayed));
+    }
   }
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
