@@ -314,22 +314,45 @@ Status CollectionRegistry::PublishDelta(
     // session rows and has no replay anchor.
     return PublishChain(c, std::move(snapshot), &no_reload_source, false);
   }
+  if (c->wal_poisoned_) {
+    // A previous append failed AFTER its generation was published: the
+    // log is missing an in-memory generation, so any further append
+    // would replay to a state that silently skips it. Only a full SEAL
+    // (new base epoch, fresh log) restores durability.
+    return Status::FailedPrecondition(
+        "collection '" + c->name_ +
+        "' lost WAL durability after an append failure; SEAL to start a "
+        "new epoch before committing deltas");
+  }
   std::shared_ptr<const EngineSnapshot> kept = snapshot;
-  BAGC_RETURN_NOT_OK(PublishChain(c, std::move(snapshot), nullptr, false));
   WalRecord record =
       RecordFromBatch(*kept, batch, kept->seq(), c->wal_fingerprint_);
+  // Encode — and size-check against kWalMaxRecordPayload — BEFORE
+  // publishing: a batch that cannot be journaled must refuse the commit
+  // with memory state untouched, not publish a generation the log can
+  // never carry. (The session's cumulative transaction caps make this
+  // unreachable from the wire; this is the last line of defense.)
+  std::string encoded;
+  if (!record.bags.empty()) {
+    BAGC_ASSIGN_OR_RETURN(encoded, EncodeWalRecord(record));
+  }
+  BAGC_RETURN_NOT_OK(PublishChain(c, std::move(snapshot), nullptr, false));
   if (record.bags.empty()) {
     // A no-op commit (every row netted to zero) published a generation
     // but changed nothing; replay reconstructs equivalent state without
     // it, and the record grammar refuses empty blocks anyway.
     return Status::OK();
   }
-  Status appended = c->wal_->Append(record);
+  Status appended = c->wal_->AppendEncoded(record, encoded);
   if (!appended.ok()) {
     // The generation IS published — memory state moved on — but the
-    // commit is not durable. Surface that loudly rather than ack it.
-    return Status::Internal("delta published but WAL append failed: " +
-                            appended.message());
+    // commit is not durable. Poison the log so no later commit can ack
+    // durability over the gap, and surface the failure loudly.
+    c->wal_poisoned_ = true;
+    return Status::Internal(
+        "delta published but WAL append failed (collection '" + c->name_ +
+        "' is no longer durable; SEAL to start a new epoch): " +
+        appended.message());
   }
   c->wal_records_.store(c->wal_->records(), std::memory_order_relaxed);
   c->wal_bytes_.store(c->wal_->bytes(), std::memory_order_relaxed);
@@ -390,11 +413,17 @@ std::string CollectionRegistry::WalPathFor(const std::string& name) const {
 Status CollectionRegistry::ResetWalLocked(Collection* c,
                                           const std::string& segment_path) {
   c->wal_.reset();
+  c->wal_poisoned_ = false;  // a new epoch starts durable
   c->wal_fingerprint_ = 0;
   c->wal_records_.store(0, std::memory_order_relaxed);
   c->wal_bytes_.store(0, std::memory_order_relaxed);
   std::string wal_path = WalPathFor(c->name_);
-  ::unlink(wal_path.c_str());  // ENOENT is fine: no log yet
+  if (::unlink(wal_path.c_str()) == 0) {
+    // Make the deletion durable before any new-epoch commit is acked:
+    // a resurrected old-epoch log after power loss would replay stale
+    // generations over the new base.
+    BAGC_RETURN_NOT_OK(SyncParentDir(wal_path));
+  }  // ENOENT is fine: no log yet
   if (segment_path.empty()) {
     // No segment base → no replay anchor → no WAL for this epoch.
     return Status::OK();
@@ -411,6 +440,15 @@ Status CollectionRegistry::ResetWalLocked(Collection* c,
 Result<std::shared_ptr<const EngineSnapshot>> CollectionRegistry::FoldWalLocked(
     Collection* c, std::shared_ptr<const EngineSnapshot> base,
     const std::string& segment_path, uint64_t* replayed) {
+  if (c->wal_poisoned_) {
+    // The published chain holds a generation the log is missing (an
+    // append failed mid-epoch); folding the log would serve a state
+    // that silently rewinds past it. Only a fresh SEAL recovers.
+    return Status::FailedPrecondition(
+        "collection '" + c->name_ +
+        "' lost WAL durability after an append failure; SEAL to start a "
+        "new epoch before reloading");
+  }
   BAGC_ASSIGN_OR_RETURN(uint64_t fingerprint, SegmentFingerprint(segment_path));
   std::string wal_path = WalPathFor(c->name_);
   std::vector<WalRecord> records;
@@ -515,6 +553,11 @@ CollectionRegistry::CollectionStats CollectionRegistry::Stats(
   s.evictions = c->evictions_;
   s.reloads = c->reloads_;
   return s;
+}
+
+void CollectionRegistry::PoisonWalForTest(Collection* c) {
+  std::lock_guard<std::mutex> wal_lock(c->wal_mu_);
+  c->wal_poisoned_ = true;
 }
 
 void CollectionRegistry::MarkNextSealSupersededForTest(Collection* c) {

@@ -109,6 +109,10 @@ class CollectionRegistry {
     std::mutex wal_mu_;
     std::unique_ptr<WalWriter> wal_;     // guarded by wal_mu_
     uint64_t wal_fingerprint_ = 0;       // guarded by wal_mu_
+    // True after a WAL append failed for a PUBLISHED generation: the
+    // log is missing acked in-memory state, so delta commits and
+    // reload-folds refuse until a full SEAL starts a fresh epoch.
+    bool wal_poisoned_ = false;          // guarded by wal_mu_
     // Lock-free mirrors of the writer's accounting for STATS.
     std::atomic<uint64_t> wal_records_{0};
     std::atomic<uint64_t> wal_bytes_{0};
@@ -168,11 +172,16 @@ class CollectionRegistry {
   /// chain rules as Publish. When a WAL is attached, the collection's
   /// existing reload source is PRESERVED (the delta chain is replayable
   /// on top of the base segment) and `batch` is appended as one durable
-  /// record — fdatasynced before OK is returned, in publish order; an
-  /// append failure is surfaced (the generation is published but not
-  /// durable). Without a WAL the reload source is dropped: the segment
-  /// no longer matches the published rows and must not quietly serve
-  /// pre-delta state after an eviction.
+  /// record — fdatasynced before OK is returned, in publish order. The
+  /// record is encoded (and size-checked) BEFORE the publish, so a
+  /// batch the log cannot carry refuses the commit with nothing
+  /// published. An append failure after the publish POISONS the
+  /// collection's durability: the error is surfaced, and every further
+  /// PublishDelta (and reload-fold) answers FailedPrecondition until a
+  /// full-seal Publish starts a new epoch — the log must never ack
+  /// commits over a gap it is missing. Without a WAL the reload source
+  /// is dropped: the segment no longer matches the published rows and
+  /// must not quietly serve pre-delta state after an eviction.
   Status PublishDelta(Collection* c,
                       std::shared_ptr<const EngineSnapshot> snapshot,
                       const DeltaBatch& batch);
@@ -211,6 +220,11 @@ class CollectionRegistry {
   /// its next unissued seq, so exactly the next SEAL loses (deterministic
   /// stand-in for a concurrent seal winning mid-build); the retry wins.
   void MarkNextSealSupersededForTest(Collection* c);
+
+  /// Test hook for the durability-loss path: marks `c`'s WAL poisoned,
+  /// exactly as a failed append for a published generation does
+  /// (deterministic stand-in for an I/O error mid-epoch).
+  void PoisonWalForTest(Collection* c);
 
   // ---- registry-wide STATS ----
   size_t num_collections() const;

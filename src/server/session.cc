@@ -26,6 +26,18 @@ constexpr uint64_t kMaxSealThreads = 64;
 constexpr size_t kMaxBodyLines = size_t{1} << 22;  // ~4.2M rows per block
 constexpr size_t kMaxBodyBytes = size_t{1} << 28;  // 256 MiB per block
 
+// Cumulative ceilings on ONE open BEGIN/COMMIT transaction, enforced as
+// each block buffers (E_RANGE before anything is staged). The body caps
+// above are per block, so without these a transaction could buffer
+// unbounded INSERT/DELETE blocks — per-session memory exhaustion, and a
+// COMMIT whose single WAL record over-runs kWalMaxRecordPayload. The
+// byte cap counts the WAL encoding (12-byte block header + per row
+// arity×u32 ids + i64 delta) and leaves headroom for the record's
+// 20-byte payload header, so any transaction that buffers is guaranteed
+// to journal as one record.
+constexpr size_t kMaxTxnRows = kMaxBodyLines;
+constexpr size_t kMaxTxnWalBytes = (size_t{kWalMaxRecordPayload}) - 64;
+
 // Longest accepted text-mode input line. Real rows are tens of bytes; a
 // peer that streams megabytes without a newline is abusing the framing,
 // and the session must bound its buffering rather than grow until the
@@ -909,11 +921,31 @@ void ServerSession::CommitDelta(size_t bag_index, bool insert,
   if (txn_active_) {
     // Inside BEGIN/COMMIT the delta only buffers; validation against
     // multiplicities (and publication) happens atomically at COMMIT.
+    // Cumulative caps first: the body caps are per block, so only this
+    // check bounds a whole transaction's memory — and guarantees the
+    // batch encodes into ONE WAL record at COMMIT. A refused block
+    // leaves the transaction open and untouched: COMMIT what is
+    // buffered, or RESET.
+    const size_t row_cap = txn_row_cap_for_test_ > 0
+                               ? txn_row_cap_for_test_ : kMaxTxnRows;
+    const size_t byte_cap = txn_byte_cap_for_test_ > 0
+                                ? txn_byte_cap_for_test_ : kMaxTxnWalBytes;
+    const size_t arity = bags_[bag_index].schema().arity();
+    const size_t entry_bytes = 12 + deltas.size() * (arity * 4 + 8);
+    if (txn_rows_ + rows > row_cap ||
+        txn_wal_bytes_ + entry_bytes > byte_cap) {
+      sink->Err(WireError::kRange,
+                "transaction exceeds " + std::to_string(row_cap) +
+                    " buffered rows or " + std::to_string(byte_cap) +
+                    " encoded bytes; COMMIT what is buffered or RESET");
+      return;
+    }
     BagDeltas entry;
     entry.bag_index = bag_index;
     entry.deltas = std::move(deltas);
     txn_batch_.push_back(std::move(entry));
     txn_rows_ += rows;
+    txn_wal_bytes_ += entry_bytes;
     sink->Ok(verb + " " + name + " " + std::to_string(rows) +
              " rows buffered");
     return;
@@ -1055,6 +1087,7 @@ void ServerSession::HandleBegin(const std::vector<std::string>& tokens,
   txn_active_ = true;
   txn_batch_.clear();
   txn_rows_ = 0;
+  txn_wal_bytes_ = 0;
   sink->Ok("BEGIN");
 }
 
@@ -1075,6 +1108,7 @@ void ServerSession::HandleCommit(const std::vector<std::string>& tokens,
   txn_active_ = false;
   txn_batch_.clear();
   txn_rows_ = 0;
+  txn_wal_bytes_ = 0;
   if (batch.empty()) {
     sink->Ok("COMMIT 0 rows");
     return;
@@ -1327,6 +1361,7 @@ void ServerSession::HandleReset(const std::vector<std::string>& tokens,
   txn_active_ = false;
   txn_batch_.clear();
   txn_rows_ = 0;
+  txn_wal_bytes_ = 0;
   if (hard) {
     catalog_ = AttributeCatalog();
     dicts_ = std::make_shared<DictionarySet>();

@@ -117,6 +117,14 @@ class ServerSession {
   /// True after a successful UPGRADE BINARY (and before a CMD "TEXT").
   bool binary_mode() const { return mode_ == Mode::kBinary; }
 
+  /// Test hook: shrink the cumulative BEGIN/COMMIT caps so the refusal
+  /// path is reachable without buffering millions of rows. 0 keeps the
+  /// built-in cap (kMaxTxnRows / kMaxTxnWalBytes).
+  void SetTxnCapsForTest(size_t rows, size_t wal_bytes) {
+    txn_row_cap_for_test_ = rows;
+    txn_byte_cap_for_test_ = wal_bytes;
+  }
+
  private:
   enum class Mode { kText, kBinary };
   // Body-collection modes (request side, text framing only).
@@ -246,9 +254,16 @@ class ServerSession {
   // Open BEGIN/COMMIT transaction: INSERT/DELETE deltas buffer here and
   // publish as ONE atomic generation (and one WAL record) at COMMIT.
   // Structural commands are refused while open; RESET discards it.
+  // Cumulative rows and WAL-encoded bytes are capped as blocks buffer
+  // (kMaxTxnRows / kMaxTxnWalBytes in session.cc), so a transaction is
+  // bounded in memory and always fits one WAL record.
   bool txn_active_ = false;
   DeltaBatch txn_batch_;
   size_t txn_rows_ = 0;
+  size_t txn_wal_bytes_ = 0;
+  // Test overrides for the transaction caps; 0 = use the built-ins.
+  size_t txn_row_cap_for_test_ = 0;
+  size_t txn_byte_cap_for_test_ = 0;
 
   // Framing state.
   Mode mode_ = Mode::kText;

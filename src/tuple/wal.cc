@@ -93,6 +93,29 @@ class PayloadCursor {
 // Decodes one checksum-valid payload into a record, enforcing the
 // grammar (counts, shapes, exact consumption). Generation/fingerprint
 // ordering is checked by the caller, which sees the whole log.
+// Whether any checksum-valid record starts at or after `from`. The
+// damage classifier cannot trust the damaged record's own length field
+// (it may BE the flipped bytes), so it scans every candidate offset:
+// an intact committed record anywhere past the damage proves mid-file
+// corruption rather than a torn tail. A 64-bit checksum makes a false
+// positive inside genuine tail debris negligible. Cost is paid only on
+// the recovery path of an already-damaged log, where refusing slowly
+// beats dropping wrongly.
+bool HasValidRecordAfter(std::string_view data, size_t from) {
+  for (size_t probe = from; probe + kWalRecordFrameBytes <= data.size();
+       ++probe) {
+    uint64_t len = LoadU32(data.data() + probe);
+    if (len > kWalMaxRecordPayload) continue;
+    if (probe + kWalRecordFrameBytes + len > data.size()) continue;
+    const char* payload = data.data() + probe + kWalRecordFrameBytes;
+    if (LoadU64(data.data() + probe + 4) ==
+        Fnv1a(payload, static_cast<size_t>(len))) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Status DecodePayload(const char* data, size_t size, WalRecord* out) {
   PayloadCursor cur(data, size);
   uint32_t bag_count = 0;
@@ -226,37 +249,26 @@ Result<WalContents> ParseWal(std::string_view data) {
       break;  // torn frame at the tail
     }
     uint64_t len = LoadU32(data.data() + off);
-    if (kWalRecordFrameBytes + len > remaining) {
-      break;  // record overruns EOF: torn append
-    }
     const char* payload = data.data() + off + kWalRecordFrameBytes;
-    uint64_t checksum = LoadU64(data.data() + off + 4);
-    if (checksum != Fnv1a(payload, static_cast<size_t>(len))) {
-      size_t record_end = off + kWalRecordFrameBytes + static_cast<size_t>(len);
-      if (record_end == data.size()) {
-        break;  // checksum-torn final record: crash mid-append
-      }
-      // Bytes follow the bad record. If a checksum-valid record parses
-      // right after it, a *committed* generation is damaged mid-file —
-      // refuse rather than silently skip it. Otherwise the damage (and
-      // everything after) is tail debris from one torn append whose
-      // length field never made it intact; drop from here.
-      uint64_t next_len = 0;
-      bool next_valid = false;
-      if (data.size() - record_end >= kWalRecordFrameBytes) {
-        next_len = LoadU32(data.data() + record_end);
-        if (kWalRecordFrameBytes + next_len <= data.size() - record_end) {
-          const char* next_payload =
-              data.data() + record_end + kWalRecordFrameBytes;
-          next_valid = LoadU64(data.data() + record_end + 4) ==
-                       Fnv1a(next_payload, static_cast<size_t>(next_len));
-        }
-      }
-      if (next_valid) {
+    bool frame_fits = kWalRecordFrameBytes + len <= remaining;
+    if (!frame_fits ||
+        LoadU64(data.data() + off + 4) !=
+            Fnv1a(payload, static_cast<size_t>(len))) {
+      // A damaged record: overrunning length or failing checksum. The
+      // length field itself may be the damaged bytes, so the successor
+      // probe scans every offset past it (HasValidRecordAfter) instead
+      // of trusting it. An intact record anywhere after the damage
+      // means a *committed* generation is corrupted mid-file — refuse
+      // rather than silently skip it. Otherwise the damage (and
+      // everything after) is tail debris from one torn append; drop
+      // from here.
+      if (HasValidRecordAfter(data, off + 1)) {
         return Status::InvalidArgument(
             "WAL record at offset " + std::to_string(off) +
-            " fails its checksum with intact records after it — "
-            "mid-file corruption, not a torn tail");
+            " is damaged (" +
+            (frame_fits ? "checksum mismatch" : "length overruns the file") +
+            ") with intact records after it — mid-file corruption, not a "
+            "torn tail");
       }
       break;
     }
@@ -354,6 +366,23 @@ Result<uint64_t> SegmentFingerprint(const std::string& path) {
   return LoadU64(header + 24);
 }
 
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = (slash == std::string::npos) ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::Internal("open(" + dir + "): " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    Status err = Status::Internal("fsync(" + dir + "): " + std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
 Result<WalWriter> WalWriter::Open(const std::string& path) {
   int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
   if (fd < 0) {
@@ -421,12 +450,24 @@ Result<WalWriter> WalWriter::Open(const std::string& path) {
     }
     writer.bytes_ = kWalHeaderBytes;
   }
+  // The records are only as durable as the directory entry pointing at
+  // them: fsync the parent so a just-created (O_CREAT) file survives
+  // power loss before the first commit is acked.
+  BAGC_RETURN_NOT_OK(SyncParentDir(path));
   return writer;
 }
 
 Status WalWriter::Append(const WalRecord& record) {
+  BAGC_ASSIGN_OR_RETURN(std::string bytes, EncodeWalRecord(record));
+  return AppendEncoded(record, bytes);
+}
+
+Status WalWriter::AppendEncoded(const WalRecord& record,
+                                std::string_view encoded) {
   if (fd_ < 0) {
-    return Status::FailedPrecondition("WAL writer is closed");
+    return Status::FailedPrecondition(
+        failed_ ? "WAL writer failed on a previous append; reopen the log"
+                : "WAL writer is closed");
   }
   if (record.generation <= last_generation_ && records_ > 0) {
     return Status::InvalidArgument(
@@ -439,35 +480,51 @@ Status WalWriter::Append(const WalRecord& record) {
         std::to_string(record.base_fingerprint) + " but the log holds " +
         std::to_string(base_fingerprint_));
   }
-  BAGC_ASSIGN_OR_RETURN(std::string bytes, EncodeWalRecord(record));
   size_t put = 0;
-  while (put < bytes.size()) {
-    ssize_t n = ::write(fd_, bytes.data() + put, bytes.size() - put);
+  while (put < encoded.size()) {
+    ssize_t n = ::write(fd_, encoded.data() + put, encoded.size() - put);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
-      // A partial append is exactly the torn tail the reader knows how
-      // to drop; amputate it now so the in-memory accounting stays
-      // truthful for the next append.
-      ::ftruncate(fd_, static_cast<off_t>(bytes_));
-      return Status::Internal("write(" + path_ + "): " +
-                              std::strerror(errno));
+      Status err = Status::Internal("write(" + path_ + "): " +
+                                    std::strerror(errno));
+      FailPermanently();
+      return err;
     }
     put += static_cast<size_t>(n);
   }
   if (::fdatasync(fd_) != 0) {
-    return Status::Internal("fdatasync(" + path_ + "): " +
-                            std::strerror(errno));
+    // The record's bytes are fully in the file but not provably on the
+    // medium, and post-fsync-failure page state is unknowable. Fail
+    // stop: amputate back to the last durable boundary and retire the
+    // writer — reusing it could later truncate with stale accounting
+    // and chop a committed record mid-file.
+    Status err = Status::Internal("fdatasync(" + path_ + "): " +
+                                  std::strerror(errno));
+    FailPermanently();
+    return err;
   }
-  bytes_ += bytes.size();
+  bytes_ += encoded.size();
   records_ += 1;
   last_generation_ = record.generation;
   base_fingerprint_ = record.base_fingerprint;
   return Status::OK();
 }
 
+void WalWriter::FailPermanently() {
+  // A partial or unsynced append is exactly the torn tail the reader
+  // knows how to drop; amputate it now (best effort — the reader drops
+  // it on the next Open regardless) and refuse every further append so
+  // stale accounting can never truncate a committed record.
+  ::ftruncate(fd_, static_cast<off_t>(bytes_));
+  ::close(fd_);
+  fd_ = -1;
+  failed_ = true;
+}
+
 WalWriter::WalWriter(WalWriter&& other) noexcept
     : path_(std::move(other.path_)),
       fd_(other.fd_),
+      failed_(other.failed_),
       bytes_(other.bytes_),
       records_(other.records_),
       last_generation_(other.last_generation_),
@@ -480,6 +537,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     Close();
     path_ = std::move(other.path_);
     fd_ = other.fd_;
+    failed_ = other.failed_;
     bytes_ = other.bytes_;
     records_ = other.records_;
     last_generation_ = other.last_generation_;

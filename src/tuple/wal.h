@@ -30,14 +30,19 @@
 //
 // Torn-vs-corrupt policy (the crash-recovery contract, pinned by
 // tests/wal_test.cc under ASan/UBSan):
-//   - A record that overruns the end of the file, or whose checksum
-//     fails *and* is the last thing in the file, is a torn tail from a
-//     crashed append: it is dropped (and WalWriter::Open truncates it
-//     off atomically before appending).
-//   - A checksum failure with a checksum-valid record after it is
-//     mid-file corruption, not a crash artifact: the reader refuses
+//   - A record that fails validation (checksum mismatch, or a length
+//     field overrunning the end of the file) with NO checksum-valid
+//     record anywhere after it is a torn tail from a crashed append:
+//     it is dropped (and WalWriter::Open truncates it off atomically
+//     before appending).
+//   - The same damage with a checksum-valid record anywhere after it
+//     is mid-file corruption, not a crash artifact: the reader refuses
 //     the whole log (InvalidArgument → E_PARSE) rather than silently
-//     skipping a committed generation.
+//     skipping a committed generation. The successor probe SCANS every
+//     byte offset past the damage instead of trusting the damaged
+//     record's own length field — a bit flip in the length would
+//     otherwise misalign a single probe and misclassify intact
+//     committed records as tail debris.
 //   - A checksum-valid record whose payload violates the grammar
 //     (short payload, zero bags, zero rows, trailing bytes,
 //     non-increasing generation, fingerprint differing from the first
@@ -68,8 +73,10 @@ inline constexpr uint32_t kWalHeaderBytes = 16;
 /// payload checksum).
 inline constexpr uint32_t kWalRecordFrameBytes = 12;
 
-/// Hard cap on one record's payload; larger commits must be split.
-/// Matches the session body cap so anything the wire accepted fits.
+/// Hard cap on one record's payload. A BEGIN/COMMIT transaction is
+/// journaled as ONE record, so the session caps a transaction's
+/// cumulative buffered bytes strictly below this (kMaxTxnWalBytes in
+/// session.cc) — anything the wire accepted is guaranteed to encode.
 inline constexpr uint32_t kWalMaxRecordPayload = 1u << 28;
 
 /// One bag's signed row deltas within a committed generation.
@@ -122,14 +129,29 @@ Result<WalContents> ReadWalFile(const std::string& path);
 /// the cheap identity probe run before deciding whether a WAL applies.
 Result<uint64_t> SegmentFingerprint(const std::string& path);
 
+/// fsyncs the directory containing `path`, making a just-created or
+/// just-unlinked directory entry durable. Without it, a power loss can
+/// drop the WAL file itself — and every fdatasync'd commit in it —
+/// even though each record append was synced.
+Status SyncParentDir(const std::string& path);
+
 /// \brief Appender for one collection's WAL.
 ///
-/// Open() creates the file (with header) if absent; on an existing
-/// file it validates every record, atomically truncates a torn final
+/// Open() creates the file (with header) if absent — fsyncing the
+/// parent directory so the new entry is durable — and on an existing
+/// file validates every record, atomically truncates a torn final
 /// record, and refuses mid-file corruption. Append() writes the framed
 /// record with O_APPEND semantics and fdatasyncs before returning, so
-/// an acked commit survives power loss. Single-writer: the server
-/// serializes appends per collection. Move-only.
+/// an acked commit survives power loss.
+///
+/// Fail-stop: any I/O error inside Append (short write, fdatasync)
+/// truncates the file back to the last durable record boundary, closes
+/// the descriptor, and permanently fails the writer — every later
+/// Append returns FailedPrecondition. A writer that reported an error
+/// can never chop or misaccount a previously committed record; the
+/// owner must reopen (or re-seal the epoch) to resume.
+/// Single-writer: the server serializes appends per collection.
+/// Move-only.
 class WalWriter {
  public:
   static Result<WalWriter> Open(const std::string& path);
@@ -143,6 +165,17 @@ class WalWriter {
   /// Durably appends one committed generation. The record's generation
   /// must be strictly greater than every generation already in the log.
   Status Append(const WalRecord& record);
+
+  /// Append() with the record's bytes already produced by
+  /// EncodeWalRecord(record) — the commit path encodes (and
+  /// size-checks) BEFORE publishing so an unencodable batch is refused
+  /// with nothing published, then appends without re-encoding.
+  /// `encoded` MUST be EncodeWalRecord(record)'s output.
+  Status AppendEncoded(const WalRecord& record, std::string_view encoded);
+
+  /// True once an Append hit an I/O error; the writer refuses all
+  /// further appends (see class comment).
+  bool failed() const { return failed_; }
 
   /// Records in the log (pre-existing plus appended).
   uint64_t records() const { return records_; }
@@ -158,9 +191,13 @@ class WalWriter {
  private:
   WalWriter() = default;
   void Close();
+  // The fail-stop transition: truncate back to the last durable record
+  // boundary (best effort), close the fd, refuse further appends.
+  void FailPermanently();
 
   std::string path_;
   int fd_ = -1;
+  bool failed_ = false;
   uint64_t bytes_ = 0;
   uint64_t records_ = 0;
   uint64_t last_generation_ = 0;

@@ -998,6 +998,45 @@ TEST(ServerSessionTest, TransactionCommitIsAtomicAcrossBags) {
   EXPECT_EQ(out[4].rfind("ERR E_STATE no transaction is open", 0), 0u) << out[4];
 }
 
+TEST(ServerSessionTest, TransactionCumulativeCapsRefuseOversizedBuffering) {
+  CollectionRegistry registry;
+  ServerSession session(&registry, nullptr);
+  Feed(&session, kSetupScript);
+  // The body caps are per block; these cumulative caps are what bound a
+  // whole transaction (and guarantee COMMIT fits one WAL record).
+  // Shrunk so the refusal is reachable without buffering ~4M rows.
+  session.SetTxnCapsForTest(/*rows=*/3, /*wal_bytes=*/0);
+
+  std::vector<std::string> out =
+      Feed(&session,
+           "BEGIN\n"
+           "INSERT orders item store\n0 0 : 1\n1 1 : 1\nEND\n"
+           "INSERT orders item store\n2 0 : 1\n2 1 : 1\nEND\n"
+           "COMMIT\n");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "OK BEGIN");
+  EXPECT_EQ(out[1], "OK INSERT orders 2 rows buffered");
+  // The second block would push the transaction past the row cap: it is
+  // refused whole, the transaction stays open with the first block
+  // intact, and COMMIT publishes exactly what was accepted.
+  EXPECT_EQ(out[2].rfind("ERR E_RANGE transaction exceeds 3 buffered rows", 0),
+            0u)
+      << out[2];
+  EXPECT_EQ(out[3].rfind("OK COMMIT 2 rows 2 bags", 0), 0u) << out[3];
+
+  // The byte cap trips the same way (12 bytes of block header alone
+  // exceeds a 1-byte budget), and a fresh BEGIN resets the accounting.
+  session.SetTxnCapsForTest(/*rows=*/0, /*wal_bytes=*/1);
+  out = Feed(&session,
+             "BEGIN\n"
+             "INSERT orders item store\n0 0 : 1\nEND\n"
+             "COMMIT\n");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].rfind("ERR E_RANGE transaction exceeds", 0), 0u) << out[1];
+  EXPECT_NE(out[1].find("encoded bytes"), std::string::npos) << out[1];
+  EXPECT_EQ(out[2], "OK COMMIT 0 rows");
+}
+
 TEST(ServerSessionTest, TransactionFramesRoundTripAndRefuseTrailingBytes) {
   CollectionRegistry registry;
   ServerSession session(&registry, nullptr);

@@ -214,19 +214,24 @@ TEST(WalFormatTest, InteriorRecordCorruptionIsRefusedNotSkipped) {
   std::vector<WalRecord> history = RandomHistory(4, 0x5eed0004);
   std::vector<size_t> boundaries;
   std::string image = EncodeImage(history, &boundaries);
-  // Second record's frame: [len u32][checksum u64][payload]. Flipping
-  // the length field would re-align the scan (a different, also-torn
-  // shape); checksum and payload flips model bit rot on a committed
-  // record that later records prove was once intact.
+  // Second record's frame: [len u32][checksum u64][payload]. EVERY
+  // byte of a non-tail record is covered, the length field included:
+  // a flipped length misaligns any single probe at the record's
+  // claimed end (and can even claim past EOF), but the successor scan
+  // still finds the intact records after the damage and must refuse —
+  // committed generations are never silently reclassified as tail
+  // debris.
   size_t start = boundaries[0];
   size_t payload_start = start + kWalRecordFrameBytes;
-  for (size_t byte = start + 4; byte < boundaries[1]; ++byte) {
+  for (size_t byte = start; byte < boundaries[1]; ++byte) {
     for (int bit = 0; bit < 8; ++bit) {
       std::string damaged = image;
       damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
       Result<WalContents> parsed = ParseWal(damaged);
       ASSERT_FALSE(parsed.ok())
-          << "flip in " << (byte < payload_start ? "checksum" : "payload")
+          << "flip in "
+          << (byte < start + 4 ? "length"
+                               : byte < payload_start ? "checksum" : "payload")
           << " byte " << byte << " bit " << bit << " was swallowed";
     }
   }
@@ -585,6 +590,52 @@ TEST(WalRecoveryTest, RandomizedHistoryRecoversBitIdenticalAtEveryTruncation) {
               std::string::npos)
         << replayed.status().ToString();
   }
+}
+
+TEST(WalRecoveryTest, PoisonedWalRefusesDeltasUntilANewEpoch) {
+  std::string seg_path = WriteBaseSegment("wal_poison_base.seg", 0);
+  std::string wal_dir = MakeWalDir("wal_poison");
+  CollectionRegistry::Options opts;
+  opts.wal_dir = wal_dir;
+  CollectionRegistry registry(opts);
+  ServerSession session(&registry, nullptr);
+  {
+    std::vector<std::string> sealed =
+        session.HandleScript("LOADSEG " + seg_path + "\nSEAL\n");
+    ASSERT_EQ(sealed.back().rfind("OK SEAL", 0), 0u) << sealed.back();
+  }
+  const std::string insert = "INSERT left item store\n0 0 : 1\nEND\n";
+  {
+    std::vector<std::string> r = session.HandleScript(insert);
+    ASSERT_EQ(r.back().rfind("OK INSERT", 0), 0u) << r.back();
+  }
+  EXPECT_EQ(registry.wal_records_total(), 1u);
+
+  // An append failure for a published generation leaves the log missing
+  // acked state: every further delta commit must refuse (pointing at
+  // SEAL) instead of appending over the gap and acking durability.
+  registry.PoisonWalForTest(registry.Default().get());
+  {
+    std::vector<std::string> r = session.HandleScript(insert);
+    ASSERT_EQ(r.back().rfind("ERR", 0), 0u) << r.back();
+    EXPECT_NE(r.back().find("SEAL to start a new epoch"), std::string::npos)
+        << r.back();
+  }
+  EXPECT_EQ(registry.wal_records_total(), 1u)
+      << "no record may land in a poisoned log";
+
+  // A full SEAL starts a new epoch: the poisoned log is dropped and
+  // delta commits work again. (This seal has no segment source — the
+  // earlier publish diverged from it — so the new epoch simply has no
+  // WAL rather than a fresh one.)
+  {
+    std::vector<std::string> sealed = session.HandleScript("SEAL\n");
+    ASSERT_EQ(sealed.back().rfind("OK SEAL", 0), 0u) << sealed.back();
+    std::vector<std::string> r = session.HandleScript(insert);
+    ASSERT_EQ(r.back().rfind("OK INSERT", 0), 0u) << r.back();
+  }
+  EXPECT_EQ(registry.wal_records_total(), 0u)
+      << "the poisoned epoch's log must not survive the re-seal";
 }
 
 TEST(WalRecoveryTest, SegmentFingerprintIdentifiesTheBase) {
